@@ -1,0 +1,215 @@
+//! QFT-based constant adders and the Appendix-D controlled-adder bug.
+//!
+//! The Draper adder adds a classical constant `a` to a register encoded in
+//! Fourier space using only phase rotations. The paper's Appendix D uses
+//! the 0/1/2-control recursion of this subroutine to show a recursion bug
+//! (`j` typed instead of `i` as the rotation target) that precise and
+//! mixed-state assertions catch.
+
+use crate::qft::{append_iqft, append_qft};
+use qra_circuit::synthesis::mc_gate::{mc_unitary, ControlState};
+use qra_circuit::{Circuit, Gate};
+use std::f64::consts::PI;
+
+/// Bug injections for the controlled adder (Appendix D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdderBug {
+    /// Correct program.
+    #[default]
+    None,
+    /// The two-control branch rotates `qr[j]` instead of `qr[i]` — the
+    /// recursion-pattern bug of Fig. 21 line 11.
+    WrongTargetInDoubleControl,
+}
+
+/// Appends the Fourier-space addition of constant `a` to `qubits`
+/// (`qubits[0]` = most significant), optionally controlled on up to two
+/// control qubits — the paper's `controlled_adder` with `num_ctrl ∈
+/// {0, 1, 2}` (Fig. 21).
+///
+/// # Errors
+///
+/// Propagates circuit/synthesis errors.
+///
+/// # Panics
+///
+/// Panics when more than two controls are supplied.
+pub fn add_const_fourier(
+    circuit: &mut Circuit,
+    qubits: &[usize],
+    a: u64,
+    controls: &[usize],
+    bug: AdderBug,
+) -> Result<(), qra_circuit::CircuitError> {
+    assert!(controls.len() <= 2, "the paper's recursion stops at 2 controls");
+    let width = qubits.len();
+    for i in (0..width).rev() {
+        for j in (0..=i).rev() {
+            if (a >> j) & 1 == 1 {
+                let angle = PI / (1u64 << (i - j)) as f64;
+                // The buggy variant mis-targets the rotation in the
+                // two-control branch only (Fig. 21 line 11).
+                let target_idx = match (bug, controls.len()) {
+                    (AdderBug::WrongTargetInDoubleControl, 2) => j,
+                    _ => i,
+                };
+                let target = qubits[target_idx];
+                match controls.len() {
+                    0 => {
+                        circuit.p(angle, target);
+                    }
+                    1 => {
+                        circuit.cp(angle, controls[0], target);
+                    }
+                    _ => {
+                        let ctrl: Vec<(usize, ControlState)> = controls
+                            .iter()
+                            .map(|&c| (c, ControlState::Closed))
+                            .collect();
+                        mc_unitary(circuit, &ctrl, target, &Gate::Phase(angle).matrix())?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A complete demonstration adder: loads `b`, enters Fourier space, adds
+/// constant `a` (optionally controlled), and returns. Register layout:
+/// data qubits `0..width`, controls after.
+///
+/// # Errors
+///
+/// Propagates circuit errors.
+pub fn adder_circuit(
+    width: usize,
+    a: u64,
+    b: u64,
+    num_controls: usize,
+    bug: AdderBug,
+) -> Result<Circuit, qra_circuit::CircuitError> {
+    let mut c = Circuit::new(width + num_controls);
+    // Load b (big-endian: qubit 0 = MSB).
+    for q in 0..width {
+        if (b >> (width - 1 - q)) & 1 == 1 {
+            c.x(q);
+        }
+    }
+    // Activate all controls so the addition actually happens.
+    let controls: Vec<usize> = (width..width + num_controls).collect();
+    for &ctl in &controls {
+        c.x(ctl);
+    }
+    let data: Vec<usize> = (0..width).collect();
+    append_qft(&mut c, &data);
+    add_const_fourier(&mut c, &data, a, &controls, bug)?;
+    append_iqft(&mut c, &data);
+    Ok(c)
+}
+
+/// Reads the most probable data-register value from a state vector of the
+/// adder circuit (exact for classical outputs).
+pub fn dominant_value(sv: &qra_math::CVector, width: usize, total_qubits: usize) -> u64 {
+    let mut best = (0usize, 0.0f64);
+    for i in 0..sv.len() {
+        let p = sv.probability(i);
+        if p > best.1 {
+            best = (i, p);
+        }
+    }
+    (best.0 >> (total_qubits - width)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_adder(width: usize, a: u64, b: u64, ctrls: usize, bug: AdderBug) -> u64 {
+        let c = adder_circuit(width, a, b, ctrls, bug).unwrap();
+        let sv = c.statevector().unwrap();
+        dominant_value(&sv, width, c.num_qubits())
+    }
+
+    #[test]
+    fn plain_addition_mod_2n() {
+        for (a, b) in [(1u64, 2u64), (3, 5), (7, 7), (0, 6), (5, 0)] {
+            let got = run_adder(3, a, b, 0, AdderBug::None);
+            assert_eq!(got, (a + b) % 8, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn single_controlled_addition() {
+        for (a, b) in [(2u64, 3u64), (4, 4)] {
+            let got = run_adder(3, a, b, 1, AdderBug::None);
+            assert_eq!(got, (a + b) % 8);
+        }
+    }
+
+    #[test]
+    fn double_controlled_addition() {
+        for (a, b) in [(1u64, 1u64), (3, 4)] {
+            let got = run_adder(3, a, b, 2, AdderBug::None);
+            assert_eq!(got, (a + b) % 8);
+        }
+    }
+
+    #[test]
+    fn inactive_control_means_no_addition() {
+        // Build manually with the control left at |0⟩.
+        let width = 3;
+        let mut c = Circuit::new(width + 1);
+        c.x(2); // b = 1
+        let data: Vec<usize> = (0..width).collect();
+        append_qft(&mut c, &data);
+        add_const_fourier(&mut c, &data, 5, &[width], AdderBug::None).unwrap();
+        append_iqft(&mut c, &data);
+        let sv = c.statevector().unwrap();
+        assert_eq!(dominant_value(&sv, width, width + 1), 1);
+    }
+
+    #[test]
+    fn appendix_d_bug_changes_double_controlled_result() {
+        // a = 3 exercises both the first rotation (i = j, unaffected) and
+        // later rotations where i ≠ j.
+        let good = run_adder(3, 3, 2, 2, AdderBug::None);
+        let bad = run_adder(3, 3, 2, 2, AdderBug::WrongTargetInDoubleControl);
+        assert_eq!(good, 5);
+        assert_ne!(good, bad, "the Appendix D bug must corrupt the sum");
+    }
+
+    #[test]
+    fn appendix_d_bug_does_not_affect_uncontrolled_adder() {
+        let good = run_adder(3, 3, 2, 0, AdderBug::None);
+        let bad = run_adder(3, 3, 2, 0, AdderBug::WrongTargetInDoubleControl);
+        assert_eq!(good, bad);
+    }
+
+    #[test]
+    fn appendix_d_bug_state_diverges_after_second_rotation() {
+        // The paper: i and j agree for the first rz, so the states diverge
+        // from the second rotation onwards — compare full Fourier-space
+        // states gate by gate.
+        let width = 3;
+        let build = |bug: AdderBug| {
+            let mut c = Circuit::new(width + 2);
+            c.x(width).x(width + 1);
+            let data: Vec<usize> = (0..width).collect();
+            append_qft(&mut c, &data);
+            add_const_fourier(&mut c, &data, 3, &[width, width + 1], bug).unwrap();
+            c
+        };
+        let good = build(AdderBug::None).statevector().unwrap();
+        let bad = build(AdderBug::WrongTargetInDoubleControl)
+            .statevector()
+            .unwrap();
+        assert!(!good.approx_eq_up_to_phase(&bad, 1e-6));
+    }
+
+    #[test]
+    fn wrap_around_addition() {
+        assert_eq!(run_adder(3, 7, 7, 0, AdderBug::None), 6); // 14 mod 8
+        assert_eq!(run_adder(4, 9, 8, 0, AdderBug::None), 1); // 17 mod 16
+    }
+}

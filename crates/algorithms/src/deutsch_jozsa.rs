@@ -1,0 +1,310 @@
+//! The Deutsch–Jozsa algorithm and its black-box oracles (paper §X).
+//!
+//! The approximate-assertion case study checks whether a black-box
+//! function's joint output state `|x⟩|f(x)⟩` (with inputs in uniform
+//! superposition) is a member of the *constant* output set, the *balanced*
+//! set, or their union — catching bugs that make `f` neither constant nor
+//! balanced, which no precise assertion can express.
+
+use qra_circuit::synthesis::mc_gate::{mcx, ControlState};
+use qra_circuit::Circuit;
+use qra_math::{C64, CVector};
+
+/// A black-box boolean function oracle on `n` input bits, computed into
+/// one output qubit (`out ^= f(x)`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Oracle {
+    /// `f(x) = 0` for all inputs.
+    ConstantZero,
+    /// `f(x) = 1` for all inputs.
+    ConstantOne,
+    /// Balanced linear function `f(x) = x · mask (mod 2)`, `mask ≠ 0`.
+    BalancedLinear {
+        /// Non-zero parity mask (bit `b` ↔ input qubit `n−1−b`).
+        mask: usize,
+    },
+    /// Arbitrary truth table (used for buggy oracles). `table[x]` is
+    /// `f(x)` with `x` read big-endian over the input qubits.
+    Table(Vec<bool>),
+}
+
+impl Oracle {
+    /// The §X buggy oracle for two inputs: `f = x₀ ∧ x₁`, which is neither
+    /// constant nor balanced (three zeros, one one).
+    pub fn buggy_and() -> Self {
+        Oracle::Table(vec![false, false, false, true])
+    }
+
+    /// Evaluates the function classically.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` is out of range for a `Table` oracle.
+    pub fn eval(&self, x: usize, n: usize) -> bool {
+        match self {
+            Oracle::ConstantZero => false,
+            Oracle::ConstantOne => true,
+            Oracle::BalancedLinear { mask } => (x & mask).count_ones() % 2 == 1,
+            Oracle::Table(t) => {
+                let _ = n;
+                t[x]
+            }
+        }
+    }
+
+    /// Returns `true` when the function is constant over `n` inputs.
+    pub fn is_constant(&self, n: usize) -> bool {
+        let dim = 1usize << n;
+        let first = self.eval(0, n);
+        (1..dim).all(|x| self.eval(x, n) == first)
+    }
+
+    /// Returns `true` when the function is balanced over `n` inputs.
+    pub fn is_balanced(&self, n: usize) -> bool {
+        let dim = 1usize << n;
+        let ones = (0..dim).filter(|&x| self.eval(x, n)).count();
+        ones == dim / 2
+    }
+
+    /// Appends the bit-flip oracle `|x⟩|b⟩ → |x⟩|b ⊕ f(x)⟩` to `circuit`
+    /// on `inputs` and `output`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit index errors.
+    pub fn append_to(
+        &self,
+        circuit: &mut Circuit,
+        inputs: &[usize],
+        output: usize,
+    ) -> Result<(), qra_circuit::CircuitError> {
+        let n = inputs.len();
+        match self {
+            Oracle::ConstantZero => {}
+            Oracle::ConstantOne => {
+                circuit.x(output);
+            }
+            Oracle::BalancedLinear { mask } => {
+                for (i, &q) in inputs.iter().enumerate() {
+                    if (mask >> (n - 1 - i)) & 1 == 1 {
+                        circuit.cx(q, output);
+                    }
+                }
+            }
+            Oracle::Table(table) => {
+                // One multi-controlled X per satisfying input pattern.
+                for (x, &on) in table.iter().enumerate() {
+                    if !on {
+                        continue;
+                    }
+                    let controls: Vec<(usize, ControlState)> = inputs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &q)| {
+                            let bit = (x >> (n - 1 - i)) & 1;
+                            (
+                                q,
+                                if bit == 1 {
+                                    ControlState::Closed
+                                } else {
+                                    ControlState::Open
+                                },
+                            )
+                        })
+                        .collect();
+                    mcx(circuit, &controls, output)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the §X probe circuit: inputs in `|+…+⟩`, then the oracle into a
+/// `|0⟩` output qubit — the joint state `Σ_x |x⟩|f(x)⟩ / √2ⁿ` the
+/// approximate assertion checks. Input qubits are `0..n`, output is `n`.
+///
+/// # Errors
+///
+/// Propagates circuit errors from the oracle.
+pub fn probe_circuit(oracle: &Oracle, n: usize) -> Result<Circuit, qra_circuit::CircuitError> {
+    let mut c = Circuit::new(n + 1);
+    for q in 0..n {
+        c.h(q);
+    }
+    let inputs: Vec<usize> = (0..n).collect();
+    oracle.append_to(&mut c, &inputs, n)?;
+    Ok(c)
+}
+
+/// The constant output set of §X / Table IV:
+/// `{ |+…+⟩|0⟩, |+…+⟩|1⟩ }` (as vectors over `n+1` qubits).
+pub fn constant_output_set(n: usize) -> Vec<CVector> {
+    let dim = 1usize << n;
+    let amp = C64::from(1.0 / (dim as f64).sqrt());
+    let mut zero_out = CVector::zeros(2 * dim);
+    let mut one_out = CVector::zeros(2 * dim);
+    for x in 0..dim {
+        zero_out[2 * x] = amp;
+        one_out[2 * x + 1] = amp;
+    }
+    vec![zero_out, one_out]
+}
+
+/// The balanced output set: one joint state per balanced truth table
+/// (`C(2ⁿ, 2ⁿ⁻¹)` members — Table IV's six rows for `n = 2`).
+pub fn balanced_output_set(n: usize) -> Vec<CVector> {
+    let dim = 1usize << n;
+    let amp = C64::from(1.0 / (dim as f64).sqrt());
+    let mut out = Vec::new();
+    // Enumerate bitmasks of the truth table with exactly dim/2 ones.
+    for table in 0..(1usize << dim) {
+        if table.count_ones() as usize != dim / 2 {
+            continue;
+        }
+        let mut v = CVector::zeros(2 * dim);
+        for x in 0..dim {
+            let fx = (table >> x) & 1;
+            v[2 * x + fx] = amp;
+        }
+        out.push(v);
+    }
+    out
+}
+
+/// The full Deutsch–Jozsa algorithm: returns the circuit (inputs `0..n`,
+/// output qubit `n`) whose input-register measurement is all-zero iff the
+/// oracle is constant.
+///
+/// # Errors
+///
+/// Propagates circuit errors from the oracle.
+pub fn deutsch_jozsa(oracle: &Oracle, n: usize) -> Result<Circuit, qra_circuit::CircuitError> {
+    let mut c = Circuit::new(n + 1);
+    c.x(n).h(n); // phase-kickback target |−⟩
+    for q in 0..n {
+        c.h(q);
+    }
+    let inputs: Vec<usize> = (0..n).collect();
+    oracle.append_to(&mut c, &inputs, n)?;
+    for q in 0..n {
+        c.h(q);
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qra_sim::StatevectorSimulator;
+
+    #[test]
+    fn oracle_classification() {
+        assert!(Oracle::ConstantZero.is_constant(2));
+        assert!(Oracle::ConstantOne.is_constant(3));
+        assert!(Oracle::BalancedLinear { mask: 0b10 }.is_balanced(2));
+        assert!(!Oracle::BalancedLinear { mask: 0b10 }.is_constant(2));
+        let buggy = Oracle::buggy_and();
+        assert!(!buggy.is_constant(2));
+        assert!(!buggy.is_balanced(2));
+    }
+
+    #[test]
+    fn probe_state_matches_truth_table() {
+        let oracle = Oracle::buggy_and();
+        let sv = probe_circuit(&oracle, 2).unwrap().statevector().unwrap();
+        // Expected: ½(|00⟩|0⟩ + |01⟩|0⟩ + |10⟩|0⟩ + |11⟩|1⟩) — the paper's
+        // example state ½(|000⟩+|010⟩+|100⟩+|111⟩).
+        for (idx, expect) in [
+            (0b000usize, 0.25),
+            (0b010, 0.25),
+            (0b100, 0.25),
+            (0b111, 0.25),
+            (0b001, 0.0),
+            (0b110, 0.0),
+        ] {
+            assert!(
+                (sv.probability(idx) - expect).abs() < 1e-9,
+                "index {idx:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_oracle_matches_linear_oracle() {
+        // f(x) = x·11: table [0,1,1,0].
+        let linear = Oracle::BalancedLinear { mask: 0b11 };
+        let table = Oracle::Table(vec![false, true, true, false]);
+        let a = probe_circuit(&linear, 2).unwrap().statevector().unwrap();
+        let b = probe_circuit(&table, 2).unwrap().statevector().unwrap();
+        assert!(a.approx_eq_up_to_phase(&b, 1e-9));
+    }
+
+    #[test]
+    fn constant_oracle_probe_is_in_constant_set() {
+        let set = constant_output_set(2);
+        for oracle in [Oracle::ConstantZero, Oracle::ConstantOne] {
+            let sv = probe_circuit(&oracle, 2).unwrap().statevector().unwrap();
+            assert!(
+                set.iter().any(|m| sv.approx_eq_up_to_phase(m, 1e-9)),
+                "constant probe not in constant set"
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_set_has_six_members_for_two_inputs() {
+        let set = balanced_output_set(2);
+        assert_eq!(set.len(), 6, "C(4,2) = 6 balanced functions — Table IV");
+        for v in &set {
+            assert!(v.is_normalized(1e-9));
+        }
+        // Every balanced linear oracle's probe is a member.
+        for mask in 1..4usize {
+            let sv = probe_circuit(&Oracle::BalancedLinear { mask }, 2)
+                .unwrap()
+                .statevector()
+                .unwrap();
+            assert!(set.iter().any(|m| sv.approx_eq_up_to_phase(m, 1e-9)));
+        }
+    }
+
+    #[test]
+    fn buggy_probe_is_in_neither_set() {
+        let sv = probe_circuit(&Oracle::buggy_and(), 2)
+            .unwrap()
+            .statevector()
+            .unwrap();
+        for m in constant_output_set(2).iter().chain(balanced_output_set(2).iter()) {
+            assert!(!sv.approx_eq_up_to_phase(m, 1e-6));
+        }
+    }
+
+    #[test]
+    fn deutsch_jozsa_distinguishes_constant_from_balanced() {
+        for (oracle, constant) in [
+            (Oracle::ConstantZero, true),
+            (Oracle::ConstantOne, true),
+            (Oracle::BalancedLinear { mask: 0b01 }, false),
+            (Oracle::BalancedLinear { mask: 0b11 }, false),
+        ] {
+            let mut c = deutsch_jozsa(&oracle, 2).unwrap();
+            c.expand_clbits(2);
+            c.measure(0, 0).unwrap();
+            c.measure(1, 1).unwrap();
+            let counts = StatevectorSimulator::with_seed(3).run(&c, 512).unwrap();
+            let all_zero = counts.frequency("00");
+            if constant {
+                assert!((all_zero - 1.0).abs() < 1e-9, "{oracle:?}");
+            } else {
+                assert!(all_zero < 1e-9, "{oracle:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_input_balanced_set_size() {
+        // C(8, 4) = 70 balanced functions on 3 inputs.
+        assert_eq!(balanced_output_set(3).len(), 70);
+    }
+}

@@ -1,0 +1,198 @@
+//! Grover search on a marked computational basis state.
+//!
+//! Provides an assertion-friendly workload: the state after each Grover
+//! iteration is a *known* superposition in the two-dimensional span of the
+//! uniform state and the marked state, so precise assertions can checkpoint
+//! every iteration, and approximate assertions can check membership in that
+//! span without tracking the exact rotation angle.
+
+use qra_circuit::synthesis::mc_gate::{mcz, Control, ControlState};
+use qra_circuit::Circuit;
+use qra_math::{C64, CVector};
+
+/// Appends the phase oracle marking basis state `target` (phase −1).
+///
+/// # Errors
+///
+/// Propagates circuit/synthesis errors.
+pub fn append_oracle(
+    circuit: &mut Circuit,
+    n: usize,
+    target: usize,
+) -> Result<(), qra_circuit::CircuitError> {
+    // Multi-controlled Z with polarities matching the target bits.
+    let controls: Vec<Control> = (0..n - 1)
+        .map(|q| {
+            let bit = (target >> (n - 1 - q)) & 1;
+            (
+                q,
+                if bit == 1 {
+                    ControlState::Closed
+                } else {
+                    ControlState::Open
+                },
+            )
+        })
+        .collect();
+    let last = n - 1;
+    let last_bit = target & 1;
+    if last_bit == 0 {
+        circuit.x(last);
+    }
+    mcz(circuit, &controls, last)?;
+    if last_bit == 0 {
+        circuit.x(last);
+    }
+    Ok(())
+}
+
+/// Appends the Grover diffusion operator (inversion about the mean).
+///
+/// # Errors
+///
+/// Propagates circuit/synthesis errors.
+pub fn append_diffusion(circuit: &mut Circuit, n: usize) -> Result<(), qra_circuit::CircuitError> {
+    for q in 0..n {
+        circuit.h(q);
+    }
+    // Phase flip on |0…0⟩: X-conjugated multi-controlled Z.
+    for q in 0..n {
+        circuit.x(q);
+    }
+    let controls: Vec<Control> = (0..n - 1).map(|q| (q, ControlState::Closed)).collect();
+    mcz(circuit, &controls, n - 1)?;
+    for q in 0..n {
+        circuit.x(q);
+    }
+    for q in 0..n {
+        circuit.h(q);
+    }
+    Ok(())
+}
+
+/// Builds a Grover search circuit over `n` qubits for the marked basis
+/// state `target`, running `iterations` rounds.
+///
+/// # Errors
+///
+/// Propagates circuit/synthesis errors.
+///
+/// # Panics
+///
+/// Panics when `target >= 2^n` or `n < 2`.
+pub fn grover(
+    n: usize,
+    target: usize,
+    iterations: usize,
+) -> Result<Circuit, qra_circuit::CircuitError> {
+    assert!(n >= 2, "grover needs at least two qubits");
+    assert!(target < (1usize << n));
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for _ in 0..iterations {
+        append_oracle(&mut c, n, target)?;
+        append_diffusion(&mut c, n)?;
+    }
+    Ok(c)
+}
+
+/// The optimal iteration count `⌊π/4·√N⌋` (at least 1).
+pub fn optimal_iterations(n: usize) -> usize {
+    let big_n = (1usize << n) as f64;
+    ((std::f64::consts::FRAC_PI_4) * big_n.sqrt()).floor().max(1.0) as usize
+}
+
+/// The exact expected state after `iterations` rounds: the textbook
+/// rotation `sin((2k+1)θ)|target⟩ + cos((2k+1)θ)|rest⟩` with
+/// `sin θ = 1/√N` — the checkpoint vector for precise assertions.
+pub fn expected_state(n: usize, target: usize, iterations: usize) -> CVector {
+    let dim = 1usize << n;
+    let theta = (1.0 / (dim as f64).sqrt()).asin();
+    let angle = (2 * iterations as u32 + 1) as f64 * theta;
+    let a_target = angle.sin();
+    let a_rest = angle.cos() / ((dim - 1) as f64).sqrt();
+    let mut v = CVector::zeros(dim);
+    for i in 0..dim {
+        v[i] = if i == target {
+            C64::from(a_target)
+        } else {
+            C64::from(a_rest)
+        };
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grover_amplifies_the_target() {
+        for n in [2usize, 3] {
+            let target = (1usize << n) - 2;
+            let iters = optimal_iterations(n);
+            let c = grover(n, target, iters).unwrap();
+            let sv = c.statevector().unwrap();
+            let p = sv.probability(target);
+            assert!(p > 0.9, "n={n}: target probability {p}");
+        }
+    }
+
+    #[test]
+    fn matches_textbook_rotation_per_iteration() {
+        let n = 3;
+        let target = 0b101;
+        for k in 0..=3usize {
+            let c = grover(n, target, k).unwrap();
+            let sv = c.statevector().unwrap();
+            let expect = expected_state(n, target, k);
+            assert!(
+                sv.approx_eq_up_to_phase(&expect, 1e-8),
+                "iteration {k} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_flips_only_the_target_phase() {
+        let n = 3;
+        let target = 0b010;
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        append_oracle(&mut c, n, target).unwrap();
+        let sv = c.statevector().unwrap();
+        let amp = 1.0 / (8.0f64).sqrt();
+        for i in 0..8 {
+            let expect = if i == target { -amp } else { amp };
+            assert!(
+                (sv.amplitude(i).re - expect).abs() < 1e-9,
+                "index {i}: {} vs {expect}",
+                sv.amplitude(i).re
+            );
+        }
+    }
+
+    #[test]
+    fn diffusion_preserves_uniform_state() {
+        let n = 3;
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        append_diffusion(&mut c, n).unwrap();
+        let sv = c.statevector().unwrap();
+        let uniform = CVector::from_real(&[1.0 / 8.0f64.sqrt(); 8]);
+        assert!(sv.approx_eq_up_to_phase(&uniform, 1e-8));
+    }
+
+    #[test]
+    fn optimal_iterations_reasonable() {
+        assert_eq!(optimal_iterations(2), 1);
+        assert_eq!(optimal_iterations(4), 3);
+        assert!(optimal_iterations(6) >= 6);
+    }
+}

@@ -1,0 +1,20 @@
+//! Quantum algorithm workloads for the `qra` assertion case studies.
+//!
+//! These are the programs the paper debugs with assertions: entangled
+//! state preparation ([`states`]), the quantum Fourier transform
+//! ([`qft`]), quantum phase estimation ([`qpe`], §IX), the Deutsch–Jozsa
+//! algorithm ([`deutsch_jozsa`], §X), and the QFT-based controlled adder
+//! ([`adder`], Appendix D). Each module also ships the paper's *bug
+//! injections* — the incorrect program variants the assertions must catch.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod adder;
+pub mod bernstein_vazirani;
+pub mod deutsch_jozsa;
+pub mod grover;
+pub mod qft;
+pub mod qpe;
+pub mod states;
+pub mod teleport;

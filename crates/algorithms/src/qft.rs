@@ -1,0 +1,159 @@
+//! The quantum Fourier transform and its inverse.
+
+use qra_circuit::Circuit;
+use std::f64::consts::PI;
+
+/// Appends the `n`-qubit QFT to `circuit` on `qubits` (qubit order:
+/// `qubits[0]` is the most significant). Includes the final qubit-reversal
+/// swaps so the output ordering matches the textbook definition.
+///
+/// # Panics
+///
+/// Panics on invalid qubit indices.
+pub fn append_qft(circuit: &mut Circuit, qubits: &[usize]) {
+    let n = qubits.len();
+    for i in 0..n {
+        circuit.h(qubits[i]);
+        for j in i + 1..n {
+            let angle = PI / (1usize << (j - i)) as f64;
+            circuit.cp(angle, qubits[j], qubits[i]);
+        }
+    }
+    for i in 0..n / 2 {
+        circuit.swap(qubits[i], qubits[n - 1 - i]);
+    }
+}
+
+/// Appends the inverse QFT on `qubits`.
+///
+/// # Panics
+///
+/// Panics on invalid qubit indices.
+pub fn append_iqft(circuit: &mut Circuit, qubits: &[usize]) {
+    let n = qubits.len();
+    for i in 0..n / 2 {
+        circuit.swap(qubits[i], qubits[n - 1 - i]);
+    }
+    for i in (0..n).rev() {
+        for j in (i + 1..n).rev() {
+            let angle = -PI / (1usize << (j - i)) as f64;
+            circuit.cp(angle, qubits[j], qubits[i]);
+        }
+        circuit.h(qubits[i]);
+    }
+}
+
+/// A standalone `n`-qubit QFT circuit.
+pub fn qft(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    let qubits: Vec<usize> = (0..n).collect();
+    append_qft(&mut c, &qubits);
+    c
+}
+
+/// A standalone `n`-qubit inverse QFT circuit.
+pub fn iqft(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    let qubits: Vec<usize> = (0..n).collect();
+    append_iqft(&mut c, &qubits);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qra_math::{C64, CMatrix, CVector};
+    use std::f64::consts::TAU;
+
+    const TOL: f64 = 1e-9;
+
+    /// The textbook QFT matrix `F[j][k] = ω^{jk}/√N`.
+    fn qft_matrix(n: usize) -> CMatrix {
+        let dim = 1usize << n;
+        let scale = 1.0 / (dim as f64).sqrt();
+        CMatrix::from_fn(dim, dim, |j, k| {
+            C64::from_polar(scale, TAU * (j as f64) * (k as f64) / dim as f64)
+        })
+    }
+
+    #[test]
+    fn qft_matches_dft_matrix() {
+        for n in 1..=4 {
+            let u = qft(n).unitary_matrix().unwrap();
+            assert!(
+                u.approx_eq_up_to_phase(&qft_matrix(n), 1e-8),
+                "QFT mismatch at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn iqft_inverts_qft() {
+        for n in 1..=4 {
+            let mut c = qft(n);
+            let qubits: Vec<usize> = (0..n).collect();
+            append_iqft(&mut c, &qubits);
+            let u = c.unitary_matrix().unwrap();
+            assert!(
+                u.approx_eq_up_to_phase(&CMatrix::identity(1 << n), 1e-8),
+                "iQFT·QFT ≠ I at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn qft_of_zero_is_uniform() {
+        let sv = qft(3).statevector().unwrap();
+        for i in 0..8 {
+            assert!((sv.probability(i) - 0.125).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn qft_of_basis_state_has_flat_magnitudes() {
+        let mut c = Circuit::new(3);
+        c.x(2);
+        let qubits: Vec<usize> = (0..3).collect();
+        append_qft(&mut c, &qubits);
+        let sv = c.statevector().unwrap();
+        for i in 0..8 {
+            assert!((sv.probability(i) - 0.125).abs() < TOL);
+        }
+        // Phase gradient: amplitude k carries phase 2πk/8.
+        let base = sv.amplitude(0);
+        for k in 0..8 {
+            let expect = base * C64::cis(TAU * k as f64 / 8.0);
+            assert!(sv.amplitude(k).approx_eq(expect, 1e-9));
+        }
+    }
+
+    #[test]
+    fn append_on_scrambled_qubits() {
+        // QFT on reversed qubit list equals the matrix conjugated by the
+        // bit-reversal permutation; verify via round-trip instead.
+        let mut c = Circuit::new(3);
+        let order = [2usize, 0, 1];
+        append_qft(&mut c, &order);
+        append_iqft(&mut c, &order);
+        let u = c.unitary_matrix().unwrap();
+        assert!(u.approx_eq_up_to_phase(&CMatrix::identity(8), 1e-8));
+    }
+
+    #[test]
+    fn qft_statevector_roundtrip_random_input() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let n = 4;
+        let mut prep = Circuit::new(n);
+        for q in 0..n {
+            prep.ry(rng.gen_range(0.0..3.0), q);
+        }
+        let before = prep.statevector().unwrap();
+        let qubits: Vec<usize> = (0..n).collect();
+        append_qft(&mut prep, &qubits);
+        append_iqft(&mut prep, &qubits);
+        let after = prep.statevector().unwrap();
+        assert!(before.approx_eq_up_to_phase(&after, 1e-8));
+        let _ = CVector::zeros(2);
+    }
+}

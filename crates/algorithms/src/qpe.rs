@@ -1,0 +1,385 @@
+//! Quantum phase estimation with the paper's assertion slots (§IX).
+//!
+//! The paper's 4-qubit QPE (Fig. 15/16) estimates the phase of
+//! `U = u3(0, 0, π/8) = P(π/8)` applied to an eigenstate register prepared
+//! in a superposition of eigenstates. Six assertion *slots* are defined:
+//! slot 1 after the Hadamard layer, slots 2–5 after each controlled-U
+//! power, slot 6 after the inverse QFT. [`expected_slot_state`] computes
+//! the bug-free pure state at each slot (the paper's "precalculated state
+//! vectors" `V1…V6`), and [`QpeBug`] injects the two §IX-A bugs.
+
+use crate::qft::append_iqft;
+use qra_circuit::Circuit;
+use qra_math::CVector;
+
+/// Bug injections for the QPE case study (§IX-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QpeBug {
+    /// Correct program.
+    #[default]
+    None,
+    /// **Bug1**: the loop index is dropped — every controlled-U uses the
+    /// base angle instead of `2^j · angle`. Slots 3–5 become incorrect.
+    MissingLoopIndex,
+    /// **Bug2**: `cu3` mistyped as `u3` — the gate loses its control and
+    /// acts unconditionally on the eigenstate qubit. Slots 2–5 become
+    /// incorrect.
+    UncontrolledGate,
+    /// The §IX-B bug: the `cu3` parameters are passed in the wrong order,
+    /// `cu3(0, 2^j·angle, 0)` instead of `cu3(2^j·angle, 0, 0)`, turning
+    /// the rotation into a controlled phase whose eigenstates differ —
+    /// meaningful for [`GateForm::RotationY`] configurations.
+    WrongParameterOrder,
+}
+
+/// Which unitary family the controlled powers use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GateForm {
+    /// `U = P(λ) = u3(0, 0, λ)` — the §IX-A phase gate; eigenstates are
+    /// `|0⟩` and `|1⟩`, so a `|+⟩` register superposes eigenstates.
+    #[default]
+    Phase,
+    /// `U = Ry(θ) = u3(θ, 0, 0)` — the §IX-B rotation gate; eigenstates
+    /// are `(|0⟩ ± i|1⟩)/√2`, so the `eigen_phase = π/2` register is a
+    /// *true* eigenstate and stays pure through the whole circuit.
+    RotationY,
+}
+
+/// Configuration of the QPE workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QpeConfig {
+    /// Number of counting qubits (the paper uses 4).
+    pub counting: usize,
+    /// Gate angle (λ for [`GateForm::Phase`], θ for
+    /// [`GateForm::RotationY`]; the paper uses π/8).
+    pub angle: f64,
+    /// Relative phase φ of the eigenstate register
+    /// `(|0⟩ + e^{iφ}|1⟩)/√2` (0 in §IX-A, π/2 in §IX-B).
+    pub eigen_phase: f64,
+    /// The controlled-gate family.
+    pub gate_form: GateForm,
+    /// Injected bug.
+    pub bug: QpeBug,
+}
+
+impl QpeConfig {
+    /// The paper's §IX-A configuration: 4 counting qubits, `λ = π/8`,
+    /// eigenstate `|+⟩`.
+    pub fn paper_sec9a() -> Self {
+        Self {
+            counting: 4,
+            angle: std::f64::consts::PI / 8.0,
+            eigen_phase: 0.0,
+            gate_form: GateForm::Phase,
+            bug: QpeBug::None,
+        }
+    }
+
+    /// The §IX-B configuration: `cu3(2^j·π/8, 0, 0)` gates with the exact
+    /// eigenstate `(|0⟩ + i|1⟩)/√2`.
+    pub fn paper_sec9b() -> Self {
+        Self {
+            eigen_phase: std::f64::consts::FRAC_PI_2,
+            gate_form: GateForm::RotationY,
+            ..Self::paper_sec9a()
+        }
+    }
+
+    /// Replaces the bug injection.
+    pub fn with_bug(mut self, bug: QpeBug) -> Self {
+        self.bug = bug;
+        self
+    }
+
+    /// Total qubits: counting register plus the eigenstate qubit.
+    pub fn num_qubits(&self) -> usize {
+        self.counting + 1
+    }
+
+    /// Number of assertion slots (`counting + 2`).
+    pub fn num_slots(&self) -> usize {
+        self.counting + 2
+    }
+
+    /// The eigenstate qubit index (after the counting qubits).
+    pub fn eigen_qubit(&self) -> usize {
+        self.counting
+    }
+}
+
+/// Builds the QPE circuit up to and including assertion slot `slot`
+/// (1-based; `slot = counting + 2` is the full circuit).
+///
+/// # Panics
+///
+/// Panics when `slot` is 0 or exceeds `num_slots()`.
+pub fn qpe_prefix(config: &QpeConfig, slot: usize) -> Circuit {
+    assert!(
+        (1..=config.num_slots()).contains(&slot),
+        "slot {slot} out of range 1..={}",
+        config.num_slots()
+    );
+    let n = config.counting;
+    let ar = config.eigen_qubit();
+    let mut c = Circuit::new(config.num_qubits());
+
+    // Superposition precondition + eigenstate preparation.
+    for q in 0..n {
+        c.h(q);
+    }
+    c.h(ar);
+    if config.eigen_phase != 0.0 {
+        c.p(config.eigen_phase, ar);
+    }
+    if slot == 1 {
+        return c;
+    }
+
+    // Phase-kickback subroutine: controlled-U^{2^j} from counting qubit j.
+    let powers = (slot - 1).min(n);
+    for j in 0..powers {
+        let angle = match config.bug {
+            QpeBug::MissingLoopIndex => config.angle,
+            _ => (1usize << j) as f64 * config.angle,
+        };
+        // u3 parameter packing per gate family.
+        let (theta, phi, lambda) = match (config.bug, config.gate_form) {
+            (QpeBug::WrongParameterOrder, _) => (0.0, angle, 0.0),
+            (_, GateForm::Phase) => (0.0, 0.0, angle),
+            (_, GateForm::RotationY) => (angle, 0.0, 0.0),
+        };
+        match config.bug {
+            QpeBug::UncontrolledGate => {
+                // cu3 mistyped as u3: unconditional gate on the eigenstate.
+                c.u3(theta, phi, lambda, ar);
+            }
+            _ => {
+                c.cu3(theta, phi, lambda, j, ar);
+            }
+        }
+    }
+    if slot <= n + 1 {
+        return c;
+    }
+
+    // Inverse QFT on the counting register. The kickback encodes the value
+    // with qubit j weighted 2^j, i.e. bit-reversed relative to the
+    // big-endian register order, so the iQFT runs on the reversed list.
+    let reversed: Vec<usize> = (0..n).rev().collect();
+    append_iqft(&mut c, &reversed);
+    c
+}
+
+/// The full QPE circuit (all slots), without measurements.
+pub fn qpe(config: &QpeConfig) -> Circuit {
+    qpe_prefix(config, config.num_slots())
+}
+
+/// The bug-free pure state expected at `slot` — the paper's precalculated
+/// `V1…V6` vectors, obtained by evolving the clean prefix.
+///
+/// # Panics
+///
+/// Panics when `slot` is out of range.
+pub fn expected_slot_state(config: &QpeConfig, slot: usize) -> CVector {
+    let clean = QpeConfig {
+        bug: QpeBug::None,
+        ..*config
+    };
+    qpe_prefix(&clean, slot)
+        .statevector()
+        .expect("QPE prefix contains no measurement")
+}
+
+/// Decodes the measured counting-register value: bit of counting qubit `j`
+/// contributes `2^j` (see [`qpe_prefix`] for the ordering rationale).
+/// Takes the per-qubit classical bits in counting order.
+pub fn decode_counting(bits: &[bool]) -> usize {
+    bits.iter()
+        .enumerate()
+        .map(|(j, &b)| usize::from(b) << j)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qra_sim::StatevectorSimulator;
+
+    #[test]
+    fn qpe_peaks_at_exact_phase_values() {
+        // λ = π/8 = 2π/16: the |1⟩-eigenstate branch reads v = 1, the |0⟩
+        // branch reads v = 0, each with probability ½.
+        let config = QpeConfig::paper_sec9a();
+        let mut circuit = qpe(&config);
+        circuit.measure_all();
+        let counts = StatevectorSimulator::with_seed(1).run(&circuit, 4096).unwrap();
+        let mut p_v0 = 0.0;
+        let mut p_v1 = 0.0;
+        for (key, cnt) in counts.iter() {
+            let bits: Vec<bool> = (0..4).map(|j| (key >> j) & 1 == 1).collect();
+            match decode_counting(&bits) {
+                0 => p_v0 += cnt as f64,
+                1 => p_v1 += cnt as f64,
+                v => panic!("unexpected counting value {v}"),
+            }
+        }
+        let total = counts.total() as f64;
+        assert!((p_v0 / total - 0.5).abs() < 0.05);
+        assert!((p_v1 / total - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn slot_states_have_unit_norm_and_progression() {
+        let config = QpeConfig::paper_sec9a();
+        for slot in 1..=config.num_slots() {
+            let v = expected_slot_state(&config, slot);
+            assert!(v.is_normalized(1e-9), "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn slot1_is_uniform_superposition() {
+        let config = QpeConfig::paper_sec9a();
+        let v = expected_slot_state(&config, 1);
+        for i in 0..32 {
+            assert!((v.probability(i) - 1.0 / 32.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bug1_diverges_from_slot3_onwards() {
+        // The first controlled gate (j = 0) is unaffected (2⁰·λ = λ), so
+        // slot 2 still matches; slots 3–5 diverge — the paper's
+        // localisation story.
+        let clean = QpeConfig::paper_sec9a();
+        let buggy = clean.with_bug(QpeBug::MissingLoopIndex);
+        for slot in 1..=2 {
+            let a = qpe_prefix(&buggy, slot).statevector().unwrap();
+            let b = expected_slot_state(&clean, slot);
+            assert!(a.approx_eq_up_to_phase(&b, 1e-9), "slot {slot} should match");
+        }
+        for slot in 3..=5 {
+            let a = qpe_prefix(&buggy, slot).statevector().unwrap();
+            let b = expected_slot_state(&clean, slot);
+            assert!(
+                !a.approx_eq_up_to_phase(&b, 1e-6),
+                "slot {slot} should diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn bug2_diverges_from_slot2_onwards() {
+        let clean = QpeConfig::paper_sec9a();
+        let buggy = clean.with_bug(QpeBug::UncontrolledGate);
+        let a = qpe_prefix(&buggy, 1).statevector().unwrap();
+        assert!(a.approx_eq_up_to_phase(&expected_slot_state(&clean, 1), 1e-9));
+        for slot in 2..=5 {
+            let a = qpe_prefix(&buggy, slot).statevector().unwrap();
+            let b = expected_slot_state(&clean, slot);
+            assert!(
+                !a.approx_eq_up_to_phase(&b, 1e-6),
+                "slot {slot} should diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn bug2_leaves_counting_register_unentangled() {
+        // §IX-A2: with Bug2 the counting qubits stay |++++⟩.
+        let buggy = QpeConfig::paper_sec9a().with_bug(QpeBug::UncontrolledGate);
+        let sv = qpe_prefix(&buggy, 5).statevector().unwrap();
+        let rho = qra_math::CMatrix::outer(&sv, &sv);
+        let reduced = rho.partial_trace(&[4]).unwrap();
+        assert!((reduced.purity().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slot5_matches_paper_structure() {
+        // |φ₅⟩ = (|++++⟩|0⟩ + |θ₄⟩|1⟩)/√2: the eigenstate-qubit marginals
+        // are ½/½ and the counting register conditioned on |0⟩ is uniform.
+        let config = QpeConfig::paper_sec9a();
+        let v = expected_slot_state(&config, 5);
+        let mut p_ar1 = 0.0;
+        for i in 0..32 {
+            if i & 1 == 1 {
+                p_ar1 += v.probability(i);
+            }
+        }
+        assert!((p_ar1 - 0.5).abs() < 1e-9);
+        // Conditioned on ar = 0, all 16 counting patterns equal.
+        for x in 0..16 {
+            assert!((v.probability(x << 1) - 1.0 / 32.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn prefix_slot_bounds() {
+        let config = QpeConfig::paper_sec9a();
+        assert_eq!(config.num_slots(), 6);
+        assert_eq!(qpe_prefix(&config, 6).num_qubits(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn prefix_rejects_slot_zero() {
+        qpe_prefix(&QpeConfig::paper_sec9a(), 0);
+    }
+
+    #[test]
+    fn decode_counting_order() {
+        assert_eq!(decode_counting(&[true, false, false, false]), 1);
+        assert_eq!(decode_counting(&[false, true, false, true]), 10);
+    }
+
+    #[test]
+    fn rotation_form_keeps_eigen_qubit_pure() {
+        // §IX-B: with cu3(θ,0,0) gates and the (|0⟩+i|1⟩)/√2 eigenstate,
+        // the eigen qubit never entangles with the counting register.
+        let config = QpeConfig::paper_sec9b();
+        for slot in 1..=config.num_slots() {
+            let sv = expected_slot_state(&config, slot);
+            let rho = qra_math::CMatrix::outer(&sv, &sv);
+            let traced: Vec<usize> = (0..config.counting).collect();
+            let eig_rho = rho.partial_trace(&traced).unwrap();
+            assert!(
+                (eig_rho.purity().unwrap() - 1.0).abs() < 1e-9,
+                "slot {slot}: eigen qubit impure"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_parameter_order_bug_corrupts_eigen_qubit() {
+        // The parameter-order bug turns the rotation into a phase gate;
+        // the eigen qubit then entangles with the counting register and
+        // its reduced state leaves the expected eigenstate.
+        let config = QpeConfig::paper_sec9b().with_bug(QpeBug::WrongParameterOrder);
+        let sv = qpe_prefix(&config, config.num_slots())
+            .statevector()
+            .unwrap();
+        let rho = qra_math::CMatrix::outer(&sv, &sv);
+        let traced: Vec<usize> = (0..config.counting).collect();
+        let eig_rho = rho.partial_trace(&traced).unwrap();
+        // Fidelity with the expected eigenstate must drop well below 1.
+        let s = 0.5f64.sqrt();
+        let expect = qra_math::CVector::new(vec![
+            qra_math::C64::from(s),
+            qra_math::C64::new(0.0, s),
+        ]);
+        let fid = expect.inner(&eig_rho.mul_vec(&expect)).unwrap().re;
+        assert!(fid < 0.9, "fidelity {fid} should drop under the bug");
+    }
+
+    #[test]
+    fn wrong_parameter_order_is_noop_for_phase_form() {
+        // For the Phase gate family u3(0,φ,0) ≡ u3(0,0,φ), so the swapped
+        // order changes nothing — the bug is §IX-B (RotationY) specific.
+        let clean = QpeConfig::paper_sec9a();
+        let buggy = clean.with_bug(QpeBug::WrongParameterOrder);
+        let a = qpe(&clean).statevector().unwrap();
+        let b = qpe(&buggy).statevector().unwrap();
+        assert!(a.approx_eq_up_to_phase(&b, 1e-9));
+    }
+}

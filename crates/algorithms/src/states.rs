@@ -1,0 +1,208 @@
+//! Entangled-state preparation circuits and the paper's §III bug variants.
+
+use qra_circuit::Circuit;
+use qra_math::{C64, CVector};
+use std::f64::consts::PI;
+
+/// Prepares the n-qubit GHZ state `(|0…0⟩ + |1…1⟩)/√2`, using the `u2`
+/// form of the paper's Fig. 2 for the leading Hadamard.
+///
+/// # Panics
+///
+/// Panics when `n == 0`.
+///
+/// ```rust
+/// let c = qra_algorithms::states::ghz(3);
+/// let sv = c.statevector()?;
+/// assert!((sv.probability(0) - 0.5).abs() < 1e-12);
+/// assert!((sv.probability(7) - 0.5).abs() < 1e-12);
+/// # Ok::<(), qra_circuit::CircuitError>(())
+/// ```
+pub fn ghz(n: usize) -> Circuit {
+    assert!(n > 0, "GHZ needs at least one qubit");
+    let mut c = Circuit::new(n);
+    c.u2(0.0, PI, 0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c
+}
+
+/// The paper's §III **Bug1**: the programmer swaps the `u2` parameters,
+/// producing `(|0…0⟩ − |1…1⟩)/√2` — wrong coefficients, same
+/// distribution.
+pub fn ghz_bug1(n: usize) -> Circuit {
+    assert!(n > 0);
+    let mut c = Circuit::new(n);
+    c.u2(PI, 0.0, 0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c
+}
+
+/// The paper's §III **Bug2**: the two CX lines are reordered, producing
+/// the wrong entanglement structure (for n = 3:
+/// `(|000⟩ + |110⟩)/√2` in big-endian indexing).
+///
+/// # Panics
+///
+/// Panics when `n < 3` (the bug needs two CX gates to swap).
+pub fn ghz_bug2(n: usize) -> Circuit {
+    assert!(n >= 3, "bug2 reorders two CX gates");
+    let mut c = Circuit::new(n);
+    c.u2(0.0, PI, 0);
+    // Reversed fan-out order: the paper swaps lines 2 and 3.
+    let mut order: Vec<usize> = (0..n - 1).collect();
+    order.swap(0, 1);
+    for q in order {
+        c.cx(q, q + 1);
+    }
+    c
+}
+
+/// The GHZ state vector (big-endian indexing).
+pub fn ghz_vector(n: usize) -> CVector {
+    let dim = 1usize << n;
+    let s = C64::from(0.5f64.sqrt());
+    let mut v = CVector::zeros(dim);
+    v[0] = s;
+    v[dim - 1] = s;
+    v
+}
+
+/// Prepares the Bell state `(|00⟩ + |11⟩)/√2`.
+pub fn bell() -> Circuit {
+    let mut c = Circuit::new(2);
+    c.h(0).cx(0, 1);
+    c
+}
+
+/// The Bell state vector.
+pub fn bell_vector() -> CVector {
+    let s = C64::from(0.5f64.sqrt());
+    let mut v = CVector::zeros(4);
+    v[0] = s;
+    v[3] = s;
+    v
+}
+
+/// Prepares the n-qubit W state `(|10…0⟩ + |01…0⟩ + … + |0…01⟩)/√n`
+/// with a cascade of controlled rotations.
+///
+/// # Panics
+///
+/// Panics when `n == 0`.
+pub fn w_state(n: usize) -> Circuit {
+    assert!(n > 0);
+    let mut c = Circuit::new(n);
+    // Amplitude-passing chain: start with the excitation on qubit 0, then
+    // at step k keep amplitude √(1/n) on qubit k and pass the rest down:
+    // cry(θ_k, k, k+1) followed by cx(k+1, k) with cos(θ_k/2) = √(1/(n−k)).
+    c.x(0);
+    for k in 0..n - 1 {
+        let theta = 2.0 * (1.0 / (n - k) as f64).sqrt().acos();
+        c.cry(theta, k, k + 1);
+        c.cx(k + 1, k);
+    }
+    c
+}
+
+/// The n-qubit W state vector.
+pub fn w_vector(n: usize) -> CVector {
+    let dim = 1usize << n;
+    let a = C64::from(1.0 / (n as f64).sqrt());
+    let mut v = CVector::zeros(dim);
+    for q in 0..n {
+        v[1usize << (n - 1 - q)] = a;
+    }
+    v
+}
+
+/// Prepares a 1D cluster state on `n` qubits: `H` on all, then CZ between
+/// neighbours.
+pub fn cluster_1d(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in 0..n.saturating_sub(1) {
+        c.cz(q, q + 1);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn ghz_matches_vector() {
+        for n in 1..=5 {
+            let sv = ghz(n).statevector().unwrap();
+            assert!(sv.approx_eq_up_to_phase(&ghz_vector(n), TOL), "n={n}");
+        }
+    }
+
+    #[test]
+    fn ghz_bug1_flips_sign_only() {
+        let sv = ghz_bug1(3).statevector().unwrap();
+        let mut expect = CVector::zeros(8);
+        expect[0] = C64::from(0.5f64.sqrt());
+        expect[7] = C64::from(-(0.5f64.sqrt()));
+        assert!(sv.approx_eq_up_to_phase(&expect, TOL));
+        // Same measurement distribution as the correct GHZ.
+        let good = ghz(3).statevector().unwrap();
+        for i in 0..8 {
+            assert!((sv.probability(i) - good.probability(i)).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn ghz_bug2_wrong_entanglement() {
+        let sv = ghz_bug2(3).statevector().unwrap();
+        let mut expect = CVector::zeros(8);
+        expect[0] = C64::from(0.5f64.sqrt());
+        expect[0b110] = C64::from(0.5f64.sqrt());
+        assert!(sv.approx_eq_up_to_phase(&expect, TOL));
+    }
+
+    #[test]
+    fn bell_matches_vector() {
+        let sv = bell().statevector().unwrap();
+        assert!(sv.approx_eq_up_to_phase(&bell_vector(), TOL));
+    }
+
+    #[test]
+    fn w_state_matches_vector() {
+        for n in 2..=4 {
+            let sv = w_state(n).statevector().unwrap();
+            assert!(
+                sv.approx_eq_up_to_phase(&w_vector(n), 1e-8),
+                "W state n={n}: got {sv}"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_state_stabilizers() {
+        // 3-qubit cluster: check stabilizer ⟨X Z I⟩-type expectations via
+        // the full state: applying K_1 = Z X Z must fix the state.
+        let sv = cluster_1d(3).statevector().unwrap();
+        let z = qra_circuit::Gate::Z.matrix();
+        let x = qra_circuit::Gate::X.matrix();
+        let k1 = z.kron(&x).kron(&z);
+        let out = k1.mul_vec(&sv);
+        assert!(out.approx_eq(&sv, 1e-9));
+    }
+
+    #[test]
+    fn ghz_vector_is_normalized() {
+        for n in 1..=6 {
+            assert!(ghz_vector(n).is_normalized(TOL));
+            assert!(w_vector(n.max(1)).is_normalized(TOL));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Quantum teleportation (deferred-measurement form).
+//!
+//! The paper's related-work discussion motivates entangled-state
+//! assertions with teleportation; this module provides a teleportation
+//! workload whose intermediate Bell pair is an assertion target. The
+//! classical corrections are applied coherently (deferred measurement), so
+//! the circuit stays unitary and simulator-friendly.
+
+use qra_circuit::Circuit;
+use qra_math::CVector;
+
+/// Builds a 3-qubit teleportation circuit sending the state prepared by
+/// `prepare_payload` (applied to qubit 0) onto qubit 2. Qubits 1 and 2
+/// form the shared Bell pair.
+pub fn teleport<F>(prepare_payload: F) -> Circuit
+where
+    F: FnOnce(&mut Circuit),
+{
+    let mut c = Circuit::new(3);
+    prepare_payload(&mut c);
+    // Shared Bell pair between qubits 1 (Alice) and 2 (Bob).
+    c.h(1).cx(1, 2);
+    // Bell measurement basis change on (0, 1).
+    c.cx(0, 1).h(0);
+    // Deferred-measurement corrections.
+    c.cx(1, 2);
+    c.cz(0, 2);
+    c
+}
+
+/// Extracts Bob's reduced state (qubit 2) from the teleportation output.
+pub fn bob_state(circuit: &Circuit) -> Result<qra_math::CMatrix, qra_circuit::CircuitError> {
+    let sv = circuit.statevector()?;
+    let rho = qra_math::CMatrix::outer(&sv, &sv);
+    rho.partial_trace(&[0, 1]).map_err(Into::into)
+}
+
+/// The Bell-pair state vector on qubits (1, 2) right after entanglement —
+/// an assertion target for the teleportation workload.
+pub fn shared_pair_vector() -> CVector {
+    crate::states::bell_vector()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qra_math::CMatrix;
+
+    fn payload_state(f: impl FnOnce(&mut Circuit)) -> CVector {
+        let mut c = Circuit::new(1);
+        f(&mut c);
+        c.statevector().unwrap()
+    }
+
+    #[test]
+    fn teleports_basis_states() {
+        for bit in [false, true] {
+            let circuit = teleport(|c| {
+                if bit {
+                    c.x(0);
+                }
+            });
+            let rho = bob_state(&circuit).unwrap();
+            let expect = payload_state(|c| {
+                if bit {
+                    c.x(0);
+                }
+            });
+            let target = CMatrix::outer(&expect, &expect);
+            assert!(rho.approx_eq(&target, 1e-9), "bit={bit}");
+        }
+    }
+
+    #[test]
+    fn teleports_arbitrary_superposition() {
+        let prep = |c: &mut Circuit| {
+            c.ry(0.9, 0);
+            c.rz(1.3, 0);
+        };
+        let circuit = teleport(prep);
+        let rho = bob_state(&circuit).unwrap();
+        let expect = payload_state(prep);
+        let target = CMatrix::outer(&expect, &expect);
+        assert!(rho.approx_eq(&target, 1e-9));
+        assert!((rho.purity().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_pair_matches_bell_vector() {
+        // After the Bell-pair stage, qubits (1,2) are in (|00⟩+|11⟩)/√2.
+        let mut c = Circuit::new(3);
+        c.h(1).cx(1, 2);
+        let sv = c.statevector().unwrap();
+        let rho = CMatrix::outer(&sv, &sv).partial_trace(&[0]).unwrap();
+        let bell = shared_pair_vector();
+        let target = CMatrix::outer(&bell, &bell);
+        assert!(rho.approx_eq(&target, 1e-9));
+    }
+}

@@ -1,0 +1,162 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! synthesis fast paths versus the general route, the peephole optimizer's
+//! effect on assertion circuits, and the MCX decomposition strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qra::circuit::passes::peephole_optimize;
+use qra::circuit::synthesis::mc_gate::{mcx, mcx_v_chain, ControlState};
+use qra::circuit::synthesis::prepare_state;
+use qra::prelude::*;
+
+/// Fast path (two-term superposition) vs the general disentangling route:
+/// perturbing one GHZ amplitude by ε forces the general path.
+fn bench_fast_path_vs_general(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_state_prep_fast_paths");
+    for n in [3usize, 5] {
+        let dim = 1usize << n;
+        let s = C64::from(0.5f64.sqrt());
+        let mut ghz = CVector::zeros(dim);
+        ghz[0] = s;
+        ghz[dim - 1] = s;
+        // Perturbed: tiny third amplitude disables the two-term path.
+        let mut perturbed = ghz.clone();
+        perturbed[1] = C64::from(0.05);
+        let perturbed = perturbed.normalized().unwrap();
+
+        group.bench_with_input(BenchmarkId::new("fast_two_term", n), &n, |b, _| {
+            b.iter(|| prepare_state(&ghz).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("general_route", n), &n, |b, _| {
+            b.iter(|| prepare_state(&perturbed).unwrap());
+        });
+        // Report the cost difference once per size.
+        let fast = GateCounts::of(&prepare_state(&ghz).unwrap()).unwrap();
+        let slow = GateCounts::of(&prepare_state(&perturbed).unwrap()).unwrap();
+        eprintln!(
+            "[ablation] n={n}: fast-path CX={}, general CX={}",
+            fast.cx, slow.cx
+        );
+    }
+    group.finish();
+}
+
+/// Peephole optimizer on assertion circuits: time plus achieved reduction.
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_peephole");
+    let spec = StateSpec::pure({
+        let s = C64::from(0.5f64.sqrt());
+        let mut v = CVector::zeros(8);
+        v[0] = s;
+        v[7] = s;
+        v
+    })
+    .unwrap();
+    let assertion = synthesize_assertion(&spec, Design::Ndd).unwrap();
+    let circuit = assertion.circuit().clone();
+    group.bench_function("optimize_ndd_ghz", |b| {
+        b.iter(|| peephole_optimize(&circuit));
+    });
+    let before = circuit.gate_count();
+    let after = peephole_optimize(&circuit).gate_count();
+    eprintln!("[ablation] peephole: {before} gates → {after}");
+    group.finish();
+}
+
+/// MCX strategies: ancilla-free recursion vs the linear V-chain.
+fn bench_mcx_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mcx");
+    for k in [3usize, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("recursive", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut circuit = Circuit::new(k + 1);
+                let controls: Vec<(usize, ControlState)> =
+                    (0..k).map(|q| (q, ControlState::Closed)).collect();
+                mcx(&mut circuit, &controls, k).unwrap();
+                circuit
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("v_chain", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut circuit = Circuit::new(2 * k);
+                let controls: Vec<usize> = (0..k).collect();
+                let ancillas: Vec<usize> = (k + 1..2 * k).collect();
+                mcx_v_chain(&mut circuit, &controls, k, &ancillas).unwrap();
+                circuit
+            });
+        });
+        // Cost comparison.
+        let rec = {
+            let mut circuit = Circuit::new(k + 1);
+            let controls: Vec<(usize, ControlState)> =
+                (0..k).map(|q| (q, ControlState::Closed)).collect();
+            mcx(&mut circuit, &controls, k).unwrap();
+            GateCounts::of(&circuit).unwrap().cx
+        };
+        let chain = {
+            let mut circuit = Circuit::new(2 * k);
+            let controls: Vec<usize> = (0..k).collect();
+            let ancillas: Vec<usize> = (k + 1..2 * k).collect();
+            mcx_v_chain(&mut circuit, &controls, k, &ancillas).unwrap();
+            GateCounts::of(&circuit).unwrap().cx
+        };
+        eprintln!("[ablation] mcx k={k}: recursive CX={rec}, v-chain CX={chain}");
+    }
+    group.finish();
+}
+
+/// SWAP placement ablation: the optimised 2-CX swap versus the full 3-CX
+/// SWAP — the accounting difference between the paper's Fig. 1 and
+/// Table III (see DESIGN.md).
+fn bench_swap_placement(c: &mut Criterion) {
+    use qra::core::swap::{build_swap_assertion_with_placement, SwapPlacement};
+    let mut group = c.benchmark_group("ablation_swap_placement");
+    let spec = StateSpec::pure({
+        let s = C64::from(0.5f64.sqrt());
+        let mut v = CVector::zeros(8);
+        v[0] = s;
+        v[7] = s;
+        v
+    })
+    .unwrap();
+    let cs = spec.correct_states().unwrap();
+    for (name, placement) in [
+        ("optimized_2cx", SwapPlacement::Optimized),
+        ("full_3cx", SwapPlacement::FullSwap),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| build_swap_assertion_with_placement(&cs, placement).unwrap());
+        });
+        let built = build_swap_assertion_with_placement(&cs, placement).unwrap();
+        let counts = GateCounts::of(&built.circuit).unwrap();
+        eprintln!("[ablation] swap placement {name}: {counts}");
+    }
+    group.finish();
+}
+
+/// Auto design selection versus committing to one design, across specs.
+fn bench_auto_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_auto_design");
+    group.sample_size(10);
+    let parity = StateSpec::set(vec![
+        CVector::basis_state(4, 0),
+        CVector::basis_state(4, 3),
+    ])
+    .unwrap();
+    group.bench_function("auto_parity_set", |b| {
+        b.iter(|| synthesize_assertion(&parity, Design::Auto).unwrap());
+    });
+    group.bench_function("fixed_ndd_parity_set", |b| {
+        b.iter(|| synthesize_assertion(&parity, Design::Ndd).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fast_path_vs_general,
+    bench_optimizer,
+    bench_mcx_strategies,
+    bench_swap_placement,
+    bench_auto_selection
+);
+criterion_main!(benches);

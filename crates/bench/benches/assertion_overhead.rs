@@ -1,0 +1,99 @@
+//! Criterion benches for end-to-end assertion overhead: program + inserted
+//! assertion, synthesised and executed, versus the bare program — the
+//! runtime-cost companion to Tables I and III.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qra::algorithms::{qpe, states};
+use qra::prelude::*;
+
+const SHOTS: u64 = 1024;
+
+fn bench_ghz_assertions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ghz_assertion_end_to_end");
+    group.sample_size(20);
+    group.bench_function("bare_program", |b| {
+        let mut circuit = states::ghz(3);
+        circuit.measure_all();
+        b.iter(|| {
+            StatevectorSimulator::with_seed(1)
+                .run(&circuit, SHOTS)
+                .unwrap()
+        });
+    });
+    for (name, design) in [
+        ("swap", Design::Swap),
+        ("logical_or", Design::LogicalOr),
+        ("ndd", Design::Ndd),
+    ] {
+        group.bench_function(format!("with_{name}_assertion"), |b| {
+            b.iter(|| {
+                let mut circuit = states::ghz(3);
+                let handle = insert_assertion(
+                    &mut circuit,
+                    &[0, 1, 2],
+                    &StateSpec::pure(states::ghz_vector(3)).unwrap(),
+                    design,
+                )
+                .unwrap();
+                let counts = StatevectorSimulator::with_seed(1)
+                    .run(&circuit, SHOTS)
+                    .unwrap();
+                handle.error_rate(&counts)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_qpe_slots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qpe_slot_assertions");
+    group.sample_size(10);
+    let config = qpe::QpeConfig::paper_sec9a();
+    for slot in [1usize, 3, 6] {
+        group.bench_with_input(BenchmarkId::new("slot", slot), &slot, |b, &slot| {
+            b.iter(|| {
+                let mut circuit = qpe::qpe_prefix(&config, slot);
+                let expected = qpe::expected_slot_state(&config, slot);
+                let qubits: Vec<usize> = (0..config.num_qubits()).collect();
+                let handle = insert_assertion(
+                    &mut circuit,
+                    &qubits,
+                    &StateSpec::pure(expected).unwrap(),
+                    Design::Swap,
+                )
+                .unwrap();
+                let counts = StatevectorSimulator::with_seed(2)
+                    .run(&circuit, SHOTS)
+                    .unwrap();
+                handle.error_rate(&counts)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_noisy_assertion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noisy_density_assertion");
+    group.sample_size(10);
+    group.bench_function("ghz3_swap_melbourne", |b| {
+        let mut circuit = states::ghz(3);
+        let _handle = insert_assertion(
+            &mut circuit,
+            &[0, 1, 2],
+            &StateSpec::pure(states::ghz_vector(3)).unwrap(),
+            Design::Swap,
+        )
+        .unwrap();
+        let sim = DensityMatrixSimulator::with_noise(DevicePreset::melbourne_like());
+        b.iter(|| sim.outcome_distribution(&circuit).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ghz_assertions,
+    bench_qpe_slots,
+    bench_noisy_assertion
+);
+criterion_main!(benches);

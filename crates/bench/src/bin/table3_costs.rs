@@ -1,0 +1,140 @@
+//! Regenerates **Table III**: circuit cost of each assertion design for
+//! the three common state families — arbitrary single-qubit states,
+//! n-qubit separable states, and n-qubit even-parity entangled sets —
+//! sweeping n and printing the paper's four metrics.
+
+use qra::core::baselines::primitive;
+use qra::prelude::*;
+use qra_bench::Table;
+
+/// An arbitrary (non-axis-aligned) single-qubit state.
+fn tilted() -> CVector {
+    CVector::new(vec![C64::from(0.6), C64::new(0.48, 0.64)])
+}
+
+/// An n-qubit separable state with distinct per-qubit rotations.
+fn separable(n: usize) -> CVector {
+    let mut v = CVector::from_real(&[1.0]);
+    for q in 0..n {
+        let theta = 0.4 + 0.3 * q as f64;
+        let single = CVector::new(vec![
+            C64::from(theta.cos()),
+            C64::cis(0.2 * q as f64).scale(theta.sin()),
+        ]);
+        v = v.kron(&single);
+    }
+    v
+}
+
+/// The even-parity basis set on n qubits: {|x⟩ : popcount(x) even}.
+fn even_set(n: usize) -> StateSpec {
+    let dim = 1usize << n;
+    let members: Vec<CVector> = (0..dim)
+        .filter(|x: &usize| x.count_ones() % 2 == 0)
+        .map(|x| CVector::basis_state(dim, x))
+        .collect();
+    StateSpec::set(members).unwrap()
+}
+
+fn fmt(c: GateCounts) -> Vec<String> {
+    vec![
+        c.cx.to_string(),
+        c.sg.to_string(),
+        c.ancilla.to_string(),
+        c.measure.to_string(),
+    ]
+}
+
+fn design_cost(spec: &StateSpec, design: Design) -> GateCounts {
+    synthesize_assertion(spec, design)
+        .map(|a| a.gate_counts())
+        .unwrap_or_default()
+}
+
+fn main() {
+    // --- Single-qubit state ---------------------------------------------
+    let single = StateSpec::pure(tilted()).unwrap();
+    let mut t1 = Table::new(
+        "Table III(a) — arbitrary single-qubit state",
+        &["#CX", "#SG", "#ancilla", "#measure"],
+    );
+    for (name, d) in [
+        ("SWAP based", Design::Swap),
+        ("logical OR based", Design::LogicalOr),
+        ("NDD based", Design::Ndd),
+    ] {
+        t1.push(name, fmt(design_cost(&single, d)));
+    }
+    // Proq: the two basis changes only.
+    t1.push("Proq (reference)", vec!["0".into(), "2".into(), "0".into(), "1".into()]);
+    t1.print();
+    println!("Paper row: Proq 0/2/0/1, SWAP 3/2/1/1, OR 1/2/1/1, NDD 2/6/1/1");
+    println!("(our SWAP uses the optimised 2-CX ancilla swap, hence 2 vs 3).\n");
+
+    // --- Separable states, n = 2..5 --------------------------------------
+    let mut t2 = Table::new(
+        "Table III(b) — n-qubit separable states",
+        &["design", "#CX", "#SG", "#ancilla", "#measure"],
+    );
+    for n in 2..=5usize {
+        let spec = StateSpec::pure(separable(n)).unwrap();
+        for (name, d) in [
+            ("SWAP", Design::Swap),
+            ("OR", Design::LogicalOr),
+            ("NDD", Design::Ndd),
+        ] {
+            let c = design_cost(&spec, d);
+            let mut row = vec![name.to_string()];
+            row.extend(fmt(c));
+            t2.push(format!("n={n}"), row);
+        }
+        // The paper's linear-complexity OR regime: V-chain MCX with clean
+        // helper ancillas.
+        let cs = spec.correct_states().unwrap();
+        if let Ok(built) = qra::core::logical_or::build_or_assertion_v_chain(&cs) {
+            let c = GateCounts::of(&built.circuit)
+                .unwrap()
+                .with_ancilla(built.num_ancilla);
+            let mut row = vec!["OR (v-chain)".to_string()];
+            row.extend(fmt(c));
+            t2.push(format!("n={n}"), row);
+        }
+    }
+    t2.print();
+    println!("Paper: SWAP 3n CX / 2n SG / n anc / n meas; OR 12n+1 CX / 16n SG / 1 / 1;");
+    println!("NDD state-dependent. Our SWAP scales 2n CX (optimised swaps); our OR");
+    println!("uses the exact ancilla-free MCX recursion, so it grows faster than the");
+    println!("paper's linear borrowed-ancilla decomposition — same single-ancilla,");
+    println!("single-measurement footprint.\n");
+
+    // --- Even-parity entangled sets, n = 2..5 -----------------------------
+    let mut t3 = Table::new(
+        "Table III(c) — even-parity entangled sets {a|0…0⟩ + b|1…1⟩, …}",
+        &["design", "#CX", "#SG", "#ancilla", "#measure"],
+    );
+    for n in 2..=5usize {
+        let spec = even_set(n);
+        for (name, d) in [
+            ("SWAP", Design::Swap),
+            ("OR", Design::LogicalOr),
+            ("NDD", Design::Ndd),
+        ] {
+            let c = design_cost(&spec, d);
+            let mut row = vec![name.to_string()];
+            row.extend(fmt(c));
+            t3.push(format!("n={n}"), row);
+        }
+        // The Primitive parity check, where it applies.
+        if let Ok(built) = primitive::build(&spec) {
+            let c = GateCounts::of(&built.circuit)
+                .unwrap()
+                .with_ancilla(built.num_ancilla);
+            let mut row = vec!["Primitive".to_string()];
+            row.extend(fmt(c));
+            t3.push(format!("n={n}"), row);
+        }
+    }
+    t3.print();
+    println!("Paper: NDD n CX / 0 SG / 1 / 1 (a CZ chain); Primitive n CX / 0 SG / 1 / 1.");
+    println!("Shape check: NDD is the cheapest design for parity sets at every n.");
+}

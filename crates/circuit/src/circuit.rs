@@ -1,0 +1,929 @@
+//! The [`Circuit`] builder and its unitary/state-vector semantics.
+
+use crate::{
+    gate::{self, Gate},
+    instruction::{Instruction, Operation},
+    register::{ClassicalRegister, QuantumRegister},
+    CircuitError,
+};
+use qra_math::{C64, CMatrix, CVector};
+use std::fmt;
+
+/// Maximum width for dense whole-circuit unitary construction.
+const MAX_DENSE_QUBITS: usize = 12;
+
+/// A quantum circuit: an ordered list of [`Instruction`]s over `n` qubits
+/// and `m` classical bits.
+///
+/// Builder methods (`h`, `cx`, …) return `&mut Self` for chaining and
+/// validate qubit indices eagerly, panicking on misuse like an index out of
+/// range (matching the fail-fast semantics of Qiskit's Python API). The
+/// fallible [`Circuit::append`] is available where a `Result` is preferred.
+///
+/// ```rust
+/// use qra_circuit::Circuit;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let sv = bell.statevector()?;
+/// assert!((sv.probability(0b00) - 0.5).abs() < 1e-12);
+/// assert!((sv.probability(0b11) - 0.5).abs() < 1e-12);
+/// # Ok::<(), qra_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    num_clbits: usize,
+    instructions: Vec<Instruction>,
+    qregs: Vec<QuantumRegister>,
+    cregs: Vec<ClassicalRegister>,
+}
+
+impl Circuit {
+    /// Creates a circuit over `num_qubits` qubits and no classical bits.
+    pub fn new(num_qubits: usize) -> Self {
+        Self {
+            num_qubits,
+            ..Self::default()
+        }
+    }
+
+    /// Creates a circuit over `num_qubits` qubits and `num_clbits`
+    /// classical bits.
+    pub fn with_clbits(num_qubits: usize, num_clbits: usize) -> Self {
+        Self {
+            num_qubits,
+            num_clbits,
+            ..Self::default()
+        }
+    }
+
+    /// Appends a named quantum register of `size` qubits and returns it.
+    pub fn add_quantum_register(&mut self, name: impl Into<String>, size: usize) -> QuantumRegister {
+        let reg = QuantumRegister::new(name, self.num_qubits, size);
+        self.num_qubits += size;
+        self.qregs.push(reg.clone());
+        reg
+    }
+
+    /// Appends a named classical register of `size` bits and returns it.
+    pub fn add_classical_register(
+        &mut self,
+        name: impl Into<String>,
+        size: usize,
+    ) -> ClassicalRegister {
+        let reg = ClassicalRegister::new(name, self.num_clbits, size);
+        self.num_clbits += size;
+        self.cregs.push(reg.clone());
+        reg
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of classical bits.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// The instruction list.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Returns `true` when the circuit has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// The declared quantum registers.
+    pub fn quantum_registers(&self) -> &[QuantumRegister] {
+        &self.qregs
+    }
+
+    /// The declared classical registers.
+    pub fn classical_registers(&self) -> &[ClassicalRegister] {
+        &self.cregs
+    }
+
+    /// Grows the circuit to at least `n` qubits (no-op if already wider).
+    pub fn expand_qubits(&mut self, n: usize) {
+        self.num_qubits = self.num_qubits.max(n);
+    }
+
+    /// Grows the circuit to at least `n` classical bits.
+    pub fn expand_clbits(&mut self, n: usize) {
+        self.num_clbits = self.num_clbits.max(n);
+    }
+
+    fn validate_qubits(&self, gate_name: &str, arity: usize, qubits: &[usize]) -> Result<(), CircuitError> {
+        if qubits.len() != arity {
+            return Err(CircuitError::ArityMismatch {
+                gate: gate_name.to_string(),
+                expected: arity,
+                actual: qubits.len(),
+            });
+        }
+        for (i, &q) in qubits.iter().enumerate() {
+            if q >= self.num_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
+            }
+            if qubits[..i].contains(&q) {
+                return Err(CircuitError::DuplicateQubit { qubit: q });
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends `gate` on `qubits`, validating arity and indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::ArityMismatch`],
+    /// [`CircuitError::QubitOutOfRange`] or [`CircuitError::DuplicateQubit`]
+    /// on invalid input.
+    pub fn append(&mut self, gate: Gate, qubits: &[usize]) -> Result<&mut Self, CircuitError> {
+        self.validate_qubits(gate.name(), gate.num_qubits(), qubits)?;
+        self.instructions
+            .push(Instruction::gate(gate, qubits.to_vec()));
+        Ok(self)
+    }
+
+    fn push_gate(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
+        self.append(gate, qubits)
+            .expect("invalid gate application");
+        self
+    }
+
+    /// Applies a Hadamard to `q`.
+    ///
+    /// # Panics
+    ///
+    /// All single-letter builder methods panic on invalid qubit indices.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push_gate(Gate::H, &[q])
+    }
+
+    /// Applies Pauli-X to `q`.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push_gate(Gate::X, &[q])
+    }
+
+    /// Applies Pauli-Y to `q`.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.push_gate(Gate::Y, &[q])
+    }
+
+    /// Applies Pauli-Z to `q`.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.push_gate(Gate::Z, &[q])
+    }
+
+    /// Applies the S gate to `q`.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.push_gate(Gate::S, &[q])
+    }
+
+    /// Applies S† to `q`.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.push_gate(Gate::Sdg, &[q])
+    }
+
+    /// Applies the T gate to `q`.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.push_gate(Gate::T, &[q])
+    }
+
+    /// Applies T† to `q`.
+    pub fn tdg(&mut self, q: usize) -> &mut Self {
+        self.push_gate(Gate::Tdg, &[q])
+    }
+
+    /// Applies Rx(θ) to `q`.
+    pub fn rx(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push_gate(Gate::Rx(theta), &[q])
+    }
+
+    /// Applies Ry(θ) to `q`.
+    pub fn ry(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push_gate(Gate::Ry(theta), &[q])
+    }
+
+    /// Applies Rz(θ) to `q`.
+    pub fn rz(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push_gate(Gate::Rz(theta), &[q])
+    }
+
+    /// Applies the phase gate P(λ) to `q`.
+    pub fn p(&mut self, lambda: f64, q: usize) -> &mut Self {
+        self.push_gate(Gate::Phase(lambda), &[q])
+    }
+
+    /// Applies U2(φ, λ) to `q`.
+    pub fn u2(&mut self, phi: f64, lambda: f64, q: usize) -> &mut Self {
+        self.push_gate(Gate::U2(phi, lambda), &[q])
+    }
+
+    /// Applies U3(θ, φ, λ) to `q`.
+    pub fn u3(&mut self, theta: f64, phi: f64, lambda: f64, q: usize) -> &mut Self {
+        self.push_gate(Gate::U3(theta, phi, lambda), &[q])
+    }
+
+    /// Applies CNOT with `control` and `target`.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push_gate(Gate::Cx, &[control, target])
+    }
+
+    /// Applies controlled-Y.
+    pub fn cy(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push_gate(Gate::Cy, &[control, target])
+    }
+
+    /// Applies controlled-Z.
+    pub fn cz(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push_gate(Gate::Cz, &[control, target])
+    }
+
+    /// Applies controlled-H.
+    pub fn ch(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push_gate(Gate::Ch, &[control, target])
+    }
+
+    /// Applies SWAP.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push_gate(Gate::Swap, &[a, b])
+    }
+
+    /// Applies controlled phase CP(λ).
+    pub fn cp(&mut self, lambda: f64, control: usize, target: usize) -> &mut Self {
+        self.push_gate(Gate::Cp(lambda), &[control, target])
+    }
+
+    /// Applies controlled Rz.
+    pub fn crz(&mut self, theta: f64, control: usize, target: usize) -> &mut Self {
+        self.push_gate(Gate::Crz(theta), &[control, target])
+    }
+
+    /// Applies controlled Ry.
+    pub fn cry(&mut self, theta: f64, control: usize, target: usize) -> &mut Self {
+        self.push_gate(Gate::Cry(theta), &[control, target])
+    }
+
+    /// Applies controlled U3.
+    pub fn cu3(&mut self, theta: f64, phi: f64, lambda: f64, control: usize, target: usize) -> &mut Self {
+        self.push_gate(Gate::Cu3(theta, phi, lambda), &[control, target])
+    }
+
+    /// Applies the Toffoli gate.
+    pub fn ccx(&mut self, c0: usize, c1: usize, target: usize) -> &mut Self {
+        self.push_gate(Gate::Ccx, &[c0, c1, target])
+    }
+
+    /// Applies the doubly-controlled Z gate.
+    pub fn ccz(&mut self, c0: usize, c1: usize, target: usize) -> &mut Self {
+        self.push_gate(Gate::Ccz, &[c0, c1, target])
+    }
+
+    /// Applies an arbitrary unitary gate on `qubits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::NotUnitary`] for non-unitary matrices and the
+    /// usual index errors.
+    pub fn unitary(
+        &mut self,
+        matrix: CMatrix,
+        qubits: &[usize],
+        label: impl Into<String>,
+    ) -> Result<&mut Self, CircuitError> {
+        let g = Gate::unitary(matrix, label)?;
+        self.append(g, qubits)
+    }
+
+    /// Measures `qubit` into classical bit `clbit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns index errors for out-of-range qubit/clbit.
+    pub fn measure(&mut self, qubit: usize, clbit: usize) -> Result<&mut Self, CircuitError> {
+        if qubit >= self.num_qubits {
+            return Err(CircuitError::QubitOutOfRange {
+                qubit,
+                num_qubits: self.num_qubits,
+            });
+        }
+        if clbit >= self.num_clbits {
+            return Err(CircuitError::ClbitOutOfRange {
+                clbit,
+                num_clbits: self.num_clbits,
+            });
+        }
+        self.instructions.push(Instruction::measure(qubit, clbit));
+        Ok(self)
+    }
+
+    /// Measures every qubit `i` into classical bit `i`, growing the
+    /// classical register as needed.
+    pub fn measure_all(&mut self) -> &mut Self {
+        self.expand_clbits(self.num_qubits);
+        for q in 0..self.num_qubits {
+            self.instructions.push(Instruction::measure(q, q));
+        }
+        self
+    }
+
+    /// Resets `qubit` to `|0⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] when out of range.
+    pub fn reset(&mut self, qubit: usize) -> Result<&mut Self, CircuitError> {
+        if qubit >= self.num_qubits {
+            return Err(CircuitError::QubitOutOfRange {
+                qubit,
+                num_qubits: self.num_qubits,
+            });
+        }
+        self.instructions.push(Instruction::reset(qubit));
+        Ok(self)
+    }
+
+    /// Adds a barrier over all qubits.
+    pub fn barrier(&mut self) -> &mut Self {
+        let qs: Vec<usize> = (0..self.num_qubits).collect();
+        self.instructions.push(Instruction::barrier(qs));
+        self
+    }
+
+    /// Adds a barrier over a specific set of qubits.
+    pub fn barrier_on(&mut self, qubits: Vec<usize>) -> &mut Self {
+        self.instructions.push(Instruction::barrier(qubits));
+        self
+    }
+
+    /// Appends every instruction of `other`, mapping its qubit `i` to
+    /// `qubit_map[i]` and its clbit `j` to `clbit_map[j]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns index errors when a mapped index is out of range, or
+    /// [`CircuitError::ArityMismatch`] when a map is too short.
+    pub fn compose(
+        &mut self,
+        other: &Circuit,
+        qubit_map: &[usize],
+        clbit_map: &[usize],
+    ) -> Result<&mut Self, CircuitError> {
+        if qubit_map.len() < other.num_qubits {
+            return Err(CircuitError::ArityMismatch {
+                gate: "compose(qubit_map)".into(),
+                expected: other.num_qubits,
+                actual: qubit_map.len(),
+            });
+        }
+        if clbit_map.len() < other.num_clbits {
+            return Err(CircuitError::ArityMismatch {
+                gate: "compose(clbit_map)".into(),
+                expected: other.num_clbits,
+                actual: clbit_map.len(),
+            });
+        }
+        for inst in &other.instructions {
+            let qubits: Vec<usize> = inst.qubits.iter().map(|&q| qubit_map[q]).collect();
+            let clbits: Vec<usize> = inst.clbits.iter().map(|&c| clbit_map[c]).collect();
+            match &inst.operation {
+                Operation::Gate(g) => {
+                    self.append(g.clone(), &qubits)?;
+                }
+                Operation::Measure => {
+                    self.measure(qubits[0], clbits[0])?;
+                }
+                Operation::Reset => {
+                    self.reset(qubits[0])?;
+                }
+                Operation::Barrier => {
+                    self.instructions.push(Instruction::barrier(qubits));
+                }
+            }
+        }
+        Ok(self)
+    }
+
+    /// The inverse circuit (gates reversed and inverted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::NonUnitaryOperation`] if the circuit contains
+    /// measurements or resets.
+    pub fn inverse(&self) -> Result<Circuit, CircuitError> {
+        let mut inv = Circuit::with_clbits(self.num_qubits, self.num_clbits);
+        inv.qregs = self.qregs.clone();
+        inv.cregs = self.cregs.clone();
+        for inst in self.instructions.iter().rev() {
+            match &inst.operation {
+                Operation::Gate(g) => {
+                    inv.instructions
+                        .push(Instruction::gate(g.inverse(), inst.qubits.clone()));
+                }
+                Operation::Barrier => {
+                    inv.instructions
+                        .push(Instruction::barrier(inst.qubits.clone()));
+                }
+                Operation::Measure => {
+                    return Err(CircuitError::NonUnitaryOperation {
+                        operation: "measure",
+                    })
+                }
+                Operation::Reset => {
+                    return Err(CircuitError::NonUnitaryOperation { operation: "reset" })
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Computes the full `2ⁿ × 2ⁿ` unitary of the circuit.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::NonUnitaryOperation`] when the circuit contains
+    ///   measurements or resets;
+    /// * [`CircuitError::TooManyQubits`] beyond 12 qubits (4096² dense
+    ///   matrix) — use the simulator crate for wider circuits.
+    pub fn unitary_matrix(&self) -> Result<CMatrix, CircuitError> {
+        if self.num_qubits > MAX_DENSE_QUBITS {
+            return Err(CircuitError::TooManyQubits {
+                num_qubits: self.num_qubits,
+                max: MAX_DENSE_QUBITS,
+            });
+        }
+        let dim = 1usize << self.num_qubits;
+        let mut acc = CMatrix::identity(dim);
+        for inst in &self.instructions {
+            match &inst.operation {
+                Operation::Gate(g) => {
+                    let full = gate::embed(&g.matrix(), &inst.qubits, self.num_qubits);
+                    acc = full.mul(&acc)?;
+                }
+                Operation::Barrier => {}
+                Operation::Measure => {
+                    return Err(CircuitError::NonUnitaryOperation {
+                        operation: "measure",
+                    })
+                }
+                Operation::Reset => {
+                    return Err(CircuitError::NonUnitaryOperation { operation: "reset" })
+                }
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Applies the circuit's gates to `|0…0⟩` and returns the resulting
+    /// state vector (measurements are rejected; use the simulator crate for
+    /// sampling semantics).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Circuit::unitary_matrix`], minus the width limit
+    /// (state vectors scale as `2ⁿ`, not `4ⁿ`).
+    pub fn statevector(&self) -> Result<CVector, CircuitError> {
+        let dim = 1usize << self.num_qubits;
+        let mut state = CVector::basis_state(dim, 0);
+        for inst in &self.instructions {
+            match &inst.operation {
+                Operation::Gate(g) => {
+                    apply_gate_inplace(&mut state, &g.matrix(), &inst.qubits, self.num_qubits);
+                }
+                Operation::Barrier => {}
+                Operation::Measure => {
+                    return Err(CircuitError::NonUnitaryOperation {
+                        operation: "measure",
+                    })
+                }
+                Operation::Reset => {
+                    return Err(CircuitError::NonUnitaryOperation { operation: "reset" })
+                }
+            }
+        }
+        Ok(state)
+    }
+
+    /// Counts instructions that are gates (excludes measure/reset/barrier).
+    pub fn gate_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| matches!(i.operation, Operation::Gate(_)))
+            .count()
+    }
+
+    /// Counts measurement instructions.
+    pub fn measure_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| matches!(i.operation, Operation::Measure))
+            .count()
+    }
+
+    /// The circuit depth: the longest chain of instructions sharing qubits
+    /// (barriers are transparent, measurements and resets count one layer).
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits];
+        let mut max = 0;
+        for inst in &self.instructions {
+            if matches!(inst.operation, Operation::Barrier) {
+                continue;
+            }
+            let layer = inst
+                .qubits
+                .iter()
+                .map(|&q| level[q])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for &q in &inst.qubits {
+                level[q] = layer;
+            }
+            max = max.max(layer);
+        }
+        max
+    }
+
+    /// The depth counting only multi-qubit gates (the entangling depth, a
+    /// common hardware-oriented metric).
+    pub fn two_qubit_depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits];
+        let mut max = 0;
+        for inst in &self.instructions {
+            let Operation::Gate(_) = inst.operation else {
+                continue;
+            };
+            if inst.qubits.len() < 2 {
+                continue;
+            }
+            let layer = inst
+                .qubits
+                .iter()
+                .map(|&q| level[q])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for &q in &inst.qubits {
+                level[q] = layer;
+            }
+            max = max.max(layer);
+        }
+        max
+    }
+
+    /// Histogram of operation names (`{"h": 2, "cx": 3, "measure": 1}`).
+    pub fn count_ops(&self) -> std::collections::BTreeMap<String, usize> {
+        let mut map = std::collections::BTreeMap::new();
+        for inst in &self.instructions {
+            *map.entry(inst.operation.name().to_string()).or_insert(0) += 1;
+        }
+        map
+    }
+}
+
+/// Applies a `k`-qubit gate matrix to `state` in place, on `qubits` (gate
+/// order), big-endian convention. This is the work-horse used by both the
+/// circuit evaluator and the state-vector simulator.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or invalid qubit indices.
+pub fn apply_gate_inplace(state: &mut CVector, matrix: &CMatrix, qubits: &[usize], n: usize) {
+    let k = qubits.len();
+    let sub_dim = 1usize << k;
+    assert_eq!(matrix.rows(), sub_dim, "gate dimension mismatch");
+    assert_eq!(state.len(), 1usize << n, "state dimension mismatch");
+
+    // Bit positions (from the most significant end) of each gate qubit.
+    let shifts: Vec<usize> = qubits.iter().map(|&q| n - 1 - q).collect();
+    let gate_mask: usize = shifts.iter().map(|&s| 1usize << s).sum();
+    let dim = state.len();
+
+    let mut scratch = vec![C64::zero(); sub_dim];
+    let mut base = 0usize;
+    loop {
+        // `base` iterates over all indices with zero bits at gate positions.
+        // Gather amplitudes of the 2^k sub-block.
+        for s in 0..sub_dim {
+            let mut idx = base;
+            for (pos, &sh) in shifts.iter().enumerate() {
+                if (s >> (k - 1 - pos)) & 1 == 1 {
+                    idx |= 1 << sh;
+                }
+            }
+            scratch[s] = state.amplitude(idx);
+        }
+        // Apply the gate to the sub-block.
+        for (r, row) in (0..sub_dim).map(|r| (r, r)) {
+            let mut acc = C64::zero();
+            for c in 0..sub_dim {
+                acc += matrix.get(row, c) * scratch[c];
+            }
+            let mut idx = base;
+            for (pos, &sh) in shifts.iter().enumerate() {
+                if (r >> (k - 1 - pos)) & 1 == 1 {
+                    idx |= 1 << sh;
+                }
+            }
+            state[idx] = acc;
+        }
+        // Advance `base` to the next index with zeros at the gate positions
+        // (add 1 in the complement mask arithmetic).
+        base = (base | gate_mask).wrapping_add(1) & !gate_mask;
+        if base == 0 || base >= dim {
+            break;
+        }
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit({} qubits, {} clbits, {} instructions)",
+            self.num_qubits,
+            self.num_clbits,
+            self.instructions.len()
+        )?;
+        for inst in &self.instructions {
+            writeln!(f, "  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn bell_state_vector() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let sv = c.statevector().unwrap();
+        let s = 0.5f64.sqrt();
+        let expect = CVector::from_real(&[s, 0.0, 0.0, s]);
+        assert!(sv.approx_eq(&expect, TOL));
+    }
+
+    #[test]
+    fn ghz_matches_paper_fig2() {
+        let mut c = Circuit::new(3);
+        c.u2(0.0, std::f64::consts::PI, 0).cx(0, 1).cx(1, 2);
+        let sv = c.statevector().unwrap();
+        assert!((sv.probability(0) - 0.5).abs() < TOL);
+        assert!((sv.probability(7) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn ghz_bug1_flips_sign() {
+        // Paper §III Bug1: u2(π, 0) instead of u2(0, π).
+        let mut c = Circuit::new(3);
+        c.u2(std::f64::consts::PI, 0.0, 0).cx(0, 1).cx(1, 2);
+        let sv = c.statevector().unwrap();
+        // Output is (|000⟩ − |111⟩)/√2 up to global phase.
+        let s = 0.5f64.sqrt();
+        let mut expect = CVector::zeros(8);
+        expect[0] = C64::from(s);
+        expect[7] = C64::from(-s);
+        assert!(sv.approx_eq_up_to_phase(&expect, TOL));
+    }
+
+    #[test]
+    fn ghz_bug2_wrong_entanglement() {
+        // Paper §III Bug2: lines 2 and 3 reordered — cx(1,2) before cx(0,1).
+        // The paper prints |011⟩ in Qiskit's little-endian ket convention,
+        // which is |110⟩ in our big-endian indexing (qubits 0 and 1 set).
+        let mut c = Circuit::new(3);
+        c.h(0).cx(1, 2).cx(0, 1);
+        let sv = c.statevector().unwrap();
+        let s = 0.5f64.sqrt();
+        let mut expect = CVector::zeros(8);
+        expect[0] = C64::from(s);
+        expect[0b110] = C64::from(s);
+        assert!(sv.approx_eq_up_to_phase(&expect, TOL));
+    }
+
+    #[test]
+    fn unitary_matrix_of_bell_circuit() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let u = c.unitary_matrix().unwrap();
+        assert!(u.is_unitary(TOL));
+        let sv = u.mul_vec(&CVector::basis_state(4, 0));
+        assert!(sv.approx_eq(&c.statevector().unwrap(), TOL));
+    }
+
+    #[test]
+    fn inverse_undoes_circuit() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .cx(0, 1)
+            .rz(0.7, 2)
+            .cu3(0.3, 0.2, 0.1, 1, 2)
+            .t(0)
+            .swap(0, 2);
+        let mut all = c.clone();
+        let inv = c.inverse().unwrap();
+        let map: Vec<usize> = (0..3).collect();
+        all.compose(&inv, &map, &[]).unwrap();
+        let sv = all.statevector().unwrap();
+        assert!(sv.approx_eq(&CVector::basis_state(8, 0), TOL));
+    }
+
+    #[test]
+    fn compose_maps_qubits() {
+        let mut inner = Circuit::new(2);
+        inner.cx(0, 1);
+        let mut outer = Circuit::new(3);
+        outer.x(2);
+        outer.compose(&inner, &[2, 0], &[]).unwrap();
+        // CX control=2, target=0 after X on 2: |001⟩ → |101⟩.
+        let sv = outer.statevector().unwrap();
+        assert!(sv.approx_eq(&CVector::basis_state(8, 0b101), TOL));
+    }
+
+    #[test]
+    fn compose_rejects_short_map() {
+        let inner = Circuit::new(2);
+        let mut outer = Circuit::new(3);
+        assert!(outer.compose(&inner, &[0], &[]).is_err());
+    }
+
+    #[test]
+    fn registers_allocate_contiguously() {
+        let mut c = Circuit::new(0);
+        let qr = c.add_quantum_register("qr", 4);
+        let ar = c.add_quantum_register("ar", 1);
+        let cr = c.add_classical_register("cr", 4);
+        assert_eq!(c.num_qubits(), 5);
+        assert_eq!(c.num_clbits(), 4);
+        assert_eq!(qr.index(0), 0);
+        assert_eq!(ar.index(0), 4);
+        assert_eq!(cr.index(3), 3);
+        assert_eq!(c.quantum_registers().len(), 2);
+        assert_eq!(c.classical_registers().len(), 1);
+    }
+
+    #[test]
+    fn append_validates() {
+        let mut c = Circuit::new(2);
+        assert!(c.append(Gate::Cx, &[0, 5]).is_err());
+        assert!(c.append(Gate::Cx, &[1, 1]).is_err());
+        assert!(c.append(Gate::Cx, &[0]).is_err());
+        assert!(c.append(Gate::Cx, &[0, 1]).is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn builder_panics_on_bad_index() {
+        let mut c = Circuit::new(1);
+        c.cx(0, 1);
+    }
+
+    #[test]
+    fn measure_validation_and_counts() {
+        let mut c = Circuit::with_clbits(2, 1);
+        assert!(c.measure(0, 0).is_ok());
+        assert!(c.measure(0, 1).is_err());
+        assert!(c.measure(2, 0).is_err());
+        assert_eq!(c.measure_count(), 1);
+        assert_eq!(c.gate_count(), 0);
+    }
+
+    #[test]
+    fn measure_all_expands_clbits() {
+        let mut c = Circuit::new(3);
+        c.h(0).measure_all();
+        assert_eq!(c.num_clbits(), 3);
+        assert_eq!(c.measure_count(), 3);
+    }
+
+    #[test]
+    fn statevector_rejects_measurement() {
+        let mut c = Circuit::with_clbits(1, 1);
+        c.h(0);
+        c.measure(0, 0).unwrap();
+        assert!(matches!(
+            c.statevector(),
+            Err(CircuitError::NonUnitaryOperation { .. })
+        ));
+        assert!(c.unitary_matrix().is_err());
+        assert!(c.inverse().is_err());
+    }
+
+    #[test]
+    fn barrier_is_identity_semantics() {
+        let mut a = Circuit::new(2);
+        a.h(0).barrier().cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.h(0).cx(0, 1);
+        assert!(a
+            .statevector()
+            .unwrap()
+            .approx_eq(&b.statevector().unwrap(), TOL));
+    }
+
+    #[test]
+    fn apply_gate_inplace_matches_embed() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let n = 4;
+            let dim = 1 << n;
+            // Random normalized state.
+            let raw: Vec<C64> = (0..dim)
+                .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let state = CVector::new(raw).normalized().unwrap();
+            // Random 2-qubit gate position (distinct qubits).
+            let q0 = rng.gen_range(0..n);
+            let mut q1 = rng.gen_range(0..n);
+            while q1 == q0 {
+                q1 = rng.gen_range(0..n);
+            }
+            let g = Gate::Cu3(
+                rng.gen_range(0.0..3.0),
+                rng.gen_range(0.0..3.0),
+                rng.gen_range(0.0..3.0),
+            );
+            let mut fast = state.clone();
+            apply_gate_inplace(&mut fast, &g.matrix(), &[q0, q1], n);
+            let slow = gate::embed(&g.matrix(), &[q0, q1], n).mul_vec(&state);
+            assert!(fast.approx_eq(&slow, 1e-9));
+        }
+    }
+
+    #[test]
+    fn reset_and_display() {
+        let mut c = Circuit::with_clbits(2, 2);
+        c.h(0);
+        c.reset(1).unwrap();
+        c.measure(0, 0).unwrap();
+        let text = format!("{c}");
+        assert!(text.contains("h"));
+        assert!(text.contains("reset"));
+        assert!(text.contains("measure"));
+        assert!(c.reset(5).is_err());
+    }
+
+    #[test]
+    fn too_many_qubits_for_dense_unitary() {
+        let c = Circuit::new(13);
+        assert!(matches!(
+            c.unitary_matrix(),
+            Err(CircuitError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn depth_counts_longest_chain() {
+        let mut c = Circuit::new(3);
+        // Layer 1: H(0), H(2); layer 2: CX(0,1); layer 3: CX(1,2).
+        c.h(0).h(2).cx(0, 1).cx(1, 2);
+        assert_eq!(c.depth(), 3);
+        assert_eq!(c.two_qubit_depth(), 2);
+        // Parallel single-qubit gates do not add depth.
+        let mut p = Circuit::new(4);
+        p.h(0).h(1).h(2).h(3);
+        assert_eq!(p.depth(), 1);
+        assert_eq!(p.two_qubit_depth(), 0);
+    }
+
+    #[test]
+    fn depth_ignores_barriers_counts_measures() {
+        let mut c = Circuit::with_clbits(2, 1);
+        c.h(0).barrier();
+        c.measure(0, 0).unwrap();
+        assert_eq!(c.depth(), 2);
+        assert_eq!(Circuit::new(2).depth(), 0);
+    }
+
+    #[test]
+    fn count_ops_histogram() {
+        let mut c = Circuit::with_clbits(2, 1);
+        c.h(0).h(1).cx(0, 1);
+        c.measure(0, 0).unwrap();
+        let ops = c.count_ops();
+        assert_eq!(ops["h"], 2);
+        assert_eq!(ops["cx"], 1);
+        assert_eq!(ops["measure"], 1);
+    }
+}

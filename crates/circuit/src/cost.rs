@@ -1,0 +1,249 @@
+//! Gate-cost accounting in the paper's metric.
+//!
+//! The paper's Tables I and III report four metrics per assertion circuit:
+//! `#CX` (two-qubit entangling gates, with CZ counted the same as CX),
+//! `#SG` (single-qubit gates), `#ancilla` and `#measure`. [`GateCounts`]
+//! computes the first two by lowering every instruction to the
+//! `{1-qubit, CX/CZ}` basis:
+//!
+//! * 1-qubit gates count one SG each (identity counts zero);
+//! * CX / CY / CZ / CH count one CX-equivalent (they are all Clifford
+//!   entanglers — the paper counts the CZ chains of its NDD circuits as
+//!   "CNOT gates");
+//! * controlled rotations lower to the standard 2-CX ABC decomposition;
+//! * SWAP lowers to 3 CX; Toffoli to the standard 6-CX network; CCZ and
+//!   CSWAP via Toffoli;
+//! * opaque `Unitary` gates are synthesised with
+//!   [`crate::synthesis::unitary_circuit`] and counted recursively.
+
+use crate::synthesis::unitary_circuit;
+use crate::{Circuit, CircuitError, Gate, Operation};
+use std::fmt;
+use std::ops::Add;
+
+/// The paper's circuit-cost quadruple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GateCounts {
+    /// Two-qubit entangling gates (CX-equivalents; CZ counts as 1).
+    pub cx: usize,
+    /// Single-qubit gates.
+    pub sg: usize,
+    /// Ancilla qubits used by the (assertion) circuit.
+    pub ancilla: usize,
+    /// Measurements.
+    pub measure: usize,
+}
+
+impl GateCounts {
+    /// Counts the gates of `circuit` after lowering to the CX basis.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CircuitError`] when an opaque unitary fails to
+    /// synthesise (non-power-of-two dimensions cannot occur for validated
+    /// gates).
+    pub fn of(circuit: &Circuit) -> Result<GateCounts, CircuitError> {
+        let mut counts = GateCounts::default();
+        for inst in circuit.instructions() {
+            match &inst.operation {
+                Operation::Measure => counts.measure += 1,
+                Operation::Reset | Operation::Barrier => {}
+                Operation::Gate(g) => {
+                    let (cx, sg) = gate_cost(g)?;
+                    counts.cx += cx;
+                    counts.sg += sg;
+                }
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Sets the ancilla count (builder-style helper for assertion
+    /// constructors that know their ancilla usage).
+    pub fn with_ancilla(mut self, ancilla: usize) -> Self {
+        self.ancilla = ancilla;
+        self
+    }
+}
+
+impl Add for GateCounts {
+    type Output = GateCounts;
+    fn add(self, rhs: GateCounts) -> GateCounts {
+        GateCounts {
+            cx: self.cx + rhs.cx,
+            sg: self.sg + rhs.sg,
+            ancilla: self.ancilla + rhs.ancilla,
+            measure: self.measure + rhs.measure,
+        }
+    }
+}
+
+impl fmt::Display for GateCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#CX={} #SG={} #ancilla={} #measure={}",
+            self.cx, self.sg, self.ancilla, self.measure
+        )
+    }
+}
+
+/// Cost `(cx, sg)` of a single gate in the lowered basis.
+fn gate_cost(g: &Gate) -> Result<(usize, usize), CircuitError> {
+    Ok(match g {
+        Gate::I => (0, 0),
+        // Plain single-qubit gates.
+        Gate::X
+        | Gate::Y
+        | Gate::Z
+        | Gate::H
+        | Gate::S
+        | Gate::Sdg
+        | Gate::T
+        | Gate::Tdg
+        | Gate::Sx
+        | Gate::Sxdg
+        | Gate::Rx(_)
+        | Gate::Ry(_)
+        | Gate::Rz(_)
+        | Gate::Phase(_)
+        | Gate::U2(_, _)
+        | Gate::U3(_, _, _) => (0, 1),
+        // Clifford entanglers count one CX-equivalent.
+        Gate::Cx | Gate::Cy | Gate::Cz | Gate::Ch => (1, 0),
+        // SWAP = 3 CX.
+        Gate::Swap => (3, 0),
+        // Controlled rotations: ABC decomposition = 2 CX + rotations.
+        Gate::Crx(_) | Gate::Cry(_) | Gate::Crz(_) => (2, 2),
+        Gate::Cp(_) => (2, 3),
+        Gate::Cu3(_, _, _) => (2, 3),
+        // Toffoli network: 6 CX, 2 H + 7 T-layer single-qubit gates.
+        Gate::Ccx => (6, 9),
+        Gate::Ccz => (6, 8),
+        // CSWAP = CX + CCX + CX.
+        Gate::Cswap => (8, 9),
+        Gate::Unitary(m, _) => {
+            if m.rows() == 2 {
+                (0, 1)
+            } else {
+                let synth = unitary_circuit(m)?;
+                let c = GateCounts::of(&synth)?;
+                (c.cx, c.sg)
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_simple_circuit() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).rz(0.3, 2);
+        let counts = GateCounts::of(&c).unwrap();
+        assert_eq!(counts.cx, 2);
+        assert_eq!(counts.sg, 2);
+        assert_eq!(counts.measure, 0);
+    }
+
+    #[test]
+    fn cz_counts_as_one_cx() {
+        let mut c = Circuit::new(2);
+        c.cz(0, 1).cz(0, 1);
+        let counts = GateCounts::of(&c).unwrap();
+        assert_eq!(counts.cx, 2);
+        assert_eq!(counts.sg, 0);
+    }
+
+    #[test]
+    fn swap_counts_three() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        assert_eq!(GateCounts::of(&c).unwrap().cx, 3);
+    }
+
+    #[test]
+    fn toffoli_counts_six() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let counts = GateCounts::of(&c).unwrap();
+        assert_eq!(counts.cx, 6);
+        assert!(counts.sg >= 7);
+    }
+
+    #[test]
+    fn controlled_rotation_counts_two() {
+        let mut c = Circuit::new(2);
+        c.crz(0.4, 0, 1).cp(0.2, 0, 1).cu3(0.1, 0.2, 0.3, 0, 1);
+        let counts = GateCounts::of(&c).unwrap();
+        assert_eq!(counts.cx, 6);
+    }
+
+    #[test]
+    fn measures_counted() {
+        let mut c = Circuit::with_clbits(2, 2);
+        c.h(0);
+        c.measure(0, 0).unwrap();
+        c.measure(1, 1).unwrap();
+        let counts = GateCounts::of(&c).unwrap();
+        assert_eq!(counts.measure, 2);
+        assert_eq!(counts.sg, 1);
+    }
+
+    #[test]
+    fn identity_and_barrier_free() {
+        let mut c = Circuit::new(1);
+        c.append(Gate::I, &[0]).unwrap();
+        c.barrier();
+        let counts = GateCounts::of(&c).unwrap();
+        assert_eq!(counts, GateCounts::default());
+    }
+
+    #[test]
+    fn opaque_unitary_is_synthesized() {
+        let mut c = Circuit::new(2);
+        c.unitary(Gate::Cx.matrix(), &[0, 1], "mystery").unwrap();
+        let counts = GateCounts::of(&c).unwrap();
+        assert!(counts.cx >= 1, "synthesised CX must appear in counts");
+    }
+
+    #[test]
+    fn opaque_1q_unitary_counts_one_sg() {
+        let mut c = Circuit::new(1);
+        c.unitary(Gate::H.matrix(), &[0], "h-ish").unwrap();
+        let counts = GateCounts::of(&c).unwrap();
+        assert_eq!(counts, GateCounts { cx: 0, sg: 1, ancilla: 0, measure: 0 });
+    }
+
+    #[test]
+    fn add_and_with_ancilla() {
+        let a = GateCounts {
+            cx: 1,
+            sg: 2,
+            ancilla: 0,
+            measure: 1,
+        };
+        let b = GateCounts {
+            cx: 3,
+            sg: 0,
+            ancilla: 1,
+            measure: 0,
+        };
+        let s = a + b;
+        assert_eq!(s.cx, 4);
+        assert_eq!(s.sg, 2);
+        assert_eq!(s.ancilla, 1);
+        assert_eq!(s.measure, 1);
+        assert_eq!(s.with_ancilla(5).ancilla, 5);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let s = format!("{}", GateCounts::default());
+        for key in ["#CX", "#SG", "#ancilla", "#measure"] {
+            assert!(s.contains(key));
+        }
+    }
+}

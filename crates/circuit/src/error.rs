@@ -1,0 +1,155 @@
+//! Error types for circuit construction and synthesis.
+
+use qra_math::MathError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when building, composing or synthesising circuits.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A qubit index was out of range for the circuit.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// Number of qubits in the circuit.
+        num_qubits: usize,
+    },
+    /// A classical bit index was out of range for the circuit.
+    ClbitOutOfRange {
+        /// The offending classical bit index.
+        clbit: usize,
+        /// Number of classical bits in the circuit.
+        num_clbits: usize,
+    },
+    /// The same qubit was supplied twice to a multi-qubit gate.
+    DuplicateQubit {
+        /// The duplicated qubit index.
+        qubit: usize,
+    },
+    /// A gate was applied to the wrong number of qubits.
+    ArityMismatch {
+        /// The gate's name.
+        gate: String,
+        /// Number of qubits the gate acts on.
+        expected: usize,
+        /// Number of qubits supplied.
+        actual: usize,
+    },
+    /// A matrix supplied as a gate was not unitary.
+    NotUnitary {
+        /// Deviation of `U†U` from the identity.
+        deviation: f64,
+    },
+    /// The circuit contains a non-unitary operation (measure/reset) where a
+    /// purely unitary circuit is required.
+    NonUnitaryOperation {
+        /// Name of the offending operation.
+        operation: &'static str,
+    },
+    /// Circuit is too wide for a dense-matrix operation.
+    TooManyQubits {
+        /// Number of qubits requested.
+        num_qubits: usize,
+        /// Maximum supported for this operation.
+        max: usize,
+    },
+    /// An underlying numerical operation failed.
+    Math(MathError),
+    /// Synthesis could not handle the requested object.
+    Synthesis {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+            }
+            CircuitError::ClbitOutOfRange { clbit, num_clbits } => {
+                write!(f, "clbit {clbit} out of range for {num_clbits} classical bits")
+            }
+            CircuitError::DuplicateQubit { qubit } => {
+                write!(f, "qubit {qubit} supplied more than once to a gate")
+            }
+            CircuitError::ArityMismatch {
+                gate,
+                expected,
+                actual,
+            } => write!(f, "gate {gate} acts on {expected} qubits, got {actual}"),
+            CircuitError::NotUnitary { deviation } => {
+                write!(f, "matrix is not unitary (deviation {deviation:.3e})")
+            }
+            CircuitError::NonUnitaryOperation { operation } => {
+                write!(f, "operation {operation} is not unitary")
+            }
+            CircuitError::TooManyQubits { num_qubits, max } => {
+                write!(f, "{num_qubits} qubits exceeds the limit of {max} for this operation")
+            }
+            CircuitError::Math(e) => write!(f, "numerical error: {e}"),
+            CircuitError::Synthesis { reason } => write!(f, "synthesis failed: {reason}"),
+        }
+    }
+}
+
+impl Error for CircuitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CircuitError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for CircuitError {
+    fn from(e: MathError) -> Self {
+        CircuitError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errs: Vec<CircuitError> = vec![
+            CircuitError::QubitOutOfRange {
+                qubit: 7,
+                num_qubits: 3,
+            },
+            CircuitError::ClbitOutOfRange {
+                clbit: 7,
+                num_clbits: 3,
+            },
+            CircuitError::DuplicateQubit { qubit: 1 },
+            CircuitError::ArityMismatch {
+                gate: "cx".into(),
+                expected: 2,
+                actual: 3,
+            },
+            CircuitError::NotUnitary { deviation: 0.1 },
+            CircuitError::NonUnitaryOperation { operation: "measure" },
+            CircuitError::TooManyQubits {
+                num_qubits: 30,
+                max: 20,
+            },
+            CircuitError::Math(MathError::LinearlyDependent),
+            CircuitError::Synthesis {
+                reason: "example".into(),
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn from_math_error_preserves_source() {
+        let e = CircuitError::from(MathError::LinearlyDependent);
+        assert!(e.source().is_some());
+    }
+}

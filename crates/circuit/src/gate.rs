@@ -1,0 +1,610 @@
+//! The gate set: names, arities, matrices and inverses.
+
+use qra_math::{C64, CMatrix};
+use std::fmt;
+use std::sync::Arc;
+
+/// A quantum gate with an exact unitary matrix.
+///
+/// The parameterised gates follow the Qiskit 0.18 conventions the paper's
+/// pseudo-code uses: `U3(θ,φ,λ)`, `U2(φ,λ) = U3(π/2,φ,λ)`,
+/// `Phase(λ) = U1(λ) = diag(1, e^{iλ})`, `Rz(θ) = diag(e^{-iθ/2}, e^{iθ/2})`.
+///
+/// ```rust
+/// use qra_circuit::Gate;
+/// use std::f64::consts::PI;
+///
+/// // The paper's Fig. 2 uses u2(0, π), which equals Hadamard.
+/// let u2 = Gate::U2(0.0, PI);
+/// assert!(u2.matrix().approx_eq(&Gate::H.matrix(), 1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Gate {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// S†.
+    Sdg,
+    /// T = diag(1, e^{iπ/4}).
+    T,
+    /// T†.
+    Tdg,
+    /// √X.
+    Sx,
+    /// √X†.
+    Sxdg,
+    /// Rotation about X by the given angle.
+    Rx(f64),
+    /// Rotation about Y by the given angle.
+    Ry(f64),
+    /// Rotation about Z by the given angle.
+    Rz(f64),
+    /// Phase gate `diag(1, e^{iλ})` (Qiskit `u1`/`p`).
+    Phase(f64),
+    /// `U2(φ, λ) = U3(π/2, φ, λ)`.
+    U2(f64, f64),
+    /// The generic single-qubit gate `U3(θ, φ, λ)`.
+    U3(f64, f64, f64),
+    /// Controlled-X (CNOT); qubit order is `(control, target)`.
+    Cx,
+    /// Controlled-Y.
+    Cy,
+    /// Controlled-Z.
+    Cz,
+    /// Controlled-H.
+    Ch,
+    /// SWAP.
+    Swap,
+    /// Controlled phase `diag(1,1,1,e^{iλ})`.
+    Cp(f64),
+    /// Controlled Rx.
+    Crx(f64),
+    /// Controlled Ry.
+    Cry(f64),
+    /// Controlled Rz.
+    Crz(f64),
+    /// Controlled U3.
+    Cu3(f64, f64, f64),
+    /// Toffoli (CCX); qubit order `(control, control, target)`.
+    Ccx,
+    /// Doubly-controlled Z.
+    Ccz,
+    /// Controlled SWAP (Fredkin).
+    Cswap,
+    /// An arbitrary unitary with a label; arity is `log₂(dim)`.
+    Unitary(Arc<CMatrix>, String),
+}
+
+impl Gate {
+    /// Creates an arbitrary-unitary gate after validating unitarity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CircuitError::NotUnitary`] when `matrix` fails the
+    /// `U†U = I` check, and [`crate::CircuitError::Math`] when the dimension
+    /// is not a power of two.
+    pub fn unitary(matrix: CMatrix, label: impl Into<String>) -> Result<Self, crate::CircuitError> {
+        qra_math::qubits_for_dim(matrix.rows()).map_err(crate::CircuitError::Math)?;
+        if !matrix.is_unitary(1e-8) {
+            let dev = matrix
+                .adjoint()
+                .mul(&matrix)
+                .map(|p| p.max_abs_diff(&CMatrix::identity(matrix.rows())))
+                .unwrap_or(f64::INFINITY);
+            return Err(crate::CircuitError::NotUnitary { deviation: dev });
+        }
+        Ok(Gate::Unitary(Arc::new(matrix), label.into()))
+    }
+
+    /// The number of qubits the gate acts on.
+    pub fn num_qubits(&self) -> usize {
+        match self {
+            Gate::I
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::H
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::Sx
+            | Gate::Sxdg
+            | Gate::Rx(_)
+            | Gate::Ry(_)
+            | Gate::Rz(_)
+            | Gate::Phase(_)
+            | Gate::U2(_, _)
+            | Gate::U3(_, _, _) => 1,
+            Gate::Cx
+            | Gate::Cy
+            | Gate::Cz
+            | Gate::Ch
+            | Gate::Swap
+            | Gate::Cp(_)
+            | Gate::Crx(_)
+            | Gate::Cry(_)
+            | Gate::Crz(_)
+            | Gate::Cu3(_, _, _) => 2,
+            Gate::Ccx | Gate::Ccz | Gate::Cswap => 3,
+            Gate::Unitary(m, _) => {
+                qra_math::qubits_for_dim(m.rows()).expect("validated at construction")
+            }
+        }
+    }
+
+    /// The lowercase OpenQASM-style name.
+    pub fn name(&self) -> &str {
+        match self {
+            Gate::I => "id",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::H => "h",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::Sx => "sx",
+            Gate::Sxdg => "sxdg",
+            Gate::Rx(_) => "rx",
+            Gate::Ry(_) => "ry",
+            Gate::Rz(_) => "rz",
+            Gate::Phase(_) => "p",
+            Gate::U2(_, _) => "u2",
+            Gate::U3(_, _, _) => "u3",
+            Gate::Cx => "cx",
+            Gate::Cy => "cy",
+            Gate::Cz => "cz",
+            Gate::Ch => "ch",
+            Gate::Swap => "swap",
+            Gate::Cp(_) => "cp",
+            Gate::Crx(_) => "crx",
+            Gate::Cry(_) => "cry",
+            Gate::Crz(_) => "crz",
+            Gate::Cu3(_, _, _) => "cu3",
+            Gate::Ccx => "ccx",
+            Gate::Ccz => "ccz",
+            Gate::Cswap => "cswap",
+            Gate::Unitary(_, _) => "unitary",
+        }
+    }
+
+    /// The gate's unitary matrix in the big-endian qubit convention
+    /// (qubit 0 of the gate = most significant bit).
+    pub fn matrix(&self) -> CMatrix {
+        let o = C64::one;
+        let z = C64::zero;
+        match self {
+            Gate::I => CMatrix::identity(2),
+            Gate::X => CMatrix::new(2, 2, vec![z(), o(), o(), z()]),
+            Gate::Y => CMatrix::new(
+                2,
+                2,
+                vec![z(), C64::new(0.0, -1.0), C64::new(0.0, 1.0), z()],
+            ),
+            Gate::Z => CMatrix::diagonal(&[o(), C64::from(-1.0)]),
+            Gate::H => {
+                let s = C64::from(0.5f64.sqrt());
+                CMatrix::new(2, 2, vec![s, s, s, -s])
+            }
+            Gate::S => CMatrix::diagonal(&[o(), C64::i()]),
+            Gate::Sdg => CMatrix::diagonal(&[o(), -C64::i()]),
+            Gate::T => CMatrix::diagonal(&[o(), C64::cis(std::f64::consts::FRAC_PI_4)]),
+            Gate::Tdg => CMatrix::diagonal(&[o(), C64::cis(-std::f64::consts::FRAC_PI_4)]),
+            Gate::Sx => {
+                let a = C64::new(0.5, 0.5);
+                let b = C64::new(0.5, -0.5);
+                CMatrix::new(2, 2, vec![a, b, b, a])
+            }
+            Gate::Sxdg => {
+                let a = C64::new(0.5, -0.5);
+                let b = C64::new(0.5, 0.5);
+                CMatrix::new(2, 2, vec![a, b, b, a])
+            }
+            Gate::Rx(theta) => {
+                let c = C64::from((theta / 2.0).cos());
+                let s = C64::new(0.0, -(theta / 2.0).sin());
+                CMatrix::new(2, 2, vec![c, s, s, c])
+            }
+            Gate::Ry(theta) => {
+                let c = C64::from((theta / 2.0).cos());
+                let s = C64::from((theta / 2.0).sin());
+                CMatrix::new(2, 2, vec![c, -s, s, c])
+            }
+            Gate::Rz(theta) => {
+                CMatrix::diagonal(&[C64::cis(-theta / 2.0), C64::cis(theta / 2.0)])
+            }
+            Gate::Phase(lambda) => CMatrix::diagonal(&[o(), C64::cis(*lambda)]),
+            Gate::U2(phi, lambda) => {
+                u3_matrix(std::f64::consts::FRAC_PI_2, *phi, *lambda)
+            }
+            Gate::U3(theta, phi, lambda) => u3_matrix(*theta, *phi, *lambda),
+            Gate::Cx => controlled(&Gate::X.matrix()),
+            Gate::Cy => controlled(&Gate::Y.matrix()),
+            Gate::Cz => controlled(&Gate::Z.matrix()),
+            Gate::Ch => controlled(&Gate::H.matrix()),
+            Gate::Swap => {
+                let mut m = CMatrix::zeros(4, 4);
+                m.set(0, 0, o());
+                m.set(1, 2, o());
+                m.set(2, 1, o());
+                m.set(3, 3, o());
+                m
+            }
+            Gate::Cp(lambda) => controlled(&Gate::Phase(*lambda).matrix()),
+            Gate::Crx(theta) => controlled(&Gate::Rx(*theta).matrix()),
+            Gate::Cry(theta) => controlled(&Gate::Ry(*theta).matrix()),
+            Gate::Crz(theta) => controlled(&Gate::Rz(*theta).matrix()),
+            Gate::Cu3(theta, phi, lambda) => controlled(&u3_matrix(*theta, *phi, *lambda)),
+            Gate::Ccx => controlled(&controlled(&Gate::X.matrix())),
+            Gate::Ccz => controlled(&controlled(&Gate::Z.matrix())),
+            Gate::Cswap => controlled(&Gate::Swap.matrix()),
+            Gate::Unitary(m, _) => (**m).clone(),
+        }
+    }
+
+    /// The inverse gate (`U†`).
+    pub fn inverse(&self) -> Gate {
+        match self {
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::Sx => Gate::Sxdg,
+            Gate::Sxdg => Gate::Sx,
+            Gate::Rx(t) => Gate::Rx(-t),
+            Gate::Ry(t) => Gate::Ry(-t),
+            Gate::Rz(t) => Gate::Rz(-t),
+            Gate::Phase(l) => Gate::Phase(-l),
+            Gate::U2(phi, lambda) => {
+                // U2(φ,λ)† = U3(-π/2, -λ, -φ) = U3(π/2, π-λ... ; use U3 form.
+                Gate::U3(-std::f64::consts::FRAC_PI_2, -lambda, -phi)
+            }
+            Gate::U3(t, p, l) => Gate::U3(-t, -l, -p),
+            Gate::Cp(l) => Gate::Cp(-l),
+            Gate::Crx(t) => Gate::Crx(-t),
+            Gate::Cry(t) => Gate::Cry(-t),
+            Gate::Crz(t) => Gate::Crz(-t),
+            Gate::Cu3(t, p, l) => Gate::Cu3(-t, -l, -p),
+            Gate::Unitary(m, label) => {
+                Gate::Unitary(Arc::new(m.adjoint()), format!("{label}_dg"))
+            }
+            // Self-inverse gates.
+            g => g.clone(),
+        }
+    }
+
+    /// Returns `true` for gates counted as entangling two-qubit gates in the
+    /// paper's cost model (CX-equivalents). See [`crate::cost`].
+    pub fn is_two_qubit_entangler(&self) -> bool {
+        matches!(
+            self,
+            Gate::Cx
+                | Gate::Cy
+                | Gate::Cz
+                | Gate::Ch
+                | Gate::Cp(_)
+                | Gate::Crx(_)
+                | Gate::Cry(_)
+                | Gate::Crz(_)
+                | Gate::Cu3(_, _, _)
+        )
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Phase(t) => {
+                write!(f, "{}({t:.4})", self.name())
+            }
+            Gate::U2(p, l) => write!(f, "u2({p:.4},{l:.4})"),
+            Gate::U3(t, p, l) => write!(f, "u3({t:.4},{p:.4},{l:.4})"),
+            Gate::Cp(t) | Gate::Crx(t) | Gate::Cry(t) | Gate::Crz(t) => {
+                write!(f, "{}({t:.4})", self.name())
+            }
+            Gate::Cu3(t, p, l) => write!(f, "cu3({t:.4},{p:.4},{l:.4})"),
+            Gate::Unitary(m, label) => write!(f, "unitary[{label}]({}q)", {
+                qra_math::qubits_for_dim(m.rows()).unwrap_or(0)
+            }),
+            _ => write!(f, "{}", self.name()),
+        }
+    }
+}
+
+/// `U3(θ,φ,λ)` in the Qiskit convention.
+pub fn u3_matrix(theta: f64, phi: f64, lambda: f64) -> CMatrix {
+    let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    CMatrix::new(
+        2,
+        2,
+        vec![
+            C64::from(c),
+            -C64::cis(lambda).scale(s),
+            C64::cis(phi).scale(s),
+            C64::cis(phi + lambda).scale(c),
+        ],
+    )
+}
+
+/// `|0⟩⟨0| ⊗ I + |1⟩⟨1| ⊗ U` with the control as the more significant qubit.
+pub fn controlled(u: &CMatrix) -> CMatrix {
+    let d = u.rows();
+    let mut out = CMatrix::identity(2 * d);
+    for r in 0..d {
+        for c in 0..d {
+            out.set(d + r, d + c, u.get(r, c));
+        }
+    }
+    out
+}
+
+/// Embeds a `k`-qubit gate matrix acting on `qubits` (in gate order, qubit 0
+/// of the gate = `qubits[0]`) into the full `2ⁿ × 2ⁿ` unitary of an
+/// `n`-qubit system, big-endian bit convention.
+///
+/// # Panics
+///
+/// Panics when `qubits` contains duplicates or out-of-range indices, or when
+/// its length disagrees with the gate dimension.
+pub fn embed(gate: &CMatrix, qubits: &[usize], n: usize) -> CMatrix {
+    let k = qubits.len();
+    assert_eq!(gate.rows(), 1 << k, "gate dimension mismatch");
+    for (i, &q) in qubits.iter().enumerate() {
+        assert!(q < n, "qubit {q} out of range");
+        assert!(
+            !qubits[..i].contains(&q),
+            "duplicate qubit {q} in embedding"
+        );
+    }
+    let dim = 1usize << n;
+    // For each full index, extract the sub-index formed by the gate qubits.
+    let sub_index = |full: usize| -> usize {
+        let mut s = 0usize;
+        for (pos, &q) in qubits.iter().enumerate() {
+            let bit = (full >> (n - 1 - q)) & 1;
+            s |= bit << (k - 1 - pos);
+        }
+        s
+    };
+    let rest_mask: usize = {
+        let mut m = dim - 1;
+        for &q in qubits {
+            m &= !(1usize << (n - 1 - q));
+        }
+        m
+    };
+    CMatrix::from_fn(dim, dim, |r, c| {
+        if (r & rest_mask) != (c & rest_mask) {
+            C64::zero()
+        } else {
+            gate.get(sub_index(r), sub_index(c))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qra_math::CVector;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn all_fixed_gates_are_unitary() {
+        let gates = [
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Sx,
+            Gate::Sxdg,
+            Gate::Cx,
+            Gate::Cy,
+            Gate::Cz,
+            Gate::Ch,
+            Gate::Swap,
+            Gate::Ccx,
+            Gate::Ccz,
+            Gate::Cswap,
+        ];
+        for g in gates {
+            assert!(g.matrix().is_unitary(TOL), "{g} not unitary");
+        }
+    }
+
+    #[test]
+    fn parameterised_gates_are_unitary() {
+        for k in 0..8 {
+            let t = 0.3 + k as f64;
+            for g in [
+                Gate::Rx(t),
+                Gate::Ry(t),
+                Gate::Rz(t),
+                Gate::Phase(t),
+                Gate::U2(t, t / 2.0),
+                Gate::U3(t, t / 2.0, t / 3.0),
+                Gate::Cp(t),
+                Gate::Crx(t),
+                Gate::Cry(t),
+                Gate::Crz(t),
+                Gate::Cu3(t, t / 2.0, t / 3.0),
+            ] {
+                assert!(g.matrix().is_unitary(TOL), "{g} not unitary");
+            }
+        }
+    }
+
+    #[test]
+    fn inverses_multiply_to_identity() {
+        let gates = [
+            Gate::H,
+            Gate::S,
+            Gate::T,
+            Gate::Sx,
+            Gate::Rx(0.7),
+            Gate::Ry(-1.3),
+            Gate::Rz(2.1),
+            Gate::Phase(0.9),
+            Gate::U2(0.4, 1.1),
+            Gate::U3(0.5, 1.5, -0.7),
+            Gate::Cx,
+            Gate::Cz,
+            Gate::Swap,
+            Gate::Cp(0.6),
+            Gate::Cu3(1.0, 0.2, -0.4),
+            Gate::Ccx,
+        ];
+        for g in gates {
+            let m = g.matrix();
+            let inv = g.inverse().matrix();
+            let prod = m.mul(&inv).unwrap();
+            assert!(
+                prod.approx_eq(&CMatrix::identity(m.rows()), 1e-10),
+                "{g} inverse wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn u2_zero_pi_is_hadamard() {
+        // The paper's GHZ preparation uses u2(0, π) as the Hadamard.
+        assert!(Gate::U2(0.0, PI).matrix().approx_eq(&Gate::H.matrix(), TOL));
+    }
+
+    #[test]
+    fn u3_special_cases() {
+        assert!(Gate::U3(0.0, 0.0, 0.7)
+            .matrix()
+            .approx_eq(&Gate::Phase(0.7).matrix(), TOL));
+        assert!(Gate::U3(FRAC_PI_2, 0.1, 0.2)
+            .matrix()
+            .approx_eq(&Gate::U2(0.1, 0.2).matrix(), TOL));
+    }
+
+    #[test]
+    fn cx_truth_table() {
+        let cx = Gate::Cx.matrix();
+        // |10⟩ → |11⟩ (control=qubit0 set).
+        let out = cx.mul_vec(&CVector::basis_state(4, 2));
+        assert!(out.approx_eq(&CVector::basis_state(4, 3), TOL));
+        // |01⟩ unchanged.
+        let out = cx.mul_vec(&CVector::basis_state(4, 1));
+        assert!(out.approx_eq(&CVector::basis_state(4, 1), TOL));
+    }
+
+    #[test]
+    fn ccx_truth_table() {
+        let ccx = Gate::Ccx.matrix();
+        let out = ccx.mul_vec(&CVector::basis_state(8, 6)); // |110⟩
+        assert!(out.approx_eq(&CVector::basis_state(8, 7), TOL));
+        let out = ccx.mul_vec(&CVector::basis_state(8, 4)); // |100⟩ fixed
+        assert!(out.approx_eq(&CVector::basis_state(8, 4), TOL));
+    }
+
+    #[test]
+    fn swap_exchanges_qubits() {
+        let sw = Gate::Swap.matrix();
+        let out = sw.mul_vec(&CVector::basis_state(4, 1)); // |01⟩ → |10⟩
+        assert!(out.approx_eq(&CVector::basis_state(4, 2), TOL));
+    }
+
+    #[test]
+    fn unitary_gate_validation() {
+        assert!(Gate::unitary(CMatrix::identity(4), "ok").is_ok());
+        let bad = CMatrix::from_real(2, 2, &[1.0, 1.0, 0.0, 1.0]);
+        assert!(matches!(
+            Gate::unitary(bad, "bad"),
+            Err(crate::CircuitError::NotUnitary { .. })
+        ));
+        let not_pow2 = CMatrix::identity(3);
+        assert!(Gate::unitary(not_pow2, "dim").is_err());
+    }
+
+    #[test]
+    fn embed_on_full_register() {
+        let h = Gate::H.matrix();
+        let full = embed(&h, &[0], 1);
+        assert!(full.approx_eq(&h, TOL));
+    }
+
+    #[test]
+    fn embed_respects_big_endian_order() {
+        // X on qubit 0 of 2: flips most significant bit.
+        let x0 = embed(&Gate::X.matrix(), &[0], 2);
+        let out = x0.mul_vec(&CVector::basis_state(4, 0));
+        assert!(out.approx_eq(&CVector::basis_state(4, 2), TOL));
+        // X on qubit 1 of 2: flips least significant bit.
+        let x1 = embed(&Gate::X.matrix(), &[1], 2);
+        let out = x1.mul_vec(&CVector::basis_state(4, 0));
+        assert!(out.approx_eq(&CVector::basis_state(4, 1), TOL));
+    }
+
+    #[test]
+    fn embed_cx_reversed_qubits() {
+        // CX with control=qubit1, target=qubit0 on a 2-qubit system.
+        let cx = embed(&Gate::Cx.matrix(), &[1, 0], 2);
+        let out = cx.mul_vec(&CVector::basis_state(4, 1)); // |01⟩: control set
+        assert!(out.approx_eq(&CVector::basis_state(4, 3), TOL));
+    }
+
+    #[test]
+    fn embed_matches_kron_for_adjacent_gates() {
+        let h = Gate::H.matrix();
+        let id = CMatrix::identity(2);
+        let lhs = embed(&h, &[0], 2);
+        let rhs = h.kron(&id);
+        assert!(lhs.approx_eq(&rhs, TOL));
+        let lhs = embed(&h, &[1], 2);
+        let rhs = id.kron(&h);
+        assert!(lhs.approx_eq(&rhs, TOL));
+    }
+
+    #[test]
+    #[should_panic]
+    fn embed_rejects_duplicates() {
+        let _ = embed(&Gate::Cx.matrix(), &[0, 0], 2);
+    }
+
+    #[test]
+    fn names_and_arities() {
+        assert_eq!(Gate::Cx.name(), "cx");
+        assert_eq!(Gate::Cx.num_qubits(), 2);
+        assert_eq!(Gate::Ccx.num_qubits(), 3);
+        assert_eq!(Gate::U3(0.0, 0.0, 0.0).num_qubits(), 1);
+        let u = Gate::unitary(CMatrix::identity(8), "u8").unwrap();
+        assert_eq!(u.num_qubits(), 3);
+    }
+
+    #[test]
+    fn entangler_classification() {
+        assert!(Gate::Cx.is_two_qubit_entangler());
+        assert!(Gate::Cz.is_two_qubit_entangler());
+        assert!(!Gate::H.is_two_qubit_entangler());
+        assert!(!Gate::Swap.is_two_qubit_entangler()); // lowered to 3 CX in cost
+        assert!(!Gate::Ccx.is_two_qubit_entangler());
+    }
+
+    #[test]
+    fn display_contains_name() {
+        assert!(format!("{}", Gate::Rz(1.0)).starts_with("rz"));
+        assert!(format!("{}", Gate::Cu3(1.0, 2.0, 3.0)).starts_with("cu3"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Circuit instructions: gates, measurements, resets and barriers.
+
+use crate::Gate;
+use std::fmt;
+
+/// The operation performed by an [`Instruction`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operation {
+    /// A unitary gate.
+    Gate(Gate),
+    /// A computational-basis measurement into a classical bit.
+    Measure,
+    /// Reset the qubit to `|0⟩`.
+    Reset,
+    /// A scheduling barrier (no semantic effect in simulation).
+    Barrier,
+}
+
+impl Operation {
+    /// The operation's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Operation::Gate(g) => g.name(),
+            Operation::Measure => "measure",
+            Operation::Reset => "reset",
+            Operation::Barrier => "barrier",
+        }
+    }
+
+    /// Returns `true` for unitary operations.
+    pub fn is_unitary(&self) -> bool {
+        matches!(self, Operation::Gate(_) | Operation::Barrier)
+    }
+}
+
+/// One step of a quantum circuit: an operation applied to specific qubits
+/// (and, for measurements, a classical bit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// What is applied.
+    pub operation: Operation,
+    /// The qubits acted on, in gate order.
+    pub qubits: Vec<usize>,
+    /// Classical bits written (only measurements use this).
+    pub clbits: Vec<usize>,
+}
+
+impl Instruction {
+    /// Creates a gate instruction.
+    pub fn gate(gate: Gate, qubits: Vec<usize>) -> Self {
+        Self {
+            operation: Operation::Gate(gate),
+            qubits,
+            clbits: Vec::new(),
+        }
+    }
+
+    /// Creates a measurement instruction.
+    pub fn measure(qubit: usize, clbit: usize) -> Self {
+        Self {
+            operation: Operation::Measure,
+            qubits: vec![qubit],
+            clbits: vec![clbit],
+        }
+    }
+
+    /// Creates a reset instruction.
+    pub fn reset(qubit: usize) -> Self {
+        Self {
+            operation: Operation::Reset,
+            qubits: vec![qubit],
+            clbits: Vec::new(),
+        }
+    }
+
+    /// Creates a barrier over the given qubits.
+    pub fn barrier(qubits: Vec<usize>) -> Self {
+        Self {
+            operation: Operation::Barrier,
+            qubits,
+            clbits: Vec::new(),
+        }
+    }
+
+    /// Returns the gate if this instruction is a gate.
+    pub fn as_gate(&self) -> Option<&Gate> {
+        match &self.operation {
+            Operation::Gate(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.operation {
+            Operation::Gate(g) => write!(f, "{g} q{:?}", self.qubits),
+            Operation::Measure => {
+                write!(f, "measure q{:?} -> c{:?}", self.qubits, self.clbits)
+            }
+            Operation::Reset => write!(f, "reset q{:?}", self.qubits),
+            Operation::Barrier => write!(f, "barrier q{:?}", self.qubits),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let g = Instruction::gate(Gate::H, vec![0]);
+        assert_eq!(g.operation.name(), "h");
+        assert!(g.as_gate().is_some());
+        assert!(g.operation.is_unitary());
+
+        let m = Instruction::measure(1, 0);
+        assert_eq!(m.qubits, vec![1]);
+        assert_eq!(m.clbits, vec![0]);
+        assert!(!m.operation.is_unitary());
+        assert!(m.as_gate().is_none());
+
+        let r = Instruction::reset(2);
+        assert_eq!(r.operation.name(), "reset");
+
+        let b = Instruction::barrier(vec![0, 1]);
+        assert!(b.operation.is_unitary());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert!(format!("{}", Instruction::gate(Gate::Cx, vec![0, 1])).contains("cx"));
+        assert!(format!("{}", Instruction::measure(0, 0)).contains("->"));
+        assert!(format!("{}", Instruction::reset(0)).contains("reset"));
+        assert!(format!("{}", Instruction::barrier(vec![0])).contains("barrier"));
+    }
+}

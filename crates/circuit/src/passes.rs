@@ -1,0 +1,527 @@
+//! Peephole circuit optimisation passes.
+//!
+//! The assertion builders synthesise circuits compositionally, which leaves
+//! easy local redundancies: adjacent self-inverse pairs (`H·H`, `CX·CX`),
+//! mergeable rotations (`Rz(a)·Rz(b)`), and zero-angle rotations. The
+//! [`peephole_optimize`] pass removes them, iterating to a fixpoint. It is
+//! deliberately conservative: gates only cancel/merge when no intervening
+//! instruction touches any of their qubits.
+
+use crate::{Circuit, Gate, Instruction, Operation};
+
+const ANGLE_TOL: f64 = 1e-12;
+
+/// Runs the peephole optimizer until no further reduction applies and
+/// returns the optimised circuit.
+///
+/// ```rust
+/// use qra_circuit::{Circuit, passes::peephole_optimize};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).h(0).cx(0, 1).cx(0, 1).rz(0.4, 1).rz(-0.4, 1);
+/// let opt = peephole_optimize(&c);
+/// assert_eq!(opt.len(), 0);
+/// ```
+pub fn peephole_optimize(circuit: &Circuit) -> Circuit {
+    let mut insts: Vec<Option<Instruction>> = circuit.instructions().iter().cloned().map(Some).collect();
+    loop {
+        let mut changed = false;
+        changed |= drop_trivial(&mut insts);
+        changed |= cancel_and_merge(&mut insts);
+        changed |= cancel_cx_through_commuting(&mut insts);
+        if !changed {
+            break;
+        }
+    }
+    let mut out = Circuit::with_clbits(circuit.num_qubits(), circuit.num_clbits());
+    for inst in insts.into_iter().flatten() {
+        push_raw(&mut out, inst);
+    }
+    out
+}
+
+fn push_raw(c: &mut Circuit, inst: Instruction) {
+    match &inst.operation {
+        Operation::Gate(g) => {
+            c.append(g.clone(), &inst.qubits).expect("valid instruction");
+        }
+        Operation::Measure => {
+            c.measure(inst.qubits[0], inst.clbits[0])
+                .expect("valid measure");
+        }
+        Operation::Reset => {
+            c.reset(inst.qubits[0]).expect("valid reset");
+        }
+        Operation::Barrier => {
+            c.barrier_on(inst.qubits);
+        }
+    }
+}
+
+fn drop_trivial(insts: &mut [Option<Instruction>]) -> bool {
+    let mut changed = false;
+    for slot in insts.iter_mut() {
+        let Some(inst) = slot else { continue };
+        let Operation::Gate(g) = &inst.operation else {
+            continue;
+        };
+        let trivial = match g {
+            Gate::I => true,
+            Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Phase(t) => t.abs() < ANGLE_TOL,
+            Gate::Cp(t) | Gate::Crx(t) | Gate::Cry(t) | Gate::Crz(t) => t.abs() < ANGLE_TOL,
+            Gate::U3(t, p, l) => {
+                t.abs() < ANGLE_TOL && p.abs() < ANGLE_TOL && l.abs() < ANGLE_TOL
+            }
+            _ => false,
+        };
+        if trivial {
+            *slot = None;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Returns the merged gate when `a` then `b` (same qubits) combine, or
+/// `None`. `Some(None)` means the pair cancels entirely.
+#[allow(clippy::option_option)]
+fn merge_pair(a: &Gate, b: &Gate) -> Option<Option<Gate>> {
+    use Gate::*;
+    // Self-inverse identical pairs cancel.
+    let self_inverse = matches!(
+        a,
+        I | X | Y | Z | H | Cx | Cy | Cz | Ch | Swap | Ccx | Ccz | Cswap
+    );
+    if self_inverse && a == b {
+        return Some(None);
+    }
+    // Inverse pairs cancel (S·Sdg etc.).
+    match (a, b) {
+        (S, Sdg) | (Sdg, S) | (T, Tdg) | (Tdg, T) | (Sx, Sxdg) | (Sxdg, Sx) => {
+            return Some(None)
+        }
+        _ => {}
+    }
+    // Mergeable rotations.
+    let merged = match (a, b) {
+        (Rx(x), Rx(y)) => Some(Rx(x + y)),
+        (Ry(x), Ry(y)) => Some(Ry(x + y)),
+        (Rz(x), Rz(y)) => Some(Rz(x + y)),
+        (Phase(x), Phase(y)) => Some(Phase(x + y)),
+        (Cp(x), Cp(y)) => Some(Cp(x + y)),
+        (Crx(x), Crx(y)) => Some(Crx(x + y)),
+        (Cry(x), Cry(y)) => Some(Cry(x + y)),
+        (Crz(x), Crz(y)) => Some(Crz(x + y)),
+        (S, S) => Some(Z),
+        (Sdg, Sdg) => Some(Z),
+        (T, T) => Some(S),
+        (Tdg, Tdg) => Some(Sdg),
+        _ => None,
+    }?;
+    Some(Some(merged))
+}
+
+fn cancel_and_merge(insts: &mut Vec<Option<Instruction>>) -> bool {
+    let mut changed = false;
+    let len = insts.len();
+    for idx in 0..len {
+        let Some(inst) = insts[idx].clone() else {
+            continue;
+        };
+        let Operation::Gate(g) = &inst.operation else {
+            continue;
+        };
+        // Find the next instruction that shares a qubit.
+        let mut next_idx = None;
+        'scan: for (j, slot) in insts.iter().enumerate().skip(idx + 1) {
+            let Some(other) = slot else { continue };
+            if other.qubits.iter().any(|q| inst.qubits.contains(q)) {
+                next_idx = Some(j);
+                break 'scan;
+            }
+        }
+        let Some(j) = next_idx else { continue };
+        let other = insts[j].clone().expect("checked");
+        let Operation::Gate(h) = &other.operation else {
+            continue;
+        };
+        // Must act on identical qubit lists (same order) to merge safely,
+        // except CZ/CCZ/Swap-style symmetric gates where order is free.
+        let same_qubits = if is_symmetric(g) && is_symmetric(h) {
+            let mut a = inst.qubits.clone();
+            let mut b = other.qubits.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            a == b && g.name() == h.name()
+        } else {
+            inst.qubits == other.qubits
+        };
+        if !same_qubits {
+            continue;
+        }
+        if let Some(result) = merge_pair(g, h) {
+            match result {
+                None => {
+                    insts[idx] = None;
+                    insts[j] = None;
+                }
+                Some(merged) => {
+                    insts[idx] = Some(Instruction::gate(merged, inst.qubits.clone()));
+                    insts[j] = None;
+                }
+            }
+            changed = true;
+        }
+    }
+    if changed {
+        insts.retain(|s| s.is_some() || true);
+    }
+    changed
+}
+
+fn is_symmetric(g: &Gate) -> bool {
+    matches!(g, Gate::Cz | Gate::Swap | Gate::Ccz | Gate::Cp(_))
+}
+
+/// Cancels identical CX(a,b) pairs separated by instructions that commute
+/// with the CX: gates acting Z-diagonally on the control `a` and/or
+/// X-axis-wise on the target `b`. This catches the `CX … Rz(a) … CX` and
+/// `CX … CX(a,c) … CX` patterns the local-adjacency rule misses.
+fn cancel_cx_through_commuting(insts: &mut [Option<Instruction>]) -> bool {
+    let mut changed = false;
+    let len = insts.len();
+    for idx in 0..len {
+        let Some(inst) = insts[idx].clone() else {
+            continue;
+        };
+        let Some(Gate::Cx) = inst.as_gate() else {
+            continue;
+        };
+        let (a, b) = (inst.qubits[0], inst.qubits[1]);
+        for j in idx + 1..len {
+            let Some(other) = insts[j].clone() else {
+                continue;
+            };
+            if let Some(Gate::Cx) = other.as_gate() {
+                if other.qubits == inst.qubits {
+                    insts[idx] = None;
+                    insts[j] = None;
+                    changed = true;
+                    break;
+                }
+            }
+            let touches_a = other.qubits.contains(&a);
+            let touches_b = other.qubits.contains(&b);
+            if !touches_a && !touches_b {
+                continue;
+            }
+            let Operation::Gate(g) = &other.operation else {
+                break; // measure/reset on a or b blocks cancellation
+            };
+            let ok_a = !touches_a || z_diagonal_on(g, &other.qubits, a);
+            let ok_b = !touches_b || x_axis_on(g, &other.qubits, b);
+            if !(ok_a && ok_b) {
+                break;
+            }
+        }
+    }
+    changed
+}
+
+/// Does `g` act Z-diagonally on qubit `q` (i.e. commute with `|0⟩⟨0|_q`,
+/// `|1⟩⟨1|_q` projectors)?
+fn z_diagonal_on(g: &Gate, qubits: &[usize], q: usize) -> bool {
+    let pos = qubits.iter().position(|&x| x == q).expect("q in qubits");
+    match g {
+        // Fully diagonal gates qualify at every position.
+        Gate::I
+        | Gate::Z
+        | Gate::S
+        | Gate::Sdg
+        | Gate::T
+        | Gate::Tdg
+        | Gate::Rz(_)
+        | Gate::Phase(_)
+        | Gate::Cz
+        | Gate::Cp(_)
+        | Gate::Crz(_)
+        | Gate::Ccz => true,
+        // Controlled gates are diagonal in their controls.
+        Gate::Cx | Gate::Cy | Gate::Ch | Gate::Crx(_) | Gate::Cry(_) | Gate::Cu3(_, _, _) => {
+            pos == 0
+        }
+        Gate::Ccx => pos <= 1,
+        _ => false,
+    }
+}
+
+/// Does `g` act purely along the X axis on qubit `q` (i.e. commute with
+/// `X_q`)?
+fn x_axis_on(g: &Gate, qubits: &[usize], q: usize) -> bool {
+    let pos = qubits.iter().position(|&x| x == q).expect("q in qubits");
+    match g {
+        Gate::I | Gate::X | Gate::Rx(_) | Gate::Sx | Gate::Sxdg => true,
+        Gate::Cx | Gate::Crx(_) => pos == 1,
+        Gate::Ccx => pos == 2,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancels_adjacent_self_inverse() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(0).x(1).x(1).cx(0, 1).cx(0, 1);
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.len(), 0);
+    }
+
+    #[test]
+    fn merges_rotations() {
+        let mut c = Circuit::new(1);
+        c.rz(0.25, 0).rz(0.5, 0);
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.len(), 1);
+        match opt.instructions()[0].as_gate().unwrap() {
+            Gate::Rz(t) => assert!((t - 0.75).abs() < 1e-12),
+            g => panic!("unexpected gate {g}"),
+        }
+    }
+
+    #[test]
+    fn rotation_pair_summing_to_zero_disappears() {
+        let mut c = Circuit::new(1);
+        c.ry(1.1, 0).ry(-1.1, 0);
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.len(), 0);
+    }
+
+    #[test]
+    fn does_not_cancel_across_blockers() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).h(0);
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.len(), 3, "H…CX…H must not cancel");
+    }
+
+    #[test]
+    fn cancels_through_unrelated_qubits() {
+        let mut c = Circuit::new(3);
+        c.h(0).x(2).h(0); // X on qubit 2 does not block the H pair
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.instructions()[0].as_gate().unwrap().name(), "x");
+    }
+
+    #[test]
+    fn symmetric_gate_cancels_with_swapped_operands() {
+        let mut c = Circuit::new(2);
+        c.cz(0, 1).cz(1, 0);
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.len(), 0);
+    }
+
+    #[test]
+    fn cx_with_swapped_operands_does_not_cancel() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0);
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.len(), 2);
+    }
+
+    #[test]
+    fn drops_zero_rotations_and_identity() {
+        let mut c = Circuit::new(1);
+        c.rz(0.0, 0).rx(0.0, 0).append(Gate::I, &[0]).unwrap();
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.len(), 0);
+    }
+
+    #[test]
+    fn t_pairs_promote_to_s() {
+        let mut c = Circuit::new(1);
+        c.t(0).t(0);
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.instructions()[0].as_gate().unwrap().name(), "s");
+    }
+
+    #[test]
+    fn preserves_semantics_on_random_circuit() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        for _ in 0..5 {
+            let n = 3;
+            let mut c = Circuit::new(n);
+            for _ in 0..30 {
+                match rng.gen_range(0..6) {
+                    0 => {
+                        c.h(rng.gen_range(0..n));
+                    }
+                    1 => {
+                        c.rz(rng.gen_range(-1.0..1.0), rng.gen_range(0..n));
+                    }
+                    2 => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                        c.cx(a, b);
+                    }
+                    3 => {
+                        c.x(rng.gen_range(0..n));
+                    }
+                    4 => {
+                        c.t(rng.gen_range(0..n));
+                    }
+                    _ => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                        c.cz(a, b);
+                    }
+                }
+            }
+            let opt = peephole_optimize(&c);
+            assert!(opt.len() <= c.len());
+            let u1 = c.unitary_matrix().unwrap();
+            let u2 = opt.unitary_matrix().unwrap();
+            assert!(u1.approx_eq_up_to_phase(&u2, 1e-8), "semantics changed");
+        }
+    }
+
+    #[test]
+    fn cx_cancels_through_rz_on_control() {
+        // CX(0,1) · Rz(0) · CX(0,1): the Rz is diagonal on the control.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).rz(0.7, 0).cx(0, 1);
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.len(), 1, "only the Rz must remain");
+        assert_eq!(opt.instructions()[0].as_gate().unwrap().name(), "rz");
+        let u1 = c.unitary_matrix().unwrap();
+        let u2 = opt.unitary_matrix().unwrap();
+        assert!(u1.approx_eq_up_to_phase(&u2, 1e-10));
+    }
+
+    #[test]
+    fn cx_cancels_through_x_on_target() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).x(1).cx(0, 1);
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.len(), 1);
+        let u1 = c.unitary_matrix().unwrap();
+        let u2 = opt.unitary_matrix().unwrap();
+        assert!(u1.approx_eq_up_to_phase(&u2, 1e-10));
+    }
+
+    #[test]
+    fn cx_cancels_through_other_cx_sharing_control() {
+        // CX(0,1) · CX(0,2) · CX(0,1): middle gate is diagonal on qubit 0.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(0, 2).cx(0, 1);
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.len(), 1);
+        let u1 = c.unitary_matrix().unwrap();
+        let u2 = opt.unitary_matrix().unwrap();
+        assert!(u1.approx_eq_up_to_phase(&u2, 1e-10));
+    }
+
+    #[test]
+    fn cx_blocked_by_h_on_control() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).h(0).cx(0, 1);
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.len(), 3, "H on the control must block cancellation");
+    }
+
+    #[test]
+    fn cx_blocked_by_z_on_target() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).z(1).cx(0, 1);
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.len(), 3, "Z on the target must block cancellation");
+    }
+
+    #[test]
+    fn cx_blocked_by_reversed_cx() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0).cx(0, 1);
+        let opt = peephole_optimize(&c);
+        // The swap-like pattern must survive untouched.
+        assert_eq!(opt.len(), 3);
+        let u1 = c.unitary_matrix().unwrap();
+        let u2 = opt.unitary_matrix().unwrap();
+        assert!(u1.approx_eq_up_to_phase(&u2, 1e-10));
+    }
+
+    #[test]
+    fn cx_commuting_cancellation_preserves_semantics_randomized() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(97);
+        for _ in 0..10 {
+            let n = 3;
+            let mut c = Circuit::new(n);
+            for _ in 0..24 {
+                match rng.gen_range(0..8) {
+                    0 => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                        c.cx(a, b);
+                    }
+                    1 => {
+                        c.rz(rng.gen_range(-1.0..1.0), rng.gen_range(0..n));
+                    }
+                    2 => {
+                        c.rx(rng.gen_range(-1.0..1.0), rng.gen_range(0..n));
+                    }
+                    3 => {
+                        c.x(rng.gen_range(0..n));
+                    }
+                    4 => {
+                        c.t(rng.gen_range(0..n));
+                    }
+                    5 => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                        c.cz(a, b);
+                    }
+                    6 => {
+                        c.h(rng.gen_range(0..n));
+                    }
+                    _ => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                        c.crz(rng.gen_range(-1.0..1.0), a, b);
+                    }
+                }
+            }
+            let opt = peephole_optimize(&c);
+            let u1 = c.unitary_matrix().unwrap();
+            let u2 = opt.unitary_matrix().unwrap();
+            assert!(
+                u1.approx_eq_up_to_phase(&u2, 1e-8),
+                "commuting cancellation changed semantics"
+            );
+        }
+    }
+
+    #[test]
+    fn preserves_measurements() {
+        let mut c = Circuit::with_clbits(1, 1);
+        c.h(0).h(0);
+        c.measure(0, 0).unwrap();
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.measure_count(), 1);
+        assert_eq!(opt.gate_count(), 0);
+    }
+
+    #[test]
+    fn measurement_blocks_cancellation() {
+        let mut c = Circuit::with_clbits(1, 1);
+        c.h(0);
+        c.measure(0, 0).unwrap();
+        c.h(0);
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.gate_count(), 2);
+    }
+}

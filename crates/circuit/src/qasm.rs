@@ -1,0 +1,160 @@
+//! OpenQASM 2.0 export.
+//!
+//! Lets circuits (including synthesised assertion circuits) be inspected or
+//! fed to external toolchains. Opaque `Unitary` gates must be synthesised
+//! first; exporting them directly is an error.
+
+use crate::{Circuit, CircuitError, Gate, Operation};
+use std::fmt::Write as _;
+
+/// Serialises `circuit` as an OpenQASM 2.0 program over one flat register.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Synthesis`] when the circuit contains an opaque
+/// unitary gate that OpenQASM 2.0 cannot express; synthesise it first with
+/// [`crate::synthesis::unitary_circuit`].
+///
+/// ```rust
+/// use qra_circuit::{Circuit, qasm::to_qasm};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let text = to_qasm(&c)?;
+/// assert!(text.contains("h q[0];"));
+/// assert!(text.contains("cx q[0],q[1];"));
+/// # Ok::<(), qra_circuit::CircuitError>(())
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> Result<String, CircuitError> {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits().max(1));
+    if circuit.num_clbits() > 0 {
+        let _ = writeln!(out, "creg c[{}];", circuit.num_clbits());
+    }
+    for inst in circuit.instructions() {
+        match &inst.operation {
+            Operation::Measure => {
+                let _ = writeln!(out, "measure q[{}] -> c[{}];", inst.qubits[0], inst.clbits[0]);
+            }
+            Operation::Reset => {
+                let _ = writeln!(out, "reset q[{}];", inst.qubits[0]);
+            }
+            Operation::Barrier => {
+                let args: Vec<String> = inst.qubits.iter().map(|q| format!("q[{q}]")).collect();
+                let _ = writeln!(out, "barrier {};", args.join(","));
+            }
+            Operation::Gate(g) => {
+                let args: Vec<String> = inst.qubits.iter().map(|q| format!("q[{q}]")).collect();
+                let call = gate_call(g)?;
+                let _ = writeln!(out, "{call} {};", args.join(","));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn gate_call(g: &Gate) -> Result<String, CircuitError> {
+    Ok(match g {
+        Gate::I => "id".to_string(),
+        Gate::Rx(t) => format!("rx({t})"),
+        Gate::Ry(t) => format!("ry({t})"),
+        Gate::Rz(t) => format!("rz({t})"),
+        Gate::Phase(t) => format!("u1({t})"),
+        Gate::U2(p, l) => format!("u2({p},{l})"),
+        Gate::U3(t, p, l) => format!("u3({t},{p},{l})"),
+        Gate::Cp(t) => format!("cu1({t})"),
+        Gate::Crx(t) => format!("crx({t})"),
+        Gate::Cry(t) => format!("cry({t})"),
+        Gate::Crz(t) => format!("crz({t})"),
+        Gate::Cu3(t, p, l) => format!("cu3({t},{p},{l})"),
+        Gate::Unitary(_, label) => {
+            return Err(CircuitError::Synthesis {
+                reason: format!("opaque unitary '{label}' cannot be exported to OpenQASM 2"),
+            })
+        }
+        // ccz has no qelib1 entry; decompose conceptually via h+ccx+h.
+        Gate::Ccz => {
+            return Err(CircuitError::Synthesis {
+                reason: "ccz has no OpenQASM 2 primitive; lower it first".into(),
+            })
+        }
+        // sxdg predates qelib1; emit the exact u3 equivalent instead.
+        Gate::Sxdg => format!(
+            "u3({},{},{})",
+            -std::f64::consts::FRAC_PI_2,
+            -std::f64::consts::FRAC_PI_2,
+            std::f64::consts::FRAC_PI_2
+        ),
+        other => other.name().to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_header_and_gates() {
+        let mut c = Circuit::with_clbits(3, 3);
+        c.h(0).cx(0, 1).rz(0.5, 2).swap(1, 2).ccx(0, 1, 2);
+        c.measure(0, 0).unwrap();
+        c.reset(1).unwrap();
+        c.barrier();
+        let text = to_qasm(&c).unwrap();
+        assert!(text.starts_with("OPENQASM 2.0;"));
+        assert!(text.contains("qreg q[3];"));
+        assert!(text.contains("creg c[3];"));
+        assert!(text.contains("h q[0];"));
+        assert!(text.contains("cx q[0],q[1];"));
+        assert!(text.contains("rz(0.5) q[2];"));
+        assert!(text.contains("swap q[1],q[2];"));
+        assert!(text.contains("ccx q[0],q[1],q[2];"));
+        assert!(text.contains("measure q[0] -> c[0];"));
+        assert!(text.contains("reset q[1];"));
+        assert!(text.contains("barrier"));
+    }
+
+    #[test]
+    fn parameterised_forms() {
+        let mut c = Circuit::new(2);
+        c.u3(0.1, 0.2, 0.3, 0).cp(0.7, 0, 1).cu3(1.0, 2.0, 3.0, 0, 1);
+        let text = to_qasm(&c).unwrap();
+        assert!(text.contains("u3(0.1,0.2,0.3) q[0];"));
+        assert!(text.contains("cu1(0.7) q[0],q[1];"));
+        assert!(text.contains("cu3(1,2,3) q[0],q[1];"));
+    }
+
+    #[test]
+    fn rejects_opaque_unitary() {
+        let mut c = Circuit::new(2);
+        c.unitary(Gate::Cx.matrix(), &[0, 1], "blob").unwrap();
+        assert!(to_qasm(&c).is_err());
+    }
+
+    #[test]
+    fn rejects_ccz() {
+        let mut c = Circuit::new(3);
+        c.ccz(0, 1, 2);
+        assert!(to_qasm(&c).is_err());
+    }
+
+    #[test]
+    fn sxdg_emits_exact_u3_form() {
+        let mut c = Circuit::new(1);
+        c.append(Gate::Sxdg, &[0]).unwrap();
+        let text = to_qasm(&c).unwrap();
+        assert!(text.contains("u3("), "got: {text}");
+        // The emitted u3 must equal Sx† up to global phase.
+        let parsed = crate::qasm_parser::from_qasm(&text).unwrap();
+        let u = parsed.unitary_matrix().unwrap();
+        assert!(u.approx_eq_up_to_phase(&Gate::Sxdg.matrix(), 1e-9));
+    }
+
+    #[test]
+    fn empty_circuit_has_min_register() {
+        let c = Circuit::new(0);
+        let text = to_qasm(&c).unwrap();
+        assert!(text.contains("qreg q[1];"));
+    }
+}

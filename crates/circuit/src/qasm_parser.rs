@@ -1,0 +1,827 @@
+//! OpenQASM 2.0 import.
+//!
+//! Supports `qreg`/`creg` declarations (multiple registers are flattened in
+//! declaration order), the qelib1 gates used across this workspace,
+//! user-defined `gate name(params) q0,q1 { … }` blocks (inlined at call
+//! sites, recursively), `measure`, `reset` and `barrier`. Angle expressions
+//! accept literals, `pi`, gate parameters, unary minus, parentheses and
+//! `* / + -` arithmetic — enough to round-trip everything
+//! [`crate::qasm::to_qasm`] produces plus hand-written files in the same
+//! style.
+
+use crate::{Circuit, CircuitError, Gate};
+use std::collections::HashMap;
+
+/// Parses an OpenQASM 2.0 program into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Synthesis`] with a line-annotated message for
+/// unsupported constructs or malformed syntax.
+///
+/// ```rust
+/// use qra_circuit::qasm_parser::from_qasm;
+///
+/// let text = r#"
+/// OPENQASM 2.0;
+/// include "qelib1.inc";
+/// qreg q[2];
+/// creg c[2];
+/// h q[0];
+/// cx q[0],q[1];
+/// measure q[0] -> c[0];
+/// "#;
+/// let circuit = from_qasm(text)?;
+/// assert_eq!(circuit.num_qubits(), 2);
+/// assert_eq!(circuit.gate_count(), 2);
+/// assert_eq!(circuit.measure_count(), 1);
+/// # Ok::<(), qra_circuit::CircuitError>(())
+/// ```
+pub fn from_qasm(text: &str) -> Result<Circuit, CircuitError> {
+    let mut parser = Parser::default();
+    for (lineno, stmt) in split_statements(text) {
+        parser
+            .statement(&stmt)
+            .map_err(|reason| CircuitError::Synthesis {
+                reason: format!("line {lineno}: {reason}"),
+            })?;
+    }
+    Ok(parser.circuit)
+}
+
+/// Splits the source into `(line, statement)` pairs: statements end at `;`
+/// outside braces; a `gate … { … }` block (which spans lines) is one
+/// statement. Comments are stripped first.
+fn split_statements(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut start_line = 1usize;
+    let mut depth = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw);
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    current.push(ch);
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    current.push(ch);
+                    if depth == 0 && current.trim_start().starts_with("gate ") {
+                        out.push((start_line, current.trim().to_string()));
+                        current.clear();
+                    }
+                }
+                ';' if depth == 0 => {
+                    let stmt = current.trim();
+                    if !stmt.is_empty() {
+                        out.push((start_line, stmt.to_string()));
+                    }
+                    current.clear();
+                }
+                other => {
+                    if current.trim().is_empty() {
+                        start_line = lineno + 1;
+                    }
+                    current.push(other);
+                }
+            }
+        }
+        current.push(' ');
+    }
+    let tail = current.trim();
+    if !tail.is_empty() {
+        out.push((start_line, tail.to_string()));
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(idx) => &line[..idx],
+        None => line,
+    }
+}
+
+/// A user-defined gate: formal parameter names, formal qubit names, and
+/// the raw body statements for call-site inlining.
+#[derive(Debug, Clone)]
+struct GateDef {
+    params: Vec<String>,
+    qubits: Vec<String>,
+    body: Vec<String>,
+}
+
+#[derive(Default)]
+struct Parser {
+    circuit: Circuit,
+    qregs: HashMap<String, (usize, usize)>, // name -> (start, size)
+    cregs: HashMap<String, (usize, usize)>,
+    gate_defs: HashMap<String, GateDef>,
+}
+
+impl Parser {
+    fn statement(&mut self, stmt: &str) -> Result<(), String> {
+        if stmt.starts_with("OPENQASM") || stmt.starts_with("include") {
+            return Ok(());
+        }
+        if stmt.starts_with("gate ") {
+            return self.gate_definition(stmt);
+        }
+        if let Some(rest) = stmt.strip_prefix("qreg ") {
+            let (name, size) = parse_decl(rest)?;
+            let start = self.circuit.num_qubits();
+            self.circuit.expand_qubits(start + size);
+            self.qregs.insert(name, (start, size));
+            return Ok(());
+        }
+        if let Some(rest) = stmt.strip_prefix("creg ") {
+            let (name, size) = parse_decl(rest)?;
+            let start = self.circuit.num_clbits();
+            self.circuit.expand_clbits(start + size);
+            self.cregs.insert(name, (start, size));
+            return Ok(());
+        }
+        if let Some(rest) = stmt.strip_prefix("measure ") {
+            let (lhs, rhs) = rest
+                .split_once("->")
+                .ok_or_else(|| "measure needs '->'".to_string())?;
+            let qubit = self.qubit(lhs.trim())?;
+            let clbit = self.clbit(rhs.trim())?;
+            self.circuit
+                .measure(qubit, clbit)
+                .map_err(|e| e.to_string())?;
+            return Ok(());
+        }
+        if let Some(rest) = stmt.strip_prefix("reset ") {
+            let qubit = self.qubit(rest.trim())?;
+            self.circuit.reset(qubit).map_err(|e| e.to_string())?;
+            return Ok(());
+        }
+        if let Some(rest) = stmt.strip_prefix("barrier") {
+            let qubits = self.qubit_list(rest.trim())?;
+            self.circuit.barrier_on(qubits);
+            return Ok(());
+        }
+        self.gate_statement(stmt)
+    }
+
+    /// Parses `gate name(p0,p1) a,b { body }` and records the definition.
+    fn gate_definition(&mut self, stmt: &str) -> Result<(), String> {
+        let open = stmt.find('{').ok_or("gate definition missing '{'")?;
+        let close = stmt.rfind('}').ok_or("gate definition missing '}'")?;
+        let header = stmt["gate ".len()..open].trim();
+        let body_text = &stmt[open + 1..close];
+
+        let (sig, qubit_names) = match header.find(')') {
+            Some(idx) => (&header[..=idx], header[idx + 1..].trim()),
+            None => match header.find(|c: char| c.is_whitespace()) {
+                Some(idx) => (&header[..idx], header[idx..].trim()),
+                None => return Err(format!("malformed gate header '{header}'")),
+            },
+        };
+        let (name, params) = match sig.find('(') {
+            Some(idx) => {
+                let close = sig.rfind(')').ok_or("missing ')'")?;
+                let params: Vec<String> = sig[idx + 1..close]
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                (sig[..idx].trim().to_string(), params)
+            }
+            None => (sig.trim().to_string(), Vec::new()),
+        };
+        if name.is_empty() {
+            return Err("gate definition has no name".into());
+        }
+        let qubits: Vec<String> = qubit_names
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        if qubits.is_empty() {
+            return Err(format!("gate '{name}' declares no qubits"));
+        }
+        let body: Vec<String> = body_text
+            .split(';')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        self.gate_defs.insert(
+            name,
+            GateDef {
+                params,
+                qubits,
+                body,
+            },
+        );
+        Ok(())
+    }
+
+    fn gate_statement(&mut self, stmt: &str) -> Result<(), String> {
+        let (name, params, operands) = split_gate_call(stmt)?;
+        // User-defined gates inline their bodies with substituted formals.
+        if let Some(def) = self.gate_defs.get(&name).cloned() {
+            return self.inline_defined_gate(&def, &name, &params, &operands);
+        }
+        let qubits = self.qubit_list(&operands.join(","))?;
+        let values: Result<Vec<f64>, String> =
+            params.iter().map(|p| eval_expr_with(p, &HashMap::new())).collect();
+        let gate = resolve_gate(&name, &values?)?;
+        self.circuit
+            .append(gate, &qubits)
+            .map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    /// Inlines one call of a user-defined gate: binds formal parameters to
+    /// evaluated angle expressions and formal qubits to actual operands,
+    /// then replays the body (which may itself call defined gates).
+    fn inline_defined_gate(
+        &mut self,
+        def: &GateDef,
+        name: &str,
+        params: &[String],
+        operands: &[String],
+    ) -> Result<(), String> {
+        if params.len() != def.params.len() {
+            return Err(format!(
+                "gate {name} expects {} parameters, got {}",
+                def.params.len(),
+                params.len()
+            ));
+        }
+        if operands.len() != def.qubits.len() {
+            return Err(format!(
+                "gate {name} expects {} qubits, got {}",
+                def.qubits.len(),
+                operands.len()
+            ));
+        }
+        let mut bindings = HashMap::new();
+        for (formal, actual) in def.params.iter().zip(params) {
+            bindings.insert(formal.clone(), eval_expr_with(actual, &HashMap::new())?);
+        }
+        let qubit_map: HashMap<&str, &str> = def
+            .qubits
+            .iter()
+            .map(String::as_str)
+            .zip(operands.iter().map(String::as_str))
+            .collect();
+
+        for body_stmt in &def.body {
+            let (bname, bparams, boperands) = split_gate_call(body_stmt)?;
+            let actual_qubits: Result<Vec<String>, String> = boperands
+                .iter()
+                .map(|q| {
+                    qubit_map
+                        .get(q.as_str())
+                        .map(|s| s.to_string())
+                        .ok_or_else(|| format!("gate {name}: unknown formal qubit '{q}'"))
+                })
+                .collect();
+            let actual_qubits = actual_qubits?;
+            if let Some(inner) = self.gate_defs.get(&bname).cloned() {
+                // Evaluate inner params under the current bindings first.
+                let evaluated: Result<Vec<String>, String> = bparams
+                    .iter()
+                    .map(|p| eval_expr_with(p, &bindings).map(|v| v.to_string()))
+                    .collect();
+                self.inline_defined_gate(&inner, &bname, &evaluated?, &actual_qubits)?;
+            } else {
+                let values: Result<Vec<f64>, String> = bparams
+                    .iter()
+                    .map(|p| eval_expr_with(p, &bindings))
+                    .collect();
+                let gate = resolve_gate(&bname, &values?)?;
+                let qubits = self.qubit_list(&actual_qubits.join(","))?;
+                self.circuit
+                    .append(gate, &qubits)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn qubit(&self, token: &str) -> Result<usize, String> {
+        let (name, idx) = parse_index(token)?;
+        let &(start, size) = self
+            .qregs
+            .get(&name)
+            .ok_or_else(|| format!("unknown qreg '{name}'"))?;
+        if idx >= size {
+            return Err(format!("index {idx} out of range for qreg {name}[{size}]"));
+        }
+        Ok(start + idx)
+    }
+
+    fn clbit(&self, token: &str) -> Result<usize, String> {
+        let (name, idx) = parse_index(token)?;
+        let &(start, size) = self
+            .cregs
+            .get(&name)
+            .ok_or_else(|| format!("unknown creg '{name}'"))?;
+        if idx >= size {
+            return Err(format!("index {idx} out of range for creg {name}[{size}]"));
+        }
+        Ok(start + idx)
+    }
+
+    fn qubit_list(&self, operands: &str) -> Result<Vec<usize>, String> {
+        operands
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|token| self.qubit(token))
+            .collect()
+    }
+}
+
+fn parse_decl(rest: &str) -> Result<(String, usize), String> {
+    let (name, idx) = parse_index(rest.trim())?;
+    Ok((name, idx_to_size(idx)?))
+}
+
+fn idx_to_size(size: usize) -> Result<usize, String> {
+    if size == 0 {
+        return Err("register size must be positive".into());
+    }
+    Ok(size)
+}
+
+/// Parses `name[index]`.
+fn parse_index(token: &str) -> Result<(String, usize), String> {
+    let open = token.find('[').ok_or_else(|| format!("expected '[' in '{token}'"))?;
+    let close = token.find(']').ok_or_else(|| format!("expected ']' in '{token}'"))?;
+    let name = token[..open].trim().to_string();
+    let idx: usize = token[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad index in '{token}'"))?;
+    Ok((name, idx))
+}
+
+/// Splits a gate call `name[(p0,p1)] q0, q1` into
+/// `(name, raw params, raw operands)`.
+fn split_gate_call(stmt: &str) -> Result<(String, Vec<String>, Vec<String>), String> {
+    let stmt = stmt.trim();
+    let (head, operands_text) = match stmt.find('(') {
+        Some(open) => {
+            // The params may contain nested parens; find the matching close.
+            let mut depth = 0usize;
+            let mut close = None;
+            for (i, ch) in stmt.char_indices().skip(open) {
+                match ch {
+                    '(' => depth += 1,
+                    ')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = Some(i);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let close = close.ok_or("missing ')'")?;
+            (&stmt[..=close], &stmt[close + 1..])
+        }
+        None => match stmt.find(|c: char| c.is_whitespace()) {
+            Some(idx) => (&stmt[..idx], &stmt[idx..]),
+            None => return Err(format!("malformed statement '{stmt}'")),
+        },
+    };
+    let (name, params) = match head.find('(') {
+        Some(idx) => {
+            let close = head.rfind(')').ok_or("missing ')'")?;
+            let params = split_top_level_commas(&head[idx + 1..close]);
+            (head[..idx].trim().to_string(), params)
+        }
+        None => (head.trim().to_string(), Vec::new()),
+    };
+    let operands: Vec<String> = operands_text
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    Ok((name, params, operands))
+}
+
+/// Splits on commas not nested inside parentheses.
+fn split_top_level_commas(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for ch in text.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                current.push(ch);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                current.push(ch);
+            }
+            ',' if depth == 0 => {
+                if !current.trim().is_empty() {
+                    out.push(current.trim().to_string());
+                }
+                current.clear();
+            }
+            other => current.push(other),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current.trim().to_string());
+    }
+    out
+}
+
+/// Evaluates an angle expression: numbers, `pi`, named variables from
+/// `vars` (gate formal parameters), unary ±, `* / + -` with standard
+/// precedence, and parentheses.
+fn eval_expr_with(text: &str, vars: &HashMap<String, f64>) -> Result<f64, String> {
+    let tokens = tokenize(text, vars)?;
+    let mut pos = 0;
+    let value = parse_sum(&tokens, &mut pos)?;
+    if pos != tokens.len() {
+        return Err(format!("trailing tokens in '{text}'"));
+    }
+    Ok(value)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Op(char),
+    LParen,
+    RParen,
+}
+
+fn tokenize(text: &str, vars: &HashMap<String, f64>) -> Result<Vec<Tok>, String> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' | '-' | '*' | '/' => {
+                toks.push(Tok::Op(c));
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            a if a.is_ascii_alphabetic() || a == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                if word.eq_ignore_ascii_case("pi") {
+                    toks.push(Tok::Num(std::f64::consts::PI));
+                } else if let Some(&v) = vars.get(&word) {
+                    toks.push(Tok::Num(v));
+                } else {
+                    return Err(format!("unknown identifier '{word}'"));
+                }
+            }
+            d if d.is_ascii_digit() || d == '.' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
+                        || chars[i] == 'E'
+                        || ((chars[i] == '+' || chars[i] == '-')
+                            && i > start
+                            && (chars[i - 1] == 'e' || chars[i - 1] == 'E')))
+                {
+                    i += 1;
+                }
+                let s: String = chars[start..i].iter().collect();
+                toks.push(Tok::Num(s.parse().map_err(|_| format!("bad number '{s}'"))?));
+            }
+            other => return Err(format!("unexpected character '{other}'")),
+        }
+    }
+    Ok(toks)
+}
+
+fn parse_sum(toks: &[Tok], pos: &mut usize) -> Result<f64, String> {
+    let mut acc = parse_product(toks, pos)?;
+    while let Some(Tok::Op(op @ ('+' | '-'))) = toks.get(*pos) {
+        let op = *op;
+        *pos += 1;
+        let rhs = parse_product(toks, pos)?;
+        if op == '+' {
+            acc += rhs;
+        } else {
+            acc -= rhs;
+        }
+    }
+    Ok(acc)
+}
+
+fn parse_product(toks: &[Tok], pos: &mut usize) -> Result<f64, String> {
+    let mut acc = parse_atom(toks, pos)?;
+    while let Some(Tok::Op(op @ ('*' | '/'))) = toks.get(*pos) {
+        let op = *op;
+        *pos += 1;
+        let rhs = parse_atom(toks, pos)?;
+        if op == '*' {
+            acc *= rhs;
+        } else {
+            acc /= rhs;
+        }
+    }
+    Ok(acc)
+}
+
+fn parse_atom(toks: &[Tok], pos: &mut usize) -> Result<f64, String> {
+    match toks.get(*pos) {
+        Some(Tok::Num(v)) => {
+            *pos += 1;
+            Ok(*v)
+        }
+        Some(Tok::Op('-')) => {
+            *pos += 1;
+            Ok(-parse_atom(toks, pos)?)
+        }
+        Some(Tok::Op('+')) => {
+            *pos += 1;
+            parse_atom(toks, pos)
+        }
+        Some(Tok::LParen) => {
+            *pos += 1;
+            let v = parse_sum(toks, pos)?;
+            match toks.get(*pos) {
+                Some(Tok::RParen) => {
+                    *pos += 1;
+                    Ok(v)
+                }
+                _ => Err("missing ')'".into()),
+            }
+        }
+        other => Err(format!("unexpected token {other:?}")),
+    }
+}
+
+fn resolve_gate(name: &str, params: &[f64]) -> Result<Gate, String> {
+    let arity_err = |want: usize| format!("gate {name} expects {want} parameters, got {}", params.len());
+    let p = |i: usize| params[i];
+    Ok(match (name, params.len()) {
+        ("id", 0) => Gate::I,
+        ("x", 0) => Gate::X,
+        ("y", 0) => Gate::Y,
+        ("z", 0) => Gate::Z,
+        ("h", 0) => Gate::H,
+        ("s", 0) => Gate::S,
+        ("sdg", 0) => Gate::Sdg,
+        ("t", 0) => Gate::T,
+        ("tdg", 0) => Gate::Tdg,
+        ("sx", 0) => Gate::Sx,
+        ("rx", 1) => Gate::Rx(p(0)),
+        ("ry", 1) => Gate::Ry(p(0)),
+        ("rz", 1) => Gate::Rz(p(0)),
+        ("u1", 1) | ("p", 1) => Gate::Phase(p(0)),
+        ("u2", 2) => Gate::U2(p(0), p(1)),
+        ("u3", 3) | ("u", 3) => Gate::U3(p(0), p(1), p(2)),
+        ("cx", 0) | ("CX", 0) => Gate::Cx,
+        ("cy", 0) => Gate::Cy,
+        ("cz", 0) => Gate::Cz,
+        ("ch", 0) => Gate::Ch,
+        ("swap", 0) => Gate::Swap,
+        ("cu1", 1) | ("cp", 1) => Gate::Cp(p(0)),
+        ("crx", 1) => Gate::Crx(p(0)),
+        ("cry", 1) => Gate::Cry(p(0)),
+        ("crz", 1) => Gate::Crz(p(0)),
+        ("cu3", 3) => Gate::Cu3(p(0), p(1), p(2)),
+        ("ccx", 0) => Gate::Ccx,
+        ("cswap", 0) => Gate::Cswap,
+        ("rx" | "ry" | "rz" | "u1" | "p" | "cu1" | "cp" | "crx" | "cry" | "crz", _) => {
+            return Err(arity_err(1))
+        }
+        ("u2", _) => return Err(arity_err(2)),
+        ("u3" | "u" | "cu3", _) => return Err(arity_err(3)),
+        _ => return Err(format!("unsupported gate '{name}'")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qasm::to_qasm;
+
+    #[test]
+    fn parses_bell_program() {
+        let text = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\nmeasure q[1] -> c[1];\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.num_clbits(), 2);
+        assert_eq!(c.gate_count(), 2);
+        assert_eq!(c.measure_count(), 2);
+    }
+
+    #[test]
+    fn roundtrips_exporter_output() {
+        let mut original = Circuit::with_clbits(3, 3);
+        original
+            .h(0)
+            .cx(0, 1)
+            .rz(0.5, 2)
+            .u3(0.1, -0.2, 0.3, 1)
+            .cp(0.7, 0, 2)
+            .swap(1, 2)
+            .ccx(0, 1, 2)
+            .t(0)
+            .sdg(1);
+        original.measure(0, 0).unwrap();
+        original.reset(1).unwrap();
+        original.barrier();
+        let text = to_qasm(&original).unwrap();
+        let parsed = from_qasm(&text).unwrap();
+        assert_eq!(parsed.num_qubits(), original.num_qubits());
+        assert_eq!(parsed.gate_count(), original.gate_count());
+        assert_eq!(parsed.measure_count(), 1);
+        // Unitary parts agree (strip measure/reset for comparison).
+        let strip = |c: &Circuit| {
+            let mut s = Circuit::new(c.num_qubits());
+            for inst in c.instructions() {
+                if let Some(g) = inst.as_gate() {
+                    s.append(g.clone(), &inst.qubits).unwrap();
+                }
+            }
+            s
+        };
+        let u1 = strip(&original).unitary_matrix().unwrap();
+        let u2 = strip(&parsed).unitary_matrix().unwrap();
+        assert!(u1.approx_eq_up_to_phase(&u2, 1e-9));
+    }
+
+    #[test]
+    fn parses_pi_expressions() {
+        let text = "qreg q[1];\nrz(pi/2) q[0];\nrz(-pi/4) q[0];\nrz(2*pi) q[0];\nrz(pi/2 + pi/4) q[0];\nrz((pi)) q[0];\n";
+        let c = from_qasm(text).unwrap();
+        let angles: Vec<f64> = c
+            .instructions()
+            .iter()
+            .map(|i| match i.as_gate().unwrap() {
+                Gate::Rz(t) => *t,
+                _ => panic!(),
+            })
+            .collect();
+        use std::f64::consts::PI;
+        assert!((angles[0] - PI / 2.0).abs() < 1e-12);
+        assert!((angles[1] + PI / 4.0).abs() < 1e-12);
+        assert!((angles[2] - 2.0 * PI).abs() < 1e-12);
+        assert!((angles[3] - 0.75 * PI).abs() < 1e-12);
+        assert!((angles[4] - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_registers_flatten() {
+        let text = "qreg a[2];\nqreg b[1];\ncreg m[1];\nx b[0];\nmeasure b[0] -> m[0];\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.num_qubits(), 3);
+        // b[0] is flat qubit 2.
+        assert_eq!(c.instructions()[0].qubits, vec![2]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "// header\nqreg q[1];\n\nx q[0]; // flip\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.gate_count(), 1);
+    }
+
+    #[test]
+    fn errors_are_line_annotated() {
+        let text = "qreg q[1];\nfrobnicate q[0];\n";
+        let err = from_qasm(text).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_bad_indices_and_unknown_registers() {
+        assert!(from_qasm("qreg q[1];\nx q[3];\n").is_err());
+        assert!(from_qasm("x q[0];\n").is_err());
+        assert!(from_qasm("qreg q[1];\ncreg c[1];\nmeasure q[0] -> d[0];\n").is_err());
+        assert!(from_qasm("qreg q[0];\n").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_parameter_counts() {
+        assert!(from_qasm("qreg q[1];\nrz q[0];\n").is_err());
+        assert!(from_qasm("qreg q[1];\nu3(1.0) q[0];\n").is_err());
+    }
+
+    #[test]
+    fn parses_scientific_notation() {
+        let c = from_qasm("qreg q[1];\nrz(1.5e-3) q[0];\n").unwrap();
+        match c.instructions()[0].as_gate().unwrap() {
+            Gate::Rz(t) => assert!((t - 1.5e-3).abs() < 1e-15),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn barrier_with_explicit_qubits() {
+        let c = from_qasm("qreg q[3];\nbarrier q[0],q[2];\n").unwrap();
+        assert_eq!(c.instructions()[0].qubits, vec![0, 2]);
+    }
+
+    #[test]
+    fn user_defined_gate_inlines() {
+        let text = r#"
+OPENQASM 2.0;
+gate bellpair a,b {
+  h a;
+  cx a,b;
+}
+qreg q[2];
+bellpair q[0],q[1];
+"#;
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.gate_count(), 2);
+        let sv = c.statevector().unwrap();
+        assert!((sv.probability(0) - 0.5).abs() < 1e-12);
+        assert!((sv.probability(3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parameterised_user_gate_binds_formals() {
+        let text = r#"
+gate tilt(theta, phase) t {
+  ry(theta) t;
+  rz(phase/2) t;
+}
+qreg q[1];
+tilt(pi/2, pi) q[0];
+"#;
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.gate_count(), 2);
+        match c.instructions()[0].as_gate().unwrap() {
+            Gate::Ry(t) => assert!((t - std::f64::consts::FRAC_PI_2).abs() < 1e-12),
+            g => panic!("expected ry, got {g}"),
+        }
+        match c.instructions()[1].as_gate().unwrap() {
+            Gate::Rz(t) => assert!((t - std::f64::consts::FRAC_PI_2).abs() < 1e-12),
+            g => panic!("expected rz, got {g}"),
+        }
+    }
+
+    #[test]
+    fn nested_user_gates_inline_recursively() {
+        let text = r#"
+gate flip t { x t; }
+gate doubleflip a, b {
+  flip a;
+  flip b;
+  cx a,b;
+}
+qreg q[2];
+doubleflip q[0],q[1];
+"#;
+        let c = from_qasm(text).unwrap();
+        // x, x, cx.
+        assert_eq!(c.gate_count(), 3);
+        let sv = c.statevector().unwrap();
+        // |00⟩ → X⊗X → |11⟩ → CX → |10⟩.
+        assert!((sv.probability(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn user_gate_errors_are_helpful() {
+        // Wrong qubit arity.
+        let bad = "gate g a,b { cx a,b; }\nqreg q[2];\ng q[0];\n";
+        assert!(from_qasm(bad).is_err());
+        // Unknown formal inside the body.
+        let bad = "gate g a { x c; }\nqreg q[1];\ng q[0];\n";
+        assert!(from_qasm(bad).is_err());
+        // Wrong parameter count.
+        let bad = "gate g(t) a { rz(t) a; }\nqreg q[1];\ng q[0];\n";
+        assert!(from_qasm(bad).is_err());
+        // Unknown variable in a top-level expression.
+        assert!(from_qasm("qreg q[1];\nrz(theta) q[0];\n").is_err());
+    }
+
+    #[test]
+    fn gate_definition_on_one_line() {
+        let c = from_qasm("gate myh a { h a; } qreg q[1]; myh q[0];").unwrap();
+        assert_eq!(c.gate_count(), 1);
+    }
+}

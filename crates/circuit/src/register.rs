@@ -1,0 +1,157 @@
+//! Named quantum and classical registers.
+//!
+//! Registers are a thin naming layer over the flat qubit/clbit indices of a
+//! [`crate::Circuit`], mirroring the `QuantumRegister` / `ClassicalRegister`
+//! objects in the paper's pseudo-code (Fig. 16).
+
+use std::fmt;
+
+/// A named, contiguous block of qubits within a circuit.
+///
+/// ```rust
+/// use qra_circuit::{Circuit, QuantumRegister};
+///
+/// let mut c = Circuit::new(0);
+/// let qr = c.add_quantum_register("qr", 4);
+/// let ar = c.add_quantum_register("ar", 1);
+/// assert_eq!(qr.index(3), 3);
+/// assert_eq!(ar.index(0), 4);
+/// assert_eq!(c.num_qubits(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QuantumRegister {
+    name: String,
+    start: usize,
+    size: usize,
+}
+
+impl QuantumRegister {
+    pub(crate) fn new(name: impl Into<String>, start: usize, size: usize) -> Self {
+        Self {
+            name: name.into(),
+            start,
+            size,
+        }
+    }
+
+    /// The register's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits in the register.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Returns `true` when the register is empty.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// The circuit-level index of the `i`-th qubit of this register.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn index(&self, i: usize) -> usize {
+        assert!(i < self.size, "register index {i} out of range {}", self.size);
+        self.start + i
+    }
+
+    /// All circuit-level qubit indices of this register.
+    pub fn indices(&self) -> Vec<usize> {
+        (self.start..self.start + self.size).collect()
+    }
+}
+
+impl fmt::Display for QuantumRegister {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.name, self.size)
+    }
+}
+
+/// A named, contiguous block of classical bits within a circuit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ClassicalRegister {
+    name: String,
+    start: usize,
+    size: usize,
+}
+
+impl ClassicalRegister {
+    pub(crate) fn new(name: impl Into<String>, start: usize, size: usize) -> Self {
+        Self {
+            name: name.into(),
+            start,
+            size,
+        }
+    }
+
+    /// The register's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of bits in the register.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Returns `true` when the register is empty.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// The circuit-level index of the `i`-th bit of this register.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn index(&self, i: usize) -> usize {
+        assert!(i < self.size, "register index {i} out of range {}", self.size);
+        self.start + i
+    }
+
+    /// All circuit-level bit indices of this register.
+    pub fn indices(&self) -> Vec<usize> {
+        (self.start..self.start + self.size).collect()
+    }
+}
+
+impl fmt::Display for ClassicalRegister {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.name, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantum_register_indexing() {
+        let r = QuantumRegister::new("qr", 3, 4);
+        assert_eq!(r.name(), "qr");
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert_eq!(r.index(0), 3);
+        assert_eq!(r.index(3), 6);
+        assert_eq!(r.indices(), vec![3, 4, 5, 6]);
+        assert_eq!(format!("{r}"), "qr[4]");
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantum_register_out_of_range() {
+        QuantumRegister::new("qr", 0, 2).index(2);
+    }
+
+    #[test]
+    fn classical_register_indexing() {
+        let r = ClassicalRegister::new("cr", 1, 2);
+        assert_eq!(r.index(1), 2);
+        assert_eq!(r.indices(), vec![1, 2]);
+        assert_eq!(format!("{r}"), "cr[2]");
+    }
+}

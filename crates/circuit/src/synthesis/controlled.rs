@@ -1,0 +1,242 @@
+//! Adding a control qubit to an entire circuit.
+//!
+//! Used by the assertion planners to build multiplexed state preparations
+//! (`prepare φ₀ when the selector is |0⟩, φ₁ when it is |1⟩`) out of the
+//! uncontrolled preparation circuits.
+
+use crate::synthesis::mc_gate::{controlled_1q, mc_unitary, Control, ControlState};
+use crate::{Circuit, CircuitError, Gate, Operation};
+
+/// Returns a circuit equivalent to `circuit` with every gate controlled on
+/// `control` having the given `polarity`. The output circuit has the same
+/// qubit indexing as the input; `control` must not be acted on by
+/// `circuit`.
+///
+/// # Errors
+///
+/// * [`CircuitError::DuplicateQubit`] when `circuit` touches `control`;
+/// * [`CircuitError::NonUnitaryOperation`] for measurements/resets;
+/// * synthesis errors for exotic gates.
+///
+/// ```rust
+/// use qra_circuit::{Circuit, synthesis::controlled::controlled_circuit};
+/// use qra_circuit::synthesis::ControlState;
+///
+/// let mut inner = Circuit::new(2);
+/// inner.h(1);
+/// let ctrl = controlled_circuit(&inner, 0, ControlState::Closed)?;
+/// // Acts as CH: |00⟩ stays, |10⟩ → |1⟩|+⟩.
+/// let sv = {
+///     let mut c = Circuit::new(2);
+///     c.x(0);
+///     c.compose(&ctrl, &[0, 1], &[])?;
+///     c.statevector()?
+/// };
+/// assert!((sv.probability(0b10) - 0.5).abs() < 1e-9);
+/// # Ok::<(), qra_circuit::CircuitError>(())
+/// ```
+pub fn controlled_circuit(
+    circuit: &Circuit,
+    control: usize,
+    polarity: ControlState,
+) -> Result<Circuit, CircuitError> {
+    let n = circuit.num_qubits().max(control + 1);
+    let mut out = Circuit::with_clbits(n, circuit.num_clbits());
+    if polarity == ControlState::Open {
+        out.x(control);
+    }
+    for inst in circuit.instructions() {
+        if inst.qubits.contains(&control) {
+            return Err(CircuitError::DuplicateQubit { qubit: control });
+        }
+        match &inst.operation {
+            Operation::Barrier => {}
+            Operation::Measure => {
+                return Err(CircuitError::NonUnitaryOperation {
+                    operation: "measure",
+                })
+            }
+            Operation::Reset => {
+                return Err(CircuitError::NonUnitaryOperation { operation: "reset" })
+            }
+            Operation::Gate(g) => {
+                append_controlled_gate(&mut out, g, &inst.qubits, control)?;
+            }
+        }
+    }
+    if polarity == ControlState::Open {
+        out.x(control);
+    }
+    Ok(out)
+}
+
+fn append_controlled_gate(
+    out: &mut Circuit,
+    gate: &Gate,
+    qubits: &[usize],
+    control: usize,
+) -> Result<(), CircuitError> {
+    match gate {
+        // One-qubit gates → singly controlled.
+        g if g.num_qubits() == 1 => controlled_1q(out, control, qubits[0], &g.matrix()),
+        // Native promotions.
+        Gate::Cx => {
+            out.ccx(control, qubits[0], qubits[1]);
+            Ok(())
+        }
+        Gate::Cz => {
+            out.ccz(control, qubits[0], qubits[1]);
+            Ok(())
+        }
+        Gate::Swap => {
+            out.append(Gate::Cswap, &[control, qubits[0], qubits[1]])?;
+            Ok(())
+        }
+        // Controlled rotations gain a second control via the √U recursion.
+        Gate::Cp(_) | Gate::Crx(_) | Gate::Cry(_) | Gate::Crz(_) | Gate::Cu3(_, _, _)
+        | Gate::Cy | Gate::Ch => {
+            let base = base_of_controlled(gate)?;
+            let controls: [Control; 2] = [
+                (control, ControlState::Closed),
+                (qubits[0], ControlState::Closed),
+            ];
+            mc_unitary(out, &controls, qubits[1], &base)
+        }
+        Gate::Ccx => {
+            let controls: [Control; 3] = [
+                (control, ControlState::Closed),
+                (qubits[0], ControlState::Closed),
+                (qubits[1], ControlState::Closed),
+            ];
+            mc_unitary(out, &controls, qubits[2], &Gate::X.matrix())
+        }
+        Gate::Ccz => {
+            let controls: [Control; 3] = [
+                (control, ControlState::Closed),
+                (qubits[0], ControlState::Closed),
+                (qubits[1], ControlState::Closed),
+            ];
+            mc_unitary(out, &controls, qubits[2], &Gate::Z.matrix())
+        }
+        other => Err(CircuitError::Synthesis {
+            reason: format!("cannot add a control to gate {other}"),
+        }),
+    }
+}
+
+/// The single-qubit base of a controlled gate.
+fn base_of_controlled(gate: &Gate) -> Result<qra_math::CMatrix, CircuitError> {
+    Ok(match gate {
+        Gate::Cp(l) => Gate::Phase(*l).matrix(),
+        Gate::Crx(t) => Gate::Rx(*t).matrix(),
+        Gate::Cry(t) => Gate::Ry(*t).matrix(),
+        Gate::Crz(t) => Gate::Rz(*t).matrix(),
+        Gate::Cu3(t, p, l) => Gate::U3(*t, *p, *l).matrix(),
+        Gate::Cy => Gate::Y.matrix(),
+        Gate::Ch => Gate::H.matrix(),
+        other => {
+            return Err(CircuitError::Synthesis {
+                reason: format!("{other} is not a controlled one-qubit gate"),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qra_math::{CMatrix, CVector};
+
+    const TOL: f64 = 1e-9;
+
+    /// Reference: controlled version via the full matrix.
+    fn reference(circuit: &Circuit, control: usize, polarity: ControlState) -> CMatrix {
+        let n = circuit.num_qubits().max(control + 1);
+        let dim = 1usize << n;
+        let inner = {
+            // Embed the inner circuit into n qubits.
+            let mut wide = Circuit::new(n);
+            let map: Vec<usize> = (0..circuit.num_qubits()).collect();
+            wide.compose(circuit, &map, &[]).unwrap();
+            wide.unitary_matrix().unwrap()
+        };
+        CMatrix::from_fn(dim, dim, |r, c| {
+            let cb_r = (r >> (n - 1 - control)) & 1;
+            let cb_c = (c >> (n - 1 - control)) & 1;
+            let active = match polarity {
+                ControlState::Closed => 1,
+                ControlState::Open => 0,
+            };
+            if cb_r != cb_c {
+                qra_math::C64::zero()
+            } else if cb_r == active {
+                inner.get(r, c)
+            } else if r == c {
+                qra_math::C64::one()
+            } else {
+                // Off-diagonal in the inactive block only when the inner
+                // matrix is identity there — compute directly.
+                if (r & !(1 << (n - 1 - control))) == (c & !(1 << (n - 1 - control))) && r == c {
+                    qra_math::C64::one()
+                } else {
+                    qra_math::C64::zero()
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn controls_a_mixed_gate_circuit() {
+        let mut inner = Circuit::new(3);
+        inner.h(1).cx(1, 2).rz(0.7, 2).swap(1, 2).cp(0.4, 1, 2);
+        let got = controlled_circuit(&inner, 0, ControlState::Closed).unwrap();
+        let expect = reference(&inner, 0, ControlState::Closed);
+        assert!(got.unitary_matrix().unwrap().approx_eq(&expect, TOL));
+    }
+
+    #[test]
+    fn open_polarity() {
+        let mut inner = Circuit::new(2);
+        inner.x(1);
+        let got = controlled_circuit(&inner, 0, ControlState::Open).unwrap();
+        // |00⟩ → |01⟩ (control open fires), |10⟩ stays.
+        let u = got.unitary_matrix().unwrap();
+        let sv = u.mul_vec(&CVector::basis_state(4, 0));
+        assert!(sv.approx_eq(&CVector::basis_state(4, 1), TOL));
+        let sv = u.mul_vec(&CVector::basis_state(4, 2));
+        assert!(sv.approx_eq(&CVector::basis_state(4, 2), TOL));
+    }
+
+    #[test]
+    fn control_can_be_a_fresh_top_qubit() {
+        // control index beyond the inner circuit's width.
+        let mut inner = Circuit::new(1);
+        inner.h(0);
+        let got = controlled_circuit(&inner, 1, ControlState::Closed).unwrap();
+        assert_eq!(got.num_qubits(), 2);
+        let u = got.unitary_matrix().unwrap();
+        // |01⟩ (control=q1 set) → H on q0.
+        let sv = u.mul_vec(&CVector::basis_state(4, 1));
+        assert!((sv.probability(0b01) - 0.5).abs() < TOL);
+        assert!((sv.probability(0b11) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn rejects_control_overlap_and_measures() {
+        let mut inner = Circuit::new(2);
+        inner.cx(0, 1);
+        assert!(controlled_circuit(&inner, 0, ControlState::Closed).is_err());
+        let mut measured = Circuit::with_clbits(1, 1);
+        measured.measure(0, 0).unwrap();
+        assert!(controlled_circuit(&measured, 1, ControlState::Closed).is_err());
+    }
+
+    #[test]
+    fn toffoli_promotion() {
+        let mut inner = Circuit::new(3);
+        inner.ccx(0, 1, 2);
+        let got = controlled_circuit(&inner, 3, ControlState::Closed).unwrap();
+        let expect = reference(&inner, 3, ControlState::Closed);
+        assert!(got.unitary_matrix().unwrap().approx_eq(&expect, TOL));
+    }
+}

@@ -1,0 +1,337 @@
+//! Synthesis of diagonal ±1 unitaries via algebraic normal form.
+//!
+//! The NDD assertion matrix `U = Σ_correct |ψᵢ⟩⟨ψᵢ| − Σ_incorrect |ψᵢ⟩⟨ψᵢ|`
+//! is diagonal with ±1 entries whenever the assertion basis is the
+//! computational basis (classical sets, parity sets). Writing the sign
+//! pattern as `(−1)^{g(x)}` for a boolean function `g`, the Möbius (ANF)
+//! transform of `g` yields a set of monomials; each monomial `x_{q₁}⋯x_{qₖ}`
+//! becomes a multi-controlled Z on those qubits. Parity functions give pure
+//! CZ chains — exactly the paper's `n`-CX NDD circuits (Fig. 14).
+
+use crate::synthesis::mc_gate::{mcz, ControlState};
+use crate::{Circuit, CircuitError};
+use qra_math::CMatrix;
+
+/// Returns `Some(signs)` when `u` is diagonal with entries `±1` (within
+/// `tol`), where `signs[x]` is `true` for `−1`.
+pub fn is_diagonal_pm_one(u: &CMatrix, tol: f64) -> Option<Vec<bool>> {
+    if !u.is_square() {
+        return None;
+    }
+    let d = u.rows();
+    let mut signs = Vec::with_capacity(d);
+    for r in 0..d {
+        for c in 0..d {
+            let z = u.get(r, c);
+            if r == c {
+                if (z.re - 1.0).abs() <= tol && z.im.abs() <= tol {
+                    signs.push(false);
+                } else if (z.re + 1.0).abs() <= tol && z.im.abs() <= tol {
+                    signs.push(true);
+                } else {
+                    return None;
+                }
+            } else if z.norm() > tol {
+                return None;
+            }
+        }
+    }
+    Some(signs)
+}
+
+/// Synthesises the diagonal unitary `diag((−1)^{g(x)})` over `qubits`
+/// (basis index bit `x_q` ↔ `qubits[q]`, `qubits[0]` most significant).
+///
+/// A leading `signs[0] = true` contributes only a global phase and is
+/// folded away (unobservable).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::ArityMismatch`] when `signs.len() != 2^k`, plus
+/// builder index errors.
+///
+/// ```rust
+/// use qra_circuit::{Circuit, Gate, synthesis::diagonal_pm_one};
+///
+/// // (−1)^{x₀⊕x₁} = Z⊗Z: two Z gates, no entanglers.
+/// let mut c = Circuit::new(2);
+/// diagonal_pm_one(&mut c, &[0, 1], &[false, true, true, false])?;
+/// let zz = Gate::Z.matrix().kron(&Gate::Z.matrix());
+/// assert!(c.unitary_matrix()?.approx_eq_up_to_phase(&zz, 1e-10));
+/// # Ok::<(), qra_circuit::CircuitError>(())
+/// ```
+pub fn diagonal_pm_one(
+    circuit: &mut Circuit,
+    qubits: &[usize],
+    signs: &[bool],
+) -> Result<(), CircuitError> {
+    let k = qubits.len();
+    if signs.len() != (1usize << k) {
+        return Err(CircuitError::ArityMismatch {
+            gate: "diagonal_pm_one".into(),
+            expected: 1 << k,
+            actual: signs.len(),
+        });
+    }
+    // Möbius transform: ANF coefficients over GF(2).
+    let mut coeff: Vec<bool> = signs.to_vec();
+    for bit in 0..k {
+        let step = 1usize << bit;
+        for x in 0..coeff.len() {
+            if x & step != 0 {
+                coeff[x] ^= coeff[x ^ step];
+            }
+        }
+    }
+    // coeff[0] is a global −1 phase — unobservable, skip it.
+    for (mask, &on) in coeff.iter().enumerate().skip(1) {
+        if !on {
+            continue;
+        }
+        // Monomial qubits: bit b (LSB-based) of `mask` ↔ qubits[k−1−b].
+        let members: Vec<usize> = (0..k)
+            .filter(|b| (mask >> b) & 1 == 1)
+            .map(|b| qubits[k - 1 - b])
+            .collect();
+        match members.len() {
+            1 => {
+                circuit.z(members[0]);
+            }
+            2 => {
+                circuit.cz(members[0], members[1]);
+            }
+            m => {
+                let controls: Vec<(usize, ControlState)> = members[..m - 1]
+                    .iter()
+                    .map(|&q| (q, ControlState::Closed))
+                    .collect();
+                mcz(circuit, &controls, members[m - 1])?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Attempts to factor a `2ᵏ`-dimensional unitary into a tensor product of
+/// single-qubit unitaries `u_0 ⊗ u_1 ⊗ … ⊗ u_{k−1}`.
+///
+/// Returns `None` when the matrix is not a (phase-adjusted) product. The
+/// global phase is absorbed into the first factor.
+pub fn try_factor_tensor(u: &CMatrix) -> Option<Vec<CMatrix>> {
+    let k = qra_math::qubits_for_dim(u.rows()).ok()?;
+    if !u.is_square() {
+        return None;
+    }
+    if k == 1 {
+        return Some(vec![u.clone()]);
+    }
+    let d = u.rows();
+    let half = d / 2;
+    // u = f ⊗ rest with f 2×2: blocks B_{ij} = f[i][j] · rest.
+    // Find the block with the largest norm to extract `rest`.
+    let block = |bi: usize, bj: usize| -> CMatrix {
+        CMatrix::from_fn(half, half, |r, c| u.get(bi * half + r, bj * half + c))
+    };
+    let mut best = (0, 0, 0.0f64);
+    for bi in 0..2 {
+        for bj in 0..2 {
+            let norm = block(bi, bj).frobenius_norm();
+            if norm > best.2 {
+                best = (bi, bj, norm);
+            }
+        }
+    }
+    if best.2 < 1e-9 {
+        return None;
+    }
+    let pivot = block(best.0, best.1);
+    // rest is pivot normalised to unit "scale"; f entries are the per-block
+    // scalar multipliers relative to rest.
+    let scale = best.2 / (half as f64).sqrt(); // makes `rest` roughly unitary-normed
+    let rest = pivot.scale(qra_math::C64::from(1.0 / scale));
+    let mut f = CMatrix::zeros(2, 2);
+    for bi in 0..2 {
+        for bj in 0..2 {
+            let b = block(bi, bj);
+            // factor = tr(rest† b) / tr(rest† rest)
+            let denom = rest.adjoint().mul(&rest).ok()?.trace().ok()?;
+            let num = rest.adjoint().mul(&b).ok()?.trace().ok()?;
+            let factor = num / denom;
+            // Validate the block matches factor · rest.
+            if b.max_abs_diff(&rest.scale(factor)) > 1e-8 {
+                return None;
+            }
+            f.set(bi, bj, factor);
+        }
+    }
+    if !f.is_unitary(1e-7) || !rest.is_unitary(1e-7) {
+        return None;
+    }
+    let mut factors = vec![f];
+    factors.extend(try_factor_tensor(&rest)?);
+    Some(factors)
+}
+
+/// Appends a singly-controlled tensor-product unitary
+/// `ctrl-(u_0 ⊗ … ⊗ u_{k−1})` as a product of singly-controlled one-qubit
+/// gates — the fast path that yields the paper's 3-CX NDD circuit for the
+/// GHZ approximate set (controlled `X⊗X⊗X`).
+///
+/// # Errors
+///
+/// Propagates synthesis and index errors.
+pub fn controlled_tensor_product(
+    circuit: &mut Circuit,
+    control: usize,
+    targets: &[usize],
+    factors: &[CMatrix],
+) -> Result<(), CircuitError> {
+    if targets.len() != factors.len() {
+        return Err(CircuitError::ArityMismatch {
+            gate: "controlled_tensor_product".into(),
+            expected: targets.len(),
+            actual: factors.len(),
+        });
+    }
+    for (&t, f) in targets.iter().zip(factors) {
+        crate::synthesis::mc_gate::controlled_1q(circuit, control, t, f)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gate;
+    use qra_math::C64;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn detects_diagonal_pm_one() {
+        let zz = Gate::Z.matrix().kron(&Gate::Z.matrix());
+        let signs = is_diagonal_pm_one(&zz, TOL).unwrap();
+        assert_eq!(signs, vec![false, true, true, false]);
+        assert!(is_diagonal_pm_one(&Gate::H.matrix(), TOL).is_none());
+        assert!(is_diagonal_pm_one(&Gate::S.matrix(), TOL).is_none());
+    }
+
+    #[test]
+    fn synthesizes_single_z() {
+        let mut c = Circuit::new(1);
+        diagonal_pm_one(&mut c, &[0], &[false, true]).unwrap();
+        assert!(c
+            .unitary_matrix()
+            .unwrap()
+            .approx_eq(&Gate::Z.matrix(), TOL));
+    }
+
+    #[test]
+    fn synthesizes_cz_for_and_function() {
+        // (−1)^{x₀·x₁} = CZ.
+        let mut c = Circuit::new(2);
+        diagonal_pm_one(&mut c, &[0, 1], &[false, false, false, true]).unwrap();
+        assert!(c
+            .unitary_matrix()
+            .unwrap()
+            .approx_eq(&Gate::Cz.matrix(), TOL));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn parity_function_uses_only_z_gates() {
+        // g = x₀ ⊕ x₁ ⊕ x₂ → three plain Z gates, zero entanglers.
+        let signs: Vec<bool> = (0..8).map(|x: usize| x.count_ones() % 2 == 1).collect();
+        let mut c = Circuit::new(3);
+        diagonal_pm_one(&mut c, &[0, 1, 2], &signs).unwrap();
+        assert_eq!(c.len(), 3);
+        for inst in c.instructions() {
+            assert_eq!(inst.as_gate().unwrap().name(), "z");
+        }
+    }
+
+    #[test]
+    fn controlled_parity_gives_cz_chain() {
+        // ctrl-(Z⊗Z): g(c, x₁, x₂) = c·x₁ ⊕ c·x₂ → CZ(c,1), CZ(c,2).
+        let signs: Vec<bool> = (0..8)
+            .map(|i: usize| {
+                let c = (i >> 2) & 1;
+                let x1 = (i >> 1) & 1;
+                let x2 = i & 1;
+                (c & x1) ^ (c & x2) == 1
+            })
+            .collect();
+        let mut c = Circuit::new(3);
+        diagonal_pm_one(&mut c, &[0, 1, 2], &signs).unwrap();
+        assert_eq!(c.len(), 2, "expected exactly two CZ gates");
+        for inst in c.instructions() {
+            assert_eq!(inst.as_gate().unwrap().name(), "cz");
+        }
+        // Verify against ctrl-(Z⊗Z).
+        let zz = Gate::Z.matrix().kron(&Gate::Z.matrix());
+        let expect = crate::gate::controlled(&zz);
+        assert!(c.unitary_matrix().unwrap().approx_eq_up_to_phase(&expect, TOL));
+    }
+
+    #[test]
+    fn arbitrary_sign_pattern_roundtrip() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for _ in 0..5 {
+            let signs: Vec<bool> = (0..16).map(|_| rng.gen_bool(0.5)).collect();
+            let mut c = Circuit::new(4);
+            diagonal_pm_one(&mut c, &[0, 1, 2, 3], &signs).unwrap();
+            let got = c.unitary_matrix().unwrap();
+            let entries: Vec<C64> = signs
+                .iter()
+                .map(|&s| if s { C64::from(-1.0) } else { C64::one() })
+                .collect();
+            let expect = CMatrix::diagonal(&entries);
+            assert!(got.approx_eq_up_to_phase(&expect, TOL));
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_sign_count() {
+        let mut c = Circuit::new(2);
+        assert!(diagonal_pm_one(&mut c, &[0, 1], &[false, true]).is_err());
+    }
+
+    #[test]
+    fn factor_tensor_of_products() {
+        let u = Gate::X.matrix().kron(&Gate::X.matrix()).kron(&Gate::X.matrix());
+        let f = try_factor_tensor(&u).unwrap();
+        assert_eq!(f.len(), 3);
+        for m in &f {
+            assert!(m.approx_eq_up_to_phase(&Gate::X.matrix(), 1e-8));
+        }
+        let hz = Gate::H.matrix().kron(&Gate::Z.matrix());
+        let f = try_factor_tensor(&hz).unwrap();
+        assert_eq!(f.len(), 2);
+        // Reconstruct.
+        let recon = f[0].kron(&f[1]);
+        assert!(recon.approx_eq_up_to_phase(&hz, 1e-8));
+    }
+
+    #[test]
+    fn factor_tensor_rejects_entangling() {
+        assert!(try_factor_tensor(&Gate::Cx.matrix()).is_none());
+        assert!(try_factor_tensor(&Gate::Swap.matrix()).is_none());
+    }
+
+    #[test]
+    fn controlled_tensor_product_ghz_case() {
+        // ctrl-(X⊗X⊗X) should be exactly three CX gates (paper Fig. 1 / §III).
+        let x = Gate::X.matrix();
+        let mut c = Circuit::new(4);
+        controlled_tensor_product(&mut c, 0, &[1, 2, 3], &[x.clone(), x.clone(), x.clone()])
+            .unwrap();
+        assert_eq!(c.len(), 3);
+        for inst in c.instructions() {
+            assert_eq!(inst.as_gate().unwrap().name(), "cx");
+        }
+        let xxx = x.kron(&x).kron(&x);
+        let expect = crate::gate::controlled(&xxx);
+        assert!(c.unitary_matrix().unwrap().approx_eq(&expect, TOL));
+    }
+}

@@ -1,0 +1,471 @@
+//! Multi-controlled gates with mixed control polarities.
+//!
+//! Implements `C^k(U)` for an arbitrary single-qubit `U` using the
+//! classic recursive √U construction (Barenco et al. \[5\] in the paper's
+//! bibliography), plus a V-chain variant that exploits clean ancilla
+//! qubits when the caller has them. Open (control-on-`|0⟩`) controls are
+//! handled by X-conjugation.
+
+use crate::synthesis::zyz::{sqrt_unitary_2x2, zyz_decompose};
+use crate::{Circuit, CircuitError, Gate};
+use qra_math::CMatrix;
+
+/// The polarity of one control qubit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlState {
+    /// The control activates on `|1⟩` (a filled dot in circuit diagrams).
+    Closed,
+    /// The control activates on `|0⟩` (an open dot in circuit diagrams).
+    Open,
+}
+
+/// One control qubit with its polarity.
+pub type Control = (usize, ControlState);
+
+/// Appends a multi-controlled X with the given controls onto `target`.
+///
+/// With zero controls this is a plain X; one control emits a CX; two emit a
+/// Toffoli (lowered later by the cost model); more recurse through
+/// [`mc_unitary`].
+///
+/// # Errors
+///
+/// Propagates index validation errors from the circuit builder.
+///
+/// ```rust
+/// use qra_circuit::{Circuit, synthesis::{mcx, ControlState}};
+///
+/// let mut c = Circuit::new(4);
+/// mcx(&mut c, &[(0, ControlState::Closed), (1, ControlState::Open)], 3)?;
+/// assert!(c.len() > 0);
+/// # Ok::<(), qra_circuit::CircuitError>(())
+/// ```
+pub fn mcx(circuit: &mut Circuit, controls: &[Control], target: usize) -> Result<(), CircuitError> {
+    mc_unitary(circuit, controls, target, &Gate::X.matrix())
+}
+
+/// Appends a multi-controlled Z with the given controls onto `target`.
+///
+/// # Errors
+///
+/// Propagates index validation errors from the circuit builder.
+pub fn mcz(circuit: &mut Circuit, controls: &[Control], target: usize) -> Result<(), CircuitError> {
+    mc_unitary(circuit, controls, target, &Gate::Z.matrix())
+}
+
+/// Appends a multi-controlled single-qubit unitary `u` to `circuit`.
+///
+/// Controls may mix polarities; open controls are conjugated with X gates.
+/// The recursion is exact (no Trotterisation): `C^k(U)` is decomposed as
+/// `CU(c_k→t, V) · MCX(c_1..c_{k−1}→c_k) · CU(c_k→t, V†) ·
+/// MCX(c_1..c_{k−1}→c_k) · C^{k−1}(c_1..c_{k−1}→t, V)` with `V = √U`.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::NotUnitary`] when `u` is not a 2×2 unitary, plus
+/// the circuit builder's index errors.
+pub fn mc_unitary(
+    circuit: &mut Circuit,
+    controls: &[Control],
+    target: usize,
+    u: &CMatrix,
+) -> Result<(), CircuitError> {
+    if u.shape() != (2, 2) || !u.is_unitary(1e-8) {
+        return Err(CircuitError::NotUnitary { deviation: 1.0 });
+    }
+    // X-conjugate open controls so the core recursion only sees closed ones.
+    let open: Vec<usize> = controls
+        .iter()
+        .filter(|(_, s)| *s == ControlState::Open)
+        .map(|(q, _)| *q)
+        .collect();
+    for &q in &open {
+        circuit.x(q);
+    }
+    let closed: Vec<usize> = controls.iter().map(|(q, _)| *q).collect();
+    mc_unitary_closed(circuit, &closed, target, u)?;
+    for &q in &open {
+        circuit.x(q);
+    }
+    Ok(())
+}
+
+fn mc_unitary_closed(
+    circuit: &mut Circuit,
+    controls: &[usize],
+    target: usize,
+    u: &CMatrix,
+) -> Result<(), CircuitError> {
+    match controls.len() {
+        0 => {
+            apply_1q(circuit, target, u);
+            Ok(())
+        }
+        1 => controlled_1q(circuit, controls[0], target, u),
+        2 => {
+            // Special-case the exact Toffoli/CCZ where possible; otherwise
+            // run the generic √U recursion with k = 2.
+            if u.approx_eq(&Gate::X.matrix(), 1e-12) {
+                circuit.ccx(controls[0], controls[1], target);
+                Ok(())
+            } else if u.approx_eq(&Gate::Z.matrix(), 1e-12) {
+                circuit.ccz(controls[0], controls[1], target);
+                Ok(())
+            } else {
+                mc_unitary_recursive(circuit, controls, target, u)
+            }
+        }
+        _ => mc_unitary_recursive(circuit, controls, target, u),
+    }
+}
+
+fn mc_unitary_recursive(
+    circuit: &mut Circuit,
+    controls: &[usize],
+    target: usize,
+    u: &CMatrix,
+) -> Result<(), CircuitError> {
+    let k = controls.len();
+    let v = sqrt_unitary_2x2(u)?;
+    let v_dg = v.adjoint();
+    let last = controls[k - 1];
+    let rest = &controls[..k - 1];
+
+    controlled_1q(circuit, last, target, &v)?;
+    mc_unitary_closed(circuit, rest, last, &Gate::X.matrix())?;
+    controlled_1q(circuit, last, target, &v_dg)?;
+    mc_unitary_closed(circuit, rest, last, &Gate::X.matrix())?;
+    mc_unitary_closed(circuit, rest, target, &v)?;
+    Ok(())
+}
+
+/// Appends a singly-controlled arbitrary 1-qubit unitary using the
+/// ABC (two-CX) decomposition; recognises CX/CZ/CP special cases so they
+/// stay single entangling gates.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::NotUnitary`] for bad `u` plus index errors.
+pub fn controlled_1q(
+    circuit: &mut Circuit,
+    control: usize,
+    target: usize,
+    u: &CMatrix,
+) -> Result<(), CircuitError> {
+    const TOL: f64 = 1e-12;
+    if u.approx_eq(&Gate::X.matrix(), TOL) {
+        circuit.cx(control, target);
+        return Ok(());
+    }
+    if u.approx_eq(&Gate::Z.matrix(), TOL) {
+        circuit.cz(control, target);
+        return Ok(());
+    }
+    if u.approx_eq(&Gate::I.matrix(), TOL) {
+        return Ok(());
+    }
+    // Diagonal phase gate diag(1, e^{iλ}) → CP(λ); diag(e^{iμ}, e^{iν})
+    // → CP(ν−μ) + P(μ) on the control.
+    if u.get(0, 1).is_zero(TOL) && u.get(1, 0).is_zero(TOL) {
+        let mu = u.get(0, 0).arg();
+        let nu = u.get(1, 1).arg();
+        if mu.abs() > TOL {
+            circuit.p(mu, control);
+        }
+        let lambda = nu - mu;
+        if lambda.abs() > TOL {
+            circuit.cp(lambda, control, target);
+        }
+        return Ok(());
+    }
+
+    let angles = zyz_decompose(u)?;
+    let (alpha, beta, gamma, delta) = (angles.alpha, angles.beta, angles.gamma, angles.delta);
+    // C = Rz((δ−β)/2); B = Rz(−(δ+β)/2) then Ry(−γ/2); A = Ry(γ/2) then Rz(β).
+    let c_angle = (delta - beta) / 2.0;
+    if c_angle.abs() > TOL {
+        circuit.rz(c_angle, target);
+    }
+    circuit.cx(control, target);
+    let b1 = -(delta + beta) / 2.0;
+    if b1.abs() > TOL {
+        circuit.rz(b1, target);
+    }
+    if gamma.abs() > TOL {
+        circuit.ry(-gamma / 2.0, target);
+    }
+    circuit.cx(control, target);
+    if gamma.abs() > TOL {
+        circuit.ry(gamma / 2.0, target);
+    }
+    if beta.abs() > TOL {
+        circuit.rz(beta, target);
+    }
+    if alpha.abs() > TOL {
+        circuit.p(alpha, control);
+    }
+    Ok(())
+}
+
+/// Applies an arbitrary single-qubit unitary via ZYZ rotations (up to the
+/// global phase, which is unobservable for an uncontrolled gate).
+pub fn apply_1q(circuit: &mut Circuit, qubit: usize, u: &CMatrix) {
+    if let Ok(angles) = zyz_decompose(u) {
+        angles.apply_to(circuit, qubit);
+    } else {
+        // Fall back to an opaque unitary; callers validated unitarity.
+        let _ = circuit.unitary(u.clone(), &[qubit], "u1q");
+    }
+}
+
+/// Appends a multi-controlled X using a V-chain of Toffolis over `ancillas`
+/// (which must start in `|0⟩` and are returned to `|0⟩`). Requires
+/// `ancillas.len() ≥ controls.len() − 2`; linear Toffoli count, matching
+/// the linear-complexity decompositions cited by the paper (\[24\]).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Synthesis`] when too few ancillas are supplied,
+/// plus the builder's index errors.
+pub fn mcx_v_chain(
+    circuit: &mut Circuit,
+    controls: &[usize],
+    target: usize,
+    ancillas: &[usize],
+) -> Result<(), CircuitError> {
+    let k = controls.len();
+    match k {
+        0 => {
+            circuit.x(target);
+            return Ok(());
+        }
+        1 => {
+            circuit.cx(controls[0], target);
+            return Ok(());
+        }
+        2 => {
+            circuit.ccx(controls[0], controls[1], target);
+            return Ok(());
+        }
+        _ => {}
+    }
+    let needed = k - 2;
+    if ancillas.len() < needed {
+        return Err(CircuitError::Synthesis {
+            reason: format!(
+                "v-chain mcx with {k} controls needs {needed} ancillas, got {}",
+                ancillas.len()
+            ),
+        });
+    }
+    // Compute chain: a_0 = c_0 ∧ c_1; a_i = a_{i−1} ∧ c_{i+1}.
+    circuit.ccx(controls[0], controls[1], ancillas[0]);
+    for i in 0..k - 3 {
+        circuit.ccx(ancillas[i], controls[i + 2], ancillas[i + 1]);
+    }
+    circuit.ccx(ancillas[needed - 1], controls[k - 1], target);
+    // Uncompute.
+    for i in (0..k - 3).rev() {
+        circuit.ccx(ancillas[i], controls[i + 2], ancillas[i + 1]);
+    }
+    circuit.ccx(controls[0], controls[1], ancillas[0]);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qra_math::CVector;
+
+    const TOL: f64 = 1e-9;
+
+    /// Reference matrix of an MCU with closed controls `controls`, computed
+    /// directly: identity except the block where all controls are set.
+    fn reference_mcu(n: usize, controls: &[Control], target: usize, u: &CMatrix) -> CMatrix {
+        let dim = 1usize << n;
+        let mut out = CMatrix::identity(dim);
+        for col in 0..dim {
+            let active = controls.iter().all(|&(q, s)| {
+                let bit = (col >> (n - 1 - q)) & 1;
+                match s {
+                    ControlState::Closed => bit == 1,
+                    ControlState::Open => bit == 0,
+                }
+            });
+            if !active {
+                continue;
+            }
+            let tbit = (col >> (n - 1 - target)) & 1;
+            let flipped = col ^ (1usize << (n - 1 - target));
+            out.set(col, col, u.get(tbit, tbit));
+            out.set(flipped, col, u.get(1 - tbit, tbit));
+            out.set(col, flipped, u.get(tbit, 1 - tbit));
+            out.set(flipped, flipped, u.get(1 - tbit, 1 - tbit));
+        }
+        out
+    }
+
+    #[test]
+    fn controlled_1q_matches_reference_gates() {
+        for u in [
+            Gate::X.matrix(),
+            Gate::Z.matrix(),
+            Gate::H.matrix(),
+            Gate::S.matrix(),
+            Gate::Rz(0.7).matrix(),
+            Gate::U3(0.9, 0.3, -1.1).matrix(),
+            Gate::Phase(1.3).matrix(),
+        ] {
+            let mut c = Circuit::new(2);
+            controlled_1q(&mut c, 0, 1, &u).unwrap();
+            let expect = reference_mcu(2, &[(0, ControlState::Closed)], 1, &u);
+            assert!(
+                c.unitary_matrix().unwrap().approx_eq(&expect, TOL),
+                "controlled_1q mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn controlled_1q_reversed_order() {
+        let u = Gate::U3(1.0, 0.5, 0.2).matrix();
+        let mut c = Circuit::new(2);
+        controlled_1q(&mut c, 1, 0, &u).unwrap();
+        let expect = reference_mcu(2, &[(1, ControlState::Closed)], 0, &u);
+        assert!(c.unitary_matrix().unwrap().approx_eq(&expect, TOL));
+    }
+
+    #[test]
+    fn mcx_two_controls_is_toffoli() {
+        let mut c = Circuit::new(3);
+        mcx(
+            &mut c,
+            &[(0, ControlState::Closed), (1, ControlState::Closed)],
+            2,
+        )
+        .unwrap();
+        assert_eq!(c.len(), 1);
+        assert!(c
+            .unitary_matrix()
+            .unwrap()
+            .approx_eq(&Gate::Ccx.matrix(), TOL));
+    }
+
+    #[test]
+    fn mcx_three_and_four_controls() {
+        for k in [3usize, 4] {
+            let n = k + 1;
+            let controls: Vec<Control> = (0..k).map(|q| (q, ControlState::Closed)).collect();
+            let mut c = Circuit::new(n);
+            mcx(&mut c, &controls, k).unwrap();
+            let expect = reference_mcu(n, &controls, k, &Gate::X.matrix());
+            assert!(
+                c.unitary_matrix().unwrap().approx_eq(&expect, TOL),
+                "mcx with {k} controls wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn mcx_with_open_controls() {
+        let controls = [
+            (0, ControlState::Open),
+            (1, ControlState::Closed),
+            (2, ControlState::Open),
+        ];
+        let mut c = Circuit::new(4);
+        mcx(&mut c, &controls, 3).unwrap();
+        let expect = reference_mcu(4, &controls, 3, &Gate::X.matrix());
+        assert!(c.unitary_matrix().unwrap().approx_eq(&expect, TOL));
+        // Sanity on a state: |0100⟩ should flip the target.
+        let sv = {
+            let mut full = Circuit::new(4);
+            full.x(1);
+            full.compose(&c, &[0, 1, 2, 3], &[]).unwrap();
+            full.statevector().unwrap()
+        };
+        assert!(sv.approx_eq(&CVector::basis_state(16, 0b0101), TOL));
+    }
+
+    #[test]
+    fn mc_unitary_arbitrary_gate_three_controls() {
+        let u = Gate::U3(0.8, 1.9, -0.3).matrix();
+        let controls: Vec<Control> = (0..3).map(|q| (q, ControlState::Closed)).collect();
+        let mut c = Circuit::new(4);
+        mc_unitary(&mut c, &controls, 3, &u).unwrap();
+        let expect = reference_mcu(4, &controls, 3, &u);
+        assert!(c.unitary_matrix().unwrap().approx_eq(&expect, TOL));
+    }
+
+    #[test]
+    fn mcz_symmetry() {
+        let controls = [(0, ControlState::Closed), (1, ControlState::Closed)];
+        let mut c = Circuit::new(3);
+        mcz(&mut c, &controls, 2).unwrap();
+        let expect = reference_mcu(3, &controls, 2, &Gate::Z.matrix());
+        assert!(c.unitary_matrix().unwrap().approx_eq(&expect, TOL));
+    }
+
+    #[test]
+    fn mc_unitary_zero_controls_applies_gate() {
+        let u = Gate::H.matrix();
+        let mut c = Circuit::new(1);
+        mc_unitary(&mut c, &[], 0, &u).unwrap();
+        assert!(c
+            .unitary_matrix()
+            .unwrap()
+            .approx_eq_up_to_phase(&u, TOL));
+    }
+
+    #[test]
+    fn mc_unitary_rejects_bad_matrix() {
+        let mut c = Circuit::new(2);
+        let bad = CMatrix::from_real(2, 2, &[1.0, 1.0, 0.0, 1.0]);
+        assert!(mc_unitary(&mut c, &[(0, ControlState::Closed)], 1, &bad).is_err());
+    }
+
+    #[test]
+    fn v_chain_matches_reference_on_clean_ancillas() {
+        // 4 controls, 2 ancillas, 1 target = 7 qubits. The v-chain is only
+        // guaranteed for clean |0⟩ ancillas, so compare column-by-column on
+        // basis states whose ancilla bits are zero.
+        let controls = [0usize, 1, 2, 3];
+        let mut c = Circuit::new(7);
+        mcx_v_chain(&mut c, &controls, 4, &[5, 6]).unwrap();
+        let ctrl: Vec<Control> = controls.iter().map(|&q| (q, ControlState::Closed)).collect();
+        let expect = reference_mcu(7, &ctrl, 4, &Gate::X.matrix());
+        let got = c.unitary_matrix().unwrap();
+        for col in 0..(1usize << 7) {
+            // Ancillas are qubits 5, 6 → bits 1 and 0 of the index.
+            if col & 0b11 != 0 {
+                continue;
+            }
+            let input = CVector::basis_state(1 << 7, col);
+            let a = got.mul_vec(&input);
+            let b = expect.mul_vec(&input);
+            assert!(a.approx_eq(&b, TOL), "mismatch at basis column {col}");
+        }
+    }
+
+    #[test]
+    fn v_chain_requires_enough_ancillas() {
+        let mut c = Circuit::new(6);
+        assert!(mcx_v_chain(&mut c, &[0, 1, 2, 3], 4, &[5]).is_err());
+    }
+
+    #[test]
+    fn v_chain_small_cases() {
+        let mut c = Circuit::new(2);
+        mcx_v_chain(&mut c, &[0], 1, &[]).unwrap();
+        assert!(c
+            .unitary_matrix()
+            .unwrap()
+            .approx_eq(&Gate::Cx.matrix(), TOL));
+        let mut c = Circuit::new(1);
+        mcx_v_chain(&mut c, &[], 0, &[]).unwrap();
+        assert!(c
+            .unitary_matrix()
+            .unwrap()
+            .approx_eq(&Gate::X.matrix(), TOL));
+    }
+}

@@ -1,0 +1,266 @@
+//! Uniformly-controlled (multiplexed) rotations.
+//!
+//! A multiplexed rotation applies `R(θ_p)` to the target for each basis
+//! pattern `p` of the control qubits. It decomposes exactly into `2^k`
+//! CNOTs and `2^k` rotations via the Walsh–Hadamard / Gray-code
+//! construction, and is the work-horse of the state-preparation synthesis
+//! (`O(2ⁿ)` CX, matching the paper's cited bound \[36\]).
+
+use crate::{Circuit, CircuitError};
+
+/// The rotation axis of a multiplexed rotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RotationAxis {
+    /// Rotation about Y.
+    Y,
+    /// Rotation about Z.
+    Z,
+}
+
+/// Appends a multiplexed `Ry` to `circuit`: for each computational pattern
+/// `p` of `controls` (with `controls[0]` the most significant pattern bit),
+/// the target receives `Ry(angles[p])`.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::ArityMismatch`] when `angles.len() != 2^k`, plus
+/// the circuit builder's index errors.
+///
+/// ```rust
+/// use qra_circuit::{Circuit, synthesis::multiplexed_ry};
+///
+/// let mut c = Circuit::new(2);
+/// multiplexed_ry(&mut c, &[0], 1, &[0.3, 1.2])?;
+/// # Ok::<(), qra_circuit::CircuitError>(())
+/// ```
+pub fn multiplexed_ry(
+    circuit: &mut Circuit,
+    controls: &[usize],
+    target: usize,
+    angles: &[f64],
+) -> Result<(), CircuitError> {
+    multiplexed_rotation(circuit, controls, target, angles, RotationAxis::Y)
+}
+
+/// Appends a multiplexed `Rz`; see [`multiplexed_ry`].
+///
+/// # Errors
+///
+/// Same conditions as [`multiplexed_ry`].
+pub fn multiplexed_rz(
+    circuit: &mut Circuit,
+    controls: &[usize],
+    target: usize,
+    angles: &[f64],
+) -> Result<(), CircuitError> {
+    multiplexed_rotation(circuit, controls, target, angles, RotationAxis::Z)
+}
+
+/// Shared implementation for both axes.
+///
+/// # Errors
+///
+/// See [`multiplexed_ry`].
+pub fn multiplexed_rotation(
+    circuit: &mut Circuit,
+    controls: &[usize],
+    target: usize,
+    angles: &[f64],
+    axis: RotationAxis,
+) -> Result<(), CircuitError> {
+    let k = controls.len();
+    let patterns = 1usize << k;
+    if angles.len() != patterns {
+        return Err(CircuitError::ArityMismatch {
+            gate: "multiplexed rotation".into(),
+            expected: patterns,
+            actual: angles.len(),
+        });
+    }
+
+    let rot = |c: &mut Circuit, theta: f64| {
+        if theta.abs() > 1e-13 {
+            match axis {
+                RotationAxis::Y => {
+                    c.ry(theta, target);
+                }
+                RotationAxis::Z => {
+                    c.rz(theta, target);
+                }
+            }
+        }
+    };
+
+    if k == 0 {
+        rot(circuit, angles[0]);
+        return Ok(());
+    }
+
+    // Transformed angles: θ̂_j = 2^{-k} Σ_p (-1)^{⟨gray(j), p⟩} θ_p,
+    // where ⟨·,·⟩ is the bitwise inner product mod 2.
+    let gray = |x: usize| x ^ (x >> 1);
+    let scale = 1.0 / patterns as f64;
+    let transformed: Vec<f64> = (0..patterns)
+        .map(|j| {
+            let g = gray(j);
+            (0..patterns)
+                .map(|p| {
+                    let sign = if ((g & p).count_ones() & 1) == 1 {
+                        -1.0
+                    } else {
+                        1.0
+                    };
+                    sign * angles[p]
+                })
+                .sum::<f64>()
+                * scale
+        })
+        .collect();
+
+    // Emit R(θ̂_j) followed by a CX whose control sits at the bit where
+    // gray(j) and gray(j+1) differ; the final CX closes the cycle back to
+    // gray(0) = 0 (difference at the most significant bit).
+    let mut pending_cx: Option<usize> = None;
+    for (j, &theta) in transformed.iter().enumerate() {
+        if let Some(ctrl) = pending_cx.take() {
+            circuit.cx(ctrl, target);
+        }
+        rot(circuit, theta);
+        let lsb_index = if j + 1 == patterns {
+            k - 1 // wrap-around: highest pattern bit
+        } else {
+            (j + 1).trailing_zeros() as usize
+        };
+        // Pattern bit `b` (from LSB) corresponds to controls[k-1-b].
+        pending_cx = Some(controls[k - 1 - lsb_index]);
+    }
+    if let Some(ctrl) = pending_cx {
+        circuit.cx(ctrl, target);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::embed;
+    use crate::Gate;
+    use qra_math::CMatrix;
+    use rand::{Rng, SeedableRng};
+
+    const TOL: f64 = 1e-9;
+
+    /// Reference block-diagonal multiplexed rotation matrix on `k+1` qubits
+    /// with controls `0..k` and target `k`.
+    fn reference(k: usize, angles: &[f64], axis: RotationAxis) -> CMatrix {
+        let n = k + 1;
+        let dim = 1usize << n;
+        let mut m = CMatrix::zeros(dim, dim);
+        for p in 0..(1usize << k) {
+            let block = match axis {
+                RotationAxis::Y => Gate::Ry(angles[p]).matrix(),
+                RotationAxis::Z => Gate::Rz(angles[p]).matrix(),
+            };
+            // Target is the least significant bit.
+            for tb_r in 0..2 {
+                for tb_c in 0..2 {
+                    m.set(p * 2 + tb_r, p * 2 + tb_c, block.get(tb_r, tb_c));
+                }
+            }
+        }
+        m
+    }
+
+    fn check(k: usize, angles: &[f64], axis: RotationAxis) {
+        let n = k + 1;
+        let controls: Vec<usize> = (0..k).collect();
+        let mut c = Circuit::new(n);
+        multiplexed_rotation(&mut c, &controls, k, angles, axis).unwrap();
+        let expect = reference(k, angles, axis);
+        let got = c.unitary_matrix().unwrap();
+        assert!(
+            got.approx_eq(&expect, TOL),
+            "multiplexed {axis:?} mismatch for k={k}"
+        );
+        // CX count is at most 2^k (zero-rotation cancellations may reduce it).
+        let cx = c
+            .instructions()
+            .iter()
+            .filter(|i| i.as_gate().map_or(false, |g| g.name() == "cx"))
+            .count();
+        assert!(cx <= 1 << k, "too many CX: {cx} for k={k}");
+    }
+
+    #[test]
+    fn single_control_both_axes() {
+        check(1, &[0.3, 1.7], RotationAxis::Y);
+        check(1, &[-0.4, 0.9], RotationAxis::Z);
+    }
+
+    #[test]
+    fn two_controls() {
+        check(2, &[0.1, 0.2, 0.3, 0.4], RotationAxis::Y);
+        check(2, &[1.0, -1.0, 0.5, 0.25], RotationAxis::Z);
+    }
+
+    #[test]
+    fn three_controls_random_angles() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let angles: Vec<f64> = (0..8).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            check(3, &angles, RotationAxis::Y);
+            check(3, &angles, RotationAxis::Z);
+        }
+    }
+
+    #[test]
+    fn zero_controls_is_plain_rotation() {
+        let mut c = Circuit::new(1);
+        multiplexed_ry(&mut c, &[], 0, &[0.77]).unwrap();
+        assert!(c
+            .unitary_matrix()
+            .unwrap()
+            .approx_eq(&Gate::Ry(0.77).matrix(), TOL));
+    }
+
+    #[test]
+    fn uniform_angles_reduce_to_single_rotation_matrix() {
+        // All angles equal → acts as unconditional rotation on the target.
+        let mut c = Circuit::new(3);
+        multiplexed_ry(&mut c, &[0, 1], 2, &[0.9, 0.9, 0.9, 0.9]).unwrap();
+        let expect = embed(&Gate::Ry(0.9).matrix(), &[2], 3);
+        assert!(c.unitary_matrix().unwrap().approx_eq(&expect, TOL));
+    }
+
+    #[test]
+    fn rejects_wrong_angle_count() {
+        let mut c = Circuit::new(2);
+        assert!(multiplexed_ry(&mut c, &[0], 1, &[0.1]).is_err());
+    }
+
+    #[test]
+    fn nonadjacent_controls_and_target() {
+        // Controls (2, 0), target 1 — scrambled order on 3 qubits.
+        let angles = [0.2, 0.4, 0.6, 0.8];
+        let mut c = Circuit::new(3);
+        multiplexed_ry(&mut c, &[2, 0], 1, &angles).unwrap();
+        let got = c.unitary_matrix().unwrap();
+        // Build reference by embedding each controlled block directly.
+        let dim = 8;
+        let mut expect = CMatrix::zeros(dim, dim);
+        for idx_c2 in 0..2 {
+            for idx_c0 in 0..2 {
+                let p = idx_c2 * 2 + idx_c0; // controls[0]=q2 is MSB of pattern
+                let block = Gate::Ry(angles[p]).matrix();
+                for tr in 0..2 {
+                    for tc in 0..2 {
+                        let row = idx_c0 * 4 + tr * 2 + idx_c2;
+                        let col = idx_c0 * 4 + tc * 2 + idx_c2;
+                        expect.set(row, col, block.get(tr, tc));
+                    }
+                }
+            }
+        }
+        assert!(got.approx_eq(&expect, TOL));
+    }
+}

@@ -1,0 +1,383 @@
+//! State-preparation synthesis: a circuit `U` with `U|0…0⟩ = |ψ⟩`.
+//!
+//! The general path is the textbook amplitude-disentangling recursion
+//! (multiplexed Rz/Ry per qubit, `O(2ⁿ)` CX — the bound the paper cites
+//! from Plesch & Brukner \[36\]). Three fast paths produce the hand-crafted
+//! circuits the paper's cost tables assume:
+//!
+//! 1. **Basis states** — X gates only, 0 CX;
+//! 2. **Product states** — per-qubit rotations, 0 CX;
+//! 3. **Two-term superpositions** `a|i⟩ + b|j⟩` (Bell, GHZ, …) — one
+//!    rotation plus a CX fan-out, `hamming(i,j) − 1` CX (2 CX for GHZ,
+//!    matching Fig. 1's accounting).
+
+use crate::synthesis::multiplexed::{multiplexed_ry, multiplexed_rz};
+use crate::{Circuit, CircuitError};
+use qra_math::{C64, CVector};
+
+const TOL: f64 = 1e-10;
+
+/// Synthesises a circuit preparing `state` from `|0…0⟩`, exact up to an
+/// unobservable global phase.
+///
+/// # Errors
+///
+/// * [`CircuitError::Math`] when the dimension is not a power of two or the
+///   vector cannot be normalised;
+///
+/// ```rust
+/// use qra_circuit::synthesis::prepare_state;
+/// use qra_math::CVector;
+///
+/// let s = 0.5f64.sqrt();
+/// let bell = CVector::from_real(&[s, 0.0, 0.0, s]);
+/// let circuit = prepare_state(&bell)?;
+/// assert!(circuit.statevector()?.approx_eq_up_to_phase(&bell, 1e-9));
+/// # Ok::<(), qra_circuit::CircuitError>(())
+/// ```
+pub fn prepare_state(state: &CVector) -> Result<Circuit, CircuitError> {
+    let n = qra_math::qubits_for_dim(state.len())?;
+    let psi = state.normalized().map_err(CircuitError::Math)?;
+
+    if let Some(c) = try_basis_state(&psi, n) {
+        return Ok(c);
+    }
+    if let Some(c) = try_product_state(&psi, n) {
+        return Ok(c);
+    }
+    if let Some(c) = try_two_term(&psi, n)? {
+        return Ok(c);
+    }
+    general_prepare(&psi, n)
+}
+
+/// Fast path 1: a single computational basis state.
+fn try_basis_state(psi: &CVector, n: usize) -> Option<Circuit> {
+    let mut hot = None;
+    for (i, amp) in psi.iter().enumerate() {
+        if amp.norm() > TOL {
+            if hot.is_some() {
+                return None;
+            }
+            hot = Some(i);
+        }
+    }
+    let index = hot?;
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        if (index >> (n - 1 - q)) & 1 == 1 {
+            c.x(q);
+        }
+    }
+    Some(c)
+}
+
+/// Fast path 2: a full product state `⊗_q (a_q|0⟩ + b_q|1⟩)`.
+fn try_product_state(psi: &CVector, n: usize) -> Option<Circuit> {
+    let mut c = Circuit::new(n);
+    let mut rest = psi.clone();
+    for q in 0..n {
+        let m = rest.len();
+        let half = m / 2;
+        let top = CVector::new(rest.as_slice()[..half].to_vec());
+        let bottom = CVector::new(rest.as_slice()[half..].to_vec());
+        let tn = top.norm();
+        let bn = bottom.norm();
+        // rest = (a|0⟩ + b|1⟩) ⊗ sub requires top ∝ bottom (or one is zero).
+        let (a, b, sub) = if bn <= TOL {
+            (C64::one(), C64::zero(), top)
+        } else if tn <= TOL {
+            (C64::zero(), C64::one(), bottom)
+        } else {
+            // Find proportionality factor via the largest entry.
+            let (mut best, mut best_norm) = (0usize, 0.0f64);
+            for (i, z) in top.iter().enumerate() {
+                if z.norm() > best_norm {
+                    best = i;
+                    best_norm = z.norm();
+                }
+            }
+            let ratio = bottom.amplitude(best) / top.amplitude(best);
+            // bottom must equal ratio * top.
+            if !bottom.approx_eq(&top.scale(ratio), 1e-8) {
+                return None;
+            }
+            let norm = (1.0 + ratio.norm_sqr()).sqrt();
+            let a = C64::from(1.0 / norm);
+            let b = ratio.scale(1.0 / norm);
+            let sub = top.normalized().ok()?;
+            (a, b, sub)
+        };
+        append_1q_prep(&mut c, q, a, b);
+        if m == 2 {
+            break;
+        }
+        rest = sub;
+    }
+    // Verify (defensive; proportionality checks should guarantee this).
+    match c.statevector() {
+        Ok(sv) if sv.approx_eq_up_to_phase(psi, 1e-7) => Some(c),
+        _ => None,
+    }
+}
+
+/// Fast path 3: exactly two non-zero amplitudes `a|i⟩ + b|j⟩`.
+fn try_two_term(psi: &CVector, n: usize) -> Result<Option<Circuit>, CircuitError> {
+    let mut hot: Vec<usize> = Vec::new();
+    for (i, amp) in psi.iter().enumerate() {
+        if amp.norm() > TOL {
+            hot.push(i);
+            if hot.len() > 2 {
+                return Ok(None);
+            }
+        }
+    }
+    if hot.len() != 2 {
+        return Ok(None);
+    }
+    let (mut i, mut j) = (hot[0], hot[1]);
+    let diff = i ^ j;
+    // Pivot: the most significant differing qubit.
+    let pivot_bit = diff.ilog2() as usize; // bit position from LSB
+    let pivot = n - 1 - pivot_bit;
+    // Ensure i has 0 at the pivot so its amplitude rides the |0⟩ branch.
+    if (i >> pivot_bit) & 1 == 1 {
+        std::mem::swap(&mut i, &mut j);
+    }
+    let a = psi.amplitude(i);
+    let b = psi.amplitude(j);
+
+    let mut c = Circuit::new(n);
+    append_1q_prep(&mut c, pivot, a, b);
+    // Fan out the remaining differing bits from the pivot.
+    for q in 0..n {
+        if q != pivot && (diff >> (n - 1 - q)) & 1 == 1 {
+            c.cx(pivot, q);
+        }
+    }
+    // Set bits common to both terms.
+    let common = i & j;
+    for q in 0..n {
+        if (common >> (n - 1 - q)) & 1 == 1 {
+            c.x(q);
+        }
+    }
+    // The fan-out copies the pivot value; bits of j that differ from i must
+    // match j when pivot=1 branch… they do by construction (i has 0s at all
+    // differing bits? not necessarily). Verify and fix with X where needed.
+    if c.statevector()?.approx_eq_up_to_phase(psi, 1e-8) {
+        return Ok(Some(c));
+    }
+    // General case: i may have 1-bits at differing positions. Rebuild with
+    // explicit X corrections: after fan-out the state is
+    // a|0…0 (pivot pattern)⟩ branch with zeros — instead, correct any
+    // differing bit where i has a 1 by applying X (flipping both branches)
+    // would break; fall back to the generic path for these rare layouts.
+    Ok(None)
+}
+
+/// Appends a single-qubit preparation of `a|0⟩ + b|1⟩` (unit norm) to `q`.
+fn append_1q_prep(c: &mut Circuit, q: usize, a: C64, b: C64) {
+    let theta = 2.0 * b.norm().atan2(a.norm());
+    if theta.abs() > 1e-12 {
+        c.ry(theta, q);
+    }
+    // Relative phase: arg(b) − arg(a) (only meaningful when both non-zero).
+    if a.norm() > TOL && b.norm() > TOL {
+        let lambda = b.arg() - a.arg();
+        if lambda.abs() > 1e-12 {
+            c.rz(lambda, q);
+        }
+    } else if b.norm() > TOL {
+        let lambda = b.arg();
+        if lambda.abs() > 1e-12 {
+            c.rz(2.0 * lambda, q);
+        }
+    }
+}
+
+/// General amplitude-disentangling synthesis.
+fn general_prepare(psi: &CVector, n: usize) -> Result<Circuit, CircuitError> {
+    // Build the disentangler D with D|ψ⟩ = |0…0⟩ (up to phase), then invert.
+    let mut disentangler = Circuit::new(n);
+    let mut amps: Vec<C64> = psi.as_slice().to_vec();
+
+    // Disentangle qubits from the least significant (n−1) up to 0.
+    for qubit in (0..n).rev() {
+        let m = amps.len();
+        let half = m / 2;
+        let mut rz_angles = vec![0.0f64; half];
+        let mut ry_angles = vec![0.0f64; half];
+        let mut next = vec![C64::zero(); half];
+        for r in 0..half {
+            let a = amps[2 * r];
+            let b = amps[2 * r + 1];
+            let norm = (a.norm_sqr() + b.norm_sqr()).sqrt();
+            if norm <= 1e-12 {
+                next[r] = C64::zero();
+                continue;
+            }
+            let mu = if a.norm() > 1e-12 { a.arg() } else { 0.0 };
+            let nu = if b.norm() > 1e-12 { b.arg() } else { 0.0 };
+            // Rz(λ) with λ = μ − ν aligns the phases; Ry(−θ) zeroes the
+            // odd amplitude.
+            rz_angles[r] = mu - nu;
+            ry_angles[r] = -2.0 * b.norm().atan2(a.norm());
+            next[r] = C64::from_polar(norm, (mu + nu) / 2.0);
+        }
+        let controls: Vec<usize> = (0..qubit).collect();
+        // Order: align phases first, then rotate into |0⟩.
+        if rz_angles.iter().any(|t| t.abs() > 1e-12) {
+            multiplexed_rz(&mut disentangler, &controls, qubit, &rz_angles)?;
+        }
+        if ry_angles.iter().any(|t| t.abs() > 1e-12) {
+            multiplexed_ry(&mut disentangler, &controls, qubit, &ry_angles)?;
+        }
+        amps = next;
+    }
+
+    disentangler.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(state: &CVector) -> Circuit {
+        let c = prepare_state(state).unwrap();
+        let sv = c.statevector().unwrap();
+        assert!(
+            sv.approx_eq_up_to_phase(&state.normalized().unwrap(), 1e-8),
+            "prepared state mismatch"
+        );
+        c
+    }
+
+    fn cx_count(c: &Circuit) -> usize {
+        c.instructions()
+            .iter()
+            .filter(|i| i.as_gate().map_or(false, |g| g.name() == "cx"))
+            .count()
+    }
+
+    #[test]
+    fn basis_states_use_only_x() {
+        for idx in 0..8 {
+            let state = CVector::basis_state(8, idx);
+            let c = roundtrip(&state);
+            assert_eq!(cx_count(&c), 0);
+            for inst in c.instructions() {
+                assert_eq!(inst.as_gate().unwrap().name(), "x");
+            }
+        }
+    }
+
+    #[test]
+    fn product_states_use_no_cx() {
+        // |+⟩ ⊗ |1⟩ ⊗ (0.6|0⟩ + 0.8i|1⟩)
+        let plus = CVector::from_real(&[0.5f64.sqrt(), 0.5f64.sqrt()]);
+        let one = CVector::basis_state(2, 1);
+        let third = CVector::new(vec![C64::from(0.6), C64::new(0.0, 0.8)]);
+        let state = plus.kron(&one).kron(&third);
+        let c = roundtrip(&state);
+        assert_eq!(cx_count(&c), 0, "product state should need no CX");
+    }
+
+    #[test]
+    fn bell_state_uses_one_cx() {
+        let s = 0.5f64.sqrt();
+        let bell = CVector::from_real(&[s, 0.0, 0.0, s]);
+        let c = roundtrip(&bell);
+        assert_eq!(cx_count(&c), 1);
+    }
+
+    #[test]
+    fn ghz_state_uses_two_cx() {
+        let s = 0.5f64.sqrt();
+        let mut ghz = CVector::zeros(8);
+        ghz[0] = C64::from(s);
+        ghz[7] = C64::from(s);
+        let c = roundtrip(&ghz);
+        assert_eq!(cx_count(&c), 2, "GHZ prep should match the paper's 2 CX");
+    }
+
+    #[test]
+    fn ghz_with_negative_phase() {
+        let s = 0.5f64.sqrt();
+        let mut ghz = CVector::zeros(8);
+        ghz[0] = C64::from(s);
+        ghz[7] = C64::from(-s);
+        roundtrip(&ghz);
+    }
+
+    #[test]
+    fn unequal_two_term_superposition() {
+        let mut v = CVector::zeros(4);
+        v[1] = C64::from(0.6);
+        v[2] = C64::new(0.0, 0.8);
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn w_state_roundtrips_via_general_path() {
+        let a = 1.0 / 3.0f64.sqrt();
+        let mut w = CVector::zeros(8);
+        w[0b001] = C64::from(a);
+        w[0b010] = C64::from(a);
+        w[0b100] = C64::from(a);
+        roundtrip(&w);
+    }
+
+    #[test]
+    fn random_states_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for n in 1..=5usize {
+            for _ in 0..4 {
+                let dim = 1 << n;
+                let raw: Vec<C64> = (0..dim)
+                    .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                    .collect();
+                let state = CVector::new(raw).normalized().unwrap();
+                roundtrip(&state);
+            }
+        }
+    }
+
+    #[test]
+    fn general_path_cx_is_bounded() {
+        // For n qubits the disentangling bound is ~2·2ⁿ CX.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let n = 4;
+        let dim = 1 << n;
+        let raw: Vec<C64> = (0..dim)
+            .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let state = CVector::new(raw).normalized().unwrap();
+        let c = roundtrip(&state);
+        assert!(cx_count(&c) <= 2 * (1 << n), "cx count {}", cx_count(&c));
+    }
+
+    #[test]
+    fn rejects_bad_dimension() {
+        let v = CVector::from_real(&[1.0, 0.0, 0.0]);
+        assert!(prepare_state(&v).is_err());
+        assert!(prepare_state(&CVector::zeros(4)).is_err());
+    }
+
+    #[test]
+    fn plus_state_single_qubit() {
+        let plus = CVector::from_real(&[0.5f64.sqrt(), 0.5f64.sqrt()]);
+        let c = roundtrip(&plus);
+        assert_eq!(cx_count(&c), 0);
+        assert!(c.len() <= 2);
+    }
+
+    #[test]
+    fn complex_phase_single_qubit() {
+        // (|0⟩ + i|1⟩)/√2 — the eigenstate used in the paper's §IX-B.
+        let s = 0.5f64.sqrt();
+        let state = CVector::new(vec![C64::from(s), C64::new(0.0, s)]);
+        roundtrip(&state);
+    }
+}

@@ -1,0 +1,234 @@
+//! ZYZ (Euler-angle) decomposition of single-qubit unitaries.
+
+use crate::{Circuit, CircuitError, Gate};
+use qra_math::{C64, CMatrix};
+
+/// The Euler angles of `U = e^{iα} · Rz(β) · Ry(γ) · Rz(δ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZyzAngles {
+    /// Global phase `α`.
+    pub alpha: f64,
+    /// Outer Z rotation `β` (applied last).
+    pub beta: f64,
+    /// Middle Y rotation `γ`.
+    pub gamma: f64,
+    /// Inner Z rotation `δ` (applied first).
+    pub delta: f64,
+}
+
+impl ZyzAngles {
+    /// Rebuilds the unitary matrix from the angles (for verification).
+    pub fn matrix(&self) -> CMatrix {
+        let rz_b = Gate::Rz(self.beta).matrix();
+        let ry_g = Gate::Ry(self.gamma).matrix();
+        let rz_d = Gate::Rz(self.delta).matrix();
+        rz_b.mul(&ry_g)
+            .and_then(|m| m.mul(&rz_d))
+            .expect("2x2 shapes agree")
+            .scale(C64::cis(self.alpha))
+    }
+
+    /// Appends the rotation gates (without the global phase) to `circuit`
+    /// on `qubit`, skipping numerically-zero rotations.
+    pub fn apply_to(&self, circuit: &mut Circuit, qubit: usize) {
+        const TOL: f64 = 1e-12;
+        if self.delta.abs() > TOL {
+            circuit.rz(self.delta, qubit);
+        }
+        if self.gamma.abs() > TOL {
+            circuit.ry(self.gamma, qubit);
+        }
+        if self.beta.abs() > TOL {
+            circuit.rz(self.beta, qubit);
+        }
+    }
+}
+
+/// Decomposes a single-qubit unitary into ZYZ Euler angles.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::ArityMismatch`] for non-2×2 input and
+/// [`CircuitError::NotUnitary`] for non-unitary input.
+///
+/// ```rust
+/// use qra_circuit::{Gate, synthesis::zyz_decompose};
+///
+/// let angles = zyz_decompose(&Gate::H.matrix())?;
+/// assert!(angles.matrix().approx_eq(&Gate::H.matrix(), 1e-10));
+/// # Ok::<(), qra_circuit::CircuitError>(())
+/// ```
+pub fn zyz_decompose(u: &CMatrix) -> Result<ZyzAngles, CircuitError> {
+    if u.shape() != (2, 2) {
+        return Err(CircuitError::ArityMismatch {
+            gate: "zyz".into(),
+            expected: 1,
+            actual: usize::MAX,
+        });
+    }
+    if !u.is_unitary(1e-8) {
+        return Err(CircuitError::NotUnitary { deviation: 1.0 });
+    }
+
+    // det(U) = e^{2iα}; divide out the global phase to get an SU(2) matrix.
+    let det = u.get(0, 0) * u.get(1, 1) - u.get(0, 1) * u.get(1, 0);
+    let alpha = det.arg() / 2.0;
+    let inv_phase = C64::cis(-alpha);
+    let v00 = u.get(0, 0) * inv_phase;
+    let v10 = u.get(1, 0) * inv_phase;
+
+    // V = [[cos(γ/2)e^{-i(β+δ)/2}, ...], [sin(γ/2)e^{i(β-δ)/2}, ...]].
+    let gamma = 2.0 * v10.norm().atan2(v00.norm());
+    let (beta, delta) = if v00.norm() > 1e-9 && v10.norm() > 1e-9 {
+        let phi00 = v00.arg(); // -(β+δ)/2
+        let phi10 = v10.arg(); // (β-δ)/2
+        (phi10 - phi00, -phi10 - phi00)
+    } else if v10.norm() <= 1e-9 {
+        // γ ≈ 0: only β+δ matters.
+        (-2.0 * v00.arg(), 0.0)
+    } else {
+        // γ ≈ π: only β−δ matters.
+        (2.0 * v10.arg(), 0.0)
+    };
+
+    Ok(ZyzAngles {
+        alpha,
+        beta,
+        gamma,
+        delta,
+    })
+}
+
+/// Principal square root of a 2×2 unitary matrix, used by the
+/// multi-controlled-gate recursion.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::NotUnitary`] for non-unitary or non-2×2 input.
+pub fn sqrt_unitary_2x2(u: &CMatrix) -> Result<CMatrix, CircuitError> {
+    if u.shape() != (2, 2) || !u.is_unitary(1e-8) {
+        return Err(CircuitError::NotUnitary { deviation: 1.0 });
+    }
+    let tr = u.get(0, 0) + u.get(1, 1);
+    let det = u.get(0, 0) * u.get(1, 1) - u.get(0, 1) * u.get(1, 0);
+    // Eigenvalues from λ² − tr·λ + det = 0.
+    let disc = (tr * tr - det.scale(4.0)).sqrt();
+    let l1 = (tr + disc).scale(0.5);
+    let l2 = (tr - disc).scale(0.5);
+    let id = CMatrix::identity(2);
+    if (l1 - l2).norm() < 1e-10 {
+        // U = λ·I (or defective, impossible for unitary): scalar sqrt.
+        return Ok(id.scale(l1.sqrt()));
+    }
+    // Spectral projectors: P1 = (U − λ2 I)/(λ1 − λ2), P2 = I − P1.
+    let p1 = u.sub(&id.scale(l2))?.scale((l1 - l2).inv());
+    let p2 = id.sub(&p1)?;
+    Ok(p1.scale(l1.sqrt()).add(&p2.scale(l2.sqrt()))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    const TOL: f64 = 1e-9;
+
+    fn random_unitary_2x2(rng: &mut impl Rng) -> CMatrix {
+        // Haar-ish via random U3 + global phase.
+        let m = crate::gate::u3_matrix(
+            rng.gen_range(0.0..std::f64::consts::PI),
+            rng.gen_range(0.0..std::f64::consts::TAU),
+            rng.gen_range(0.0..std::f64::consts::TAU),
+        );
+        m.scale(C64::cis(rng.gen_range(0.0..std::f64::consts::TAU)))
+    }
+
+    #[test]
+    fn decomposes_standard_gates() {
+        for g in [
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::T,
+            Gate::Sx,
+            Gate::Rx(0.8),
+            Gate::Ry(1.1),
+            Gate::Rz(-0.6),
+            Gate::Phase(2.2),
+            Gate::U2(0.5, 1.0),
+            Gate::U3(0.3, 0.9, -1.4),
+        ] {
+            let m = g.matrix();
+            let angles = zyz_decompose(&m).unwrap();
+            assert!(
+                angles.matrix().approx_eq(&m, TOL),
+                "zyz roundtrip failed for {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn decomposes_random_unitaries() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let m = random_unitary_2x2(&mut rng);
+            let angles = zyz_decompose(&m).unwrap();
+            assert!(angles.matrix().approx_eq(&m, TOL));
+        }
+    }
+
+    #[test]
+    fn apply_to_reproduces_up_to_phase() {
+        let m = Gate::U3(1.2, 0.4, 2.2).matrix();
+        let angles = zyz_decompose(&m).unwrap();
+        let mut c = Circuit::new(1);
+        angles.apply_to(&mut c, 0);
+        let u = c.unitary_matrix().unwrap();
+        assert!(u.approx_eq_up_to_phase(&m, TOL));
+    }
+
+    #[test]
+    fn apply_to_skips_zero_rotations() {
+        let angles = zyz_decompose(&Gate::I.matrix()).unwrap();
+        let mut c = Circuit::new(1);
+        angles.apply_to(&mut c, 0);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(zyz_decompose(&CMatrix::identity(4)).is_err());
+        let not_unitary = CMatrix::from_real(2, 2, &[1.0, 1.0, 0.0, 1.0]);
+        assert!(zyz_decompose(&not_unitary).is_err());
+        assert!(sqrt_unitary_2x2(&not_unitary).is_err());
+    }
+
+    #[test]
+    fn sqrt_of_x_squares_back() {
+        let x = Gate::X.matrix();
+        let v = sqrt_unitary_2x2(&x).unwrap();
+        assert!(v.is_unitary(TOL));
+        assert!(v.mul(&v).unwrap().approx_eq(&x, TOL));
+    }
+
+    #[test]
+    fn sqrt_of_scalar_unitary() {
+        let u = CMatrix::identity(2).scale(C64::cis(1.0));
+        let v = sqrt_unitary_2x2(&u).unwrap();
+        assert!(v.mul(&v).unwrap().approx_eq(&u, TOL));
+    }
+
+    #[test]
+    fn sqrt_of_random_unitaries() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for _ in 0..50 {
+            let u = random_unitary_2x2(&mut rng);
+            let v = sqrt_unitary_2x2(&u).unwrap();
+            assert!(v.is_unitary(TOL), "sqrt not unitary");
+            assert!(v.mul(&v).unwrap().approx_eq(&u, TOL), "sqrt² != U");
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Textbook gate-identity checks: the gate set must satisfy the standard
+//! algebraic relations (Clifford conjugations, inverse pairs, commutation
+//! structure) that the assertion synthesis silently relies on.
+
+use qra_circuit::{Circuit, Gate};
+use qra_math::{C64, CMatrix, CVector};
+
+const TOL: f64 = 1e-10;
+
+fn unitary_of(build: impl FnOnce(&mut Circuit), n: usize) -> CMatrix {
+    let mut c = Circuit::new(n);
+    build(&mut c);
+    c.unitary_matrix().unwrap()
+}
+
+#[test]
+fn hadamard_conjugations() {
+    // H X H = Z and H Z H = X.
+    let hxh = unitary_of(
+        |c| {
+            c.h(0).x(0).h(0);
+        },
+        1,
+    );
+    assert!(hxh.approx_eq(&Gate::Z.matrix(), TOL));
+    let hzh = unitary_of(
+        |c| {
+            c.h(0).z(0).h(0);
+        },
+        1,
+    );
+    assert!(hzh.approx_eq(&Gate::X.matrix(), TOL));
+}
+
+#[test]
+fn s_gate_conjugation_maps_x_to_y() {
+    // S X S† = Y.
+    let sxs = unitary_of(
+        |c| {
+            c.sdg(0).x(0).s(0);
+        },
+        1,
+    );
+    assert!(sxs.approx_eq(&Gate::Y.matrix(), TOL));
+}
+
+#[test]
+fn phase_gate_squares() {
+    // T² = S, S² = Z.
+    let tt = unitary_of(
+        |c| {
+            c.t(0).t(0);
+        },
+        1,
+    );
+    assert!(tt.approx_eq(&Gate::S.matrix(), TOL));
+    let ss = unitary_of(
+        |c| {
+            c.s(0).s(0);
+        },
+        1,
+    );
+    assert!(ss.approx_eq(&Gate::Z.matrix(), TOL));
+}
+
+#[test]
+fn sx_squares_to_x() {
+    let sxsx = unitary_of(
+        |c| {
+            c.append(Gate::Sx, &[0]).unwrap();
+            c.append(Gate::Sx, &[0]).unwrap();
+        },
+        1,
+    );
+    assert!(sxsx.approx_eq_up_to_phase(&Gate::X.matrix(), TOL));
+}
+
+#[test]
+fn cx_conjugation_propagates_paulis() {
+    // CX (X⊗I) CX = X⊗X: control-X propagates through the CNOT.
+    let lhs = unitary_of(
+        |c| {
+            c.cx(0, 1).x(0).cx(0, 1);
+        },
+        2,
+    );
+    let rhs = Gate::X.matrix().kron(&Gate::X.matrix());
+    assert!(lhs.approx_eq(&rhs, TOL));
+    // CX (I⊗Z) CX = Z⊗Z: target-Z propagates backwards.
+    let lhs = unitary_of(
+        |c| {
+            c.cx(0, 1).z(1).cx(0, 1);
+        },
+        2,
+    );
+    let rhs = Gate::Z.matrix().kron(&Gate::Z.matrix());
+    assert!(lhs.approx_eq(&rhs, TOL));
+}
+
+#[test]
+fn cz_is_symmetric_and_diagonal() {
+    let a = unitary_of(
+        |c| {
+            c.cz(0, 1);
+        },
+        2,
+    );
+    let b = unitary_of(
+        |c| {
+            c.cz(1, 0);
+        },
+        2,
+    );
+    assert!(a.approx_eq(&b, TOL));
+    // CZ = diag(1,1,1,−1).
+    let expect = CMatrix::diagonal(&[C64::one(), C64::one(), C64::one(), C64::from(-1.0)]);
+    assert!(a.approx_eq(&expect, TOL));
+}
+
+#[test]
+fn cz_from_hadamard_conjugated_cx() {
+    let hch = unitary_of(
+        |c| {
+            c.h(1).cx(0, 1).h(1);
+        },
+        2,
+    );
+    assert!(hch.approx_eq(&Gate::Cz.matrix(), TOL));
+}
+
+#[test]
+fn swap_from_three_cx() {
+    let sss = unitary_of(
+        |c| {
+            c.cx(0, 1).cx(1, 0).cx(0, 1);
+        },
+        2,
+    );
+    assert!(sss.approx_eq(&Gate::Swap.matrix(), TOL));
+}
+
+#[test]
+fn toffoli_standard_decomposition() {
+    // The canonical 6-CX, T-depth decomposition of CCX.
+    let decomposed = unitary_of(
+        |c| {
+            c.h(2);
+            c.cx(1, 2);
+            c.tdg(2);
+            c.cx(0, 2);
+            c.t(2);
+            c.cx(1, 2);
+            c.tdg(2);
+            c.cx(0, 2);
+            c.t(1);
+            c.t(2);
+            c.cx(0, 1);
+            c.h(2);
+            c.t(0);
+            c.tdg(1);
+            c.cx(0, 1);
+        },
+        3,
+    );
+    assert!(decomposed.approx_eq_up_to_phase(&Gate::Ccx.matrix(), TOL));
+}
+
+#[test]
+fn rotation_composition_and_periodicity() {
+    // Rz(a)Rz(b) = Rz(a+b); Ry(2π) = −I (spinor periodicity).
+    let composed = unitary_of(
+        |c| {
+            c.rz(0.3, 0).rz(0.9, 0);
+        },
+        1,
+    );
+    assert!(composed.approx_eq(&Gate::Rz(1.2).matrix(), TOL));
+    let full_turn = unitary_of(
+        |c| {
+            c.ry(std::f64::consts::TAU, 0);
+        },
+        1,
+    );
+    assert!(full_turn.approx_eq(&CMatrix::identity(2).scale(C64::from(-1.0)), TOL));
+}
+
+#[test]
+fn euler_angles_recover_hadamard() {
+    // H = e^{iπ/2} · Ry(π/2) · Rz(π), verified up to the global phase
+    // (and cross-checked against the ZYZ decomposition routine).
+    let euler = unitary_of(
+        |c| {
+            c.rz(std::f64::consts::PI, 0)
+                .ry(std::f64::consts::FRAC_PI_2, 0);
+        },
+        1,
+    );
+    assert!(euler.approx_eq_up_to_phase(&Gate::H.matrix(), TOL));
+    let angles = qra_circuit::synthesis::zyz_decompose(&Gate::H.matrix()).unwrap();
+    assert!(angles.matrix().approx_eq(&Gate::H.matrix(), TOL));
+}
+
+#[test]
+fn controlled_phase_symmetry() {
+    let a = unitary_of(
+        |c| {
+            c.cp(0.7, 0, 1);
+        },
+        2,
+    );
+    let b = unitary_of(
+        |c| {
+            c.cp(0.7, 1, 0);
+        },
+        2,
+    );
+    assert!(a.approx_eq(&b, TOL));
+}
+
+#[test]
+fn ghz_stabilizer_generators() {
+    // GHZ is stabilized by XXX, ZZI, IZZ.
+    let mut c = Circuit::new(3);
+    c.h(0).cx(0, 1).cx(1, 2);
+    let sv = c.statevector().unwrap();
+    let x = Gate::X.matrix();
+    let z = Gate::Z.matrix();
+    let id = CMatrix::identity(2);
+    for stab in [
+        x.kron(&x).kron(&x),
+        z.kron(&z).kron(&id),
+        id.kron(&z).kron(&z),
+    ] {
+        let out = stab.mul_vec(&sv);
+        assert!(out.approx_eq(&sv, TOL), "stabilizer violated");
+    }
+}
+
+#[test]
+fn bell_basis_transformation_is_complete() {
+    // H·CX maps the four computational states onto the four Bell states,
+    // which must be mutually orthonormal.
+    let mut states = Vec::new();
+    for idx in 0..4usize {
+        let mut c = Circuit::new(2);
+        if idx & 2 != 0 {
+            c.x(0);
+        }
+        if idx & 1 != 0 {
+            c.x(1);
+        }
+        c.h(0).cx(0, 1);
+        states.push(c.statevector().unwrap());
+    }
+    for (i, a) in states.iter().enumerate() {
+        for (j, b) in states.iter().enumerate() {
+            let ip = a.inner(b).unwrap();
+            let expect = if i == j { 1.0 } else { 0.0 };
+            assert!(
+                (ip.norm() - expect).abs() < TOL,
+                "⟨bell_{i}|bell_{j}⟩ = {ip}"
+            );
+        }
+    }
+}
+
+#[test]
+fn measurement_basis_convention_is_big_endian() {
+    // X on qubit 0 of a 3-qubit register sets the most significant bit.
+    let mut c = Circuit::new(3);
+    c.x(0);
+    let sv = c.statevector().unwrap();
+    assert!((sv.probability(0b100) - 1.0).abs() < TOL);
+    let _ = CVector::zeros(2);
+}

@@ -1,0 +1,633 @@
+//! Library backing the `qra` command-line tool.
+//!
+//! All logic lives here (argument parsing, state specification parsing,
+//! command execution) so it is unit-testable; `main.rs` is a thin shim.
+//!
+//! ```text
+//! qra run <file.qasm> [--shots N] [--seed S] [--noise ideal|low|melbourne]
+//! qra assert <file.qasm> --qubits 0,1,2 --state ghz [--design auto] …
+//! qra cost --qubits-count 3 --state ghz
+//! qra info <file.qasm>
+//! ```
+
+#![deny(missing_docs)]
+
+use qra::circuit::qasm_parser::from_qasm;
+use qra::prelude::*;
+use std::fmt::Write as _;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<AssertionError> for CliError {
+    fn from(e: AssertionError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<qra::circuit::CircuitError> for CliError {
+    fn from(e: qra::circuit::CircuitError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<qra::sim::SimError> for CliError {
+    fn from(e: qra::sim::SimError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run a QASM file and print the outcome histogram.
+    Run {
+        /// Path to the QASM file.
+        file: String,
+        /// Shot count.
+        shots: u64,
+        /// RNG seed.
+        seed: u64,
+        /// Noise preset name.
+        noise: Noise,
+    },
+    /// Insert an assertion at the end of a QASM program and report.
+    Assert {
+        /// Path to the QASM file.
+        file: String,
+        /// Qubits under test.
+        qubits: Vec<usize>,
+        /// State specification string.
+        state: String,
+        /// Design name.
+        design: Design,
+        /// Shot count.
+        shots: u64,
+        /// RNG seed.
+        seed: u64,
+        /// Noise preset name.
+        noise: Noise,
+    },
+    /// Print the per-design circuit cost of asserting a state.
+    Cost {
+        /// Number of qubits the state covers.
+        num_qubits: usize,
+        /// State specification string.
+        state: String,
+    },
+    /// Print structural information about a QASM file.
+    Info {
+        /// Path to the QASM file.
+        file: String,
+    },
+    /// Print usage help.
+    Help,
+}
+
+/// Noise preset selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Noise {
+    /// No noise (state-vector back-end).
+    Ideal,
+    /// The low-noise density preset.
+    Low,
+    /// The melbourne-like density preset.
+    Melbourne,
+}
+
+/// Parses the command line (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a usage-style message on malformed input.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let cmd = match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some(c) => c,
+    };
+    let rest: Vec<&String> = it.collect();
+    let flag = |name: &str| -> Option<&str> {
+        rest.iter()
+            .position(|a| a.as_str() == name)
+            .and_then(|i| rest.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let positional: Vec<&str> = {
+        let mut out = Vec::new();
+        let mut skip = false;
+        for a in &rest {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a.starts_with("--") {
+                skip = true;
+                continue;
+            }
+            out.push(a.as_str());
+        }
+        out
+    };
+    let shots = match flag("--shots") {
+        Some(s) => s.parse().map_err(|_| err(format!("bad --shots '{s}'")))?,
+        None => 8192,
+    };
+    let seed = match flag("--seed") {
+        Some(s) => s.parse().map_err(|_| err(format!("bad --seed '{s}'")))?,
+        None => 1,
+    };
+    let noise = match flag("--noise") {
+        None | Some("ideal") => Noise::Ideal,
+        Some("low") => Noise::Low,
+        Some("melbourne") => Noise::Melbourne,
+        Some(other) => return Err(err(format!("unknown noise preset '{other}'"))),
+    };
+    let design = match flag("--design") {
+        None | Some("auto") => Design::Auto,
+        Some("swap") => Design::Swap,
+        Some("or") | Some("logical-or") => Design::LogicalOr,
+        Some("ndd") => Design::Ndd,
+        Some(other) => return Err(err(format!("unknown design '{other}'"))),
+    };
+
+    match cmd {
+        "run" => {
+            let file = positional
+                .first()
+                .ok_or_else(|| err("run: missing <file.qasm>"))?
+                .to_string();
+            Ok(Command::Run {
+                file,
+                shots,
+                seed,
+                noise,
+            })
+        }
+        "assert" => {
+            let file = positional
+                .first()
+                .ok_or_else(|| err("assert: missing <file.qasm>"))?
+                .to_string();
+            let qubits = parse_qubit_list(
+                flag("--qubits").ok_or_else(|| err("assert: missing --qubits"))?,
+            )?;
+            let state = flag("--state")
+                .ok_or_else(|| err("assert: missing --state"))?
+                .to_string();
+            Ok(Command::Assert {
+                file,
+                qubits,
+                state,
+                design,
+                shots,
+                seed,
+                noise,
+            })
+        }
+        "cost" => {
+            let num_qubits = flag("--qubits-count")
+                .ok_or_else(|| err("cost: missing --qubits-count"))?
+                .parse()
+                .map_err(|_| err("bad --qubits-count"))?;
+            let state = flag("--state")
+                .ok_or_else(|| err("cost: missing --state"))?
+                .to_string();
+            Ok(Command::Cost { num_qubits, state })
+        }
+        "info" => {
+            let file = positional
+                .first()
+                .ok_or_else(|| err("info: missing <file.qasm>"))?
+                .to_string();
+            Ok(Command::Info { file })
+        }
+        other => Err(err(format!("unknown command '{other}'; try 'qra help'"))),
+    }
+}
+
+/// Parses `0,1,2` into qubit indices.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on malformed numbers.
+pub fn parse_qubit_list(text: &str) -> Result<Vec<usize>, CliError> {
+    text.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().map_err(|_| err(format!("bad qubit '{s}'"))))
+        .collect()
+}
+
+/// Parses a state specification string into a [`StateSpec`] over
+/// `num_qubits` qubits. Supported forms:
+///
+/// * `ghz`, `bell`, `w`, `plus`, `zero` — named states;
+/// * `basis:IDX` — the computational basis state `|IDX⟩`;
+/// * `set:IDX1;IDX2;…` — approximate assertion over basis states;
+/// * `amps:re,im;re,im;…` — explicit amplitudes (length `2ⁿ`).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown names or malformed values.
+pub fn parse_state(text: &str, num_qubits: usize) -> Result<StateSpec, CliError> {
+    let dim = 1usize << num_qubits;
+    let s = 0.5f64.sqrt();
+    match text {
+        "ghz" => {
+            let mut v = CVector::zeros(dim);
+            v[0] = C64::from(s);
+            v[dim - 1] = C64::from(s);
+            Ok(StateSpec::pure(v)?)
+        }
+        "bell" => {
+            if num_qubits != 2 {
+                return Err(err("bell needs exactly 2 qubits"));
+            }
+            let mut v = CVector::zeros(4);
+            v[0] = C64::from(s);
+            v[3] = C64::from(s);
+            Ok(StateSpec::pure(v)?)
+        }
+        "w" => {
+            let amp = C64::from(1.0 / (num_qubits as f64).sqrt());
+            let mut v = CVector::zeros(dim);
+            for q in 0..num_qubits {
+                v[1usize << (num_qubits - 1 - q)] = amp;
+            }
+            Ok(StateSpec::pure(v)?)
+        }
+        "plus" => {
+            let amp = C64::from(1.0 / (dim as f64).sqrt());
+            let v = CVector::new(vec![amp; dim]);
+            Ok(StateSpec::pure(v)?)
+        }
+        "zero" => Ok(StateSpec::pure(CVector::basis_state(dim, 0))?),
+        other => {
+            if let Some(idx) = other.strip_prefix("basis:") {
+                let i: usize = idx.parse().map_err(|_| err(format!("bad index '{idx}'")))?;
+                if i >= dim {
+                    return Err(err(format!("basis index {i} out of range for {dim}")));
+                }
+                return Ok(StateSpec::pure(CVector::basis_state(dim, i))?);
+            }
+            if let Some(list) = other.strip_prefix("set:") {
+                let members: Result<Vec<CVector>, CliError> = list
+                    .split(';')
+                    .filter(|p| !p.is_empty())
+                    .map(|p| {
+                        let i: usize =
+                            p.trim().parse().map_err(|_| err(format!("bad index '{p}'")))?;
+                        if i >= dim {
+                            return Err(err(format!("set index {i} out of range")));
+                        }
+                        Ok(CVector::basis_state(dim, i))
+                    })
+                    .collect();
+                return Ok(StateSpec::set(members?)?);
+            }
+            if let Some(list) = other.strip_prefix("amps:") {
+                let amps: Result<Vec<C64>, CliError> = list
+                    .split(';')
+                    .filter(|p| !p.is_empty())
+                    .map(|pair| {
+                        let (re, im) = pair
+                            .split_once(',')
+                            .ok_or_else(|| err(format!("bad amplitude '{pair}'")))?;
+                        Ok(C64::new(
+                            re.trim().parse().map_err(|_| err("bad real part"))?,
+                            im.trim().parse().map_err(|_| err("bad imag part"))?,
+                        ))
+                    })
+                    .collect();
+                let amps = amps?;
+                if amps.len() != dim {
+                    return Err(err(format!(
+                        "amps length {} does not match 2^{num_qubits}",
+                        amps.len()
+                    )));
+                }
+                return Ok(StateSpec::pure(CVector::new(amps))?);
+            }
+            Err(err(format!("unknown state '{other}'")))
+        }
+    }
+}
+
+/// Executes a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on I/O, parsing or simulation failures.
+pub fn execute(command: &Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(usage()),
+        Command::Info { file } => {
+            let circuit = load(file)?;
+            let mut out = String::new();
+            let _ = writeln!(out, "qubits:   {}", circuit.num_qubits());
+            let _ = writeln!(out, "clbits:   {}", circuit.num_clbits());
+            let _ = writeln!(out, "gates:    {}", circuit.gate_count());
+            let _ = writeln!(out, "depth:    {}", circuit.depth());
+            let _ = writeln!(out, "2q-depth: {}", circuit.two_qubit_depth());
+            let counts = GateCounts::of(&circuit)?;
+            let _ = writeln!(out, "cost:     {counts}");
+            let _ = writeln!(out, "ops:");
+            for (name, n) in circuit.count_ops() {
+                let _ = writeln!(out, "  {name:10} {n}");
+            }
+            Ok(out)
+        }
+        Command::Run {
+            file,
+            shots,
+            seed,
+            noise,
+        } => {
+            let circuit = load(file)?;
+            let counts = run_counts(&circuit, *shots, *seed, *noise)?;
+            let mut out = String::new();
+            let _ = writeln!(out, "shots: {}", counts.total());
+            for (key, n) in counts.iter() {
+                let _ = writeln!(
+                    out,
+                    "  {}: {n} ({:.3})",
+                    counts.key_to_string(key),
+                    n as f64 / counts.total() as f64
+                );
+            }
+            Ok(out)
+        }
+        Command::Assert {
+            file,
+            qubits,
+            state,
+            design,
+            shots,
+            seed,
+            noise,
+        } => {
+            let mut circuit = load(file)?;
+            let spec = parse_state(state, qubits.len())?;
+            let handle = insert_assertion(&mut circuit, qubits, &spec, *design)?;
+            let counts = run_counts(&circuit, *shots, *seed, *noise)?;
+            let rate = handle.error_rate(&counts);
+            let mut out = String::new();
+            let _ = writeln!(out, "design:        {}", handle.design);
+            let _ = writeln!(out, "circuit cost:  {}", handle.counts);
+            let _ = writeln!(out, "error rate:    {rate:.4}");
+            let verdict = if rate > 0.01 { "FAIL" } else { "pass" };
+            let _ = writeln!(out, "verdict:       {verdict}");
+            Ok(out)
+        }
+        Command::Cost { num_qubits, state } => {
+            let spec = parse_state(state, *num_qubits)?;
+            let mut out = String::new();
+            for design in [Design::Swap, Design::LogicalOr, Design::Ndd] {
+                match synthesize_assertion(&spec, design) {
+                    Ok(a) => {
+                        let _ = writeln!(out, "{design:12} {}", a.gate_counts());
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "{design:12} unavailable: {e}");
+                    }
+                }
+            }
+            let auto = synthesize_assertion(&spec, Design::Auto)?;
+            let _ = writeln!(out, "auto picks:  {}", auto.design());
+            Ok(out)
+        }
+    }
+}
+
+fn load(file: &str) -> Result<Circuit, CliError> {
+    let text =
+        std::fs::read_to_string(file).map_err(|e| err(format!("cannot read {file}: {e}")))?;
+    Ok(from_qasm(&text)?)
+}
+
+fn run_counts(circuit: &Circuit, shots: u64, seed: u64, noise: Noise) -> Result<Counts, CliError> {
+    Ok(match noise {
+        Noise::Ideal => StatevectorSimulator::with_seed(seed).run(circuit, shots)?,
+        Noise::Low => DensityMatrixSimulator::with_noise(DevicePreset::LowNoise.noise_model())
+            .run(circuit, shots, seed)?,
+        Noise::Melbourne => DensityMatrixSimulator::with_noise(DevicePreset::melbourne_like())
+            .run(circuit, shots, seed)?,
+    })
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "qra — quantum runtime assertions\n\
+     \n\
+     USAGE:\n\
+     qra run <file.qasm> [--shots N] [--seed S] [--noise ideal|low|melbourne]\n\
+     qra assert <file.qasm> --qubits 0,1,2 --state <spec> [--design auto|swap|or|ndd]\n\
+     \x20                  [--shots N] [--seed S] [--noise ideal|low|melbourne]\n\
+     qra cost --qubits-count N --state <spec>\n\
+     qra info <file.qasm>\n\
+     \n\
+     STATE SPECS: ghz | bell | w | plus | zero | basis:IDX | set:I1;I2;… | amps:re,im;…\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_run_command() {
+        let cmd = parse_args(&args(&["run", "foo.qasm", "--shots", "100", "--seed", "9"]))
+            .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                file: "foo.qasm".into(),
+                shots: 100,
+                seed: 9,
+                noise: Noise::Ideal,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_assert_command_with_noise() {
+        let cmd = parse_args(&args(&[
+            "assert",
+            "foo.qasm",
+            "--qubits",
+            "0,1,2",
+            "--state",
+            "ghz",
+            "--design",
+            "ndd",
+            "--noise",
+            "melbourne",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Assert {
+                qubits,
+                state,
+                design,
+                noise,
+                ..
+            } => {
+                assert_eq!(qubits, vec![0, 1, 2]);
+                assert_eq!(state, "ghz");
+                assert_eq!(design, Design::Ndd);
+                assert_eq!(noise, Noise::Melbourne);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert_eq!(parse_args(&args(&[])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["--help"])).unwrap(), Command::Help);
+        assert!(parse_args(&args(&["frobnicate"])).is_err());
+        assert!(parse_args(&args(&["assert", "f.qasm"])).is_err());
+        assert!(parse_args(&args(&["run"])).is_err());
+        assert!(parse_args(&args(&["run", "f", "--noise", "hot"])).is_err());
+    }
+
+    #[test]
+    fn parses_named_states() {
+        assert!(parse_state("ghz", 3).is_ok());
+        assert!(parse_state("bell", 2).is_ok());
+        assert!(parse_state("bell", 3).is_err());
+        assert!(parse_state("w", 3).is_ok());
+        assert!(parse_state("plus", 2).is_ok());
+        assert!(parse_state("zero", 1).is_ok());
+        assert!(parse_state("nope", 1).is_err());
+    }
+
+    #[test]
+    fn parses_basis_set_and_amps() {
+        let spec = parse_state("basis:2", 2).unwrap();
+        assert!(!spec.is_approximate());
+        assert!(parse_state("basis:4", 2).is_err());
+        let spec = parse_state("set:0;3", 2).unwrap();
+        assert!(spec.is_approximate());
+        assert!(parse_state("set:0;9", 2).is_err());
+        let spec = parse_state("amps:0.7071,0;0,0.7071", 1).unwrap();
+        assert!(matches!(spec, StateSpec::Pure(_)));
+        assert!(parse_state("amps:1,0", 2).is_err());
+        assert!(parse_state("amps:x,0;0,0", 1).is_err());
+    }
+
+    #[test]
+    fn end_to_end_assert_on_temp_file() {
+        let dir = std::env::temp_dir().join("qra_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ghz.qasm");
+        std::fs::write(
+            &path,
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n",
+        )
+        .unwrap();
+        let file = path.to_str().unwrap().to_string();
+
+        let out = execute(&Command::Info { file: file.clone() }).unwrap();
+        assert!(out.contains("qubits:   3"));
+        assert!(out.contains("cx"));
+
+        let out = execute(&Command::Assert {
+            file: file.clone(),
+            qubits: vec![0, 1, 2],
+            state: "ghz".into(),
+            design: Design::Swap,
+            shots: 512,
+            seed: 1,
+            noise: Noise::Ideal,
+        })
+        .unwrap();
+        assert!(out.contains("error rate:    0.0000"), "{out}");
+        assert!(out.contains("pass"));
+
+        // Wrong expectation fails.
+        let out = execute(&Command::Assert {
+            file: file.clone(),
+            qubits: vec![0, 1, 2],
+            state: "w".into(),
+            design: Design::Swap,
+            shots: 512,
+            seed: 1,
+            noise: Noise::Ideal,
+        })
+        .unwrap();
+        assert!(out.contains("FAIL"), "{out}");
+
+        let out = execute(&Command::Run {
+            file,
+            shots: 256,
+            seed: 2,
+            noise: Noise::Ideal,
+        })
+        .unwrap();
+        assert!(out.contains("shots: 256"));
+    }
+
+    #[test]
+    fn end_to_end_with_user_defined_gate() {
+        // The CLI's QASM loader handles gate definitions; assert the Bell
+        // state produced by a user-defined bellpair gate.
+        let dir = std::env::temp_dir().join("qra_cli_gatedef_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bell.qasm");
+        std::fs::write(
+            &path,
+            "OPENQASM 2.0;\ngate bellpair a,b { h a; cx a,b; }\nqreg q[2];\nbellpair q[0],q[1];\n",
+        )
+        .unwrap();
+        let out = execute(&Command::Assert {
+            file: path.to_str().unwrap().to_string(),
+            qubits: vec![0, 1],
+            state: "bell".into(),
+            design: Design::Auto,
+            shots: 512,
+            seed: 3,
+            noise: Noise::Ideal,
+        })
+        .unwrap();
+        assert!(out.contains("pass"), "{out}");
+    }
+
+    #[test]
+    fn cost_command_lists_designs() {
+        let out = execute(&Command::Cost {
+            num_qubits: 2,
+            state: "set:0;3".into(),
+        })
+        .unwrap();
+        assert!(out.contains("swap"));
+        assert!(out.contains("ndd"));
+        assert!(out.contains("auto picks"));
+    }
+
+    #[test]
+    fn usage_mentions_all_commands() {
+        let u = usage();
+        for word in ["run", "assert", "cost", "info", "ghz"] {
+            assert!(u.contains(word));
+        }
+    }
+}

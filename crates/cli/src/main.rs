@@ -1,0 +1,14 @@
+//! The `qra` command-line tool: a thin shim over [`qra_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match qra_cli::parse_args(&args).and_then(|cmd| qra_cli::execute(&cmd)) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprint!("{}", qra_cli::usage());
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Outcome analysis for assertion runs.
+//!
+//! Collates the per-assertion error rates, overall pass verdicts and
+//! post-selected (error-filtered) results the paper reports in §IX.
+
+use crate::assertion::AssertionHandle;
+use qra_sim::Counts;
+use std::fmt;
+
+/// Aggregated outcome of running a circuit containing assertions.
+#[derive(Debug, Clone)]
+pub struct AssertionReport {
+    per_assertion: Vec<f64>,
+    overall_error_rate: f64,
+    filtered: Counts,
+    retained: f64,
+}
+
+impl AssertionReport {
+    /// Builds a report from the run histogram and the inserted handles.
+    ///
+    /// ```rust
+    /// use qra_circuit::Circuit;
+    /// use qra_core::{insert_assertion, AssertionReport, Design, StateSpec};
+    /// use qra_math::CVector;
+    /// use qra_sim::StatevectorSimulator;
+    ///
+    /// let mut c = Circuit::new(1);
+    /// c.h(0);
+    /// let spec = StateSpec::pure(CVector::from_real(&[0.5f64.sqrt(), 0.5f64.sqrt()]))?;
+    /// let handle = insert_assertion(&mut c, &[0], &spec, Design::Ndd)?;
+    /// let counts = StatevectorSimulator::with_seed(1).run(&c, 1024)?;
+    /// let report = AssertionReport::from_counts(&counts, &[handle]);
+    /// assert!(report.passed(0.01));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn from_counts(counts: &Counts, handles: &[AssertionHandle]) -> Self {
+        let per_assertion: Vec<f64> = handles.iter().map(|h| h.error_rate(counts)).collect();
+        let all_bits: Vec<usize> = handles.iter().flat_map(|h| h.clbits.clone()).collect();
+        let overall_error_rate = counts.any_set_frequency(&all_bits);
+        let (filtered, retained) = counts.post_select_zero(&all_bits);
+        Self {
+            per_assertion,
+            overall_error_rate,
+            filtered,
+            retained,
+        }
+    }
+
+    /// Error rate of each assertion, in handle order.
+    pub fn per_assertion_error_rates(&self) -> &[f64] {
+        &self.per_assertion
+    }
+
+    /// Fraction of shots flagged by at least one assertion.
+    pub fn overall_error_rate(&self) -> f64 {
+        self.overall_error_rate
+    }
+
+    /// `true` when the overall error rate is at or below `threshold`
+    /// (noise-free runs should pass `0.0`; noisy runs use the calibrated
+    /// noise floor, §IX-B).
+    pub fn passed(&self, threshold: f64) -> bool {
+        self.overall_error_rate <= threshold
+    }
+
+    /// The error-filtered histogram (shots where every assertion passed).
+    pub fn filtered_counts(&self) -> &Counts {
+        &self.filtered
+    }
+
+    /// Fraction of shots retained by the filtering.
+    pub fn retained_fraction(&self) -> f64 {
+        self.retained
+    }
+
+    /// Index of the first assertion whose error rate exceeds `threshold`,
+    /// if any — the paper's bug-localisation workflow (§IX-A1): gates
+    /// between the last passing slot and the first failing slot contain
+    /// the bug.
+    pub fn first_failing(&self, threshold: f64) -> Option<usize> {
+        self.per_assertion
+            .iter()
+            .position(|&rate| rate > threshold)
+    }
+}
+
+/// Wilson score interval for a binomial proportion: the statistically
+/// sound way to decide whether a noisy assertion-error rate sits above the
+/// calibrated noise floor (§IX-B's "detect the bug from the increment").
+///
+/// Returns `(low, high)` at confidence `z` standard deviations (use
+/// `z = 1.96` for 95%, `z = 2.58` for 99%).
+///
+/// ```rust
+/// use qra_core::analysis::wilson_interval;
+///
+/// let (low, high) = wilson_interval(450, 1000, 1.96);
+/// assert!(low < 0.45 && 0.45 < high);
+/// assert!(high - low < 0.07);
+/// ```
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// Decides whether an observed error rate significantly exceeds a known
+/// noise floor: `true` when the Wilson lower bound of the observation lies
+/// above the floor's upper bound.
+///
+/// ```rust
+/// use qra_core::analysis::detects_above_floor;
+///
+/// // 45% errors in 8192 shots vs a 36% floor from 8192 calibration shots:
+/// assert!(detects_above_floor(3686, 8192, 2949, 8192, 1.96));
+/// // But 37% vs 36% is inside the noise:
+/// assert!(!detects_above_floor(3031, 8192, 2949, 8192, 1.96));
+/// ```
+pub fn detects_above_floor(
+    observed_errors: u64,
+    observed_shots: u64,
+    floor_errors: u64,
+    floor_shots: u64,
+    z: f64,
+) -> bool {
+    let (obs_low, _) = wilson_interval(observed_errors, observed_shots, z);
+    let (_, floor_high) = wilson_interval(floor_errors, floor_shots, z);
+    obs_low > floor_high
+}
+
+impl fmt::Display for AssertionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "assertion report: overall error rate {:.4}, retained {:.4}",
+            self.overall_error_rate, self.retained
+        )?;
+        for (i, rate) in self.per_assertion.iter().enumerate() {
+            writeln!(f, "  assertion {i}: error rate {rate:.4}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{insert_assertion, Design, StateSpec};
+    use qra_circuit::Circuit;
+    use qra_math::CVector;
+    use qra_sim::StatevectorSimulator;
+
+    #[test]
+    fn report_on_passing_program() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s = 0.5f64.sqrt();
+        let bell = CVector::from_real(&[s, 0.0, 0.0, s]);
+        let h = insert_assertion(&mut c, &[0, 1], &StateSpec::pure(bell).unwrap(), Design::Swap)
+            .unwrap();
+        let counts = StatevectorSimulator::with_seed(1).run(&c, 1000).unwrap();
+        let report = AssertionReport::from_counts(&counts, &[h]);
+        assert_eq!(report.overall_error_rate(), 0.0);
+        assert!(report.passed(0.0));
+        assert_eq!(report.first_failing(0.0), None);
+        assert_eq!(report.retained_fraction(), 1.0);
+        assert_eq!(report.per_assertion_error_rates(), &[0.0]);
+    }
+
+    #[test]
+    fn wilson_interval_properties() {
+        // Contains the point estimate, shrinks with more trials.
+        let (l1, h1) = wilson_interval(50, 100, 1.96);
+        assert!(l1 < 0.5 && 0.5 < h1);
+        let (l2, h2) = wilson_interval(5000, 10000, 1.96);
+        assert!(h2 - l2 < h1 - l1);
+        // Edge cases stay within [0, 1].
+        let (l, h) = wilson_interval(0, 100, 1.96);
+        assert!(l >= 0.0 && h < 0.1);
+        let (l, h) = wilson_interval(100, 100, 1.96);
+        assert!(l > 0.9 && h <= 1.0);
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn detection_threshold_scales_with_shots() {
+        // A 2-point gap detectable at 8192 shots is not at 100 shots.
+        assert!(!detects_above_floor(40, 100, 36, 100, 1.96));
+        assert!(detects_above_floor(3300, 8192, 2949, 8192, 1.96));
+    }
+
+    #[test]
+    fn report_localizes_failing_slot() {
+        // Slot 0 asserts |0⟩ (passes), slot 1 asserts |1⟩ (fails).
+        let mut c = Circuit::new(1);
+        let h0 = insert_assertion(
+            &mut c,
+            &[0],
+            &StateSpec::pure(CVector::basis_state(2, 0)).unwrap(),
+            Design::Ndd,
+        )
+        .unwrap();
+        let h1 = insert_assertion(
+            &mut c,
+            &[0],
+            &StateSpec::pure(CVector::basis_state(2, 1)).unwrap(),
+            Design::Ndd,
+        )
+        .unwrap();
+        let counts = StatevectorSimulator::with_seed(2).run(&c, 500).unwrap();
+        let report = AssertionReport::from_counts(&counts, &[h0, h1]);
+        assert_eq!(report.first_failing(0.01), Some(1));
+        assert!(!report.passed(0.01));
+        assert!(report.overall_error_rate() > 0.99);
+        assert!(report.retained_fraction() < 0.01);
+        assert!(format!("{report}").contains("assertion 1"));
+    }
+}

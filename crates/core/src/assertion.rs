@@ -1,0 +1,482 @@
+//! The top-level assertion API: synthesise, select, and insert.
+//!
+//! This mirrors the four-argument `assert(circuit, qubitList, stateSet,
+//! design)` function the paper adds to Qiskit (§VII): callers hand a
+//! [`StateSpec`], pick a [`Design`] (or [`Design::Auto`], the paper's
+//! `NONE`, which selects the cheapest in entangling gates), and
+//! [`insert_assertion`] splices the assertion — ancillas, measurements and
+//! all — into an existing program circuit.
+
+use crate::logical_or::build_or_assertion;
+use crate::ndd::build_ndd_assertion;
+use crate::spec::StateSpec;
+use crate::swap::{build_swap_assertion, BuiltAssertion};
+use crate::AssertionError;
+use qra_circuit::{Circuit, GateCounts};
+use qra_sim::Counts;
+use std::fmt;
+
+/// The assertion circuit design to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Design {
+    /// Synthesise all three designs and keep the one with the fewest
+    /// entangling gates (the paper's `design = NONE`).
+    #[default]
+    Auto,
+    /// SWAP-based design (§IV): corrects the state on pass.
+    Swap,
+    /// Logical-OR based design (§IV-E): one ancilla, one measurement.
+    LogicalOr,
+    /// NDD phase-kickback design (§V): one ancilla, any rank.
+    Ndd,
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Design::Auto => "auto",
+            Design::Swap => "swap",
+            Design::LogicalOr => "logical-or",
+            Design::Ndd => "ndd",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A synthesised assertion: the local circuit plus metadata.
+#[derive(Debug, Clone)]
+pub struct Assertion {
+    built: BuiltAssertion,
+    design: Design,
+    counts: GateCounts,
+}
+
+impl Assertion {
+    /// The design that was actually used (never [`Design::Auto`]).
+    pub fn design(&self) -> Design {
+        self.design
+    }
+
+    /// The local assertion circuit: test qubits `0..num_test_qubits()`,
+    /// ancillas after.
+    pub fn circuit(&self) -> &Circuit {
+        &self.built.circuit
+    }
+
+    /// Number of qubits under test.
+    pub fn num_test_qubits(&self) -> usize {
+        self.built.num_test
+    }
+
+    /// Number of ancilla qubits required.
+    pub fn num_ancillas(&self) -> usize {
+        self.built.num_ancilla
+    }
+
+    /// Number of classical bits (assertion measurements).
+    pub fn num_clbits(&self) -> usize {
+        self.built.num_clbits
+    }
+
+    /// The paper's cost quadruple for this assertion circuit.
+    pub fn gate_counts(&self) -> GateCounts {
+        self.counts
+    }
+
+    /// `true` when a passing assertion re-prepares the asserted state
+    /// (only the SWAP design has this property, §IV-E).
+    pub fn corrects_state(&self) -> bool {
+        self.design == Design::Swap
+    }
+}
+
+/// Synthesises an assertion circuit for `spec` with the requested design.
+///
+/// # Errors
+///
+/// * [`AssertionError::Unassertable`] for full-rank mixed states;
+/// * synthesis failures from the underlying design builders.
+///
+/// ```rust
+/// use qra_core::{synthesize_assertion, Design, StateSpec};
+/// use qra_math::CVector;
+///
+/// let spec = StateSpec::pure(CVector::basis_state(2, 0))?;
+/// let assertion = synthesize_assertion(&spec, Design::Ndd)?;
+/// assert_eq!(assertion.num_ancillas(), 1);
+/// assert_eq!(assertion.gate_counts().cx, 1); // CZ counted as one CX
+/// # Ok::<(), qra_core::AssertionError>(())
+/// ```
+pub fn synthesize_assertion(
+    spec: &StateSpec,
+    design: Design,
+) -> Result<Assertion, AssertionError> {
+    let cs = spec.correct_states()?;
+    let build = |d: Design| -> Result<Assertion, AssertionError> {
+        let built = match d {
+            Design::Swap => build_swap_assertion(&cs)?,
+            Design::LogicalOr => build_or_assertion(&cs)?,
+            Design::Ndd => build_ndd_assertion(&cs)?,
+            Design::Auto => unreachable!("auto resolved by caller"),
+        };
+        let counts = GateCounts::of(&built.circuit)?.with_ancilla(built.num_ancilla);
+        Ok(Assertion {
+            built,
+            design: d,
+            counts,
+        })
+    };
+    match design {
+        Design::Auto => {
+            let candidates = [Design::Swap, Design::LogicalOr, Design::Ndd];
+            let mut best: Option<Assertion> = None;
+            let mut last_err = None;
+            for d in candidates {
+                match build(d) {
+                    Ok(a) => {
+                        let better = best
+                            .as_ref()
+                            .map_or(true, |b| a.counts.cx < b.counts.cx);
+                        if better {
+                            best = Some(a);
+                        }
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            best.ok_or_else(|| {
+                last_err.unwrap_or(AssertionError::InvalidSpec {
+                    reason: "no design could synthesise the assertion".into(),
+                })
+            })
+        }
+        d => build(d),
+    }
+}
+
+/// A handle returned by [`insert_assertion`], locating the assertion's
+/// ancillas and classical bits inside the host circuit.
+#[derive(Debug, Clone)]
+pub struct AssertionHandle {
+    /// The design that was used.
+    pub design: Design,
+    /// Host-circuit indices of the ancilla qubits added.
+    pub ancilla_qubits: Vec<usize>,
+    /// Host-circuit classical bits holding the assertion measurements
+    /// (any bit reading 1 = assertion error).
+    pub clbits: Vec<usize>,
+    /// Circuit cost of the inserted assertion.
+    pub counts: GateCounts,
+}
+
+impl AssertionHandle {
+    /// Fraction of shots that raised this assertion (any flag bit set).
+    pub fn error_rate(&self, counts: &Counts) -> f64 {
+        counts.any_set_frequency(&self.clbits)
+    }
+
+    /// Post-selects the shots where this assertion passed, returning the
+    /// filtered histogram and the retained fraction (the paper's
+    /// error-filtering use case, §IX-B).
+    pub fn post_select(&self, counts: &Counts) -> (Counts, f64) {
+        counts.post_select_zero(&self.clbits)
+    }
+}
+
+/// Inserts an assertion for `spec` on `qubits` of `circuit`, appending the
+/// required ancillas and classical bits. This is the Rust counterpart of
+/// the paper's `assert(circuit, qubitList, stateSet, design)`.
+///
+/// # Errors
+///
+/// * [`AssertionError::InvalidQubitList`] for duplicate/out-of-range
+///   qubits or a length mismatch with the spec;
+/// * everything [`synthesize_assertion`] can return.
+pub fn insert_assertion(
+    circuit: &mut Circuit,
+    qubits: &[usize],
+    spec: &StateSpec,
+    design: Design,
+) -> Result<AssertionHandle, AssertionError> {
+    if qubits.len() != spec.num_qubits() {
+        return Err(AssertionError::InvalidQubitList {
+            reason: format!(
+                "spec covers {} qubits but {} were supplied",
+                spec.num_qubits(),
+                qubits.len()
+            ),
+        });
+    }
+    for (i, &q) in qubits.iter().enumerate() {
+        if q >= circuit.num_qubits() {
+            return Err(AssertionError::InvalidQubitList {
+                reason: format!("qubit {q} out of range"),
+            });
+        }
+        if qubits[..i].contains(&q) {
+            return Err(AssertionError::InvalidQubitList {
+                reason: format!("qubit {q} listed twice"),
+            });
+        }
+    }
+    let assertion = synthesize_assertion(spec, design)?;
+
+    let anc_base = circuit.num_qubits();
+    let cl_base = circuit.num_clbits();
+    circuit.expand_qubits(anc_base + assertion.num_ancillas());
+    circuit.expand_clbits(cl_base + assertion.num_clbits());
+
+    let mut qubit_map: Vec<usize> = qubits.to_vec();
+    qubit_map.extend(anc_base..anc_base + assertion.num_ancillas());
+    let clbit_map: Vec<usize> = (cl_base..cl_base + assertion.num_clbits()).collect();
+    circuit.compose(assertion.circuit(), &qubit_map, &clbit_map)?;
+
+    Ok(AssertionHandle {
+        design: assertion.design(),
+        ancilla_qubits: (anc_base..anc_base + assertion.num_ancillas()).collect(),
+        clbits: clbit_map,
+        counts: assertion.gate_counts(),
+    })
+}
+
+/// Inserts a *de-allocation assertion*: checks that `qubits` are back in
+/// `|0…0⟩` — the paper's §VIII "de-allocation of ancillary qubits"
+/// pattern (ancillas must be returned clean before reuse, or later
+/// computations silently corrupt).
+///
+/// # Errors
+///
+/// Same conditions as [`insert_assertion`].
+///
+/// ```rust
+/// use qra_circuit::Circuit;
+/// use qra_core::{insert_deallocation_assertion, Design};
+/// use qra_sim::StatevectorSimulator;
+///
+/// // A compute/uncompute pair leaves the helper qubit clean…
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1).cx(0, 1);
+/// let handle = insert_deallocation_assertion(&mut c, &[1], Design::Ndd)?;
+/// let counts = StatevectorSimulator::with_seed(1).run(&c, 512)?;
+/// assert_eq!(handle.error_rate(&counts), 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn insert_deallocation_assertion(
+    circuit: &mut Circuit,
+    qubits: &[usize],
+    design: Design,
+) -> Result<AssertionHandle, AssertionError> {
+    let dim = 1usize
+        .checked_shl(qubits.len() as u32)
+        .ok_or_else(|| AssertionError::InvalidQubitList {
+            reason: "too many qubits".into(),
+        })?;
+    let spec = StateSpec::pure(qra_math::CVector::basis_state(dim, 0))?;
+    insert_assertion(circuit, qubits, &spec, design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qra_math::{C64, CVector};
+    use qra_sim::StatevectorSimulator;
+
+    fn ghz() -> CVector {
+        let s = 0.5f64.sqrt();
+        let mut v = CVector::zeros(8);
+        v[0] = C64::from(s);
+        v[7] = C64::from(s);
+        v
+    }
+
+    #[test]
+    fn auto_selects_cheapest_design() {
+        // For the even-parity set, NDD (2 CX) beats SWAP and OR.
+        let spec = StateSpec::set(vec![
+            CVector::basis_state(4, 0),
+            CVector::basis_state(4, 3),
+        ])
+        .unwrap();
+        let auto = synthesize_assertion(&spec, Design::Auto).unwrap();
+        for d in [Design::Swap, Design::LogicalOr, Design::Ndd] {
+            let a = synthesize_assertion(&spec, d).unwrap();
+            assert!(auto.gate_counts().cx <= a.gate_counts().cx);
+        }
+        assert_ne!(auto.design(), Design::Auto);
+    }
+
+    #[test]
+    fn corrects_state_flag() {
+        let spec = StateSpec::pure(CVector::basis_state(2, 0)).unwrap();
+        assert!(synthesize_assertion(&spec, Design::Swap)
+            .unwrap()
+            .corrects_state());
+        assert!(!synthesize_assertion(&spec, Design::Ndd)
+            .unwrap()
+            .corrects_state());
+        assert!(!synthesize_assertion(&spec, Design::LogicalOr)
+            .unwrap()
+            .corrects_state());
+    }
+
+    #[test]
+    fn insert_assertion_end_to_end_each_design() {
+        for design in [Design::Swap, Design::LogicalOr, Design::Ndd, Design::Auto] {
+            let mut program = Circuit::new(3);
+            program.h(0).cx(0, 1).cx(1, 2);
+            let handle =
+                insert_assertion(&mut program, &[0, 1, 2], &StateSpec::pure(ghz()).unwrap(), design)
+                    .unwrap();
+            let counts = StatevectorSimulator::with_seed(5).run(&program, 2048).unwrap();
+            assert_eq!(
+                handle.error_rate(&counts),
+                0.0,
+                "{design} flagged a correct state"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_assertion_detects_bug_each_design() {
+        for design in [Design::Swap, Design::LogicalOr, Design::Ndd] {
+            let mut program = Circuit::new(3);
+            program.u2(std::f64::consts::PI, 0.0, 0).cx(0, 1).cx(1, 2);
+            let handle =
+                insert_assertion(&mut program, &[0, 1, 2], &StateSpec::pure(ghz()).unwrap(), design)
+                    .unwrap();
+            let counts = StatevectorSimulator::with_seed(5).run(&program, 2048).unwrap();
+            assert!(
+                handle.error_rate(&counts) > 0.4,
+                "{design} missed the sign bug"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_on_subset_of_qubits() {
+        // 4-qubit program; assert |+⟩ on qubit 2 only.
+        let mut program = Circuit::new(4);
+        program.h(2).x(3);
+        let plus = CVector::from_real(&[0.5f64.sqrt(), 0.5f64.sqrt()]);
+        let handle = insert_assertion(
+            &mut program,
+            &[2],
+            &StateSpec::pure(plus).unwrap(),
+            Design::LogicalOr,
+        )
+        .unwrap();
+        assert_eq!(handle.ancilla_qubits, vec![4]);
+        let counts = StatevectorSimulator::with_seed(2).run(&program, 1024).unwrap();
+        assert_eq!(handle.error_rate(&counts), 0.0);
+    }
+
+    #[test]
+    fn multiple_assertions_stack() {
+        // Two sequential assertions on the same program.
+        let mut program = Circuit::new(2);
+        program.h(0).cx(0, 1);
+        let s = 0.5f64.sqrt();
+        let bell = CVector::from_real(&[s, 0.0, 0.0, s]);
+        let h1 = insert_assertion(
+            &mut program,
+            &[0, 1],
+            &StateSpec::pure(bell.clone()).unwrap(),
+            Design::Swap,
+        )
+        .unwrap();
+        let h2 = insert_assertion(
+            &mut program,
+            &[0, 1],
+            &StateSpec::pure(bell).unwrap(),
+            Design::Ndd,
+        )
+        .unwrap();
+        assert_ne!(h1.clbits, h2.clbits);
+        let counts = StatevectorSimulator::with_seed(9).run(&program, 1024).unwrap();
+        assert_eq!(h1.error_rate(&counts), 0.0);
+        assert_eq!(h2.error_rate(&counts), 0.0);
+    }
+
+    #[test]
+    fn invalid_qubit_lists_rejected() {
+        let spec = StateSpec::pure(CVector::basis_state(4, 0)).unwrap();
+        let mut c = Circuit::new(2);
+        assert!(matches!(
+            insert_assertion(&mut c, &[0], &spec, Design::Ndd),
+            Err(AssertionError::InvalidQubitList { .. })
+        ));
+        assert!(matches!(
+            insert_assertion(&mut c, &[0, 5], &spec, Design::Ndd),
+            Err(AssertionError::InvalidQubitList { .. })
+        ));
+        assert!(matches!(
+            insert_assertion(&mut c, &[0, 0], &spec, Design::Ndd),
+            Err(AssertionError::InvalidQubitList { .. })
+        ));
+    }
+
+    #[test]
+    fn post_select_filters_errors() {
+        // Prepare (|0⟩+|1⟩)/√2, assert |0⟩ with NDD: half the shots flag;
+        // post-selection keeps only |0⟩ results.
+        let mut program = Circuit::new(1);
+        program.h(0);
+        let handle = insert_assertion(
+            &mut program,
+            &[0],
+            &StateSpec::pure(CVector::basis_state(2, 0)).unwrap(),
+            Design::Ndd,
+        )
+        .unwrap();
+        program.measure(0, handle.clbits.len()).ok();
+        // Ensure the data measurement lands on its own clbit.
+        let data_clbit = handle.clbits.iter().max().unwrap() + 1;
+        let mut program2 = Circuit::new(1);
+        program2.h(0);
+        let handle2 = insert_assertion(
+            &mut program2,
+            &[0],
+            &StateSpec::pure(CVector::basis_state(2, 0)).unwrap(),
+            Design::Ndd,
+        )
+        .unwrap();
+        program2.expand_clbits(data_clbit + 1);
+        program2.measure(0, data_clbit).unwrap();
+        let counts = StatevectorSimulator::with_seed(3).run(&program2, 4096).unwrap();
+        let rate = handle2.error_rate(&counts);
+        assert!((rate - 0.5).abs() < 0.05);
+        let (filtered, kept) = handle2.post_select(&counts);
+        assert!((kept - 0.5).abs() < 0.05);
+        // Every retained shot has the data qubit measured as 0.
+        assert_eq!(filtered.marginal_frequency(data_clbit), 0.0);
+    }
+
+    #[test]
+    fn deallocation_assertion_flags_dirty_ancilla() {
+        // Compute WITHOUT uncompute: the helper is left entangled/dirty.
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let handle = insert_deallocation_assertion(&mut c, &[1], Design::Ndd).unwrap();
+        let counts = StatevectorSimulator::with_seed(4).run(&c, 2048).unwrap();
+        let rate = handle.error_rate(&counts);
+        assert!((rate - 0.5).abs() < 0.05, "dirty ancilla rate {rate}");
+    }
+
+    #[test]
+    fn deallocation_assertion_multi_qubit() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(0, 2).cx(0, 1).cx(0, 2);
+        let handle =
+            insert_deallocation_assertion(&mut c, &[1, 2], Design::Swap).unwrap();
+        let counts = StatevectorSimulator::with_seed(5).run(&c, 512).unwrap();
+        assert_eq!(handle.error_rate(&counts), 0.0);
+    }
+
+    #[test]
+    fn design_display() {
+        assert_eq!(Design::Auto.to_string(), "auto");
+        assert_eq!(Design::Swap.to_string(), "swap");
+        assert_eq!(Design::LogicalOr.to_string(), "logical-or");
+        assert_eq!(Design::Ndd.to_string(), "ndd");
+    }
+}

@@ -1,0 +1,505 @@
+//! Automatic checkpoint instrumentation (paper §VIII).
+//!
+//! "Quantum programs usually operate on a finite number of qubits … thus
+//! the system stays in a pure state for every instruction. As a result,
+//! our systematic assertion scheme can essentially assert the state after
+//! every instruction." This module automates that workflow: given a
+//! program and a set of instruction positions, it computes the expected
+//! pure state at each position (the paper's "precalculated state
+//! vectors"), inserts a precise assertion there, and returns the handles
+//! for localisation analysis.
+
+use crate::assertion::{insert_assertion, AssertionHandle, Design};
+use crate::spec::StateSpec;
+use crate::AssertionError;
+use qra_circuit::{Circuit, Operation};
+use qra_math::CMatrix;
+
+/// Where to place checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointPlacement {
+    /// After the instructions with these indices (0-based) in the original
+    /// program.
+    AfterInstructions(Vec<usize>),
+    /// After every `stride`-th instruction (stride ≥ 1), plus the end.
+    EveryN(usize),
+    /// Only at the very end of the program.
+    EndOnly,
+}
+
+/// Options for [`instrument`].
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// Assertion design for every checkpoint.
+    pub design: Design,
+    /// Placement policy.
+    pub placement: CheckpointPlacement,
+    /// Restrict assertions to these qubits; the expected state is then the
+    /// reduced density matrix (a mixed-state assertion) instead of the full
+    /// pure state. `None` asserts all program qubits.
+    pub qubits: Option<Vec<usize>>,
+    /// Reuse a shared ancilla pool across checkpoints (ancillas are reset
+    /// after each checkpoint's measurements). Without reuse every
+    /// checkpoint appends fresh ancillas, which exhausts the register for
+    /// dense placements; with reuse the circuit needs only
+    /// `max(per-checkpoint ancillas)` extra qubits but requires a
+    /// simulator with mid-circuit reset support (both of ours have it).
+    pub reuse_ancillas: bool,
+}
+
+impl Default for CheckpointOptions {
+    fn default() -> Self {
+        Self {
+            design: Design::Auto,
+            placement: CheckpointPlacement::EndOnly,
+            qubits: None,
+            reuse_ancillas: false,
+        }
+    }
+}
+
+/// A checkpointed program: the instrumented circuit plus per-checkpoint
+/// handles (in program order).
+#[derive(Debug, Clone)]
+pub struct InstrumentedProgram {
+    /// The program with assertions spliced in.
+    pub circuit: Circuit,
+    /// One handle per checkpoint, ordered by position.
+    pub handles: Vec<AssertionHandle>,
+    /// The instruction index each checkpoint follows.
+    pub positions: Vec<usize>,
+}
+
+/// Instruments `program` with precise assertions of its own expected
+/// states at the chosen positions.
+///
+/// The expected states are computed by evolving the unitary prefix — the
+/// paper's pre-calculated `V1…Vn` vectors. The program must be
+/// measurement-free up to the last checkpoint.
+///
+/// # Errors
+///
+/// * [`AssertionError::Circuit`] when a prefix contains measurements;
+/// * [`AssertionError::Unassertable`] when a reduced checkpoint state has
+///   full rank;
+/// * synthesis failures from assertion construction.
+///
+/// ```rust
+/// use qra_circuit::Circuit;
+/// use qra_core::checkpoint::{instrument, CheckpointOptions, CheckpointPlacement};
+/// use qra_core::Design;
+/// use qra_sim::StatevectorSimulator;
+///
+/// let mut program = Circuit::new(2);
+/// program.h(0).cx(0, 1);
+/// let instrumented = instrument(&program, &CheckpointOptions {
+///     design: Design::Swap,
+///     placement: CheckpointPlacement::EveryN(1),
+///     qubits: None,
+///     reuse_ancillas: false,
+/// })?;
+/// let counts = StatevectorSimulator::with_seed(1).run(&instrumented.circuit, 512)?;
+/// for handle in &instrumented.handles {
+///     assert_eq!(handle.error_rate(&counts), 0.0);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn instrument(
+    program: &Circuit,
+    options: &CheckpointOptions,
+) -> Result<InstrumentedProgram, AssertionError> {
+    instrument_against(program, program, options)
+}
+
+/// Instruments `program` with assertions of the states a **reference**
+/// implementation would produce at the same positions — the debugging
+/// workflow of §IX: the reference encodes the programmer's intent (or a
+/// known-good version), the program under test may contain bugs, and the
+/// first failing checkpoint brackets the faulty gates.
+///
+/// The two circuits must have the same width and instruction count
+/// (position `i` refers to both).
+///
+/// # Errors
+///
+/// * [`AssertionError::InvalidSpec`] when the shapes disagree;
+/// * everything [`instrument`] can return.
+pub fn instrument_against(
+    program: &Circuit,
+    reference: &Circuit,
+    options: &CheckpointOptions,
+) -> Result<InstrumentedProgram, AssertionError> {
+    if reference.num_qubits() != program.num_qubits()
+        || reference.len() != program.len()
+    {
+        return Err(AssertionError::InvalidSpec {
+            reason: format!(
+                "reference shape ({} qubits, {} instructions) differs from program ({}, {})",
+                reference.num_qubits(),
+                reference.len(),
+                program.num_qubits(),
+                program.len()
+            ),
+        });
+    }
+    instrument_impl(program, reference, options)
+}
+
+fn instrument_impl(
+    program: &Circuit,
+    reference: &Circuit,
+    options: &CheckpointOptions,
+) -> Result<InstrumentedProgram, AssertionError> {
+    let total = program.len();
+    let positions: Vec<usize> = match &options.placement {
+        CheckpointPlacement::AfterInstructions(list) => {
+            let mut v: Vec<usize> = list.iter().copied().filter(|&i| i < total).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+        CheckpointPlacement::EveryN(stride) => {
+            let stride = (*stride).max(1);
+            let mut v: Vec<usize> = (0..total).filter(|i| (i + 1) % stride == 0).collect();
+            if total > 0 && v.last() != Some(&(total - 1)) {
+                v.push(total - 1);
+            }
+            v
+        }
+        CheckpointPlacement::EndOnly => {
+            if total == 0 {
+                vec![]
+            } else {
+                vec![total - 1]
+            }
+        }
+    };
+
+    let n = program.num_qubits();
+    let all_qubits: Vec<usize> = (0..n).collect();
+    let asserted = options.qubits.as_ref().unwrap_or(&all_qubits);
+
+    let mut out = Circuit::with_clbits(n, program.num_clbits());
+    let mut handles = Vec::with_capacity(positions.len());
+    let mut prefix = Circuit::new(n);
+
+    let mut next = positions.iter().copied().peekable();
+    for (idx, inst) in program.instructions().iter().enumerate() {
+        let ref_inst = &reference.instructions()[idx];
+        // Replay the instruction into the output; the *reference*
+        // instruction feeds the expected-state prefix.
+        match &inst.operation {
+            Operation::Gate(g) => {
+                out.append(g.clone(), &inst.qubits)?;
+                if let Operation::Gate(rg) = &ref_inst.operation {
+                    prefix.append(rg.clone(), &ref_inst.qubits)?;
+                } else {
+                    return Err(AssertionError::InvalidSpec {
+                        reason: format!("reference instruction {idx} is not a gate"),
+                    });
+                }
+            }
+            Operation::Barrier => {
+                out.barrier_on(inst.qubits.clone());
+            }
+            Operation::Measure => {
+                if next.peek().is_some() {
+                    return Err(AssertionError::Circuit(
+                        qra_circuit::CircuitError::NonUnitaryOperation {
+                            operation: "measure before the last checkpoint",
+                        },
+                    ));
+                }
+                out.measure(inst.qubits[0], inst.clbits[0])?;
+            }
+            Operation::Reset => {
+                if next.peek().is_some() {
+                    return Err(AssertionError::Circuit(
+                        qra_circuit::CircuitError::NonUnitaryOperation {
+                            operation: "reset before the last checkpoint",
+                        },
+                    ));
+                }
+                out.reset(inst.qubits[0])?;
+            }
+        }
+        if next.peek() == Some(&idx) {
+            next.next();
+            let state = prefix.statevector()?;
+            let spec = if asserted.len() == n {
+                StateSpec::pure(state)?
+            } else {
+                let rho = CMatrix::outer(&state, &state);
+                let traced: Vec<usize> =
+                    (0..n).filter(|q| !asserted.contains(q)).collect();
+                StateSpec::mixed(rho.partial_trace(&traced)?)?
+            };
+            let handle = if options.reuse_ancillas {
+                attach_pooled(&mut out, asserted, &spec, options.design, n)?
+            } else {
+                insert_assertion(&mut out, asserted, &spec, options.design)?
+            };
+            handles.push(handle);
+        }
+    }
+
+    Ok(InstrumentedProgram {
+        circuit: out,
+        handles,
+        positions,
+    })
+}
+
+/// Composes an assertion using the shared ancilla pool at qubits `n..`,
+/// resetting the pool afterwards so the next checkpoint can reuse it.
+fn attach_pooled(
+    out: &mut Circuit,
+    asserted: &[usize],
+    spec: &StateSpec,
+    design: Design,
+    pool_base: usize,
+) -> Result<crate::assertion::AssertionHandle, AssertionError> {
+    let assertion = crate::assertion::synthesize_assertion(spec, design)?;
+    let needed = assertion.num_ancillas();
+    out.expand_qubits(pool_base + needed);
+    let cl_base = out.num_clbits();
+    out.expand_clbits(cl_base + assertion.num_clbits());
+
+    let mut qubit_map: Vec<usize> = asserted.to_vec();
+    qubit_map.extend(pool_base..pool_base + needed);
+    let clbit_map: Vec<usize> = (cl_base..cl_base + assertion.num_clbits()).collect();
+    out.compose(assertion.circuit(), &qubit_map, &clbit_map)?;
+    for a in pool_base..pool_base + needed {
+        out.reset(a)?;
+    }
+    Ok(crate::assertion::AssertionHandle {
+        design: assertion.design(),
+        ancilla_qubits: (pool_base..pool_base + needed).collect(),
+        clbits: clbit_map,
+        counts: assertion.gate_counts(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qra_sim::StatevectorSimulator;
+
+    fn ghz() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        c
+    }
+
+    fn run(c: &Circuit) -> qra_sim::Counts {
+        StatevectorSimulator::with_seed(1).run(c, 2048).unwrap()
+    }
+
+    #[test]
+    fn every_instruction_checkpoints_pass_on_correct_program() {
+        let instrumented = instrument(
+            &ghz(),
+            &CheckpointOptions {
+                design: Design::Swap,
+                placement: CheckpointPlacement::EveryN(1),
+                qubits: None,
+                reuse_ancillas: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(instrumented.handles.len(), 3);
+        assert_eq!(instrumented.positions, vec![0, 1, 2]);
+        let counts = run(&instrumented.circuit);
+        for h in &instrumented.handles {
+            assert_eq!(h.error_rate(&counts), 0.0);
+        }
+    }
+
+    #[test]
+    fn checkpoints_localize_an_injected_bug() {
+        // Buggy GHZ: CX fan-out reversed. Instrument the buggy program
+        // against the CORRECT reference; the first failing checkpoint must
+        // bracket the faulty gates.
+        let reference = ghz();
+        let mut buggy = Circuit::new(3);
+        buggy.h(0).cx(1, 2).cx(0, 1);
+        let instrumented = instrument_against(
+            &buggy,
+            &reference,
+            &CheckpointOptions {
+                design: Design::Swap,
+                placement: CheckpointPlacement::EveryN(1),
+                qubits: None,
+                reuse_ancillas: false,
+            },
+        )
+        .unwrap();
+        let counts = run(&instrumented.circuit);
+        let report = crate::AssertionReport::from_counts(&counts, &instrumented.handles);
+        // Checkpoint 0 (after H) passes; checkpoint 1 (after the swapped
+        // CX) is the first failure.
+        assert_eq!(report.first_failing(0.01), Some(1));
+    }
+
+    #[test]
+    fn instrument_against_rejects_shape_mismatch() {
+        let a = ghz();
+        let b = Circuit::new(2);
+        assert!(matches!(
+            instrument_against(&a, &b, &CheckpointOptions::default()),
+            Err(AssertionError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn instrument_against_clean_program_passes_everywhere() {
+        let reference = ghz();
+        let instrumented = instrument_against(
+            &ghz(),
+            &reference,
+            &CheckpointOptions {
+                design: Design::Ndd,
+                placement: CheckpointPlacement::EveryN(1),
+                qubits: None,
+                reuse_ancillas: false,
+            },
+        )
+        .unwrap();
+        let counts = run(&instrumented.circuit);
+        for h in &instrumented.handles {
+            assert_eq!(h.error_rate(&counts), 0.0);
+        }
+    }
+
+    #[test]
+    fn end_only_and_stride_placements() {
+        let end = instrument(&ghz(), &CheckpointOptions::default()).unwrap();
+        assert_eq!(end.positions, vec![2]);
+        let strided = instrument(
+            &ghz(),
+            &CheckpointOptions {
+                design: Design::Auto,
+                placement: CheckpointPlacement::EveryN(2),
+                qubits: None,
+                reuse_ancillas: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(strided.positions, vec![1, 2]);
+    }
+
+    #[test]
+    fn subset_checkpoints_use_mixed_assertions() {
+        let instrumented = instrument(
+            &ghz(),
+            &CheckpointOptions {
+                design: Design::Swap,
+                placement: CheckpointPlacement::EndOnly,
+                qubits: Some(vec![1, 2]),
+                reuse_ancillas: false,
+            },
+        )
+        .unwrap();
+        let counts = run(&instrumented.circuit);
+        assert_eq!(instrumented.handles[0].error_rate(&counts), 0.0);
+    }
+
+    #[test]
+    fn rejects_measurement_before_checkpoint() {
+        let mut program = Circuit::with_clbits(1, 1);
+        program.h(0);
+        program.measure(0, 0).unwrap();
+        program.h(0);
+        let err = instrument(
+            &program,
+            &CheckpointOptions {
+                design: Design::Auto,
+                placement: CheckpointPlacement::EveryN(1),
+                qubits: None,
+                reuse_ancillas: false,
+            },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn ancilla_pool_reuse_bounds_the_register() {
+        // Dense SWAP checkpoints on GHZ: without reuse 3 ancillas per
+        // checkpoint accumulate; with reuse the register stays at
+        // program + max-per-checkpoint.
+        let opts = CheckpointOptions {
+            design: Design::Swap,
+            placement: CheckpointPlacement::EveryN(1),
+            qubits: None,
+            reuse_ancillas: true,
+        };
+        let instrumented = instrument(&ghz(), &opts).unwrap();
+        assert_eq!(
+            instrumented.circuit.num_qubits(),
+            6,
+            "3 program qubits + 3 pooled ancillas"
+        );
+        let counts = run(&instrumented.circuit);
+        for h in &instrumented.handles {
+            assert_eq!(h.error_rate(&counts), 0.0);
+        }
+        // The non-reusing variant needs 3 fresh ancillas per checkpoint.
+        let fresh = instrument(
+            &ghz(),
+            &CheckpointOptions {
+                reuse_ancillas: false,
+                ..opts
+            },
+        )
+        .unwrap();
+        assert_eq!(fresh.circuit.num_qubits(), 3 + 3 * 3);
+    }
+
+    #[test]
+    fn ancilla_pool_reuse_still_localizes_bugs() {
+        let reference = ghz();
+        let mut buggy = Circuit::new(3);
+        buggy.h(0).cx(1, 2).cx(0, 1);
+        let instrumented = instrument_against(
+            &buggy,
+            &reference,
+            &CheckpointOptions {
+                design: Design::Swap,
+                placement: CheckpointPlacement::EveryN(1),
+                qubits: None,
+                reuse_ancillas: true,
+            },
+        )
+        .unwrap();
+        let counts = run(&instrumented.circuit);
+        let report = crate::AssertionReport::from_counts(&counts, &instrumented.handles);
+        assert_eq!(report.first_failing(0.01), Some(1));
+    }
+
+    #[test]
+    fn empty_program_yields_no_checkpoints() {
+        let instrumented = instrument(&Circuit::new(2), &CheckpointOptions::default()).unwrap();
+        assert!(instrumented.handles.is_empty());
+        assert!(instrumented.positions.is_empty());
+    }
+
+    #[test]
+    fn trailing_measurements_allowed_after_last_checkpoint() {
+        let mut program = ghz();
+        program.measure_all();
+        let instrumented = instrument(
+            &program,
+            &CheckpointOptions {
+                design: Design::Swap,
+                placement: CheckpointPlacement::AfterInstructions(vec![2]),
+                qubits: None,
+                reuse_ancillas: false,
+            },
+        )
+        .unwrap();
+        let counts = run(&instrumented.circuit);
+        assert_eq!(instrumented.handles[0].error_rate(&counts), 0.0);
+        // Data measurements still present.
+        assert!(instrumented.circuit.measure_count() >= 3);
+    }
+}

@@ -1,0 +1,123 @@
+//! Error types for assertion synthesis.
+
+use qra_circuit::CircuitError;
+use qra_math::MathError;
+use qra_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when building or analysing assertions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AssertionError {
+    /// The mixed state has full rank `t = 2ⁿ`: every basis state is
+    /// "correct", so there is nothing to assert (paper §IV-C corner case).
+    Unassertable {
+        /// Number of qubits under test.
+        num_qubits: usize,
+    },
+    /// The state specification is empty or malformed.
+    InvalidSpec {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The qubit list passed to `insert_assertion` is invalid.
+    InvalidQubitList {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The requested design cannot assert the given specification (used by
+    /// the baseline schemes with limited coverage).
+    Unsupported {
+        /// The scheme that declined.
+        scheme: &'static str,
+        /// Why it declined.
+        reason: String,
+    },
+    /// An underlying numerical operation failed.
+    Math(MathError),
+    /// An underlying circuit operation failed.
+    Circuit(CircuitError),
+    /// An underlying simulation failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for AssertionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssertionError::Unassertable { num_qubits } => write!(
+                f,
+                "mixed state over {num_qubits} qubits has full rank 2^n; every state is \"correct\" and no assertion can distinguish it"
+            ),
+            AssertionError::InvalidSpec { reason } => write!(f, "invalid state spec: {reason}"),
+            AssertionError::InvalidQubitList { reason } => {
+                write!(f, "invalid qubit list: {reason}")
+            }
+            AssertionError::Unsupported { scheme, reason } => {
+                write!(f, "{scheme} cannot assert this state: {reason}")
+            }
+            AssertionError::Math(e) => write!(f, "numerical error: {e}"),
+            AssertionError::Circuit(e) => write!(f, "circuit error: {e}"),
+            AssertionError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl Error for AssertionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AssertionError::Math(e) => Some(e),
+            AssertionError::Circuit(e) => Some(e),
+            AssertionError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for AssertionError {
+    fn from(e: MathError) -> Self {
+        AssertionError::Math(e)
+    }
+}
+
+impl From<CircuitError> for AssertionError {
+    fn from(e: CircuitError) -> Self {
+        AssertionError::Circuit(e)
+    }
+}
+
+impl From<SimError> for AssertionError {
+    fn from(e: SimError) -> Self {
+        AssertionError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errs = [
+            AssertionError::Unassertable { num_qubits: 3 },
+            AssertionError::InvalidSpec {
+                reason: "empty".into(),
+            },
+            AssertionError::InvalidQubitList {
+                reason: "dup".into(),
+            },
+            AssertionError::Unsupported {
+                scheme: "primitive",
+                reason: "ghz".into(),
+            },
+            AssertionError::Math(MathError::LinearlyDependent),
+            AssertionError::Circuit(CircuitError::DuplicateQubit { qubit: 0 }),
+            AssertionError::Sim(SimError::InvalidProbability { value: 2.0 }),
+        ];
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(errs[4].source().is_some());
+        assert!(errs[0].source().is_none());
+    }
+}

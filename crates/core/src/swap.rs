@@ -1,0 +1,433 @@
+//! SWAP-based assertion circuits (paper §IV).
+//!
+//! Layout of the produced local circuit: qubits `0..k` are the qubits
+//! under test; ancillas follow in step order (extension ancilla first when
+//! a step needs one, then one measurement ancilla per checked qubit).
+//! Each step emits `U⁻¹`, an optimised 2-CX swap of every checked qubit
+//! with a fresh `|0⟩` ancilla (the relaxed-peephole optimisation the paper
+//! cites as \[31\]), the restoring `U`, and the ancilla measurements.
+//!
+//! Passing the assertion leaves the program state **corrected** to the
+//! asserted state — the property §IV-E contrasts with the logical-OR
+//! design.
+
+use crate::plan::AssertionPlan;
+use crate::spec::CorrectStates;
+use crate::AssertionError;
+use qra_circuit::Circuit;
+
+/// Output of a design-specific builder: the local assertion circuit plus
+/// its ancilla bookkeeping.
+#[derive(Debug, Clone)]
+pub struct BuiltAssertion {
+    /// Local circuit: test qubits `0..num_test`, ancillas after.
+    pub circuit: Circuit,
+    /// Number of qubits under test.
+    pub num_test: usize,
+    /// Number of ancilla qubits appended after the test qubits.
+    pub num_ancilla: usize,
+    /// Number of classical bits (one per assertion measurement).
+    pub num_clbits: usize,
+}
+
+/// Builds the SWAP-based assertion circuit for a correct-state
+/// decomposition.
+///
+/// # Errors
+///
+/// Propagates plan/synthesis failures.
+pub fn build_swap_assertion(cs: &CorrectStates) -> Result<BuiltAssertion, AssertionError> {
+    let plan = AssertionPlan::build(cs)?;
+    let k = cs.num_qubits();
+
+    // Ancilla budget: per step, extension (0/1) + one per checked qubit.
+    let num_ancilla: usize = plan
+        .steps
+        .iter()
+        .map(|s| usize::from(s.has_extension) + s.checked.len())
+        .sum();
+    let num_clbits = plan.checked_qubits();
+
+    let mut circuit = Circuit::with_clbits(k + num_ancilla, num_clbits);
+    let mut next_ancilla = k;
+    let mut next_clbit = 0;
+
+    for step in &plan.steps {
+        // Map the step's local qubits onto the assertion circuit: local 0 is
+        // the extension ancilla when present, then the test qubits.
+        let mut map: Vec<usize> = Vec::with_capacity(step.n_local);
+        if step.has_extension {
+            map.push(next_ancilla);
+            next_ancilla += 1;
+        }
+        map.extend(0..k);
+        debug_assert_eq!(map.len(), step.n_local);
+
+        circuit.compose(&step.u_inv, &map, &[])?;
+        // Optimised SWAP with a |0⟩ ancilla: CX(q→a), CX(a→q).
+        let mut swapped: Vec<(usize, usize)> = Vec::new();
+        for &local in &step.checked {
+            let q = map[local];
+            let a = next_ancilla;
+            next_ancilla += 1;
+            circuit.cx(q, a).cx(a, q);
+            swapped.push((q, a));
+        }
+        circuit.compose(&step.u, &map, &[])?;
+        for (_, a) in swapped {
+            circuit.measure(a, next_clbit)?;
+            next_clbit += 1;
+        }
+    }
+    debug_assert_eq!(next_ancilla, k + num_ancilla);
+    debug_assert_eq!(next_clbit, num_clbits);
+
+    Ok(BuiltAssertion {
+        circuit,
+        num_test: k,
+        num_ancilla,
+        num_clbits,
+    })
+}
+
+/// How the checked qubits are swapped with their ancillas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwapPlacement {
+    /// Optimised two-CX swap exploiting the ancilla's known `|0⟩` state —
+    /// the relaxed-peephole form used by the paper's Fig. 1 accounting.
+    #[default]
+    Optimized,
+    /// Full three-CX SWAP gates — the accounting the paper's Table III
+    /// uses (3n CX for separable states). Functionally identical.
+    FullSwap,
+}
+
+/// [`build_swap_assertion`] with an explicit [`SwapPlacement`]; the default
+/// builder uses [`SwapPlacement::Optimized`].
+///
+/// # Errors
+///
+/// Propagates plan/synthesis failures.
+pub fn build_swap_assertion_with_placement(
+    cs: &CorrectStates,
+    placement: SwapPlacement,
+) -> Result<BuiltAssertion, AssertionError> {
+    let plan = AssertionPlan::build(cs)?;
+    let k = cs.num_qubits();
+    let num_ancilla: usize = plan
+        .steps
+        .iter()
+        .map(|s| usize::from(s.has_extension) + s.checked.len())
+        .sum();
+    let num_clbits = plan.checked_qubits();
+
+    let mut circuit = Circuit::with_clbits(k + num_ancilla, num_clbits);
+    let mut next_ancilla = k;
+    let mut next_clbit = 0;
+
+    for step in &plan.steps {
+        let mut map: Vec<usize> = Vec::with_capacity(step.n_local);
+        if step.has_extension {
+            map.push(next_ancilla);
+            next_ancilla += 1;
+        }
+        map.extend(0..k);
+
+        circuit.compose(&step.u_inv, &map, &[])?;
+        let mut swapped: Vec<usize> = Vec::new();
+        for &local in &step.checked {
+            let q = map[local];
+            let a = next_ancilla;
+            next_ancilla += 1;
+            match placement {
+                SwapPlacement::Optimized => {
+                    circuit.cx(q, a).cx(a, q);
+                }
+                SwapPlacement::FullSwap => {
+                    circuit.swap(q, a);
+                }
+            }
+            swapped.push(a);
+        }
+        circuit.compose(&step.u, &map, &[])?;
+        for a in swapped {
+            circuit.measure(a, next_clbit)?;
+            next_clbit += 1;
+        }
+    }
+
+    Ok(BuiltAssertion {
+        circuit,
+        num_test: k,
+        num_ancilla,
+        num_clbits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::StateSpec;
+    use qra_math::{C64, CVector};
+    use qra_sim::StatevectorSimulator;
+
+    /// Runs `prep` on the test qubits, then the assertion, and returns the
+    /// assertion-error rate over exact outcome analysis (8192 shots).
+    fn error_rate(prep: &Circuit, built: &BuiltAssertion) -> f64 {
+        let k = built.num_test;
+        let mut full = Circuit::with_clbits(k + built.num_ancilla, built.num_clbits);
+        full.compose(prep, &(0..k).collect::<Vec<_>>(), &[]).unwrap();
+        let map: Vec<usize> = (0..k + built.num_ancilla).collect();
+        let cl: Vec<usize> = (0..built.num_clbits).collect();
+        full.compose(&built.circuit, &map, &cl).unwrap();
+        let counts = StatevectorSimulator::with_seed(7).run(&full, 8192).unwrap();
+        counts.any_set_frequency(&cl)
+    }
+
+    fn ghz_spec() -> StateSpec {
+        let s = 0.5f64.sqrt();
+        let mut v = CVector::zeros(8);
+        v[0] = C64::from(s);
+        v[7] = C64::from(s);
+        StateSpec::pure(v).unwrap()
+    }
+
+    fn ghz_prep() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        c
+    }
+
+    #[test]
+    fn full_swap_placement_matches_optimized_semantics() {
+        // Both placements implement the same assertion; the full SWAP
+        // costs one extra CX per checked qubit (paper Table III vs Fig 1).
+        let cs = ghz_spec().correct_states().unwrap();
+        let opt =
+            build_swap_assertion_with_placement(&cs, SwapPlacement::Optimized).unwrap();
+        let full =
+            build_swap_assertion_with_placement(&cs, SwapPlacement::FullSwap).unwrap();
+        assert_eq!(error_rate(&ghz_prep(), &opt), 0.0);
+        assert_eq!(error_rate(&ghz_prep(), &full), 0.0);
+        let mut buggy = Circuit::new(3);
+        buggy.u2(std::f64::consts::PI, 0.0, 0).cx(0, 1).cx(1, 2);
+        let r_opt = error_rate(&buggy, &opt);
+        let r_full = error_rate(&buggy, &full);
+        assert!((r_opt - r_full).abs() < 0.03);
+        let c_opt = qra_circuit::GateCounts::of(&opt.circuit).unwrap();
+        let c_full = qra_circuit::GateCounts::of(&full.circuit).unwrap();
+        assert_eq!(c_full.cx - c_opt.cx, 3, "one extra CX per checked qubit");
+        assert_eq!(c_opt.cx, 10, "paper Fig 1 accounting");
+        assert_eq!(c_full.cx, 13, "paper Table III accounting: 3 CX per swap");
+    }
+
+    #[test]
+    fn default_builder_uses_optimized_placement() {
+        let cs = ghz_spec().correct_states().unwrap();
+        let default_built = build_swap_assertion(&cs).unwrap();
+        let opt =
+            build_swap_assertion_with_placement(&cs, SwapPlacement::Optimized).unwrap();
+        assert_eq!(
+            qra_circuit::GateCounts::of(&default_built.circuit).unwrap(),
+            qra_circuit::GateCounts::of(&opt.circuit).unwrap()
+        );
+    }
+
+    #[test]
+    fn correct_ghz_passes() {
+        let built = build_swap_assertion(&ghz_spec().correct_states().unwrap()).unwrap();
+        assert_eq!(built.num_test, 3);
+        assert_eq!(built.num_ancilla, 3);
+        assert_eq!(built.num_clbits, 3);
+        assert_eq!(error_rate(&ghz_prep(), &built), 0.0);
+    }
+
+    #[test]
+    fn ghz_bug1_detected() {
+        // Wrong sign: (|000⟩ − |111⟩)/√2 must raise errors.
+        let built = build_swap_assertion(&ghz_spec().correct_states().unwrap()).unwrap();
+        let mut buggy = Circuit::new(3);
+        buggy.u2(std::f64::consts::PI, 0.0, 0).cx(0, 1).cx(1, 2);
+        let rate = error_rate(&buggy, &built);
+        assert!(rate > 0.4, "sign-flip bug missed: rate {rate}");
+    }
+
+    #[test]
+    fn ghz_bug2_detected() {
+        let built = build_swap_assertion(&ghz_spec().correct_states().unwrap()).unwrap();
+        let mut buggy = Circuit::new(3);
+        buggy.h(0).cx(1, 2).cx(0, 1);
+        let rate = error_rate(&buggy, &built);
+        assert!(rate > 0.2, "reorder bug missed: rate {rate}");
+    }
+
+    #[test]
+    fn swap_design_corrects_state_after_pass() {
+        // Assert |+⟩ on a qubit actually in |+⟩; afterwards the test qubit
+        // must hold exactly |+⟩ again (the "corrected" property).
+        let plus = CVector::from_real(&[0.5f64.sqrt(), 0.5f64.sqrt()]);
+        let spec = StateSpec::pure(plus.clone()).unwrap();
+        let built = build_swap_assertion(&spec.correct_states().unwrap()).unwrap();
+        let mut full = Circuit::new(2);
+        full.h(0);
+        // Compose without the measurement to inspect the state.
+        let unmeasured = {
+            let mut c = built.circuit.clone();
+            // Strip measurements by rebuilding.
+            let mut stripped = Circuit::new(c.num_qubits());
+            for inst in c.instructions() {
+                if let Some(g) = inst.as_gate() {
+                    stripped.append(g.clone(), &inst.qubits).unwrap();
+                }
+            }
+            c = stripped;
+            c
+        };
+        full.compose(&unmeasured, &[0, 1], &[]).unwrap();
+        let sv = full.statevector().unwrap();
+        // Joint state should be |+⟩ ⊗ |0⟩.
+        let expect = plus.kron(&CVector::basis_state(2, 0));
+        assert!(sv.approx_eq_up_to_phase(&expect, 1e-8));
+    }
+
+    #[test]
+    fn mixed_state_assertion_ignores_entanglement() {
+        // Program: GHZ on 3 qubits; assert the mixed state of the LAST TWO
+        // qubits, ½(|00⟩⟨00| + |11⟩⟨11|) — paper Fig. 1 middle variant.
+        let e = |i: usize| CVector::basis_state(4, i);
+        let rho = qra_math::CMatrix::outer(&e(0), &e(0))
+            .scale(C64::from(0.5))
+            .add(&qra_math::CMatrix::outer(&e(3), &e(3)).scale(C64::from(0.5)))
+            .unwrap();
+        let spec = StateSpec::mixed(rho).unwrap();
+        let built = build_swap_assertion(&spec.correct_states().unwrap()).unwrap();
+        assert_eq!(built.num_test, 2);
+        assert_eq!(built.num_clbits, 1, "t=2 of 4 checks one qubit");
+
+        // Full circuit: 3 program qubits + ancillas; assertion acts on
+        // program qubits 1, 2.
+        let total = 3 + built.num_ancilla;
+        let mut full = Circuit::with_clbits(total, built.num_clbits);
+        full.h(0).cx(0, 1).cx(1, 2);
+        let mut map = vec![1usize, 2];
+        map.extend(3..total);
+        let cl: Vec<usize> = (0..built.num_clbits).collect();
+        full.compose(&built.circuit, &map, &cl).unwrap();
+        let counts = StatevectorSimulator::with_seed(3).run(&full, 4096).unwrap();
+        assert_eq!(
+            counts.any_set_frequency(&cl),
+            0.0,
+            "correct mixed state must never flag"
+        );
+    }
+
+    #[test]
+    fn mixed_state_assertion_detects_wrong_parity() {
+        let e = |i: usize| CVector::basis_state(4, i);
+        let rho = qra_math::CMatrix::outer(&e(0), &e(0))
+            .scale(C64::from(0.5))
+            .add(&qra_math::CMatrix::outer(&e(3), &e(3)).scale(C64::from(0.5)))
+            .unwrap();
+        let spec = StateSpec::mixed(rho).unwrap();
+        let built = build_swap_assertion(&spec.correct_states().unwrap()).unwrap();
+        // Program in |01⟩ on the asserted qubits — outside the correct span.
+        let mut prep = Circuit::new(2);
+        prep.x(1);
+        let rate = error_rate(&prep, &built);
+        assert!(rate > 0.99, "odd-parity state must flag, rate {rate}");
+    }
+
+    #[test]
+    fn approximate_set_assertion_passes_members_and_mixtures() {
+        let set = StateSpec::set(vec![
+            CVector::basis_state(8, 0),
+            CVector::basis_state(8, 7),
+        ])
+        .unwrap();
+        let built = build_swap_assertion(&set.correct_states().unwrap()).unwrap();
+        // GHZ (superposition of members) passes.
+        assert_eq!(error_rate(&ghz_prep(), &built), 0.0);
+        // |111⟩ (a member) passes.
+        let mut prep = Circuit::new(3);
+        prep.x(0).x(1).x(2);
+        assert_eq!(error_rate(&prep, &built), 0.0);
+        // |010⟩ (not a member) fails deterministically.
+        let mut bad = Circuit::new(3);
+        bad.x(1);
+        assert!(error_rate(&bad, &built) > 0.99);
+    }
+
+    #[test]
+    fn approximate_set_ignores_coefficients() {
+        // Unequal GHZ-like superposition is still inside the set span.
+        let set = StateSpec::set(vec![
+            CVector::basis_state(8, 0),
+            CVector::basis_state(8, 7),
+        ])
+        .unwrap();
+        let built = build_swap_assertion(&set.correct_states().unwrap()).unwrap();
+        let mut prep = Circuit::new(3);
+        prep.ry(0.7, 0).cx(0, 1).cx(1, 2); // cos|000⟩ + sin|111⟩
+        assert_eq!(error_rate(&prep, &built), 0.0);
+    }
+
+    #[test]
+    fn superset_pair_end_to_end() {
+        // Correct set {|000⟩,|001⟩,|010⟩} (t=3): members pass, |011⟩ and
+        // |100⟩ flag.
+        let set = StateSpec::set(vec![
+            CVector::basis_state(8, 0),
+            CVector::basis_state(8, 1),
+            CVector::basis_state(8, 2),
+        ])
+        .unwrap();
+        let built = build_swap_assertion(&set.correct_states().unwrap()).unwrap();
+        assert_eq!(built.num_clbits, 2, "two superset steps, one check each");
+        for idx in [0usize, 1, 2] {
+            let mut prep = Circuit::new(3);
+            for q in 0..3 {
+                if (idx >> (2 - q)) & 1 == 1 {
+                    prep.x(q);
+                }
+            }
+            assert_eq!(error_rate(&prep, &built), 0.0, "member {idx} flagged");
+        }
+        for idx in [3usize, 4, 7] {
+            let mut prep = Circuit::new(3);
+            for q in 0..3 {
+                if (idx >> (2 - q)) & 1 == 1 {
+                    prep.x(q);
+                }
+            }
+            assert!(
+                error_rate(&prep, &built) > 0.99,
+                "non-member {idx} not flagged"
+            );
+        }
+    }
+
+    #[test]
+    fn extension_case_end_to_end() {
+        // t=3 of dim 4: {|00⟩,|01⟩,|10⟩} correct, |11⟩ incorrect.
+        let set = StateSpec::set(vec![
+            CVector::basis_state(4, 0),
+            CVector::basis_state(4, 1),
+            CVector::basis_state(4, 2),
+        ])
+        .unwrap();
+        let built = build_swap_assertion(&set.correct_states().unwrap()).unwrap();
+        assert_eq!(built.num_ancilla, 2, "extension + one measure ancilla");
+        for idx in [0usize, 1, 2] {
+            let mut prep = Circuit::new(2);
+            for q in 0..2 {
+                if (idx >> (1 - q)) & 1 == 1 {
+                    prep.x(q);
+                }
+            }
+            assert_eq!(error_rate(&prep, &built), 0.0, "member {idx} flagged");
+        }
+        let mut bad = Circuit::new(2);
+        bad.x(0).x(1);
+        assert!(error_rate(&bad, &built) > 0.99, "|11⟩ must flag");
+    }
+}

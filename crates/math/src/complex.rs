@@ -1,0 +1,341 @@
+//! A `Copy` complex scalar type.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+///
+/// All amplitudes and matrix entries in this workspace use `C64`.
+///
+/// ```rust
+/// use qra_math::C64;
+///
+/// let i = C64::i();
+/// assert_eq!(i * i, C64::new(-1.0, 0.0));
+/// assert!((C64::from_polar(1.0, std::f64::consts::PI).re + 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity `0`.
+    #[inline]
+    pub const fn zero() -> Self {
+        Self::new(0.0, 0.0)
+    }
+
+    /// The multiplicative identity `1`.
+    #[inline]
+    pub const fn one() -> Self {
+        Self::new(1.0, 0.0)
+    }
+
+    /// The imaginary unit `i`.
+    #[inline]
+    pub const fn i() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Builds `r * e^{iθ}` from polar coordinates.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{iθ}`, a unit-modulus phase factor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²` — the measurement probability of an amplitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns entries of `NaN` when `self` is zero, mirroring `f64` division.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.norm().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// Returns `true` when both components are within `tol` of `other`'s.
+    #[inline]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// Returns `true` when the modulus is below `tol`.
+    #[inline]
+    pub fn is_zero(self, tol: f64) -> bool {
+        self.norm_sqr() <= tol * tol
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self::new(re, 0.0)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: C64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::zero(), Add::add)
+    }
+}
+
+impl Product for C64 {
+    fn product<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::one(), Mul::mul)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+        assert!((a / b * b).approx_eq(a, TOL));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(C64::i() * C64::i(), C64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn conjugation_and_norm() {
+        let z = C64::new(3.0, 4.0);
+        assert_eq!(z.conj(), C64::new(3.0, -4.0));
+        assert!((z.norm() - 5.0).abs() < TOL);
+        assert!((z.norm_sqr() - 25.0).abs() < TOL);
+        assert!((z * z.conj()).approx_eq(C64::from(25.0), TOL));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = C64::from_polar(2.0, FRAC_PI_2);
+        assert!(z.approx_eq(C64::new(0.0, 2.0), TOL));
+        assert!((z.arg() - FRAC_PI_2).abs() < TOL);
+        assert!((z.norm() - 2.0).abs() < TOL);
+    }
+
+    #[test]
+    fn cis_is_unit_phase() {
+        for k in 0..16 {
+            let theta = PI * (k as f64) / 8.0;
+            assert!((C64::cis(theta).norm() - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn exp_of_i_pi() {
+        let z = (C64::i() * PI).exp();
+        assert!(z.approx_eq(C64::new(-1.0, 0.0), TOL));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = C64::new(-3.0, 4.0);
+        let r = z.sqrt();
+        assert!((r * r).approx_eq(z, 1e-10));
+    }
+
+    #[test]
+    fn inverse_multiplies_to_one() {
+        let z = C64::new(0.3, -0.7);
+        assert!((z * z.inv()).approx_eq(C64::one(), TOL));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = C64::one();
+        z += C64::i();
+        z *= C64::new(0.0, 1.0);
+        z -= C64::one();
+        z /= C64::new(2.0, 0.0);
+        assert!(z.approx_eq(C64::new(-1.0, 0.5), TOL));
+    }
+
+    #[test]
+    fn sum_and_product() {
+        let zs = [C64::one(), C64::i(), C64::new(2.0, 0.0)];
+        let s: C64 = zs.iter().copied().sum();
+        assert!(s.approx_eq(C64::new(3.0, 1.0), TOL));
+        let p: C64 = zs.iter().copied().product();
+        assert!(p.approx_eq(C64::new(0.0, 2.0), TOL));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", C64::new(1.0, -1.0)), "1.000000-1.000000i");
+        assert_eq!(format!("{}", C64::new(0.0, 2.0)), "0.000000+2.000000i");
+    }
+}

@@ -1,0 +1,315 @@
+//! Hermitian eigendecomposition via the complex Jacobi method.
+//!
+//! Density matrices are Hermitian and positive semi-definite; the paper's
+//! mixed-state and approximate assertions (§IV-C, §IV-D, §V-B) diagonalise
+//! them to find the orthonormal eigenbasis and the rank `t`. The cyclic
+//! Jacobi method converges unconditionally for Hermitian matrices and is
+//! numerically robust at the small dimensions (`≤ 2⁷`) used here.
+
+use crate::{C64, CMatrix, CVector, MathError};
+
+/// Result of a Hermitian eigendecomposition `A = V Λ V†`.
+///
+/// Eigenpairs are sorted by **descending** eigenvalue, so for a density
+/// matrix the "correct" states of the paper (non-zero-probability
+/// eigenvectors) come first.
+#[derive(Debug, Clone)]
+pub struct HermitianEigen {
+    /// Real eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors, `vectors[k]` corresponds to `values[k]`.
+    pub vectors: Vec<CVector>,
+}
+
+impl HermitianEigen {
+    /// Number of eigenvalues exceeding `tol` — the *rank* `t` of a density
+    /// matrix in the paper's notation.
+    ///
+    /// ```rust
+    /// use qra_math::{CMatrix, hermitian_eigen};
+    ///
+    /// let rho = CMatrix::from_real(2, 2, &[0.5, 0.0, 0.0, 0.5]);
+    /// let eig = hermitian_eigen(&rho)?;
+    /// assert_eq!(eig.rank(1e-9), 2);
+    /// # Ok::<(), qra_math::MathError>(())
+    /// ```
+    pub fn rank(&self, tol: f64) -> usize {
+        self.values.iter().filter(|&&v| v > tol).count()
+    }
+
+    /// Reconstructs `Σ λₖ |vₖ⟩⟨vₖ|` — useful for round-trip testing.
+    pub fn reconstruct(&self) -> CMatrix {
+        let dim = self.vectors.first().map_or(0, CVector::len);
+        let mut acc = CMatrix::zeros(dim, dim);
+        for (lambda, v) in self.values.iter().zip(&self.vectors) {
+            let proj = CMatrix::outer(v, v).scale(C64::from(*lambda));
+            acc = acc.add(&proj).expect("projector shapes match");
+        }
+        acc
+    }
+}
+
+/// Maximum number of Jacobi sweeps before declaring non-convergence.
+const MAX_SWEEPS: usize = 100;
+
+/// Convergence threshold on the off-diagonal Frobenius norm.
+const OFF_TOL: f64 = 1e-12;
+
+/// Computes the eigendecomposition of a Hermitian matrix.
+///
+/// # Errors
+///
+/// * [`MathError::NotHermitian`] when `a` deviates from `a†` by more than
+///   `1e-8`;
+/// * [`MathError::NoConvergence`] if the Jacobi sweeps fail to converge
+///   (practically unreachable for Hermitian input).
+///
+/// ```rust
+/// use qra_math::{CMatrix, hermitian_eigen};
+///
+/// let z = CMatrix::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0]);
+/// let eig = hermitian_eigen(&z)?;
+/// assert!((eig.values[0] - 1.0).abs() < 1e-10);
+/// assert!((eig.values[1] + 1.0).abs() < 1e-10);
+/// # Ok::<(), qra_math::MathError>(())
+/// ```
+pub fn hermitian_eigen(a: &CMatrix) -> Result<HermitianEigen, MathError> {
+    if !a.is_square() {
+        return Err(MathError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let herm_dev = a.max_abs_diff(&a.adjoint());
+    if herm_dev > 1e-8 {
+        return Err(MathError::NotHermitian {
+            deviation: herm_dev,
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(HermitianEigen {
+            values: vec![],
+            vectors: vec![],
+        });
+    }
+
+    // Work on a Hermitised copy to wash out tiny asymmetries.
+    let mut m = CMatrix::from_fn(n, n, |r, c| {
+        (a.get(r, c) + a.get(c, r).conj()).scale(0.5)
+    });
+    let mut v = CMatrix::identity(n);
+
+    for sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m.get(p, q).norm_sqr();
+            }
+        }
+        if off.sqrt() < OFF_TOL {
+            return Ok(sort_eigen(&m, &v));
+        }
+        let _ = sweep;
+
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.norm() < OFF_TOL / (n as f64) {
+                    continue;
+                }
+                // Complex Jacobi rotation zeroing m[p][q].
+                // Write apq = |apq| e^{iφ}; define the real symmetric 2x2
+                // problem via θ from tan(2θ) = 2|apq| / (app - aqq).
+                let app = m.get(p, p).re;
+                let aqq = m.get(q, q).re;
+                let phi = apq.arg();
+                let abs = apq.norm();
+                let diff = app - aqq;
+                let theta = 0.5 * (2.0 * abs).atan2(diff);
+                let c = theta.cos();
+                let s = theta.sin();
+                // Rotation: [c, s e^{iφ}; -s e^{-iφ}, c] acting on (p, q).
+                let e_iphi = C64::cis(phi);
+                let e_miphi = C64::cis(-phi);
+
+                // Apply J† M J where J is the plane rotation.
+                // Update columns p and q of M: M ← M J.
+                for r in 0..n {
+                    let mrp = m.get(r, p);
+                    let mrq = m.get(r, q);
+                    m.set(r, p, mrp.scale(c) + mrq * e_miphi.scale(s));
+                    m.set(r, q, mrq.scale(c) - mrp * e_iphi.scale(s));
+                }
+                // Update rows p and q of M: M ← J† M.
+                for ccol in 0..n {
+                    let mpc = m.get(p, ccol);
+                    let mqc = m.get(q, ccol);
+                    m.set(p, ccol, mpc.scale(c) + mqc * e_iphi.scale(s));
+                    m.set(q, ccol, mqc.scale(c) - mpc * e_miphi.scale(s));
+                }
+                // Accumulate eigenvectors: V ← V J.
+                for r in 0..n {
+                    let vrp = v.get(r, p);
+                    let vrq = v.get(r, q);
+                    v.set(r, p, vrp.scale(c) + vrq * e_miphi.scale(s));
+                    v.set(r, q, vrq.scale(c) - vrp * e_iphi.scale(s));
+                }
+            }
+        }
+    }
+
+    Err(MathError::NoConvergence {
+        algorithm: "complex jacobi eigendecomposition",
+        iterations: MAX_SWEEPS,
+    })
+}
+
+fn sort_eigen(m: &CMatrix, v: &CMatrix) -> HermitianEigen {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        m.get(j, j)
+            .re
+            .partial_cmp(&m.get(i, i).re)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let values = order.iter().map(|&i| m.get(i, i).re).collect();
+    let vectors = order.iter().map(|&i| v.col(i)).collect();
+    HermitianEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gram_schmidt::is_orthonormal;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn eigen_of_diagonal() {
+        let d = CMatrix::from_real(3, 3, &[3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let eig = hermitian_eigen(&d).unwrap();
+        assert!((eig.values[0] - 3.0).abs() < TOL);
+        assert!((eig.values[1] - 2.0).abs() < TOL);
+        assert!((eig.values[2] - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn eigen_of_pauli_x() {
+        let x = CMatrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let eig = hermitian_eigen(&x).unwrap();
+        assert!((eig.values[0] - 1.0).abs() < TOL);
+        assert!((eig.values[1] + 1.0).abs() < TOL);
+        // Eigenvector for +1 is |+⟩ up to phase.
+        let plus = CVector::from_real(&[0.5f64.sqrt(), 0.5f64.sqrt()]);
+        assert!(eig.vectors[0].approx_eq_up_to_phase(&plus, TOL));
+    }
+
+    #[test]
+    fn eigen_of_pauli_y_complex_entries() {
+        let y = CMatrix::new(
+            2,
+            2,
+            vec![
+                C64::zero(),
+                C64::new(0.0, -1.0),
+                C64::new(0.0, 1.0),
+                C64::zero(),
+            ],
+        );
+        let eig = hermitian_eigen(&y).unwrap();
+        assert!((eig.values[0] - 1.0).abs() < TOL);
+        assert!((eig.values[1] + 1.0).abs() < TOL);
+        assert!(eig.reconstruct().approx_eq(&y, 1e-8));
+    }
+
+    #[test]
+    fn eigen_reconstruction_roundtrip() {
+        // Mixed state ρ = ½|00⟩⟨00| + ¼|01⟩⟨01| + ¼|++⟩⟨++|.
+        let e00 = CVector::basis_state(4, 0);
+        let e01 = CVector::basis_state(4, 1);
+        let plus = CVector::from_real(&[0.5, 0.5, 0.5, 0.5]);
+        let rho = CMatrix::outer(&e00, &e00)
+            .scale(C64::from(0.5))
+            .add(&CMatrix::outer(&e01, &e01).scale(C64::from(0.25)))
+            .unwrap()
+            .add(&CMatrix::outer(&plus, &plus).scale(C64::from(0.25)))
+            .unwrap();
+        let eig = hermitian_eigen(&rho).unwrap();
+        assert!(eig.reconstruct().approx_eq(&rho, 1e-8));
+        // Eigenvectors form an orthonormal set.
+        assert!(is_orthonormal(&eig.vectors, 1e-7));
+        // Eigenvalues of a density matrix sum to 1.
+        let total: f64 = eig.values.iter().sum();
+        assert!((total - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rank_of_pure_state_is_one() {
+        let s = 0.5f64.sqrt();
+        let bell = CVector::from_real(&[s, 0.0, 0.0, s]);
+        let rho = CMatrix::outer(&bell, &bell);
+        let eig = hermitian_eigen(&rho).unwrap();
+        assert_eq!(eig.rank(1e-9), 1);
+        assert!(eig.vectors[0].approx_eq_up_to_phase(&bell, TOL));
+    }
+
+    #[test]
+    fn rank_of_ghz_reduced_state_is_two() {
+        // GHZ reduced over qubit 0: ½(|00⟩⟨00| + |11⟩⟨11|) — paper §II-A.
+        let s = 0.5f64.sqrt();
+        let mut ghz = CVector::zeros(8);
+        ghz[0] = C64::from(s);
+        ghz[7] = C64::from(s);
+        let rho = CMatrix::outer(&ghz, &ghz).partial_trace(&[0]).unwrap();
+        let eig = hermitian_eigen(&rho).unwrap();
+        assert_eq!(eig.rank(1e-9), 2);
+        assert!((eig.values[0] - 0.5).abs() < TOL);
+        assert!((eig.values[1] - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn rejects_non_hermitian() {
+        let m = CMatrix::from_real(2, 2, &[0.0, 1.0, 0.0, 0.0]);
+        assert!(matches!(
+            hermitian_eigen(&m),
+            Err(MathError::NotHermitian { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let m = CMatrix::zeros(2, 3);
+        assert!(hermitian_eigen(&m).is_err());
+    }
+
+    #[test]
+    fn maximally_mixed_has_flat_spectrum() {
+        let rho = CMatrix::identity(4).scale(C64::from(0.25));
+        let eig = hermitian_eigen(&rho).unwrap();
+        for v in &eig.values {
+            assert!((v - 0.25).abs() < TOL);
+        }
+        assert_eq!(eig.rank(1e-9), 4);
+    }
+
+    #[test]
+    fn random_hermitian_roundtrip() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..5 {
+            let n = 8;
+            let raw = CMatrix::from_fn(n, n, |_, _| {
+                C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+            });
+            let herm = raw
+                .add(&raw.adjoint())
+                .unwrap()
+                .scale(C64::from(0.5));
+            let eig = hermitian_eigen(&herm).unwrap();
+            assert!(eig.reconstruct().approx_eq(&herm, 1e-7));
+            assert!(is_orthonormal(&eig.vectors, 1e-7));
+        }
+    }
+}

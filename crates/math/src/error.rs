@@ -1,0 +1,138 @@
+//! Error types for numerical operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MathError {
+    /// A dimension that must be a power of two was not.
+    NotPowerOfTwo {
+        /// The offending dimension.
+        dim: usize,
+    },
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// A matrix expected to be unitary failed the `U†U = I` check.
+    NotUnitary {
+        /// Largest observed deviation from the identity.
+        deviation: f64,
+    },
+    /// A matrix expected to be Hermitian failed the `A = A†` check.
+    NotHermitian {
+        /// Largest observed deviation between `A` and `A†`.
+        deviation: f64,
+    },
+    /// A vector expected to have unit norm did not.
+    NotNormalized {
+        /// The observed norm.
+        norm: f64,
+    },
+    /// An iterative algorithm failed to converge.
+    NoConvergence {
+        /// The algorithm that failed.
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The provided vectors were linearly dependent where independence was
+    /// required.
+    LinearlyDependent,
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The allowed length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::NotPowerOfTwo { dim } => {
+                write!(f, "dimension {dim} is not a power of two")
+            }
+            MathError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MathError::NotSquare { rows, cols } => {
+                write!(f, "matrix of shape {rows}x{cols} is not square")
+            }
+            MathError::NotUnitary { deviation } => {
+                write!(f, "matrix is not unitary (deviation {deviation:.3e})")
+            }
+            MathError::NotHermitian { deviation } => {
+                write!(f, "matrix is not hermitian (deviation {deviation:.3e})")
+            }
+            MathError::NotNormalized { norm } => {
+                write!(f, "vector norm {norm} differs from 1")
+            }
+            MathError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            MathError::LinearlyDependent => {
+                write!(f, "provided vectors are linearly dependent")
+            }
+            MathError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+        }
+    }
+}
+
+impl Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = [
+            MathError::NotPowerOfTwo { dim: 3 },
+            MathError::ShapeMismatch {
+                op: "mul",
+                left: (2, 2),
+                right: (3, 3),
+            },
+            MathError::NotSquare { rows: 2, cols: 3 },
+            MathError::NotUnitary { deviation: 0.5 },
+            MathError::NotHermitian { deviation: 0.5 },
+            MathError::NotNormalized { norm: 2.0 },
+            MathError::NoConvergence {
+                algorithm: "jacobi",
+                iterations: 100,
+            },
+            MathError::LinearlyDependent,
+            MathError::IndexOutOfBounds { index: 5, len: 2 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MathError>();
+    }
+}

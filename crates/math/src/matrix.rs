@@ -1,0 +1,739 @@
+//! Dense complex matrices.
+
+use crate::{C64, CVector, MathError, EPSILON};
+use std::fmt;
+
+/// A dense, row-major complex matrix.
+///
+/// Used for quantum gates (unitary matrices) and density matrices
+/// (Hermitian, positive semi-definite, unit trace).
+///
+/// ```rust
+/// use qra_math::CMatrix;
+///
+/// let x = CMatrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+/// assert!(x.is_unitary(1e-12));
+/// assert!(x.mul(&x).unwrap().approx_eq(&CMatrix::identity(2), 1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMatrix {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![C64::zero(); rows * cols],
+        }
+    }
+
+    /// Creates the `dim × dim` identity matrix.
+    pub fn identity(dim: usize) -> Self {
+        let mut m = Self::zeros(dim, dim);
+        for i in 0..dim {
+            m.set(i, i, C64::one());
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major real entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values.len() != rows * cols`.
+    pub fn from_real(rows: usize, cols: usize, values: &[f64]) -> Self {
+        Self::new(
+            rows,
+            cols,
+            values.iter().map(|&x| C64::from(x)).collect(),
+        )
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> C64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self::new(rows, cols, data)
+    }
+
+    /// Builds the outer product `|a⟩⟨b|`.
+    pub fn outer(a: &CVector, b: &CVector) -> Self {
+        Self::from_fn(a.len(), b.len(), |r, c| {
+            a.amplitude(r) * b.amplitude(c).conj()
+        })
+    }
+
+    /// Builds a diagonal matrix from the given entries.
+    pub fn diagonal(entries: &[C64]) -> Self {
+        let mut m = Self::zeros(entries.len(), entries.len());
+        for (i, &z) in entries.iter().enumerate() {
+            m.set(i, i, z);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` when the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// The entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> C64 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: C64) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Immutable view of the row-major entries.
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Returns row `r` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of bounds.
+    pub fn row(&self, r: usize) -> CVector {
+        assert!(r < self.rows);
+        CVector::new(self.data[r * self.cols..(r + 1) * self.cols].to_vec())
+    }
+
+    /// Returns column `c` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c` is out of bounds.
+    pub fn col(&self, c: usize) -> CVector {
+        assert!(c < self.cols);
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::ShapeMismatch`] when inner dimensions disagree.
+    pub fn mul(&self, other: &CMatrix) -> Result<CMatrix, MathError> {
+        if self.cols != other.rows {
+            return Err(MathError::ShapeMismatch {
+                op: "matrix multiply",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut out = CMatrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a.is_zero(1e-300) {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    let v = out.get(r, c) + a * other.get(k, c);
+                    out.set(r, c, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &CVector) -> CVector {
+        assert_eq!(v.len(), self.cols, "matrix-vector shape mismatch");
+        let mut out = CVector::zeros(self.rows);
+        for r in 0..self.rows {
+            let mut acc = C64::zero();
+            for c in 0..self.cols {
+                acc += self.get(r, c) * v.amplitude(c);
+            }
+            out[r] = acc;
+        }
+        out
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, other: &CMatrix) -> Result<CMatrix, MathError> {
+        if self.shape() != other.shape() {
+            return Err(MathError::ShapeMismatch {
+                op: "matrix add",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        Ok(CMatrix::new(
+            self.rows,
+            self.cols,
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
+        ))
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, other: &CMatrix) -> Result<CMatrix, MathError> {
+        if self.shape() != other.shape() {
+            return Err(MathError::ShapeMismatch {
+                op: "matrix sub",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        Ok(CMatrix::new(
+            self.rows,
+            self.cols,
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
+        ))
+    }
+
+    /// Scales every entry by `factor`.
+    pub fn scale(&self, factor: C64) -> CMatrix {
+        CMatrix::new(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|a| *a * factor).collect(),
+        )
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> CMatrix {
+        CMatrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Conjugate transpose (adjoint, `A†`).
+    pub fn adjoint(&self) -> CMatrix {
+        CMatrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r).conj())
+    }
+
+    /// Kronecker (tensor) product `self ⊗ other`.
+    pub fn kron(&self, other: &CMatrix) -> CMatrix {
+        let rows = self.rows * other.rows;
+        let cols = self.cols * other.cols;
+        CMatrix::from_fn(rows, cols, |r, c| {
+            let (r1, r2) = (r / other.rows, r % other.rows);
+            let (c1, c2) = (c / other.cols, c % other.cols);
+            self.get(r1, c1) * other.get(r2, c2)
+        })
+    }
+
+    /// Trace `Σᵢ Aᵢᵢ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotSquare`] for non-square matrices.
+    pub fn trace(&self) -> Result<C64, MathError> {
+        if !self.is_square() {
+            return Err(MathError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        Ok((0..self.rows).map(|i| self.get(i, i)).sum())
+    }
+
+    /// Frobenius norm `‖A‖_F`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry of `A − B`, or `f64::INFINITY` on shape mismatch.
+    pub fn max_abs_diff(&self, other: &CMatrix) -> f64 {
+        if self.shape() != other.shape() {
+            return f64::INFINITY;
+        }
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).norm())
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns `true` when all entries agree within `tol`.
+    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
+        self.max_abs_diff(other) <= tol
+    }
+
+    /// Returns `true` when `self ≈ e^{iφ}·other` for some global phase `φ`.
+    ///
+    /// Global phases are unobservable, so two gate matrices that differ only
+    /// by one implement the same operation.
+    pub fn approx_eq_up_to_phase(&self, other: &CMatrix, tol: f64) -> bool {
+        if self.shape() != other.shape() {
+            return false;
+        }
+        // Find the entry of `other` with the largest modulus to fix the phase.
+        let mut best = (0usize, 0.0f64);
+        for (i, z) in other.data.iter().enumerate() {
+            if z.norm() > best.1 {
+                best = (i, z.norm());
+            }
+        }
+        if best.1 < tol {
+            return self.frobenius_norm() < tol;
+        }
+        let phase = self.data[best.0] / other.data[best.0];
+        if (phase.norm() - 1.0).abs() > tol.max(1e-6) {
+            return false;
+        }
+        self.approx_eq(&other.scale(phase), tol)
+    }
+
+    /// Checks unitarity: `‖A†A − I‖∞ ≤ tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        match self.adjoint().mul(self) {
+            Ok(p) => p.max_abs_diff(&CMatrix::identity(self.rows)) <= tol,
+            Err(_) => false,
+        }
+    }
+
+    /// Checks Hermiticity: `‖A − A†‖∞ ≤ tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.max_abs_diff(&self.adjoint()) <= tol
+    }
+
+    /// Validates that this is a density matrix: Hermitian with unit trace
+    /// (positive semi-definiteness is checked by the eigendecomposition at
+    /// the point of use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotHermitian`] or [`MathError::NotNormalized`].
+    pub fn validate_density(&self, tol: f64) -> Result<(), MathError> {
+        if !self.is_square() {
+            return Err(MathError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let dev = self.max_abs_diff(&self.adjoint());
+        if dev > tol {
+            return Err(MathError::NotHermitian { deviation: dev });
+        }
+        let tr = self.trace()?;
+        if (tr.re - 1.0).abs() > tol || tr.im.abs() > tol {
+            return Err(MathError::NotNormalized { norm: tr.norm() });
+        }
+        Ok(())
+    }
+
+    /// Partial trace over the qubit subset `traced_out` of an `n`-qubit
+    /// density matrix (big-endian qubit indexing, qubit 0 most significant).
+    ///
+    /// Returns the reduced density matrix on the remaining qubits, in their
+    /// original relative order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotPowerOfTwo`] if the dimension is not `2ⁿ`, or
+    /// [`MathError::IndexOutOfBounds`] for a bad qubit index.
+    pub fn partial_trace(&self, traced_out: &[usize]) -> Result<CMatrix, MathError> {
+        let n = crate::qubits_for_dim(self.rows)?;
+        if !self.is_square() {
+            return Err(MathError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        for &q in traced_out {
+            if q >= n {
+                return Err(MathError::IndexOutOfBounds { index: q, len: n });
+            }
+        }
+        let kept: Vec<usize> = (0..n).filter(|q| !traced_out.contains(q)).collect();
+        let k = kept.len();
+        let out_dim = 1usize << k;
+        let t = traced_out.len();
+        let trace_dim = 1usize << t;
+
+        // Map a (kept-index, traced-index) pair to a full index. Bit `q` of
+        // the full index (big-endian: qubit 0 ↔ bit n-1) comes from either
+        // the kept or the traced pattern.
+        let full_index = |kept_bits: usize, traced_bits: usize| -> usize {
+            let mut idx = 0usize;
+            for (pos, &q) in kept.iter().enumerate() {
+                let bit = (kept_bits >> (k - 1 - pos)) & 1;
+                idx |= bit << (n - 1 - q);
+            }
+            for (pos, &q) in traced_out.iter().enumerate() {
+                let bit = (traced_bits >> (t - 1 - pos)) & 1;
+                idx |= bit << (n - 1 - q);
+            }
+            idx
+        };
+
+        let mut out = CMatrix::zeros(out_dim, out_dim);
+        for r in 0..out_dim {
+            for c in 0..out_dim {
+                let mut acc = C64::zero();
+                for e in 0..trace_dim {
+                    acc += self.get(full_index(r, e), full_index(c, e));
+                }
+                out.set(r, c, acc);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix power by repeated multiplication (small exponents).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotSquare`] for non-square matrices.
+    pub fn pow(&self, exponent: u32) -> Result<CMatrix, MathError> {
+        if !self.is_square() {
+            return Err(MathError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let mut acc = CMatrix::identity(self.rows);
+        for _ in 0..exponent {
+            acc = acc.mul(self)?;
+        }
+        Ok(acc)
+    }
+
+    /// Embeds `self` as a controlled operation: `|0⟩⟨0| ⊗ I + |1⟩⟨1| ⊗ self`,
+    /// with the (new, most-significant) control qubit prepended.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotSquare`] for non-square matrices.
+    pub fn controlled(&self) -> Result<CMatrix, MathError> {
+        if !self.is_square() {
+            return Err(MathError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let d = self.rows;
+        let mut out = CMatrix::identity(2 * d);
+        for r in 0..d {
+            for c in 0..d {
+                out.set(d + r, d + c, self.get(r, c));
+            }
+        }
+        for i in d..2 * d {
+            if out.get(i, i) == C64::one() && self.get(i - d, i - d) != C64::one() {
+                out.set(i, i, self.get(i - d, i - d));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Purity `tr(ρ²)` of a density matrix; 1 for pure states, `< 1` for
+    /// proper mixtures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotSquare`] for non-square matrices.
+    pub fn purity(&self) -> Result<f64, MathError> {
+        Ok(self.mul(self)?.trace()?.re)
+    }
+}
+
+impl fmt::Display for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{}", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Tolerance used by [`require_normalized`] — looser than [`EPSILON`] so
+/// states assembled from several floating-point operations still validate.
+pub const NORMALIZATION_TOL: f64 = 1e-6;
+
+/// Convenience check that `‖v‖ = 1` within [`NORMALIZATION_TOL`], as a
+/// `Result` for use with `?`.
+///
+/// # Errors
+///
+/// Returns [`MathError::NotNormalized`] with the observed norm.
+///
+/// ```rust
+/// use qra_math::{CVector, matrix::require_normalized};
+///
+/// require_normalized(&CVector::basis_state(2, 0))?;
+/// assert!(require_normalized(&CVector::from_real(&[2.0, 0.0])).is_err());
+/// # Ok::<(), qra_math::MathError>(())
+/// ```
+pub fn require_normalized(v: &CVector) -> Result<(), MathError> {
+    let n = v.norm();
+    if (n - 1.0).abs() > NORMALIZATION_TOL.max(EPSILON) {
+        return Err(MathError::NotNormalized { norm: n });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    fn pauli_x() -> CMatrix {
+        CMatrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0])
+    }
+
+    fn pauli_z() -> CMatrix {
+        CMatrix::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0])
+    }
+
+    fn hadamard() -> CMatrix {
+        let s = 0.5f64.sqrt();
+        CMatrix::from_real(2, 2, &[s, s, s, -s])
+    }
+
+    #[test]
+    fn identity_is_unitary_and_hermitian() {
+        let i4 = CMatrix::identity(4);
+        assert!(i4.is_unitary(TOL));
+        assert!(i4.is_hermitian(TOL));
+        assert!(i4.trace().unwrap().approx_eq(C64::from(4.0), TOL));
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        let x = pauli_x();
+        let z = pauli_z();
+        // XZ = -ZX
+        let xz = x.mul(&z).unwrap();
+        let zx = z.mul(&x).unwrap().scale(C64::from(-1.0));
+        assert!(xz.approx_eq(&zx, TOL));
+        // X² = I
+        assert!(x.mul(&x).unwrap().approx_eq(&CMatrix::identity(2), TOL));
+    }
+
+    #[test]
+    fn hadamard_diagonalizes_x() {
+        let h = hadamard();
+        let x = pauli_x();
+        let hxh = h.mul(&x).unwrap().mul(&h).unwrap();
+        assert!(hxh.approx_eq(&pauli_z(), TOL));
+    }
+
+    #[test]
+    fn mul_shape_mismatch_errors() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 3);
+        assert!(a.mul(&b).is_err());
+    }
+
+    #[test]
+    fn adjoint_of_product_reverses() {
+        let h = hadamard();
+        let x = pauli_x();
+        let lhs = h.mul(&x).unwrap().adjoint();
+        let rhs = x.adjoint().mul(&h.adjoint()).unwrap();
+        assert!(lhs.approx_eq(&rhs, TOL));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = pauli_x();
+        let i = CMatrix::identity(2);
+        let xi = x.kron(&i);
+        assert_eq!(xi.shape(), (4, 4));
+        // (X ⊗ I)|00⟩ = |10⟩
+        let v = xi.mul_vec(&CVector::basis_state(4, 0));
+        assert!(v.approx_eq(&CVector::basis_state(4, 2), TOL));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let a = hadamard();
+        let b = pauli_x();
+        let c = pauli_z();
+        let d = hadamard();
+        let lhs = a.kron(&b).mul(&c.kron(&d)).unwrap();
+        let rhs = a.mul(&c).unwrap().kron(&b.mul(&d).unwrap());
+        assert!(lhs.approx_eq(&rhs, TOL));
+    }
+
+    #[test]
+    fn outer_product_projector() {
+        let zero = CVector::basis_state(2, 0);
+        let p = CMatrix::outer(&zero, &zero);
+        assert!(p.mul(&p).unwrap().approx_eq(&p, TOL));
+        assert!(p.trace().unwrap().approx_eq(C64::one(), TOL));
+    }
+
+    #[test]
+    fn partial_trace_of_product_state() {
+        // ρ = |0⟩⟨0| ⊗ |+⟩⟨+|; tracing out qubit 1 leaves |0⟩⟨0|.
+        let zero = CVector::basis_state(2, 0);
+        let plus = CVector::from_real(&[0.5f64.sqrt(), 0.5f64.sqrt()]);
+        let rho = CMatrix::outer(&zero, &zero).kron(&CMatrix::outer(&plus, &plus));
+        let reduced = rho.partial_trace(&[1]).unwrap();
+        assert!(reduced.approx_eq(&CMatrix::outer(&zero, &zero), TOL));
+    }
+
+    #[test]
+    fn partial_trace_of_bell_state_is_maximally_mixed() {
+        let s = 0.5f64.sqrt();
+        let bell = CVector::from_real(&[s, 0.0, 0.0, s]);
+        let rho = CMatrix::outer(&bell, &bell);
+        let reduced = rho.partial_trace(&[0]).unwrap();
+        let mixed = CMatrix::identity(2).scale(C64::from(0.5));
+        assert!(reduced.approx_eq(&mixed, TOL));
+        assert!((reduced.purity().unwrap() - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn partial_trace_keeps_trace_one() {
+        let s = 0.5f64.sqrt();
+        let ghz = {
+            let mut v = CVector::zeros(8);
+            v[0] = C64::from(s);
+            v[7] = C64::from(s);
+            v
+        };
+        let rho = CMatrix::outer(&ghz, &ghz);
+        for traced in [&[0usize][..], &[1], &[2], &[0, 1], &[1, 2]] {
+            let r = rho.partial_trace(traced).unwrap();
+            assert!(r.trace().unwrap().approx_eq(C64::one(), TOL));
+            assert!(r.is_hermitian(TOL));
+        }
+    }
+
+    #[test]
+    fn controlled_embedding() {
+        let cx = pauli_x().controlled().unwrap();
+        // ctrl-X = CNOT: |10⟩ → |11⟩, |00⟩ fixed.
+        let v = cx.mul_vec(&CVector::basis_state(4, 2));
+        assert!(v.approx_eq(&CVector::basis_state(4, 3), TOL));
+        let w = cx.mul_vec(&CVector::basis_state(4, 0));
+        assert!(w.approx_eq(&CVector::basis_state(4, 0), TOL));
+        assert!(cx.is_unitary(TOL));
+    }
+
+    #[test]
+    fn density_validation() {
+        let plus = CVector::from_real(&[0.5f64.sqrt(), 0.5f64.sqrt()]);
+        let rho = CMatrix::outer(&plus, &plus);
+        assert!(rho.validate_density(1e-9).is_ok());
+        let bad = rho.scale(C64::from(2.0));
+        assert!(bad.validate_density(1e-9).is_err());
+        let nonherm = CMatrix::new(
+            2,
+            2,
+            vec![C64::one(), C64::i(), C64::i(), C64::zero()],
+        );
+        assert!(nonherm.validate_density(1e-9).is_err());
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let h = hadamard();
+        assert!(h.pow(2).unwrap().approx_eq(&CMatrix::identity(2), TOL));
+        assert!(h.pow(0).unwrap().approx_eq(&CMatrix::identity(2), TOL));
+    }
+
+    #[test]
+    fn phase_insensitive_equality() {
+        let h = hadamard();
+        let hp = h.scale(C64::cis(0.7));
+        assert!(h.approx_eq_up_to_phase(&hp, 1e-9));
+        assert!(!h.approx_eq(&hp, 1e-9));
+        assert!(!h.approx_eq_up_to_phase(&pauli_x(), 1e-9));
+    }
+
+    #[test]
+    fn row_col_access() {
+        let h = hadamard();
+        let r0 = h.row(0);
+        let c1 = h.col(1);
+        assert!((r0.amplitude(0).re - 0.5f64.sqrt()).abs() < TOL);
+        assert!((c1.amplitude(1).re + 0.5f64.sqrt()).abs() < TOL);
+    }
+
+    #[test]
+    fn diagonal_builder() {
+        let d = CMatrix::diagonal(&[C64::one(), C64::from(-1.0)]);
+        assert!(d.approx_eq(&pauli_z(), TOL));
+    }
+}

@@ -1,0 +1,378 @@
+//! Complex state vectors.
+
+use crate::{C64, MathError, EPSILON};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense complex vector, used for quantum state vectors.
+///
+/// The amplitude ordering follows the big-endian qubit convention used
+/// throughout this workspace: for an `n`-qubit state, index
+/// `i = b_0 b_1 … b_{n-1}` (binary) stores the amplitude of
+/// `|b_0⟩ ⊗ |b_1⟩ ⊗ … ⊗ |b_{n-1}⟩`, with qubit 0 the most significant bit.
+/// This matches the ket notation in the paper (e.g. `|011⟩` has qubit 0 = 0).
+///
+/// ```rust
+/// use qra_math::CVector;
+///
+/// // |10⟩ on two qubits: qubit 0 is |1⟩, qubit 1 is |0⟩.
+/// let v = CVector::basis_state(4, 0b10);
+/// assert_eq!(v.amplitude(2), qra_math::C64::one());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CVector {
+    data: Vec<C64>,
+}
+
+impl CVector {
+    /// Creates a vector from raw amplitudes.
+    pub fn new(data: Vec<C64>) -> Self {
+        Self { data }
+    }
+
+    /// Creates an all-zero vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            data: vec![C64::zero(); len],
+        }
+    }
+
+    /// Creates the computational basis state `|index⟩` in dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim`.
+    pub fn basis_state(dim: usize, index: usize) -> Self {
+        assert!(index < dim, "basis index {index} out of range for dim {dim}");
+        let mut v = Self::zeros(dim);
+        v.data[index] = C64::one();
+        v
+    }
+
+    /// Creates a vector from real amplitudes.
+    pub fn from_real(values: &[f64]) -> Self {
+        Self {
+            data: values.iter().map(|&x| C64::from(x)).collect(),
+        }
+    }
+
+    /// The length (dimension) of the vector.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The amplitude at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn amplitude(&self, index: usize) -> C64 {
+        self.data[index]
+    }
+
+    /// Immutable view of the amplitudes.
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable view of the amplitudes.
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying amplitudes.
+    pub fn into_inner(self) -> Vec<C64> {
+        self.data
+    }
+
+    /// Iterates over the amplitudes.
+    pub fn iter(&self) -> std::slice::Iter<'_, C64> {
+        self.data.iter()
+    }
+
+    /// Hermitian inner product `⟨self|other⟩` (conjugate-linear in `self`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::ShapeMismatch`] when lengths differ.
+    pub fn inner(&self, other: &CVector) -> Result<C64, MathError> {
+        if self.len() != other.len() {
+            return Err(MathError::ShapeMismatch {
+                op: "inner product",
+                left: (self.len(), 1),
+                right: (other.len(), 1),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a.conj() * *b)
+            .sum())
+    }
+
+    /// Euclidean norm `‖v‖₂`.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Returns a normalised copy (`v / ‖v‖`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotNormalized`] when the norm is numerically zero
+    /// (there is nothing to normalise).
+    pub fn normalized(&self) -> Result<CVector, MathError> {
+        let n = self.norm();
+        if n < EPSILON {
+            return Err(MathError::NotNormalized { norm: n });
+        }
+        Ok(self.scale(C64::from(1.0 / n)))
+    }
+
+    /// Returns `true` when the vector has unit norm within `tol`.
+    pub fn is_normalized(&self, tol: f64) -> bool {
+        (self.norm() - 1.0).abs() <= tol
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ.
+    pub fn add(&self, other: &CVector) -> CVector {
+        assert_eq!(self.len(), other.len(), "vector add length mismatch");
+        CVector::new(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
+        )
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ.
+    pub fn sub(&self, other: &CVector) -> CVector {
+        assert_eq!(self.len(), other.len(), "vector sub length mismatch");
+        CVector::new(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
+        )
+    }
+
+    /// Scales every amplitude by `factor`.
+    pub fn scale(&self, factor: C64) -> CVector {
+        CVector::new(self.data.iter().map(|a| *a * factor).collect())
+    }
+
+    /// Kronecker (tensor) product `self ⊗ other`.
+    pub fn kron(&self, other: &CVector) -> CVector {
+        let mut out = Vec::with_capacity(self.len() * other.len());
+        for a in &self.data {
+            for b in &other.data {
+                out.push(*a * *b);
+            }
+        }
+        CVector::new(out)
+    }
+
+    /// Returns `true` when all amplitudes agree within `tol`.
+    pub fn approx_eq(&self, other: &CVector, tol: f64) -> bool {
+        self.len() == other.len()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Returns `true` when the two vectors describe the same physical state,
+    /// i.e. agree up to a global phase: `|⟨self|other⟩| ≈ ‖self‖·‖other‖`.
+    pub fn approx_eq_up_to_phase(&self, other: &CVector, tol: f64) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        match self.inner(other) {
+            Ok(ip) => (ip.norm() - self.norm() * other.norm()).abs() <= tol,
+            Err(_) => false,
+        }
+    }
+
+    /// The probability of measuring basis outcome `index`: `|vᵢ|²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.data[index].norm_sqr()
+    }
+
+    /// Full probability distribution over basis outcomes.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.data.iter().map(|z| z.norm_sqr()).collect()
+    }
+}
+
+impl Index<usize> for CVector {
+    type Output = C64;
+    fn index(&self, index: usize) -> &C64 {
+        &self.data[index]
+    }
+}
+
+impl IndexMut<usize> for CVector {
+    fn index_mut(&mut self, index: usize) -> &mut C64 {
+        &mut self.data[index]
+    }
+}
+
+impl FromIterator<C64> for CVector {
+    fn from_iter<I: IntoIterator<Item = C64>>(iter: I) -> Self {
+        CVector::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a CVector {
+    type Item = &'a C64;
+    type IntoIter = std::slice::Iter<'a, C64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+impl fmt::Display for CVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, z) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{z}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    fn plus() -> CVector {
+        CVector::from_real(&[0.5f64.sqrt(), 0.5f64.sqrt()])
+    }
+
+    #[test]
+    fn basis_state_is_one_hot() {
+        let v = CVector::basis_state(4, 2);
+        assert_eq!(v.probability(2), 1.0);
+        assert_eq!(v.probability(0), 0.0);
+        assert!(v.is_normalized(TOL));
+    }
+
+    #[test]
+    #[should_panic]
+    fn basis_state_rejects_out_of_range() {
+        let _ = CVector::basis_state(4, 4);
+    }
+
+    #[test]
+    fn inner_product_orthogonality() {
+        let zero = CVector::basis_state(2, 0);
+        let one = CVector::basis_state(2, 1);
+        assert!(zero.inner(&one).unwrap().is_zero(TOL));
+        assert!(zero.inner(&zero).unwrap().approx_eq(C64::one(), TOL));
+    }
+
+    #[test]
+    fn inner_product_is_conjugate_linear_in_left() {
+        let a = CVector::new(vec![C64::i(), C64::zero()]);
+        let b = CVector::basis_state(2, 0);
+        let ip = a.inner(&b).unwrap();
+        assert!(ip.approx_eq(C64::new(0.0, -1.0), TOL));
+    }
+
+    #[test]
+    fn inner_rejects_mismatched_lengths() {
+        let a = CVector::zeros(2);
+        let b = CVector::zeros(4);
+        assert!(a.inner(&b).is_err());
+    }
+
+    #[test]
+    fn normalization() {
+        let v = CVector::from_real(&[3.0, 4.0]);
+        let n = v.normalized().unwrap();
+        assert!(n.is_normalized(TOL));
+        assert!((n.amplitude(0).re - 0.6).abs() < TOL);
+    }
+
+    #[test]
+    fn normalize_zero_vector_fails() {
+        assert!(CVector::zeros(2).normalized().is_err());
+    }
+
+    #[test]
+    fn kron_of_basis_states() {
+        let q0 = CVector::basis_state(2, 1);
+        let q1 = CVector::basis_state(2, 0);
+        let joint = q0.kron(&q1);
+        // |1⟩ ⊗ |0⟩ = |10⟩ = index 2.
+        assert_eq!(joint.amplitude(2), C64::one());
+        assert_eq!(joint.len(), 4);
+    }
+
+    #[test]
+    fn kron_preserves_norm() {
+        let a = plus();
+        let b = plus();
+        assert!((a.kron(&b).norm() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn global_phase_equality() {
+        let v = plus();
+        let w = v.scale(C64::cis(1.234));
+        assert!(v.approx_eq_up_to_phase(&w, TOL));
+        assert!(!v.approx_eq(&w, TOL));
+        let orth = CVector::from_real(&[0.5f64.sqrt(), -(0.5f64.sqrt())]);
+        assert!(!v.approx_eq_up_to_phase(&orth, 1e-6));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_for_normalized() {
+        let v = plus();
+        let total: f64 = v.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn add_sub_scale_roundtrip() {
+        let a = CVector::from_real(&[1.0, 2.0]);
+        let b = CVector::from_real(&[0.5, -1.0]);
+        let c = a.add(&b).sub(&b);
+        assert!(c.approx_eq(&a, TOL));
+        let d = a.scale(C64::from(2.0));
+        assert_eq!(d.amplitude(1), C64::from(4.0));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let v: CVector = (0..3).map(|k| C64::from(k as f64)).collect();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.amplitude(2), C64::from(2.0));
+    }
+}

@@ -1,0 +1,52 @@
+//! `qra` — precise and approximate quantum state runtime assertions.
+//!
+//! This facade crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`math`] — complex linear algebra (vectors, matrices, Gram–Schmidt,
+//!   Hermitian eigendecomposition);
+//! * [`circuit`] — circuit IR, gate synthesis, peephole optimizer, cost
+//!   accounting, OpenQASM export;
+//! * [`sim`] — state-vector and density-matrix simulators with noise
+//!   models;
+//! * [`core`] — the paper's contribution: SWAP-based, logical-OR and NDD
+//!   assertion synthesis for pure states, mixed states and state sets,
+//!   plus the Stat/Primitive/Proq baselines;
+//! * [`algorithms`] — the case-study workloads (GHZ, QFT, QPE,
+//!   Deutsch–Jozsa, QFT adders, teleportation) with bug injections.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use qra::prelude::*;
+//!
+//! // Build a Bell-pair program, assert its state at runtime, run it.
+//! let mut program = Circuit::new(2);
+//! program.h(0).cx(0, 1);
+//! let s = 0.5f64.sqrt();
+//! let bell = CVector::from_real(&[s, 0.0, 0.0, s]);
+//! let handle = insert_assertion(&mut program, &[0, 1],
+//!                               &StateSpec::pure(bell)?, Design::Auto)?;
+//! let counts = StatevectorSimulator::with_seed(1).run(&program, 8192)?;
+//! assert_eq!(handle.error_rate(&counts), 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub use qra_algorithms as algorithms;
+pub use qra_circuit as circuit;
+pub use qra_core as core;
+pub use qra_math as math;
+pub use qra_sim as sim;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use qra_circuit::{Circuit, Gate, GateCounts};
+    pub use qra_core::{
+        insert_assertion, insert_deallocation_assertion, synthesize_assertion, Assertion,
+        AssertionError, AssertionHandle, AssertionReport, Design, StateSpec,
+    };
+    pub use qra_math::{C64, CMatrix, CVector};
+    pub use qra_sim::{Counts, DensityMatrixSimulator, DevicePreset, NoiseModel,
+        StatevectorSimulator};
+}

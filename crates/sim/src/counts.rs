@@ -1,0 +1,255 @@
+//! Measurement outcome histograms.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A histogram of classical measurement outcomes, keyed by the classical
+/// register value (bit 0 of the key = classical bit 0, which is the value
+/// written by `measure(qubit, 0)`).
+///
+/// Keys format as bitstrings with classical bit 0 leftmost, matching the
+/// qubit-order convention used throughout this workspace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Counts {
+    num_clbits: usize,
+    table: BTreeMap<u64, u64>,
+}
+
+impl Counts {
+    /// Creates an empty histogram over `num_clbits` classical bits.
+    pub fn new(num_clbits: usize) -> Self {
+        Self {
+            num_clbits,
+            table: BTreeMap::new(),
+        }
+    }
+
+    /// Number of classical bits per outcome.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// Adds `n` observations of `outcome` (raw key).
+    pub fn record(&mut self, outcome: u64, n: u64) {
+        *self.table.entry(outcome).or_insert(0) += n;
+    }
+
+    /// Total number of shots recorded.
+    pub fn total(&self) -> u64 {
+        self.table.values().sum()
+    }
+
+    /// Number of observations of the raw `outcome` key.
+    pub fn count(&self, outcome: u64) -> u64 {
+        self.table.get(&outcome).copied().unwrap_or(0)
+    }
+
+    /// Number of observations of a bitstring like `"011"` (classical bit 0
+    /// leftmost).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` has the wrong length or non-binary characters.
+    pub fn count_str(&self, bits: &str) -> u64 {
+        self.count(self.parse_bits(bits))
+    }
+
+    /// Relative frequency of a bitstring outcome (0 when no shots).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` is malformed; see [`Counts::count_str`].
+    pub fn frequency(&self, bits: &str) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.count_str(bits) as f64 / total as f64
+    }
+
+    /// The value of classical bit `clbit` being 1, as a relative frequency
+    /// over all outcomes.
+    pub fn marginal_frequency(&self, clbit: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let ones: u64 = self
+            .table
+            .iter()
+            .filter(|(k, _)| (*k >> clbit) & 1 == 1)
+            .map(|(_, v)| *v)
+            .sum();
+        ones as f64 / total as f64
+    }
+
+    /// Fraction of shots for which **any** of the listed classical bits is 1
+    /// — the paper's "assertion error rate" when those bits are the
+    /// assertion ancilla measurements.
+    pub fn any_set_frequency(&self, clbits: &[usize]) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self
+            .table
+            .iter()
+            .filter(|(k, _)| clbits.iter().any(|&b| (*k >> b) & 1 == 1))
+            .map(|(_, v)| *v)
+            .sum();
+        hits as f64 / total as f64
+    }
+
+    /// Retains only shots where all listed classical bits are 0 (the
+    /// paper's error-filtering post-selection) and returns the filtered
+    /// histogram together with the retained fraction.
+    pub fn post_select_zero(&self, clbits: &[usize]) -> (Counts, f64) {
+        let mut out = Counts::new(self.num_clbits);
+        for (&k, &v) in &self.table {
+            if clbits.iter().all(|&b| (k >> b) & 1 == 0) {
+                out.record(k, v);
+            }
+        }
+        let kept = if self.total() == 0 {
+            0.0
+        } else {
+            out.total() as f64 / self.total() as f64
+        };
+        (out, kept)
+    }
+
+    /// Iterates over `(outcome, count)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.table.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Formats a raw outcome key as a bitstring (classical bit 0 leftmost).
+    pub fn key_to_string(&self, key: u64) -> String {
+        (0..self.num_clbits)
+            .map(|b| if (key >> b) & 1 == 1 { '1' } else { '0' })
+            .collect()
+    }
+
+    fn parse_bits(&self, bits: &str) -> u64 {
+        assert_eq!(
+            bits.len(),
+            self.num_clbits,
+            "bitstring '{bits}' length does not match {} clbits",
+            self.num_clbits
+        );
+        let mut key = 0u64;
+        for (i, ch) in bits.chars().enumerate() {
+            match ch {
+                '0' => {}
+                '1' => key |= 1 << i,
+                _ => panic!("invalid bit character '{ch}' in '{bits}'"),
+            }
+        }
+        key
+    }
+}
+
+impl fmt::Display for Counts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.table.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {v}", self.key_to_string(*k))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(u64, u64)> for Counts {
+    fn from_iter<I: IntoIterator<Item = (u64, u64)>>(iter: I) -> Self {
+        let mut c = Counts::new(0);
+        let mut max_key = 0u64;
+        for (k, v) in iter {
+            max_key = max_key.max(k);
+            c.record(k, v);
+        }
+        c.num_clbits = (64 - max_key.leading_zeros() as usize).max(1);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Counts {
+        let mut c = Counts::new(3);
+        c.record(0b000, 50);
+        c.record(0b001, 25); // clbit 0 set
+        c.record(0b110, 25); // clbits 1, 2 set
+        c
+    }
+
+    #[test]
+    fn totals_and_counts() {
+        let c = sample();
+        assert_eq!(c.total(), 100);
+        assert_eq!(c.count(0), 50);
+        assert_eq!(c.count_str("100"), 25); // clbit0 leftmost
+        assert_eq!(c.count_str("011"), 25);
+        assert!((c.frequency("000") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginals() {
+        let c = sample();
+        assert!((c.marginal_frequency(0) - 0.25).abs() < 1e-12);
+        assert!((c.marginal_frequency(1) - 0.25).abs() < 1e-12);
+        assert!((c.marginal_frequency(2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn any_set_and_post_select() {
+        let c = sample();
+        assert!((c.any_set_frequency(&[0, 1]) - 0.5).abs() < 1e-12);
+        let (filtered, kept) = c.post_select_zero(&[0]);
+        assert_eq!(filtered.total(), 75);
+        assert!((kept - 0.75).abs() < 1e-12);
+        assert_eq!(filtered.count(0b110), 25);
+    }
+
+    #[test]
+    fn key_roundtrip() {
+        let c = sample();
+        assert_eq!(c.key_to_string(0b001), "100");
+        assert_eq!(c.key_to_string(0b110), "011");
+    }
+
+    #[test]
+    #[should_panic]
+    fn malformed_bitstring_panics() {
+        sample().count_str("0x1");
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_length_bitstring_panics() {
+        sample().count_str("00");
+    }
+
+    #[test]
+    fn empty_counts_behave() {
+        let c = Counts::new(2);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.frequency("00"), 0.0);
+        assert_eq!(c.marginal_frequency(0), 0.0);
+        let (f, kept) = c.post_select_zero(&[0]);
+        assert_eq!(f.total(), 0);
+        assert_eq!(kept, 0.0);
+    }
+
+    #[test]
+    fn display_and_from_iter() {
+        let c: Counts = vec![(0u64, 3u64), (2, 1)].into_iter().collect();
+        assert_eq!(c.total(), 4);
+        let s = format!("{}", sample());
+        assert!(s.contains("000: 50"));
+    }
+}

@@ -1,0 +1,459 @@
+//! Exact density-matrix simulation with gate-level noise.
+//!
+//! This back-end substitutes for the real ibmq-melbourne device in the
+//! paper's §IX-B: every gate is followed by the configured noise channels,
+//! measurement applies a readout confusion matrix, and the full classical
+//! joint distribution is computed exactly (then optionally sampled into
+//! shot counts). Mid-circuit measurement — required by the Proq baseline —
+//! branches the density matrix per outcome.
+
+use crate::noise::{KrausChannel, NoiseModel};
+use crate::{Counts, SimError};
+use qra_circuit::gate::embed;
+use qra_circuit::{Circuit, Operation};
+use qra_math::{C64, CMatrix, CVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum supported width (dense `2ⁿ × 2ⁿ` matrices).
+const MAX_QUBITS: usize = 10;
+
+/// One classical branch of the simulation: an (unnormalised) density matrix
+/// whose trace is the probability of the recorded outcome bits.
+#[derive(Debug, Clone)]
+struct Branch {
+    rho: CMatrix,
+    key: u64,
+}
+
+/// An exact density-matrix simulator with optional noise.
+///
+/// ```rust
+/// use qra_circuit::Circuit;
+/// use qra_sim::{DensityMatrixSimulator, DevicePreset};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// bell.measure_all();
+/// let sim = DensityMatrixSimulator::with_noise(DevicePreset::melbourne_like());
+/// let dist = sim.outcome_distribution(&bell)?;
+/// let p_00 = dist.iter().find(|(k, _)| *k == 0).map(|(_, p)| *p).unwrap();
+/// assert!(p_00 > 0.35 && p_00 < 0.5); // noise pushes it below the ideal 0.5
+/// # Ok::<(), qra_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DensityMatrixSimulator {
+    noise: NoiseModel,
+}
+
+impl Default for DensityMatrixSimulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DensityMatrixSimulator {
+    /// Creates a noiseless density-matrix simulator.
+    pub fn new() -> Self {
+        Self {
+            noise: NoiseModel::ideal(),
+        }
+    }
+
+    /// Creates a simulator with the given noise model.
+    pub fn with_noise(noise: NoiseModel) -> Self {
+        Self { noise }
+    }
+
+    /// The configured noise model.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Evolves `|0…0⟩⟨0…0|` through the circuit and returns the final
+    /// density matrix. Measurements dephase-and-branch internally; the
+    /// returned matrix is the branch-summed (averaged) state.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::TooManyQubits`] beyond 10 qubits;
+    /// * [`SimError::InvalidNoiseParameter`] for a bad noise model.
+    pub fn evolve(&self, circuit: &Circuit) -> Result<CMatrix, SimError> {
+        let branches = self.run_branches(circuit)?;
+        let dim = 1usize << circuit.num_qubits();
+        let mut rho = CMatrix::zeros(dim, dim);
+        for b in branches {
+            rho = rho.add(&b.rho)?;
+        }
+        Ok(rho)
+    }
+
+    /// Computes the exact joint distribution over the classical bits:
+    /// a list of `(key, probability)` with non-negligible probability,
+    /// where bit `c` of `key` is classical bit `c`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DensityMatrixSimulator::evolve`].
+    pub fn outcome_distribution(&self, circuit: &Circuit) -> Result<Vec<(u64, f64)>, SimError> {
+        let branches = self.run_branches(circuit)?;
+        let mut table: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+        for b in branches {
+            let p = b.rho.trace()?.re;
+            if p > 1e-15 {
+                *table.entry(b.key).or_insert(0.0) += p;
+            }
+        }
+        Ok(table.into_iter().collect())
+    }
+
+    /// Samples `shots` outcomes from the exact distribution.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DensityMatrixSimulator::evolve`].
+    pub fn run(&self, circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimError> {
+        let dist = self.outcome_distribution(circuit)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = Counts::new(circuit.num_clbits());
+        let total: f64 = dist.iter().map(|(_, p)| *p).sum();
+        for _ in 0..shots {
+            let mut r = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+            let mut chosen = dist.last().map(|(k, _)| *k).unwrap_or(0);
+            for &(k, p) in &dist {
+                if r < p {
+                    chosen = k;
+                    break;
+                }
+                r -= p;
+            }
+            counts.record(chosen, 1);
+        }
+        Ok(counts)
+    }
+
+    fn run_branches(&self, circuit: &Circuit) -> Result<Vec<Branch>, SimError> {
+        self.noise.validate()?;
+        let n = circuit.num_qubits();
+        if n > MAX_QUBITS {
+            return Err(SimError::TooManyQubits {
+                num_qubits: n,
+                max: MAX_QUBITS,
+            });
+        }
+        if circuit.num_clbits() > 64 {
+            return Err(SimError::TooManyClbits {
+                num_clbits: circuit.num_clbits(),
+                max: 64,
+            });
+        }
+        let dim = 1usize << n;
+        let zero = CVector::basis_state(dim, 0);
+        let mut branches = vec![Branch {
+            rho: CMatrix::outer(&zero, &zero),
+            key: 0,
+        }];
+
+        // Pre-build noise channels once.
+        let depol1 = build_channel(self.noise.depol_1q, KrausChannel::depolarizing_1q)?;
+        let depol2 = build_channel(self.noise.depol_2q, KrausChannel::depolarizing_2q)?;
+        let damp1 = build_channel(self.noise.damping_1q, KrausChannel::amplitude_damping)?;
+        let damp2 = build_channel(self.noise.damping_2q, KrausChannel::amplitude_damping)?;
+        let deph = build_channel(self.noise.dephasing, KrausChannel::phase_damping)?;
+
+        for inst in circuit.instructions() {
+            match &inst.operation {
+                Operation::Barrier => {}
+                Operation::Gate(g) => {
+                    let full = embed(&g.matrix(), &inst.qubits, n);
+                    let full_dg = full.adjoint();
+                    for b in &mut branches {
+                        b.rho = full.mul(&b.rho)?.mul(&full_dg)?;
+                    }
+                    // Gate-dependent noise. Gates wider than two qubits get
+                    // pairwise two-qubit depolarizing on consecutive qubit
+                    // pairs, mirroring their hardware transpilation into
+                    // two-qubit primitives.
+                    if inst.qubits.len() == 1 {
+                        apply_channel_opt(&mut branches, &depol1, &[inst.qubits[0]], n)?;
+                        apply_channel_opt(&mut branches, &damp1, &[inst.qubits[0]], n)?;
+                        apply_channel_opt(&mut branches, &deph, &[inst.qubits[0]], n)?;
+                    } else {
+                        for pair in inst.qubits.windows(2) {
+                            apply_channel_opt(&mut branches, &depol2, pair, n)?;
+                        }
+                        for &q in &inst.qubits {
+                            apply_channel_opt(&mut branches, &damp2, &[q], n)?;
+                            apply_channel_opt(&mut branches, &deph, &[q], n)?;
+                        }
+                    }
+                }
+                Operation::Measure => {
+                    let q = inst.qubits[0];
+                    let c = inst.clbits[0];
+                    let mut next = Vec::with_capacity(branches.len() * 2);
+                    for b in &branches {
+                        let (rho0, rho1) = project(&b.rho, q, n);
+                        // Readout confusion: recorded bit may flip.
+                        let p01 = self.noise.readout_p01;
+                        let p10 = self.noise.readout_p10;
+                        // True 0 branch.
+                        push_branch(&mut next, rho0.scale(C64::from(1.0 - p01)), b.key & !(1 << c));
+                        push_branch(&mut next, rho0.scale(C64::from(p01)), b.key | (1 << c));
+                        // True 1 branch.
+                        push_branch(&mut next, rho1.scale(C64::from(1.0 - p10)), b.key | (1 << c));
+                        push_branch(&mut next, rho1.scale(C64::from(p10)), b.key & !(1 << c));
+                    }
+                    branches = coalesce(next)?;
+                }
+                Operation::Reset => {
+                    let q = inst.qubits[0];
+                    for b in &mut branches {
+                        let (rho0, rho1) = project(&b.rho, q, n);
+                        // |1⟩ branch flips back to |0⟩: X ρ1 X.
+                        let x = embed(&qra_circuit::Gate::X.matrix(), &[q], n);
+                        let flipped = x.mul(&rho1)?.mul(&x)?;
+                        b.rho = rho0.add(&flipped)?;
+                    }
+                }
+            }
+        }
+        Ok(branches)
+    }
+}
+
+type ChannelCtor = fn(f64) -> Result<KrausChannel, SimError>;
+
+fn build_channel(p: f64, ctor: ChannelCtor) -> Result<Option<KrausChannel>, SimError> {
+    if p <= 0.0 {
+        Ok(None)
+    } else {
+        ctor(p).map(Some)
+    }
+}
+
+fn apply_channel_opt(
+    branches: &mut [Branch],
+    channel: &Option<KrausChannel>,
+    qubits: &[usize],
+    n: usize,
+) -> Result<(), SimError> {
+    let Some(ch) = channel else { return Ok(()) };
+    // Two-qubit channels expect 4x4 operators; single expect 2x2.
+    let expect_dim = 1usize << qubits.len();
+    for b in branches.iter_mut() {
+        let mut acc = CMatrix::zeros(b.rho.rows(), b.rho.cols());
+        for k in ch.operators() {
+            debug_assert_eq!(k.rows(), expect_dim);
+            let full = embed(k, qubits, n);
+            let term = full.mul(&b.rho)?.mul(&full.adjoint())?;
+            acc = acc.add(&term)?;
+        }
+        b.rho = acc;
+    }
+    Ok(())
+}
+
+/// Splits ρ into the (unnormalised) post-measurement pieces for outcomes
+/// 0 and 1 of `qubit`.
+fn project(rho: &CMatrix, qubit: usize, n: usize) -> (CMatrix, CMatrix) {
+    let dim = rho.rows();
+    let mask = 1usize << (n - 1 - qubit);
+    let mut rho0 = CMatrix::zeros(dim, dim);
+    let mut rho1 = CMatrix::zeros(dim, dim);
+    for r in 0..dim {
+        for c in 0..dim {
+            let (rb, cb) = (r & mask != 0, c & mask != 0);
+            if !rb && !cb {
+                rho0.set(r, c, rho.get(r, c));
+            } else if rb && cb {
+                rho1.set(r, c, rho.get(r, c));
+            }
+        }
+    }
+    (rho0, rho1)
+}
+
+fn push_branch(list: &mut Vec<Branch>, rho: CMatrix, key: u64) {
+    list.push(Branch { rho, key });
+}
+
+/// Merges branches with identical classical keys (their density matrices
+/// add) and drops negligible ones, bounding the branch count by the number
+/// of distinct classical outcomes.
+fn coalesce(branches: Vec<Branch>) -> Result<Vec<Branch>, SimError> {
+    let mut map: std::collections::BTreeMap<u64, CMatrix> = std::collections::BTreeMap::new();
+    for b in branches {
+        let tr = b.rho.trace()?.re;
+        if tr <= 1e-14 {
+            continue;
+        }
+        match map.remove(&b.key) {
+            Some(existing) => {
+                map.insert(b.key, existing.add(&b.rho)?);
+            }
+            None => {
+                map.insert(b.key, b.rho);
+            }
+        }
+    }
+    Ok(map
+        .into_iter()
+        .map(|(key, rho)| Branch { rho, key })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::DevicePreset;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn noiseless_bell_matches_statevector() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let rho = DensityMatrixSimulator::new().evolve(&c).unwrap();
+        let sv = c.statevector().unwrap();
+        let expect = CMatrix::outer(&sv, &sv);
+        assert!(rho.approx_eq(&expect, TOL));
+        assert!((rho.purity().unwrap() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn depolarizing_reduces_purity() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut noise = NoiseModel::ideal();
+        noise.depol_2q = 0.1;
+        let rho = DensityMatrixSimulator::with_noise(noise).evolve(&c).unwrap();
+        assert!((rho.trace().unwrap().re - 1.0).abs() < TOL);
+        assert!(rho.purity().unwrap() < 0.99);
+    }
+
+    #[test]
+    fn outcome_distribution_is_normalized() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c.measure_all();
+        let sim = DensityMatrixSimulator::with_noise(DevicePreset::melbourne_like());
+        let dist = sim.outcome_distribution(&c).unwrap();
+        let total: f64 = dist.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Noise leaks probability into the odd-parity outcomes.
+        let leak: f64 = dist
+            .iter()
+            .filter(|(k, _)| k.count_ones() == 1)
+            .map(|(_, p)| p)
+            .sum();
+        assert!(leak > 0.001, "expected some leakage, got {leak}");
+    }
+
+    #[test]
+    fn readout_error_flips_deterministic_outcome() {
+        let mut c = Circuit::new(1);
+        c.x(0);
+        c.measure_all();
+        let mut noise = NoiseModel::ideal();
+        noise.readout_p10 = 0.25;
+        let sim = DensityMatrixSimulator::with_noise(noise);
+        let dist = sim.outcome_distribution(&c).unwrap();
+        let p0 = dist.iter().find(|(k, _)| *k == 0).map(|(_, p)| *p).unwrap();
+        assert!((p0 - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mid_circuit_measurement_branches() {
+        // H, measure, H, measure — all four outcomes at 1/4 exactly.
+        let mut c = Circuit::with_clbits(1, 2);
+        c.h(0);
+        c.measure(0, 0).unwrap();
+        c.h(0);
+        c.measure(0, 1).unwrap();
+        let dist = DensityMatrixSimulator::new().outcome_distribution(&c).unwrap();
+        assert_eq!(dist.len(), 4);
+        for (_, p) in dist {
+            assert!((p - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn measurement_destroys_coherence() {
+        // Measuring |+⟩ leaves the maximally mixed state.
+        let mut c = Circuit::with_clbits(1, 1);
+        c.h(0);
+        c.measure(0, 0).unwrap();
+        let rho = DensityMatrixSimulator::new().evolve(&c).unwrap();
+        let mixed = CMatrix::identity(2).scale(C64::from(0.5));
+        assert!(rho.approx_eq(&mixed, TOL));
+    }
+
+    #[test]
+    fn reset_produces_ground_state() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.reset(0).unwrap();
+        let rho = DensityMatrixSimulator::new().evolve(&c).unwrap();
+        let zero = CVector::basis_state(2, 0);
+        assert!(rho.approx_eq(&CMatrix::outer(&zero, &zero), TOL));
+    }
+
+    #[test]
+    fn run_sampling_matches_distribution() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.measure_all();
+        let sim = DensityMatrixSimulator::new();
+        let counts = sim.run(&c, 8192, 13).unwrap();
+        assert!((counts.frequency("0") - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn too_wide_rejected() {
+        let c = Circuit::new(11);
+        assert!(matches!(
+            DensityMatrixSimulator::new().evolve(&c),
+            Err(SimError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_noise_rejected() {
+        let mut noise = NoiseModel::ideal();
+        noise.depol_1q = 1.5;
+        let mut c = Circuit::new(1);
+        c.h(0);
+        assert!(DensityMatrixSimulator::with_noise(noise).evolve(&c).is_err());
+    }
+
+    #[test]
+    fn damping_relaxes_excited_state() {
+        let mut c = Circuit::new(1);
+        c.x(0);
+        // Apply many identity-like gates to accumulate damping.
+        for _ in 0..50 {
+            c.rz(0.0, 0);
+        }
+        let mut noise = NoiseModel::ideal();
+        noise.damping_1q = 0.05;
+        let rho = DensityMatrixSimulator::with_noise(noise).evolve(&c).unwrap();
+        let p1 = rho.get(1, 1).re;
+        assert!(p1 < 0.2, "50 damping slots should relax |1⟩, p1={p1}");
+    }
+
+    #[test]
+    fn noisy_ghz_degrades_gracefully() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        c.measure_all();
+        let sim = DensityMatrixSimulator::with_noise(DevicePreset::melbourne_like());
+        let dist = sim.outcome_distribution(&c).unwrap();
+        let p_good: f64 = dist
+            .iter()
+            .filter(|(k, _)| *k == 0 || *k == 0b111)
+            .map(|(_, p)| p)
+            .sum();
+        assert!(p_good > 0.6 && p_good < 0.999, "p_good={p_good}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Error types for simulation.
+
+use qra_circuit::CircuitError;
+use qra_math::MathError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the simulators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The circuit is invalid or uses an unsupported feature.
+    Circuit(CircuitError),
+    /// A numerical operation failed.
+    Math(MathError),
+    /// The circuit is wider than the simulator supports.
+    TooManyQubits {
+        /// Requested width.
+        num_qubits: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+    /// The circuit has more classical bits than outcome keys can hold.
+    TooManyClbits {
+        /// Requested classical width.
+        num_clbits: usize,
+        /// Supported maximum (the key width in bits).
+        max: usize,
+    },
+    /// A probability left the valid range (numerical blow-up guard).
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// A noise parameter was outside `[0, 1]`.
+    InvalidNoiseParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Circuit(e) => write!(f, "circuit error: {e}"),
+            SimError::Math(e) => write!(f, "numerical error: {e}"),
+            SimError::TooManyQubits { num_qubits, max } => {
+                write!(f, "{num_qubits} qubits exceeds simulator limit of {max}")
+            }
+            SimError::TooManyClbits { num_clbits, max } => {
+                write!(f, "{num_clbits} classical bits exceed the {max}-bit outcome keys")
+            }
+            SimError::InvalidProbability { value } => {
+                write!(f, "probability {value} outside [0, 1]")
+            }
+            SimError::InvalidNoiseParameter { name, value } => {
+                write!(f, "noise parameter {name}={value} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Circuit(e) => Some(e),
+            SimError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for SimError {
+    fn from(e: CircuitError) -> Self {
+        SimError::Circuit(e)
+    }
+}
+
+impl From<MathError> for SimError {
+    fn from(e: MathError) -> Self {
+        SimError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_and_sources() {
+        let errs = [
+            SimError::Circuit(CircuitError::DuplicateQubit { qubit: 0 }),
+            SimError::Math(MathError::LinearlyDependent),
+            SimError::TooManyQubits {
+                num_qubits: 40,
+                max: 20,
+            },
+            SimError::InvalidProbability { value: 1.5 },
+            SimError::InvalidNoiseParameter {
+                name: "depol",
+                value: -0.1,
+            },
+        ];
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(errs[0].source().is_some());
+        assert!(errs[2].source().is_none());
+    }
+}

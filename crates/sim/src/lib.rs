@@ -1,0 +1,45 @@
+//! Quantum circuit simulators for the `qra` assertion library.
+//!
+//! Two exact back-ends replace the paper's Qiskit Aer usage:
+//!
+//! * [`StatevectorSimulator`] — noise-free shot sampling (the paper's
+//!   "qasm simulator" runs with 8192 shots);
+//! * [`DensityMatrixSimulator`] — exact mixed-state evolution with an
+//!   optional [`NoiseModel`], substituting for the 15-qubit
+//!   *ibmq-melbourne* device used in §IX-B. The
+//!   [`noise::DevicePreset::melbourne_like`] preset carries depolarizing,
+//!   amplitude/phase damping and readout-error calibrations chosen to land
+//!   in the same error-rate regime the paper reports.
+//!
+//! # Example
+//!
+//! ```rust
+//! use qra_circuit::Circuit;
+//! use qra_sim::StatevectorSimulator;
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cx(0, 1);
+//! bell.measure_all();
+//! let counts = StatevectorSimulator::with_seed(7).run(&bell, 8192)?;
+//! assert!(counts.frequency("00") > 0.4);
+//! assert!(counts.frequency("11") > 0.4);
+//! # Ok::<(), qra_sim::SimError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod counts;
+pub mod density;
+pub mod error;
+pub mod noise;
+pub mod statevector;
+pub mod states;
+pub mod trajectory;
+
+pub use counts::Counts;
+pub use density::DensityMatrixSimulator;
+pub use error::SimError;
+pub use noise::{DevicePreset, NoiseModel};
+pub use statevector::StatevectorSimulator;
+pub use trajectory::TrajectorySimulator;

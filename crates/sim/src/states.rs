@@ -1,0 +1,274 @@
+//! State-comparison and observable utilities.
+//!
+//! These back the experiment analysis: fidelity between the asserted state
+//! and the simulated one, trace distance for distribution comparisons, and
+//! Pauli-string expectation values for stabilizer-style checks.
+
+use crate::SimError;
+use qra_math::{hermitian_eigen, C64, CMatrix, CVector};
+
+/// Fidelity `|⟨ψ|φ⟩|²` between two pure states.
+///
+/// # Errors
+///
+/// Returns [`SimError::Math`] on dimension mismatch.
+///
+/// ```rust
+/// use qra_math::CVector;
+/// use qra_sim::states::pure_fidelity;
+///
+/// let a = CVector::basis_state(2, 0);
+/// let b = CVector::from_real(&[0.5f64.sqrt(), 0.5f64.sqrt()]);
+/// assert!((pure_fidelity(&a, &b)? - 0.5).abs() < 1e-12);
+/// # Ok::<(), qra_sim::SimError>(())
+/// ```
+pub fn pure_fidelity(a: &CVector, b: &CVector) -> Result<f64, SimError> {
+    Ok(a.inner(b)?.norm_sqr())
+}
+
+/// Fidelity between a pure state and a density matrix: `⟨ψ|ρ|ψ⟩`.
+///
+/// # Errors
+///
+/// Returns [`SimError::Math`] on shape mismatch.
+pub fn state_fidelity(psi: &CVector, rho: &CMatrix) -> Result<f64, SimError> {
+    let rho_psi = rho.mul_vec(psi);
+    Ok(psi.inner(&rho_psi)?.re)
+}
+
+/// Uhlmann fidelity between two density matrices,
+/// `F(ρ, σ) = (tr √(√ρ σ √ρ))²`, computed through eigendecompositions.
+///
+/// # Errors
+///
+/// Returns [`SimError::Math`] when the matrices are not valid Hermitian
+/// operators of equal dimension.
+pub fn mixed_fidelity(rho: &CMatrix, sigma: &CMatrix) -> Result<f64, SimError> {
+    if rho.shape() != sigma.shape() {
+        return Err(SimError::Math(qra_math::MathError::ShapeMismatch {
+            op: "fidelity",
+            left: rho.shape(),
+            right: sigma.shape(),
+        }));
+    }
+    // √ρ via eigendecomposition (clamping tiny negative eigenvalues).
+    let eig = hermitian_eigen(rho)?;
+    let dim = rho.rows();
+    let mut sqrt_rho = CMatrix::zeros(dim, dim);
+    for (lambda, v) in eig.values.iter().zip(&eig.vectors) {
+        let root = lambda.max(0.0).sqrt();
+        sqrt_rho = sqrt_rho.add(&CMatrix::outer(v, v).scale(C64::from(root)))?;
+    }
+    let inner = sqrt_rho.mul(sigma)?.mul(&sqrt_rho)?;
+    let inner_eig = hermitian_eigen(&inner)?;
+    let trace_root: f64 = inner_eig
+        .values
+        .iter()
+        .map(|l| l.max(0.0).sqrt())
+        .sum();
+    Ok(trace_root * trace_root)
+}
+
+/// Trace distance `½‖ρ − σ‖₁` between two density matrices.
+///
+/// # Errors
+///
+/// Returns [`SimError::Math`] on shape mismatch or eigensolver failure.
+pub fn trace_distance(rho: &CMatrix, sigma: &CMatrix) -> Result<f64, SimError> {
+    let diff = rho.sub(sigma)?;
+    let eig = hermitian_eigen(&diff)?;
+    Ok(eig.values.iter().map(|l| l.abs()).sum::<f64>() / 2.0)
+}
+
+/// A Pauli string like `"XZI"` (character `i` acts on qubit `i`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PauliString {
+    ops: Vec<u8>, // b'I' | b'X' | b'Y' | b'Z'
+}
+
+impl PauliString {
+    /// Parses a Pauli string; accepts `I`, `X`, `Y`, `Z` (any case).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Math`] for invalid characters or empty input.
+    pub fn parse(s: &str) -> Result<Self, SimError> {
+        if s.is_empty() {
+            return Err(SimError::InvalidProbability { value: 0.0 });
+        }
+        let mut ops = Vec::with_capacity(s.len());
+        for ch in s.chars() {
+            match ch.to_ascii_uppercase() {
+                'I' => ops.push(b'I'),
+                'X' => ops.push(b'X'),
+                'Y' => ops.push(b'Y'),
+                'Z' => ops.push(b'Z'),
+                _ => {
+                    return Err(SimError::InvalidNoiseParameter {
+                        name: "pauli character",
+                        value: f64::NAN,
+                    })
+                }
+            }
+        }
+        Ok(Self { ops })
+    }
+
+    /// Number of qubits the string covers.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the string is empty (never true for parsed strings).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The string's dense matrix (tensor product of the Pauli factors).
+    pub fn matrix(&self) -> CMatrix {
+        let mut m = CMatrix::identity(1);
+        for &op in &self.ops {
+            let factor = match op {
+                b'X' => CMatrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]),
+                b'Y' => CMatrix::new(
+                    2,
+                    2,
+                    vec![
+                        C64::zero(),
+                        C64::new(0.0, -1.0),
+                        C64::new(0.0, 1.0),
+                        C64::zero(),
+                    ],
+                ),
+                b'Z' => CMatrix::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0]),
+                _ => CMatrix::identity(2),
+            };
+            m = m.kron(&factor);
+        }
+        m
+    }
+
+    /// Expectation value `⟨ψ|P|ψ⟩` on a pure state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Math`] on dimension mismatch.
+    pub fn expectation(&self, psi: &CVector) -> Result<f64, SimError> {
+        let applied = self.matrix().mul_vec(psi);
+        Ok(psi.inner(&applied)?.re)
+    }
+
+    /// Expectation value `tr(ρP)` on a density matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Math`] on dimension mismatch.
+    pub fn expectation_rho(&self, rho: &CMatrix) -> Result<f64, SimError> {
+        Ok(rho.mul(&self.matrix())?.trace()?.re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-9;
+
+    fn bell() -> CVector {
+        let s = 0.5f64.sqrt();
+        CVector::from_real(&[s, 0.0, 0.0, s])
+    }
+
+    #[test]
+    fn pure_fidelity_basics() {
+        let zero = CVector::basis_state(2, 0);
+        let one = CVector::basis_state(2, 1);
+        assert!((pure_fidelity(&zero, &zero).unwrap() - 1.0).abs() < TOL);
+        assert!(pure_fidelity(&zero, &one).unwrap() < TOL);
+    }
+
+    #[test]
+    fn state_fidelity_with_mixture() {
+        let zero = CVector::basis_state(2, 0);
+        let rho = CMatrix::from_real(2, 2, &[0.75, 0.0, 0.0, 0.25]);
+        assert!((state_fidelity(&zero, &rho).unwrap() - 0.75).abs() < TOL);
+    }
+
+    #[test]
+    fn mixed_fidelity_matches_pure_case() {
+        let a = bell();
+        let b = CVector::from_real(&[0.6, 0.0, 0.0, 0.8]);
+        let fa = pure_fidelity(&a, &b).unwrap();
+        let fm = mixed_fidelity(&CMatrix::outer(&a, &a), &CMatrix::outer(&b, &b)).unwrap();
+        assert!((fa - fm).abs() < 1e-7, "{fa} vs {fm}");
+    }
+
+    #[test]
+    fn mixed_fidelity_identical_states_is_one() {
+        let rho = CMatrix::from_real(2, 2, &[0.7, 0.1, 0.1, 0.3]);
+        assert!((mixed_fidelity(&rho, &rho).unwrap() - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn mixed_fidelity_rejects_mismatch() {
+        let a = CMatrix::identity(2).scale(C64::from(0.5));
+        let b = CMatrix::identity(4).scale(C64::from(0.25));
+        assert!(mixed_fidelity(&a, &b).is_err());
+    }
+
+    #[test]
+    fn trace_distance_bounds() {
+        let zero = CVector::basis_state(2, 0);
+        let one = CVector::basis_state(2, 1);
+        let r0 = CMatrix::outer(&zero, &zero);
+        let r1 = CMatrix::outer(&one, &one);
+        assert!((trace_distance(&r0, &r1).unwrap() - 1.0).abs() < TOL);
+        assert!(trace_distance(&r0, &r0).unwrap() < TOL);
+        // Maximally mixed vs pure: ½.
+        let mixed = CMatrix::identity(2).scale(C64::from(0.5));
+        assert!((trace_distance(&r0, &mixed).unwrap() - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn pauli_parsing_and_matrices() {
+        let p = PauliString::parse("xz").unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        let m = p.matrix();
+        assert!(m.is_unitary(TOL));
+        assert!(m.is_hermitian(TOL));
+        assert!(PauliString::parse("").is_err());
+        assert!(PauliString::parse("XQ").is_err());
+    }
+
+    #[test]
+    fn bell_stabilizers() {
+        // Bell state stabilized by XX and ZZ, anti-stabilized by none.
+        let b = bell();
+        assert!((PauliString::parse("XX").unwrap().expectation(&b).unwrap() - 1.0).abs() < TOL);
+        assert!((PauliString::parse("ZZ").unwrap().expectation(&b).unwrap() - 1.0).abs() < TOL);
+        assert!(
+            (PauliString::parse("YY").unwrap().expectation(&b).unwrap() + 1.0).abs() < TOL
+        );
+        assert!(PauliString::parse("ZI").unwrap().expectation(&b).unwrap().abs() < TOL);
+    }
+
+    #[test]
+    fn expectation_on_density_matrix() {
+        let b = bell();
+        let rho = CMatrix::outer(&b, &b);
+        let xx = PauliString::parse("XX").unwrap();
+        assert!((xx.expectation_rho(&rho).unwrap() - 1.0).abs() < TOL);
+        // Dephased Bell loses XX coherence but keeps ZZ.
+        let dephased = CMatrix::from_fn(4, 4, |r, c| {
+            if r == c {
+                rho.get(r, c)
+            } else {
+                C64::zero()
+            }
+        });
+        assert!(xx.expectation_rho(&dephased).unwrap().abs() < TOL);
+        let zz = PauliString::parse("ZZ").unwrap();
+        assert!((zz.expectation_rho(&dephased).unwrap() - 1.0).abs() < TOL);
+    }
+}

@@ -1,0 +1,354 @@
+//! Noise-free state-vector simulation with shot sampling.
+
+use crate::{Counts, SimError};
+use qra_circuit::circuit::apply_gate_inplace;
+use qra_circuit::{Circuit, Operation};
+use qra_math::{C64, CVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum supported width (2²⁴ amplitudes ≈ 256 MiB).
+const MAX_QUBITS: usize = 24;
+
+/// An exact state-vector simulator supporting mid-circuit measurement and
+/// reset via per-shot collapse, the Rust counterpart of the paper's Qiskit
+/// Aer "qasm simulator".
+///
+/// ```rust
+/// use qra_circuit::Circuit;
+/// use qra_sim::StatevectorSimulator;
+///
+/// let mut c = Circuit::new(1);
+/// c.h(0);
+/// c.measure_all();
+/// let counts = StatevectorSimulator::with_seed(1).run(&c, 4096)?;
+/// assert!((counts.frequency("0") - 0.5).abs() < 0.05);
+/// # Ok::<(), qra_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct StatevectorSimulator {
+    rng: StdRng,
+}
+
+impl Default for StatevectorSimulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatevectorSimulator {
+    /// Creates a simulator seeded from the OS entropy source.
+    pub fn new() -> Self {
+        Self {
+            rng: StdRng::from_entropy(),
+        }
+    }
+
+    /// Creates a simulator with a fixed seed (reproducible sampling).
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Evolves `|0…0⟩` through the circuit's unitary part and returns the
+    /// final state.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::TooManyQubits`] beyond 24 qubits;
+    /// * [`SimError::Circuit`] when the circuit contains measurements or
+    ///   resets (use [`StatevectorSimulator::run`] for those).
+    pub fn evolve(&self, circuit: &Circuit) -> Result<CVector, SimError> {
+        check_width(circuit)?;
+        Ok(circuit.statevector()?)
+    }
+
+    /// Runs the circuit for `shots` shots and histograms the classical
+    /// outcomes.
+    ///
+    /// When every measurement is terminal (no gate touches a measured qubit
+    /// afterwards), the final distribution is sampled directly; otherwise
+    /// each shot replays the circuit with per-measurement collapse.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::TooManyQubits`] beyond 24 qubits;
+    /// * [`SimError::Circuit`] for invalid circuits.
+    pub fn run(&mut self, circuit: &Circuit, shots: u64) -> Result<Counts, SimError> {
+        check_width(circuit)?;
+        if measurements_are_terminal(circuit) {
+            self.run_terminal(circuit, shots)
+        } else {
+            self.run_per_shot(circuit, shots)
+        }
+    }
+
+    fn run_terminal(&mut self, circuit: &Circuit, shots: u64) -> Result<Counts, SimError> {
+        let n = circuit.num_qubits();
+        let dim = 1usize << n;
+        let mut state = CVector::basis_state(dim, 0);
+        let mut measures: Vec<(usize, usize)> = Vec::new();
+        for inst in circuit.instructions() {
+            match &inst.operation {
+                Operation::Gate(g) => {
+                    apply_gate_inplace(&mut state, &g.matrix(), &inst.qubits, n);
+                }
+                Operation::Barrier => {}
+                Operation::Measure => measures.push((inst.qubits[0], inst.clbits[0])),
+                Operation::Reset => {
+                    // Terminal-measurement fast path never sees resets
+                    // (they are "gates touching qubits"), handled per-shot.
+                    unreachable!("reset routed to per-shot path");
+                }
+            }
+        }
+        let probs = state.probabilities();
+        let mut counts = Counts::new(circuit.num_clbits());
+        for _ in 0..shots {
+            let outcome = sample_index(&probs, &mut self.rng);
+            let mut key = 0u64;
+            for &(q, c) in &measures {
+                if (outcome >> (n - 1 - q)) & 1 == 1 {
+                    key |= 1 << c;
+                }
+            }
+            counts.record(key, 1);
+        }
+        Ok(counts)
+    }
+
+    fn run_per_shot(&mut self, circuit: &Circuit, shots: u64) -> Result<Counts, SimError> {
+        let n = circuit.num_qubits();
+        let dim = 1usize << n;
+        let mut counts = Counts::new(circuit.num_clbits());
+        for _ in 0..shots {
+            let mut state = CVector::basis_state(dim, 0);
+            let mut key = 0u64;
+            for inst in circuit.instructions() {
+                match &inst.operation {
+                    Operation::Gate(g) => {
+                        apply_gate_inplace(&mut state, &g.matrix(), &inst.qubits, n);
+                    }
+                    Operation::Barrier => {}
+                    Operation::Measure => {
+                        let q = inst.qubits[0];
+                        let c = inst.clbits[0];
+                        let bit = collapse(&mut state, q, n, &mut self.rng)?;
+                        if bit == 1 {
+                            key |= 1 << c;
+                        } else {
+                            key &= !(1 << c);
+                        }
+                    }
+                    Operation::Reset => {
+                        let q = inst.qubits[0];
+                        let bit = collapse(&mut state, q, n, &mut self.rng)?;
+                        if bit == 1 {
+                            apply_gate_inplace(
+                                &mut state,
+                                &qra_circuit::Gate::X.matrix(),
+                                &[q],
+                                n,
+                            );
+                        }
+                    }
+                }
+            }
+            counts.record(key, 1);
+        }
+        Ok(counts)
+    }
+}
+
+fn check_width(circuit: &Circuit) -> Result<(), SimError> {
+    if circuit.num_qubits() > MAX_QUBITS {
+        return Err(SimError::TooManyQubits {
+            num_qubits: circuit.num_qubits(),
+            max: MAX_QUBITS,
+        });
+    }
+    if circuit.num_clbits() > 64 {
+        return Err(SimError::TooManyClbits {
+            num_clbits: circuit.num_clbits(),
+            max: 64,
+        });
+    }
+    Ok(())
+}
+
+/// Returns `true` when no gate or reset acts on any qubit after it has been
+/// measured (so sampling the final distribution once is exact).
+fn measurements_are_terminal(circuit: &Circuit) -> bool {
+    let mut measured: Vec<usize> = Vec::new();
+    for inst in circuit.instructions() {
+        match &inst.operation {
+            Operation::Measure => {
+                if measured.contains(&inst.qubits[0]) {
+                    return false; // double measurement needs collapse order
+                }
+                measured.push(inst.qubits[0]);
+            }
+            Operation::Reset => return false,
+            Operation::Gate(_) => {
+                if inst.qubits.iter().any(|q| measured.contains(q)) {
+                    return false;
+                }
+            }
+            Operation::Barrier => {}
+        }
+    }
+    true
+}
+
+/// Samples an index from an (unnormalised-tolerant) probability table.
+fn sample_index(probs: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = probs.iter().sum();
+    let mut r = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    for (i, &p) in probs.iter().enumerate() {
+        if r < p {
+            return i;
+        }
+        r -= p;
+    }
+    probs.len() - 1
+}
+
+/// Projectively measures `qubit`, collapsing the state; returns the bit.
+fn collapse(state: &mut CVector, qubit: usize, n: usize, rng: &mut StdRng) -> Result<u8, SimError> {
+    let mask = 1usize << (n - 1 - qubit);
+    let mut p1 = 0.0;
+    for (i, amp) in state.iter().enumerate() {
+        if i & mask != 0 {
+            p1 += amp.norm_sqr();
+        }
+    }
+    if !(0.0..=1.0 + 1e-9).contains(&p1) {
+        return Err(SimError::InvalidProbability { value: p1 });
+    }
+    let outcome = if rng.gen_range(0.0..1.0) < p1 { 1u8 } else { 0 };
+    let keep_one = outcome == 1;
+    let norm = if keep_one { p1.sqrt() } else { (1.0 - p1).sqrt() };
+    let scale = C64::from(1.0 / norm.max(f64::MIN_POSITIVE));
+    for i in 0..state.len() {
+        let is_one = i & mask != 0;
+        if is_one == keep_one {
+            state[i] = state[i] * scale;
+        } else {
+            state[i] = C64::zero();
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_counts_split_evenly() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c.measure_all();
+        let counts = StatevectorSimulator::with_seed(42).run(&c, 8192).unwrap();
+        assert!((counts.frequency("00") - 0.5).abs() < 0.03);
+        assert!((counts.frequency("11") - 0.5).abs() < 0.03);
+        assert_eq!(counts.count_str("01"), 0);
+        assert_eq!(counts.count_str("10"), 0);
+    }
+
+    #[test]
+    fn deterministic_outcome() {
+        let mut c = Circuit::new(2);
+        c.x(0);
+        c.measure_all();
+        let counts = StatevectorSimulator::with_seed(1).run(&c, 100).unwrap();
+        assert_eq!(counts.count_str("10"), 100);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.measure_all();
+        let a = StatevectorSimulator::with_seed(5).run(&c, 1000).unwrap();
+        let b = StatevectorSimulator::with_seed(5).run(&c, 1000).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mid_circuit_measurement_collapses() {
+        // Measure |+⟩, then apply H again: outcomes of second measurement
+        // must be 50/50 regardless of the first (collapse happened).
+        let mut c = Circuit::with_clbits(1, 2);
+        c.h(0);
+        c.measure(0, 0).unwrap();
+        c.h(0);
+        c.measure(0, 1).unwrap();
+        let counts = StatevectorSimulator::with_seed(9).run(&c, 4000).unwrap();
+        // All four outcomes appear.
+        for bits in ["00", "01", "10", "11"] {
+            assert!(counts.frequency(bits) > 0.15, "missing outcome {bits}");
+        }
+    }
+
+    #[test]
+    fn repeated_measurement_is_consistent() {
+        // Measuring the same qubit twice must agree shot-by-shot.
+        let mut c = Circuit::with_clbits(1, 2);
+        c.h(0);
+        c.measure(0, 0).unwrap();
+        c.measure(0, 1).unwrap();
+        let counts = StatevectorSimulator::with_seed(2).run(&c, 2000).unwrap();
+        assert_eq!(counts.count_str("01"), 0);
+        assert_eq!(counts.count_str("10"), 0);
+        assert!(counts.count_str("00") > 0);
+        assert!(counts.count_str("11") > 0);
+    }
+
+    #[test]
+    fn reset_returns_qubit_to_zero() {
+        let mut c = Circuit::with_clbits(1, 1);
+        c.h(0);
+        c.reset(0).unwrap();
+        c.measure(0, 0).unwrap();
+        let counts = StatevectorSimulator::with_seed(3).run(&c, 500).unwrap();
+        assert_eq!(counts.count_str("0"), 500);
+    }
+
+    #[test]
+    fn ghz_distribution() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        c.measure_all();
+        let counts = StatevectorSimulator::with_seed(10).run(&c, 8192).unwrap();
+        assert!((counts.frequency("000") - 0.5).abs() < 0.03);
+        assert!((counts.frequency("111") - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn evolve_rejects_measurement() {
+        let mut c = Circuit::with_clbits(1, 1);
+        c.measure(0, 0).unwrap();
+        assert!(StatevectorSimulator::new().evolve(&c).is_err());
+    }
+
+    #[test]
+    fn too_wide_circuit_rejected() {
+        let c = Circuit::new(25);
+        assert!(matches!(
+            StatevectorSimulator::new().evolve(&c),
+            Err(SimError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_measurement_marginalizes() {
+        // Bell pair, measure only qubit 0.
+        let mut c = Circuit::with_clbits(2, 1);
+        c.h(0).cx(0, 1);
+        c.measure(0, 0).unwrap();
+        let counts = StatevectorSimulator::with_seed(8).run(&c, 4000).unwrap();
+        assert!((counts.frequency("0") - 0.5).abs() < 0.05);
+    }
+}

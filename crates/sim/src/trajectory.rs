@@ -1,0 +1,383 @@
+//! Monte-Carlo (quantum trajectory) noisy simulation.
+//!
+//! The density-matrix back-end is exact but scales as `4ⁿ`; the trajectory
+//! simulator instead samples one Kraus operator per channel application on
+//! a state vector (`2ⁿ`), trading exactness for width. Averaged over
+//! shots, trajectories converge to the density-matrix distribution —
+//! `tests/integration_noise.rs` and the module tests verify the agreement.
+
+use crate::noise::{KrausChannel, NoiseModel};
+use crate::{Counts, SimError};
+use qra_circuit::circuit::apply_gate_inplace;
+use qra_circuit::{Circuit, Operation};
+use qra_math::{C64, CVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum supported width.
+const MAX_QUBITS: usize = 20;
+
+/// A shot-by-shot noisy simulator using quantum trajectories.
+///
+/// ```rust
+/// use qra_circuit::Circuit;
+/// use qra_sim::{DevicePreset, TrajectorySimulator};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// bell.measure_all();
+/// let mut sim = TrajectorySimulator::new(DevicePreset::melbourne_like(), 5);
+/// let counts = sim.run(&bell, 2048)?;
+/// // Noise leaks some probability into the odd-parity outcomes.
+/// assert!(counts.frequency("01") + counts.frequency("10") > 0.0);
+/// # Ok::<(), qra_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct TrajectorySimulator {
+    noise: NoiseModel,
+    rng: StdRng,
+    scratch: Vec<C64>,
+}
+
+impl TrajectorySimulator {
+    /// Creates a trajectory simulator with the given noise model and seed.
+    pub fn new(noise: NoiseModel, seed: u64) -> Self {
+        Self {
+            noise,
+            rng: StdRng::seed_from_u64(seed),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The configured noise model.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Runs `shots` independent noisy trajectories and histograms the
+    /// classical outcomes.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::TooManyQubits`] beyond 20 qubits;
+    /// * [`SimError::InvalidNoiseParameter`] for a bad model;
+    /// * [`SimError::Circuit`] for invalid circuits.
+    pub fn run(&mut self, circuit: &Circuit, shots: u64) -> Result<Counts, SimError> {
+        self.noise.validate()?;
+        let n = circuit.num_qubits();
+        if n > MAX_QUBITS {
+            return Err(SimError::TooManyQubits {
+                num_qubits: n,
+                max: MAX_QUBITS,
+            });
+        }
+        if circuit.num_clbits() > 64 {
+            return Err(SimError::TooManyClbits {
+                num_clbits: circuit.num_clbits(),
+                max: 64,
+            });
+        }
+        let depol1 = PreparedChannel::build(self.noise.depol_1q, KrausChannel::depolarizing_1q)?;
+        let depol2 = PreparedChannel::build(self.noise.depol_2q, KrausChannel::depolarizing_2q)?;
+        let damp1 =
+            PreparedChannel::build(self.noise.damping_1q, KrausChannel::amplitude_damping)?;
+        let damp2 =
+            PreparedChannel::build(self.noise.damping_2q, KrausChannel::amplitude_damping)?;
+        let deph = PreparedChannel::build(self.noise.dephasing, KrausChannel::phase_damping)?;
+
+        let dim = 1usize << n;
+        let mut counts = Counts::new(circuit.num_clbits());
+        for _ in 0..shots {
+            let mut state = CVector::basis_state(dim, 0);
+            let mut key = 0u64;
+            for inst in circuit.instructions() {
+                match &inst.operation {
+                    Operation::Barrier => {}
+                    Operation::Gate(g) => {
+                        apply_gate_inplace(&mut state, &g.matrix(), &inst.qubits, n);
+                        if inst.qubits.len() == 1 {
+                            self.apply_channel(&mut state, &depol1, &inst.qubits, n)?;
+                            self.apply_channel(&mut state, &damp1, &inst.qubits, n)?;
+                            self.apply_channel(&mut state, &deph, &inst.qubits, n)?;
+                        } else {
+                            for pair in inst.qubits.windows(2) {
+                                self.apply_channel(&mut state, &depol2, pair, n)?;
+                            }
+                            for &q in &inst.qubits {
+                                self.apply_channel(&mut state, &damp2, &[q], n)?;
+                                self.apply_channel(&mut state, &deph, &[q], n)?;
+                            }
+                        }
+                    }
+                    Operation::Measure => {
+                        let q = inst.qubits[0];
+                        let c = inst.clbits[0];
+                        let mut bit = self.collapse(&mut state, q, n)?;
+                        // Readout confusion.
+                        let flip = if bit == 1 {
+                            self.noise.readout_p10
+                        } else {
+                            self.noise.readout_p01
+                        };
+                        if flip > 0.0 && self.rng.gen_range(0.0..1.0) < flip {
+                            bit ^= 1;
+                        }
+                        if bit == 1 {
+                            key |= 1 << c;
+                        } else {
+                            key &= !(1 << c);
+                        }
+                    }
+                    Operation::Reset => {
+                        let q = inst.qubits[0];
+                        let bit = self.collapse(&mut state, q, n)?;
+                        if bit == 1 {
+                            apply_gate_inplace(
+                                &mut state,
+                                &qra_circuit::Gate::X.matrix(),
+                                &[q],
+                                n,
+                            );
+                        }
+                    }
+                }
+            }
+            counts.record(key, 1);
+        }
+        Ok(counts)
+    }
+
+    /// Samples one Kraus branch and applies it (renormalised).
+    ///
+    /// Scaled-unitary channels (depolarizing) use state-independent
+    /// weights: one draw, one in-place application, no clones. Damping
+    /// channels fall back to trial applications.
+    fn apply_channel(
+        &mut self,
+        state: &mut CVector,
+        channel: &Option<PreparedChannel>,
+        qubits: &[usize],
+        n: usize,
+    ) -> Result<(), SimError> {
+        let Some(prep) = channel else { return Ok(()) };
+        let ops = prep.channel.operators();
+        if let Some(weights) = &prep.unitary_weights {
+            let mut r = self.rng.gen_range(0.0..1.0);
+            let mut chosen = ops.len() - 1;
+            for (i, &w) in weights.iter().enumerate() {
+                if r < w {
+                    chosen = i;
+                    break;
+                }
+                r -= w;
+            }
+            apply_gate_inplace(state, &ops[chosen], qubits, n);
+            // Undo the √w scaling to keep unit norm.
+            let w = weights[chosen];
+            if (w - 1.0).abs() > 1e-15 {
+                let inv = C64::from(1.0 / w.sqrt());
+                for amp in state.as_mut_slice() {
+                    *amp = *amp * inv;
+                }
+            }
+            return Ok(());
+        }
+        // State-dependent branch probabilities p_i = ‖K_i ψ‖²; a reusable
+        // scratch buffer holds the trial application (no per-trial allocs).
+        let mut r = self.rng.gen_range(0.0..1.0);
+        let dim = state.len();
+        if self.scratch.len() != dim {
+            self.scratch = vec![C64::zero(); dim];
+        }
+        for (i, k) in ops.iter().enumerate() {
+            self.scratch.copy_from_slice(state.as_slice());
+            let mut candidate = CVector::new(std::mem::take(&mut self.scratch));
+            apply_gate_inplace(&mut candidate, k, qubits, n);
+            let norm = candidate.norm();
+            let p = norm * norm;
+            if r < p || i == ops.len() - 1 {
+                if norm < 1e-12 {
+                    // Numerically dead branch; keep the state unchanged.
+                    self.scratch = candidate.into_inner();
+                    return Ok(());
+                }
+                let inv = C64::from(1.0 / norm);
+                for amp in candidate.as_mut_slice() {
+                    *amp = *amp * inv;
+                }
+                self.scratch = std::mem::replace(state, candidate).into_inner();
+                return Ok(());
+            }
+            r -= p;
+            self.scratch = candidate.into_inner();
+        }
+        Ok(())
+    }
+
+    fn collapse(&mut self, state: &mut CVector, qubit: usize, n: usize) -> Result<u8, SimError> {
+        let mask = 1usize << (n - 1 - qubit);
+        let mut p1 = 0.0;
+        for (i, amp) in state.iter().enumerate() {
+            if i & mask != 0 {
+                p1 += amp.norm_sqr();
+            }
+        }
+        if !(0.0..=1.0 + 1e-9).contains(&p1) {
+            return Err(SimError::InvalidProbability { value: p1 });
+        }
+        let outcome = if self.rng.gen_range(0.0..1.0) < p1 { 1u8 } else { 0 };
+        let keep_one = outcome == 1;
+        let norm = if keep_one { p1.sqrt() } else { (1.0 - p1).sqrt() };
+        let scale = C64::from(1.0 / norm.max(f64::MIN_POSITIVE));
+        for i in 0..state.len() {
+            let is_one = i & mask != 0;
+            if is_one == keep_one {
+                state[i] = state[i] * scale;
+            } else {
+                state[i] = C64::zero();
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+type ChannelCtor = fn(f64) -> Result<KrausChannel, SimError>;
+
+/// A channel with its precomputed sampling strategy.
+#[derive(Debug)]
+struct PreparedChannel {
+    channel: KrausChannel,
+    /// `Some` for scaled-unitary channels (state-independent weights).
+    unitary_weights: Option<Vec<f64>>,
+}
+
+impl PreparedChannel {
+    fn build(p: f64, ctor: ChannelCtor) -> Result<Option<Self>, SimError> {
+        if p <= 0.0 {
+            return Ok(None);
+        }
+        let channel = ctor(p)?;
+        let unitary_weights = channel.scaled_unitary_weights();
+        Ok(Some(Self {
+            channel,
+            unitary_weights,
+        }))
+    }
+}
+
+// `apply_gate_inplace` expects a unitary-shaped matrix but only performs the
+// linear application, so Kraus operators (non-unitary) work unchanged.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::DevicePreset;
+    use crate::DensityMatrixSimulator;
+
+    fn ghz_measured() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        c.measure_all();
+        c
+    }
+
+    #[test]
+    fn noiseless_trajectories_match_ideal() {
+        let mut sim = TrajectorySimulator::new(NoiseModel::ideal(), 3);
+        let counts = sim.run(&ghz_measured(), 4096).unwrap();
+        let p = counts.frequency("000") + counts.frequency("111");
+        assert!((p - 1.0).abs() < 1e-9, "ideal trajectories must be exact");
+    }
+
+    #[test]
+    fn trajectory_matches_density_distribution() {
+        // Compare total variation between trajectory histogram and the
+        // exact noisy distribution — must vanish within sampling error.
+        let circuit = ghz_measured();
+        let noise = DevicePreset::melbourne_like();
+        let exact = DensityMatrixSimulator::with_noise(noise.clone())
+            .outcome_distribution(&circuit)
+            .unwrap();
+        let shots = 20_000u64;
+        let mut sim = TrajectorySimulator::new(noise, 7);
+        let counts = sim.run(&circuit, shots).unwrap();
+        let mut tv = 0.0;
+        for (key, p_exact) in &exact {
+            let p_meas = counts.count(*key) as f64 / shots as f64;
+            tv += (p_exact - p_meas).abs();
+        }
+        tv /= 2.0;
+        assert!(tv < 0.02, "trajectory/density TV distance too large: {tv}");
+    }
+
+    #[test]
+    fn readout_error_applies() {
+        let mut noise = NoiseModel::ideal();
+        noise.readout_p10 = 0.3;
+        let mut c = Circuit::new(1);
+        c.x(0);
+        c.measure_all();
+        let mut sim = TrajectorySimulator::new(noise, 11);
+        let counts = sim.run(&c, 8192).unwrap();
+        let p0 = counts.frequency("0");
+        assert!((p0 - 0.3).abs() < 0.03, "p0 = {p0}");
+    }
+
+    #[test]
+    fn damping_relaxes_population() {
+        let mut noise = NoiseModel::ideal();
+        noise.damping_1q = 0.1;
+        let mut c = Circuit::new(1);
+        c.x(0);
+        for _ in 0..20 {
+            c.rz(0.0, 0);
+        }
+        c.measure_all();
+        let mut sim = TrajectorySimulator::new(noise, 13);
+        let counts = sim.run(&c, 4096).unwrap();
+        assert!(
+            counts.frequency("1") < 0.3,
+            "20 damping slots must relax |1⟩: p1 = {}",
+            counts.frequency("1")
+        );
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let noise = DevicePreset::melbourne_like();
+        let a = TrajectorySimulator::new(noise.clone(), 5)
+            .run(&ghz_measured(), 512)
+            .unwrap();
+        let b = TrajectorySimulator::new(noise, 5)
+            .run(&ghz_measured(), 512)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_invalid_noise_and_width() {
+        let mut bad = NoiseModel::ideal();
+        bad.depol_1q = 2.0;
+        let mut c = Circuit::new(1);
+        c.h(0);
+        assert!(TrajectorySimulator::new(bad, 1).run(&c, 1).is_err());
+        let wide = Circuit::new(21);
+        assert!(TrajectorySimulator::new(NoiseModel::ideal(), 1)
+            .run(&wide, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn scales_past_density_limit() {
+        // 12 qubits is far beyond the density simulator's 10-qubit cap.
+        let mut c = Circuit::new(12);
+        c.h(0);
+        for q in 0..11 {
+            c.cx(q, q + 1);
+        }
+        c.measure_all();
+        let mut sim = TrajectorySimulator::new(DevicePreset::LowNoise.noise_model(), 9);
+        let counts = sim.run(&c, 64).unwrap();
+        assert_eq!(counts.total(), 64);
+    }
+}

@@ -1,0 +1,87 @@
+//! Automatic bug localisation with checkpoint instrumentation — the §VIII
+//! "assert after every instruction" workflow, applied to the Appendix-D
+//! controlled-adder bug.
+//!
+//! Given a reference implementation and a buggy one, `instrument_against`
+//! asserts the reference's expected state after every instruction of the
+//! buggy program; the first failing checkpoint brackets the faulty gates.
+//!
+//! Run with: `cargo run -p qra --example checkpoint_debugging`
+
+use qra::algorithms::adder::{add_const_fourier, AdderBug};
+use qra::algorithms::qft::append_qft;
+use qra::core::checkpoint::{instrument_against, CheckpointOptions, CheckpointPlacement};
+use qra::prelude::*;
+
+const WIDTH: usize = 3;
+
+fn build(bug: AdderBug) -> Circuit {
+    let mut c = Circuit::new(WIDTH + 2);
+    c.x(WIDTH).x(WIDTH + 1); // activate both controls
+    c.x(WIDTH - 2); // load b = 2
+    let data: Vec<usize> = (0..WIDTH).collect();
+    append_qft(&mut c, &data);
+    add_const_fourier(&mut c, &data, 3, &[WIDTH, WIDTH + 1], bug).unwrap();
+    c
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reference = build(AdderBug::None);
+    let buggy = build(AdderBug::WrongTargetInDoubleControl);
+    assert_eq!(reference.len(), buggy.len());
+    println!(
+        "program: double-controlled Fourier adder, {} instructions\n",
+        buggy.len()
+    );
+
+    // Bisect: the QFT prologue is shared library code, so checkpoint only
+    // the adder region (every instruction after the QFT) using a shared
+    // ancilla pool — the classical flag budget stays within the 64-bit
+    // outcome keys.
+    let qft_end = 3 + (WIDTH * (WIDTH + 1)) / 2 + WIDTH / 2; // x,x,x + QFT gates
+    let region: Vec<usize> = (qft_end..buggy.len()).collect();
+    let instrumented = instrument_against(
+        &buggy,
+        &reference,
+        &CheckpointOptions {
+            design: Design::Swap,
+            placement: CheckpointPlacement::AfterInstructions(region),
+            // Assert only the data register (the controls are classically
+            // |11⟩ throughout) — 3 flag bits per checkpoint.
+            qubits: Some((0..WIDTH).collect()),
+            reuse_ancillas: true,
+        },
+    )?;
+    let counts = StatevectorSimulator::with_seed(5).run(&instrumented.circuit, 256)?;
+    let report = AssertionReport::from_counts(&counts, &instrumented.handles);
+
+    for (i, (&pos, rate)) in instrumented
+        .positions
+        .iter()
+        .zip(report.per_assertion_error_rates())
+        .enumerate()
+    {
+        let gate = format!("{}", buggy.instructions()[pos]);
+        let marker = if *rate > 0.01 { "FAIL" } else { "pass" };
+        println!("checkpoint {i:2} after #{pos:2} {gate:32} rate {rate:.3} {marker}");
+    }
+    match report.first_failing(0.01) {
+        Some(k) => {
+            let pos = instrumented.positions[k];
+            println!(
+                "\n→ first failure at checkpoint {k}: the bug sits at instruction #{pos} \
+                 ({}).",
+                buggy.instructions()[pos]
+            );
+        }
+        None => println!("\n→ no failures: the program matches the reference."),
+    }
+    println!(
+        "\nNote the SWAP design's state-correction property (§IV-E): every\n\
+         passing checkpoint swaps a fresh copy of the reference state onto\n\
+         the data qubits, so divergence RESETS after each flagged gate —\n\
+         each FAIL above marks one faulty instruction independently, and\n\
+         later checkpoints stay clean until the next wrong gate fires."
+    );
+    Ok(())
+}

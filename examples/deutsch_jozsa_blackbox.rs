@@ -1,0 +1,60 @@
+//! Debugging a black-box function with approximate assertions — §X.
+//!
+//! The programmer cannot predict a black-box oracle's output, so no
+//! precise assertion applies. The approximate assertion instead checks
+//! membership of the joint state |x⟩|f(x)⟩ in the *constant* set, the
+//! *balanced* set, or their union; a buggy oracle that is neither raises
+//! assertion errors.
+//!
+//! Run with: `cargo run -p qra --example deutsch_jozsa_blackbox`
+
+use qra::algorithms::deutsch_jozsa::{
+    balanced_output_set, constant_output_set, probe_circuit, Oracle,
+};
+use qra::prelude::*;
+
+fn check_membership(
+    oracle: &Oracle,
+    set: Vec<CVector>,
+    label: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let n = 2;
+    let mut circuit = probe_circuit(oracle, n)?;
+    let qubits: Vec<usize> = (0..=n).collect();
+    let handle = insert_assertion(&mut circuit, &qubits, &StateSpec::set(set)?, Design::Auto)?;
+    let counts = StatevectorSimulator::with_seed(5).run(&circuit, 8192)?;
+    println!(
+        "  vs {label:18} error rate {:.3}  [{}: {}]",
+        handle.error_rate(&counts),
+        handle.design,
+        handle.counts
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let oracles: [(&str, Oracle); 4] = [
+        ("constant-0", Oracle::ConstantZero),
+        ("constant-1", Oracle::ConstantOne),
+        ("balanced x·11", Oracle::BalancedLinear { mask: 0b11 }),
+        ("BUGGY (x₀∧x₁)", Oracle::buggy_and()),
+    ];
+
+    for (name, oracle) in &oracles {
+        println!("oracle {name}:");
+        check_membership(oracle, constant_output_set(2), "constant set")?;
+        check_membership(oracle, balanced_output_set(2), "balanced set")?;
+        let mut both = constant_output_set(2);
+        both.extend(balanced_output_set(2));
+        check_membership(oracle, both, "constant ∪ balanced")?;
+        println!();
+    }
+
+    println!("Reading: the buggy oracle leaks probability out of the constant");
+    println!("and balanced sets — a bug no precise assertion could express");
+    println!("(§X). The error rate stays below 1 because the buggy state is");
+    println!("not orthogonal to the sets (Fig. 17's partial histogram), and");
+    println!("the union set's span is wide enough to contain the buggy state");
+    println!("entirely — a Bloom-filter-style false negative by construction.");
+    Ok(())
+}

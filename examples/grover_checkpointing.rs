@@ -1,0 +1,89 @@
+//! Checkpointing Grover search with runtime assertions.
+//!
+//! The state after each Grover iteration is exactly known (a rotation in
+//! the span of the marked state and the uniform rest), so precise
+//! assertions can checkpoint every iteration; an approximate assertion can
+//! instead check membership in that 2-dimensional span — robust to
+//! iteration-count mistakes while still catching oracle bugs.
+//!
+//! Run with: `cargo run -p qra --example grover_checkpointing`
+
+use qra::algorithms::grover::{append_diffusion, append_oracle, expected_state, grover, optimal_iterations};
+use qra::prelude::*;
+
+const N: usize = 3;
+const TARGET: usize = 0b101;
+
+fn uniform_rest() -> CVector {
+    let dim = 1usize << N;
+    let amp = 1.0 / ((dim - 1) as f64).sqrt();
+    let mut v = CVector::zeros(dim);
+    for i in 0..dim {
+        if i != TARGET {
+            v[i] = C64::from(amp);
+        }
+    }
+    v
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let iters = optimal_iterations(N);
+    println!("Grover over {N} qubits, target |{TARGET:03b}⟩, {iters} iterations\n");
+
+    // --- Precise checkpoints after each iteration -------------------------
+    println!("== precise checkpoints (SWAP design) ==");
+    for k in 1..=iters {
+        let mut circuit = grover(N, TARGET, k)?;
+        let spec = StateSpec::pure(expected_state(N, TARGET, k))?;
+        let qubits: Vec<usize> = (0..N).collect();
+        let handle = insert_assertion(&mut circuit, &qubits, &spec, Design::Swap)?;
+        let counts = StatevectorSimulator::with_seed(3).run(&circuit, 2048)?;
+        println!(
+            "  after iteration {k}: error rate {:.3} [{}]",
+            handle.error_rate(&counts),
+            handle.counts
+        );
+    }
+
+    // --- Approximate span assertion: iteration-count independent ----------
+    println!("\n== approximate span assertion {{|target⟩, |rest⟩}} ==");
+    let span = StateSpec::set(vec![CVector::basis_state(1 << N, TARGET), uniform_rest()])?;
+    for k in 0..=iters + 1 {
+        let mut circuit = grover(N, TARGET, k)?;
+        let qubits: Vec<usize> = (0..N).collect();
+        let handle = insert_assertion(&mut circuit, &qubits, &span, Design::Auto)?;
+        let counts = StatevectorSimulator::with_seed(4).run(&circuit, 2048)?;
+        println!(
+            "  after iteration {k}: error rate {:.3} (any k passes — span membership)",
+            handle.error_rate(&counts)
+        );
+    }
+
+    // --- Buggy oracle: marks the wrong state -------------------------------
+    println!("\n== buggy oracle (marks |011⟩ instead) ==");
+    let mut buggy = Circuit::new(N);
+    for q in 0..N {
+        buggy.h(q);
+    }
+    append_oracle(&mut buggy, N, 0b011)?;
+    append_diffusion(&mut buggy, N)?;
+    let qubits: Vec<usize> = (0..N).collect();
+    let precise = StateSpec::pure(expected_state(N, TARGET, 1))?;
+    let h1 = insert_assertion(&mut buggy, &qubits, &precise, Design::Swap)?;
+    let counts = StatevectorSimulator::with_seed(5).run(&buggy, 2048)?;
+    println!("  precise checkpoint: error rate {:.3}", h1.error_rate(&counts));
+
+    let mut buggy2 = Circuit::new(N);
+    for q in 0..N {
+        buggy2.h(q);
+    }
+    append_oracle(&mut buggy2, N, 0b011)?;
+    append_diffusion(&mut buggy2, N)?;
+    let h2 = insert_assertion(&mut buggy2, &qubits, &span, Design::Auto)?;
+    let counts = StatevectorSimulator::with_seed(6).run(&buggy2, 2048)?;
+    println!(
+        "  span assertion:     error rate {:.3} (wrong state leaves the span)",
+        h2.error_rate(&counts)
+    );
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! Noisy-device assertion experiment — the paper's §IX-B, with the real
+//! ibmq-melbourne replaced by the melbourne-like density-matrix noise
+//! model (see DESIGN.md for the substitution rationale).
+//!
+//! Setup: QPE with `cu3(2^j·θ, 0, 0)` gates whose eigenstate register is
+//! the exact eigenstate `(|0⟩ + i|1⟩)/√2`; a single-qubit SWAP assertion
+//! checks that eigenstate at the final slot. Measures (a) the
+//! assertion-error rate without and with the paper's parameter-order bug
+//! — the gap is the bug signal above the noise floor — and (b) the
+//! success-rate improvement from filtering out shots that failed the
+//! assertion.
+//!
+//! Run with: `cargo run --release -p qra --example noisy_device_filtering`
+
+use qra::algorithms::qpe::{qpe, QpeBug, QpeConfig};
+use qra::prelude::*;
+
+/// θ = π/2 with 3 counting qubits: eigenvalue e^{−iθ/2} ⇒ phase 7/8,
+/// so the exact QPE answer is v = 7.
+fn config() -> QpeConfig {
+    QpeConfig {
+        counting: 3,
+        angle: std::f64::consts::FRAC_PI_2,
+        ..QpeConfig::paper_sec9b()
+    }
+}
+
+fn eigenstate() -> CVector {
+    // (|0⟩ + i|1⟩)/√2 — the +i eigenvector of Ry.
+    let s = 0.5f64.sqrt();
+    CVector::new(vec![C64::from(s), C64::new(0.0, s)])
+}
+
+fn run_case(bug: QpeBug, label: &str) -> Result<(f64, f64, f64), Box<dyn std::error::Error>> {
+    let cfg = config().with_bug(bug);
+    let mut circuit = qpe(&cfg);
+    let spec = StateSpec::pure(eigenstate())?;
+    let handle = insert_assertion(&mut circuit, &[cfg.eigen_qubit()], &spec, Design::Swap)?;
+
+    // Data measurement of the counting register.
+    let cl_base = circuit.num_clbits();
+    circuit.expand_clbits(cl_base + cfg.counting);
+    for q in 0..cfg.counting {
+        circuit.measure(q, cl_base + q)?;
+    }
+
+    let sim = DensityMatrixSimulator::with_noise(DevicePreset::melbourne_like());
+    let counts = sim.run(&circuit, 8192, 7)?;
+    let error_rate = handle.error_rate(&counts);
+
+    // Success = counting register reads the exact answer v = 7
+    // (counting qubit j carries bit 2^j of v).
+    let success = |c: &Counts| -> f64 {
+        let mut good = 0u64;
+        for (key, n) in c.iter() {
+            let v: u64 = (0..cfg.counting)
+                .map(|j| ((key >> (cl_base + j)) & 1) << j)
+                .sum();
+            if v == 7 {
+                good += n;
+            }
+        }
+        if c.total() == 0 {
+            0.0
+        } else {
+            good as f64 / c.total() as f64
+        }
+    };
+    let raw_success = success(&counts);
+    let (filtered, _kept) = handle.post_select(&counts);
+    let filtered_success = success(&filtered);
+    println!(
+        "{label:24} assertion errors {:5.1}%   success {:.1}% → {:.1}% after filtering",
+        error_rate * 100.0,
+        raw_success * 100.0,
+        filtered_success * 100.0
+    );
+    Ok((error_rate, raw_success, filtered_success))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (noise_floor, raw, filtered) = run_case(QpeBug::None, "no bug (noise only)")?;
+    let (bug_rate, _, _) = run_case(QpeBug::WrongParameterOrder, "with §IX-B bug")?;
+    println!();
+    println!(
+        "bug detection margin: {:.1}% above the {:.1}% noise floor",
+        (bug_rate - noise_floor) * 100.0,
+        noise_floor * 100.0
+    );
+    println!(
+        "filtering recovered {:+.1} percentage points of success rate",
+        (filtered - raw) * 100.0
+    );
+    println!("(cf. paper §IX-B: 36%→45% error rates, 19%→36% success rate)");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: insert a runtime assertion into a Bell-pair program and
+//! check that correct programs pass while a buggy one is flagged.
+//!
+//! Run with: `cargo run -p qra --example quickstart`
+
+use qra::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let shots = 8192;
+    let s = 0.5f64.sqrt();
+    let bell = CVector::from_real(&[s, 0.0, 0.0, s]);
+
+    // --- Correct program -------------------------------------------------
+    let mut program = Circuit::new(2);
+    program.h(0).cx(0, 1);
+    let handle = insert_assertion(
+        &mut program,
+        &[0, 1],
+        &StateSpec::pure(bell.clone())?,
+        Design::Auto,
+    )?;
+    println!(
+        "assertion design chosen: {} (cost: {})",
+        handle.design, handle.counts
+    );
+    let counts = StatevectorSimulator::with_seed(1).run(&program, shots)?;
+    println!(
+        "correct Bell program  → assertion error rate {:.4}",
+        handle.error_rate(&counts)
+    );
+
+    // --- Buggy program (H on the wrong qubit) ----------------------------
+    let mut buggy = Circuit::new(2);
+    buggy.h(1).cx(0, 1); // entangles nothing: CX control is |0⟩
+    let handle = insert_assertion(&mut buggy, &[0, 1], &StateSpec::pure(bell)?, Design::Auto)?;
+    let counts = StatevectorSimulator::with_seed(1).run(&buggy, shots)?;
+    println!(
+        "buggy Bell program    → assertion error rate {:.4}",
+        handle.error_rate(&counts)
+    );
+
+    // --- Approximate assertion: membership in a set ----------------------
+    let mut ghz = qra::algorithms::states::ghz(3);
+    let set = StateSpec::set(vec![
+        CVector::basis_state(8, 0),
+        CVector::basis_state(8, 7),
+    ])?;
+    let handle = insert_assertion(&mut ghz, &[0, 1, 2], &set, Design::Ndd)?;
+    let counts = StatevectorSimulator::with_seed(1).run(&ghz, shots)?;
+    println!(
+        "GHZ vs set {{|000⟩,|111⟩}} → error rate {:.4} (membership holds)",
+        handle.error_rate(&counts)
+    );
+    Ok(())
+}

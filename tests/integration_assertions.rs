@@ -1,0 +1,258 @@
+//! Cross-crate integration tests: full programs with inserted assertions
+//! running end-to-end through the state-vector simulator.
+
+use qra::algorithms::{deutsch_jozsa, qpe, states};
+use qra::prelude::*;
+
+fn run(circuit: &Circuit, seed: u64) -> Counts {
+    StatevectorSimulator::with_seed(seed)
+        .run(circuit, 4096)
+        .expect("simulation")
+}
+
+#[test]
+fn all_designs_pass_on_all_case_study_states() {
+    let cases: Vec<(Circuit, CVector)> = vec![
+        (states::bell(), states::bell_vector()),
+        (states::ghz(3), states::ghz_vector(3)),
+        (states::ghz(4), states::ghz_vector(4)),
+        (states::w_state(3), states::w_vector(3)),
+    ];
+    for (program, expected) in cases {
+        for design in [Design::Swap, Design::LogicalOr, Design::Ndd] {
+            let mut circuit = program.clone();
+            let qubits: Vec<usize> = (0..program.num_qubits()).collect();
+            let handle = insert_assertion(
+                &mut circuit,
+                &qubits,
+                &StateSpec::pure(expected.clone()).unwrap(),
+                design,
+            )
+            .unwrap();
+            let counts = run(&circuit, 1);
+            assert_eq!(
+                handle.error_rate(&counts),
+                0.0,
+                "{design} flagged a correct {}-qubit program",
+                program.num_qubits()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_design_detects_ghz_sign_bug() {
+    for design in [Design::Swap, Design::LogicalOr, Design::Ndd] {
+        let mut circuit = states::ghz_bug1(3);
+        let handle = insert_assertion(
+            &mut circuit,
+            &[0, 1, 2],
+            &StateSpec::pure(states::ghz_vector(3)).unwrap(),
+            design,
+        )
+        .unwrap();
+        let counts = run(&circuit, 2);
+        assert!(
+            handle.error_rate(&counts) > 0.4,
+            "{design} missed the GHZ sign bug"
+        );
+    }
+}
+
+#[test]
+fn qpe_slot_assertions_localize_bug1() {
+    // The paper's §IX-A1 localisation: Bug1 passes slots 1–2, fails 3+.
+    let clean = qpe::QpeConfig::paper_sec9a();
+    let buggy = clean.with_bug(qpe::QpeBug::MissingLoopIndex);
+    let mut rates = Vec::new();
+    for slot in 1..=5 {
+        let mut circuit = qpe::qpe_prefix(&buggy, slot);
+        let expected = qpe::expected_slot_state(&clean, slot);
+        let qubits: Vec<usize> = (0..clean.num_qubits()).collect();
+        let handle = insert_assertion(
+            &mut circuit,
+            &qubits,
+            &StateSpec::pure(expected).unwrap(),
+            Design::Swap,
+        )
+        .unwrap();
+        rates.push(handle.error_rate(&run(&circuit, 3)));
+    }
+    assert_eq!(rates[0], 0.0, "slot 1 must pass");
+    assert_eq!(rates[1], 0.0, "slot 2 must pass (2^0 angle unchanged)");
+    for (i, &r) in rates[2..].iter().enumerate() {
+        assert!(r > 0.01, "slot {} should fail, rate {r}", i + 3);
+    }
+}
+
+#[test]
+fn qpe_mixed_state_assertion_catches_bug1_but_not_bug2() {
+    // §IX-A2: the four-counting-qubit mixed state flags Bug1; under Bug2
+    // the counting register is still |++++⟩ — a "correct" basis state —
+    // so the mixed assertion stays silent.
+    let clean = qpe::QpeConfig::paper_sec9a();
+    let v5 = qpe::expected_slot_state(&clean, 5);
+    let rho = CMatrix::outer(&v5, &v5);
+    let counting_rho = rho.partial_trace(&[4]).unwrap();
+    let spec = StateSpec::mixed(counting_rho).unwrap();
+
+    let mut rates = Vec::new();
+    for bug in [
+        qpe::QpeBug::None,
+        qpe::QpeBug::MissingLoopIndex,
+        qpe::QpeBug::UncontrolledGate,
+    ] {
+        let mut circuit = qpe::qpe_prefix(&clean.with_bug(bug), 5);
+        let handle =
+            insert_assertion(&mut circuit, &[0, 1, 2, 3], &spec, Design::Ndd).unwrap();
+        rates.push(handle.error_rate(&run(&circuit, 4)));
+    }
+    assert_eq!(rates[0], 0.0, "clean program must pass");
+    assert!(rates[1] > 0.05, "mixed assertion must flag Bug1");
+    assert!(
+        rates[2] < 0.01,
+        "mixed assertion must NOT flag Bug2 (paper §IX-A2)"
+    );
+}
+
+#[test]
+fn deutsch_jozsa_constant_set_assertion() {
+    // §X: constant oracles pass the constant-set assertion; the buggy
+    // ¾-constant oracle fails part of the time (not orthogonal).
+    let set = StateSpec::set(deutsch_jozsa::constant_output_set(2)).unwrap();
+    let mut pass_rates = Vec::new();
+    for oracle in [
+        deutsch_jozsa::Oracle::ConstantZero,
+        deutsch_jozsa::Oracle::ConstantOne,
+        deutsch_jozsa::Oracle::buggy_and(),
+    ] {
+        let mut circuit = deutsch_jozsa::probe_circuit(&oracle, 2).unwrap();
+        let handle = insert_assertion(&mut circuit, &[0, 1, 2], &set, Design::Auto).unwrap();
+        pass_rates.push(handle.error_rate(&run(&circuit, 5)));
+    }
+    assert_eq!(pass_rates[0], 0.0);
+    assert_eq!(pass_rates[1], 0.0);
+    assert!(
+        pass_rates[2] > 0.1 && pass_rates[2] < 0.9,
+        "buggy oracle overlaps the set partially: rate {}",
+        pass_rates[2]
+    );
+}
+
+#[test]
+fn adder_assertion_catches_appendix_d_bug() {
+    use qra::algorithms::adder::{add_const_fourier, AdderBug};
+    use qra::algorithms::qft::append_qft;
+
+    // Build the double-controlled adder in Fourier space and assert the
+    // expected (clean) state right after the addition.
+    let width = 3;
+    let build = |bug: AdderBug| {
+        let mut c = Circuit::new(width + 2);
+        c.x(width).x(width + 1);
+        c.x(width - 1); // b = 1
+        let data: Vec<usize> = (0..width).collect();
+        append_qft(&mut c, &data);
+        add_const_fourier(&mut c, &data, 3, &[width, width + 1], bug).unwrap();
+        c
+    };
+    let expected = build(AdderBug::None).statevector().unwrap();
+    let spec = StateSpec::pure(expected).unwrap();
+    let qubits: Vec<usize> = (0..width + 2).collect();
+
+    let mut clean = build(AdderBug::None);
+    let h = insert_assertion(&mut clean, &qubits, &spec, Design::Swap).unwrap();
+    assert_eq!(h.error_rate(&run(&clean, 6)), 0.0);
+
+    let mut buggy = build(AdderBug::WrongTargetInDoubleControl);
+    let h = insert_assertion(&mut buggy, &qubits, &spec, Design::Swap).unwrap();
+    assert!(h.error_rate(&run(&buggy, 6)) > 0.05, "Appendix D bug missed");
+}
+
+#[test]
+fn teleportation_shared_pair_assertion() {
+    // Assert the Bell pair inside a teleportation circuit, then check the
+    // payload still arrives.
+    let mut circuit = Circuit::new(3);
+    circuit.ry(0.8, 0); // payload
+    circuit.h(1).cx(1, 2); // shared pair
+    let handle = insert_assertion(
+        &mut circuit,
+        &[1, 2],
+        &StateSpec::pure(states::bell_vector()).unwrap(),
+        Design::Swap,
+    )
+    .unwrap();
+    // Continue the teleportation protocol.
+    circuit.cx(0, 1).h(0);
+    circuit.cx(1, 2);
+    circuit.cz(0, 2);
+    let counts = run(&circuit, 7);
+    assert_eq!(handle.error_rate(&counts), 0.0);
+}
+
+#[test]
+fn stacked_assertions_report() {
+    // Three assertion slots on a GHZ pipeline; report localises correctly.
+    let mut circuit = Circuit::new(3);
+    circuit.h(0);
+    let plus = CVector::from_real(&[0.5f64.sqrt(), 0.5f64.sqrt()]);
+    let h1 = insert_assertion(
+        &mut circuit,
+        &[0],
+        &StateSpec::pure(plus).unwrap(),
+        Design::LogicalOr,
+    )
+    .unwrap();
+    circuit.cx(0, 1);
+    let h2 = insert_assertion(
+        &mut circuit,
+        &[0, 1],
+        &StateSpec::pure(states::bell_vector()).unwrap(),
+        Design::Ndd,
+    )
+    .unwrap();
+    circuit.cx(1, 2);
+    // Deliberately wrong final assertion: expect W state instead of GHZ.
+    let h3 = insert_assertion(
+        &mut circuit,
+        &[0, 1, 2],
+        &StateSpec::pure(states::w_vector(3)).unwrap(),
+        Design::Swap,
+    )
+    .unwrap();
+    let counts = run(&circuit, 8);
+    let report = AssertionReport::from_counts(&counts, &[h1, h2, h3]);
+    assert_eq!(report.first_failing(0.01), Some(2));
+    assert_eq!(report.per_assertion_error_rates()[0], 0.0);
+    assert_eq!(report.per_assertion_error_rates()[1], 0.0);
+    assert!(report.per_assertion_error_rates()[2] > 0.5);
+}
+
+#[test]
+fn swap_assertion_enables_continued_computation() {
+    // After a passing SWAP assertion mid-circuit, the program continues
+    // and produces the same final distribution as without the assertion.
+    let mut with_assert = Circuit::new(2);
+    with_assert.h(0);
+    let plus = CVector::from_real(&[0.5f64.sqrt(), 0.5f64.sqrt()]);
+    let handle = insert_assertion(
+        &mut with_assert,
+        &[0],
+        &StateSpec::pure(plus).unwrap(),
+        Design::Swap,
+    )
+    .unwrap();
+    with_assert.cx(0, 1);
+    with_assert.h(0);
+    let data_base = with_assert.num_clbits();
+    with_assert.expand_clbits(data_base + 2);
+    with_assert.measure(0, data_base).unwrap();
+    with_assert.measure(1, data_base + 1).unwrap();
+    let counts = run(&with_assert, 9);
+    assert_eq!(handle.error_rate(&counts), 0.0);
+    // Reference: |+⟩ → CX → H gives (|00⟩+|11⟩)... after H on qubit 0 the
+    // marginal of qubit 0 is 50/50 and qubit 1 is 50/50, correlated.
+    let p_q1 = counts.marginal_frequency(data_base + 1);
+    assert!((p_q1 - 0.5).abs() < 0.05);
+}

@@ -1,0 +1,156 @@
+//! Integration tests for the baseline schemes (Stat / Primitive / Proq)
+//! against the proposed designs — the behavioural content of Table I.
+
+use qra::algorithms::states;
+use qra::core::baselines::{primitive, proq, statistical_assertion};
+use qra::prelude::*;
+
+#[test]
+fn table1_stat_row() {
+    // Stat: Bug1 False (phase invisible), Bug2 True.
+    let spec = StateSpec::pure(states::ghz_vector(3)).unwrap();
+    let bug1 = statistical_assertion(&states::ghz_bug1(3), &[0, 1, 2], &spec, 8192, 1).unwrap();
+    assert!(bug1.passed(0.05), "Stat must MISS Bug1 (Table I)");
+    let bug2 = statistical_assertion(&states::ghz_bug2(3), &[0, 1, 2], &spec, 8192, 2).unwrap();
+    assert!(!bug2.passed(0.05), "Stat must CATCH Bug2 (Table I)");
+}
+
+#[test]
+fn table1_primitive_row() {
+    // Primitive: N/A for the precise GHZ state.
+    let spec = StateSpec::pure(states::ghz_vector(3)).unwrap();
+    assert!(primitive::supports(&spec).is_none(), "Table I: Primitive N/A");
+    assert!(primitive::build(&spec).is_err());
+}
+
+#[test]
+fn table1_proq_row() {
+    // Proq: detects both bugs, using zero ancillas.
+    let spec = StateSpec::pure(states::ghz_vector(3)).unwrap();
+    for (program, min_rate, name) in [
+        (states::ghz_bug1(3), 0.4, "bug1"),
+        (states::ghz_bug2(3), 0.2, "bug2"),
+    ] {
+        let mut circuit = program;
+        let handle = proq::insert(&mut circuit, &[0, 1, 2], &spec).unwrap();
+        let counts = StatevectorSimulator::with_seed(3).run(&circuit, 4096).unwrap();
+        assert!(
+            handle.error_rate(&counts) > min_rate,
+            "Proq missed {name}"
+        );
+    }
+}
+
+#[test]
+fn table1_proposed_rows() {
+    // SWAP precise: catches both bugs. Mixed-state (last two qubits):
+    // catches Bug2 only. NDD approximate (paper's parity-pair set):
+    // catches both.
+    let precise = StateSpec::pure(states::ghz_vector(3)).unwrap();
+    let mixed = {
+        let e0 = CVector::basis_state(4, 0);
+        let e3 = CVector::basis_state(4, 3);
+        let rho = CMatrix::outer(&e0, &e0)
+            .scale(C64::from(0.5))
+            .add(&CMatrix::outer(&e3, &e3).scale(C64::from(0.5)))
+            .unwrap();
+        StateSpec::mixed(rho).unwrap()
+    };
+
+    let rate = |program: &Circuit, qubits: &[usize], spec: &StateSpec, design: Design| {
+        let mut c = program.clone();
+        let h = insert_assertion(&mut c, qubits, spec, design).unwrap();
+        let counts = StatevectorSimulator::with_seed(4).run(&c, 8192).unwrap();
+        h.error_rate(&counts)
+    };
+
+    // SWAP-based precise assertion: True / True.
+    assert!(rate(&states::ghz_bug1(3), &[0, 1, 2], &precise, Design::Swap) > 0.4);
+    assert!(rate(&states::ghz_bug2(3), &[0, 1, 2], &precise, Design::Swap) > 0.2);
+
+    // SWAP-based mixed-state assertion on the last two qubits:
+    // False (Bug1 keeps the parity structure) / True.
+    assert_eq!(
+        rate(&states::ghz_bug1(3), &[1, 2], &mixed, Design::Swap),
+        0.0,
+        "Table I: mixed-state assertion must miss Bug1"
+    );
+    assert!(rate(&states::ghz_bug2(3), &[1, 2], &mixed, Design::Swap) > 0.2);
+
+    // NDD with the ± parity-pair set (3 CX): True / True.
+    let s = 0.5f64.sqrt();
+    let pair = |a: usize, b: usize, sign: f64| {
+        let mut v = CVector::zeros(8);
+        v[a] = C64::from(s);
+        v[b] = C64::from(sign * s);
+        v
+    };
+    let ndd_set = StateSpec::set(vec![
+        pair(0b000, 0b111, 1.0),
+        pair(0b001, 0b110, 1.0),
+        pair(0b011, 0b100, 1.0),
+        pair(0b010, 0b101, 1.0),
+    ])
+    .unwrap();
+    assert!(rate(&states::ghz_bug1(3), &[0, 1, 2], &ndd_set, Design::Ndd) > 0.4);
+    assert!(rate(&states::ghz_bug2(3), &[0, 1, 2], &ndd_set, Design::Ndd) > 0.2);
+}
+
+#[test]
+fn primitive_matches_proposed_on_supported_states() {
+    // Where the primitives DO apply, they agree with our designs.
+    let even = StateSpec::set(vec![
+        CVector::basis_state(4, 0),
+        CVector::basis_state(4, 3),
+    ])
+    .unwrap();
+    let built = primitive::build(&even).unwrap();
+
+    // Correct Bell program passes the primitive parity check.
+    let mut ok = Circuit::with_clbits(2 + built.num_ancilla, built.num_clbits);
+    ok.h(0).cx(0, 1);
+    let map: Vec<usize> = (0..2 + built.num_ancilla).collect();
+    let cl: Vec<usize> = (0..built.num_clbits).collect();
+    ok.compose(&built.circuit, &map, &cl).unwrap();
+    let counts = StatevectorSimulator::with_seed(5).run(&ok, 2048).unwrap();
+    assert_eq!(counts.any_set_frequency(&cl), 0.0);
+
+    // And the proposed NDD agrees.
+    let mut ndd_prog = Circuit::new(2);
+    ndd_prog.h(0).cx(0, 1);
+    let h = insert_assertion(&mut ndd_prog, &[0, 1], &even, Design::Ndd).unwrap();
+    let counts = StatevectorSimulator::with_seed(5).run(&ndd_prog, 2048).unwrap();
+    assert_eq!(h.error_rate(&counts), 0.0);
+}
+
+#[test]
+fn proq_handles_mixed_states_partially() {
+    // Proq on a rank-2 mixed state: passes correct mixtures.
+    let e0 = CVector::basis_state(4, 0);
+    let e3 = CVector::basis_state(4, 3);
+    let rho = CMatrix::outer(&e0, &e0)
+        .scale(C64::from(0.5))
+        .add(&CMatrix::outer(&e3, &e3).scale(C64::from(0.5)))
+        .unwrap();
+    let spec = StateSpec::mixed(rho).unwrap();
+    let mut program = states::ghz(3);
+    let handle = proq::insert(&mut program, &[1, 2], &spec).unwrap();
+    let counts = StatevectorSimulator::with_seed(6).run(&program, 2048).unwrap();
+    assert_eq!(handle.error_rate(&counts), 0.0);
+}
+
+#[test]
+fn cost_comparison_proq_cheapest_single_qubit() {
+    // Table III single-qubit column: proq 0 CX, swap ≥ 2 CX, or 1 CX,
+    // ndd 2 CX (general 1q state).
+    let tilted = StateSpec::pure(CVector::from_real(&[0.6, 0.8])).unwrap();
+    let swap = synthesize_assertion(&tilted, Design::Swap).unwrap();
+    let or = synthesize_assertion(&tilted, Design::LogicalOr).unwrap();
+    let ndd = synthesize_assertion(&tilted, Design::Ndd).unwrap();
+    assert_eq!(or.gate_counts().cx, 1);
+    assert_eq!(swap.gate_counts().cx, 2);
+    assert_eq!(ndd.gate_counts().cx, 2);
+    // Auto must pick the logical-OR design here.
+    let auto = synthesize_assertion(&tilted, Design::Auto).unwrap();
+    assert_eq!(auto.design(), Design::LogicalOr);
+}

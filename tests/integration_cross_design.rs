@@ -1,0 +1,237 @@
+//! Cross-design integration tests: the three assertion designs implement
+//! the same logical check, so they must agree on error rates (SWAP/OR
+//! exactly; NDD agrees on zero/nonzero and on pure-state overlap values).
+
+use qra::algorithms::{bernstein_vazirani, grover, states};
+use qra::core::baselines::primitive;
+use qra::prelude::*;
+
+fn rate(program: &Circuit, qubits: &[usize], spec: &StateSpec, design: Design, seed: u64) -> f64 {
+    let mut circuit = program.clone();
+    let handle = insert_assertion(&mut circuit, qubits, spec, design).unwrap();
+    let counts = StatevectorSimulator::with_seed(seed)
+        .run(&circuit, 8192)
+        .unwrap();
+    handle.error_rate(&counts)
+}
+
+#[test]
+fn designs_agree_on_pass_fail_for_probe_grid() {
+    // Assert |+0⟩ against a grid of probe programs spanning pass/partial/fail.
+    let s = 0.5f64.sqrt();
+    let spec = StateSpec::pure(CVector::from_real(&[s, 0.0, s, 0.0])).unwrap();
+    let probes: Vec<(Circuit, &str)> = vec![
+        (
+            {
+                let mut c = Circuit::new(2);
+                c.h(0);
+                c
+            },
+            "exact",
+        ),
+        (
+            {
+                let mut c = Circuit::new(2);
+                c.h(0).x(1);
+                c
+            },
+            "orthogonal",
+        ),
+        (
+            {
+                let mut c = Circuit::new(2);
+                c.ry(0.6, 0);
+                c
+            },
+            "partial overlap",
+        ),
+    ];
+    for (probe, name) in &probes {
+        let r_swap = rate(probe, &[0, 1], &spec, Design::Swap, 1);
+        let r_or = rate(probe, &[0, 1], &spec, Design::LogicalOr, 2);
+        let r_ndd = rate(probe, &[0, 1], &spec, Design::Ndd, 3);
+        // All three measure 1 − |⟨ψ|φ⟩|² for pure-state assertions.
+        assert!(
+            (r_swap - r_or).abs() < 0.03,
+            "{name}: swap {r_swap} vs or {r_or}"
+        );
+        assert!(
+            (r_swap - r_ndd).abs() < 0.03,
+            "{name}: swap {r_swap} vs ndd {r_ndd}"
+        );
+    }
+}
+
+#[test]
+fn designs_agree_on_mixed_state_specs() {
+    let e = |i: usize| CVector::basis_state(4, i);
+    let rho = CMatrix::outer(&e(0), &e(0))
+        .scale(C64::from(0.5))
+        .add(&CMatrix::outer(&e(3), &e(3)).scale(C64::from(0.5)))
+        .unwrap();
+    let spec = StateSpec::mixed(rho).unwrap();
+    // Probe: partially inside the span.
+    let mut probe = Circuit::new(2);
+    probe.ry(1.0, 0); // cos|00⟩ + sin|10⟩: |00⟩ in span, |10⟩ not.
+    let expect_fail = (0.5f64).sin().powi(2);
+    for (design, seed) in [(Design::Swap, 4), (Design::LogicalOr, 5), (Design::Ndd, 6)] {
+        let r = rate(&probe, &[0, 1], &spec, design, seed);
+        assert!(
+            (r - expect_fail).abs() < 0.03,
+            "{design}: rate {r} vs expected {expect_fail}"
+        );
+    }
+}
+
+#[test]
+fn bernstein_vazirani_checkpoint_supported_by_primitive_and_designs() {
+    // The BV pre-Hadamard |±⟩-product state is assertable by the Primitive
+    // baseline AND the systematic designs — and they agree.
+    let n = 3;
+    let mask = 0b110;
+    let state = bernstein_vazirani::pre_hadamard_state(n, mask);
+    let spec = StateSpec::pure(state).unwrap();
+    assert!(
+        primitive::supports(&spec).is_some(),
+        "BV checkpoint must be primitive-assertable"
+    );
+
+    // Build the BV prefix (without final H layer).
+    let mut prefix = Circuit::new(n + 1);
+    prefix.x(n).h(n);
+    for q in 0..n {
+        prefix.h(q);
+    }
+    for q in 0..n {
+        if (mask >> (n - 1 - q)) & 1 == 1 {
+            prefix.cx(q, n);
+        }
+    }
+    for design in [Design::Swap, Design::LogicalOr, Design::Ndd] {
+        let r = rate(&prefix, &[0, 1, 2], &spec, design, 7);
+        assert_eq!(r, 0.0, "{design} flagged a correct BV checkpoint");
+    }
+    // A wrong-mask program is flagged by all.
+    let mut wrong = Circuit::new(n + 1);
+    wrong.x(n).h(n);
+    for q in 0..n {
+        wrong.h(q);
+    }
+    wrong.cx(2, n); // mask 001 instead of 110
+    for design in [Design::Swap, Design::LogicalOr, Design::Ndd] {
+        let r = rate(&wrong, &[0, 1, 2], &spec, design, 8);
+        assert!(r > 0.5, "{design} missed the BV mask bug: {r}");
+    }
+}
+
+#[test]
+fn grover_span_assertion_consistent_across_designs() {
+    let n = 3;
+    let target = 0b101;
+    let dim = 1usize << n;
+    let rest = {
+        let amp = 1.0 / ((dim - 1) as f64).sqrt();
+        let mut v = CVector::zeros(dim);
+        for i in 0..dim {
+            if i != target {
+                v[i] = C64::from(amp);
+            }
+        }
+        v
+    };
+    let span = StateSpec::set(vec![CVector::basis_state(dim, target), rest]).unwrap();
+    for k in 0..3usize {
+        let program = grover::grover(n, target, k).unwrap();
+        for design in [Design::Swap, Design::LogicalOr, Design::Ndd] {
+            let r = rate(&program, &[0, 1, 2], &span, design, 9);
+            assert_eq!(r, 0.0, "{design} flagged Grover iteration {k}");
+        }
+    }
+}
+
+#[test]
+fn auto_never_loses_to_fixed_designs() {
+    let specs: Vec<StateSpec> = vec![
+        StateSpec::pure(states::ghz_vector(3)).unwrap(),
+        StateSpec::pure(states::w_vector(3)).unwrap(),
+        StateSpec::set(vec![
+            CVector::basis_state(8, 0),
+            CVector::basis_state(8, 7),
+        ])
+        .unwrap(),
+        StateSpec::pure(CVector::basis_state(4, 2)).unwrap(),
+    ];
+    for spec in &specs {
+        let auto = synthesize_assertion(spec, Design::Auto).unwrap();
+        for d in [Design::Swap, Design::LogicalOr, Design::Ndd] {
+            let fixed = synthesize_assertion(spec, d).unwrap();
+            assert!(
+                auto.gate_counts().cx <= fixed.gate_counts().cx,
+                "auto lost to {d} on {spec:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_assertions_project_rather_than_amplify() {
+    // Physics check on the paper's Fig. 17 discussion: a passing
+    // approximate assertion PROJECTS the state into the set span, so a
+    // second identical assertion in the same shot always passes — the
+    // error rate does not amplify within a shot; amplification happens
+    // across program reruns.
+    use qra::algorithms::deutsch_jozsa::{constant_output_set, probe_circuit, Oracle};
+    let set = StateSpec::set(constant_output_set(2)).unwrap();
+    let mut circuit = probe_circuit(&Oracle::buggy_and(), 2).unwrap();
+    let h1 = insert_assertion(&mut circuit, &[0, 1, 2], &set, Design::Ndd).unwrap();
+    let h2 = insert_assertion(&mut circuit, &[0, 1, 2], &set, Design::Ndd).unwrap();
+    let counts = StatevectorSimulator::with_seed(31)
+        .run(&circuit, 8192)
+        .unwrap();
+    let r1 = h1.error_rate(&counts);
+    // Conditioned on the first assertion passing, the second never fires.
+    let (passed_first, _) = counts.post_select_zero(&h1.clbits);
+    let r2_given_pass = passed_first.any_set_frequency(&h2.clbits);
+    assert!(r1 > 0.2, "first assertion must fire probabilistically: {r1}");
+    assert!(
+        r2_given_pass < 0.01,
+        "projection must make the second assertion silent: {r2_given_pass}"
+    );
+}
+
+#[test]
+fn swap_design_uniquely_corrects_the_state() {
+    // After a FAILING assertion, only the SWAP design leaves the test
+    // qubits in the asserted state (it swaps in a fresh copy).
+    let spec = StateSpec::pure(CVector::basis_state(2, 0)).unwrap();
+    for (design, corrects) in [
+        (Design::Swap, true),
+        (Design::LogicalOr, false),
+        (Design::Ndd, false),
+    ] {
+        let assertion = synthesize_assertion(&spec, design).unwrap();
+        assert_eq!(assertion.corrects_state(), corrects);
+        // Apply the assertion (gates only) to |1⟩ and inspect the test qubit.
+        let total = 1 + assertion.num_ancillas();
+        let mut full = Circuit::new(total);
+        full.x(0);
+        let mut stripped = Circuit::new(assertion.circuit().num_qubits());
+        for inst in assertion.circuit().instructions() {
+            if let Some(g) = inst.as_gate() {
+                stripped.append(g.clone(), &inst.qubits).unwrap();
+            }
+        }
+        let map: Vec<usize> = (0..total).collect();
+        full.compose(&stripped, &map, &[]).unwrap();
+        let sv = full.statevector().unwrap();
+        let rho = CMatrix::outer(&sv, &sv);
+        let traced: Vec<usize> = (1..total).collect();
+        let test_qubit = rho.partial_trace(&traced).unwrap();
+        let p0 = test_qubit.get(0, 0).re;
+        if corrects {
+            assert!(p0 > 0.99, "{design}: test qubit not corrected, p0={p0}");
+        } else {
+            assert!(p0 < 0.01, "{design}: test qubit unexpectedly reset, p0={p0}");
+        }
+    }
+}

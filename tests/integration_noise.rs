@@ -1,0 +1,160 @@
+//! Integration tests for noisy-device behaviour (§IX-B semantics): the
+//! assertion-error rate rises above the noise floor when a bug is present,
+//! and post-selection on passing assertions improves the success rate.
+
+use qra::algorithms::qpe::{expected_slot_state, qpe, QpeBug, QpeConfig};
+use qra::algorithms::states;
+use qra::prelude::*;
+
+fn noisy_sim() -> DensityMatrixSimulator {
+    DensityMatrixSimulator::with_noise(DevicePreset::melbourne_like())
+}
+
+#[test]
+fn noise_floor_is_nonzero_but_bounded() {
+    // A correct GHZ program still raises some assertion errors under noise.
+    let mut circuit = states::ghz(3);
+    let handle = insert_assertion(
+        &mut circuit,
+        &[0, 1, 2],
+        &StateSpec::pure(states::ghz_vector(3)).unwrap(),
+        Design::Swap,
+    )
+    .unwrap();
+    let dist = noisy_sim().outcome_distribution(&circuit).unwrap();
+    let error_rate: f64 = dist
+        .iter()
+        .filter(|(k, _)| handle.clbits.iter().any(|&b| (k >> b) & 1 == 1))
+        .map(|(_, p)| p)
+        .sum();
+    assert!(error_rate > 0.005, "noise floor too low: {error_rate}");
+    assert!(error_rate < 0.45, "noise floor too high: {error_rate}");
+}
+
+#[test]
+fn bug_signal_exceeds_noise_floor() {
+    let spec = StateSpec::pure(states::ghz_vector(3)).unwrap();
+    let rate = |program: Circuit| {
+        let mut circuit = program;
+        let handle =
+            insert_assertion(&mut circuit, &[0, 1, 2], &spec, Design::Swap).unwrap();
+        let dist = noisy_sim().outcome_distribution(&circuit).unwrap();
+        dist.iter()
+            .filter(|(k, _)| handle.clbits.iter().any(|&b| (k >> b) & 1 == 1))
+            .map(|(_, p)| p)
+            .sum::<f64>()
+    };
+    let floor = rate(states::ghz(3));
+    let with_bug = rate(states::ghz_bug1(3));
+    assert!(
+        with_bug > floor + 0.2,
+        "bug signal {with_bug} not above floor {floor}"
+    );
+}
+
+#[test]
+fn post_selection_improves_ghz_fidelity() {
+    // Measure the GHZ register under noise; filtering on the assertion
+    // ancilla must raise the fraction of |000⟩/|111⟩ outcomes.
+    let mut circuit = states::ghz(3);
+    let handle = insert_assertion(
+        &mut circuit,
+        &[0, 1, 2],
+        &StateSpec::pure(states::ghz_vector(3)).unwrap(),
+        Design::Swap,
+    )
+    .unwrap();
+    let cl_base = circuit.num_clbits();
+    circuit.expand_clbits(cl_base + 3);
+    for q in 0..3 {
+        circuit.measure(q, cl_base + q).unwrap();
+    }
+    let counts = noisy_sim().run(&circuit, 8192, 11).unwrap();
+    let success = |c: &Counts| {
+        let mut good = 0u64;
+        for (key, n) in c.iter() {
+            let bits: u64 = (key >> cl_base) & 0b111;
+            if bits == 0 || bits == 0b111 {
+                good += n;
+            }
+        }
+        if c.total() == 0 {
+            0.0
+        } else {
+            good as f64 / c.total() as f64
+        }
+    };
+    let raw = success(&counts);
+    let (filtered, kept) = handle.post_select(&counts);
+    let improved = success(&filtered);
+    assert!(kept > 0.3, "post-selection kept too little: {kept}");
+    assert!(
+        improved > raw,
+        "filtering must improve success: {raw} → {improved}"
+    );
+}
+
+#[test]
+fn sec9b_single_qubit_assertion_under_noise() {
+    // The §IX-B setup at reduced size (2 counting qubits keeps the density
+    // simulation fast): single-qubit SWAP assertion at the final slot.
+    let config = QpeConfig {
+        counting: 2,
+        ..QpeConfig::paper_sec9b()
+    };
+    let build = |bug: QpeBug| {
+        let cfg = config.with_bug(bug);
+        let mut circuit = qpe(&cfg);
+        let v = expected_slot_state(&config, config.num_slots());
+        let rho = CMatrix::outer(&v, &v);
+        let traced: Vec<usize> = (0..config.counting).collect();
+        let reduced = rho.partial_trace(&traced).unwrap();
+        let eig = qra::math::hermitian_eigen(&reduced).unwrap();
+        assert_eq!(eig.rank(1e-9), 1);
+        let spec = StateSpec::pure(eig.vectors[0].clone()).unwrap();
+        let handle =
+            insert_assertion(&mut circuit, &[config.eigen_qubit()], &spec, Design::Swap)
+                .unwrap();
+        (circuit, handle)
+    };
+    let (clean_c, clean_h) = build(QpeBug::None);
+    let dist = noisy_sim().outcome_distribution(&clean_c).unwrap();
+    let floor: f64 = dist
+        .iter()
+        .filter(|(k, _)| clean_h.clbits.iter().any(|&b| (k >> b) & 1 == 1))
+        .map(|(_, p)| p)
+        .sum();
+
+    let (bug_c, bug_h) = build(QpeBug::WrongParameterOrder);
+    let dist = noisy_sim().outcome_distribution(&bug_c).unwrap();
+    let bug_rate: f64 = dist
+        .iter()
+        .filter(|(k, _)| bug_h.clbits.iter().any(|&b| (k >> b) & 1 == 1))
+        .map(|(_, p)| p)
+        .sum();
+    assert!(
+        bug_rate > floor + 0.02,
+        "§IX-B ordering violated: floor {floor}, bug {bug_rate}"
+    );
+}
+
+#[test]
+fn noise_models_are_ordered() {
+    // More noise ⇒ higher assertion-error floor, monotonic across presets.
+    let spec = StateSpec::pure(states::bell_vector()).unwrap();
+    let floor = |preset: DevicePreset| {
+        let mut circuit = states::bell();
+        let handle = insert_assertion(&mut circuit, &[0, 1], &spec, Design::Ndd).unwrap();
+        let sim = DensityMatrixSimulator::with_noise(preset.noise_model());
+        let dist = sim.outcome_distribution(&circuit).unwrap();
+        dist.iter()
+            .filter(|(k, _)| handle.clbits.iter().any(|&b| (k >> b) & 1 == 1))
+            .map(|(_, p)| p)
+            .sum::<f64>()
+    };
+    let ideal = floor(DevicePreset::Ideal);
+    let low = floor(DevicePreset::LowNoise);
+    let mel = floor(DevicePreset::MelbourneLike);
+    assert!(ideal < 1e-9);
+    assert!(low > ideal && mel > low, "ideal {ideal}, low {low}, mel {mel}");
+}

@@ -1,0 +1,141 @@
+//! Property-based tests on the assertion designs: for randomly generated
+//! states and programs, a correct program never raises an assertion error
+//! and an orthogonal state always does.
+
+use proptest::prelude::*;
+use qra::prelude::*;
+
+/// A random normalised state vector on `n` qubits from raw amplitude parts.
+fn arb_state(n: usize) -> impl Strategy<Value = CVector> {
+    let dim = 1usize << n;
+    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), dim).prop_filter_map(
+        "state must be normalisable",
+        |parts| {
+            let v = CVector::new(parts.iter().map(|&(re, im)| C64::new(re, im)).collect());
+            v.normalized().ok()
+        },
+    )
+}
+
+/// Builds a program preparing exactly `state` using the synthesis pipeline.
+fn preparation_program(state: &CVector) -> Circuit {
+    qra::circuit::synthesis::prepare_state(state).expect("synthesis")
+}
+
+fn error_rate(circuit: &Circuit, handle: &AssertionHandle, seed: u64) -> f64 {
+    let counts = StatevectorSimulator::with_seed(seed)
+        .run(circuit, 512)
+        .expect("simulation");
+    handle.error_rate(&counts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn correct_states_never_flag_swap(state in arb_state(2)) {
+        let mut circuit = preparation_program(&state);
+        let handle = insert_assertion(
+            &mut circuit, &[0, 1],
+            &StateSpec::pure(state).unwrap(), Design::Swap,
+        ).unwrap();
+        prop_assert_eq!(error_rate(&circuit, &handle, 1), 0.0);
+    }
+
+    #[test]
+    fn correct_states_never_flag_ndd(state in arb_state(2)) {
+        let mut circuit = preparation_program(&state);
+        let handle = insert_assertion(
+            &mut circuit, &[0, 1],
+            &StateSpec::pure(state).unwrap(), Design::Ndd,
+        ).unwrap();
+        prop_assert_eq!(error_rate(&circuit, &handle, 2), 0.0);
+    }
+
+    #[test]
+    fn correct_states_never_flag_logical_or(state in arb_state(2)) {
+        let mut circuit = preparation_program(&state);
+        let handle = insert_assertion(
+            &mut circuit, &[0, 1],
+            &StateSpec::pure(state).unwrap(), Design::LogicalOr,
+        ).unwrap();
+        prop_assert_eq!(error_rate(&circuit, &handle, 3), 0.0);
+    }
+
+    #[test]
+    fn three_qubit_states_pass_their_own_assertion(state in arb_state(3)) {
+        let mut circuit = preparation_program(&state);
+        let handle = insert_assertion(
+            &mut circuit, &[0, 1, 2],
+            &StateSpec::pure(state).unwrap(), Design::Auto,
+        ).unwrap();
+        prop_assert_eq!(error_rate(&circuit, &handle, 4), 0.0);
+    }
+
+    #[test]
+    fn orthogonal_states_always_flag(seed_state in arb_state(2)) {
+        // Build a state orthogonal to the asserted one by completing the
+        // basis and preparing the second basis vector.
+        let basis = qra::math::complete_basis(
+            std::slice::from_ref(&seed_state), 4).unwrap();
+        let orthogonal = basis[1].clone();
+        let mut circuit = preparation_program(&orthogonal);
+        let handle = insert_assertion(
+            &mut circuit, &[0, 1],
+            &StateSpec::pure(seed_state).unwrap(), Design::Swap,
+        ).unwrap();
+        // Orthogonal states are "incorrect" with certainty.
+        prop_assert!(error_rate(&circuit, &handle, 5) > 0.99);
+    }
+
+    #[test]
+    fn error_rate_tracks_overlap_for_ndd(state in arb_state(1), probe in arb_state(1)) {
+        // NDD pass probability equals |⟨ψ|φ⟩|² exactly.
+        let overlap = state.inner(&probe).unwrap().norm_sqr();
+        let mut circuit = preparation_program(&probe);
+        let handle = insert_assertion(
+            &mut circuit, &[0],
+            &StateSpec::pure(state).unwrap(), Design::Ndd,
+        ).unwrap();
+        let counts = StatevectorSimulator::with_seed(6)
+            .run(&circuit, 4096).unwrap();
+        let rate = handle.error_rate(&counts);
+        prop_assert!(((1.0 - overlap) - rate).abs() < 0.08,
+            "overlap {overlap}, rate {rate}");
+    }
+
+    #[test]
+    fn set_members_pass_approximate_assertion(
+        a in arb_state(2), b in arb_state(2), pick_second in any::<bool>()
+    ) {
+        let spec = StateSpec::set(vec![a.clone(), b.clone()]).unwrap();
+        // Full-rank degenerate sets (t = 4) are unassertable; skip those.
+        prop_assume!(spec.correct_states().is_ok());
+        let member = if pick_second { &b } else { &a };
+        let mut circuit = preparation_program(member);
+        let handle = insert_assertion(&mut circuit, &[0, 1], &spec, Design::Ndd).unwrap();
+        prop_assert_eq!(error_rate(&circuit, &handle, 7), 0.0);
+    }
+
+    #[test]
+    fn mixed_state_purifications_pass(state in arb_state(2)) {
+        // Entangle the 2 test qubits with an environment qubit, assert the
+        // reduced density matrix: must pass.
+        let mut program = Circuit::new(3);
+        program.compose(&preparation_program(&state), &[0, 1], &[]).unwrap();
+        program.cx(1, 2); // entangle with environment
+        let sv = program.statevector().unwrap();
+        let rho = CMatrix::outer(&sv, &sv).partial_trace(&[2]).unwrap();
+        let spec = match StateSpec::mixed(rho) {
+            Ok(s) => s,
+            Err(_) => return Ok(()), // numerically degenerate: skip
+        };
+        match spec.correct_states() {
+            Ok(_) => {}
+            Err(_) => return Ok(()), // full rank: unassertable by design
+        }
+        let mut circuit = program;
+        let handle = insert_assertion(&mut circuit, &[0, 1], &spec, Design::Ndd).unwrap();
+        prop_assert_eq!(error_rate(&circuit, &handle, 8), 0.0);
+    }
+}
