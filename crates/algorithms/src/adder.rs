@@ -41,7 +41,10 @@ pub fn add_const_fourier(
     controls: &[usize],
     bug: AdderBug,
 ) -> Result<(), qra_circuit::CircuitError> {
-    assert!(controls.len() <= 2, "the paper's recursion stops at 2 controls");
+    assert!(
+        controls.len() <= 2,
+        "the paper's recursion stops at 2 controls"
+    );
     let width = qubits.len();
     for i in (0..width).rev() {
         for j in (0..=i).rev() {

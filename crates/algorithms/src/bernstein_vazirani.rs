@@ -8,7 +8,7 @@
 //! baselines with the systematic designs.
 
 use qra_circuit::Circuit;
-use qra_math::{C64, CVector};
+use qra_math::{CVector, C64};
 
 /// Builds the Bernstein–Vazirani circuit for a hidden `mask` over `n`
 /// input qubits (bit `b` of `mask` ↔ input qubit `n−1−b`). Layout: inputs
@@ -67,8 +67,7 @@ mod tests {
                 let sv = c.statevector().unwrap();
                 // The input register reads `mask` with certainty; the target
                 // qubit stays in |−⟩ (ignore it by summing both values).
-                let p: f64 =
-                    sv.probability(mask << 1) + sv.probability((mask << 1) | 1);
+                let p: f64 = sv.probability(mask << 1) + sv.probability((mask << 1) | 1);
                 assert!((p - 1.0).abs() < 1e-9, "n={n} mask={mask:0b}: p={p}");
             }
         }

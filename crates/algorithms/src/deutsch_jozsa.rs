@@ -8,7 +8,7 @@
 
 use qra_circuit::synthesis::mc_gate::{mcx, ControlState};
 use qra_circuit::Circuit;
-use qra_math::{C64, CVector};
+use qra_math::{CVector, C64};
 
 /// A black-box boolean function oracle on `n` input bits, computed into
 /// one output qubit (`out ^= f(x)`).
@@ -275,7 +275,10 @@ mod tests {
             .unwrap()
             .statevector()
             .unwrap();
-        for m in constant_output_set(2).iter().chain(balanced_output_set(2).iter()) {
+        for m in constant_output_set(2)
+            .iter()
+            .chain(balanced_output_set(2).iter())
+        {
             assert!(!sv.approx_eq_up_to_phase(m, 1e-6));
         }
     }
@@ -293,7 +296,7 @@ mod tests {
             c.measure(0, 0).unwrap();
             c.measure(1, 1).unwrap();
             let counts = StatevectorSimulator::with_seed(3).run(&c, 512).unwrap();
-            let all_zero = counts.frequency("00");
+            let all_zero = counts.frequency("00").unwrap();
             if constant {
                 assert!((all_zero - 1.0).abs() < 1e-9, "{oracle:?}");
             } else {

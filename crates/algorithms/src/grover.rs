@@ -8,7 +8,7 @@
 
 use qra_circuit::synthesis::mc_gate::{mcz, Control, ControlState};
 use qra_circuit::Circuit;
-use qra_math::{C64, CVector};
+use qra_math::{CVector, C64};
 
 /// Appends the phase oracle marking basis state `target` (phase −1).
 ///
@@ -101,7 +101,9 @@ pub fn grover(
 /// The optimal iteration count `⌊π/4·√N⌋` (at least 1).
 pub fn optimal_iterations(n: usize) -> usize {
     let big_n = (1usize << n) as f64;
-    ((std::f64::consts::FRAC_PI_4) * big_n.sqrt()).floor().max(1.0) as usize
+    ((std::f64::consts::FRAC_PI_4) * big_n.sqrt())
+        .floor()
+        .max(1.0) as usize
 }
 
 /// The exact expected state after `iterations` rounds: the textbook

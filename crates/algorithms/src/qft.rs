@@ -62,7 +62,7 @@ pub fn iqft(n: usize) -> Circuit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qra_math::{C64, CMatrix, CVector};
+    use qra_math::{CMatrix, CVector, C64};
     use std::f64::consts::TAU;
 
     const TOL: f64 = 1e-9;

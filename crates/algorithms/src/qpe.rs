@@ -213,7 +213,9 @@ mod tests {
         let config = QpeConfig::paper_sec9a();
         let mut circuit = qpe(&config);
         circuit.measure_all();
-        let counts = StatevectorSimulator::with_seed(1).run(&circuit, 4096).unwrap();
+        let counts = StatevectorSimulator::with_seed(1)
+            .run(&circuit, 4096)
+            .unwrap();
         let mut p_v0 = 0.0;
         let mut p_v1 = 0.0;
         for (key, cnt) in counts.iter() {
@@ -257,7 +259,10 @@ mod tests {
         for slot in 1..=2 {
             let a = qpe_prefix(&buggy, slot).statevector().unwrap();
             let b = expected_slot_state(&clean, slot);
-            assert!(a.approx_eq_up_to_phase(&b, 1e-9), "slot {slot} should match");
+            assert!(
+                a.approx_eq_up_to_phase(&b, 1e-9),
+                "slot {slot} should match"
+            );
         }
         for slot in 3..=5 {
             let a = qpe_prefix(&buggy, slot).statevector().unwrap();
@@ -364,10 +369,8 @@ mod tests {
         let eig_rho = rho.partial_trace(&traced).unwrap();
         // Fidelity with the expected eigenstate must drop well below 1.
         let s = 0.5f64.sqrt();
-        let expect = qra_math::CVector::new(vec![
-            qra_math::C64::from(s),
-            qra_math::C64::new(0.0, s),
-        ]);
+        let expect =
+            qra_math::CVector::new(vec![qra_math::C64::from(s), qra_math::C64::new(0.0, s)]);
         let fid = expect.inner(&eig_rho.mul_vec(&expect)).unwrap().re;
         assert!(fid < 0.9, "fidelity {fid} should drop under the bug");
     }

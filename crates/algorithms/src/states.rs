@@ -1,7 +1,7 @@
 //! Entangled-state preparation circuits and the paper's §III bug variants.
 
 use qra_circuit::Circuit;
-use qra_math::{C64, CVector};
+use qra_math::{CVector, C64};
 use std::f64::consts::PI;
 
 /// Prepares the n-qubit GHZ state `(|0…0⟩ + |1…1⟩)/√2`, using the `u2`

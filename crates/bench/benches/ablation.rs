@@ -2,11 +2,12 @@
 //! synthesis fast paths versus the general route, the peephole optimizer's
 //! effect on assertion circuits, and the MCX decomposition strategies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qra::circuit::passes::peephole_optimize;
 use qra::circuit::synthesis::mc_gate::{mcx, mcx_v_chain, ControlState};
 use qra::circuit::synthesis::prepare_state;
 use qra::prelude::*;
+use qra_bench::micro::{BenchmarkId, Criterion};
+use qra_bench::{criterion_group, criterion_main};
 
 /// Fast path (two-term superposition) vs the general disentangling route:
 /// perturbing one GHZ amplitude by ε forces the general path.
@@ -137,11 +138,8 @@ fn bench_swap_placement(c: &mut Criterion) {
 fn bench_auto_selection(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_auto_design");
     group.sample_size(10);
-    let parity = StateSpec::set(vec![
-        CVector::basis_state(4, 0),
-        CVector::basis_state(4, 3),
-    ])
-    .unwrap();
+    let parity =
+        StateSpec::set(vec![CVector::basis_state(4, 0), CVector::basis_state(4, 3)]).unwrap();
     group.bench_function("auto_parity_set", |b| {
         b.iter(|| synthesize_assertion(&parity, Design::Auto).unwrap());
     });

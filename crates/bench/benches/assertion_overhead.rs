@@ -2,9 +2,10 @@
 //! assertion, synthesised and executed, versus the bare program — the
 //! runtime-cost companion to Tables I and III.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qra::algorithms::{qpe, states};
 use qra::prelude::*;
+use qra_bench::micro::{BenchmarkId, Criterion};
+use qra_bench::{criterion_group, criterion_main};
 
 const SHOTS: u64 = 1024;
 

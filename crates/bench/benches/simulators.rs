@@ -1,9 +1,10 @@
 //! Criterion benches for the simulation substrate: state-vector evolution
 //! and shot sampling, density-matrix evolution with and without noise.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qra::algorithms::{qft, states};
 use qra::prelude::*;
+use qra_bench::micro::{BenchmarkId, Criterion, Throughput};
+use qra_bench::{criterion_group, criterion_main};
 
 fn ghz_measured(n: usize) -> Circuit {
     let mut c = states::ghz(n);

@@ -2,9 +2,10 @@
 //! unitary synthesis and full assertion synthesis across the state
 //! families of Table III.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qra::circuit::synthesis::{prepare_state, unitary_circuit};
 use qra::prelude::*;
+use qra_bench::micro::{BenchmarkId, Criterion};
+use qra_bench::{criterion_group, criterion_main};
 
 fn ghz_vector(n: usize) -> CVector {
     let dim = 1usize << n;
@@ -82,18 +83,14 @@ fn bench_assertion_synthesis(c: &mut Criterion) {
             ("logical_or", Design::LogicalOr),
             ("ndd", Design::Ndd),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("ghz_{name}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| synthesize_assertion(&spec, design).unwrap());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("ghz_{name}"), n), &n, |b, _| {
+                b.iter(|| synthesize_assertion(&spec, design).unwrap());
+            });
         }
         // Parity-set approximate assertion (the paper's cheapest NDD case).
         let dim = 1usize << n;
         let even: Vec<CVector> = (0..dim)
-            .filter(|x: &usize| x.count_ones() % 2 == 0)
+            .filter(|x: &usize| x.count_ones().is_multiple_of(2))
             .map(|x| CVector::basis_state(dim, x))
             .collect();
         let set_spec = StateSpec::set(even).unwrap();

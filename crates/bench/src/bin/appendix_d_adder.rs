@@ -39,7 +39,9 @@ fn main() {
         let mut circuit = build(bug);
         let qubits: Vec<usize> = (0..WIDTH + 2).collect();
         let handle = insert_assertion(&mut circuit, &qubits, &pure_spec, Design::Swap).unwrap();
-        let counts = StatevectorSimulator::with_seed(21).run(&circuit, SHOTS).unwrap();
+        let counts = StatevectorSimulator::with_seed(21)
+            .run(&circuit, SHOTS)
+            .unwrap();
         let rate = handle.error_rate(&counts);
         table.push(
             name,
@@ -68,7 +70,9 @@ fn main() {
             let qubits: Vec<usize> = (0..WIDTH).collect();
             let handle =
                 insert_assertion(&mut circuit, &qubits, &mixed_spec, Design::Auto).unwrap();
-            let counts = StatevectorSimulator::with_seed(22).run(&circuit, SHOTS).unwrap();
+            let counts = StatevectorSimulator::with_seed(22)
+                .run(&circuit, SHOTS)
+                .unwrap();
             let rate = handle.error_rate(&counts);
             table.push(
                 name,

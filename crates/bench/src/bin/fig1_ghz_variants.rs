@@ -55,11 +55,8 @@ fn main() {
         ],
     );
 
-    let approx2 = StateSpec::set(vec![
-        CVector::basis_state(8, 0),
-        CVector::basis_state(8, 7),
-    ])
-    .unwrap();
+    let approx2 =
+        StateSpec::set(vec![CVector::basis_state(8, 0), CVector::basis_state(8, 7)]).unwrap();
     let (_, c) = cost(&approx2, Design::Swap);
     table.push(
         "approx {000,111} (SWAP)",

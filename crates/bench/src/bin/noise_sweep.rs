@@ -38,8 +38,7 @@ fn measure(noise: &NoiseModel) -> Point {
     let spec = StateSpec::pure(states::ghz_vector(3)).unwrap();
     let run = |program: Circuit, seed: u64| {
         let mut circuit = program;
-        let handle =
-            insert_assertion(&mut circuit, &[0, 1, 2], &spec, Design::Swap).unwrap();
+        let handle = insert_assertion(&mut circuit, &[0, 1, 2], &spec, Design::Swap).unwrap();
         let cl_base = circuit.num_clbits();
         circuit.expand_clbits(cl_base + 3);
         for q in 0..3 {

@@ -66,7 +66,9 @@ fn main() {
         let mut circuit = qpe_prefix(&base.with_bug(bug), 5);
         let handle =
             insert_assertion(&mut circuit, &[0, 1, 2, 3], &mixed_spec, Design::Ndd).unwrap();
-        let counts = StatevectorSimulator::with_seed(10).run(&circuit, SHOTS).unwrap();
+        let counts = StatevectorSimulator::with_seed(10)
+            .run(&circuit, SHOTS)
+            .unwrap();
         let rate = handle.error_rate(&counts);
         table.push(
             name,
@@ -105,7 +107,9 @@ fn main() {
         let mut circuit = qpe_prefix(&base.with_bug(bug), 5);
         let qubits: Vec<usize> = (0..base.num_qubits()).collect();
         let handle = insert_assertion(&mut circuit, &qubits, &set, Design::Auto).unwrap();
-        let counts = StatevectorSimulator::with_seed(11).run(&circuit, SHOTS).unwrap();
+        let counts = StatevectorSimulator::with_seed(11)
+            .run(&circuit, SHOTS)
+            .unwrap();
         let rate = handle.error_rate(&counts);
         table.push(
             name,

@@ -100,10 +100,14 @@ fn main() {
     );
     let mut floor_errors = 0u64;
     let mut bug_errors = 0u64;
-    for (name, use_primitive) in [("ours (SWAP, 2 CX/2 SG)", false), ("prior primitive (2 CX/6 SG)", true)]
-    {
-        for (bug_name, bug) in [("no bug", QpeBug::None), ("§IX-B bug", QpeBug::WrongParameterOrder)]
-        {
+    for (name, use_primitive) in [
+        ("ours (SWAP, 2 CX/2 SG)", false),
+        ("prior primitive (2 CX/6 SG)", true),
+    ] {
+        for (bug_name, bug) in [
+            ("no bug", QpeBug::None),
+            ("§IX-B bug", QpeBug::WrongParameterOrder),
+        ] {
             let o = run(bug, use_primitive);
             if !use_primitive {
                 let errs = (o.error_rate * SHOTS as f64).round() as u64;
@@ -121,9 +125,8 @@ fn main() {
     }
     table.print();
     // Statistical verdict on the detection (Wilson intervals at 95%).
-    let detected = qra::core::analysis::detects_above_floor(
-        bug_errors, SHOTS, floor_errors, SHOTS, 1.96,
-    );
+    let detected =
+        qra::core::analysis::detects_above_floor(bug_errors, SHOTS, floor_errors, SHOTS, 1.96);
     println!(
         "statistical verdict: bug {} above the noise floor (95% Wilson)",
         if detected { "DETECTED" } else { "NOT detected" }

@@ -43,11 +43,7 @@ fn representatives() -> Vec<(&'static str, StateSpec)> {
         ("mixed state", StateSpec::mixed(mixed).unwrap()),
         (
             "set of states",
-            StateSpec::set(vec![
-                CVector::basis_state(4, 0),
-                CVector::basis_state(4, 3),
-            ])
-            .unwrap(),
+            StateSpec::set(vec![CVector::basis_state(4, 0), CVector::basis_state(4, 3)]).unwrap(),
         ),
     ]
 }

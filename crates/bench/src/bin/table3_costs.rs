@@ -30,7 +30,7 @@ fn separable(n: usize) -> CVector {
 fn even_set(n: usize) -> StateSpec {
     let dim = 1usize << n;
     let members: Vec<CVector> = (0..dim)
-        .filter(|x: &usize| x.count_ones() % 2 == 0)
+        .filter(|x: &usize| x.count_ones().is_multiple_of(2))
         .map(|x| CVector::basis_state(dim, x))
         .collect();
     StateSpec::set(members).unwrap()
@@ -66,7 +66,10 @@ fn main() {
         t1.push(name, fmt(design_cost(&single, d)));
     }
     // Proq: the two basis changes only.
-    t1.push("Proq (reference)", vec!["0".into(), "2".into(), "0".into(), "1".into()]);
+    t1.push(
+        "Proq (reference)",
+        vec!["0".into(), "2".into(), "0".into(), "1".into()],
+    );
     t1.print();
     println!("Paper row: Proq 0/2/0/1, SWAP 3/2/1/1, OR 1/2/1/1, NDD 2/6/1/1");
     println!("(our SWAP uses the optimised 2-CX ancilla swap, hence 2 vs 3).\n");

@@ -6,7 +6,7 @@ use crate::{
     register::{ClassicalRegister, QuantumRegister},
     CircuitError,
 };
-use qra_math::{C64, CMatrix, CVector};
+use qra_math::{CMatrix, CVector, C64};
 use std::fmt;
 
 /// Maximum width for dense whole-circuit unitary construction.
@@ -59,7 +59,11 @@ impl Circuit {
     }
 
     /// Appends a named quantum register of `size` qubits and returns it.
-    pub fn add_quantum_register(&mut self, name: impl Into<String>, size: usize) -> QuantumRegister {
+    pub fn add_quantum_register(
+        &mut self,
+        name: impl Into<String>,
+        size: usize,
+    ) -> QuantumRegister {
         let reg = QuantumRegister::new(name, self.num_qubits, size);
         self.num_qubits += size;
         self.qregs.push(reg.clone());
@@ -123,7 +127,12 @@ impl Circuit {
         self.num_clbits = self.num_clbits.max(n);
     }
 
-    fn validate_qubits(&self, gate_name: &str, arity: usize, qubits: &[usize]) -> Result<(), CircuitError> {
+    fn validate_qubits(
+        &self,
+        gate_name: &str,
+        arity: usize,
+        qubits: &[usize],
+    ) -> Result<(), CircuitError> {
         if qubits.len() != arity {
             return Err(CircuitError::ArityMismatch {
                 gate: gate_name.to_string(),
@@ -160,8 +169,7 @@ impl Circuit {
     }
 
     fn push_gate(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
-        self.append(gate, qubits)
-            .expect("invalid gate application");
+        self.append(gate, qubits).expect("invalid gate application");
         self
     }
 
@@ -280,7 +288,14 @@ impl Circuit {
     }
 
     /// Applies controlled U3.
-    pub fn cu3(&mut self, theta: f64, phi: f64, lambda: f64, control: usize, target: usize) -> &mut Self {
+    pub fn cu3(
+        &mut self,
+        theta: f64,
+        phi: f64,
+        lambda: f64,
+        control: usize,
+        target: usize,
+    ) -> &mut Self {
         self.push_gate(Gate::Cu3(theta, phi, lambda), &[control, target])
     }
 
@@ -544,13 +559,7 @@ impl Circuit {
             if matches!(inst.operation, Operation::Barrier) {
                 continue;
             }
-            let layer = inst
-                .qubits
-                .iter()
-                .map(|&q| level[q])
-                .max()
-                .unwrap_or(0)
-                + 1;
+            let layer = inst.qubits.iter().map(|&q| level[q]).max().unwrap_or(0) + 1;
             for &q in &inst.qubits {
                 level[q] = layer;
             }
@@ -571,13 +580,7 @@ impl Circuit {
             if inst.qubits.len() < 2 {
                 continue;
             }
-            let layer = inst
-                .qubits
-                .iter()
-                .map(|&q| level[q])
-                .max()
-                .unwrap_or(0)
-                + 1;
+            let layer = inst.qubits.iter().map(|&q| level[q]).max().unwrap_or(0) + 1;
             for &q in &inst.qubits {
                 level[q] = layer;
             }
@@ -619,20 +622,20 @@ pub fn apply_gate_inplace(state: &mut CVector, matrix: &CMatrix, qubits: &[usize
     loop {
         // `base` iterates over all indices with zero bits at gate positions.
         // Gather amplitudes of the 2^k sub-block.
-        for s in 0..sub_dim {
+        for (s, slot) in scratch.iter_mut().enumerate() {
             let mut idx = base;
             for (pos, &sh) in shifts.iter().enumerate() {
                 if (s >> (k - 1 - pos)) & 1 == 1 {
                     idx |= 1 << sh;
                 }
             }
-            scratch[s] = state.amplitude(idx);
+            *slot = state.amplitude(idx);
         }
         // Apply the gate to the sub-block.
         for (r, row) in (0..sub_dim).map(|r| (r, r)) {
             let mut acc = C64::zero();
-            for c in 0..sub_dim {
-                acc += matrix.get(row, c) * scratch[c];
+            for (c, &amp) in scratch.iter().enumerate() {
+                acc += matrix.get(row, c) * amp;
             }
             let mut idx = base;
             for (pos, &sh) in shifts.iter().enumerate() {

@@ -214,7 +214,15 @@ mod tests {
         let mut c = Circuit::new(1);
         c.unitary(Gate::H.matrix(), &[0], "h-ish").unwrap();
         let counts = GateCounts::of(&c).unwrap();
-        assert_eq!(counts, GateCounts { cx: 0, sg: 1, ancilla: 0, measure: 0 });
+        assert_eq!(
+            counts,
+            GateCounts {
+                cx: 0,
+                sg: 1,
+                ancilla: 0,
+                measure: 0
+            }
+        );
     }
 
     #[test]

@@ -67,10 +67,16 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit circuit"
+                )
             }
             CircuitError::ClbitOutOfRange { clbit, num_clbits } => {
-                write!(f, "clbit {clbit} out of range for {num_clbits} classical bits")
+                write!(
+                    f,
+                    "clbit {clbit} out of range for {num_clbits} classical bits"
+                )
             }
             CircuitError::DuplicateQubit { qubit } => {
                 write!(f, "qubit {qubit} supplied more than once to a gate")
@@ -87,7 +93,10 @@ impl fmt::Display for CircuitError {
                 write!(f, "operation {operation} is not unitary")
             }
             CircuitError::TooManyQubits { num_qubits, max } => {
-                write!(f, "{num_qubits} qubits exceeds the limit of {max} for this operation")
+                write!(
+                    f,
+                    "{num_qubits} qubits exceeds the limit of {max} for this operation"
+                )
             }
             CircuitError::Math(e) => write!(f, "numerical error: {e}"),
             CircuitError::Synthesis { reason } => write!(f, "synthesis failed: {reason}"),
@@ -132,7 +141,9 @@ mod tests {
                 actual: 3,
             },
             CircuitError::NotUnitary { deviation: 0.1 },
-            CircuitError::NonUnitaryOperation { operation: "measure" },
+            CircuitError::NonUnitaryOperation {
+                operation: "measure",
+            },
             CircuitError::TooManyQubits {
                 num_qubits: 30,
                 max: 20,

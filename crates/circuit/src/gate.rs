@@ -1,6 +1,6 @@
 //! The gate set: names, arities, matrices and inverses.
 
-use qra_math::{C64, CMatrix};
+use qra_math::{CMatrix, C64};
 use std::fmt;
 use std::sync::Arc;
 
@@ -222,13 +222,9 @@ impl Gate {
                 let s = C64::from((theta / 2.0).sin());
                 CMatrix::new(2, 2, vec![c, -s, s, c])
             }
-            Gate::Rz(theta) => {
-                CMatrix::diagonal(&[C64::cis(-theta / 2.0), C64::cis(theta / 2.0)])
-            }
+            Gate::Rz(theta) => CMatrix::diagonal(&[C64::cis(-theta / 2.0), C64::cis(theta / 2.0)]),
             Gate::Phase(lambda) => CMatrix::diagonal(&[o(), C64::cis(*lambda)]),
-            Gate::U2(phi, lambda) => {
-                u3_matrix(std::f64::consts::FRAC_PI_2, *phi, *lambda)
-            }
+            Gate::U2(phi, lambda) => u3_matrix(std::f64::consts::FRAC_PI_2, *phi, *lambda),
             Gate::U3(theta, phi, lambda) => u3_matrix(*theta, *phi, *lambda),
             Gate::Cx => controlled(&Gate::X.matrix()),
             Gate::Cy => controlled(&Gate::Y.matrix()),
@@ -277,9 +273,7 @@ impl Gate {
             Gate::Cry(t) => Gate::Cry(-t),
             Gate::Crz(t) => Gate::Crz(-t),
             Gate::Cu3(t, p, l) => Gate::Cu3(-t, -l, -p),
-            Gate::Unitary(m, label) => {
-                Gate::Unitary(Arc::new(m.adjoint()), format!("{label}_dg"))
-            }
+            Gate::Unitary(m, label) => Gate::Unitary(Arc::new(m.adjoint()), format!("{label}_dg")),
             // Self-inverse gates.
             g => g.clone(),
         }

@@ -23,7 +23,8 @@ const ANGLE_TOL: f64 = 1e-12;
 /// assert_eq!(opt.len(), 0);
 /// ```
 pub fn peephole_optimize(circuit: &Circuit) -> Circuit {
-    let mut insts: Vec<Option<Instruction>> = circuit.instructions().iter().cloned().map(Some).collect();
+    let mut insts: Vec<Option<Instruction>> =
+        circuit.instructions().iter().cloned().map(Some).collect();
     loop {
         let mut changed = false;
         changed |= drop_trivial(&mut insts);
@@ -43,7 +44,8 @@ pub fn peephole_optimize(circuit: &Circuit) -> Circuit {
 fn push_raw(c: &mut Circuit, inst: Instruction) {
     match &inst.operation {
         Operation::Gate(g) => {
-            c.append(g.clone(), &inst.qubits).expect("valid instruction");
+            c.append(g.clone(), &inst.qubits)
+                .expect("valid instruction");
         }
         Operation::Measure => {
             c.measure(inst.qubits[0], inst.clbits[0])
@@ -69,9 +71,7 @@ fn drop_trivial(insts: &mut [Option<Instruction>]) -> bool {
             Gate::I => true,
             Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Phase(t) => t.abs() < ANGLE_TOL,
             Gate::Cp(t) | Gate::Crx(t) | Gate::Cry(t) | Gate::Crz(t) => t.abs() < ANGLE_TOL,
-            Gate::U3(t, p, l) => {
-                t.abs() < ANGLE_TOL && p.abs() < ANGLE_TOL && l.abs() < ANGLE_TOL
-            }
+            Gate::U3(t, p, l) => t.abs() < ANGLE_TOL && p.abs() < ANGLE_TOL && l.abs() < ANGLE_TOL,
             _ => false,
         };
         if trivial {
@@ -97,9 +97,7 @@ fn merge_pair(a: &Gate, b: &Gate) -> Option<Option<Gate>> {
     }
     // Inverse pairs cancel (S·Sdg etc.).
     match (a, b) {
-        (S, Sdg) | (Sdg, S) | (T, Tdg) | (Tdg, T) | (Sx, Sxdg) | (Sxdg, Sx) => {
-            return Some(None)
-        }
+        (S, Sdg) | (Sdg, S) | (T, Tdg) | (Tdg, T) | (Sx, Sxdg) | (Sxdg, Sx) => return Some(None),
         _ => {}
     }
     // Mergeable rotations.
@@ -174,7 +172,7 @@ fn cancel_and_merge(insts: &mut Vec<Option<Instruction>>) -> bool {
         }
     }
     if changed {
-        insts.retain(|s| s.is_some() || true);
+        insts.retain(Option::is_some);
     }
     changed
 }

@@ -35,7 +35,11 @@ pub fn to_qasm(circuit: &Circuit) -> Result<String, CircuitError> {
     for inst in circuit.instructions() {
         match &inst.operation {
             Operation::Measure => {
-                let _ = writeln!(out, "measure q[{}] -> c[{}];", inst.qubits[0], inst.clbits[0]);
+                let _ = writeln!(
+                    out,
+                    "measure q[{}] -> c[{}];",
+                    inst.qubits[0], inst.clbits[0]
+                );
             }
             Operation::Reset => {
                 let _ = writeln!(out, "reset q[{}];", inst.qubits[0]);
@@ -118,7 +122,9 @@ mod tests {
     #[test]
     fn parameterised_forms() {
         let mut c = Circuit::new(2);
-        c.u3(0.1, 0.2, 0.3, 0).cp(0.7, 0, 1).cu3(1.0, 2.0, 3.0, 0, 1);
+        c.u3(0.1, 0.2, 0.3, 0)
+            .cp(0.7, 0, 1)
+            .cu3(1.0, 2.0, 3.0, 0, 1);
         let text = to_qasm(&c).unwrap();
         assert!(text.contains("u3(0.1,0.2,0.3) q[0];"));
         assert!(text.contains("cu1(0.7) q[0],q[1];"));

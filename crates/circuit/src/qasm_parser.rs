@@ -230,8 +230,10 @@ impl Parser {
             return self.inline_defined_gate(&def, &name, &params, &operands);
         }
         let qubits = self.qubit_list(&operands.join(","))?;
-        let values: Result<Vec<f64>, String> =
-            params.iter().map(|p| eval_expr_with(p, &HashMap::new())).collect();
+        let values: Result<Vec<f64>, String> = params
+            .iter()
+            .map(|p| eval_expr_with(p, &HashMap::new()))
+            .collect();
         let gate = resolve_gate(&name, &values?)?;
         self.circuit
             .append(gate, &qubits)
@@ -356,8 +358,12 @@ fn idx_to_size(size: usize) -> Result<usize, String> {
 
 /// Parses `name[index]`.
 fn parse_index(token: &str) -> Result<(String, usize), String> {
-    let open = token.find('[').ok_or_else(|| format!("expected '[' in '{token}'"))?;
-    let close = token.find(']').ok_or_else(|| format!("expected ']' in '{token}'"))?;
+    let open = token
+        .find('[')
+        .ok_or_else(|| format!("expected '[' in '{token}'"))?;
+    let close = token
+        .find(']')
+        .ok_or_else(|| format!("expected ']' in '{token}'"))?;
     let name = token[..open].trim().to_string();
     let idx: usize = token[open + 1..close]
         .trim()
@@ -512,7 +518,9 @@ fn tokenize(text: &str, vars: &HashMap<String, f64>) -> Result<Vec<Tok>, String>
                     i += 1;
                 }
                 let s: String = chars[start..i].iter().collect();
-                toks.push(Tok::Num(s.parse().map_err(|_| format!("bad number '{s}'"))?));
+                toks.push(Tok::Num(
+                    s.parse().map_err(|_| format!("bad number '{s}'"))?,
+                ));
             }
             other => return Err(format!("unexpected character '{other}'")),
         }
@@ -580,7 +588,12 @@ fn parse_atom(toks: &[Tok], pos: &mut usize) -> Result<f64, String> {
 }
 
 fn resolve_gate(name: &str, params: &[f64]) -> Result<Gate, String> {
-    let arity_err = |want: usize| format!("gate {name} expects {want} parameters, got {}", params.len());
+    let arity_err = |want: usize| {
+        format!(
+            "gate {name} expects {want} parameters, got {}",
+            params.len()
+        )
+    };
     let p = |i: usize| params[i];
     Ok(match (name, params.len()) {
         ("id", 0) => Gate::I,

@@ -55,7 +55,11 @@ impl QuantumRegister {
     ///
     /// Panics when `i >= len()`.
     pub fn index(&self, i: usize) -> usize {
-        assert!(i < self.size, "register index {i} out of range {}", self.size);
+        assert!(
+            i < self.size,
+            "register index {i} out of range {}",
+            self.size
+        );
         self.start + i
     }
 
@@ -109,7 +113,11 @@ impl ClassicalRegister {
     ///
     /// Panics when `i >= len()`.
     pub fn index(&self, i: usize) -> usize {
-        assert!(i < self.size, "register index {i} out of range {}", self.size);
+        assert!(
+            i < self.size,
+            "register index {i} out of range {}",
+            self.size
+        );
         self.start + i
     }
 

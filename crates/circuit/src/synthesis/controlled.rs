@@ -93,8 +93,13 @@ fn append_controlled_gate(
             Ok(())
         }
         // Controlled rotations gain a second control via the √U recursion.
-        Gate::Cp(_) | Gate::Crx(_) | Gate::Cry(_) | Gate::Crz(_) | Gate::Cu3(_, _, _)
-        | Gate::Cy | Gate::Ch => {
+        Gate::Cp(_)
+        | Gate::Crx(_)
+        | Gate::Cry(_)
+        | Gate::Crz(_)
+        | Gate::Cu3(_, _, _)
+        | Gate::Cy
+        | Gate::Ch => {
             let base = base_of_controlled(gate)?;
             let controls: [Control; 2] = [
                 (control, ControlState::Closed),

@@ -270,7 +270,10 @@ mod tests {
         // Verify against ctrl-(Z⊗Z).
         let zz = Gate::Z.matrix().kron(&Gate::Z.matrix());
         let expect = crate::gate::controlled(&zz);
-        assert!(c.unitary_matrix().unwrap().approx_eq_up_to_phase(&expect, TOL));
+        assert!(c
+            .unitary_matrix()
+            .unwrap()
+            .approx_eq_up_to_phase(&expect, TOL));
     }
 
     #[test]
@@ -299,7 +302,10 @@ mod tests {
 
     #[test]
     fn factor_tensor_of_products() {
-        let u = Gate::X.matrix().kron(&Gate::X.matrix()).kron(&Gate::X.matrix());
+        let u = Gate::X
+            .matrix()
+            .kron(&Gate::X.matrix())
+            .kron(&Gate::X.matrix());
         let f = try_factor_tensor(&u).unwrap();
         assert_eq!(f.len(), 3);
         for m in &f {

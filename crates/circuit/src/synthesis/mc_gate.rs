@@ -411,10 +411,7 @@ mod tests {
         let u = Gate::H.matrix();
         let mut c = Circuit::new(1);
         mc_unitary(&mut c, &[], 0, &u).unwrap();
-        assert!(c
-            .unitary_matrix()
-            .unwrap()
-            .approx_eq_up_to_phase(&u, TOL));
+        assert!(c.unitary_matrix().unwrap().approx_eq_up_to_phase(&u, TOL));
     }
 
     #[test]
@@ -432,7 +429,10 @@ mod tests {
         let controls = [0usize, 1, 2, 3];
         let mut c = Circuit::new(7);
         mcx_v_chain(&mut c, &controls, 4, &[5, 6]).unwrap();
-        let ctrl: Vec<Control> = controls.iter().map(|&q| (q, ControlState::Closed)).collect();
+        let ctrl: Vec<Control> = controls
+            .iter()
+            .map(|&q| (q, ControlState::Closed))
+            .collect();
         let expect = reference_mcu(7, &ctrl, 4, &Gate::X.matrix());
         let got = c.unitary_matrix().unwrap();
         for col in 0..(1usize << 7) {

@@ -24,7 +24,7 @@ pub mod two_level;
 pub mod zyz;
 
 pub use diagonal::{diagonal_pm_one, is_diagonal_pm_one};
-pub use mc_gate::{mcx, mc_unitary, ControlState};
+pub use mc_gate::{mc_unitary, mcx, ControlState};
 pub use multiplexed::{multiplexed_ry, multiplexed_rz};
 pub use state_prep::prepare_state;
 pub use two_level::unitary_circuit;

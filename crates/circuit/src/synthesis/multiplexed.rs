@@ -156,10 +156,10 @@ mod tests {
         let n = k + 1;
         let dim = 1usize << n;
         let mut m = CMatrix::zeros(dim, dim);
-        for p in 0..(1usize << k) {
+        for (p, &angle) in angles.iter().enumerate().take(1usize << k) {
             let block = match axis {
-                RotationAxis::Y => Gate::Ry(angles[p]).matrix(),
-                RotationAxis::Z => Gate::Rz(angles[p]).matrix(),
+                RotationAxis::Y => Gate::Ry(angle).matrix(),
+                RotationAxis::Z => Gate::Rz(angle).matrix(),
             };
             // Target is the least significant bit.
             for tb_r in 0..2 {
@@ -186,7 +186,7 @@ mod tests {
         let cx = c
             .instructions()
             .iter()
-            .filter(|i| i.as_gate().map_or(false, |g| g.name() == "cx"))
+            .filter(|i| i.as_gate().is_some_and(|g| g.name() == "cx"))
             .count();
         assert!(cx <= 1 << k, "too many CX: {cx} for k={k}");
     }

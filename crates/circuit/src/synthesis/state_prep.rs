@@ -13,7 +13,7 @@
 
 use crate::synthesis::multiplexed::{multiplexed_ry, multiplexed_rz};
 use crate::{Circuit, CircuitError};
-use qra_math::{C64, CVector};
+use qra_math::{CVector, C64};
 
 const TOL: f64 = 1e-10;
 
@@ -257,7 +257,7 @@ mod tests {
     fn cx_count(c: &Circuit) -> usize {
         c.instructions()
             .iter()
-            .filter(|i| i.as_gate().map_or(false, |g| g.name() == "cx"))
+            .filter(|i| i.as_gate().is_some_and(|g| g.name() == "cx"))
             .count()
     }
 

@@ -9,7 +9,7 @@
 
 use crate::synthesis::mc_gate::{mc_unitary, mcx, Control, ControlState};
 use crate::{Circuit, CircuitError, Gate};
-use qra_math::{C64, CMatrix};
+use qra_math::{CMatrix, C64};
 
 const TOL: f64 = 1e-10;
 
@@ -84,16 +84,7 @@ fn general_two_level(u: &CMatrix, n: usize) -> Result<Circuit, CircuitError> {
             let a = work.get(col, col);
             let s = (a.norm_sqr() + b.norm_sqr()).sqrt();
             // V = [[a*, b*], [−b, a]]/s zeroes (row,col) and makes (col,col)=s.
-            let v = CMatrix::new(
-                2,
-                2,
-                vec![
-                    a.conj() / s,
-                    b.conj() / s,
-                    -b / s,
-                    a / s,
-                ],
-            );
+            let v = CMatrix::new(2, 2, vec![a.conj() / s, b.conj() / s, -b / s, a / s]);
             apply_two_level_left(&mut work, col, row, &v);
             ops.push(TwoLevel {
                 i: col,
@@ -282,12 +273,7 @@ mod tests {
 
     #[test]
     fn diagonal_phases_only() {
-        let d = CMatrix::diagonal(&[
-            C64::one(),
-            C64::cis(0.4),
-            C64::cis(-1.3),
-            C64::cis(2.2),
-        ]);
+        let d = CMatrix::diagonal(&[C64::one(), C64::cis(0.4), C64::cis(-1.3), C64::cis(2.2)]);
         roundtrip(&d);
     }
 

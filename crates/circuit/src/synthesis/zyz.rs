@@ -1,7 +1,7 @@
 //! ZYZ (Euler-angle) decomposition of single-qubit unitaries.
 
 use crate::{Circuit, CircuitError, Gate};
-use qra_math::{C64, CMatrix};
+use qra_math::{CMatrix, C64};
 
 /// The Euler angles of `U = e^{iα} · Rz(β) · Ry(γ) · Rz(δ)`.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -3,7 +3,7 @@
 //! structure) that the assertion synthesis silently relies on.
 
 use qra_circuit::{Circuit, Gate};
-use qra_math::{C64, CMatrix, CVector};
+use qra_math::{CMatrix, CVector, C64};
 
 const TOL: f64 = 1e-10;
 

@@ -93,8 +93,40 @@ pub enum Command {
         /// Path to the QASM file.
         file: String,
     },
+    /// Run a fault-injection campaign over a program.
+    Campaign {
+        /// Program source: a QASM file, or a built-in GHZ preparation.
+        source: CampaignSource,
+        /// State specification string (defaults to `ghz`).
+        state: String,
+        /// Schemes to evaluate.
+        designs: Vec<CampaignDesign>,
+        /// Number of double-fault mutants to sample (0 = singles only).
+        doubles: usize,
+        /// Shot count per cell.
+        shots: u64,
+        /// Base seed (campaigns are reproducible per seed).
+        seed: u64,
+        /// Wall-clock deadline in milliseconds (`None` = unbounded).
+        deadline_ms: Option<u64>,
+        /// Memory budget for the exact density-matrix backend, in MiB.
+        memory_budget_mb: u64,
+        /// Noise preset name.
+        noise: Noise,
+        /// Emit JSON instead of text.
+        json: bool,
+    },
     /// Print usage help.
     Help,
+}
+
+/// Where a campaign's program under test comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignSource {
+    /// A QASM file on disk.
+    File(String),
+    /// The built-in n-qubit GHZ preparation.
+    Ghz(usize),
 }
 
 /// Noise preset selection.
@@ -133,6 +165,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             if skip {
                 skip = false;
                 continue;
+            }
+            if a.as_str() == "--json" {
+                continue; // boolean flag: consumes no value
             }
             if a.starts_with("--") {
                 skip = true;
@@ -182,9 +217,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .first()
                 .ok_or_else(|| err("assert: missing <file.qasm>"))?
                 .to_string();
-            let qubits = parse_qubit_list(
-                flag("--qubits").ok_or_else(|| err("assert: missing --qubits"))?,
-            )?;
+            let qubits =
+                parse_qubit_list(flag("--qubits").ok_or_else(|| err("assert: missing --qubits"))?)?;
             let state = flag("--state")
                 .ok_or_else(|| err("assert: missing --state"))?
                 .to_string();
@@ -215,6 +249,55 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .to_string();
             Ok(Command::Info { file })
         }
+        "campaign" => {
+            let source = match flag("--ghz") {
+                Some(n) => {
+                    let n: usize = n.parse().map_err(|_| err(format!("bad --ghz '{n}'")))?;
+                    if n == 0 {
+                        return Err(err("campaign: --ghz needs at least 1 qubit"));
+                    }
+                    CampaignSource::Ghz(n)
+                }
+                None => CampaignSource::File(
+                    positional
+                        .first()
+                        .ok_or_else(|| err("campaign: missing <file.qasm> or --ghz N"))?
+                        .to_string(),
+                ),
+            };
+            let state = flag("--state").unwrap_or("ghz").to_string();
+            let designs = parse_design_list(flag("--designs").unwrap_or("swap,or,ndd"))?;
+            let doubles = match flag("--doubles") {
+                Some(d) => d.parse().map_err(|_| err(format!("bad --doubles '{d}'")))?,
+                None => 0,
+            };
+            let deadline_ms = match flag("--deadline-ms") {
+                Some(d) => Some(
+                    d.parse()
+                        .map_err(|_| err(format!("bad --deadline-ms '{d}'")))?,
+                ),
+                None => None,
+            };
+            let memory_budget_mb = match flag("--memory-budget-mb") {
+                Some(m) => m
+                    .parse()
+                    .map_err(|_| err(format!("bad --memory-budget-mb '{m}'")))?,
+                None => 256,
+            };
+            let json = rest.iter().any(|a| a.as_str() == "--json");
+            Ok(Command::Campaign {
+                source,
+                state,
+                designs,
+                doubles,
+                shots,
+                seed,
+                deadline_ms,
+                memory_budget_mb,
+                noise,
+                json,
+            })
+        }
         other => Err(err(format!("unknown command '{other}'; try 'qra help'"))),
     }
 }
@@ -230,6 +313,34 @@ pub fn parse_qubit_list(text: &str) -> Result<Vec<usize>, CliError> {
         .filter(|s| !s.is_empty())
         .map(|s| s.parse().map_err(|_| err(format!("bad qubit '{s}'"))))
         .collect()
+}
+
+/// Parses `swap,or,ndd,stat` (or `all`) into campaign schemes.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown scheme names or an empty list.
+pub fn parse_design_list(text: &str) -> Result<Vec<CampaignDesign>, CliError> {
+    if text == "all" {
+        return Ok(CampaignDesign::ALL.to_vec());
+    }
+    let designs: Result<Vec<CampaignDesign>, CliError> = text
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| match s {
+            "swap" => Ok(CampaignDesign::Swap),
+            "or" | "logical-or" => Ok(CampaignDesign::LogicalOr),
+            "ndd" => Ok(CampaignDesign::Ndd),
+            "stat" => Ok(CampaignDesign::Stat),
+            other => Err(err(format!("unknown campaign design '{other}'"))),
+        })
+        .collect();
+    let designs = designs?;
+    if designs.is_empty() {
+        return Err(err("campaign: --designs must not be empty"));
+    }
+    Ok(designs)
 }
 
 /// Parses a state specification string into a [`StateSpec`] over
@@ -289,8 +400,10 @@ pub fn parse_state(text: &str, num_qubits: usize) -> Result<StateSpec, CliError>
                     .split(';')
                     .filter(|p| !p.is_empty())
                     .map(|p| {
-                        let i: usize =
-                            p.trim().parse().map_err(|_| err(format!("bad index '{p}'")))?;
+                        let i: usize = p
+                            .trim()
+                            .parse()
+                            .map_err(|_| err(format!("bad index '{p}'")))?;
                         if i >= dim {
                             return Err(err(format!("set index {i} out of range")));
                         }
@@ -393,6 +506,58 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             let _ = writeln!(out, "verdict:       {verdict}");
             Ok(out)
         }
+        Command::Campaign {
+            source,
+            state,
+            designs,
+            doubles,
+            shots,
+            seed,
+            deadline_ms,
+            memory_budget_mb,
+            noise,
+            json,
+        } => {
+            let program = match source {
+                CampaignSource::File(file) => load(file)?,
+                CampaignSource::Ghz(n) => qra::algorithms::states::ghz(*n),
+            };
+            let qubits: Vec<usize> = (0..program.num_qubits()).collect();
+            // Reject oversized programs before building the 2^n-amplitude
+            // spec: campaigns assert every program qubit, and past the
+            // trajectory backend's cap no backend can run the cells anyway.
+            const MAX_CAMPAIGN_QUBITS: usize = 20;
+            if qubits.len() > MAX_CAMPAIGN_QUBITS {
+                return Err(err(format!(
+                    "campaign: program has {} qubits; the widest backend supports \
+                     {MAX_CAMPAIGN_QUBITS} — shrink the program under test",
+                    qubits.len()
+                )));
+            }
+            let spec = parse_state(state, qubits.len())?;
+            let injector = FaultInjector::new(*seed);
+            let mut mutants = injector.enumerate_single(&program);
+            mutants.extend(injector.sample_double(&program, *doubles));
+            let config = CampaignConfig {
+                shots: *shots,
+                seed: *seed,
+                designs: designs.clone(),
+                deadline: deadline_ms.map(std::time::Duration::from_millis),
+                memory_budget_bytes: memory_budget_mb.saturating_mul(1 << 20),
+                noise: match noise {
+                    Noise::Ideal => NoiseModel::ideal(),
+                    Noise::Low => DevicePreset::LowNoise.noise_model(),
+                    Noise::Melbourne => DevicePreset::melbourne_like(),
+                },
+                ..CampaignConfig::default()
+            };
+            let report = run_campaign(&program, &qubits, &spec, &mutants, &config);
+            Ok(if *json {
+                report.to_json()
+            } else {
+                report.render_text()
+            })
+        }
         Command::Cost { num_qubits, state } => {
             let spec = parse_state(state, *num_qubits)?;
             let mut out = String::new();
@@ -439,6 +604,9 @@ pub fn usage() -> String {
      \x20                  [--shots N] [--seed S] [--noise ideal|low|melbourne]\n\
      qra cost --qubits-count N --state <spec>\n\
      qra info <file.qasm>\n\
+     qra campaign (<file.qasm> | --ghz N) [--state <spec>] [--designs swap,or,ndd,stat|all]\n\
+     \x20                  [--doubles K] [--shots N] [--seed S] [--deadline-ms T]\n\
+     \x20                  [--memory-budget-mb M] [--noise ideal|low|melbourne] [--json]\n\
      \n\
      STATE SPECS: ghz | bell | w | plus | zero | basis:IDX | set:I1;I2;… | amps:re,im;…\n"
         .to_string()
@@ -454,8 +622,7 @@ mod tests {
 
     #[test]
     fn parses_run_command() {
-        let cmd = parse_args(&args(&["run", "foo.qasm", "--shots", "100", "--seed", "9"]))
-            .unwrap();
+        let cmd = parse_args(&args(&["run", "foo.qasm", "--shots", "100", "--seed", "9"])).unwrap();
         assert_eq!(
             cmd,
             Command::Run {
@@ -626,8 +793,132 @@ mod tests {
     #[test]
     fn usage_mentions_all_commands() {
         let u = usage();
-        for word in ["run", "assert", "cost", "info", "ghz"] {
+        for word in ["run", "assert", "cost", "info", "campaign", "ghz"] {
             assert!(u.contains(word));
         }
+    }
+
+    #[test]
+    fn parses_campaign_command() {
+        let cmd = parse_args(&args(&[
+            "campaign",
+            "--ghz",
+            "3",
+            "--designs",
+            "ndd,stat",
+            "--doubles",
+            "4",
+            "--shots",
+            "128",
+            "--seed",
+            "7",
+            "--deadline-ms",
+            "5000",
+            "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Campaign {
+                source,
+                designs,
+                doubles,
+                shots,
+                seed,
+                deadline_ms,
+                json,
+                ..
+            } => {
+                assert_eq!(source, CampaignSource::Ghz(3));
+                assert_eq!(designs, vec![CampaignDesign::Ndd, CampaignDesign::Stat]);
+                assert_eq!(doubles, 4);
+                assert_eq!(shots, 128);
+                assert_eq!(seed, 7);
+                assert_eq!(deadline_ms, Some(5000));
+                assert!(json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // File source with default designs.
+        let cmd = parse_args(&args(&["campaign", "f.qasm"])).unwrap();
+        match cmd {
+            Command::Campaign {
+                source, designs, ..
+            } => {
+                assert_eq!(source, CampaignSource::File("f.qasm".into()));
+                assert_eq!(designs.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&args(&["campaign"])).is_err());
+        assert!(parse_args(&args(&["campaign", "--ghz", "0"])).is_err());
+        assert!(parse_args(&args(&["campaign", "f", "--designs", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn campaign_rejects_oversized_programs_fast() {
+        // Must error out before building the 2^25-amplitude spec.
+        let e = execute(&Command::Campaign {
+            source: CampaignSource::Ghz(25),
+            state: "ghz".into(),
+            designs: vec![CampaignDesign::Swap],
+            doubles: 0,
+            shots: 16,
+            seed: 1,
+            deadline_ms: None,
+            memory_budget_mb: 64,
+            noise: Noise::Ideal,
+            json: false,
+        })
+        .unwrap_err();
+        assert!(e.0.contains("25 qubits"), "{e}");
+    }
+
+    #[test]
+    fn design_list_parsing() {
+        assert_eq!(
+            parse_design_list("all").unwrap(),
+            CampaignDesign::ALL.to_vec()
+        );
+        assert_eq!(
+            parse_design_list("swap, logical-or").unwrap(),
+            vec![CampaignDesign::Swap, CampaignDesign::LogicalOr]
+        );
+        assert!(parse_design_list("").is_err());
+        assert!(parse_design_list("qft").is_err());
+    }
+
+    #[test]
+    fn campaign_end_to_end_on_builtin_ghz() {
+        let campaign = |json: bool| Command::Campaign {
+            source: CampaignSource::Ghz(2),
+            state: "ghz".into(),
+            designs: vec![CampaignDesign::Ndd],
+            doubles: 2,
+            shots: 128,
+            seed: 5,
+            deadline_ms: None,
+            memory_budget_mb: 64,
+            noise: Noise::Ideal,
+            json,
+        };
+        let base = campaign(false);
+        let text = execute(&base).unwrap();
+        assert!(text.contains("fault-injection campaign"), "{text}");
+        assert!(text.contains("false-positive rate 0.0000"), "{text}");
+        assert!(text.contains("angle-off-by-pi"));
+
+        // Identical seeds render identical reports (minus timing).
+        let again = execute(&base).unwrap();
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("elapsed:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&text), strip(&again));
+
+        let json_out = execute(&campaign(true)).unwrap();
+        assert!(json_out.starts_with('{') && json_out.ends_with('}'));
+        assert!(json_out.contains("\"mutant_count\""));
     }
 }

@@ -79,9 +79,7 @@ impl AssertionReport {
     /// between the last passing slot and the first failing slot contain
     /// the bug.
     pub fn first_failing(&self, threshold: f64) -> Option<usize> {
-        self.per_assertion
-            .iter()
-            .position(|&rate| rate > threshold)
+        self.per_assertion.iter().position(|&rate| rate > threshold)
     }
 }
 
@@ -164,8 +162,13 @@ mod tests {
         c.h(0).cx(0, 1);
         let s = 0.5f64.sqrt();
         let bell = CVector::from_real(&[s, 0.0, 0.0, s]);
-        let h = insert_assertion(&mut c, &[0, 1], &StateSpec::pure(bell).unwrap(), Design::Swap)
-            .unwrap();
+        let h = insert_assertion(
+            &mut c,
+            &[0, 1],
+            &StateSpec::pure(bell).unwrap(),
+            Design::Swap,
+        )
+        .unwrap();
         let counts = StatevectorSimulator::with_seed(1).run(&c, 1000).unwrap();
         let report = AssertionReport::from_counts(&counts, &[h]);
         assert_eq!(report.overall_error_rate(), 0.0);

@@ -20,7 +20,9 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Design {
     /// Synthesise all three designs and keep the one with the fewest
-    /// entangling gates (the paper's `design = NONE`).
+    /// entangling gates (the paper's `design = NONE`). CX-count ties
+    /// resolve deterministically in the preference order
+    /// Ndd > LogicalOr > Swap.
     #[default]
     Auto,
     /// SWAP-based design (§IV): corrects the state on pass.
@@ -107,10 +109,7 @@ impl Assertion {
 /// assert_eq!(assertion.gate_counts().cx, 1); // CZ counted as one CX
 /// # Ok::<(), qra_core::AssertionError>(())
 /// ```
-pub fn synthesize_assertion(
-    spec: &StateSpec,
-    design: Design,
-) -> Result<Assertion, AssertionError> {
+pub fn synthesize_assertion(spec: &StateSpec, design: Design) -> Result<Assertion, AssertionError> {
     let cs = spec.correct_states()?;
     let build = |d: Design| -> Result<Assertion, AssertionError> {
         let built = match d {
@@ -128,27 +127,25 @@ pub fn synthesize_assertion(
     };
     match design {
         Design::Auto => {
-            let candidates = [Design::Swap, Design::LogicalOr, Design::Ndd];
+            // Candidates in fixed preference order, so a CX-count tie
+            // resolves deterministically to Ndd > LogicalOr > Swap: a
+            // later candidate replaces the incumbent only when strictly
+            // cheaper in entangling gates.
+            let candidates = [Design::Ndd, Design::LogicalOr, Design::Swap];
             let mut best: Option<Assertion> = None;
-            let mut last_err = None;
+            let mut failures = Vec::new();
             for d in candidates {
                 match build(d) {
                     Ok(a) => {
-                        let better = best
-                            .as_ref()
-                            .map_or(true, |b| a.counts.cx < b.counts.cx);
+                        let better = best.as_ref().is_none_or(|b| a.counts.cx < b.counts.cx);
                         if better {
                             best = Some(a);
                         }
                     }
-                    Err(e) => last_err = Some(e),
+                    Err(e) => failures.push((d, Box::new(e))),
                 }
             }
-            best.ok_or_else(|| {
-                last_err.unwrap_or(AssertionError::InvalidSpec {
-                    reason: "no design could synthesise the assertion".into(),
-                })
-            })
+            best.ok_or(AssertionError::AutoSelectionFailed { failures })
         }
         d => build(d),
     }
@@ -266,11 +263,11 @@ pub fn insert_deallocation_assertion(
     qubits: &[usize],
     design: Design,
 ) -> Result<AssertionHandle, AssertionError> {
-    let dim = 1usize
-        .checked_shl(qubits.len() as u32)
-        .ok_or_else(|| AssertionError::InvalidQubitList {
+    let dim = 1usize.checked_shl(qubits.len() as u32).ok_or_else(|| {
+        AssertionError::InvalidQubitList {
             reason: "too many qubits".into(),
-        })?;
+        }
+    })?;
     let spec = StateSpec::pure(qra_math::CVector::basis_state(dim, 0))?;
     insert_assertion(circuit, qubits, &spec, design)
 }
@@ -278,7 +275,7 @@ pub fn insert_deallocation_assertion(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qra_math::{C64, CVector};
+    use qra_math::{CVector, C64};
     use qra_sim::StatevectorSimulator;
 
     fn ghz() -> CVector {
@@ -292,17 +289,46 @@ mod tests {
     #[test]
     fn auto_selects_cheapest_design() {
         // For the even-parity set, NDD (2 CX) beats SWAP and OR.
-        let spec = StateSpec::set(vec![
-            CVector::basis_state(4, 0),
-            CVector::basis_state(4, 3),
-        ])
-        .unwrap();
+        let spec =
+            StateSpec::set(vec![CVector::basis_state(4, 0), CVector::basis_state(4, 3)]).unwrap();
         let auto = synthesize_assertion(&spec, Design::Auto).unwrap();
         for d in [Design::Swap, Design::LogicalOr, Design::Ndd] {
             let a = synthesize_assertion(&spec, d).unwrap();
             assert!(auto.gate_counts().cx <= a.gate_counts().cx);
         }
         assert_ne!(auto.design(), Design::Auto);
+    }
+
+    #[test]
+    fn auto_tie_break_is_deterministic() {
+        // For every spec, Auto must pick the most-preferred design
+        // (Ndd > LogicalOr > Swap) among those with minimal CX count —
+        // same answer on every run.
+        let specs = [
+            StateSpec::pure(CVector::basis_state(2, 0)).unwrap(),
+            StateSpec::pure(ghz()).unwrap(),
+            StateSpec::set(vec![CVector::basis_state(4, 0), CVector::basis_state(4, 3)]).unwrap(),
+        ];
+        for spec in &specs {
+            let auto = synthesize_assertion(spec, Design::Auto).unwrap();
+            let expected = [Design::Ndd, Design::LogicalOr, Design::Swap]
+                .into_iter()
+                .filter_map(|d| {
+                    synthesize_assertion(spec, d)
+                        .ok()
+                        .map(|a| (d, a.gate_counts().cx))
+                })
+                .fold(None, |best: Option<(Design, usize)>, (d, cx)| match best {
+                    Some((_, best_cx)) if best_cx <= cx => best,
+                    _ => Some((d, cx)),
+                })
+                .map(|(d, _)| d)
+                .unwrap();
+            assert_eq!(auto.design(), expected);
+            // Re-running gives the identical choice.
+            let again = synthesize_assertion(spec, Design::Auto).unwrap();
+            assert_eq!(again.design(), auto.design());
+        }
     }
 
     #[test]
@@ -324,10 +350,16 @@ mod tests {
         for design in [Design::Swap, Design::LogicalOr, Design::Ndd, Design::Auto] {
             let mut program = Circuit::new(3);
             program.h(0).cx(0, 1).cx(1, 2);
-            let handle =
-                insert_assertion(&mut program, &[0, 1, 2], &StateSpec::pure(ghz()).unwrap(), design)
-                    .unwrap();
-            let counts = StatevectorSimulator::with_seed(5).run(&program, 2048).unwrap();
+            let handle = insert_assertion(
+                &mut program,
+                &[0, 1, 2],
+                &StateSpec::pure(ghz()).unwrap(),
+                design,
+            )
+            .unwrap();
+            let counts = StatevectorSimulator::with_seed(5)
+                .run(&program, 2048)
+                .unwrap();
             assert_eq!(
                 handle.error_rate(&counts),
                 0.0,
@@ -341,10 +373,16 @@ mod tests {
         for design in [Design::Swap, Design::LogicalOr, Design::Ndd] {
             let mut program = Circuit::new(3);
             program.u2(std::f64::consts::PI, 0.0, 0).cx(0, 1).cx(1, 2);
-            let handle =
-                insert_assertion(&mut program, &[0, 1, 2], &StateSpec::pure(ghz()).unwrap(), design)
-                    .unwrap();
-            let counts = StatevectorSimulator::with_seed(5).run(&program, 2048).unwrap();
+            let handle = insert_assertion(
+                &mut program,
+                &[0, 1, 2],
+                &StateSpec::pure(ghz()).unwrap(),
+                design,
+            )
+            .unwrap();
+            let counts = StatevectorSimulator::with_seed(5)
+                .run(&program, 2048)
+                .unwrap();
             assert!(
                 handle.error_rate(&counts) > 0.4,
                 "{design} missed the sign bug"
@@ -366,7 +404,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(handle.ancilla_qubits, vec![4]);
-        let counts = StatevectorSimulator::with_seed(2).run(&program, 1024).unwrap();
+        let counts = StatevectorSimulator::with_seed(2)
+            .run(&program, 1024)
+            .unwrap();
         assert_eq!(handle.error_rate(&counts), 0.0);
     }
 
@@ -392,7 +432,9 @@ mod tests {
         )
         .unwrap();
         assert_ne!(h1.clbits, h2.clbits);
-        let counts = StatevectorSimulator::with_seed(9).run(&program, 1024).unwrap();
+        let counts = StatevectorSimulator::with_seed(9)
+            .run(&program, 1024)
+            .unwrap();
         assert_eq!(h1.error_rate(&counts), 0.0);
         assert_eq!(h2.error_rate(&counts), 0.0);
     }
@@ -442,7 +484,9 @@ mod tests {
         .unwrap();
         program2.expand_clbits(data_clbit + 1);
         program2.measure(0, data_clbit).unwrap();
-        let counts = StatevectorSimulator::with_seed(3).run(&program2, 4096).unwrap();
+        let counts = StatevectorSimulator::with_seed(3)
+            .run(&program2, 4096)
+            .unwrap();
         let rate = handle2.error_rate(&counts);
         assert!((rate - 0.5).abs() < 0.05);
         let (filtered, kept) = handle2.post_select(&counts);
@@ -466,8 +510,7 @@ mod tests {
     fn deallocation_assertion_multi_qubit() {
         let mut c = Circuit::new(3);
         c.h(0).cx(0, 1).cx(0, 2).cx(0, 1).cx(0, 2);
-        let handle =
-            insert_deallocation_assertion(&mut c, &[1, 2], Design::Swap).unwrap();
+        let handle = insert_deallocation_assertion(&mut c, &[1, 2], Design::Swap).unwrap();
         let counts = StatevectorSimulator::with_seed(5).run(&c, 512).unwrap();
         assert_eq!(handle.error_rate(&counts), 0.0);
     }

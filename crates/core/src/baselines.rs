@@ -391,18 +391,12 @@ mod tests {
             Some(PrimitiveKind::Superposition)
         );
         // Even-parity set {|00⟩, |11⟩}.
-        let even = StateSpec::set(vec![
-            CVector::basis_state(4, 0),
-            CVector::basis_state(4, 3),
-        ])
-        .unwrap();
+        let even =
+            StateSpec::set(vec![CVector::basis_state(4, 0), CVector::basis_state(4, 3)]).unwrap();
         assert_eq!(supports(&even), Some(PrimitiveKind::EvenParity));
         // Odd-parity set {|01⟩, |10⟩}.
-        let odd = StateSpec::set(vec![
-            CVector::basis_state(4, 1),
-            CVector::basis_state(4, 2),
-        ])
-        .unwrap();
+        let odd =
+            StateSpec::set(vec![CVector::basis_state(4, 1), CVector::basis_state(4, 2)]).unwrap();
         assert_eq!(supports(&odd), Some(PrimitiveKind::OddParity));
         // GHZ precise: NOT supported (the paper's headline limitation).
         assert_eq!(supports(&StateSpec::pure(ghz_vec()).unwrap()), None);
@@ -419,11 +413,8 @@ mod tests {
 
     #[test]
     fn primitive_parity_assertion_works() {
-        let even = StateSpec::set(vec![
-            CVector::basis_state(4, 0),
-            CVector::basis_state(4, 3),
-        ])
-        .unwrap();
+        let even =
+            StateSpec::set(vec![CVector::basis_state(4, 0), CVector::basis_state(4, 3)]).unwrap();
         let built = primitive::build(&even).unwrap();
         assert_eq!(built.num_ancilla, 1);
         let counts = qra_circuit::GateCounts::of(&built.circuit).unwrap();
@@ -448,7 +439,8 @@ mod tests {
         let built = primitive::build(&spec).unwrap();
         let mut full = Circuit::with_clbits(4, 2);
         full.x(0);
-        full.compose(&built.circuit, &[0, 1, 2, 3], &[0, 1]).unwrap();
+        full.compose(&built.circuit, &[0, 1, 2, 3], &[0, 1])
+            .unwrap();
         let c = StatevectorSimulator::with_seed(6).run(&full, 512).unwrap();
         assert_eq!(c.any_set_frequency(&[0, 1]), 0.0);
     }
@@ -480,7 +472,9 @@ mod tests {
         let handle = proq::insert(&mut program, &[0, 1, 2], &spec).unwrap();
         assert_eq!(program.num_qubits(), before_qubits, "proq adds no ancilla");
         assert_eq!(handle.clbits.len(), 3);
-        let counts = StatevectorSimulator::with_seed(14).run(&program, 2048).unwrap();
+        let counts = StatevectorSimulator::with_seed(14)
+            .run(&program, 2048)
+            .unwrap();
         assert_eq!(handle.error_rate(&counts), 0.0);
     }
 
@@ -490,13 +484,17 @@ mod tests {
         let mut bug1 = Circuit::new(3);
         bug1.u2(std::f64::consts::PI, 0.0, 0).cx(0, 1).cx(1, 2);
         let h1 = proq::insert(&mut bug1, &[0, 1, 2], &spec).unwrap();
-        let c1 = StatevectorSimulator::with_seed(15).run(&bug1, 4096).unwrap();
+        let c1 = StatevectorSimulator::with_seed(15)
+            .run(&bug1, 4096)
+            .unwrap();
         assert!(h1.error_rate(&c1) > 0.4, "Table I: Proq catches Bug1");
 
         let mut bug2 = Circuit::new(3);
         bug2.h(0).cx(1, 2).cx(0, 1);
         let h2 = proq::insert(&mut bug2, &[0, 1, 2], &spec).unwrap();
-        let c2 = StatevectorSimulator::with_seed(16).run(&bug2, 4096).unwrap();
+        let c2 = StatevectorSimulator::with_seed(16)
+            .run(&bug2, 4096)
+            .unwrap();
         assert!(h2.error_rate(&c2) > 0.2, "Table I: Proq catches Bug2");
     }
 
@@ -513,7 +511,9 @@ mod tests {
         program.expand_clbits(data_cl + 1);
         program.h(0);
         program.measure(0, data_cl).unwrap();
-        let counts = StatevectorSimulator::with_seed(17).run(&program, 1024).unwrap();
+        let counts = StatevectorSimulator::with_seed(17)
+            .run(&program, 1024)
+            .unwrap();
         assert_eq!(handle.error_rate(&counts), 0.0);
         assert_eq!(counts.marginal_frequency(data_cl), 0.0);
     }

@@ -129,9 +129,7 @@ pub fn instrument_against(
     reference: &Circuit,
     options: &CheckpointOptions,
 ) -> Result<InstrumentedProgram, AssertionError> {
-    if reference.num_qubits() != program.num_qubits()
-        || reference.len() != program.len()
-    {
+    if reference.num_qubits() != program.num_qubits() || reference.len() != program.len() {
         return Err(AssertionError::InvalidSpec {
             reason: format!(
                 "reference shape ({} qubits, {} instructions) differs from program ({}, {})",
@@ -230,8 +228,7 @@ fn instrument_impl(
                 StateSpec::pure(state)?
             } else {
                 let rho = CMatrix::outer(&state, &state);
-                let traced: Vec<usize> =
-                    (0..n).filter(|q| !asserted.contains(q)).collect();
+                let traced: Vec<usize> = (0..n).filter(|q| !asserted.contains(q)).collect();
                 StateSpec::mixed(rho.partial_trace(&traced)?)?
             };
             let handle = if options.reuse_ancillas {

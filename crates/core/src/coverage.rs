@@ -109,9 +109,7 @@ pub fn classify(spec: &StateSpec) -> StateClass {
         StateSpec::Mixed(rho) => {
             // Rank-1 density matrices are secretly pure.
             match qra_math::hermitian_eigen(rho) {
-                Ok(eig) if eig.rank(crate::spec::RANK_TOL) == 1 => {
-                    classify_pure(&eig.vectors[0])
-                }
+                Ok(eig) if eig.rank(crate::spec::RANK_TOL) == 1 => classify_pure(&eig.vectors[0]),
                 _ => StateClass::Mixed,
             }
         }
@@ -210,9 +208,9 @@ pub fn support(scheme: Scheme, spec: &StateSpec) -> Support {
             }
         },
         Scheme::Proq => match class {
-            StateClass::Classical
-            | StateClass::Superposition
-            | StateClass::Entangled => Support::All,
+            StateClass::Classical | StateClass::Superposition | StateClass::Entangled => {
+                Support::All
+            }
             StateClass::Mixed => {
                 if spec.correct_states().is_ok() {
                     Support::Part
@@ -223,9 +221,9 @@ pub fn support(scheme: Scheme, spec: &StateSpec) -> Support {
             StateClass::SetOfStates => Support::Na,
         },
         Scheme::SwapBased | Scheme::LogicalOrBased | Scheme::NddBased => match class {
-            StateClass::Classical
-            | StateClass::Superposition
-            | StateClass::Entangled => Support::All,
+            StateClass::Classical | StateClass::Superposition | StateClass::Entangled => {
+                Support::All
+            }
             // Membership without probabilities — the paper's "Part".
             StateClass::Mixed | StateClass::SetOfStates => {
                 if spec.correct_states().is_ok() {
@@ -241,7 +239,7 @@ pub fn support(scheme: Scheme, spec: &StateSpec) -> Support {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qra_math::{C64, CMatrix, CVector};
+    use qra_math::{CMatrix, CVector, C64};
 
     fn ghz() -> CVector {
         let s = 0.5f64.sqrt();
@@ -302,11 +300,7 @@ mod tests {
             StateSpec::pure(CVector::basis_state(4, 1)).unwrap(),
             StateSpec::pure(ghz()).unwrap(),
             rank2_mixed(),
-            StateSpec::set(vec![
-                CVector::basis_state(4, 0),
-                CVector::basis_state(4, 3),
-            ])
-            .unwrap(),
+            StateSpec::set(vec![CVector::basis_state(4, 0), CVector::basis_state(4, 3)]).unwrap(),
         ];
         for spec in &specs {
             for scheme in [Scheme::SwapBased, Scheme::LogicalOrBased, Scheme::NddBased] {

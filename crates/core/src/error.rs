@@ -34,6 +34,13 @@ pub enum AssertionError {
         /// Why it declined.
         reason: String,
     },
+    /// Every candidate design failed during [`crate::Design::Auto`]
+    /// selection; one entry per candidate, in the order they were tried,
+    /// so no failure is hidden behind the last one.
+    AutoSelectionFailed {
+        /// `(design, error)` for each candidate that failed.
+        failures: Vec<(crate::Design, Box<AssertionError>)>,
+    },
     /// An underlying numerical operation failed.
     Math(MathError),
     /// An underlying circuit operation failed.
@@ -55,6 +62,16 @@ impl fmt::Display for AssertionError {
             }
             AssertionError::Unsupported { scheme, reason } => {
                 write!(f, "{scheme} cannot assert this state: {reason}")
+            }
+            AssertionError::AutoSelectionFailed { failures } => {
+                write!(f, "auto design selection failed: ")?;
+                for (i, (d, e)) in failures.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{d}: {e}")?;
+                }
+                Ok(())
             }
             AssertionError::Math(e) => write!(f, "numerical error: {e}"),
             AssertionError::Circuit(e) => write!(f, "circuit error: {e}"),
@@ -110,6 +127,12 @@ mod tests {
                 scheme: "primitive",
                 reason: "ghz".into(),
             },
+            AssertionError::AutoSelectionFailed {
+                failures: vec![(
+                    crate::Design::Swap,
+                    Box::new(AssertionError::Unassertable { num_qubits: 2 }),
+                )],
+            },
             AssertionError::Math(MathError::LinearlyDependent),
             AssertionError::Circuit(CircuitError::DuplicateQubit { qubit: 0 }),
             AssertionError::Sim(SimError::InvalidProbability { value: 2.0 }),
@@ -117,7 +140,8 @@ mod tests {
         for e in &errs {
             assert!(!e.to_string().is_empty());
         }
-        assert!(errs[4].source().is_some());
+        assert!(errs[5].source().is_some());
         assert!(errs[0].source().is_none());
+        assert!(errs[4].to_string().contains("swap"));
     }
 }

@@ -53,10 +53,8 @@ pub fn build_or_assertion(cs: &CorrectStates) -> Result<BuiltAssertion, Assertio
             // Open-controlled MCX sets the ancilla when ALL checked qubits
             // are |0⟩ (the pass condition); the trailing X inverts it so
             // ancilla |1⟩ = assertion error.
-            let controls: Vec<(usize, ControlState)> = checked
-                .iter()
-                .map(|&q| (q, ControlState::Open))
-                .collect();
+            let controls: Vec<(usize, ControlState)> =
+                checked.iter().map(|&q| (q, ControlState::Open)).collect();
             mcx(&mut circuit, &controls, or_ancilla)?;
             circuit.x(or_ancilla);
         }
@@ -148,17 +146,20 @@ pub fn build_or_assertion_v_chain(cs: &CorrectStates) -> Result<BuiltAssertion, 
 mod tests {
     use super::*;
     use crate::spec::StateSpec;
-    use qra_math::{C64, CVector};
+    use qra_math::{CVector, C64};
     use qra_sim::StatevectorSimulator;
 
     fn error_rate(prep: &Circuit, built: &BuiltAssertion) -> f64 {
         let k = built.num_test;
         let mut full = Circuit::with_clbits(k + built.num_ancilla, built.num_clbits);
-        full.compose(prep, &(0..k).collect::<Vec<_>>(), &[]).unwrap();
+        full.compose(prep, &(0..k).collect::<Vec<_>>(), &[])
+            .unwrap();
         let map: Vec<usize> = (0..k + built.num_ancilla).collect();
         let cl: Vec<usize> = (0..built.num_clbits).collect();
         full.compose(&built.circuit, &map, &cl).unwrap();
-        let counts = StatevectorSimulator::with_seed(11).run(&full, 8192).unwrap();
+        let counts = StatevectorSimulator::with_seed(11)
+            .run(&full, 8192)
+            .unwrap();
         counts.any_set_frequency(&cl)
     }
 
@@ -186,8 +187,7 @@ mod tests {
     #[test]
     fn correct_ghz_passes_with_one_ancilla() {
         let built =
-            build_or_assertion(&StateSpec::pure(ghz()).unwrap().correct_states().unwrap())
-                .unwrap();
+            build_or_assertion(&StateSpec::pure(ghz()).unwrap().correct_states().unwrap()).unwrap();
         assert_eq!(built.num_ancilla, 1);
         assert_eq!(built.num_clbits, 1);
         let mut prep = Circuit::new(3);
@@ -198,8 +198,7 @@ mod tests {
     #[test]
     fn ghz_bugs_detected() {
         let built =
-            build_or_assertion(&StateSpec::pure(ghz()).unwrap().correct_states().unwrap())
-                .unwrap();
+            build_or_assertion(&StateSpec::pure(ghz()).unwrap().correct_states().unwrap()).unwrap();
         let mut bug1 = Circuit::new(3);
         bug1.u2(std::f64::consts::PI, 0.0, 0).cx(0, 1).cx(1, 2);
         assert!(error_rate(&bug1, &built) > 0.4);
@@ -240,8 +239,7 @@ mod tests {
             .add(&qra_math::CMatrix::outer(&e(3), &e(3)).scale(C64::from(0.5)))
             .unwrap();
         let built =
-            build_or_assertion(&StateSpec::mixed(rho).unwrap().correct_states().unwrap())
-                .unwrap();
+            build_or_assertion(&StateSpec::mixed(rho).unwrap().correct_states().unwrap()).unwrap();
         let mut prep = Circuit::new(2);
         prep.h(0).cx(0, 1); // Bell state is a valid purification
         assert_eq!(error_rate(&prep, &built), 0.0);
@@ -252,11 +250,8 @@ mod tests {
 
     #[test]
     fn approximate_set_or_assertion() {
-        let set = StateSpec::set(vec![
-            CVector::basis_state(8, 0),
-            CVector::basis_state(8, 7),
-        ])
-        .unwrap();
+        let set =
+            StateSpec::set(vec![CVector::basis_state(8, 0), CVector::basis_state(8, 7)]).unwrap();
         let built = build_or_assertion(&set.correct_states().unwrap()).unwrap();
         let mut prep = Circuit::new(3);
         prep.h(0).cx(0, 1).cx(1, 2);
@@ -286,7 +281,10 @@ mod tests {
         assert_eq!(error_rate(&good, &chained), 0.0);
 
         let mut bad = Circuit::new(4);
-        bad.u2(std::f64::consts::PI, 0.0, 0).cx(0, 1).cx(1, 2).cx(2, 3);
+        bad.u2(std::f64::consts::PI, 0.0, 0)
+            .cx(0, 1)
+            .cx(1, 2)
+            .cx(2, 3);
         let r1 = error_rate(&bad, &recursive);
         let r2 = error_rate(&bad, &chained);
         assert!(r1 > 0.4 && (r1 - r2).abs() < 0.03, "r1={r1} r2={r2}");

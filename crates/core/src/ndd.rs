@@ -129,17 +129,20 @@ mod tests {
     use super::*;
     use crate::spec::StateSpec;
     use qra_circuit::GateCounts;
-    use qra_math::{C64, CVector};
+    use qra_math::{CVector, C64};
     use qra_sim::StatevectorSimulator;
 
     fn error_rate(prep: &Circuit, built: &BuiltAssertion) -> f64 {
         let k = built.num_test;
         let mut full = Circuit::with_clbits(k + built.num_ancilla, built.num_clbits);
-        full.compose(prep, &(0..k).collect::<Vec<_>>(), &[]).unwrap();
+        full.compose(prep, &(0..k).collect::<Vec<_>>(), &[])
+            .unwrap();
         let map: Vec<usize> = (0..k + built.num_ancilla).collect();
         let cl: Vec<usize> = (0..built.num_clbits).collect();
         full.compose(&built.circuit, &map, &cl).unwrap();
-        let counts = StatevectorSimulator::with_seed(21).run(&full, 8192).unwrap();
+        let counts = StatevectorSimulator::with_seed(21)
+            .run(&full, 8192)
+            .unwrap();
         counts.any_set_frequency(&cl)
     }
 
@@ -171,11 +174,8 @@ mod tests {
     #[test]
     fn even_parity_set_is_cz_chain() {
         // §V-C / Fig. 14: set {|00⟩, |11⟩} → ctrl-(Z⊗Z) = 2 CZ.
-        let set = StateSpec::set(vec![
-            CVector::basis_state(4, 0),
-            CVector::basis_state(4, 3),
-        ])
-        .unwrap();
+        let set =
+            StateSpec::set(vec![CVector::basis_state(4, 0), CVector::basis_state(4, 3)]).unwrap();
         let built = build_ndd_assertion(&set.correct_states().unwrap()).unwrap();
         let counts = GateCounts::of(&built.circuit).unwrap();
         assert_eq!(counts.cx, 2, "paper: n CX for the n-qubit parity set");
@@ -221,9 +221,8 @@ mod tests {
 
     #[test]
     fn precise_ghz_ndd_assertion() {
-        let built =
-            build_ndd_assertion(&StateSpec::pure(ghz()).unwrap().correct_states().unwrap())
-                .unwrap();
+        let built = build_ndd_assertion(&StateSpec::pure(ghz()).unwrap().correct_states().unwrap())
+            .unwrap();
         let mut prep = Circuit::new(3);
         prep.h(0).cx(0, 1).cx(1, 2);
         assert_eq!(error_rate(&prep, &built), 0.0);
@@ -291,8 +290,7 @@ mod tests {
         let s = 0.5f64.sqrt();
         let bell = CVector::from_real(&[s, 0.0, 0.0, s]);
         let built =
-            build_ndd_assertion(&StateSpec::pure(bell).unwrap().correct_states().unwrap())
-                .unwrap();
+            build_ndd_assertion(&StateSpec::pure(bell).unwrap().correct_states().unwrap()).unwrap();
         let mut prep = Circuit::new(2);
         prep.h(0).cx(0, 1);
         assert_eq!(error_rate(&prep, &built), 0.0);
@@ -312,9 +310,8 @@ mod tests {
             C64::from(s),
             C64::cis(std::f64::consts::FRAC_PI_4).scale(s),
         ]);
-        let built =
-            build_ndd_assertion(&StateSpec::pure(state).unwrap().correct_states().unwrap())
-                .unwrap();
+        let built = build_ndd_assertion(&StateSpec::pure(state).unwrap().correct_states().unwrap())
+            .unwrap();
         let mut prep = Circuit::new(1);
         prep.h(0).p(std::f64::consts::FRAC_PI_4, 0);
         assert_eq!(error_rate(&prep, &built), 0.0);

@@ -22,7 +22,7 @@ use crate::spec::CorrectStates;
 use crate::AssertionError;
 use qra_circuit::synthesis::{prepare_state, unitary_circuit};
 use qra_circuit::Circuit;
-use qra_math::{C64, CMatrix, CVector};
+use qra_math::{CMatrix, CVector, C64};
 
 const TOL: f64 = 1e-9;
 
@@ -504,6 +504,9 @@ fn try_linear_coset(
         // Eliminate this column from every other row.
         for r in 0..n {
             if r != pivot && g_rows[r][col] == 1 {
+                // Indexed loop: `g_rows[r]` and `g_rows[pivot]` alias the
+                // same Vec, so iterator forms fail the borrow check.
+                #[allow(clippy::needless_range_loop)]
                 for c in 0..m {
                     g_rows[r][c] ^= g_rows[pivot][c];
                 }
@@ -517,6 +520,7 @@ fn try_linear_coset(
         for c in 0..m {
             if c != col && g_rows[p][c] == 1 {
                 let other = pivot_of_col[c];
+                #[allow(clippy::needless_range_loop)]
                 for cc in 0..m {
                     g_rows[p][cc] ^= g_rows[other][cc];
                 }
@@ -670,7 +674,11 @@ mod tests {
         let step = &plan.steps[0];
         assert_eq!(step.checked.len(), 1);
         let counts = qra_circuit::GateCounts::of(&step.u).unwrap();
-        assert!(counts.cx <= 1, "affine fast path expected, got {}", counts.cx);
+        assert!(
+            counts.cx <= 1,
+            "affine fast path expected, got {}",
+            counts.cx
+        );
         assert!(verify_step_roundtrip(step));
     }
 
@@ -790,7 +798,10 @@ mod tests {
         let plus = CVector::from_real(&[0.5, 0.5, 0.5, 0.5]);
         let s0 = plus.kron(&CVector::basis_state(2, 0));
         let s1 = plus.kron(&CVector::basis_state(2, 1));
-        let cs = StateSpec::set(vec![s0, s1]).unwrap().correct_states().unwrap();
+        let cs = StateSpec::set(vec![s0, s1])
+            .unwrap()
+            .correct_states()
+            .unwrap();
         assert_eq!(cs.t, 2);
         let plan = AssertionPlan::build(&cs).unwrap();
         assert_eq!(plan.steps.len(), 1);
@@ -809,7 +820,10 @@ mod tests {
         let phi = CVector::new(vec![C64::from(s), C64::new(0.0, s)]);
         let a = phi.kron(&CVector::basis_state(2, 0));
         let b = phi.kron(&CVector::basis_state(2, 1));
-        let cs = StateSpec::set(vec![a.clone(), b]).unwrap().correct_states().unwrap();
+        let cs = StateSpec::set(vec![a.clone(), b])
+            .unwrap()
+            .correct_states()
+            .unwrap();
         let plan = AssertionPlan::build(&cs).unwrap();
         let step = &plan.steps[0];
         assert_eq!(step.checked, vec![0]);

@@ -9,7 +9,7 @@
 //! first (approximate assertion, §IV-D).
 
 use crate::AssertionError;
-use qra_math::{complete_basis, hermitian_eigen, C64, CMatrix, CVector};
+use qra_math::{complete_basis, hermitian_eigen, CMatrix, CVector, C64};
 
 /// Eigenvalue threshold below which a density-matrix eigenstate is
 /// considered absent (rank counting).
@@ -38,9 +38,11 @@ impl StateSpec {
         qra_math::qubits_for_dim(state.len()).map_err(|e| AssertionError::InvalidSpec {
             reason: e.to_string(),
         })?;
-        let normalized = state.normalized().map_err(|e| AssertionError::InvalidSpec {
-            reason: e.to_string(),
-        })?;
+        let normalized = state
+            .normalized()
+            .map_err(|e| AssertionError::InvalidSpec {
+                reason: e.to_string(),
+            })?;
         Ok(StateSpec::Pure(normalized))
     }
 
@@ -300,11 +302,8 @@ mod tests {
     #[test]
     fn set_spec_matches_paper_even_parity_example() {
         // §V-C: set {|00⟩, |11⟩} → U = Z⊗Z.
-        let spec = StateSpec::set(vec![
-            CVector::basis_state(4, 0),
-            CVector::basis_state(4, 3),
-        ])
-        .unwrap();
+        let spec =
+            StateSpec::set(vec![CVector::basis_state(4, 0), CVector::basis_state(4, 3)]).unwrap();
         let cs = spec.correct_states().unwrap();
         assert_eq!(cs.t, 2);
         let u = cs.ndd_unitary();
@@ -317,7 +316,10 @@ mod tests {
     fn full_rank_is_unassertable() {
         let rho = CMatrix::identity(4).scale(C64::from(0.25));
         let err = StateSpec::mixed(rho).unwrap().correct_states().unwrap_err();
-        assert!(matches!(err, AssertionError::Unassertable { num_qubits: 2 }));
+        assert!(matches!(
+            err,
+            AssertionError::Unassertable { num_qubits: 2 }
+        ));
     }
 
     #[test]

@@ -168,7 +168,7 @@ pub fn build_swap_assertion_with_placement(
 mod tests {
     use super::*;
     use crate::spec::StateSpec;
-    use qra_math::{C64, CVector};
+    use qra_math::{CVector, C64};
     use qra_sim::StatevectorSimulator;
 
     /// Runs `prep` on the test qubits, then the assertion, and returns the
@@ -176,7 +176,8 @@ mod tests {
     fn error_rate(prep: &Circuit, built: &BuiltAssertion) -> f64 {
         let k = built.num_test;
         let mut full = Circuit::with_clbits(k + built.num_ancilla, built.num_clbits);
-        full.compose(prep, &(0..k).collect::<Vec<_>>(), &[]).unwrap();
+        full.compose(prep, &(0..k).collect::<Vec<_>>(), &[])
+            .unwrap();
         let map: Vec<usize> = (0..k + built.num_ancilla).collect();
         let cl: Vec<usize> = (0..built.num_clbits).collect();
         full.compose(&built.circuit, &map, &cl).unwrap();
@@ -203,10 +204,8 @@ mod tests {
         // Both placements implement the same assertion; the full SWAP
         // costs one extra CX per checked qubit (paper Table III vs Fig 1).
         let cs = ghz_spec().correct_states().unwrap();
-        let opt =
-            build_swap_assertion_with_placement(&cs, SwapPlacement::Optimized).unwrap();
-        let full =
-            build_swap_assertion_with_placement(&cs, SwapPlacement::FullSwap).unwrap();
+        let opt = build_swap_assertion_with_placement(&cs, SwapPlacement::Optimized).unwrap();
+        let full = build_swap_assertion_with_placement(&cs, SwapPlacement::FullSwap).unwrap();
         assert_eq!(error_rate(&ghz_prep(), &opt), 0.0);
         assert_eq!(error_rate(&ghz_prep(), &full), 0.0);
         let mut buggy = Circuit::new(3);
@@ -225,8 +224,7 @@ mod tests {
     fn default_builder_uses_optimized_placement() {
         let cs = ghz_spec().correct_states().unwrap();
         let default_built = build_swap_assertion(&cs).unwrap();
-        let opt =
-            build_swap_assertion_with_placement(&cs, SwapPlacement::Optimized).unwrap();
+        let opt = build_swap_assertion_with_placement(&cs, SwapPlacement::Optimized).unwrap();
         assert_eq!(
             qra_circuit::GateCounts::of(&default_built.circuit).unwrap(),
             qra_circuit::GateCounts::of(&opt.circuit).unwrap()
@@ -339,11 +337,8 @@ mod tests {
 
     #[test]
     fn approximate_set_assertion_passes_members_and_mixtures() {
-        let set = StateSpec::set(vec![
-            CVector::basis_state(8, 0),
-            CVector::basis_state(8, 7),
-        ])
-        .unwrap();
+        let set =
+            StateSpec::set(vec![CVector::basis_state(8, 0), CVector::basis_state(8, 7)]).unwrap();
         let built = build_swap_assertion(&set.correct_states().unwrap()).unwrap();
         // GHZ (superposition of members) passes.
         assert_eq!(error_rate(&ghz_prep(), &built), 0.0);
@@ -360,11 +355,8 @@ mod tests {
     #[test]
     fn approximate_set_ignores_coefficients() {
         // Unequal GHZ-like superposition is still inside the set span.
-        let set = StateSpec::set(vec![
-            CVector::basis_state(8, 0),
-            CVector::basis_state(8, 7),
-        ])
-        .unwrap();
+        let set =
+            StateSpec::set(vec![CVector::basis_state(8, 0), CVector::basis_state(8, 7)]).unwrap();
         let built = build_swap_assertion(&set.correct_states().unwrap()).unwrap();
         let mut prep = Circuit::new(3);
         prep.ry(0.7, 0).cx(0, 1).cx(1, 2); // cos|000⟩ + sin|111⟩

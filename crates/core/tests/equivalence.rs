@@ -5,10 +5,10 @@
 //! appendices.
 
 use qra_circuit::Circuit;
+use qra_core::ndd::build_ndd_assertion;
 use qra_core::spec::StateSpec;
 use qra_core::swap::build_swap_assertion;
-use qra_core::ndd::build_ndd_assertion;
-use qra_math::{C64, CMatrix, CVector};
+use qra_math::{CMatrix, CVector, C64};
 
 const TOL: f64 = 1e-9;
 
@@ -99,11 +99,8 @@ fn fig13_zero_state_ndd_equals_prior_cx() {
 fn fig14_parity_set_ndd_equals_prior_double_cx() {
     // §V-C / Fig. 14: the {|00⟩, |11⟩} set gives U = Z⊗Z; our circuit is
     // H(a)·CZ·CZ·H(a), the prior work's is CX(t1→a)·CX(t2→a). Same unitary.
-    let spec = StateSpec::set(vec![
-        CVector::basis_state(4, 0),
-        CVector::basis_state(4, 3),
-    ])
-    .unwrap();
+    let spec =
+        StateSpec::set(vec![CVector::basis_state(4, 0), CVector::basis_state(4, 3)]).unwrap();
     let built = build_ndd_assertion(&spec.correct_states().unwrap()).unwrap();
     let ours = gates_only(&built.circuit).unitary_matrix().unwrap();
 

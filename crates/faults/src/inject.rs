@@ -1,0 +1,518 @@
+//! Deterministic, seeded fault injection over circuits.
+//!
+//! The paper's §III evaluation seeds five hand-written bugs into a GHZ
+//! preparation (Table 1). This module generalises that methodology into a
+//! systematic mutation engine: every fault the paper's bug taxonomy covers
+//! (wrong parameters, reordered entanglers, stray gates, dropped lines) is
+//! enumerated mechanically over an arbitrary [`Circuit`], so a campaign can
+//! measure which assertion designs catch which fault classes.
+
+use qra_circuit::{Circuit, CircuitError, Gate, Instruction, Operation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Perturbation used by [`FaultKind::AngleEpsilon`] (radians). Small enough
+/// that the mutant is a near-miss the statistical baseline cannot see.
+pub const ANGLE_EPSILON: f64 = 0.1;
+
+/// The fault classes the injector knows how to seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Substitute a gate for a look-alike (H ↔ X), the paper's
+    /// "wrong gate" bug class.
+    GateSubstitution,
+    /// Swap control and target of an asymmetric two-qubit gate
+    /// (the paper's Bug4 class).
+    ControlTargetSwap,
+    /// Add π to the leading angle of a parameterised gate — the sign-flip
+    /// class behind the paper's Bug1 (`u2(π,0)` instead of `u2(0,π)`).
+    AngleOffByPi,
+    /// Add a small ε ([`ANGLE_EPSILON`]) to the leading angle: a near-miss
+    /// only amplitude-sensitive checks can notice.
+    AngleEpsilon,
+    /// Delete one gate (a dropped line).
+    DropGate,
+    /// Apply one gate twice (a duplicated line; self-inverse gates cancel).
+    DuplicateGate,
+    /// Insert a stray X after an instruction, on a qubit it acts on.
+    StrayX,
+    /// Insert a stray Z after an instruction, on a qubit it acts on —
+    /// invisible in the computational-basis distribution.
+    StrayZ,
+}
+
+impl FaultKind {
+    /// All fault classes, in the order the injector enumerates them.
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::GateSubstitution,
+        FaultKind::ControlTargetSwap,
+        FaultKind::AngleOffByPi,
+        FaultKind::AngleEpsilon,
+        FaultKind::DropGate,
+        FaultKind::DuplicateGate,
+        FaultKind::StrayX,
+        FaultKind::StrayZ,
+    ];
+
+    /// Short kebab-case name used in mutant ids and report rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::GateSubstitution => "gate-substitution",
+            FaultKind::ControlTargetSwap => "control-target-swap",
+            FaultKind::AngleOffByPi => "angle-off-by-pi",
+            FaultKind::AngleEpsilon => "angle-epsilon",
+            FaultKind::DropGate => "drop-gate",
+            FaultKind::DuplicateGate => "duplicate-gate",
+            FaultKind::StrayX => "stray-x",
+            FaultKind::StrayZ => "stray-z",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One faulty variant of a program.
+#[derive(Debug, Clone)]
+pub struct Mutant {
+    /// Stable identifier, unique within one campaign.
+    pub id: String,
+    /// The fault classes applied (one entry for single faults, two for
+    /// double faults).
+    pub kinds: Vec<FaultKind>,
+    /// Human-readable description of what was changed, and where.
+    pub description: String,
+    /// The mutated circuit (same width as the original).
+    pub circuit: Circuit,
+}
+
+impl Mutant {
+    /// Label aggregating the fault classes (`"stray-z"`,
+    /// `"drop-gate+stray-x"`), used as the detection-matrix row key.
+    pub fn kind_label(&self) -> String {
+        self.kinds
+            .iter()
+            .map(FaultKind::name)
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+/// A single fault applied to an instruction list, before circuit rebuild.
+#[derive(Debug, Clone)]
+struct AppliedFault {
+    kind: FaultKind,
+    description: String,
+    instructions: Vec<Instruction>,
+}
+
+/// Deterministic fault injector.
+///
+/// Enumeration is purely structural and identical run-to-run;
+/// [`FaultInjector::sample_double`] additionally uses the seed, so the same
+/// seed always yields the same mutant set.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultInjector {
+    seed: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector whose sampling decisions derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Enumerates every single-fault mutant of `circuit`, in a fixed
+    /// order (by instruction site, then by fault class).
+    pub fn enumerate_single(&self, circuit: &Circuit) -> Vec<Mutant> {
+        let base: Vec<Instruction> = circuit.instructions().to_vec();
+        single_faults(&base)
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, f)| {
+                let rebuilt = rebuild(circuit, &f.instructions).ok()?;
+                Some(Mutant {
+                    id: format!("s{i}-{}", f.kind.name()),
+                    kinds: vec![f.kind],
+                    description: f.description,
+                    circuit: rebuilt,
+                })
+            })
+            .collect()
+    }
+
+    /// Samples up to `count` distinct double-fault mutants: a seeded first
+    /// fault composed with a seeded second fault of the mutated circuit.
+    pub fn sample_double(&self, circuit: &Circuit, count: usize) -> Vec<Mutant> {
+        let base: Vec<Instruction> = circuit.instructions().to_vec();
+        let firsts = single_faults(&base);
+        if firsts.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut seen: Vec<String> = Vec::new();
+        let mut out = Vec::new();
+        let mut attempts = 0usize;
+        while out.len() < count && attempts < count.saturating_mul(20).max(20) {
+            attempts += 1;
+            let a = &firsts[rng.gen_range(0..firsts.len())];
+            let seconds = single_faults(&a.instructions);
+            if seconds.is_empty() {
+                continue;
+            }
+            let b = &seconds[rng.gen_range(0..seconds.len())];
+            let description = format!("{}; then {}", a.description, b.description);
+            if seen.contains(&description) {
+                continue;
+            }
+            let Ok(rebuilt) = rebuild(circuit, &b.instructions) else {
+                continue;
+            };
+            seen.push(description.clone());
+            out.push(Mutant {
+                id: format!("d{}-{}+{}", out.len(), a.kind.name(), b.kind.name()),
+                kinds: vec![a.kind, b.kind],
+                description,
+                circuit: rebuilt,
+            });
+        }
+        out
+    }
+}
+
+/// Rebuilds a circuit of the same width from a mutated instruction list.
+fn rebuild(template: &Circuit, instructions: &[Instruction]) -> Result<Circuit, CircuitError> {
+    let mut c = Circuit::with_clbits(template.num_qubits(), template.num_clbits());
+    for inst in instructions {
+        match &inst.operation {
+            Operation::Gate(g) => {
+                c.append(g.clone(), &inst.qubits)?;
+            }
+            Operation::Measure => {
+                c.measure(inst.qubits[0], inst.clbits[0])?;
+            }
+            Operation::Reset => {
+                c.reset(inst.qubits[0])?;
+            }
+            Operation::Barrier => {
+                c.barrier_on(inst.qubits.clone());
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Enumerates every single fault of an instruction list, in site order.
+fn single_faults(base: &[Instruction]) -> Vec<AppliedFault> {
+    let mut out = Vec::new();
+    for (site, inst) in base.iter().enumerate() {
+        let Operation::Gate(gate) = &inst.operation else {
+            continue; // measurements/resets/barriers are not mutated
+        };
+
+        // Gate substitution: H ↔ X.
+        if let Some(sub) = substitute(gate) {
+            let mut insts = base.to_vec();
+            insts[site] = Instruction::gate(sub.clone(), inst.qubits.clone());
+            out.push(AppliedFault {
+                kind: FaultKind::GateSubstitution,
+                description: format!("{} → {} at {site}", gate.name(), sub.name()),
+                instructions: insts,
+            });
+        }
+
+        // Control/target swap for asymmetric two-qubit gates.
+        if is_asymmetric_two_qubit(gate) && inst.qubits.len() == 2 {
+            let mut insts = base.to_vec();
+            let swapped = vec![inst.qubits[1], inst.qubits[0]];
+            insts[site] = Instruction::gate(gate.clone(), swapped);
+            out.push(AppliedFault {
+                kind: FaultKind::ControlTargetSwap,
+                description: format!(
+                    "{} control/target swapped at {site} (q{} ↔ q{})",
+                    gate.name(),
+                    inst.qubits[0],
+                    inst.qubits[1]
+                ),
+                instructions: insts,
+            });
+        }
+
+        // Leading-angle perturbations.
+        for (kind, delta) in [
+            (FaultKind::AngleOffByPi, std::f64::consts::PI),
+            (FaultKind::AngleEpsilon, ANGLE_EPSILON),
+        ] {
+            if let Some(shifted) = shift_leading_angle(gate, delta) {
+                let mut insts = base.to_vec();
+                insts[site] = Instruction::gate(shifted, inst.qubits.clone());
+                out.push(AppliedFault {
+                    kind,
+                    description: format!("{} leading angle {delta:+.4} at {site}", gate.name()),
+                    instructions: insts,
+                });
+            }
+        }
+
+        // Dropped gate.
+        {
+            let mut insts = base.to_vec();
+            insts.remove(site);
+            out.push(AppliedFault {
+                kind: FaultKind::DropGate,
+                description: format!("{} dropped at {site}", gate.name()),
+                instructions: insts,
+            });
+        }
+
+        // Duplicated gate.
+        {
+            let mut insts = base.to_vec();
+            insts.insert(site + 1, inst.clone());
+            out.push(AppliedFault {
+                kind: FaultKind::DuplicateGate,
+                description: format!("{} duplicated at {site}", gate.name()),
+                instructions: insts,
+            });
+        }
+
+        // Stray X / Z after this instruction, on each qubit it touches
+        // (never before anything has happened, so a stray Z is not a no-op
+        // on |0⟩ by construction).
+        for (kind, stray) in [(FaultKind::StrayX, Gate::X), (FaultKind::StrayZ, Gate::Z)] {
+            for &q in &inst.qubits {
+                let mut insts = base.to_vec();
+                insts.insert(site + 1, Instruction::gate(stray.clone(), vec![q]));
+                out.push(AppliedFault {
+                    kind,
+                    description: format!(
+                        "stray {} on q{q} after {} at {site}",
+                        stray.name(),
+                        gate.name()
+                    ),
+                    instructions: insts,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The look-alike substitution table.
+fn substitute(gate: &Gate) -> Option<Gate> {
+    match gate {
+        Gate::H => Some(Gate::X),
+        Gate::X => Some(Gate::H),
+        Gate::Cx => Some(Gate::Cz),
+        Gate::Cz => Some(Gate::Cx),
+        _ => None,
+    }
+}
+
+/// Two-qubit gates whose semantics change when control and target swap.
+fn is_asymmetric_two_qubit(gate: &Gate) -> bool {
+    matches!(
+        gate,
+        Gate::Cx
+            | Gate::Cy
+            | Gate::Ch
+            | Gate::Crx(_)
+            | Gate::Cry(_)
+            | Gate::Crz(_)
+            | Gate::Cu3(_, _, _)
+    )
+}
+
+/// Adds `delta` to the leading angle of a parameterised gate.
+fn shift_leading_angle(gate: &Gate, delta: f64) -> Option<Gate> {
+    Some(match gate {
+        Gate::Rx(t) => Gate::Rx(t + delta),
+        Gate::Ry(t) => Gate::Ry(t + delta),
+        Gate::Rz(t) => Gate::Rz(t + delta),
+        Gate::Phase(l) => Gate::Phase(l + delta),
+        Gate::U2(phi, lambda) => Gate::U2(phi + delta, *lambda),
+        Gate::U3(theta, phi, lambda) => Gate::U3(theta + delta, *phi, *lambda),
+        Gate::Cp(l) => Gate::Cp(l + delta),
+        Gate::Crx(t) => Gate::Crx(t + delta),
+        Gate::Cry(t) => Gate::Cry(t + delta),
+        Gate::Crz(t) => Gate::Crz(t + delta),
+        Gate::Cu3(theta, phi, lambda) => Gate::Cu3(theta + delta, *phi, *lambda),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qra_algorithms::states;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn enumeration_is_deterministic_and_ordered() {
+        let ghz = states::ghz(3);
+        let inj = FaultInjector::new(7);
+        let a = inj.enumerate_single(&ghz);
+        let b = inj.enumerate_single(&ghz);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.description, y.description);
+            assert_eq!(x.circuit, y.circuit);
+        }
+        // GHZ(3) = u2 + 2 CX: every class except H↔X substitution on the
+        // u2 form must be present.
+        for kind in [
+            FaultKind::ControlTargetSwap,
+            FaultKind::AngleOffByPi,
+            FaultKind::AngleEpsilon,
+            FaultKind::DropGate,
+            FaultKind::DuplicateGate,
+            FaultKind::StrayX,
+            FaultKind::StrayZ,
+        ] {
+            assert!(
+                a.iter().any(|m| m.kinds == vec![kind]),
+                "missing {kind} mutant"
+            );
+        }
+    }
+
+    #[test]
+    fn mutants_preserve_circuit_width() {
+        let ghz = states::ghz(4);
+        for m in FaultInjector::new(1).enumerate_single(&ghz) {
+            assert_eq!(m.circuit.num_qubits(), 4, "{}", m.description);
+            assert_eq!(m.circuit.num_clbits(), ghz.num_clbits());
+        }
+    }
+
+    #[test]
+    fn off_by_pi_on_ghz_prep_is_the_papers_bug1_class() {
+        // u2(0+π, π) prepares (|0…0⟩ − |1…1⟩)/√2: same distribution,
+        // orthogonal state — exactly the Bug1 failure mode.
+        let ghz = states::ghz(3);
+        let mutants = FaultInjector::new(1).enumerate_single(&ghz);
+        let flipped = mutants
+            .iter()
+            .find(|m| m.kinds == vec![FaultKind::AngleOffByPi])
+            .expect("off-by-pi mutant on the u2");
+        let sv = flipped.circuit.statevector().unwrap();
+        let minus = {
+            let s = qra_math::C64::from(0.5f64.sqrt());
+            let mut v = qra_math::CVector::zeros(8);
+            v[0] = s;
+            v[7] = -s;
+            v
+        };
+        assert!(sv.approx_eq_up_to_phase(&minus, 1e-9));
+    }
+
+    #[test]
+    fn stray_z_commutes_with_distribution_but_flips_sign() {
+        let ghz = states::ghz(2);
+        let mutants = FaultInjector::new(1).enumerate_single(&ghz);
+        let stray_z = mutants
+            .iter()
+            .rfind(|m| m.kinds == vec![FaultKind::StrayZ])
+            .unwrap();
+        let sv = stray_z.circuit.statevector().unwrap();
+        // Distribution unchanged…
+        assert!((sv.probability(0) - 0.5).abs() < 1e-9);
+        assert!((sv.probability(3) - 0.5).abs() < 1e-9);
+        // …but orthogonal to the true GHZ.
+        let overlap = sv.inner(&states::ghz_vector(2)).unwrap().norm();
+        assert!(overlap < 1e-9);
+    }
+
+    #[test]
+    fn control_target_swap_changes_the_unitary() {
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1);
+        let mutants = FaultInjector::new(1).enumerate_single(&c);
+        let swapped = mutants
+            .iter()
+            .find(|m| m.kinds == vec![FaultKind::ControlTargetSwap])
+            .unwrap();
+        let orig = c.statevector().unwrap();
+        let muta = swapped.circuit.statevector().unwrap();
+        assert!(!muta.approx_eq_up_to_phase(&orig, 1e-9));
+    }
+
+    #[test]
+    fn double_fault_sampling_is_seeded_and_bounded() {
+        let ghz = states::ghz(3);
+        let a = FaultInjector::new(11).sample_double(&ghz, 6);
+        let b = FaultInjector::new(11).sample_double(&ghz, 6);
+        let c = FaultInjector::new(12).sample_double(&ghz, 6);
+        assert_eq!(a.len(), 6);
+        assert_eq!(
+            a.iter().map(|m| &m.description).collect::<Vec<_>>(),
+            b.iter().map(|m| &m.description).collect::<Vec<_>>()
+        );
+        assert!(a
+            .iter()
+            .zip(&c)
+            .any(|(x, y)| x.description != y.description));
+        for m in &a {
+            assert_eq!(m.kinds.len(), 2);
+            assert!(m.kind_label().contains('+'));
+        }
+        assert!(FaultInjector::new(1).sample_double(&ghz, 0).is_empty());
+    }
+
+    #[test]
+    fn drop_and_duplicate_adjust_length() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let mutants = FaultInjector::new(1).enumerate_single(&c);
+        let dropped = mutants
+            .iter()
+            .find(|m| m.kinds == vec![FaultKind::DropGate])
+            .unwrap();
+        assert_eq!(dropped.circuit.len(), 0);
+        let dup = mutants
+            .iter()
+            .find(|m| m.kinds == vec![FaultKind::DuplicateGate])
+            .unwrap();
+        assert_eq!(dup.circuit.len(), 2);
+        // H twice = identity.
+        let sv = dup.circuit.statevector().unwrap();
+        assert!((sv.probability(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn substitution_covers_h_x_and_cx_cz() {
+        let mut c = Circuit::new(2);
+        c.h(0).x(1).cx(0, 1).cz(0, 1);
+        let mutants = FaultInjector::new(1).enumerate_single(&c);
+        let subs: Vec<&String> = mutants
+            .iter()
+            .filter(|m| m.kinds == vec![FaultKind::GateSubstitution])
+            .map(|m| &m.description)
+            .collect();
+        assert_eq!(subs.len(), 4);
+        assert!(subs.iter().any(|d| d.contains("h → x")));
+        assert!(subs.iter().any(|d| d.contains("x → h")));
+        assert!(subs.iter().any(|d| d.contains("cx → cz")));
+        assert!(subs.iter().any(|d| d.contains("cz → cx")));
+    }
+
+    #[test]
+    fn angle_epsilon_is_a_near_miss() {
+        let mut c = Circuit::new(1);
+        c.ry(PI / 3.0, 0);
+        let mutants = FaultInjector::new(1).enumerate_single(&c);
+        let eps = mutants
+            .iter()
+            .find(|m| m.kinds == vec![FaultKind::AngleEpsilon])
+            .unwrap();
+        let orig = c.statevector().unwrap();
+        let muta = eps.circuit.statevector().unwrap();
+        let overlap = muta.inner(&orig).unwrap().norm();
+        assert!(overlap > 0.99 && overlap < 1.0 - 1e-6);
+    }
+}

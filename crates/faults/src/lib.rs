@@ -1,0 +1,45 @@
+//! `qra-faults` — fault-injection campaigns for runtime assertions.
+//!
+//! The paper evaluates its assertion designs by hand-seeding five bugs
+//! into a GHZ preparation (§III, Table 1). This crate turns that
+//! methodology into an engine:
+//!
+//! * [`inject`] — a deterministic, seeded mutation engine that enumerates
+//!   single-fault mutants of any circuit (gate substitution,
+//!   control/target swap, off-by-π and ε angle perturbations, dropped,
+//!   duplicated and stray gates) and samples double-fault mutants;
+//! * [`runner`] — a resilient campaign runner executing the
+//!   mutant × design matrix with per-cell panic isolation, a wall-clock
+//!   deadline with explicit partial-result reporting, bounded seeded
+//!   retries, and graceful backend degradation (exact density matrix
+//!   within a memory budget, trajectory fallback, structured errors past
+//!   the simulator caps);
+//! * [`report`] — the [`CampaignReport`]: detection and false-positive
+//!   matrices, per-design gate-cost overhead, and text/JSON rendering.
+//!
+//! ```rust
+//! use qra_algorithms::states;
+//! use qra_core::StateSpec;
+//! use qra_faults::{CampaignConfig, FaultInjector, run_campaign};
+//!
+//! let program = states::ghz(2);
+//! let spec = StateSpec::pure(states::ghz_vector(2))?;
+//! let mutants = FaultInjector::new(7).enumerate_single(&program);
+//! let config = CampaignConfig { shots: 256, ..CampaignConfig::default() };
+//! let report = run_campaign(&program, &[0, 1], &spec, &mutants, &config);
+//! assert_eq!(report.cells.len(), mutants.len() * config.designs.len());
+//! # Ok::<(), qra_core::AssertionError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod inject;
+pub mod report;
+pub mod runner;
+
+pub use inject::{FaultInjector, FaultKind, Mutant, ANGLE_EPSILON};
+pub use report::{BaselineCell, CampaignCell, CampaignReport, CellStatus, DetectionStat};
+pub use runner::{
+    default_executor, run_campaign, run_campaign_with_executor, BackendKind, CampaignConfig,
+    CampaignDesign, Executor,
+};

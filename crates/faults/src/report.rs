@@ -1,0 +1,550 @@
+//! Campaign results: the detection matrix, false positives, overhead, and
+//! text/JSON rendering.
+//!
+//! A report is *complete by construction*: every cell the campaign was
+//! asked to run appears exactly once, as completed, failed (with the
+//! structured error) or skipped (with the reason) — a partial run is
+//! visible, never silently truncated.
+
+use crate::runner::{BackendKind, CampaignDesign};
+use qra_circuit::GateCounts;
+use qra_core::AssertionError;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Outcome of one matrix cell.
+#[derive(Debug, Clone)]
+pub enum CellStatus {
+    /// The cell ran to completion.
+    Completed {
+        /// Assertion error rate (total-variation distance for the
+        /// statistical baseline).
+        error_rate: f64,
+        /// Whether the rate exceeded the configured detection threshold.
+        detected: bool,
+        /// How many seeded retries were needed.
+        retries: u32,
+        /// Which simulator backend produced the counts.
+        backend: BackendKind,
+    },
+    /// Synthesis or simulation failed; the structured error is preserved.
+    Failed {
+        /// What went wrong.
+        error: AssertionError,
+    },
+    /// The cell never ran (deadline, or an isolated panic).
+    Skipped {
+        /// Why it was skipped.
+        reason: String,
+    },
+}
+
+impl CellStatus {
+    /// `true` for [`CellStatus::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, CellStatus::Completed { .. })
+    }
+
+    /// `true` for [`CellStatus::Skipped`].
+    pub fn is_skipped(&self) -> bool {
+        matches!(self, CellStatus::Skipped { .. })
+    }
+}
+
+/// One mutant × design cell.
+#[derive(Debug, Clone)]
+pub struct CampaignCell {
+    /// The mutant's id.
+    pub mutant_id: String,
+    /// The mutant's fault-class label (detection-matrix row key).
+    pub kind_label: String,
+    /// The checking scheme.
+    pub design: CampaignDesign,
+    /// What happened.
+    pub status: CellStatus,
+}
+
+/// One unmutated-program × design cell: false positives and cost overhead.
+#[derive(Debug, Clone)]
+pub struct BaselineCell {
+    /// The checking scheme.
+    pub design: CampaignDesign,
+    /// What happened (a detection here is a false positive).
+    pub status: CellStatus,
+    /// Gate cost of the inserted checker, when it was synthesised.
+    pub assertion_cost: Option<GateCounts>,
+    /// Gate cost of the unmutated program, for overhead ratios.
+    pub program_cost: GateCounts,
+}
+
+/// Aggregated detection statistics for one fault class under one design.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DetectionStat {
+    /// Cells that ran to completion.
+    pub completed: usize,
+    /// Completed cells whose error rate exceeded the threshold.
+    pub detected: usize,
+    /// Mean error rate over completed cells.
+    pub mean_error_rate: f64,
+    /// Maximum error rate over completed cells.
+    pub max_error_rate: f64,
+}
+
+/// The full campaign result.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Width of the program under test.
+    pub num_qubits: usize,
+    /// Shots per cell.
+    pub shots: u64,
+    /// The base seed the campaign derived every cell seed from.
+    pub seed: u64,
+    /// Error-rate threshold above which a cell counts as a detection.
+    pub detection_threshold: f64,
+    /// Number of mutants in the campaign.
+    pub mutant_count: usize,
+    /// Matrix columns, in order.
+    pub designs: Vec<CampaignDesign>,
+    /// Unmutated-program row.
+    pub baselines: Vec<BaselineCell>,
+    /// Mutant × design cells, row-major.
+    pub cells: Vec<CampaignCell>,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Whether the deadline cut the campaign short (some cells skipped).
+    pub deadline_hit: bool,
+}
+
+impl CampaignReport {
+    /// Number of completed cells (mutant matrix only).
+    pub fn completed(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.status.is_completed())
+            .count()
+    }
+
+    /// Number of skipped cells (mutant matrix only).
+    pub fn skipped(&self) -> usize {
+        self.cells.iter().filter(|c| c.status.is_skipped()).count()
+    }
+
+    /// Number of failed cells (mutant matrix only).
+    pub fn failed(&self) -> usize {
+        self.cells.len() - self.completed() - self.skipped()
+    }
+
+    /// The detection matrix: fault-class label → per-design statistics,
+    /// with rows and columns in stable order.
+    pub fn detection_matrix(&self) -> BTreeMap<String, Vec<(CampaignDesign, DetectionStat)>> {
+        let mut rows: BTreeMap<String, Vec<(CampaignDesign, DetectionStat)>> = BTreeMap::new();
+        for cell in &self.cells {
+            let row = rows.entry(cell.kind_label.clone()).or_insert_with(|| {
+                self.designs
+                    .iter()
+                    .map(|&d| (d, DetectionStat::default()))
+                    .collect()
+            });
+            let Some((_, stat)) = row.iter_mut().find(|(d, _)| *d == cell.design) else {
+                continue;
+            };
+            if let CellStatus::Completed {
+                error_rate,
+                detected,
+                ..
+            } = cell.status
+            {
+                stat.mean_error_rate = (stat.mean_error_rate * stat.completed as f64 + error_rate)
+                    / (stat.completed + 1) as f64;
+                stat.max_error_rate = stat.max_error_rate.max(error_rate);
+                stat.completed += 1;
+                if detected {
+                    stat.detected += 1;
+                }
+            }
+        }
+        rows
+    }
+
+    /// False-positive rate of a design on the unmutated program, when that
+    /// baseline cell completed.
+    pub fn false_positive_rate(&self, design: CampaignDesign) -> Option<f64> {
+        self.baselines
+            .iter()
+            .find(|b| b.design == design)
+            .and_then(|b| match b.status {
+                CellStatus::Completed { error_rate, .. } => Some(error_rate),
+                _ => None,
+            })
+    }
+
+    /// Gate-cost overhead of a design: checker CX-equivalents relative to
+    /// the program's (`None` until the baseline cell completed).
+    pub fn overhead(&self, design: CampaignDesign) -> Option<f64> {
+        self.baselines
+            .iter()
+            .find(|b| b.design == design)
+            .and_then(|b| b.assertion_cost)
+            .map(|cost| {
+                let program_cx = self
+                    .baselines
+                    .first()
+                    .map_or(0, |b| b.program_cost.cx)
+                    .max(1);
+                cost.cx as f64 / program_cx as f64
+            })
+    }
+
+    /// Renders the report as human-readable text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fault-injection campaign: {} mutants × {} designs, {} shots, seed {}",
+            self.mutant_count,
+            self.designs.len(),
+            self.shots,
+            self.seed
+        );
+        let _ = writeln!(
+            out,
+            "cells: {} completed, {} failed, {} skipped{}",
+            self.completed(),
+            self.failed(),
+            self.skipped(),
+            if self.deadline_hit {
+                " (deadline hit — partial results)"
+            } else {
+                ""
+            }
+        );
+
+        let _ = writeln!(out, "\nbaseline (unmutated program):");
+        for b in &self.baselines {
+            match &b.status {
+                CellStatus::Completed { error_rate, .. } => {
+                    let cost = b
+                        .assertion_cost
+                        .map(|c| format!("{c}"))
+                        .unwrap_or_else(|| "-".into());
+                    let overhead = self
+                        .overhead(b.design)
+                        .map(|r| format!("{r:.2}× program CX"))
+                        .unwrap_or_else(|| "-".into());
+                    let _ = writeln!(
+                        out,
+                        "  {:<12} false-positive rate {error_rate:.4}  cost {cost} ({overhead})",
+                        b.design.name()
+                    );
+                }
+                CellStatus::Failed { error } => {
+                    let _ = writeln!(out, "  {:<12} failed: {error}", b.design.name());
+                }
+                CellStatus::Skipped { reason } => {
+                    let _ = writeln!(out, "  {:<12} skipped: {reason}", b.design.name());
+                }
+            }
+        }
+
+        let matrix = self.detection_matrix();
+        if !matrix.is_empty() {
+            let _ = writeln!(
+                out,
+                "\ndetection matrix (detected/completed, mean error rate; threshold {:.2}):",
+                self.detection_threshold
+            );
+            let _ = write!(out, "  {:<28}", "fault class");
+            for d in &self.designs {
+                let _ = write!(out, " {:>18}", d.name());
+            }
+            let _ = writeln!(out);
+            for (label, row) in &matrix {
+                let _ = write!(out, "  {label:<28}");
+                for (_, stat) in row {
+                    if stat.completed == 0 {
+                        let _ = write!(out, " {:>18}", "-");
+                    } else {
+                        let _ = write!(
+                            out,
+                            " {:>18}",
+                            format!(
+                                "{}/{} ({:.3})",
+                                stat.detected, stat.completed, stat.mean_error_rate
+                            )
+                        );
+                    }
+                }
+                let _ = writeln!(out);
+            }
+        }
+
+        let issues: Vec<&CampaignCell> = self
+            .cells
+            .iter()
+            .filter(|c| !c.status.is_completed())
+            .collect();
+        if !issues.is_empty() {
+            let _ = writeln!(out, "\nnon-completed cells:");
+            for c in issues {
+                match &c.status {
+                    CellStatus::Failed { error } => {
+                        let _ = writeln!(
+                            out,
+                            "  {} × {}: failed: {error}",
+                            c.mutant_id,
+                            c.design.name()
+                        );
+                    }
+                    CellStatus::Skipped { reason } => {
+                        let _ = writeln!(
+                            out,
+                            "  {} × {}: skipped: {reason}",
+                            c.mutant_id,
+                            c.design.name()
+                        );
+                    }
+                    CellStatus::Completed { .. } => unreachable!("filtered"),
+                }
+            }
+        }
+        let _ = writeln!(out, "\nelapsed: {:.3}s", self.elapsed.as_secs_f64());
+        out
+    }
+
+    /// Renders the report as a JSON object (hand-rolled; the build has no
+    /// serialisation dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"num_qubits\":{},\"shots\":{},\"seed\":{},\"detection_threshold\":{},\
+             \"mutant_count\":{},\"completed\":{},\"failed\":{},\"skipped\":{},\
+             \"deadline_hit\":{},\"elapsed_ms\":{}",
+            self.num_qubits,
+            self.shots,
+            self.seed,
+            json_f64(self.detection_threshold),
+            self.mutant_count,
+            self.completed(),
+            self.failed(),
+            self.skipped(),
+            self.deadline_hit,
+            self.elapsed.as_millis()
+        );
+        out.push_str(",\"baselines\":[");
+        for (i, b) in self.baselines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"design\":{}", json_str(b.design.name()));
+            if let Some(c) = b.assertion_cost {
+                let _ = write!(
+                    out,
+                    ",\"cost\":{{\"cx\":{},\"sg\":{},\"ancilla\":{},\"measure\":{}}}",
+                    c.cx, c.sg, c.ancilla, c.measure
+                );
+            }
+            out.push_str(",\"status\":");
+            push_status_json(&mut out, &b.status);
+            out.push('}');
+        }
+        out.push_str("],\"cells\":[");
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"mutant\":{},\"kind\":{},\"design\":{},\"status\":",
+                json_str(&c.mutant_id),
+                json_str(&c.kind_label),
+                json_str(c.design.name())
+            );
+            push_status_json(&mut out, &c.status);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_status_json(out: &mut String, status: &CellStatus) {
+    match status {
+        CellStatus::Completed {
+            error_rate,
+            detected,
+            retries,
+            backend,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"completed\",\"error_rate\":{},\"detected\":{detected},\
+                 \"retries\":{retries},\"backend\":{}}}",
+                json_f64(*error_rate),
+                json_str(backend.name())
+            );
+        }
+        CellStatus::Failed { error } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"failed\",\"error\":{}}}",
+                json_str(&error.to_string())
+            );
+        }
+        CellStatus::Skipped { reason } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"skipped\",\"reason\":{}}}",
+                json_str(reason)
+            );
+        }
+    }
+}
+
+/// Finite floats print plainly; NaN/∞ (not representable in JSON) as null.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> CampaignReport {
+        CampaignReport {
+            num_qubits: 3,
+            shots: 100,
+            seed: 1,
+            detection_threshold: 0.05,
+            mutant_count: 2,
+            designs: vec![CampaignDesign::Ndd, CampaignDesign::Stat],
+            baselines: vec![BaselineCell {
+                design: CampaignDesign::Ndd,
+                status: CellStatus::Completed {
+                    error_rate: 0.0,
+                    detected: false,
+                    retries: 0,
+                    backend: BackendKind::Statevector,
+                },
+                assertion_cost: Some(GateCounts {
+                    cx: 4,
+                    sg: 6,
+                    ancilla: 1,
+                    measure: 1,
+                }),
+                program_cost: GateCounts {
+                    cx: 2,
+                    sg: 1,
+                    ancilla: 0,
+                    measure: 0,
+                },
+            }],
+            cells: vec![
+                CampaignCell {
+                    mutant_id: "s0-stray-z".into(),
+                    kind_label: "stray-z".into(),
+                    design: CampaignDesign::Ndd,
+                    status: CellStatus::Completed {
+                        error_rate: 0.5,
+                        detected: true,
+                        retries: 1,
+                        backend: BackendKind::Statevector,
+                    },
+                },
+                CampaignCell {
+                    mutant_id: "s1-drop-gate".into(),
+                    kind_label: "drop-gate".into(),
+                    design: CampaignDesign::Ndd,
+                    status: CellStatus::Skipped {
+                        reason: "deadline exceeded".into(),
+                    },
+                },
+            ],
+            elapsed: Duration::from_millis(12),
+            deadline_hit: true,
+        }
+    }
+
+    #[test]
+    fn counters_and_matrix() {
+        let r = sample_report();
+        assert_eq!(r.completed(), 1);
+        assert_eq!(r.skipped(), 1);
+        assert_eq!(r.failed(), 0);
+        let matrix = r.detection_matrix();
+        let row = &matrix["stray-z"];
+        let (design, stat) = row[0];
+        assert_eq!(design, CampaignDesign::Ndd);
+        assert_eq!(stat.completed, 1);
+        assert_eq!(stat.detected, 1);
+        assert!((stat.mean_error_rate - 0.5).abs() < 1e-12);
+        // The skipped drop-gate row exists but has no completed cells.
+        assert_eq!(matrix["drop-gate"][0].1.completed, 0);
+    }
+
+    #[test]
+    fn false_positive_and_overhead() {
+        let r = sample_report();
+        assert_eq!(r.false_positive_rate(CampaignDesign::Ndd), Some(0.0));
+        assert_eq!(r.false_positive_rate(CampaignDesign::Stat), None);
+        assert!((r.overhead(CampaignDesign::Ndd).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(r.overhead(CampaignDesign::Stat), None);
+    }
+
+    #[test]
+    fn text_rendering_mentions_everything() {
+        let text = sample_report().render_text();
+        assert!(text.contains("2 mutants"));
+        assert!(text.contains("deadline hit"));
+        assert!(text.contains("stray-z"));
+        assert!(text.contains("skipped: deadline exceeded"));
+        assert!(text.contains("false-positive rate 0.0000"));
+    }
+
+    #[test]
+    fn json_is_wellformed_and_complete() {
+        let json = sample_report().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"deadline_hit\":true"));
+        assert!(json.contains("\"kind\":\"skipped\""));
+        assert!(json.contains("\"error_rate\":0.5"));
+        assert!(json.contains("\"cost\":{\"cx\":4"));
+        // Balanced braces/brackets (cheap well-formedness check; no string
+        // in the sample contains structural characters).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(0.25), "0.25");
+    }
+}

@@ -1,0 +1,485 @@
+//! Resilient campaign execution: mutant × design matrix with panic
+//! isolation, deadlines, bounded retries and backend degradation.
+//!
+//! A campaign runs every mutant against every requested checking scheme and
+//! never lets one bad cell abort the rest: panics are caught and reported
+//! as skipped, simulator failures stay structured in the report, a
+//! wall-clock deadline turns unfinished cells into explicit skips, and
+//! sampler pathologies get a bounded number of seeded retries.
+
+use crate::inject::Mutant;
+use crate::report::{BaselineCell, CampaignCell, CampaignReport, CellStatus};
+use qra_circuit::{Circuit, GateCounts};
+use qra_core::baselines::statistical_assertion;
+use qra_core::{insert_assertion, Design, StateSpec};
+use qra_sim::{
+    Counts, DensityMatrixSimulator, NoiseModel, SimError, StatevectorSimulator, TrajectorySimulator,
+};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// A checking scheme evaluated by the campaign: one of the paper's three
+/// assertion designs, or the statistical baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CampaignDesign {
+    /// SWAP-based assertion (§IV).
+    Swap,
+    /// Logical-OR assertion (§IV-E).
+    LogicalOr,
+    /// NDD phase-kickback assertion (§V).
+    Ndd,
+    /// Statistical baseline: measure and compare distributions (§II).
+    Stat,
+}
+
+impl CampaignDesign {
+    /// Every scheme, in matrix-column order.
+    pub const ALL: [CampaignDesign; 4] = [
+        CampaignDesign::Swap,
+        CampaignDesign::LogicalOr,
+        CampaignDesign::Ndd,
+        CampaignDesign::Stat,
+    ];
+
+    /// Short name used in reports and on the CLI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CampaignDesign::Swap => "swap",
+            CampaignDesign::LogicalOr => "logical-or",
+            CampaignDesign::Ndd => "ndd",
+            CampaignDesign::Stat => "stat",
+        }
+    }
+
+    /// The core [`Design`] this scheme maps to (`None` for the baseline).
+    pub fn as_design(&self) -> Option<Design> {
+        match self {
+            CampaignDesign::Swap => Some(Design::Swap),
+            CampaignDesign::LogicalOr => Some(Design::LogicalOr),
+            CampaignDesign::Ndd => Some(Design::Ndd),
+            CampaignDesign::Stat => None,
+        }
+    }
+}
+
+impl fmt::Display for CampaignDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Which simulator backend actually produced a cell's counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Exact state-vector simulation (noiseless).
+    Statevector,
+    /// Exact density-matrix simulation (noisy, 4ⁿ memory).
+    DensityMatrix,
+    /// Monte-Carlo trajectory simulation (noisy fallback).
+    Trajectory,
+}
+
+impl BackendKind {
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Statevector => "statevector",
+            BackendKind::DensityMatrix => "density-matrix",
+            BackendKind::Trajectory => "trajectory",
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Shots per cell.
+    pub shots: u64,
+    /// Base seed; every cell derives its own sub-seed from it, so a
+    /// campaign is reproducible run-to-run for a fixed seed.
+    pub seed: u64,
+    /// Schemes to evaluate (matrix columns).
+    pub designs: Vec<CampaignDesign>,
+    /// Wall-clock budget; cells not started in time are reported as
+    /// skipped, never silently dropped. `None` = unbounded.
+    pub deadline: Option<Duration>,
+    /// Memory budget for the exact density-matrix backend: it is used only
+    /// when `16 · 4ⁿ` bytes fit, otherwise the runner degrades to the
+    /// trajectory simulator.
+    pub memory_budget_bytes: u64,
+    /// Bounded retries (with derived seeds) on sampler pathologies
+    /// ([`SimError::InvalidProbability`]).
+    pub max_retries: u32,
+    /// Noise model; the ideal model routes to the state-vector backend.
+    pub noise: NoiseModel,
+    /// A cell counts as "detected" when its assertion error rate exceeds
+    /// this threshold.
+    pub detection_threshold: f64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            shots: 2048,
+            seed: 1,
+            designs: vec![
+                CampaignDesign::Swap,
+                CampaignDesign::LogicalOr,
+                CampaignDesign::Ndd,
+            ],
+            deadline: None,
+            memory_budget_bytes: 256 << 20,
+            max_retries: 2,
+            noise: NoiseModel::ideal(),
+            detection_threshold: 0.05,
+        }
+    }
+}
+
+/// Signature of the function that actually simulates one asserted circuit.
+/// Campaigns normally use [`default_executor`]; tests inject failing or
+/// panicking executors to exercise the resilience paths.
+pub type Executor<'a> =
+    dyn Fn(&Circuit, &CampaignConfig, u64) -> Result<(Counts, BackendKind), SimError> + 'a;
+
+/// The default backend-degrading executor: state-vector when noiseless;
+/// density-matrix when `16 · 4ⁿ` bytes fit the budget (and the backend's
+/// own qubit cap); trajectory otherwise. Width failures surface as
+/// structured [`SimError::TooManyQubits`] values, not panics.
+pub fn default_executor(
+    circuit: &Circuit,
+    config: &CampaignConfig,
+    seed: u64,
+) -> Result<(Counts, BackendKind), SimError> {
+    let n = circuit.num_qubits() as u32;
+    if config.noise.is_ideal() {
+        let counts = StatevectorSimulator::with_seed(seed).run(circuit, config.shots)?;
+        return Ok((counts, BackendKind::Statevector));
+    }
+    let density_bytes = 16u128.checked_shl(2 * n).unwrap_or(u128::MAX);
+    if density_bytes <= u128::from(config.memory_budget_bytes) {
+        match DensityMatrixSimulator::with_noise(config.noise.clone()).run(
+            circuit,
+            config.shots,
+            seed,
+        ) {
+            Ok(counts) => return Ok((counts, BackendKind::DensityMatrix)),
+            // Budget fits but the exact backend caps out: degrade.
+            Err(SimError::TooManyQubits { .. }) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let counts = TrajectorySimulator::new(config.noise.clone(), seed).run(circuit, config.shots)?;
+    Ok((counts, BackendKind::Trajectory))
+}
+
+/// Runs a fault-injection campaign with the default executor.
+///
+/// `qubits` are the program qubits the state specification covers (the
+/// assertion is inserted there on every mutant and on the unmutated
+/// program, whose per-design false-positive rate and gate-cost overhead
+/// land in the report's baseline section).
+pub fn run_campaign(
+    program: &Circuit,
+    qubits: &[usize],
+    spec: &StateSpec,
+    mutants: &[Mutant],
+    config: &CampaignConfig,
+) -> CampaignReport {
+    run_campaign_with_executor(program, qubits, spec, mutants, config, &default_executor)
+}
+
+/// [`run_campaign`] with an injected executor (tests use this to simulate
+/// panicking or failing backends).
+pub fn run_campaign_with_executor(
+    program: &Circuit,
+    qubits: &[usize],
+    spec: &StateSpec,
+    mutants: &[Mutant],
+    config: &CampaignConfig,
+    executor: &Executor<'_>,
+) -> CampaignReport {
+    let start = Instant::now();
+    let mut deadline_hit = false;
+    let over_deadline = |dh: &mut bool| -> bool {
+        if let Some(deadline) = config.deadline {
+            if start.elapsed() >= deadline {
+                *dh = true;
+                return true;
+            }
+        }
+        false
+    };
+
+    let program_cost = GateCounts::of(program).unwrap_or_default();
+
+    // Baseline row: the unmutated program, per design. Detection here is a
+    // false positive.
+    let mut baselines = Vec::new();
+    for (di, &design) in config.designs.iter().enumerate() {
+        if over_deadline(&mut deadline_hit) {
+            baselines.push(BaselineCell {
+                design,
+                status: CellStatus::Skipped {
+                    reason: "deadline exceeded".into(),
+                },
+                assertion_cost: None,
+                program_cost,
+            });
+            continue;
+        }
+        let (status, cost) = run_cell(
+            program,
+            qubits,
+            spec,
+            design,
+            config,
+            derive_seed(config.seed, 0, di as u64),
+            executor,
+        );
+        baselines.push(BaselineCell {
+            design,
+            status,
+            assertion_cost: cost,
+            program_cost,
+        });
+    }
+
+    // Mutant × design matrix.
+    let mut cells = Vec::new();
+    for (mi, mutant) in mutants.iter().enumerate() {
+        for (di, &design) in config.designs.iter().enumerate() {
+            if over_deadline(&mut deadline_hit) {
+                cells.push(CampaignCell {
+                    mutant_id: mutant.id.clone(),
+                    kind_label: mutant.kind_label(),
+                    design,
+                    status: CellStatus::Skipped {
+                        reason: "deadline exceeded".into(),
+                    },
+                });
+                continue;
+            }
+            let (status, _) = run_cell(
+                &mutant.circuit,
+                qubits,
+                spec,
+                design,
+                config,
+                derive_seed(config.seed, 1 + mi as u64, di as u64),
+                executor,
+            );
+            cells.push(CampaignCell {
+                mutant_id: mutant.id.clone(),
+                kind_label: mutant.kind_label(),
+                design,
+                status,
+            });
+        }
+    }
+
+    CampaignReport {
+        num_qubits: program.num_qubits(),
+        shots: config.shots,
+        seed: config.seed,
+        detection_threshold: config.detection_threshold,
+        mutant_count: mutants.len(),
+        designs: config.designs.clone(),
+        baselines,
+        cells,
+        elapsed: start.elapsed(),
+        deadline_hit,
+    }
+}
+
+/// One matrix cell, panic-isolated: a mutant (or the unmutated program)
+/// checked by one scheme. Returns the status plus the checker's gate cost
+/// when it completed.
+fn run_cell(
+    circuit: &Circuit,
+    qubits: &[usize],
+    spec: &StateSpec,
+    design: CampaignDesign,
+    config: &CampaignConfig,
+    cell_seed: u64,
+    executor: &Executor<'_>,
+) -> (CellStatus, Option<GateCounts>) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_cell_inner(circuit, qubits, spec, design, config, cell_seed, executor)
+    }));
+    match result {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            (
+                CellStatus::Skipped {
+                    reason: format!("panicked: {msg}"),
+                },
+                None,
+            )
+        }
+    }
+}
+
+fn run_cell_inner(
+    circuit: &Circuit,
+    qubits: &[usize],
+    spec: &StateSpec,
+    design: CampaignDesign,
+    config: &CampaignConfig,
+    cell_seed: u64,
+    executor: &Executor<'_>,
+) -> (CellStatus, Option<GateCounts>) {
+    match design.as_design() {
+        Some(core_design) => {
+            let mut asserted = circuit.clone();
+            let handle = match insert_assertion(&mut asserted, qubits, spec, core_design) {
+                Ok(h) => h,
+                Err(e) => return (CellStatus::Failed { error: e }, None),
+            };
+            let mut retries = 0u32;
+            loop {
+                let run_seed = derive_seed(cell_seed, 2, u64::from(retries));
+                match executor(&asserted, config, run_seed) {
+                    Ok((counts, backend)) => {
+                        let error_rate = handle.error_rate(&counts);
+                        return (
+                            CellStatus::Completed {
+                                error_rate,
+                                detected: error_rate > config.detection_threshold,
+                                retries,
+                                backend,
+                            },
+                            Some(handle.counts),
+                        );
+                    }
+                    Err(SimError::InvalidProbability { .. }) if retries < config.max_retries => {
+                        retries += 1;
+                    }
+                    Err(e) => return (CellStatus::Failed { error: e.into() }, None),
+                }
+            }
+        }
+        None => {
+            // Statistical baseline: destructive measurement + distribution
+            // comparison; its "error rate" is the total-variation distance.
+            match statistical_assertion(circuit, qubits, spec, config.shots, cell_seed) {
+                Ok(outcome) => {
+                    let cost = GateCounts {
+                        measure: qubits.len(),
+                        ..GateCounts::default()
+                    };
+                    (
+                        CellStatus::Completed {
+                            error_rate: outcome.total_variation,
+                            detected: outcome.total_variation > config.detection_threshold,
+                            retries: 0,
+                            backend: BackendKind::Statevector,
+                        },
+                        Some(cost),
+                    )
+                }
+                Err(e) => (CellStatus::Failed { error: e }, None),
+            }
+        }
+    }
+}
+
+/// SplitMix64-style seed derivation, so every cell and retry gets an
+/// independent but reproducible stream.
+fn derive_seed(base: u64, a: u64, b: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(a.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(b.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_separates_streams() {
+        let a = derive_seed(1, 0, 0);
+        let b = derive_seed(1, 0, 1);
+        let c = derive_seed(1, 1, 0);
+        let d = derive_seed(2, 0, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a, derive_seed(1, 0, 0));
+    }
+
+    #[test]
+    fn design_names_and_mapping() {
+        assert_eq!(CampaignDesign::Swap.to_string(), "swap");
+        assert_eq!(CampaignDesign::Stat.to_string(), "stat");
+        assert_eq!(CampaignDesign::Ndd.as_design(), Some(Design::Ndd));
+        assert_eq!(CampaignDesign::Stat.as_design(), None);
+        assert_eq!(BackendKind::Trajectory.to_string(), "trajectory");
+    }
+
+    #[test]
+    fn default_executor_routes_by_noise_and_budget() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c.expand_clbits(2);
+        c.measure(0, 0).unwrap();
+        c.measure(1, 1).unwrap();
+
+        let ideal = CampaignConfig::default();
+        let (_, backend) = default_executor(&c, &ideal, 3).unwrap();
+        assert_eq!(backend, BackendKind::Statevector);
+
+        let noisy = CampaignConfig {
+            noise: qra_sim::DevicePreset::LowNoise.noise_model(),
+            ..CampaignConfig::default()
+        };
+        let (_, backend) = default_executor(&c, &noisy, 3).unwrap();
+        assert_eq!(backend, BackendKind::DensityMatrix);
+
+        // Starve the budget: 2 qubits need 16·16 = 256 bytes.
+        let starved = CampaignConfig {
+            memory_budget_bytes: 128,
+            ..noisy
+        };
+        let (_, backend) = default_executor(&c, &starved, 3).unwrap();
+        assert_eq!(backend, BackendKind::Trajectory);
+    }
+
+    #[test]
+    fn default_executor_structured_error_past_trajectory_cap() {
+        let c = Circuit::new(21); // past the trajectory simulator's cap
+        let config = CampaignConfig {
+            noise: qra_sim::DevicePreset::LowNoise.noise_model(),
+            memory_budget_bytes: 1, // force the trajectory backend
+            ..CampaignConfig::default()
+        };
+        match default_executor(&c, &config, 1) {
+            Err(SimError::TooManyQubits { num_qubits, max }) => {
+                assert_eq!(num_qubits, 21);
+                assert_eq!(max, 20);
+            }
+            other => panic!("expected TooManyQubits, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Integration tests for the campaign engine's resilience guarantees and
+//! the acceptance-level detection physics: panics stay isolated, width
+//! failures stay structured, deadlines yield well-formed partial reports,
+//! and the three assertion designs all catch the sign-flip mutant class
+//! on GHZ with zero false positives on the noiseless backend.
+
+use qra_algorithms::states;
+use qra_core::{AssertionError, StateSpec};
+use qra_faults::{
+    default_executor, run_campaign, run_campaign_with_executor, BackendKind, CampaignConfig,
+    CampaignDesign, CampaignReport, CellStatus, FaultInjector, FaultKind,
+};
+use qra_sim::SimError;
+use std::time::Duration;
+
+fn ghz_campaign(n: usize, config: &CampaignConfig) -> CampaignReport {
+    let program = states::ghz(n);
+    let spec = StateSpec::pure(states::ghz_vector(n)).unwrap();
+    let qubits: Vec<usize> = (0..n).collect();
+    let mutants = FaultInjector::new(config.seed).enumerate_single(&program);
+    run_campaign(&program, &qubits, &spec, &mutants, config)
+}
+
+#[test]
+fn ghz_sign_flip_class_detected_by_all_designs_with_zero_false_positives() {
+    let config = CampaignConfig {
+        shots: 2048,
+        seed: 42,
+        designs: vec![
+            CampaignDesign::Swap,
+            CampaignDesign::LogicalOr,
+            CampaignDesign::Ndd,
+        ],
+        ..CampaignConfig::default()
+    };
+    let report = ghz_campaign(3, &config);
+
+    // No cell may be lost: every mutant × design pair is accounted for.
+    assert_eq!(report.cells.len(), report.mutant_count * 3);
+    assert_eq!(report.failed(), 0, "{}", report.render_text());
+    assert_eq!(report.skipped(), 0);
+
+    // The sign-flip classes: off-by-π on the GHZ prep (Bug1) and stray Z
+    // after an entangler. Every design must see per-shot error > 0.4.
+    let matrix = report.detection_matrix();
+    for class in ["angle-off-by-pi", "stray-z"] {
+        let row = &matrix[class];
+        for (design, stat) in row {
+            assert!(stat.completed > 0, "{class} × {design} never completed");
+            assert!(
+                stat.max_error_rate > 0.4,
+                "{class} × {design}: max error rate {} ≤ 0.4",
+                stat.max_error_rate
+            );
+        }
+    }
+
+    // Unmutated program: zero false positives on the noiseless backend.
+    for design in &config.designs {
+        assert_eq!(
+            report.false_positive_rate(*design),
+            Some(0.0),
+            "{design} flagged the correct program"
+        );
+        // Gate-cost overhead is reported for every design.
+        assert!(report.overhead(*design).unwrap() > 0.0);
+    }
+}
+
+#[test]
+fn campaign_is_reproducible_for_a_fixed_seed() {
+    let config = CampaignConfig {
+        shots: 512,
+        seed: 9,
+        designs: vec![CampaignDesign::Ndd],
+        ..CampaignConfig::default()
+    };
+    let a = ghz_campaign(3, &config);
+    let b = ghz_campaign(3, &config);
+    assert_eq!(a.cells.len(), b.cells.len());
+    for (x, y) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(x.mutant_id, y.mutant_id);
+        match (&x.status, &y.status) {
+            (
+                CellStatus::Completed { error_rate: ex, .. },
+                CellStatus::Completed { error_rate: ey, .. },
+            ) => assert_eq!(ex, ey, "mutant {} diverged across runs", x.mutant_id),
+            (sx, sy) => panic!("non-completed cells {sx:?} / {sy:?}"),
+        }
+    }
+    // A different seed actually changes sampled rates somewhere.
+    let c = ghz_campaign(3, &CampaignConfig { seed: 10, ..config });
+    let diverged = a.cells.iter().zip(&c.cells).any(|(x, y)| {
+        matches!(
+            (&x.status, &y.status),
+            (
+                CellStatus::Completed { error_rate: ex, .. },
+                CellStatus::Completed { error_rate: ey, .. }
+            ) if ex != ey
+        )
+    });
+    assert!(diverged, "seed change had no observable effect");
+}
+
+#[test]
+fn panicking_mutant_is_skipped_without_aborting_the_rest() {
+    let program = states::ghz(2);
+    let spec = StateSpec::pure(states::ghz_vector(2)).unwrap();
+    let mutants = FaultInjector::new(3).enumerate_single(&program);
+    assert!(mutants.len() >= 3);
+    let poisoned = mutants[1].circuit.clone();
+    let config = CampaignConfig {
+        shots: 256,
+        designs: vec![CampaignDesign::Ndd],
+        ..CampaignConfig::default()
+    };
+
+    // The executor panics for exactly one mutant's circuits (the asserted
+    // circuit embeds the mutant's instructions as a prefix).
+    let report = run_campaign_with_executor(
+        &program,
+        &[0, 1],
+        &spec,
+        &mutants,
+        &config,
+        &move |circuit, cfg, seed| {
+            let is_poisoned = circuit
+                .instructions()
+                .get(..poisoned.len())
+                .is_some_and(|prefix| prefix == poisoned.instructions());
+            if is_poisoned {
+                panic!("injected backend crash");
+            }
+            default_executor(circuit, cfg, seed)
+        },
+    );
+
+    assert_eq!(report.cells.len(), mutants.len());
+    assert_eq!(report.skipped(), 1);
+    assert_eq!(report.completed(), mutants.len() - 1);
+    let skipped = report.cells.iter().find(|c| c.status.is_skipped()).unwrap();
+    assert_eq!(skipped.mutant_id, mutants[1].id);
+    match &skipped.status {
+        CellStatus::Skipped { reason } => {
+            assert!(reason.contains("panicked"), "reason: {reason}");
+            assert!(reason.contains("injected backend crash"));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // The report renders the skip explicitly.
+    assert!(report.render_text().contains("injected backend crash"));
+}
+
+#[test]
+fn too_many_qubits_surfaces_as_structured_error_through_the_runner() {
+    // 21-qubit program, spec on the first 2 qubits only (so synthesis
+    // stays small), noisy config with a starved memory budget: the runner
+    // degrades to the trajectory backend, which caps at 20 qubits.
+    let mut program = states::ghz(2);
+    program.expand_qubits(21);
+    let spec = StateSpec::pure(states::ghz_vector(2)).unwrap();
+    let mutants = FaultInjector::new(5).enumerate_single(&program);
+    let config = CampaignConfig {
+        shots: 8,
+        designs: vec![CampaignDesign::Ndd],
+        noise: qra_sim::DevicePreset::LowNoise.noise_model(),
+        memory_budget_bytes: 1,
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign(&program, &[0, 1], &spec, &mutants, &config);
+
+    // Nothing aborts, nothing is lost: every cell is reported, each as a
+    // structured TooManyQubits failure.
+    assert_eq!(report.cells.len(), mutants.len());
+    assert_eq!(report.failed(), report.cells.len());
+    for cell in &report.cells {
+        match &cell.status {
+            CellStatus::Failed {
+                error: AssertionError::Sim(SimError::TooManyQubits { num_qubits, max }),
+            } => {
+                assert!(*num_qubits > 20);
+                assert_eq!(*max, 20);
+            }
+            other => panic!("expected structured TooManyQubits, got {other:?}"),
+        }
+    }
+    assert!(report.to_json().contains("exceeds simulator limit"));
+}
+
+#[test]
+fn zero_deadline_yields_empty_but_well_formed_partial_report() {
+    let config = CampaignConfig {
+        shots: 256,
+        deadline: Some(Duration::ZERO),
+        designs: vec![CampaignDesign::Swap, CampaignDesign::Ndd],
+        ..CampaignConfig::default()
+    };
+    let report = ghz_campaign(3, &config);
+
+    assert!(report.deadline_hit);
+    assert_eq!(report.completed(), 0);
+    assert_eq!(report.failed(), 0);
+    assert_eq!(report.skipped(), report.cells.len());
+    // Baselines are skipped too — explicitly, not dropped.
+    assert_eq!(report.baselines.len(), 2);
+    for b in &report.baselines {
+        assert!(b.status.is_skipped());
+    }
+    assert_eq!(report.false_positive_rate(CampaignDesign::Swap), None);
+    // Rendering still works and says what happened.
+    let text = report.render_text();
+    assert!(text.contains("deadline hit"));
+    assert!(text.contains("skipped: deadline exceeded"));
+    let json = report.to_json();
+    assert!(json.contains("\"deadline_hit\":true"));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+#[test]
+fn bounded_retry_recovers_from_sampler_pathologies() {
+    let program = states::ghz(2);
+    let spec = StateSpec::pure(states::ghz_vector(2)).unwrap();
+    let mutants = FaultInjector::new(1).enumerate_single(&program);
+    let config = CampaignConfig {
+        shots: 128,
+        max_retries: 2,
+        designs: vec![CampaignDesign::Ndd],
+        ..CampaignConfig::default()
+    };
+
+    // Fail the first attempt of every cell with a retryable error.
+    use std::cell::RefCell;
+    let failed_once: RefCell<Vec<u64>> = RefCell::new(Vec::new());
+    let report = run_campaign_with_executor(
+        &program,
+        &[0, 1],
+        &spec,
+        &mutants,
+        &config,
+        &|circuit, cfg, seed| {
+            let mut seen = failed_once.borrow_mut();
+            if !seen.contains(&seed) {
+                seen.push(seed);
+                return Err(SimError::InvalidProbability { value: f64::NAN });
+            }
+            drop(seen);
+            default_executor(circuit, cfg, seed)
+        },
+    );
+
+    // Wait: each retry uses a *different* derived seed, so the executor
+    // above fails every attempt. With max_retries = 2 each cell fails
+    // after 3 attempts — unless retries re-present a known seed. Assert
+    // the bounded behaviour precisely instead:
+    for cell in &report.cells {
+        match &cell.status {
+            CellStatus::Failed {
+                error: AssertionError::Sim(SimError::InvalidProbability { .. }),
+            } => {}
+            other => panic!("expected bounded retry exhaustion, got {other:?}"),
+        }
+    }
+
+    // And when the pathology is transient (keyed on attempt count, not
+    // seed), the retry loop recovers and reports how many were needed.
+    let attempts: RefCell<u32> = RefCell::new(0);
+    let report = run_campaign_with_executor(
+        &program,
+        &[0, 1],
+        &spec,
+        &mutants[..1],
+        &config,
+        &|circuit, cfg, seed| {
+            let mut n = attempts.borrow_mut();
+            *n += 1;
+            if *n == 1 {
+                return Err(SimError::InvalidProbability { value: 2.0 });
+            }
+            drop(n);
+            default_executor(circuit, cfg, seed)
+        },
+    );
+    // The first cell executed (the baseline row) absorbed the failure and
+    // retried; every cell completed.
+    assert_eq!(report.failed(), 0);
+    assert_eq!(report.skipped(), 0);
+    let retried = report
+        .baselines
+        .iter()
+        .filter_map(|b| match b.status {
+            CellStatus::Completed { retries, .. } => Some(retries),
+            _ => None,
+        })
+        .sum::<u32>();
+    assert_eq!(retried, 1, "exactly one retry should have been recorded");
+}
+
+#[test]
+fn noisy_backend_degradation_is_visible_in_the_report() {
+    let config = CampaignConfig {
+        shots: 64,
+        designs: vec![CampaignDesign::Ndd],
+        noise: qra_sim::DevicePreset::LowNoise.noise_model(),
+        memory_budget_bytes: 1, // force trajectory
+        ..CampaignConfig::default()
+    };
+    let report = ghz_campaign(2, &config);
+    assert!(report.completed() > 0);
+    for cell in &report.cells {
+        if let CellStatus::Completed { backend, .. } = cell.status {
+            assert_eq!(backend, BackendKind::Trajectory);
+        }
+    }
+    assert!(report.to_json().contains("\"backend\":\"trajectory\""));
+}
+
+#[test]
+fn double_fault_mutants_run_through_the_same_pipeline() {
+    let program = states::ghz(3);
+    let spec = StateSpec::pure(states::ghz_vector(3)).unwrap();
+    let mutants = FaultInjector::new(21).sample_double(&program, 4);
+    assert_eq!(mutants.len(), 4);
+    let config = CampaignConfig {
+        shots: 256,
+        designs: vec![CampaignDesign::Ndd],
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign(&program, &[0, 1, 2], &spec, &mutants, &config);
+    assert_eq!(report.cells.len(), 4);
+    assert_eq!(report.failed() + report.skipped(), 0);
+    for cell in &report.cells {
+        assert!(cell.kind_label.contains('+'));
+    }
+}
+
+#[test]
+fn stat_baseline_misses_sign_flips_that_assertions_catch() {
+    // The statistical baseline compares distributions only, so the
+    // sign-flip class is invisible to it — the motivating gap the paper's
+    // designs close.
+    let config = CampaignConfig {
+        shots: 4096,
+        seed: 8,
+        designs: vec![CampaignDesign::Ndd, CampaignDesign::Stat],
+        ..CampaignConfig::default()
+    };
+    let report = ghz_campaign(3, &config);
+    let matrix = report.detection_matrix();
+    let row = &matrix["angle-off-by-pi"];
+    let ndd = row
+        .iter()
+        .find(|(d, _)| *d == CampaignDesign::Ndd)
+        .unwrap()
+        .1;
+    let stat = row
+        .iter()
+        .find(|(d, _)| *d == CampaignDesign::Stat)
+        .unwrap()
+        .1;
+    assert!(ndd.max_error_rate > 0.4);
+    assert!(
+        stat.max_error_rate < 0.1,
+        "stat should not see the sign flip: {}",
+        stat.max_error_rate
+    );
+}
+
+// The `FaultKind` import is exercised here to keep the public surface
+// honest: campaign consumers can filter mutants by class.
+#[test]
+fn mutants_can_be_filtered_by_class_before_a_campaign() {
+    let program = states::ghz(3);
+    let all = FaultInjector::new(1).enumerate_single(&program);
+    let sign_flips: Vec<_> = all
+        .into_iter()
+        .filter(|m| m.kinds == vec![FaultKind::AngleOffByPi] || m.kinds == vec![FaultKind::StrayZ])
+        .collect();
+    assert!(!sign_flips.is_empty());
+    let spec = StateSpec::pure(states::ghz_vector(3)).unwrap();
+    let config = CampaignConfig {
+        shots: 512,
+        designs: vec![CampaignDesign::Swap],
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign(&program, &[0, 1, 2], &spec, &sign_flips, &config);
+    assert_eq!(report.mutant_count, sign_flips.len());
+}

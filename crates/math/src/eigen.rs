@@ -6,7 +6,7 @@
 //! Jacobi method converges unconditionally for Hermitian matrices and is
 //! numerically robust at the small dimensions (`≤ 2⁷`) used here.
 
-use crate::{C64, CMatrix, CVector, MathError};
+use crate::{CMatrix, CVector, MathError, C64};
 
 /// Result of a Hermitian eigendecomposition `A = V Λ V†`.
 ///
@@ -95,9 +95,7 @@ pub fn hermitian_eigen(a: &CMatrix) -> Result<HermitianEigen, MathError> {
     }
 
     // Work on a Hermitised copy to wash out tiny asymmetries.
-    let mut m = CMatrix::from_fn(n, n, |r, c| {
-        (a.get(r, c) + a.get(c, r).conj()).scale(0.5)
-    });
+    let mut m = CMatrix::from_fn(n, n, |r, c| (a.get(r, c) + a.get(c, r).conj()).scale(0.5));
     let mut v = CMatrix::identity(n);
 
     for sweep in 0..MAX_SWEEPS {
@@ -303,10 +301,7 @@ mod tests {
             let raw = CMatrix::from_fn(n, n, |_, _| {
                 C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
             });
-            let herm = raw
-                .add(&raw.adjoint())
-                .unwrap()
-                .scale(C64::from(0.5));
+            let herm = raw.add(&raw.adjoint()).unwrap().scale(C64::from(0.5));
             let eig = hermitian_eigen(&herm).unwrap();
             assert!(eig.reconstruct().approx_eq(&herm, 1e-7));
             assert!(is_orthonormal(&eig.vectors, 1e-7));

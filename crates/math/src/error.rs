@@ -88,7 +88,10 @@ impl fmt::Display for MathError {
             MathError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
             MathError::LinearlyDependent => {
                 write!(f, "provided vectors are linearly dependent")
             }

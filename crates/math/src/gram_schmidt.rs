@@ -6,7 +6,7 @@
 //! states and extends them with computational-basis vectors until a full
 //! basis of the Hilbert space is obtained.
 
-use crate::{C64, CVector, MathError};
+use crate::{CVector, MathError, C64};
 
 /// Threshold below which a residual vector is considered linearly dependent
 /// on the previously accepted ones.
@@ -112,7 +112,7 @@ pub fn complete_basis(seeds: &[CVector], dim: usize) -> Result<Vec<CVector>, Mat
                 residual = residual.sub(&b.scale(overlap));
             }
             let norm = residual.norm();
-            if best.as_ref().map_or(true, |(bn, _)| norm > *bn) {
+            if best.as_ref().is_none_or(|(bn, _)| norm > *bn) {
                 best = Some((norm, residual));
             }
         }
@@ -180,7 +180,7 @@ mod tests {
     fn orthonormalize_preserves_first_direction() {
         let s = 0.5f64.sqrt();
         let bell = CVector::from_real(&[s, 0.0, 0.0, s]);
-        let basis = orthonormalize(&[bell.clone()]).unwrap();
+        let basis = orthonormalize(std::slice::from_ref(&bell)).unwrap();
         assert!(basis[0].approx_eq(&bell, TOL));
     }
 
@@ -200,7 +200,7 @@ mod tests {
             v[7] = C64::from(s);
             v
         };
-        let basis = complete_basis(&[ghz.clone()], 8).unwrap();
+        let basis = complete_basis(std::slice::from_ref(&ghz), 8).unwrap();
         assert_eq!(basis.len(), 8);
         assert!(is_orthonormal(&basis, TOL));
         assert!(basis[0].approx_eq(&ghz, TOL));
@@ -210,7 +210,7 @@ mod tests {
     fn complete_basis_with_complex_seed() {
         let s = 0.5f64.sqrt();
         let state = CVector::new(vec![C64::from(s), C64::new(0.0, s)]);
-        let basis = complete_basis(&[state.clone()], 2).unwrap();
+        let basis = complete_basis(std::slice::from_ref(&state), 2).unwrap();
         assert_eq!(basis.len(), 2);
         assert!(is_orthonormal(&basis, TOL));
         assert!(basis[0].approx_eq(&state, TOL));

@@ -1,6 +1,6 @@
 //! Dense complex matrices.
 
-use crate::{C64, CVector, MathError, EPSILON};
+use crate::{CVector, MathError, C64, EPSILON};
 use std::fmt;
 
 /// A dense, row-major complex matrix.
@@ -62,11 +62,7 @@ impl CMatrix {
     ///
     /// Panics when `values.len() != rows * cols`.
     pub fn from_real(rows: usize, cols: usize, values: &[f64]) -> Self {
-        Self::new(
-            rows,
-            cols,
-            values.iter().map(|&x| C64::from(x)).collect(),
-        )
+        Self::new(rows, cols, values.iter().map(|&x| C64::from(x)).collect())
     }
 
     /// Builds a matrix from a function of `(row, col)`.
@@ -698,11 +694,7 @@ mod tests {
         assert!(rho.validate_density(1e-9).is_ok());
         let bad = rho.scale(C64::from(2.0));
         assert!(bad.validate_density(1e-9).is_err());
-        let nonherm = CMatrix::new(
-            2,
-            2,
-            vec![C64::one(), C64::i(), C64::i(), C64::zero()],
-        );
+        let nonherm = CMatrix::new(2, 2, vec![C64::one(), C64::i(), C64::i(), C64::zero()]);
         assert!(nonherm.validate_density(1e-9).is_err());
     }
 

@@ -1,6 +1,6 @@
 //! Complex state vectors.
 
-use crate::{C64, MathError, EPSILON};
+use crate::{MathError, C64, EPSILON};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -43,7 +43,10 @@ impl CVector {
     ///
     /// Panics if `index >= dim`.
     pub fn basis_state(dim: usize, index: usize) -> Self {
-        assert!(index < dim, "basis index {index} out of range for dim {dim}");
+        assert!(
+            index < dim,
+            "basis index {index} out of range for dim {dim}"
+        );
         let mut v = Self::zeros(dim);
         v.data[index] = C64::one();
         v

@@ -1,137 +1,195 @@
-//! Property-based numerics tests: the linear-algebra invariants the
-//! assertion pipeline depends on must hold for random inputs.
+//! Randomized numerics tests: the linear-algebra invariants the assertion
+//! pipeline depends on must hold for random inputs.
+//!
+//! Seeded PRNG loops replace the former proptest strategies; every case is
+//! deterministic for a fixed base seed.
 
-use proptest::prelude::*;
 use qra_math::{
-    complete_basis, gram_schmidt::is_orthonormal, hermitian_eigen, orthonormalize, C64, CMatrix,
-    CVector,
+    complete_basis, gram_schmidt::is_orthonormal, hermitian_eigen, orthonormalize, CMatrix,
+    CVector, C64,
 };
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_vector(dim: usize) -> impl Strategy<Value = CVector> {
-    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), dim).prop_map(|parts| {
-        CVector::new(parts.iter().map(|&(re, im)| C64::new(re, im)).collect())
-    })
+const CASES: usize = 24;
+
+fn random_vector(rng: &mut StdRng, dim: usize) -> CVector {
+    CVector::new(
+        (0..dim)
+            .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect(),
+    )
 }
 
-fn arb_unit_vector(dim: usize) -> impl Strategy<Value = CVector> {
-    arb_vector(dim).prop_filter_map("normalisable", |v| v.normalized().ok())
+fn random_unit_vector(rng: &mut StdRng, dim: usize) -> CVector {
+    loop {
+        if let Ok(v) = random_vector(rng, dim).normalized() {
+            return v;
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn inner_product_is_conjugate_symmetric(a in arb_vector(8), b in arb_vector(8)) {
+#[test]
+fn inner_product_is_conjugate_symmetric() {
+    let mut rng = StdRng::seed_from_u64(41);
+    for _ in 0..CASES {
+        let a = random_vector(&mut rng, 8);
+        let b = random_vector(&mut rng, 8);
         let ab = a.inner(&b).unwrap();
         let ba = b.inner(&a).unwrap();
-        prop_assert!(ab.approx_eq(ba.conj(), 1e-9));
+        assert!(ab.approx_eq(ba.conj(), 1e-9));
     }
+}
 
-    #[test]
-    fn cauchy_schwarz_holds(a in arb_vector(8), b in arb_vector(8)) {
+#[test]
+fn cauchy_schwarz_holds() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..CASES {
+        let a = random_vector(&mut rng, 8);
+        let b = random_vector(&mut rng, 8);
         let ip = a.inner(&b).unwrap().norm();
-        prop_assert!(ip <= a.norm() * b.norm() + 1e-9);
+        assert!(ip <= a.norm() * b.norm() + 1e-9);
     }
+}
 
-    #[test]
-    fn kron_norm_is_multiplicative(a in arb_vector(4), b in arb_vector(4)) {
+#[test]
+fn kron_norm_is_multiplicative() {
+    let mut rng = StdRng::seed_from_u64(43);
+    for _ in 0..CASES {
+        let a = random_vector(&mut rng, 4);
+        let b = random_vector(&mut rng, 4);
         let k = a.kron(&b);
-        prop_assert!((k.norm() - a.norm() * b.norm()).abs() < 1e-9);
+        assert!((k.norm() - a.norm() * b.norm()).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn orthonormalize_output_is_orthonormal(
-        vs in proptest::collection::vec(arb_vector(8), 1..6)
-    ) {
+#[test]
+fn orthonormalize_output_is_orthonormal() {
+    let mut rng = StdRng::seed_from_u64(44);
+    for _ in 0..CASES {
+        let count = rng.gen_range(1usize..6);
+        let vs: Vec<CVector> = (0..count).map(|_| random_vector(&mut rng, 8)).collect();
         let basis = orthonormalize(&vs).unwrap();
-        prop_assert!(is_orthonormal(&basis, 1e-7));
-        prop_assert!(basis.len() <= vs.len());
+        assert!(is_orthonormal(&basis, 1e-7));
+        assert!(basis.len() <= vs.len());
     }
+}
 
-    #[test]
-    fn complete_basis_spans_everything(seed in arb_unit_vector(8)) {
+#[test]
+fn complete_basis_spans_everything() {
+    let mut rng = StdRng::seed_from_u64(45);
+    for _ in 0..CASES {
+        let seed = random_unit_vector(&mut rng, 8);
         let basis = complete_basis(std::slice::from_ref(&seed), 8).unwrap();
-        prop_assert_eq!(basis.len(), 8);
-        prop_assert!(is_orthonormal(&basis, 1e-7));
+        assert_eq!(basis.len(), 8);
+        assert!(is_orthonormal(&basis, 1e-7));
         // Any random vector decomposes exactly.
         let mut norm_sq = 0.0;
         for b in &basis {
             norm_sq += b.inner(&seed).unwrap().norm_sqr();
         }
-        prop_assert!((norm_sq - 1.0).abs() < 1e-7);
+        assert!((norm_sq - 1.0).abs() < 1e-7);
     }
+}
 
-    #[test]
-    fn eigendecomposition_invariants(
-        a in arb_unit_vector(8), b in arb_unit_vector(8), p in 0.1f64..0.9
-    ) {
+#[test]
+fn eigendecomposition_invariants() {
+    let mut rng = StdRng::seed_from_u64(46);
+    for _ in 0..CASES {
         // Random rank ≤ 2 density matrix.
-        let rho = CMatrix::outer(&a, &a).scale(C64::from(p))
-            .add(&CMatrix::outer(&b, &b).scale(C64::from(1.0 - p))).unwrap();
+        let a = random_unit_vector(&mut rng, 8);
+        let b = random_unit_vector(&mut rng, 8);
+        let p = rng.gen_range(0.1..0.9);
+        let rho = CMatrix::outer(&a, &a)
+            .scale(C64::from(p))
+            .add(&CMatrix::outer(&b, &b).scale(C64::from(1.0 - p)))
+            .unwrap();
         let eig = hermitian_eigen(&rho).unwrap();
         // Eigenvalues descending, real, non-negative, trace 1.
         for w in eig.values.windows(2) {
-            prop_assert!(w[0] >= w[1] - 1e-10);
+            assert!(w[0] >= w[1] - 1e-10);
         }
         for &v in &eig.values {
-            prop_assert!(v > -1e-9);
+            assert!(v > -1e-9);
         }
         let trace: f64 = eig.values.iter().sum();
-        prop_assert!((trace - 1.0).abs() < 1e-8);
+        assert!((trace - 1.0).abs() < 1e-8);
         // Rank ≤ 2.
-        prop_assert!(eig.rank(1e-7) <= 2);
+        assert!(eig.rank(1e-7) <= 2);
         // A v = λ v for every eigenpair.
         for (lambda, v) in eig.values.iter().zip(&eig.vectors) {
             let av = rho.mul_vec(v);
             let lv = v.scale(C64::from(*lambda));
-            prop_assert!(av.approx_eq(&lv, 1e-7));
+            assert!(av.approx_eq(&lv, 1e-7));
         }
     }
+}
 
-    #[test]
-    fn partial_trace_preserves_trace_and_hermiticity(
-        v in arb_unit_vector(16)
-    ) {
+#[test]
+fn partial_trace_preserves_trace_and_hermiticity() {
+    let mut rng = StdRng::seed_from_u64(47);
+    for _ in 0..CASES {
+        let v = random_unit_vector(&mut rng, 16);
         let rho = CMatrix::outer(&v, &v);
         for traced in [vec![0usize], vec![1, 3], vec![0, 2]] {
             let reduced = rho.partial_trace(&traced).unwrap();
-            prop_assert!(reduced.trace().unwrap().approx_eq(C64::one(), 1e-9));
-            prop_assert!(reduced.is_hermitian(1e-9));
+            assert!(reduced.trace().unwrap().approx_eq(C64::one(), 1e-9));
+            assert!(reduced.is_hermitian(1e-9));
             // Purity within (0, 1].
             let purity = reduced.purity().unwrap();
-            prop_assert!(purity <= 1.0 + 1e-9 && purity > 0.0);
+            assert!(purity <= 1.0 + 1e-9 && purity > 0.0);
         }
     }
+}
 
-    #[test]
-    fn matrix_adjoint_involution(v in arb_vector(4), w in arb_vector(4)) {
+#[test]
+fn matrix_adjoint_involution() {
+    let mut rng = StdRng::seed_from_u64(48);
+    for _ in 0..CASES {
+        let v = random_vector(&mut rng, 4);
+        let w = random_vector(&mut rng, 4);
         let m = CMatrix::outer(&v, &w);
-        prop_assert!(m.adjoint().adjoint().approx_eq(&m, 1e-12));
+        assert!(m.adjoint().adjoint().approx_eq(&m, 1e-12));
         // tr(|v⟩⟨w|) = ⟨w|v⟩.
         let tr = m.trace().unwrap();
         let ip = w.inner(&v).unwrap();
-        prop_assert!(tr.approx_eq(ip, 1e-9));
+        assert!(tr.approx_eq(ip, 1e-9));
     }
+}
 
-    #[test]
-    fn kron_of_unitaries_is_unitary(theta in 0.0f64..6.28, phi in 0.0f64..6.28) {
-        let u = CMatrix::new(2, 2, vec![
-            C64::from(theta.cos()), -C64::from(theta.sin()),
-            C64::from(theta.sin()), C64::from(theta.cos()),
-        ]);
-        let v = CMatrix::new(2, 2, vec![
-            C64::one(), C64::zero(),
-            C64::zero(), C64::cis(phi),
-        ]);
-        prop_assert!(u.kron(&v).is_unitary(1e-9));
+#[test]
+fn kron_of_unitaries_is_unitary() {
+    let mut rng = StdRng::seed_from_u64(49);
+    for _ in 0..CASES {
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        let phi = rng.gen_range(0.0..std::f64::consts::TAU);
+        let u = CMatrix::new(
+            2,
+            2,
+            vec![
+                C64::from(theta.cos()),
+                -C64::from(theta.sin()),
+                C64::from(theta.sin()),
+                C64::from(theta.cos()),
+            ],
+        );
+        let v = CMatrix::new(
+            2,
+            2,
+            vec![C64::one(), C64::zero(), C64::zero(), C64::cis(phi)],
+        );
+        assert!(u.kron(&v).is_unitary(1e-9));
     }
+}
 
-    #[test]
-    fn global_phase_equality_is_reflexive_and_phase_blind(
-        v in arb_unit_vector(8), phase in 0.0f64..6.28
-    ) {
-        prop_assert!(v.approx_eq_up_to_phase(&v, 1e-9));
+#[test]
+fn global_phase_equality_is_reflexive_and_phase_blind() {
+    let mut rng = StdRng::seed_from_u64(50);
+    for _ in 0..CASES {
+        let v = random_unit_vector(&mut rng, 8);
+        let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        assert!(v.approx_eq_up_to_phase(&v, 1e-9));
         let w = v.scale(C64::cis(phase));
-        prop_assert!(v.approx_eq_up_to_phase(&w, 1e-9));
+        assert!(v.approx_eq_up_to_phase(&w, 1e-9));
     }
 }

@@ -12,7 +12,9 @@
 //!   assertion synthesis for pure states, mixed states and state sets,
 //!   plus the Stat/Primitive/Proq baselines;
 //! * [`algorithms`] — the case-study workloads (GHZ, QFT, QPE,
-//!   Deutsch–Jozsa, QFT adders, teleportation) with bug injections.
+//!   Deutsch–Jozsa, QFT adders, teleportation) with bug injections;
+//! * [`faults`] — systematic fault-injection campaigns: a seeded mutation
+//!   engine plus a resilient campaign runner and report.
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,7 @@
 pub use qra_algorithms as algorithms;
 pub use qra_circuit as circuit;
 pub use qra_core as core;
+pub use qra_faults as faults;
 pub use qra_math as math;
 pub use qra_sim as sim;
 
@@ -46,7 +49,12 @@ pub mod prelude {
         insert_assertion, insert_deallocation_assertion, synthesize_assertion, Assertion,
         AssertionError, AssertionHandle, AssertionReport, Design, StateSpec,
     };
-    pub use qra_math::{C64, CMatrix, CVector};
-    pub use qra_sim::{Counts, DensityMatrixSimulator, DevicePreset, NoiseModel,
-        StatevectorSimulator};
+    pub use qra_faults::{
+        run_campaign, BackendKind, CampaignConfig, CampaignDesign, CampaignReport, CellStatus,
+        FaultInjector, FaultKind, Mutant,
+    };
+    pub use qra_math::{CMatrix, CVector, C64};
+    pub use qra_sim::{
+        Counts, DensityMatrixSimulator, DevicePreset, NoiseModel, StatevectorSimulator,
+    };
 }

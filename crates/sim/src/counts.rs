@@ -1,5 +1,6 @@
 //! Measurement outcome histograms.
 
+use crate::SimError;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -47,24 +48,30 @@ impl Counts {
     /// Number of observations of a bitstring like `"011"` (classical bit 0
     /// leftmost).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `bits` has the wrong length or non-binary characters.
-    pub fn count_str(&self, bits: &str) -> u64 {
-        self.count(self.parse_bits(bits))
+    /// Returns [`SimError::MalformedBitstring`] when `bits` has the wrong
+    /// length or non-binary characters — recoverable, so campaign
+    /// post-processing over untrusted bitstrings never aborts the run.
+    pub fn count_str(&self, bits: &str) -> Result<u64, SimError> {
+        Ok(self.count(self.parse_bits(bits)?))
     }
 
     /// Relative frequency of a bitstring outcome (0 when no shots).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `bits` is malformed; see [`Counts::count_str`].
-    pub fn frequency(&self, bits: &str) -> f64 {
+    /// Returns [`SimError::MalformedBitstring`] when `bits` is malformed;
+    /// see [`Counts::count_str`].
+    pub fn frequency(&self, bits: &str) -> Result<f64, SimError> {
         let total = self.total();
         if total == 0 {
-            return 0.0;
+            // Still validate so malformed queries surface even on empty
+            // histograms.
+            self.parse_bits(bits)?;
+            return Ok(0.0);
         }
-        self.count_str(bits) as f64 / total as f64
+        Ok(self.count_str(bits)? as f64 / total as f64)
     }
 
     /// The value of classical bit `clbit` being 1, as a relative frequency
@@ -130,22 +137,31 @@ impl Counts {
             .collect()
     }
 
-    fn parse_bits(&self, bits: &str) -> u64 {
-        assert_eq!(
-            bits.len(),
-            self.num_clbits,
-            "bitstring '{bits}' length does not match {} clbits",
-            self.num_clbits
-        );
+    fn parse_bits(&self, bits: &str) -> Result<u64, SimError> {
+        if bits.len() != self.num_clbits {
+            return Err(SimError::MalformedBitstring {
+                bits: bits.to_string(),
+                reason: format!(
+                    "length {} does not match {} clbits",
+                    bits.len(),
+                    self.num_clbits
+                ),
+            });
+        }
         let mut key = 0u64;
         for (i, ch) in bits.chars().enumerate() {
             match ch {
                 '0' => {}
                 '1' => key |= 1 << i,
-                _ => panic!("invalid bit character '{ch}' in '{bits}'"),
+                _ => {
+                    return Err(SimError::MalformedBitstring {
+                        bits: bits.to_string(),
+                        reason: format!("invalid bit character '{ch}'"),
+                    })
+                }
             }
         }
-        key
+        Ok(key)
     }
 }
 
@@ -192,9 +208,9 @@ mod tests {
         let c = sample();
         assert_eq!(c.total(), 100);
         assert_eq!(c.count(0), 50);
-        assert_eq!(c.count_str("100"), 25); // clbit0 leftmost
-        assert_eq!(c.count_str("011"), 25);
-        assert!((c.frequency("000") - 0.5).abs() < 1e-12);
+        assert_eq!(c.count_str("100").unwrap(), 25); // clbit0 leftmost
+        assert_eq!(c.count_str("011").unwrap(), 25);
+        assert!((c.frequency("000").unwrap() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -223,22 +239,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn malformed_bitstring_panics() {
-        sample().count_str("0x1");
+    fn malformed_bitstring_is_recoverable() {
+        let err = sample().count_str("0x1").unwrap_err();
+        assert!(matches!(err, SimError::MalformedBitstring { .. }));
+        assert!(err.to_string().contains("0x1"));
     }
 
     #[test]
-    #[should_panic]
-    fn wrong_length_bitstring_panics() {
-        sample().count_str("00");
+    fn wrong_length_bitstring_is_recoverable() {
+        assert!(matches!(
+            sample().count_str("00"),
+            Err(SimError::MalformedBitstring { .. })
+        ));
+        // Malformed queries also surface on empty histograms.
+        assert!(Counts::new(2).frequency("0z").is_err());
     }
 
     #[test]
     fn empty_counts_behave() {
         let c = Counts::new(2);
         assert_eq!(c.total(), 0);
-        assert_eq!(c.frequency("00"), 0.0);
+        assert_eq!(c.frequency("00").unwrap(), 0.0);
         assert_eq!(c.marginal_frequency(0), 0.0);
         let (f, kept) = c.post_select_zero(&[0]);
         assert_eq!(f.total(), 0);

@@ -11,7 +11,7 @@ use crate::noise::{KrausChannel, NoiseModel};
 use crate::{Counts, SimError};
 use qra_circuit::gate::embed;
 use qra_circuit::{Circuit, Operation};
-use qra_math::{C64, CMatrix, CVector};
+use qra_math::{CMatrix, CVector, C64};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -198,10 +198,18 @@ impl DensityMatrixSimulator {
                         let p01 = self.noise.readout_p01;
                         let p10 = self.noise.readout_p10;
                         // True 0 branch.
-                        push_branch(&mut next, rho0.scale(C64::from(1.0 - p01)), b.key & !(1 << c));
+                        push_branch(
+                            &mut next,
+                            rho0.scale(C64::from(1.0 - p01)),
+                            b.key & !(1 << c),
+                        );
                         push_branch(&mut next, rho0.scale(C64::from(p01)), b.key | (1 << c));
                         // True 1 branch.
-                        push_branch(&mut next, rho1.scale(C64::from(1.0 - p10)), b.key | (1 << c));
+                        push_branch(
+                            &mut next,
+                            rho1.scale(C64::from(1.0 - p10)),
+                            b.key | (1 << c),
+                        );
                         push_branch(&mut next, rho1.scale(C64::from(p10)), b.key & !(1 << c));
                     }
                     branches = coalesce(next)?;
@@ -327,7 +335,9 @@ mod tests {
         c.h(0).cx(0, 1);
         let mut noise = NoiseModel::ideal();
         noise.depol_2q = 0.1;
-        let rho = DensityMatrixSimulator::with_noise(noise).evolve(&c).unwrap();
+        let rho = DensityMatrixSimulator::with_noise(noise)
+            .evolve(&c)
+            .unwrap();
         assert!((rho.trace().unwrap().re - 1.0).abs() < TOL);
         assert!(rho.purity().unwrap() < 0.99);
     }
@@ -371,7 +381,9 @@ mod tests {
         c.measure(0, 0).unwrap();
         c.h(0);
         c.measure(0, 1).unwrap();
-        let dist = DensityMatrixSimulator::new().outcome_distribution(&c).unwrap();
+        let dist = DensityMatrixSimulator::new()
+            .outcome_distribution(&c)
+            .unwrap();
         assert_eq!(dist.len(), 4);
         for (_, p) in dist {
             assert!((p - 0.25).abs() < 1e-9);
@@ -406,7 +418,7 @@ mod tests {
         c.measure_all();
         let sim = DensityMatrixSimulator::new();
         let counts = sim.run(&c, 8192, 13).unwrap();
-        assert!((counts.frequency("0") - 0.5).abs() < 0.03);
+        assert!((counts.frequency("0").unwrap() - 0.5).abs() < 0.03);
     }
 
     #[test]
@@ -424,7 +436,9 @@ mod tests {
         noise.depol_1q = 1.5;
         let mut c = Circuit::new(1);
         c.h(0);
-        assert!(DensityMatrixSimulator::with_noise(noise).evolve(&c).is_err());
+        assert!(DensityMatrixSimulator::with_noise(noise)
+            .evolve(&c)
+            .is_err());
     }
 
     #[test]
@@ -437,7 +451,9 @@ mod tests {
         }
         let mut noise = NoiseModel::ideal();
         noise.damping_1q = 0.05;
-        let rho = DensityMatrixSimulator::with_noise(noise).evolve(&c).unwrap();
+        let rho = DensityMatrixSimulator::with_noise(noise)
+            .evolve(&c)
+            .unwrap();
         let p1 = rho.get(1, 1).re;
         assert!(p1 < 0.2, "50 damping slots should relax |1⟩, p1={p1}");
     }

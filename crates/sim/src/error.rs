@@ -39,6 +39,14 @@ pub enum SimError {
         /// The offending value.
         value: f64,
     },
+    /// A bitstring outcome query had the wrong length or non-binary
+    /// characters (recoverable, unlike the former panic).
+    MalformedBitstring {
+        /// The offending bitstring.
+        bits: String,
+        /// Why it was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -50,13 +58,19 @@ impl fmt::Display for SimError {
                 write!(f, "{num_qubits} qubits exceeds simulator limit of {max}")
             }
             SimError::TooManyClbits { num_clbits, max } => {
-                write!(f, "{num_clbits} classical bits exceed the {max}-bit outcome keys")
+                write!(
+                    f,
+                    "{num_clbits} classical bits exceed the {max}-bit outcome keys"
+                )
             }
             SimError::InvalidProbability { value } => {
                 write!(f, "probability {value} outside [0, 1]")
             }
             SimError::InvalidNoiseParameter { name, value } => {
                 write!(f, "noise parameter {name}={value} outside [0, 1]")
+            }
+            SimError::MalformedBitstring { bits, reason } => {
+                write!(f, "malformed bitstring '{bits}': {reason}")
             }
         }
     }
@@ -101,6 +115,10 @@ mod tests {
             SimError::InvalidNoiseParameter {
                 name: "depol",
                 value: -0.1,
+            },
+            SimError::MalformedBitstring {
+                bits: "0x1".into(),
+                reason: "invalid bit character 'x'".into(),
             },
         ];
         for e in &errs {

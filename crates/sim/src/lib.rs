@@ -21,8 +21,8 @@
 //! bell.h(0).cx(0, 1);
 //! bell.measure_all();
 //! let counts = StatevectorSimulator::with_seed(7).run(&bell, 8192)?;
-//! assert!(counts.frequency("00") > 0.4);
-//! assert!(counts.frequency("11") > 0.4);
+//! assert!(counts.frequency("00")? > 0.4);
+//! assert!(counts.frequency("11")? > 0.4);
 //! # Ok::<(), qra_sim::SimError>(())
 //! ```
 
@@ -33,8 +33,8 @@ pub mod counts;
 pub mod density;
 pub mod error;
 pub mod noise;
-pub mod statevector;
 pub mod states;
+pub mod statevector;
 pub mod trajectory;
 
 pub use counts::Counts;

@@ -9,7 +9,7 @@
 //! (single-qubit error ≈ 0.1%, CX error ≈ 2–3%, readout error ≈ 4%).
 
 use crate::SimError;
-use qra_math::{C64, CMatrix};
+use qra_math::{CMatrix, C64};
 
 /// A Kraus channel: a set of matrices `{K_i}` with `Σ K_i† K_i = I`.
 #[derive(Debug, Clone)]

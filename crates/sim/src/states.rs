@@ -5,7 +5,7 @@
 //! Pauli-string expectation values for stabilizer-style checks.
 
 use crate::SimError;
-use qra_math::{hermitian_eigen, C64, CMatrix, CVector};
+use qra_math::{hermitian_eigen, CMatrix, CVector, C64};
 
 /// Fidelity `|⟨ψ|φ⟩|²` between two pure states.
 ///
@@ -61,11 +61,7 @@ pub fn mixed_fidelity(rho: &CMatrix, sigma: &CMatrix) -> Result<f64, SimError> {
     }
     let inner = sqrt_rho.mul(sigma)?.mul(&sqrt_rho)?;
     let inner_eig = hermitian_eigen(&inner)?;
-    let trace_root: f64 = inner_eig
-        .values
-        .iter()
-        .map(|l| l.max(0.0).sqrt())
-        .sum();
+    let trace_root: f64 = inner_eig.values.iter().map(|l| l.max(0.0).sqrt()).sum();
     Ok(trace_root * trace_root)
 }
 
@@ -247,10 +243,15 @@ mod tests {
         let b = bell();
         assert!((PauliString::parse("XX").unwrap().expectation(&b).unwrap() - 1.0).abs() < TOL);
         assert!((PauliString::parse("ZZ").unwrap().expectation(&b).unwrap() - 1.0).abs() < TOL);
+        assert!((PauliString::parse("YY").unwrap().expectation(&b).unwrap() + 1.0).abs() < TOL);
         assert!(
-            (PauliString::parse("YY").unwrap().expectation(&b).unwrap() + 1.0).abs() < TOL
+            PauliString::parse("ZI")
+                .unwrap()
+                .expectation(&b)
+                .unwrap()
+                .abs()
+                < TOL
         );
-        assert!(PauliString::parse("ZI").unwrap().expectation(&b).unwrap().abs() < TOL);
     }
 
     #[test]
@@ -260,13 +261,17 @@ mod tests {
         let xx = PauliString::parse("XX").unwrap();
         assert!((xx.expectation_rho(&rho).unwrap() - 1.0).abs() < TOL);
         // Dephased Bell loses XX coherence but keeps ZZ.
-        let dephased = CMatrix::from_fn(4, 4, |r, c| {
-            if r == c {
-                rho.get(r, c)
-            } else {
-                C64::zero()
-            }
-        });
+        let dephased = CMatrix::from_fn(
+            4,
+            4,
+            |r, c| {
+                if r == c {
+                    rho.get(r, c)
+                } else {
+                    C64::zero()
+                }
+            },
+        );
         assert!(xx.expectation_rho(&dephased).unwrap().abs() < TOL);
         let zz = PauliString::parse("ZZ").unwrap();
         assert!((zz.expectation_rho(&dephased).unwrap() - 1.0).abs() < TOL);

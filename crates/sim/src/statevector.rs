@@ -3,7 +3,7 @@
 use crate::{Counts, SimError};
 use qra_circuit::circuit::apply_gate_inplace;
 use qra_circuit::{Circuit, Operation};
-use qra_math::{C64, CVector};
+use qra_math::{CVector, C64};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,7 +22,7 @@ const MAX_QUBITS: usize = 24;
 /// c.h(0);
 /// c.measure_all();
 /// let counts = StatevectorSimulator::with_seed(1).run(&c, 4096)?;
-/// assert!((counts.frequency("0") - 0.5).abs() < 0.05);
+/// assert!((counts.frequency("0").unwrap() - 0.5).abs() < 0.05);
 /// # Ok::<(), qra_sim::SimError>(())
 /// ```
 #[derive(Debug)]
@@ -145,12 +145,7 @@ impl StatevectorSimulator {
                         let q = inst.qubits[0];
                         let bit = collapse(&mut state, q, n, &mut self.rng)?;
                         if bit == 1 {
-                            apply_gate_inplace(
-                                &mut state,
-                                &qra_circuit::Gate::X.matrix(),
-                                &[q],
-                                n,
-                            );
+                            apply_gate_inplace(&mut state, &qra_circuit::Gate::X.matrix(), &[q], n);
                         }
                     }
                 }
@@ -228,12 +223,16 @@ fn collapse(state: &mut CVector, qubit: usize, n: usize, rng: &mut StdRng) -> Re
     }
     let outcome = if rng.gen_range(0.0..1.0) < p1 { 1u8 } else { 0 };
     let keep_one = outcome == 1;
-    let norm = if keep_one { p1.sqrt() } else { (1.0 - p1).sqrt() };
+    let norm = if keep_one {
+        p1.sqrt()
+    } else {
+        (1.0 - p1).sqrt()
+    };
     let scale = C64::from(1.0 / norm.max(f64::MIN_POSITIVE));
     for i in 0..state.len() {
         let is_one = i & mask != 0;
         if is_one == keep_one {
-            state[i] = state[i] * scale;
+            state[i] *= scale;
         } else {
             state[i] = C64::zero();
         }
@@ -251,10 +250,10 @@ mod tests {
         c.h(0).cx(0, 1);
         c.measure_all();
         let counts = StatevectorSimulator::with_seed(42).run(&c, 8192).unwrap();
-        assert!((counts.frequency("00") - 0.5).abs() < 0.03);
-        assert!((counts.frequency("11") - 0.5).abs() < 0.03);
-        assert_eq!(counts.count_str("01"), 0);
-        assert_eq!(counts.count_str("10"), 0);
+        assert!((counts.frequency("00").unwrap() - 0.5).abs() < 0.03);
+        assert!((counts.frequency("11").unwrap() - 0.5).abs() < 0.03);
+        assert_eq!(counts.count_str("01").unwrap(), 0);
+        assert_eq!(counts.count_str("10").unwrap(), 0);
     }
 
     #[test]
@@ -263,7 +262,7 @@ mod tests {
         c.x(0);
         c.measure_all();
         let counts = StatevectorSimulator::with_seed(1).run(&c, 100).unwrap();
-        assert_eq!(counts.count_str("10"), 100);
+        assert_eq!(counts.count_str("10").unwrap(), 100);
     }
 
     #[test]
@@ -288,7 +287,10 @@ mod tests {
         let counts = StatevectorSimulator::with_seed(9).run(&c, 4000).unwrap();
         // All four outcomes appear.
         for bits in ["00", "01", "10", "11"] {
-            assert!(counts.frequency(bits) > 0.15, "missing outcome {bits}");
+            assert!(
+                counts.frequency(bits).unwrap() > 0.15,
+                "missing outcome {bits}"
+            );
         }
     }
 
@@ -300,10 +302,10 @@ mod tests {
         c.measure(0, 0).unwrap();
         c.measure(0, 1).unwrap();
         let counts = StatevectorSimulator::with_seed(2).run(&c, 2000).unwrap();
-        assert_eq!(counts.count_str("01"), 0);
-        assert_eq!(counts.count_str("10"), 0);
-        assert!(counts.count_str("00") > 0);
-        assert!(counts.count_str("11") > 0);
+        assert_eq!(counts.count_str("01").unwrap(), 0);
+        assert_eq!(counts.count_str("10").unwrap(), 0);
+        assert!(counts.count_str("00").unwrap() > 0);
+        assert!(counts.count_str("11").unwrap() > 0);
     }
 
     #[test]
@@ -313,7 +315,7 @@ mod tests {
         c.reset(0).unwrap();
         c.measure(0, 0).unwrap();
         let counts = StatevectorSimulator::with_seed(3).run(&c, 500).unwrap();
-        assert_eq!(counts.count_str("0"), 500);
+        assert_eq!(counts.count_str("0").unwrap(), 500);
     }
 
     #[test]
@@ -322,8 +324,8 @@ mod tests {
         c.h(0).cx(0, 1).cx(1, 2);
         c.measure_all();
         let counts = StatevectorSimulator::with_seed(10).run(&c, 8192).unwrap();
-        assert!((counts.frequency("000") - 0.5).abs() < 0.03);
-        assert!((counts.frequency("111") - 0.5).abs() < 0.03);
+        assert!((counts.frequency("000").unwrap() - 0.5).abs() < 0.03);
+        assert!((counts.frequency("111").unwrap() - 0.5).abs() < 0.03);
     }
 
     #[test]
@@ -349,6 +351,6 @@ mod tests {
         c.h(0).cx(0, 1);
         c.measure(0, 0).unwrap();
         let counts = StatevectorSimulator::with_seed(8).run(&c, 4000).unwrap();
-        assert!((counts.frequency("0") - 0.5).abs() < 0.05);
+        assert!((counts.frequency("0").unwrap() - 0.5).abs() < 0.05);
     }
 }

@@ -10,7 +10,7 @@ use crate::noise::{KrausChannel, NoiseModel};
 use crate::{Counts, SimError};
 use qra_circuit::circuit::apply_gate_inplace;
 use qra_circuit::{Circuit, Operation};
-use qra_math::{C64, CVector};
+use qra_math::{CVector, C64};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -29,7 +29,7 @@ const MAX_QUBITS: usize = 20;
 /// let mut sim = TrajectorySimulator::new(DevicePreset::melbourne_like(), 5);
 /// let counts = sim.run(&bell, 2048)?;
 /// // Noise leaks some probability into the odd-parity outcomes.
-/// assert!(counts.frequency("01") + counts.frequency("10") > 0.0);
+/// assert!(counts.frequency("01").unwrap() + counts.frequency("10").unwrap() > 0.0);
 /// # Ok::<(), qra_sim::SimError>(())
 /// ```
 #[derive(Debug)]
@@ -79,10 +79,8 @@ impl TrajectorySimulator {
         }
         let depol1 = PreparedChannel::build(self.noise.depol_1q, KrausChannel::depolarizing_1q)?;
         let depol2 = PreparedChannel::build(self.noise.depol_2q, KrausChannel::depolarizing_2q)?;
-        let damp1 =
-            PreparedChannel::build(self.noise.damping_1q, KrausChannel::amplitude_damping)?;
-        let damp2 =
-            PreparedChannel::build(self.noise.damping_2q, KrausChannel::amplitude_damping)?;
+        let damp1 = PreparedChannel::build(self.noise.damping_1q, KrausChannel::amplitude_damping)?;
+        let damp2 = PreparedChannel::build(self.noise.damping_2q, KrausChannel::amplitude_damping)?;
         let deph = PreparedChannel::build(self.noise.dephasing, KrausChannel::phase_damping)?;
 
         let dim = 1usize << n;
@@ -132,12 +130,7 @@ impl TrajectorySimulator {
                         let q = inst.qubits[0];
                         let bit = self.collapse(&mut state, q, n)?;
                         if bit == 1 {
-                            apply_gate_inplace(
-                                &mut state,
-                                &qra_circuit::Gate::X.matrix(),
-                                &[q],
-                                n,
-                            );
+                            apply_gate_inplace(&mut state, &qra_circuit::Gate::X.matrix(), &[q], n);
                         }
                     }
                 }
@@ -177,7 +170,7 @@ impl TrajectorySimulator {
             if (w - 1.0).abs() > 1e-15 {
                 let inv = C64::from(1.0 / w.sqrt());
                 for amp in state.as_mut_slice() {
-                    *amp = *amp * inv;
+                    *amp *= inv;
                 }
             }
             return Ok(());
@@ -203,7 +196,7 @@ impl TrajectorySimulator {
                 }
                 let inv = C64::from(1.0 / norm);
                 for amp in candidate.as_mut_slice() {
-                    *amp = *amp * inv;
+                    *amp *= inv;
                 }
                 self.scratch = std::mem::replace(state, candidate).into_inner();
                 return Ok(());
@@ -225,14 +218,22 @@ impl TrajectorySimulator {
         if !(0.0..=1.0 + 1e-9).contains(&p1) {
             return Err(SimError::InvalidProbability { value: p1 });
         }
-        let outcome = if self.rng.gen_range(0.0..1.0) < p1 { 1u8 } else { 0 };
+        let outcome = if self.rng.gen_range(0.0..1.0) < p1 {
+            1u8
+        } else {
+            0
+        };
         let keep_one = outcome == 1;
-        let norm = if keep_one { p1.sqrt() } else { (1.0 - p1).sqrt() };
+        let norm = if keep_one {
+            p1.sqrt()
+        } else {
+            (1.0 - p1).sqrt()
+        };
         let scale = C64::from(1.0 / norm.max(f64::MIN_POSITIVE));
         for i in 0..state.len() {
             let is_one = i & mask != 0;
             if is_one == keep_one {
-                state[i] = state[i] * scale;
+                state[i] *= scale;
             } else {
                 state[i] = C64::zero();
             }
@@ -285,7 +286,7 @@ mod tests {
     fn noiseless_trajectories_match_ideal() {
         let mut sim = TrajectorySimulator::new(NoiseModel::ideal(), 3);
         let counts = sim.run(&ghz_measured(), 4096).unwrap();
-        let p = counts.frequency("000") + counts.frequency("111");
+        let p = counts.frequency("000").unwrap() + counts.frequency("111").unwrap();
         assert!((p - 1.0).abs() < 1e-9, "ideal trajectories must be exact");
     }
 
@@ -319,7 +320,7 @@ mod tests {
         c.measure_all();
         let mut sim = TrajectorySimulator::new(noise, 11);
         let counts = sim.run(&c, 8192).unwrap();
-        let p0 = counts.frequency("0");
+        let p0 = counts.frequency("0").unwrap();
         assert!((p0 - 0.3).abs() < 0.03, "p0 = {p0}");
     }
 
@@ -336,9 +337,9 @@ mod tests {
         let mut sim = TrajectorySimulator::new(noise, 13);
         let counts = sim.run(&c, 4096).unwrap();
         assert!(
-            counts.frequency("1") < 0.3,
+            counts.frequency("1").unwrap() < 0.3,
             "20 damping slots must relax |1⟩: p1 = {}",
-            counts.frequency("1")
+            counts.frequency("1").unwrap()
         );
     }
 

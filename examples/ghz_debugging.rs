@@ -37,10 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .add(&CMatrix::outer(&e3, &e3).scale(C64::from(0.5)))?;
         StateSpec::mixed(rho)?
     };
-    let approx = StateSpec::set(vec![
-        CVector::basis_state(8, 0),
-        CVector::basis_state(8, 7),
-    ])?;
+    let approx = StateSpec::set(vec![CVector::basis_state(8, 0), CVector::basis_state(8, 7)])?;
 
     println!("== Precise 3-qubit assertion (SWAP design) ==");
     for (name, program) in [("correct", &good), ("bug1", &bug1), ("bug2", &bug2)] {

@@ -8,7 +8,9 @@
 //!
 //! Run with: `cargo run -p qra --example grover_checkpointing`
 
-use qra::algorithms::grover::{append_diffusion, append_oracle, expected_state, grover, optimal_iterations};
+use qra::algorithms::grover::{
+    append_diffusion, append_oracle, expected_state, grover, optimal_iterations,
+};
 use qra::prelude::*;
 
 const N: usize = 3;
@@ -71,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let precise = StateSpec::pure(expected_state(N, TARGET, 1))?;
     let h1 = insert_assertion(&mut buggy, &qubits, &precise, Design::Swap)?;
     let counts = StatevectorSimulator::with_seed(5).run(&buggy, 2048)?;
-    println!("  precise checkpoint: error rate {:.3}", h1.error_rate(&counts));
+    println!(
+        "  precise checkpoint: error rate {:.3}",
+        h1.error_rate(&counts)
+    );
 
     let mut buggy2 = Circuit::new(N);
     for q in 0..N {

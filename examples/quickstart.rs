@@ -41,10 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Approximate assertion: membership in a set ----------------------
     let mut ghz = qra::algorithms::states::ghz(3);
-    let set = StateSpec::set(vec![
-        CVector::basis_state(8, 0),
-        CVector::basis_state(8, 7),
-    ])?;
+    let set = StateSpec::set(vec![CVector::basis_state(8, 0), CVector::basis_state(8, 7)])?;
     let handle = insert_assertion(&mut ghz, &[0, 1, 2], &set, Design::Ndd)?;
     let counts = StatevectorSimulator::with_seed(1).run(&ghz, shots)?;
     println!(

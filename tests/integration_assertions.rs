@@ -103,8 +103,7 @@ fn qpe_mixed_state_assertion_catches_bug1_but_not_bug2() {
         qpe::QpeBug::UncontrolledGate,
     ] {
         let mut circuit = qpe::qpe_prefix(&clean.with_bug(bug), 5);
-        let handle =
-            insert_assertion(&mut circuit, &[0, 1, 2, 3], &spec, Design::Ndd).unwrap();
+        let handle = insert_assertion(&mut circuit, &[0, 1, 2, 3], &spec, Design::Ndd).unwrap();
         rates.push(handle.error_rate(&run(&circuit, 4)));
     }
     assert_eq!(rates[0], 0.0, "clean program must pass");
@@ -166,7 +165,10 @@ fn adder_assertion_catches_appendix_d_bug() {
 
     let mut buggy = build(AdderBug::WrongTargetInDoubleControl);
     let h = insert_assertion(&mut buggy, &qubits, &spec, Design::Swap).unwrap();
-    assert!(h.error_rate(&run(&buggy, 6)) > 0.05, "Appendix D bug missed");
+    assert!(
+        h.error_rate(&run(&buggy, 6)) > 0.05,
+        "Appendix D bug missed"
+    );
 }
 
 #[test]

@@ -19,7 +19,10 @@ fn table1_stat_row() {
 fn table1_primitive_row() {
     // Primitive: N/A for the precise GHZ state.
     let spec = StateSpec::pure(states::ghz_vector(3)).unwrap();
-    assert!(primitive::supports(&spec).is_none(), "Table I: Primitive N/A");
+    assert!(
+        primitive::supports(&spec).is_none(),
+        "Table I: Primitive N/A"
+    );
     assert!(primitive::build(&spec).is_err());
 }
 
@@ -33,11 +36,10 @@ fn table1_proq_row() {
     ] {
         let mut circuit = program;
         let handle = proq::insert(&mut circuit, &[0, 1, 2], &spec).unwrap();
-        let counts = StatevectorSimulator::with_seed(3).run(&circuit, 4096).unwrap();
-        assert!(
-            handle.error_rate(&counts) > min_rate,
-            "Proq missed {name}"
-        );
+        let counts = StatevectorSimulator::with_seed(3)
+            .run(&circuit, 4096)
+            .unwrap();
+        assert!(handle.error_rate(&counts) > min_rate, "Proq missed {name}");
     }
 }
 
@@ -99,11 +101,8 @@ fn table1_proposed_rows() {
 #[test]
 fn primitive_matches_proposed_on_supported_states() {
     // Where the primitives DO apply, they agree with our designs.
-    let even = StateSpec::set(vec![
-        CVector::basis_state(4, 0),
-        CVector::basis_state(4, 3),
-    ])
-    .unwrap();
+    let even =
+        StateSpec::set(vec![CVector::basis_state(4, 0), CVector::basis_state(4, 3)]).unwrap();
     let built = primitive::build(&even).unwrap();
 
     // Correct Bell program passes the primitive parity check.
@@ -119,7 +118,9 @@ fn primitive_matches_proposed_on_supported_states() {
     let mut ndd_prog = Circuit::new(2);
     ndd_prog.h(0).cx(0, 1);
     let h = insert_assertion(&mut ndd_prog, &[0, 1], &even, Design::Ndd).unwrap();
-    let counts = StatevectorSimulator::with_seed(5).run(&ndd_prog, 2048).unwrap();
+    let counts = StatevectorSimulator::with_seed(5)
+        .run(&ndd_prog, 2048)
+        .unwrap();
     assert_eq!(h.error_rate(&counts), 0.0);
 }
 
@@ -135,7 +136,9 @@ fn proq_handles_mixed_states_partially() {
     let spec = StateSpec::mixed(rho).unwrap();
     let mut program = states::ghz(3);
     let handle = proq::insert(&mut program, &[1, 2], &spec).unwrap();
-    let counts = StatevectorSimulator::with_seed(6).run(&program, 2048).unwrap();
+    let counts = StatevectorSimulator::with_seed(6)
+        .run(&program, 2048)
+        .unwrap();
     assert_eq!(handle.error_rate(&counts), 0.0);
 }
 

@@ -154,11 +154,7 @@ fn auto_never_loses_to_fixed_designs() {
     let specs: Vec<StateSpec> = vec![
         StateSpec::pure(states::ghz_vector(3)).unwrap(),
         StateSpec::pure(states::w_vector(3)).unwrap(),
-        StateSpec::set(vec![
-            CVector::basis_state(8, 0),
-            CVector::basis_state(8, 7),
-        ])
-        .unwrap(),
+        StateSpec::set(vec![CVector::basis_state(8, 0), CVector::basis_state(8, 7)]).unwrap(),
         StateSpec::pure(CVector::basis_state(4, 2)).unwrap(),
     ];
     for spec in &specs {
@@ -192,7 +188,10 @@ fn repeated_assertions_project_rather_than_amplify() {
     // Conditioned on the first assertion passing, the second never fires.
     let (passed_first, _) = counts.post_select_zero(&h1.clbits);
     let r2_given_pass = passed_first.any_set_frequency(&h2.clbits);
-    assert!(r1 > 0.2, "first assertion must fire probabilistically: {r1}");
+    assert!(
+        r1 > 0.2,
+        "first assertion must fire probabilistically: {r1}"
+    );
     assert!(
         r2_given_pass < 0.01,
         "projection must make the second assertion silent: {r2_given_pass}"
@@ -231,7 +230,10 @@ fn swap_design_uniquely_corrects_the_state() {
         if corrects {
             assert!(p0 > 0.99, "{design}: test qubit not corrected, p0={p0}");
         } else {
-            assert!(p0 < 0.01, "{design}: test qubit unexpectedly reset, p0={p0}");
+            assert!(
+                p0 < 0.01,
+                "{design}: test qubit unexpectedly reset, p0={p0}"
+            );
         }
     }
 }

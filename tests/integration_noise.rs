@@ -36,8 +36,7 @@ fn bug_signal_exceeds_noise_floor() {
     let spec = StateSpec::pure(states::ghz_vector(3)).unwrap();
     let rate = |program: Circuit| {
         let mut circuit = program;
-        let handle =
-            insert_assertion(&mut circuit, &[0, 1, 2], &spec, Design::Swap).unwrap();
+        let handle = insert_assertion(&mut circuit, &[0, 1, 2], &spec, Design::Swap).unwrap();
         let dist = noisy_sim().outcome_distribution(&circuit).unwrap();
         dist.iter()
             .filter(|(k, _)| handle.clbits.iter().any(|&b| (k >> b) & 1 == 1))
@@ -113,8 +112,7 @@ fn sec9b_single_qubit_assertion_under_noise() {
         assert_eq!(eig.rank(1e-9), 1);
         let spec = StateSpec::pure(eig.vectors[0].clone()).unwrap();
         let handle =
-            insert_assertion(&mut circuit, &[config.eigen_qubit()], &spec, Design::Swap)
-                .unwrap();
+            insert_assertion(&mut circuit, &[config.eigen_qubit()], &spec, Design::Swap).unwrap();
         (circuit, handle)
     };
     let (clean_c, clean_h) = build(QpeBug::None);
@@ -156,5 +154,8 @@ fn noise_models_are_ordered() {
     let low = floor(DevicePreset::LowNoise);
     let mel = floor(DevicePreset::MelbourneLike);
     assert!(ideal < 1e-9);
-    assert!(low > ideal && mel > low, "ideal {ideal}, low {low}, mel {mel}");
+    assert!(
+        low > ideal && mel > low,
+        "ideal {ideal}, low {low}, mel {mel}"
+    );
 }

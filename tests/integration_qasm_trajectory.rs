@@ -61,7 +61,9 @@ fn assertion_circuit_roundtrips_through_qasm() {
         let parsed = from_qasm(&text).unwrap();
         assert_eq!(parsed.num_qubits(), program.num_qubits());
         // The reparsed circuit must behave identically: zero error rate.
-        let counts = StatevectorSimulator::with_seed(1).run(&parsed, 4096).unwrap();
+        let counts = StatevectorSimulator::with_seed(1)
+            .run(&parsed, 4096)
+            .unwrap();
         assert_eq!(
             handle.error_rate(&counts),
             0.0,
@@ -84,7 +86,9 @@ fn optimized_assertion_circuit_roundtrips() {
     assert!(optimized.len() <= program.len());
     let text = to_qasm(&lower_for_export(&optimized)).unwrap();
     let parsed = from_qasm(&text).unwrap();
-    let counts = StatevectorSimulator::with_seed(2).run(&parsed, 4096).unwrap();
+    let counts = StatevectorSimulator::with_seed(2)
+        .run(&parsed, 4096)
+        .unwrap();
     assert_eq!(handle.error_rate(&counts), 0.0);
 }
 

@@ -1,20 +1,30 @@
-//! Property-based tests on the assertion designs: for randomly generated
-//! states and programs, a correct program never raises an assertion error
-//! and an orthogonal state always does.
+//! Randomized property tests on the assertion designs: for randomly
+//! generated states and programs, a correct program never raises an
+//! assertion error and an orthogonal state always does.
+//!
+//! These use a seeded PRNG loop (deterministic run-to-run) rather than a
+//! shrinking framework; each case derives its generator from the test's
+//! base seed so failures reproduce exactly.
 
-use proptest::prelude::*;
 use qra::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// A random normalised state vector on `n` qubits from raw amplitude parts.
-fn arb_state(n: usize) -> impl Strategy<Value = CVector> {
+const CASES: usize = 12;
+
+/// A random normalised state vector on `n` qubits.
+fn random_state(rng: &mut StdRng, n: usize) -> CVector {
     let dim = 1usize << n;
-    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), dim).prop_filter_map(
-        "state must be normalisable",
-        |parts| {
-            let v = CVector::new(parts.iter().map(|&(re, im)| C64::new(re, im)).collect());
-            v.normalized().ok()
-        },
-    )
+    loop {
+        let v = CVector::new(
+            (0..dim)
+                .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect(),
+        );
+        if let Ok(u) = v.normalized() {
+            return u;
+        }
+    }
 }
 
 /// Builds a program preparing exactly `state` using the synthesis pipeline.
@@ -29,113 +39,153 @@ fn error_rate(circuit: &Circuit, handle: &AssertionHandle, seed: u64) -> f64 {
     handle.error_rate(&counts)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn correct_states_never_flag_swap(state in arb_state(2)) {
+fn correct_states_never_flag(design: Design, base_seed: u64) {
+    let mut rng = StdRng::seed_from_u64(base_seed);
+    for case in 0..CASES {
+        let state = random_state(&mut rng, 2);
         let mut circuit = preparation_program(&state);
         let handle = insert_assertion(
-            &mut circuit, &[0, 1],
-            &StateSpec::pure(state).unwrap(), Design::Swap,
-        ).unwrap();
-        prop_assert_eq!(error_rate(&circuit, &handle, 1), 0.0);
+            &mut circuit,
+            &[0, 1],
+            &StateSpec::pure(state).unwrap(),
+            design,
+        )
+        .unwrap();
+        assert_eq!(
+            error_rate(&circuit, &handle, base_seed + case as u64),
+            0.0,
+            "{design} flagged its own state (case {case})"
+        );
     }
+}
 
-    #[test]
-    fn correct_states_never_flag_ndd(state in arb_state(2)) {
+#[test]
+fn correct_states_never_flag_swap() {
+    correct_states_never_flag(Design::Swap, 101);
+}
+
+#[test]
+fn correct_states_never_flag_ndd() {
+    correct_states_never_flag(Design::Ndd, 202);
+}
+
+#[test]
+fn correct_states_never_flag_logical_or() {
+    correct_states_never_flag(Design::LogicalOr, 303);
+}
+
+#[test]
+fn three_qubit_states_pass_their_own_assertion() {
+    let mut rng = StdRng::seed_from_u64(404);
+    for case in 0..CASES {
+        let state = random_state(&mut rng, 3);
         let mut circuit = preparation_program(&state);
         let handle = insert_assertion(
-            &mut circuit, &[0, 1],
-            &StateSpec::pure(state).unwrap(), Design::Ndd,
-        ).unwrap();
-        prop_assert_eq!(error_rate(&circuit, &handle, 2), 0.0);
+            &mut circuit,
+            &[0, 1, 2],
+            &StateSpec::pure(state).unwrap(),
+            Design::Auto,
+        )
+        .unwrap();
+        assert_eq!(error_rate(&circuit, &handle, 4 + case as u64), 0.0);
     }
+}
 
-    #[test]
-    fn correct_states_never_flag_logical_or(state in arb_state(2)) {
-        let mut circuit = preparation_program(&state);
-        let handle = insert_assertion(
-            &mut circuit, &[0, 1],
-            &StateSpec::pure(state).unwrap(), Design::LogicalOr,
-        ).unwrap();
-        prop_assert_eq!(error_rate(&circuit, &handle, 3), 0.0);
-    }
-
-    #[test]
-    fn three_qubit_states_pass_their_own_assertion(state in arb_state(3)) {
-        let mut circuit = preparation_program(&state);
-        let handle = insert_assertion(
-            &mut circuit, &[0, 1, 2],
-            &StateSpec::pure(state).unwrap(), Design::Auto,
-        ).unwrap();
-        prop_assert_eq!(error_rate(&circuit, &handle, 4), 0.0);
-    }
-
-    #[test]
-    fn orthogonal_states_always_flag(seed_state in arb_state(2)) {
+#[test]
+fn orthogonal_states_always_flag() {
+    let mut rng = StdRng::seed_from_u64(505);
+    for _ in 0..CASES {
         // Build a state orthogonal to the asserted one by completing the
         // basis and preparing the second basis vector.
-        let basis = qra::math::complete_basis(
-            std::slice::from_ref(&seed_state), 4).unwrap();
+        let seed_state = random_state(&mut rng, 2);
+        let basis = qra::math::complete_basis(std::slice::from_ref(&seed_state), 4).unwrap();
         let orthogonal = basis[1].clone();
         let mut circuit = preparation_program(&orthogonal);
         let handle = insert_assertion(
-            &mut circuit, &[0, 1],
-            &StateSpec::pure(seed_state).unwrap(), Design::Swap,
-        ).unwrap();
+            &mut circuit,
+            &[0, 1],
+            &StateSpec::pure(seed_state).unwrap(),
+            Design::Swap,
+        )
+        .unwrap();
         // Orthogonal states are "incorrect" with certainty.
-        prop_assert!(error_rate(&circuit, &handle, 5) > 0.99);
+        assert!(error_rate(&circuit, &handle, 5) > 0.99);
     }
+}
 
-    #[test]
-    fn error_rate_tracks_overlap_for_ndd(state in arb_state(1), probe in arb_state(1)) {
+#[test]
+fn error_rate_tracks_overlap_for_ndd() {
+    let mut rng = StdRng::seed_from_u64(606);
+    for _ in 0..CASES {
         // NDD pass probability equals |⟨ψ|φ⟩|² exactly.
+        let state = random_state(&mut rng, 1);
+        let probe = random_state(&mut rng, 1);
         let overlap = state.inner(&probe).unwrap().norm_sqr();
         let mut circuit = preparation_program(&probe);
         let handle = insert_assertion(
-            &mut circuit, &[0],
-            &StateSpec::pure(state).unwrap(), Design::Ndd,
-        ).unwrap();
+            &mut circuit,
+            &[0],
+            &StateSpec::pure(state).unwrap(),
+            Design::Ndd,
+        )
+        .unwrap();
         let counts = StatevectorSimulator::with_seed(6)
-            .run(&circuit, 4096).unwrap();
+            .run(&circuit, 4096)
+            .unwrap();
         let rate = handle.error_rate(&counts);
-        prop_assert!(((1.0 - overlap) - rate).abs() < 0.08,
-            "overlap {overlap}, rate {rate}");
+        assert!(
+            ((1.0 - overlap) - rate).abs() < 0.08,
+            "overlap {overlap}, rate {rate}"
+        );
     }
+}
 
-    #[test]
-    fn set_members_pass_approximate_assertion(
-        a in arb_state(2), b in arb_state(2), pick_second in any::<bool>()
-    ) {
+#[test]
+fn set_members_pass_approximate_assertion() {
+    let mut rng = StdRng::seed_from_u64(707);
+    for case in 0..CASES {
+        let a = random_state(&mut rng, 2);
+        let b = random_state(&mut rng, 2);
+        let pick_second = rng.gen_bool(0.5);
         let spec = StateSpec::set(vec![a.clone(), b.clone()]).unwrap();
         // Full-rank degenerate sets (t = 4) are unassertable; skip those.
-        prop_assume!(spec.correct_states().is_ok());
+        if spec.correct_states().is_err() {
+            continue;
+        }
         let member = if pick_second { &b } else { &a };
         let mut circuit = preparation_program(member);
         let handle = insert_assertion(&mut circuit, &[0, 1], &spec, Design::Ndd).unwrap();
-        prop_assert_eq!(error_rate(&circuit, &handle, 7), 0.0);
+        assert_eq!(
+            error_rate(&circuit, &handle, 7),
+            0.0,
+            "set member flagged (case {case})"
+        );
     }
+}
 
-    #[test]
-    fn mixed_state_purifications_pass(state in arb_state(2)) {
+#[test]
+fn mixed_state_purifications_pass() {
+    let mut rng = StdRng::seed_from_u64(808);
+    for _ in 0..CASES {
         // Entangle the 2 test qubits with an environment qubit, assert the
         // reduced density matrix: must pass.
+        let state = random_state(&mut rng, 2);
         let mut program = Circuit::new(3);
-        program.compose(&preparation_program(&state), &[0, 1], &[]).unwrap();
+        program
+            .compose(&preparation_program(&state), &[0, 1], &[])
+            .unwrap();
         program.cx(1, 2); // entangle with environment
         let sv = program.statevector().unwrap();
         let rho = CMatrix::outer(&sv, &sv).partial_trace(&[2]).unwrap();
         let spec = match StateSpec::mixed(rho) {
             Ok(s) => s,
-            Err(_) => return Ok(()), // numerically degenerate: skip
+            Err(_) => continue, // numerically degenerate: skip
         };
-        match spec.correct_states() {
-            Ok(_) => {}
-            Err(_) => return Ok(()), // full rank: unassertable by design
+        if spec.correct_states().is_err() {
+            continue; // full rank: unassertable by design
         }
         let mut circuit = program;
         let handle = insert_assertion(&mut circuit, &[0, 1], &spec, Design::Ndd).unwrap();
-        prop_assert_eq!(error_rate(&circuit, &handle, 8), 0.0);
+        assert_eq!(error_rate(&circuit, &handle, 8), 0.0);
     }
 }

@@ -1,69 +1,90 @@
-//! Property-based tests for the §VIII checkpoint instrumentation and the
-//! counts/post-selection invariants it relies on.
+//! Randomized property tests for the §VIII checkpoint instrumentation and
+//! the counts/post-selection invariants it relies on.
+//!
+//! Seeded PRNG loops replace the former proptest strategies; every case is
+//! deterministic for a fixed base seed.
 
-use proptest::prelude::*;
-use qra::core::checkpoint::{instrument, instrument_against, CheckpointOptions, CheckpointPlacement};
+use qra::core::checkpoint::{
+    instrument, instrument_against, CheckpointOptions, CheckpointPlacement,
+};
 use qra::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 8;
 
 /// A random measurement-free program over `n` qubits.
-fn arb_program(n: usize, len: usize) -> impl Strategy<Value = Circuit> {
-    proptest::collection::vec((0usize..5, 0usize..n, 0usize..n, -2.0f64..2.0), 1..=len).prop_map(
-        move |ops| {
-            let mut c = Circuit::new(n);
-            for (op, a, b, angle) in ops {
-                let b2 = if a == b { (b + 1) % n } else { b };
-                match op {
-                    0 => {
-                        c.h(a);
-                    }
-                    1 => {
-                        c.ry(angle, a);
-                    }
-                    2 => {
-                        c.rz(angle, a);
-                    }
-                    3 => {
-                        c.cx(a, b2);
-                    }
-                    _ => {
-                        c.cz(a, b2);
-                    }
-                }
+fn random_program(rng: &mut StdRng, n: usize, max_len: usize) -> Circuit {
+    let len = rng.gen_range(1usize..=max_len);
+    let mut c = Circuit::new(n);
+    for _ in 0..len {
+        let op = rng.gen_range(0usize..5);
+        let a = rng.gen_range(0usize..n);
+        let b = rng.gen_range(0usize..n);
+        let angle = rng.gen_range(-2.0..2.0);
+        let b2 = if a == b { (b + 1) % n } else { b };
+        match op {
+            0 => {
+                c.h(a);
             }
-            c
-        },
-    )
+            1 => {
+                c.ry(angle, a);
+            }
+            2 => {
+                c.rz(angle, a);
+            }
+            3 => {
+                c.cx(a, b2);
+            }
+            _ => {
+                c.cz(a, b2);
+            }
+        }
+    }
+    c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn self_instrumented_programs_never_flag(program in arb_program(3, 10)) {
-        let instrumented = instrument(&program, &CheckpointOptions {
-            design: Design::Swap,
-            placement: CheckpointPlacement::EveryN(3),
-            qubits: None,
+#[test]
+fn self_instrumented_programs_never_flag() {
+    let mut rng = StdRng::seed_from_u64(31);
+    for _ in 0..CASES {
+        let program = random_program(&mut rng, 3, 10);
+        let instrumented = instrument(
+            &program,
+            &CheckpointOptions {
+                design: Design::Swap,
+                placement: CheckpointPlacement::EveryN(3),
+                qubits: None,
                 reuse_ancillas: false,
-            }).unwrap();
+            },
+        )
+        .unwrap();
         let counts = StatevectorSimulator::with_seed(1)
             .run(&instrumented.circuit, 256)
             .unwrap();
         for handle in &instrumented.handles {
-            prop_assert_eq!(handle.error_rate(&counts), 0.0);
+            assert_eq!(handle.error_rate(&counts), 0.0);
         }
     }
+}
 
-    #[test]
-    fn instrumentation_preserves_program_semantics(program in arb_program(3, 8)) {
+#[test]
+fn instrumentation_preserves_program_semantics() {
+    let mut rng = StdRng::seed_from_u64(32);
+    for _ in 0..CASES {
         // The data qubits' final reduced state must be unchanged by the
         // (passing) checkpoints.
-        let instrumented = instrument(&program, &CheckpointOptions {
-            design: Design::Swap,
-            placement: CheckpointPlacement::EndOnly,
-            qubits: None,
+        let program = random_program(&mut rng, 3, 8);
+        let instrumented = instrument(
+            &program,
+            &CheckpointOptions {
+                design: Design::Swap,
+                placement: CheckpointPlacement::EndOnly,
+                qubits: None,
                 reuse_ancillas: false,
-            }).unwrap();
+            },
+        )
+        .unwrap();
         // Strip measurements to compare states.
         let mut stripped = Circuit::new(instrumented.circuit.num_qubits());
         for inst in instrumented.circuit.instructions() {
@@ -77,17 +98,19 @@ proptest! {
         let reduced = rho.partial_trace(&traced).unwrap();
         let expect = program.statevector().unwrap();
         let target = CMatrix::outer(&expect, &expect);
-        prop_assert!(reduced.approx_eq(&target, 1e-7));
+        assert!(reduced.approx_eq(&target, 1e-7));
     }
+}
 
-    #[test]
-    fn single_gate_mutation_is_caught_by_dense_checkpoints(
-        program in arb_program(3, 6),
-        mutate_idx in 0usize..6,
-    ) {
-        // Mutate one gate (append an X on some qubit at a position) and
-        // verify the reference-based instrumentation flags some checkpoint,
-        // unless the mutation is a no-op on the state.
+#[test]
+fn single_gate_mutation_is_caught_by_dense_checkpoints() {
+    let mut rng = StdRng::seed_from_u64(33);
+    for _ in 0..CASES {
+        // Mutate one gate (replace it with a different gate at a position)
+        // and verify the reference-based instrumentation flags some
+        // checkpoint, unless the mutation is a no-op on the state.
+        let program = random_program(&mut rng, 3, 6);
+        let mutate_idx = rng.gen_range(0usize..6);
         let idx = mutate_idx % program.len();
         let mut mutated = Circuit::new(3);
         for (i, inst) in program.instructions().iter().enumerate() {
@@ -95,12 +118,24 @@ proptest! {
             if i == idx {
                 // Replace with a different gate on the same qubits.
                 match g {
-                    Gate::H => { mutated.x(inst.qubits[0]); }
-                    Gate::Cx => { mutated.cz(inst.qubits[0], inst.qubits[1]); }
-                    Gate::Cz => { mutated.cx(inst.qubits[0], inst.qubits[1]); }
-                    Gate::Ry(t) => { mutated.ry(t + 1.0, inst.qubits[0]); }
-                    Gate::Rz(t) => { mutated.rz(t + 1.0, inst.qubits[0]); }
-                    other => { mutated.append(other, &inst.qubits).unwrap(); }
+                    Gate::H => {
+                        mutated.x(inst.qubits[0]);
+                    }
+                    Gate::Cx => {
+                        mutated.cz(inst.qubits[0], inst.qubits[1]);
+                    }
+                    Gate::Cz => {
+                        mutated.cx(inst.qubits[0], inst.qubits[1]);
+                    }
+                    Gate::Ry(t) => {
+                        mutated.ry(t + 1.0, inst.qubits[0]);
+                    }
+                    Gate::Rz(t) => {
+                        mutated.rz(t + 1.0, inst.qubits[0]);
+                    }
+                    other => {
+                        mutated.append(other, &inst.qubits).unwrap();
+                    }
                 }
             } else {
                 mutated.append(g, &inst.qubits).unwrap();
@@ -117,42 +152,60 @@ proptest! {
             .inner(&program.statevector().unwrap())
             .unwrap()
             .norm_sqr();
-        prop_assume!(fidelity <= 0.9);
+        if fidelity > 0.9 {
+            continue;
+        }
 
-        let instrumented = instrument_against(&mutated, &program, &CheckpointOptions {
-            design: Design::Swap,
-            placement: CheckpointPlacement::EveryN(1),
-            qubits: None,
+        let instrumented = instrument_against(
+            &mutated,
+            &program,
+            &CheckpointOptions {
+                design: Design::Swap,
+                placement: CheckpointPlacement::EveryN(1),
+                qubits: None,
                 reuse_ancillas: false,
-            }).unwrap();
+            },
+        )
+        .unwrap();
         let counts = StatevectorSimulator::with_seed(2)
             .run(&instrumented.circuit, 512)
             .unwrap();
         let report = AssertionReport::from_counts(&counts, &instrumented.handles);
-        prop_assert!(
+        assert!(
             report.first_failing(0.01).is_some(),
             "mutation at {idx} escaped dense checkpoints"
         );
     }
+}
 
-    #[test]
-    fn post_selection_total_is_consistent(program in arb_program(2, 6)) {
-        let instrumented = instrument(&program, &CheckpointOptions {
-            design: Design::Ndd,
-            placement: CheckpointPlacement::EndOnly,
-            qubits: None,
+#[test]
+fn post_selection_total_is_consistent() {
+    let mut rng = StdRng::seed_from_u64(34);
+    for _ in 0..CASES {
+        let program = random_program(&mut rng, 2, 6);
+        let instrumented = instrument(
+            &program,
+            &CheckpointOptions {
+                design: Design::Ndd,
+                placement: CheckpointPlacement::EndOnly,
+                qubits: None,
                 reuse_ancillas: false,
-            }).unwrap();
+            },
+        )
+        .unwrap();
         let counts = StatevectorSimulator::with_seed(3)
             .run(&instrumented.circuit, 512)
             .unwrap();
         for handle in &instrumented.handles {
             let (filtered, kept) = handle.post_select(&counts);
-            prop_assert!(filtered.total() <= counts.total());
-            let expected_kept = if counts.total() == 0 { 0.0 }
-                else { filtered.total() as f64 / counts.total() as f64 };
-            prop_assert!((kept - expected_kept).abs() < 1e-12);
-            prop_assert!((handle.error_rate(&counts) - (1.0 - kept)).abs() < 1e-12);
+            assert!(filtered.total() <= counts.total());
+            let expected_kept = if counts.total() == 0 {
+                0.0
+            } else {
+                filtered.total() as f64 / counts.total() as f64
+            };
+            assert!((kept - expected_kept).abs() < 1e-12);
+            assert!((handle.error_rate(&counts) - (1.0 - kept)).abs() < 1e-12);
         }
     }
 }

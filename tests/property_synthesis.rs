@@ -1,174 +1,235 @@
-//! Property-based tests on the synthesis substrate: state preparation,
-//! unitary synthesis, the optimizer, and the cost model.
+//! Randomized property tests on the synthesis substrate: state
+//! preparation, unitary synthesis, the optimizer, and the cost model.
+//!
+//! Seeded PRNG loops replace the former proptest strategies; every case is
+//! deterministic for a fixed base seed.
 
-use proptest::prelude::*;
 use qra::circuit::passes::peephole_optimize;
 use qra::circuit::synthesis::{prepare_state, unitary_circuit};
 use qra::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_state(n: usize) -> impl Strategy<Value = CVector> {
+const CASES: usize = 16;
+
+fn random_state(rng: &mut StdRng, n: usize) -> CVector {
     let dim = 1usize << n;
-    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), dim).prop_filter_map(
-        "state must be normalisable",
-        |parts| {
-            let v = CVector::new(parts.iter().map(|&(re, im)| C64::new(re, im)).collect());
-            v.normalized().ok()
-        },
-    )
+    loop {
+        let v = CVector::new(
+            (0..dim)
+                .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect(),
+        );
+        if let Ok(u) = v.normalized() {
+            return u;
+        }
+    }
 }
 
-/// A random small circuit over `n` qubits described by opcode tuples.
-fn arb_circuit(n: usize, len: usize) -> impl Strategy<Value = Circuit> {
-    proptest::collection::vec((0usize..6, 0usize..n, 0usize..n, -2.0f64..2.0), len).prop_map(
-        move |ops| {
-            let mut c = Circuit::new(n);
-            for (op, a, b, angle) in ops {
-                let b2 = if a == b { (b + 1) % n } else { b };
-                match op {
-                    0 => {
-                        c.h(a);
-                    }
-                    1 => {
-                        c.rz(angle, a);
-                    }
-                    2 => {
-                        c.ry(angle, a);
-                    }
-                    3 => {
-                        c.cx(a, b2);
-                    }
-                    4 => {
-                        c.cz(a, b2);
-                    }
-                    _ => {
-                        c.t(a);
-                    }
-                }
+/// A random small circuit over `n` qubits built from a fixed opcode set.
+fn random_circuit(rng: &mut StdRng, n: usize, len: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..len {
+        let op = rng.gen_range(0usize..6);
+        let a = rng.gen_range(0usize..n);
+        let b = rng.gen_range(0usize..n);
+        let angle = rng.gen_range(-2.0..2.0);
+        let b2 = if a == b { (b + 1) % n } else { b };
+        match op {
+            0 => {
+                c.h(a);
             }
-            c
-        },
-    )
+            1 => {
+                c.rz(angle, a);
+            }
+            2 => {
+                c.ry(angle, a);
+            }
+            3 => {
+                c.cx(a, b2);
+            }
+            4 => {
+                c.cz(a, b2);
+            }
+            _ => {
+                c.t(a);
+            }
+        }
+    }
+    c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn prepare_state_roundtrips(state in arb_state(3)) {
+#[test]
+fn prepare_state_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..CASES {
+        let state = random_state(&mut rng, 3);
         let c = prepare_state(&state).unwrap();
         let sv = c.statevector().unwrap();
-        prop_assert!(sv.approx_eq_up_to_phase(&state, 1e-7));
+        assert!(sv.approx_eq_up_to_phase(&state, 1e-7));
     }
+}
 
-    #[test]
-    fn prepare_state_respects_cx_bound(state in arb_state(4)) {
+#[test]
+fn prepare_state_respects_cx_bound() {
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..CASES {
+        let state = random_state(&mut rng, 4);
         let c = prepare_state(&state).unwrap();
         let counts = GateCounts::of(&c).unwrap();
         // O(2ⁿ) bound with a generous constant.
-        prop_assert!(counts.cx <= 2 * 16, "cx = {}", counts.cx);
+        assert!(counts.cx <= 2 * 16, "cx = {}", counts.cx);
     }
+}
 
-    #[test]
-    fn peephole_preserves_semantics(c in arb_circuit(3, 24)) {
+#[test]
+fn peephole_preserves_semantics() {
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..CASES {
+        let c = random_circuit(&mut rng, 3, 24);
         let opt = peephole_optimize(&c);
-        prop_assert!(opt.len() <= c.len());
+        assert!(opt.len() <= c.len());
         let u1 = c.unitary_matrix().unwrap();
         let u2 = opt.unitary_matrix().unwrap();
-        prop_assert!(u1.approx_eq_up_to_phase(&u2, 1e-7));
+        assert!(u1.approx_eq_up_to_phase(&u2, 1e-7));
     }
+}
 
-    #[test]
-    fn optimizer_is_idempotent(c in arb_circuit(3, 16)) {
+#[test]
+fn optimizer_is_idempotent() {
+    let mut rng = StdRng::seed_from_u64(14);
+    for _ in 0..CASES {
+        let c = random_circuit(&mut rng, 3, 16);
         let once = peephole_optimize(&c);
         let twice = peephole_optimize(&once);
-        prop_assert_eq!(once.len(), twice.len());
+        assert_eq!(once.len(), twice.len());
     }
+}
 
-    #[test]
-    fn unitary_synthesis_roundtrips_from_circuits(c in arb_circuit(2, 8)) {
+#[test]
+fn unitary_synthesis_roundtrips_from_circuits() {
+    let mut rng = StdRng::seed_from_u64(15);
+    for _ in 0..CASES {
         // Any random 2-qubit unitary built from gates must re-synthesise.
+        let c = random_circuit(&mut rng, 2, 8);
         let u = c.unitary_matrix().unwrap();
         let synth = unitary_circuit(&u).unwrap();
         let got = synth.unitary_matrix().unwrap();
-        prop_assert!(got.approx_eq_up_to_phase(&u, 1e-6));
+        assert!(got.approx_eq_up_to_phase(&u, 1e-6));
     }
+}
 
-    #[test]
-    fn cost_model_is_additive(a in arb_circuit(3, 10), b in arb_circuit(3, 10)) {
+#[test]
+fn cost_model_is_additive() {
+    let mut rng = StdRng::seed_from_u64(16);
+    for _ in 0..CASES {
+        let a = random_circuit(&mut rng, 3, 10);
+        let b = random_circuit(&mut rng, 3, 10);
         let ca = GateCounts::of(&a).unwrap();
         let cb = GateCounts::of(&b).unwrap();
         let mut joined = a.clone();
         joined.compose(&b, &[0, 1, 2], &[]).unwrap();
         let cj = GateCounts::of(&joined).unwrap();
-        prop_assert_eq!(cj.cx, ca.cx + cb.cx);
-        prop_assert_eq!(cj.sg, ca.sg + cb.sg);
+        assert_eq!(cj.cx, ca.cx + cb.cx);
+        assert_eq!(cj.sg, ca.sg + cb.sg);
     }
+}
 
-    #[test]
-    fn inverse_circuit_cancels(c in arb_circuit(3, 12)) {
+#[test]
+fn inverse_circuit_cancels() {
+    let mut rng = StdRng::seed_from_u64(17);
+    for _ in 0..CASES {
+        let c = random_circuit(&mut rng, 3, 12);
         let mut full = c.clone();
         let inv = c.inverse().unwrap();
         full.compose(&inv, &[0, 1, 2], &[]).unwrap();
         let sv = full.statevector().unwrap();
-        prop_assert!(sv.approx_eq_up_to_phase(&CVector::basis_state(8, 0), 1e-7));
+        assert!(sv.approx_eq_up_to_phase(&CVector::basis_state(8, 0), 1e-7));
     }
+}
 
-    #[test]
-    fn basis_completion_is_orthonormal(state in arb_state(3)) {
+#[test]
+fn basis_completion_is_orthonormal() {
+    let mut rng = StdRng::seed_from_u64(18);
+    for _ in 0..CASES {
+        let state = random_state(&mut rng, 3);
         let basis = qra::math::complete_basis(std::slice::from_ref(&state), 8).unwrap();
-        prop_assert_eq!(basis.len(), 8);
-        prop_assert!(qra::math::gram_schmidt::is_orthonormal(&basis, 1e-7));
-        prop_assert!(basis[0].approx_eq(&state, 1e-9));
+        assert_eq!(basis.len(), 8);
+        assert!(qra::math::gram_schmidt::is_orthonormal(&basis, 1e-7));
+        assert!(basis[0].approx_eq(&state, 1e-9));
     }
+}
 
-    #[test]
-    fn density_eigendecomposition_roundtrips(a in arb_state(2), b in arb_state(2), p in 0.05f64..0.95) {
-        let rho = CMatrix::outer(&a, &a).scale(C64::from(p))
-            .add(&CMatrix::outer(&b, &b).scale(C64::from(1.0 - p))).unwrap();
+#[test]
+fn density_eigendecomposition_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(19);
+    for _ in 0..CASES {
+        let a = random_state(&mut rng, 2);
+        let b = random_state(&mut rng, 2);
+        let p = rng.gen_range(0.05..0.95);
+        let rho = CMatrix::outer(&a, &a)
+            .scale(C64::from(p))
+            .add(&CMatrix::outer(&b, &b).scale(C64::from(1.0 - p)))
+            .unwrap();
         let eig = qra::math::hermitian_eigen(&rho).unwrap();
-        prop_assert!(eig.reconstruct().approx_eq(&rho, 1e-7));
+        assert!(eig.reconstruct().approx_eq(&rho, 1e-7));
         let trace: f64 = eig.values.iter().sum();
-        prop_assert!((trace - 1.0).abs() < 1e-7);
+        assert!((trace - 1.0).abs() < 1e-7);
         for v in &eig.values {
-            prop_assert!(*v > -1e-9, "density eigenvalues must be ≥ 0");
+            assert!(*v > -1e-9, "density eigenvalues must be ≥ 0");
         }
     }
+}
 
-    #[test]
-    fn qasm_export_roundtrips_gate_names(c in arb_circuit(3, 10)) {
+#[test]
+fn qasm_export_roundtrips_gate_names() {
+    let mut rng = StdRng::seed_from_u64(20);
+    for _ in 0..CASES {
+        let c = random_circuit(&mut rng, 3, 10);
         let text = qra::circuit::qasm::to_qasm(&c).unwrap();
-        prop_assert!(text.starts_with("OPENQASM 2.0;"));
+        assert!(text.starts_with("OPENQASM 2.0;"));
         for inst in c.instructions() {
             if let Some(g) = inst.as_gate() {
                 let name = match g.name() {
                     "p" => "u1",
                     other => other,
                 };
-                prop_assert!(text.contains(name), "missing {name}");
+                assert!(text.contains(name), "missing {name}");
             }
         }
     }
+}
 
-    #[test]
-    fn qasm_full_roundtrip_preserves_unitary(c in arb_circuit(3, 12)) {
+#[test]
+fn qasm_full_roundtrip_preserves_unitary() {
+    let mut rng = StdRng::seed_from_u64(21);
+    for _ in 0..CASES {
+        let c = random_circuit(&mut rng, 3, 12);
         let text = qra::circuit::qasm::to_qasm(&c).unwrap();
         let parsed = qra::circuit::qasm_parser::from_qasm(&text).unwrap();
-        prop_assert_eq!(parsed.num_qubits(), c.num_qubits());
-        prop_assert_eq!(parsed.gate_count(), c.gate_count());
+        assert_eq!(parsed.num_qubits(), c.num_qubits());
+        assert_eq!(parsed.gate_count(), c.gate_count());
         let u1 = c.unitary_matrix().unwrap();
         let u2 = parsed.unitary_matrix().unwrap();
-        prop_assert!(u1.approx_eq_up_to_phase(&u2, 1e-9),
-            "QASM roundtrip changed the unitary");
+        assert!(
+            u1.approx_eq_up_to_phase(&u2, 1e-9),
+            "QASM roundtrip changed the unitary"
+        );
     }
+}
 
-    #[test]
-    fn depth_is_consistent_under_composition(a in arb_circuit(3, 8), b in arb_circuit(3, 8)) {
+#[test]
+fn depth_is_consistent_under_composition() {
+    let mut rng = StdRng::seed_from_u64(22);
+    for _ in 0..CASES {
+        let a = random_circuit(&mut rng, 3, 8);
+        let b = random_circuit(&mut rng, 3, 8);
         let da = a.depth();
         let db = b.depth();
         let mut joined = a.clone();
         joined.compose(&b, &[0, 1, 2], &[]).unwrap();
         let dj = joined.depth();
-        prop_assert!(dj <= da + db);
-        prop_assert!(dj >= da.max(db));
+        assert!(dj <= da + db);
+        assert!(dj >= da.max(db));
     }
 }
