@@ -5,17 +5,38 @@
 //! the [`qra::faults`] injector enumerates every single-fault mutant of
 //! the preparation circuit and the resilient runner executes the whole
 //! mutant × design matrix under one seed, so the output is reproducible.
+//!
+//! The matrix runs twice — once serially, once on the worker pool
+//! (`--jobs N`, default: available parallelism) — the two reports are
+//! checked byte-identical, and the wall-clock speedup is printed.
 
 use qra::algorithms::states;
 use qra::faults::{run_campaign, CampaignConfig, CampaignDesign, FaultInjector};
 use qra::prelude::StateSpec;
 use qra_bench::Table;
+use std::time::Instant;
 
 const QUBITS: usize = 3;
 const SHOTS: u64 = 4096;
 const SEED: u64 = 7;
 
+fn parse_jobs() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--jobs") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|j| j.parse().ok())
+            .filter(|&j| j > 0)
+            .unwrap_or_else(|| {
+                eprintln!("fault_campaign: bad --jobs value, expected a positive integer");
+                std::process::exit(2);
+            }),
+        None => 0, // 0 = available parallelism
+    }
+}
+
 fn main() {
+    let jobs = parse_jobs();
     let program = states::ghz(QUBITS);
     let spec = StateSpec::pure(states::ghz_vector(QUBITS)).expect("ghz spec");
     let mutants = FaultInjector::new(SEED).enumerate_single(&program);
@@ -23,10 +44,28 @@ fn main() {
         shots: SHOTS,
         seed: SEED,
         designs: CampaignDesign::ALL.to_vec(),
+        jobs,
         ..CampaignConfig::default()
     };
     let targets: Vec<usize> = (0..QUBITS).collect();
+
+    // Serial reference run, then the worker pool; same seed, so the two
+    // reports must render byte-identically.
+    let serial_config = CampaignConfig {
+        jobs: 1,
+        ..config.clone()
+    };
+    let t0 = Instant::now();
+    let serial = run_campaign(&program, &targets, &spec, &mutants, &serial_config);
+    let serial_elapsed = t0.elapsed();
+    let t1 = Instant::now();
     let report = run_campaign(&program, &targets, &spec, &mutants, &config);
+    let parallel_elapsed = t1.elapsed();
+    assert_eq!(
+        serial.to_json(),
+        report.to_json(),
+        "serial and parallel campaigns diverged"
+    );
 
     let mut table = Table::new(
         format!(
@@ -73,4 +112,11 @@ fn main() {
     costs.print();
 
     println!("{}", report.render_text());
+    println!(
+        "timing: serial {:.3}s, {} jobs {:.3}s — {:.2}× speedup (reports byte-identical)",
+        serial_elapsed.as_secs_f64(),
+        config.effective_jobs(),
+        parallel_elapsed.as_secs_f64(),
+        serial_elapsed.as_secs_f64() / parallel_elapsed.as_secs_f64().max(1e-9)
+    );
 }

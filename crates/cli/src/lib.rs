@@ -111,6 +111,9 @@ pub enum Command {
         deadline_ms: Option<u64>,
         /// Memory budget for the exact density-matrix backend, in MiB.
         memory_budget_mb: u64,
+        /// Worker threads for the cell matrix (`None` = available
+        /// parallelism). Reports are byte-identical for any job count.
+        jobs: Option<usize>,
         /// Noise preset name.
         noise: Noise,
         /// Emit JSON instead of text.
@@ -284,6 +287,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .map_err(|_| err(format!("bad --memory-budget-mb '{m}'")))?,
                 None => 256,
             };
+            let jobs = match flag("--jobs") {
+                Some(j) => {
+                    let j: usize = j.parse().map_err(|_| err(format!("bad --jobs '{j}'")))?;
+                    if j == 0 {
+                        return Err(err("campaign: --jobs needs at least 1 worker"));
+                    }
+                    Some(j)
+                }
+                None => None,
+            };
             let json = rest.iter().any(|a| a.as_str() == "--json");
             Ok(Command::Campaign {
                 source,
@@ -294,6 +307,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 seed,
                 deadline_ms,
                 memory_budget_mb,
+                jobs,
                 noise,
                 json,
             })
@@ -515,6 +529,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             seed,
             deadline_ms,
             memory_budget_mb,
+            jobs,
             noise,
             json,
         } => {
@@ -544,6 +559,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 designs: designs.clone(),
                 deadline: deadline_ms.map(std::time::Duration::from_millis),
                 memory_budget_bytes: memory_budget_mb.saturating_mul(1 << 20),
+                jobs: jobs.unwrap_or(0), // 0 = available parallelism
                 noise: match noise {
                     Noise::Ideal => NoiseModel::ideal(),
                     Noise::Low => DevicePreset::LowNoise.noise_model(),
@@ -553,9 +569,19 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             };
             let report = run_campaign(&program, &qubits, &spec, &mutants, &config);
             Ok(if *json {
+                // JSON stays exactly the report's deterministic rendering.
                 report.to_json()
             } else {
-                report.render_text()
+                // Timing lives outside the report text, which is
+                // byte-identical for a fixed seed across job counts.
+                let mut out = report.render_text();
+                let _ = writeln!(
+                    out,
+                    "\nelapsed: {:.3}s ({} jobs)",
+                    report.elapsed.as_secs_f64(),
+                    config.effective_jobs()
+                );
+                out
             })
         }
         Command::Cost { num_qubits, state } => {
@@ -606,7 +632,8 @@ pub fn usage() -> String {
      qra info <file.qasm>\n\
      qra campaign (<file.qasm> | --ghz N) [--state <spec>] [--designs swap,or,ndd,stat|all]\n\
      \x20                  [--doubles K] [--shots N] [--seed S] [--deadline-ms T]\n\
-     \x20                  [--memory-budget-mb M] [--noise ideal|low|melbourne] [--json]\n\
+     \x20                  [--jobs W] [--memory-budget-mb M]\n\
+     \x20                  [--noise ideal|low|melbourne] [--json]\n\
      \n\
      STATE SPECS: ghz | bell | w | plus | zero | basis:IDX | set:I1;I2;… | amps:re,im;…\n"
         .to_string()
@@ -814,6 +841,8 @@ mod tests {
             "7",
             "--deadline-ms",
             "5000",
+            "--jobs",
+            "4",
             "--json",
         ]))
         .unwrap();
@@ -825,6 +854,7 @@ mod tests {
                 shots,
                 seed,
                 deadline_ms,
+                jobs,
                 json,
                 ..
             } => {
@@ -834,24 +864,31 @@ mod tests {
                 assert_eq!(shots, 128);
                 assert_eq!(seed, 7);
                 assert_eq!(deadline_ms, Some(5000));
+                assert_eq!(jobs, Some(4));
                 assert!(json);
             }
             other => panic!("unexpected {other:?}"),
         }
-        // File source with default designs.
+        // File source with default designs and auto parallelism.
         let cmd = parse_args(&args(&["campaign", "f.qasm"])).unwrap();
         match cmd {
             Command::Campaign {
-                source, designs, ..
+                source,
+                designs,
+                jobs,
+                ..
             } => {
                 assert_eq!(source, CampaignSource::File("f.qasm".into()));
                 assert_eq!(designs.len(), 3);
+                assert_eq!(jobs, None);
             }
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse_args(&args(&["campaign"])).is_err());
         assert!(parse_args(&args(&["campaign", "--ghz", "0"])).is_err());
         assert!(parse_args(&args(&["campaign", "f", "--designs", "bogus"])).is_err());
+        assert!(parse_args(&args(&["campaign", "f", "--jobs", "0"])).is_err());
+        assert!(parse_args(&args(&["campaign", "f", "--jobs", "x"])).is_err());
     }
 
     #[test]
@@ -866,6 +903,7 @@ mod tests {
             seed: 1,
             deadline_ms: None,
             memory_budget_mb: 64,
+            jobs: None,
             noise: Noise::Ideal,
             json: false,
         })
@@ -889,7 +927,7 @@ mod tests {
 
     #[test]
     fn campaign_end_to_end_on_builtin_ghz() {
-        let campaign = |json: bool| Command::Campaign {
+        let campaign = |jobs: Option<usize>, json: bool| Command::Campaign {
             source: CampaignSource::Ghz(2),
             state: "ghz".into(),
             designs: vec![CampaignDesign::Ndd],
@@ -898,14 +936,16 @@ mod tests {
             seed: 5,
             deadline_ms: None,
             memory_budget_mb: 64,
+            jobs,
             noise: Noise::Ideal,
             json,
         };
-        let base = campaign(false);
+        let base = campaign(Some(1), false);
         let text = execute(&base).unwrap();
         assert!(text.contains("fault-injection campaign"), "{text}");
         assert!(text.contains("false-positive rate 0.0000"), "{text}");
         assert!(text.contains("angle-off-by-pi"));
+        assert!(text.contains("elapsed:"), "{text}");
 
         // Identical seeds render identical reports (minus timing).
         let again = execute(&base).unwrap();
@@ -917,8 +957,16 @@ mod tests {
         };
         assert_eq!(strip(&text), strip(&again));
 
-        let json_out = execute(&campaign(true)).unwrap();
-        assert!(json_out.starts_with('{') && json_out.ends_with('}'));
-        assert!(json_out.contains("\"mutant_count\""));
+        // The worker pool renders the very same report text.
+        let parallel = execute(&campaign(Some(4), false)).unwrap();
+        assert_eq!(strip(&text), strip(&parallel));
+
+        // JSON output carries no timing, so it is byte-identical across
+        // job counts.
+        let json_serial = execute(&campaign(Some(1), true)).unwrap();
+        assert!(json_serial.starts_with('{') && json_serial.ends_with('}'));
+        assert!(json_serial.contains("\"mutant_count\""));
+        let json_parallel = execute(&campaign(Some(4), true)).unwrap();
+        assert_eq!(json_serial, json_parallel);
     }
 }

@@ -9,11 +9,16 @@
 //!   control/target swap, off-by-π and ε angle perturbations, dropped,
 //!   duplicated and stray gates) and samples double-fault mutants;
 //! * [`runner`] — a resilient campaign runner executing the
-//!   mutant × design matrix with per-cell panic isolation, a wall-clock
-//!   deadline with explicit partial-result reporting, bounded seeded
-//!   retries, and graceful backend degradation (exact density matrix
-//!   within a memory budget, trajectory fallback, structured errors past
-//!   the simulator caps);
+//!   mutant × design matrix on a worker pool
+//!   ([`CampaignConfig::jobs`], default: available parallelism) with
+//!   per-cell panic isolation (a panic fails its own cell, and only its
+//!   own cell), a wall-clock deadline with explicit partial-result
+//!   reporting that also bounds in-cell retries, bounded seeded retries,
+//!   and graceful backend degradation (exact density matrix within a
+//!   memory budget, trajectory fallback, structured errors past the
+//!   simulator caps); cell seeds depend only on `(seed, cell index)` and
+//!   results reassemble in index order, so any job count renders a
+//!   byte-identical report;
 //! * [`report`] — the [`CampaignReport`]: detection and false-positive
 //!   matrices, per-design gate-cost overhead, and text/JSON rendering.
 //!
@@ -38,7 +43,9 @@ pub mod report;
 pub mod runner;
 
 pub use inject::{FaultInjector, FaultKind, Mutant, ANGLE_EPSILON};
-pub use report::{BaselineCell, CampaignCell, CampaignReport, CellStatus, DetectionStat};
+pub use report::{
+    BaselineCell, CampaignCell, CampaignReport, CellError, CellStatus, DetectionStat,
+};
 pub use runner::{
     default_executor, run_campaign, run_campaign_with_executor, BackendKind, CampaignConfig,
     CampaignDesign, Executor,

@@ -9,9 +9,49 @@
 use crate::runner::{BackendKind, CampaignDesign};
 use qra_circuit::GateCounts;
 use qra_core::AssertionError;
+use qra_sim::SimError;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write as _;
 use std::time::Duration;
+
+/// Why a cell failed: a structured synthesis/simulation error, or a panic
+/// that was caught and isolated to the cell.
+#[derive(Debug, Clone)]
+pub enum CellError {
+    /// Synthesis or simulation failed with a structured error.
+    Assertion(AssertionError),
+    /// The cell's code panicked; the payload message is preserved.
+    Panic(String),
+}
+
+impl CellError {
+    /// `true` when the failure was an isolated panic.
+    pub fn is_panic(&self) -> bool {
+        matches!(self, CellError::Panic(_))
+    }
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::Assertion(e) => write!(f, "{e}"),
+            CellError::Panic(msg) => write!(f, "panicked: {msg}"),
+        }
+    }
+}
+
+impl From<AssertionError> for CellError {
+    fn from(e: AssertionError) -> Self {
+        CellError::Assertion(e)
+    }
+}
+
+impl From<SimError> for CellError {
+    fn from(e: SimError) -> Self {
+        CellError::Assertion(e.into())
+    }
+}
 
 /// Outcome of one matrix cell.
 #[derive(Debug, Clone)]
@@ -28,12 +68,14 @@ pub enum CellStatus {
         /// Which simulator backend produced the counts.
         backend: BackendKind,
     },
-    /// Synthesis or simulation failed; the structured error is preserved.
+    /// The cell crashed or errored: a structured synthesis/simulation
+    /// failure, or an isolated panic.
     Failed {
         /// What went wrong.
-        error: AssertionError,
+        error: CellError,
     },
-    /// The cell never ran (deadline, or an isolated panic).
+    /// The cell never ran to completion for a benign reason (the
+    /// wall-clock deadline).
     Skipped {
         /// Why it was skipped.
         reason: String,
@@ -49,6 +91,11 @@ impl CellStatus {
     /// `true` for [`CellStatus::Skipped`].
     pub fn is_skipped(&self) -> bool {
         matches!(self, CellStatus::Skipped { .. })
+    }
+
+    /// `true` for [`CellStatus::Failed`].
+    pub fn is_failed(&self) -> bool {
+        matches!(self, CellStatus::Failed { .. })
     }
 }
 
@@ -110,7 +157,12 @@ pub struct CampaignReport {
     pub baselines: Vec<BaselineCell>,
     /// Mutant × design cells, row-major.
     pub cells: Vec<CampaignCell>,
-    /// Wall-clock time spent.
+    /// Wall-clock time spent. Deliberately excluded from [`render_text`]
+    /// and [`to_json`] so rendered reports are byte-identical across runs
+    /// and worker counts; callers that want timing print this field.
+    ///
+    /// [`render_text`]: CampaignReport::render_text
+    /// [`to_json`]: CampaignReport::to_json
     pub elapsed: Duration,
     /// Whether the deadline cut the campaign short (some cells skipped).
     pub deadline_hit: bool,
@@ -125,14 +177,24 @@ impl CampaignReport {
             .count()
     }
 
-    /// Number of skipped cells (mutant matrix only).
+    /// Number of skipped cells (mutant matrix only): cells the deadline
+    /// cut off before they could complete.
     pub fn skipped(&self) -> usize {
         self.cells.iter().filter(|c| c.status.is_skipped()).count()
     }
 
-    /// Number of failed cells (mutant matrix only).
+    /// Number of failed cells (mutant matrix only): structured
+    /// synthesis/simulation errors and isolated panics.
     pub fn failed(&self) -> usize {
-        self.cells.len() - self.completed() - self.skipped()
+        self.cells.iter().filter(|c| c.status.is_failed()).count()
+    }
+
+    /// Number of failed cells whose failure was an isolated panic.
+    pub fn panicked(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(&c.status, CellStatus::Failed { error } if error.is_panic()))
+            .count()
     }
 
     /// The detection matrix: fault-class label → per-design statistics,
@@ -185,14 +247,13 @@ impl CampaignReport {
         self.baselines
             .iter()
             .find(|b| b.design == design)
-            .and_then(|b| b.assertion_cost)
-            .map(|cost| {
-                let program_cx = self
-                    .baselines
-                    .first()
-                    .map_or(0, |b| b.program_cost.cx)
-                    .max(1);
-                cost.cx as f64 / program_cx as f64
+            .and_then(|b| {
+                // The matched cell's own program cost, not the first
+                // baseline's: the ratio stays correct if per-design
+                // baselines ever diverge.
+                let cost = b.assertion_cost?;
+                let program_cx = b.program_cost.cx.max(1);
+                Some(cost.cx as f64 / program_cx as f64)
             })
     }
 
@@ -207,11 +268,17 @@ impl CampaignReport {
             self.shots,
             self.seed
         );
+        let panicked = self.panicked();
         let _ = writeln!(
             out,
-            "cells: {} completed, {} failed, {} skipped{}",
+            "cells: {} completed, {} failed{}, {} skipped{}",
             self.completed(),
             self.failed(),
+            if panicked > 0 {
+                format!(" ({panicked} panicked)")
+            } else {
+                String::new()
+            },
             self.skipped(),
             if self.deadline_hit {
                 " (deadline hit — partial results)"
@@ -308,7 +375,6 @@ impl CampaignReport {
                 }
             }
         }
-        let _ = writeln!(out, "\nelapsed: {:.3}s", self.elapsed.as_secs_f64());
         out
     }
 
@@ -319,8 +385,8 @@ impl CampaignReport {
         let _ = write!(
             out,
             "\"num_qubits\":{},\"shots\":{},\"seed\":{},\"detection_threshold\":{},\
-             \"mutant_count\":{},\"completed\":{},\"failed\":{},\"skipped\":{},\
-             \"deadline_hit\":{},\"elapsed_ms\":{}",
+             \"mutant_count\":{},\"completed\":{},\"failed\":{},\"panicked\":{},\
+             \"skipped\":{},\"deadline_hit\":{}",
             self.num_qubits,
             self.shots,
             self.seed,
@@ -328,9 +394,9 @@ impl CampaignReport {
             self.mutant_count,
             self.completed(),
             self.failed(),
+            self.panicked(),
             self.skipped(),
-            self.deadline_hit,
-            self.elapsed.as_millis()
+            self.deadline_hit
         );
         out.push_str(",\"baselines\":[");
         for (i, b) in self.baselines.iter().enumerate() {
@@ -388,7 +454,8 @@ fn push_status_json(out: &mut String, status: &CellStatus) {
         CellStatus::Failed { error } => {
             let _ = write!(
                 out,
-                "{{\"kind\":\"failed\",\"error\":{}}}",
+                "{{\"kind\":\"failed\",\"panic\":{},\"error\":{}}}",
+                error.is_panic(),
                 json_str(&error.to_string())
             );
         }
@@ -485,6 +552,14 @@ mod tests {
                         reason: "deadline exceeded".into(),
                     },
                 },
+                CampaignCell {
+                    mutant_id: "s2-stray-x".into(),
+                    kind_label: "stray-x".into(),
+                    design: CampaignDesign::Ndd,
+                    status: CellStatus::Failed {
+                        error: CellError::Panic("index out of bounds".into()),
+                    },
+                },
             ],
             elapsed: Duration::from_millis(12),
             deadline_hit: true,
@@ -496,7 +571,8 @@ mod tests {
         let r = sample_report();
         assert_eq!(r.completed(), 1);
         assert_eq!(r.skipped(), 1);
-        assert_eq!(r.failed(), 0);
+        assert_eq!(r.failed(), 1);
+        assert_eq!(r.panicked(), 1);
         let matrix = r.detection_matrix();
         let row = &matrix["stray-z"];
         let (design, stat) = row[0];
@@ -518,13 +594,51 @@ mod tests {
     }
 
     #[test]
+    fn overhead_uses_each_designs_own_baseline_cost() {
+        // Two baselines with diverging program costs: each design's ratio
+        // must come from its own cell, not the first one's.
+        let mut r = sample_report();
+        r.designs = vec![CampaignDesign::Ndd, CampaignDesign::Swap];
+        r.baselines.push(BaselineCell {
+            design: CampaignDesign::Swap,
+            status: CellStatus::Completed {
+                error_rate: 0.0,
+                detected: false,
+                retries: 0,
+                backend: BackendKind::Statevector,
+            },
+            assertion_cost: Some(GateCounts {
+                cx: 10,
+                sg: 2,
+                ancilla: 3,
+                measure: 3,
+            }),
+            program_cost: GateCounts {
+                cx: 5,
+                sg: 1,
+                ancilla: 0,
+                measure: 0,
+            },
+        });
+        // Ndd: 4 / 2 from its own row; Swap: 10 / 5 from *its* row (the
+        // old first()-based accounting would have divided by 2).
+        assert!((r.overhead(CampaignDesign::Ndd).unwrap() - 2.0).abs() < 1e-12);
+        assert!((r.overhead(CampaignDesign::Swap).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn text_rendering_mentions_everything() {
         let text = sample_report().render_text();
         assert!(text.contains("2 mutants"));
         assert!(text.contains("deadline hit"));
         assert!(text.contains("stray-z"));
         assert!(text.contains("skipped: deadline exceeded"));
+        assert!(text.contains("failed: panicked: index out of bounds"));
+        assert!(text.contains("(1 panicked)"));
         assert!(text.contains("false-positive rate 0.0000"));
+        // Timing is deliberately absent: rendered reports are
+        // byte-identical run-to-run.
+        assert!(!text.contains("elapsed"));
     }
 
     #[test]
@@ -533,8 +647,11 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"deadline_hit\":true"));
         assert!(json.contains("\"kind\":\"skipped\""));
+        assert!(json.contains("\"kind\":\"failed\",\"panic\":true"));
+        assert!(json.contains("\"panicked\":1"));
         assert!(json.contains("\"error_rate\":0.5"));
         assert!(json.contains("\"cost\":{\"cx\":4"));
+        assert!(!json.contains("elapsed"));
         // Balanced braces/brackets (cheap well-formedness check; no string
         // in the sample contains structural characters).
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -3,9 +3,18 @@
 //!
 //! A campaign runs every mutant against every requested checking scheme and
 //! never lets one bad cell abort the rest: panics are caught and reported
-//! as skipped, simulator failures stay structured in the report, a
-//! wall-clock deadline turns unfinished cells into explicit skips, and
-//! sampler pathologies get a bounded number of seeded retries.
+//! as failed (carrying the panic message), simulator failures stay
+//! structured in the report, a wall-clock deadline turns unfinished cells
+//! into explicit skips, and sampler pathologies get a bounded number of
+//! seeded retries.
+//!
+//! The matrix is embarrassingly parallel, so the runner flattens the
+//! baseline row plus the mutant × design grid into one indexed cell list
+//! and executes it on a pool of scoped worker threads pulling from a
+//! shared atomic cursor ([`CampaignConfig::jobs`]). Every cell's seed is
+//! derived from `(config.seed, cell index)` alone and results are
+//! reassembled in index order, so serial and parallel runs of the same
+//! campaign render byte-identical reports.
 
 use crate::inject::Mutant;
 use crate::report::{BaselineCell, CampaignCell, CampaignReport, CellStatus};
@@ -17,6 +26,9 @@ use qra_sim::{
 };
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
 use std::time::{Duration, Instant};
 
 /// A checking scheme evaluated by the campaign: one of the paper's three
@@ -122,6 +134,23 @@ pub struct CampaignConfig {
     /// A cell counts as "detected" when its assertion error rate exceeds
     /// this threshold.
     pub detection_threshold: f64,
+    /// Worker threads executing the cell matrix; `0` means available
+    /// parallelism. The job count never affects report contents — only
+    /// wall-clock time — because cell seeds depend solely on
+    /// `(seed, cell index)` and results are reassembled in index order.
+    pub jobs: usize,
+}
+
+impl CampaignConfig {
+    /// The configured job count with `0` resolved to the machine's
+    /// available parallelism (and a floor of one worker).
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.jobs
+        }
+    }
 }
 
 impl Default for CampaignConfig {
@@ -139,15 +168,17 @@ impl Default for CampaignConfig {
             max_retries: 2,
             noise: NoiseModel::ideal(),
             detection_threshold: 0.05,
+            jobs: 0,
         }
     }
 }
 
 /// Signature of the function that actually simulates one asserted circuit.
 /// Campaigns normally use [`default_executor`]; tests inject failing or
-/// panicking executors to exercise the resilience paths.
+/// panicking executors to exercise the resilience paths. Executors must be
+/// `Sync`: one instance is shared by every worker thread.
 pub type Executor<'a> =
-    dyn Fn(&Circuit, &CampaignConfig, u64) -> Result<(Counts, BackendKind), SimError> + 'a;
+    dyn Fn(&Circuit, &CampaignConfig, u64) -> Result<(Counts, BackendKind), SimError> + Sync + 'a;
 
 /// The default backend-degrading executor: state-vector when noiseless;
 /// density-matrix when `16 · 4ⁿ` bytes fit the budget (and the backend's
@@ -196,6 +227,49 @@ pub fn run_campaign(
     run_campaign_with_executor(program, qubits, spec, mutants, config, &default_executor)
 }
 
+/// The shared wall-clock budget: one `Instant` for every worker plus a
+/// latch that stays tripped once any of them observes expiry, so every
+/// cell in any execution mode sees the same monotone deadline signal.
+struct Deadline<'a> {
+    start: Instant,
+    budget: Option<Duration>,
+    tripped: &'a AtomicBool,
+}
+
+impl Deadline<'_> {
+    /// `true` once the budget is spent; latches on first observation.
+    fn expired(&self) -> bool {
+        if self.tripped.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.budget {
+            Some(budget) if self.start.elapsed() >= budget => {
+                self.tripped.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// What one cell produced: its status plus the checker's gate cost when
+/// the checker was synthesised.
+type CellOutcome = (CellStatus, Option<GateCounts>);
+
+/// One entry of the flattened cell list: the baseline row first, then the
+/// mutant × design grid row-major. The seed-derivation coordinates are
+/// part of the task so they depend only on the cell's matrix position,
+/// never on which worker claims it or when.
+struct CellTask<'a> {
+    circuit: &'a Circuit,
+    design: CampaignDesign,
+    /// First seed-derivation coordinate: `0` for the baseline row,
+    /// `1 + mi` for mutant `mi`'s row.
+    row: u64,
+    /// Second seed-derivation coordinate: the design index.
+    col: u64,
+}
+
 /// [`run_campaign`] with an injected executor (tests use this to simulate
 /// panicking or failing backends).
 pub fn run_campaign_with_executor(
@@ -207,75 +281,100 @@ pub fn run_campaign_with_executor(
     executor: &Executor<'_>,
 ) -> CampaignReport {
     let start = Instant::now();
-    let mut deadline_hit = false;
-    let over_deadline = |dh: &mut bool| -> bool {
-        if let Some(deadline) = config.deadline {
-            if start.elapsed() >= deadline {
-                *dh = true;
-                return true;
-            }
-        }
-        false
-    };
-
+    let tripped = AtomicBool::new(false);
     let program_cost = GateCounts::of(program).unwrap_or_default();
 
-    // Baseline row: the unmutated program, per design. Detection here is a
-    // false positive.
-    let mut baselines = Vec::new();
+    // Flatten baseline row + mutant × design grid into one indexed list.
+    let mut tasks: Vec<CellTask<'_>> = Vec::new();
     for (di, &design) in config.designs.iter().enumerate() {
-        if over_deadline(&mut deadline_hit) {
-            baselines.push(BaselineCell {
+        tasks.push(CellTask {
+            circuit: program,
+            design,
+            row: 0,
+            col: di as u64,
+        });
+    }
+    for (mi, mutant) in mutants.iter().enumerate() {
+        for (di, &design) in config.designs.iter().enumerate() {
+            tasks.push(CellTask {
+                circuit: &mutant.circuit,
                 design,
-                status: CellStatus::Skipped {
-                    reason: "deadline exceeded".into(),
-                },
-                assertion_cost: None,
-                program_cost,
+                row: 1 + mi as u64,
+                col: di as u64,
             });
-            continue;
         }
-        let (status, cost) = run_cell(
-            program,
-            qubits,
-            spec,
-            design,
-            config,
-            derive_seed(config.seed, 0, di as u64),
-            executor,
-        );
-        baselines.push(BaselineCell {
-            design,
-            status,
-            assertion_cost: cost,
-            program_cost,
+    }
+
+    // Execute on a shared-cursor worker pool. Each slot is written exactly
+    // once by whichever worker claims its index, then reassembled in index
+    // order below — execution order never leaks into the report.
+    let slots: Vec<Mutex<Option<CellOutcome>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let worker = || {
+        let deadline = Deadline {
+            start,
+            budget: config.deadline,
+            tripped: &tripped,
+        };
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(task) = tasks.get(i) else { break };
+            let outcome = if deadline.expired() {
+                (
+                    CellStatus::Skipped {
+                        reason: "deadline exceeded".into(),
+                    },
+                    None,
+                )
+            } else {
+                run_cell(
+                    task.circuit,
+                    qubits,
+                    spec,
+                    task.design,
+                    config,
+                    derive_seed(config.seed, task.row, task.col),
+                    executor,
+                    &deadline,
+                )
+            };
+            *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+        }
+    };
+    let jobs = config.effective_jobs().min(tasks.len()).max(1);
+    if jobs == 1 {
+        worker();
+    } else {
+        thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(worker);
+            }
         });
     }
 
-    // Mutant × design matrix.
-    let mut cells = Vec::new();
-    for (mi, mutant) in mutants.iter().enumerate() {
-        for (di, &design) in config.designs.iter().enumerate() {
-            if over_deadline(&mut deadline_hit) {
-                cells.push(CampaignCell {
-                    mutant_id: mutant.id.clone(),
-                    kind_label: mutant.kind_label(),
-                    design,
-                    status: CellStatus::Skipped {
-                        reason: "deadline exceeded".into(),
-                    },
-                });
-                continue;
-            }
-            let (status, _) = run_cell(
-                &mutant.circuit,
-                qubits,
-                spec,
+    // Reassemble in index order: baselines first, then the grid.
+    let mut results = slots.into_iter().map(|slot| {
+        slot.into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .expect("every cell index was claimed by a worker")
+    });
+    let baselines = config
+        .designs
+        .iter()
+        .map(|&design| {
+            let (status, cost) = results.next().expect("one baseline cell per design");
+            BaselineCell {
                 design,
-                config,
-                derive_seed(config.seed, 1 + mi as u64, di as u64),
-                executor,
-            );
+                status,
+                assertion_cost: cost,
+                program_cost,
+            }
+        })
+        .collect();
+    let mut cells = Vec::with_capacity(mutants.len() * config.designs.len());
+    for mutant in mutants {
+        for &design in &config.designs {
+            let (status, _) = results.next().expect("one cell per mutant × design");
             cells.push(CampaignCell {
                 mutant_id: mutant.id.clone(),
                 kind_label: mutant.kind_label(),
@@ -295,13 +394,16 @@ pub fn run_campaign_with_executor(
         baselines,
         cells,
         elapsed: start.elapsed(),
-        deadline_hit,
+        deadline_hit: tripped.load(Ordering::Relaxed),
     }
 }
 
 /// One matrix cell, panic-isolated: a mutant (or the unmutated program)
 /// checked by one scheme. Returns the status plus the checker's gate cost
-/// when it completed.
+/// when it completed. A panic is confined to this cell and reported as a
+/// failure carrying the panic message — in the worker pool it poisons
+/// neither its worker's remaining cells nor any other worker's.
+#[allow(clippy::too_many_arguments)]
 fn run_cell(
     circuit: &Circuit,
     qubits: &[usize],
@@ -310,17 +412,20 @@ fn run_cell(
     config: &CampaignConfig,
     cell_seed: u64,
     executor: &Executor<'_>,
+    deadline: &Deadline<'_>,
 ) -> (CellStatus, Option<GateCounts>) {
     let result = catch_unwind(AssertUnwindSafe(|| {
-        run_cell_inner(circuit, qubits, spec, design, config, cell_seed, executor)
+        run_cell_inner(
+            circuit, qubits, spec, design, config, cell_seed, executor, deadline,
+        )
     }));
     match result {
         Ok(outcome) => outcome,
         Err(payload) => {
             let msg = panic_message(payload.as_ref());
             (
-                CellStatus::Skipped {
-                    reason: format!("panicked: {msg}"),
+                CellStatus::Failed {
+                    error: crate::report::CellError::Panic(msg),
                 },
                 None,
             )
@@ -328,6 +433,7 @@ fn run_cell(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_cell_inner(
     circuit: &Circuit,
     qubits: &[usize],
@@ -336,13 +442,14 @@ fn run_cell_inner(
     config: &CampaignConfig,
     cell_seed: u64,
     executor: &Executor<'_>,
+    deadline: &Deadline<'_>,
 ) -> (CellStatus, Option<GateCounts>) {
     match design.as_design() {
         Some(core_design) => {
             let mut asserted = circuit.clone();
             let handle = match insert_assertion(&mut asserted, qubits, spec, core_design) {
                 Ok(h) => h,
-                Err(e) => return (CellStatus::Failed { error: e }, None),
+                Err(e) => return (CellStatus::Failed { error: e.into() }, None),
             };
             let mut retries = 0u32;
             loop {
@@ -361,6 +468,17 @@ fn run_cell_inner(
                         );
                     }
                     Err(SimError::InvalidProbability { .. }) if retries < config.max_retries => {
+                        // The wall-clock budget binds retries too: a cell
+                        // that keeps drawing pathological samples must not
+                        // spin past the campaign deadline.
+                        if deadline.expired() {
+                            return (
+                                CellStatus::Skipped {
+                                    reason: "deadline exceeded during retries".into(),
+                                },
+                                None,
+                            );
+                        }
                         retries += 1;
                     }
                     Err(e) => return (CellStatus::Failed { error: e.into() }, None),
@@ -386,7 +504,7 @@ fn run_cell_inner(
                         Some(cost),
                     )
                 }
-                Err(e) => (CellStatus::Failed { error: e }, None),
+                Err(e) => (CellStatus::Failed { error: e.into() }, None),
             }
         }
     }

@@ -8,7 +8,7 @@ use qra_algorithms::states;
 use qra_core::{AssertionError, StateSpec};
 use qra_faults::{
     default_executor, run_campaign, run_campaign_with_executor, BackendKind, CampaignConfig,
-    CampaignDesign, CampaignReport, CellStatus, FaultInjector, FaultKind,
+    CampaignDesign, CampaignReport, CellError, CellStatus, FaultInjector, FaultKind,
 };
 use qra_sim::SimError;
 use std::time::Duration;
@@ -103,7 +103,7 @@ fn campaign_is_reproducible_for_a_fixed_seed() {
 }
 
 #[test]
-fn panicking_mutant_is_skipped_without_aborting_the_rest() {
+fn panicking_mutant_is_failed_without_aborting_the_rest() {
     let program = states::ghz(2);
     let spec = StateSpec::pure(states::ghz_vector(2)).unwrap();
     let mutants = FaultInjector::new(3).enumerate_single(&program);
@@ -135,20 +135,28 @@ fn panicking_mutant_is_skipped_without_aborting_the_rest() {
         },
     );
 
+    // A crash is a failure, not a benign skip: it must show up in
+    // failed()/panicked(), never alongside deadline skips.
     assert_eq!(report.cells.len(), mutants.len());
-    assert_eq!(report.skipped(), 1);
+    assert_eq!(report.failed(), 1);
+    assert_eq!(report.panicked(), 1);
+    assert_eq!(report.skipped(), 0);
     assert_eq!(report.completed(), mutants.len() - 1);
-    let skipped = report.cells.iter().find(|c| c.status.is_skipped()).unwrap();
-    assert_eq!(skipped.mutant_id, mutants[1].id);
-    match &skipped.status {
-        CellStatus::Skipped { reason } => {
-            assert!(reason.contains("panicked"), "reason: {reason}");
-            assert!(reason.contains("injected backend crash"));
-        }
+    let failed = report.cells.iter().find(|c| c.status.is_failed()).unwrap();
+    assert_eq!(failed.mutant_id, mutants[1].id);
+    match &failed.status {
+        CellStatus::Failed {
+            error: CellError::Panic(msg),
+        } => assert!(msg.contains("injected backend crash"), "message: {msg}"),
         other => panic!("unexpected {other:?}"),
     }
-    // The report renders the skip explicitly.
-    assert!(report.render_text().contains("injected backend crash"));
+    // The report renders the crash explicitly, as a failure.
+    let text = report.render_text();
+    assert!(text.contains("failed: panicked: injected backend crash"));
+    assert!(text.contains("(1 panicked)"));
+    assert!(report
+        .to_json()
+        .contains("\"kind\":\"failed\",\"panic\":true"));
 }
 
 #[test]
@@ -176,7 +184,11 @@ fn too_many_qubits_surfaces_as_structured_error_through_the_runner() {
     for cell in &report.cells {
         match &cell.status {
             CellStatus::Failed {
-                error: AssertionError::Sim(SimError::TooManyQubits { num_qubits, max }),
+                error:
+                    CellError::Assertion(AssertionError::Sim(SimError::TooManyQubits {
+                        num_qubits,
+                        max,
+                    })),
             } => {
                 assert!(*num_qubits > 20);
                 assert_eq!(*max, 20);
@@ -221,16 +233,21 @@ fn bounded_retry_recovers_from_sampler_pathologies() {
     let program = states::ghz(2);
     let spec = StateSpec::pure(states::ghz_vector(2)).unwrap();
     let mutants = FaultInjector::new(1).enumerate_single(&program);
+    // jobs = 1: the attempt-count-keyed executor below depends on the
+    // serial cell order (the baseline row runs first).
     let config = CampaignConfig {
         shots: 128,
         max_retries: 2,
         designs: vec![CampaignDesign::Ndd],
+        jobs: 1,
         ..CampaignConfig::default()
     };
 
     // Fail the first attempt of every cell with a retryable error.
-    use std::cell::RefCell;
-    let failed_once: RefCell<Vec<u64>> = RefCell::new(Vec::new());
+    // Executors are shared across workers, so interior state lives behind
+    // a Mutex, not a RefCell.
+    use std::sync::Mutex;
+    let failed_once: Mutex<Vec<u64>> = Mutex::new(Vec::new());
     let report = run_campaign_with_executor(
         &program,
         &[0, 1],
@@ -238,7 +255,7 @@ fn bounded_retry_recovers_from_sampler_pathologies() {
         &mutants,
         &config,
         &|circuit, cfg, seed| {
-            let mut seen = failed_once.borrow_mut();
+            let mut seen = failed_once.lock().unwrap();
             if !seen.contains(&seed) {
                 seen.push(seed);
                 return Err(SimError::InvalidProbability { value: f64::NAN });
@@ -255,7 +272,8 @@ fn bounded_retry_recovers_from_sampler_pathologies() {
     for cell in &report.cells {
         match &cell.status {
             CellStatus::Failed {
-                error: AssertionError::Sim(SimError::InvalidProbability { .. }),
+                error:
+                    CellError::Assertion(AssertionError::Sim(SimError::InvalidProbability { .. })),
             } => {}
             other => panic!("expected bounded retry exhaustion, got {other:?}"),
         }
@@ -263,7 +281,7 @@ fn bounded_retry_recovers_from_sampler_pathologies() {
 
     // And when the pathology is transient (keyed on attempt count, not
     // seed), the retry loop recovers and reports how many were needed.
-    let attempts: RefCell<u32> = RefCell::new(0);
+    let attempts: Mutex<u32> = Mutex::new(0);
     let report = run_campaign_with_executor(
         &program,
         &[0, 1],
@@ -271,7 +289,7 @@ fn bounded_retry_recovers_from_sampler_pathologies() {
         &mutants[..1],
         &config,
         &|circuit, cfg, seed| {
-            let mut n = attempts.borrow_mut();
+            let mut n = attempts.lock().unwrap();
             *n += 1;
             if *n == 1 {
                 return Err(SimError::InvalidProbability { value: 2.0 });

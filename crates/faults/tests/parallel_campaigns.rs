@@ -1,0 +1,144 @@
+//! Integration tests for the worker-pool execution mode: reports are
+//! byte-identical for any job count, a panicking executor in parallel
+//! mode poisons only its own cell, and the wall-clock deadline binds the
+//! in-cell retry loop.
+
+use qra_algorithms::states;
+use qra_core::StateSpec;
+use qra_faults::{
+    default_executor, run_campaign, run_campaign_with_executor, CampaignConfig, CampaignDesign,
+    CellError, CellStatus, FaultInjector,
+};
+use qra_sim::SimError;
+use std::time::Duration;
+
+#[test]
+fn reports_are_byte_identical_across_job_counts() {
+    let program = states::ghz(3);
+    let spec = StateSpec::pure(states::ghz_vector(3)).unwrap();
+    let qubits = [0, 1, 2];
+    let mutants = FaultInjector::new(11).enumerate_single(&program);
+    let config = |jobs: usize| CampaignConfig {
+        shots: 512,
+        seed: 11,
+        designs: vec![
+            CampaignDesign::Swap,
+            CampaignDesign::Ndd,
+            CampaignDesign::Stat,
+        ],
+        jobs,
+        ..CampaignConfig::default()
+    };
+
+    let serial = run_campaign(&program, &qubits, &spec, &mutants, &config(1));
+    let parallel = run_campaign(&program, &qubits, &spec, &mutants, &config(4));
+
+    // Cell seeds derive from (seed, cell index) alone and results are
+    // reassembled in index order, so the whole rendered report — JSON and
+    // text — is byte-for-byte the same in both modes.
+    assert_eq!(serial.to_json(), parallel.to_json());
+    assert_eq!(serial.render_text(), parallel.render_text());
+    assert!(serial.completed() > 0);
+    assert_eq!(serial.failed(), 0);
+}
+
+#[test]
+fn parallel_panic_poisons_only_its_own_cell() {
+    let program = states::ghz(2);
+    let spec = StateSpec::pure(states::ghz_vector(2)).unwrap();
+    let mutants = FaultInjector::new(3).enumerate_single(&program);
+    assert!(mutants.len() >= 3);
+    let poisoned = mutants[1].circuit.clone();
+    let config = CampaignConfig {
+        shots: 256,
+        designs: vec![CampaignDesign::Ndd],
+        jobs: 4,
+        ..CampaignConfig::default()
+    };
+
+    let report = run_campaign_with_executor(
+        &program,
+        &[0, 1],
+        &spec,
+        &mutants,
+        &config,
+        &move |circuit, cfg, seed| {
+            let is_poisoned = circuit
+                .instructions()
+                .get(..poisoned.len())
+                .is_some_and(|prefix| prefix == poisoned.instructions());
+            if is_poisoned {
+                panic!("worker crash");
+            }
+            default_executor(circuit, cfg, seed)
+        },
+    );
+
+    // The panic fails exactly one cell; the worker that caught it keeps
+    // draining the queue, so every other cell still completes.
+    assert_eq!(report.cells.len(), mutants.len());
+    assert_eq!(report.failed(), 1);
+    assert_eq!(report.panicked(), 1);
+    assert_eq!(report.completed(), mutants.len() - 1);
+    let failed = report.cells.iter().find(|c| c.status.is_failed()).unwrap();
+    assert_eq!(failed.mutant_id, mutants[1].id);
+    match &failed.status {
+        CellStatus::Failed {
+            error: CellError::Panic(msg),
+        } => assert!(msg.contains("worker crash")),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn deadline_bounds_the_retry_loop() {
+    let program = states::ghz(2);
+    let spec = StateSpec::pure(states::ghz_vector(2)).unwrap();
+    let mutants = FaultInjector::new(1).enumerate_single(&program);
+    // A pathological sampler that burns wall-clock on every attempt: with
+    // effectively unbounded retries, only the deadline can stop the loop.
+    let config = CampaignConfig {
+        shots: 64,
+        max_retries: 10_000,
+        deadline: Some(Duration::from_millis(200)),
+        designs: vec![CampaignDesign::Ndd],
+        jobs: 1,
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign_with_executor(
+        &program,
+        &[0, 1],
+        &spec,
+        &mutants[..1],
+        &config,
+        &|_, _, _| {
+            std::thread::sleep(Duration::from_millis(120));
+            Err(SimError::InvalidProbability { value: f64::NAN })
+        },
+    );
+
+    // The first cell (the baseline row) enters the retry loop before the
+    // deadline and must be cut off *inside* it, not spin 10 000 times.
+    assert!(report.deadline_hit);
+    let reasons: Vec<&str> = report
+        .baselines
+        .iter()
+        .map(|b| &b.status)
+        .chain(report.cells.iter().map(|c| &c.status))
+        .filter_map(|s| match s {
+            CellStatus::Skipped { reason } => Some(reason.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        reasons
+            .iter()
+            .any(|r| r.contains("deadline exceeded during retries")),
+        "no cell was cut off mid-retry: {reasons:?}"
+    );
+    // Nothing is silently dropped: every cell is accounted for.
+    assert_eq!(
+        report.completed() + report.failed() + report.skipped(),
+        report.cells.len()
+    );
+}

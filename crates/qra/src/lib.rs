@@ -50,8 +50,8 @@ pub mod prelude {
         AssertionError, AssertionHandle, AssertionReport, Design, StateSpec,
     };
     pub use qra_faults::{
-        run_campaign, BackendKind, CampaignConfig, CampaignDesign, CampaignReport, CellStatus,
-        FaultInjector, FaultKind, Mutant,
+        run_campaign, BackendKind, CampaignConfig, CampaignDesign, CampaignReport, CellError,
+        CellStatus, FaultInjector, FaultKind, Mutant,
     };
     pub use qra_math::{CMatrix, CVector, C64};
     pub use qra_sim::{
