@@ -9,11 +9,14 @@
 //! The matrix runs twice — once serially, once on the worker pool
 //! (`--jobs N`, default: available parallelism) — the two reports are
 //! checked byte-identical, and the wall-clock speedup is printed.
+//! `--preset ideal|low|melbourne` selects the device noise model.
 
 use qra::algorithms::states;
 use qra::faults::{run_campaign, CampaignConfig, CampaignDesign, FaultInjector};
 use qra::prelude::StateSpec;
+use qra::sim::DevicePreset;
 use qra_bench::Table;
+use std::str::FromStr;
 use std::time::Instant;
 
 const QUBITS: usize = 3;
@@ -35,8 +38,23 @@ fn parse_jobs() -> usize {
     }
 }
 
+fn parse_preset() -> DevicePreset {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--preset") {
+        Some(i) => {
+            let name = args.get(i + 1).map(String::as_str).unwrap_or("");
+            DevicePreset::from_str(name).unwrap_or_else(|e| {
+                eprintln!("fault_campaign: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => DevicePreset::Ideal,
+    }
+}
+
 fn main() {
     let jobs = parse_jobs();
+    let preset = parse_preset();
     let program = states::ghz(QUBITS);
     let spec = StateSpec::pure(states::ghz_vector(QUBITS)).expect("ghz spec");
     let mutants = FaultInjector::new(SEED).enumerate_single(&program);
@@ -45,6 +63,7 @@ fn main() {
         seed: SEED,
         designs: CampaignDesign::ALL.to_vec(),
         jobs,
+        noise: preset.noise_model(),
         ..CampaignConfig::default()
     };
     let targets: Vec<usize> = (0..QUBITS).collect();

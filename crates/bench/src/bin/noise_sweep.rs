@@ -15,16 +15,9 @@ use qra_bench::{pct, Table};
 const SHOTS: u64 = 8192;
 
 fn scaled_noise(factor: f64) -> NoiseModel {
-    let base = DevicePreset::melbourne_like();
-    NoiseModel {
-        depol_1q: (base.depol_1q * factor).min(1.0),
-        depol_2q: (base.depol_2q * factor).min(1.0),
-        damping_1q: (base.damping_1q * factor).min(1.0),
-        damping_2q: (base.damping_2q * factor).min(1.0),
-        dephasing: (base.dephasing * factor).min(1.0),
-        readout_p01: (base.readout_p01 * factor).min(0.5),
-        readout_p10: (base.readout_p10 * factor).min(0.5),
-    }
+    // `NoiseModel::scaled` clamps gate channels at 1.0 and readout at 0.5,
+    // keeping the sweep monotone at large factors.
+    DevicePreset::melbourne_like().scaled(factor)
 }
 
 struct Point {

@@ -13,8 +13,10 @@
 #![deny(missing_docs)]
 
 use qra::circuit::qasm_parser::from_qasm;
+use qra::faults::ParsedReport;
 use qra::prelude::*;
 use std::fmt::Write as _;
+use std::str::FromStr;
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -61,8 +63,8 @@ pub enum Command {
         shots: u64,
         /// RNG seed.
         seed: u64,
-        /// Noise preset name.
-        noise: Noise,
+        /// Device noise preset.
+        noise: DevicePreset,
     },
     /// Insert an assertion at the end of a QASM program and report.
     Assert {
@@ -78,8 +80,8 @@ pub enum Command {
         shots: u64,
         /// RNG seed.
         seed: u64,
-        /// Noise preset name.
-        noise: Noise,
+        /// Device noise preset.
+        noise: DevicePreset,
     },
     /// Print the per-design circuit cost of asserting a state.
     Cost {
@@ -114,8 +116,27 @@ pub enum Command {
         /// Worker threads for the cell matrix (`None` = available
         /// parallelism). Reports are byte-identical for any job count.
         jobs: Option<usize>,
-        /// Noise preset name.
-        noise: Noise,
+        /// Device noise preset (ignored when `sweep` is set).
+        noise: DevicePreset,
+        /// Detection threshold for the single-point campaign (sweeps
+        /// derive per-point thresholds from the false-positive floor).
+        threshold: f64,
+        /// Run only this shard of the cell list and emit a partial report.
+        shard: Option<Shard>,
+        /// When set, run the campaign at each `(preset, scale)` noise
+        /// point instead of a single point.
+        sweep: Option<Vec<(DevicePreset, f64)>>,
+        /// Margin added to each sweep point's false-positive floor to
+        /// derive its detection threshold.
+        margin: f64,
+        /// Emit JSON instead of text.
+        json: bool,
+    },
+    /// Reassemble shard reports (`campaign --shard i/n --json` outputs)
+    /// into the full campaign report.
+    CampaignMerge {
+        /// Paths of the shard JSON files, in any order.
+        files: Vec<String>,
         /// Emit JSON instead of text.
         json: bool,
     },
@@ -130,17 +151,6 @@ pub enum CampaignSource {
     File(String),
     /// The built-in n-qubit GHZ preparation.
     Ghz(usize),
-}
-
-/// Noise preset selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Noise {
-    /// No noise (state-vector back-end).
-    Ideal,
-    /// The low-noise density preset.
-    Low,
-    /// The melbourne-like density preset.
-    Melbourne,
 }
 
 /// Parses the command line (without the program name).
@@ -188,11 +198,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         Some(s) => s.parse().map_err(|_| err(format!("bad --seed '{s}'")))?,
         None => 1,
     };
+    // All preset parsing goes through `DevicePreset::from_str`, so the CLI,
+    // the bench binaries and the library accept the same names (and report
+    // the same "expected one of" list on a typo).
     let noise = match flag("--noise") {
-        None | Some("ideal") => Noise::Ideal,
-        Some("low") => Noise::Low,
-        Some("melbourne") => Noise::Melbourne,
-        Some(other) => return Err(err(format!("unknown noise preset '{other}'"))),
+        Some(name) => DevicePreset::from_str(name).map_err(|e| err(e.to_string()))?,
+        None => DevicePreset::Ideal,
     };
     let design = match flag("--design") {
         None | Some("auto") => Design::Auto,
@@ -253,6 +264,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::Info { file })
         }
         "campaign" => {
+            if positional.first() == Some(&"merge") {
+                let files: Vec<String> = positional[1..].iter().map(|s| s.to_string()).collect();
+                if files.is_empty() {
+                    return Err(err("campaign merge: missing shard files"));
+                }
+                let json = rest.iter().any(|a| a.as_str() == "--json");
+                return Ok(Command::CampaignMerge { files, json });
+            }
             let source = match flag("--ghz") {
                 Some(n) => {
                     let n: usize = n.parse().map_err(|_| err(format!("bad --ghz '{n}'")))?;
@@ -297,6 +316,40 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
                 None => None,
             };
+            let threshold = match flag("--threshold") {
+                Some(t) => {
+                    let t: f64 = t
+                        .parse()
+                        .map_err(|_| err(format!("bad --threshold '{t}'")))?;
+                    if !t.is_finite() || t < 0.0 {
+                        return Err(err("campaign: --threshold must be a finite rate >= 0"));
+                    }
+                    t
+                }
+                None => 0.05,
+            };
+            let margin = match flag("--margin") {
+                Some(m) => {
+                    let m: f64 = m.parse().map_err(|_| err(format!("bad --margin '{m}'")))?;
+                    if !m.is_finite() || m < 0.0 {
+                        return Err(err("campaign: --margin must be a finite rate >= 0"));
+                    }
+                    m
+                }
+                None => 0.02,
+            };
+            let shard = match flag("--shard") {
+                Some(s) => Some(
+                    Shard::from_str(s).map_err(|e| err(format!("campaign: bad --shard: {e}")))?,
+                ),
+                None => None,
+            };
+            let sweep = flag("--sweep").map(parse_sweep_list).transpose()?;
+            if shard.is_some() && sweep.is_some() {
+                return Err(err(
+                    "campaign: --shard splits one campaign; it cannot be combined with --sweep",
+                ));
+            }
             let json = rest.iter().any(|a| a.as_str() == "--json");
             Ok(Command::Campaign {
                 source,
@@ -309,6 +362,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 memory_budget_mb,
                 jobs,
                 noise,
+                threshold,
+                shard,
+                sweep,
+                margin,
                 json,
             })
         }
@@ -355,6 +412,45 @@ pub fn parse_design_list(text: &str) -> Result<Vec<CampaignDesign>, CliError> {
         return Err(err("campaign: --designs must not be empty"));
     }
     Ok(designs)
+}
+
+/// Parses `ideal,low,melbourne:2.0` into sweep points: comma-separated
+/// device presets, each optionally scaled by `:FACTOR`
+/// ([`NoiseModel::scaled`] clamping rules apply).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown presets, malformed or non-positive
+/// factors, or an empty list.
+pub fn parse_sweep_list(text: &str) -> Result<Vec<(DevicePreset, f64)>, CliError> {
+    let points: Result<Vec<(DevicePreset, f64)>, CliError> = text
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|item| {
+            let (name, factor) = match item.split_once(':') {
+                Some((name, factor)) => {
+                    let factor: f64 = factor
+                        .parse()
+                        .map_err(|_| err(format!("bad sweep factor '{factor}'")))?;
+                    if !factor.is_finite() || factor <= 0.0 {
+                        return Err(err(format!(
+                            "sweep factor must be a finite positive number, got '{factor}'"
+                        )));
+                    }
+                    (name, factor)
+                }
+                None => (item, 1.0),
+            };
+            let preset = DevicePreset::from_str(name).map_err(|e| err(e.to_string()))?;
+            Ok((preset, factor))
+        })
+        .collect();
+    let points = points?;
+    if points.is_empty() {
+        return Err(err("campaign: --sweep must name at least one preset"));
+    }
+    Ok(points)
 }
 
 /// Parses a state specification string into a [`StateSpec`] over
@@ -520,6 +616,22 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             let _ = writeln!(out, "verdict:       {verdict}");
             Ok(out)
         }
+        Command::CampaignMerge { files, json } => {
+            let shards: Result<Vec<ParsedReport>, CliError> = files
+                .iter()
+                .map(|file| {
+                    let text = std::fs::read_to_string(file)
+                        .map_err(|e| err(format!("cannot read {file}: {e}")))?;
+                    qra::faults::parse_report(&text).map_err(|e| err(format!("{file}: {e}")))
+                })
+                .collect();
+            let report = merge_reports(&shards?).map_err(|e| err(e.to_string()))?;
+            Ok(if *json {
+                report.to_json()
+            } else {
+                report.render_text()
+            })
+        }
         Command::Campaign {
             source,
             state,
@@ -531,6 +643,10 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             memory_budget_mb,
             jobs,
             noise,
+            threshold,
+            shard,
+            sweep,
+            margin,
             json,
         } => {
             let program = match source {
@@ -560,13 +676,33 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 deadline: deadline_ms.map(std::time::Duration::from_millis),
                 memory_budget_bytes: memory_budget_mb.saturating_mul(1 << 20),
                 jobs: jobs.unwrap_or(0), // 0 = available parallelism
-                noise: match noise {
-                    Noise::Ideal => NoiseModel::ideal(),
-                    Noise::Low => DevicePreset::LowNoise.noise_model(),
-                    Noise::Melbourne => DevicePreset::melbourne_like(),
-                },
+                noise: noise.noise_model(),
+                detection_threshold: *threshold,
+                shard: *shard,
                 ..CampaignConfig::default()
             };
+            if let Some(points) = sweep {
+                let sweep_config = SweepConfig {
+                    points: points
+                        .iter()
+                        .map(|&(preset, factor)| {
+                            if factor == 1.0 {
+                                SweepPoint::preset(preset)
+                            } else {
+                                SweepPoint::scaled(preset, factor)
+                            }
+                        })
+                        .collect(),
+                    base: config,
+                    threshold_margin: *margin,
+                };
+                let sweep_report = run_sweep(&program, &qubits, &spec, &mutants, &sweep_config);
+                return Ok(if *json {
+                    sweep_report.to_json()
+                } else {
+                    sweep_report.render_text()
+                });
+            }
             let report = run_campaign(&program, &qubits, &spec, &mutants, &config);
             Ok(if *json {
                 // JSON stays exactly the report's deterministic rendering.
@@ -610,13 +746,17 @@ fn load(file: &str) -> Result<Circuit, CliError> {
     Ok(from_qasm(&text)?)
 }
 
-fn run_counts(circuit: &Circuit, shots: u64, seed: u64, noise: Noise) -> Result<Counts, CliError> {
+fn run_counts(
+    circuit: &Circuit,
+    shots: u64,
+    seed: u64,
+    noise: DevicePreset,
+) -> Result<Counts, CliError> {
     Ok(match noise {
-        Noise::Ideal => StatevectorSimulator::with_seed(seed).run(circuit, shots)?,
-        Noise::Low => DensityMatrixSimulator::with_noise(DevicePreset::LowNoise.noise_model())
-            .run(circuit, shots, seed)?,
-        Noise::Melbourne => DensityMatrixSimulator::with_noise(DevicePreset::melbourne_like())
-            .run(circuit, shots, seed)?,
+        DevicePreset::Ideal => StatevectorSimulator::with_seed(seed).run(circuit, shots)?,
+        preset => {
+            DensityMatrixSimulator::with_noise(preset.noise_model()).run(circuit, shots, seed)?
+        }
     })
 }
 
@@ -632,10 +772,19 @@ pub fn usage() -> String {
      qra info <file.qasm>\n\
      qra campaign (<file.qasm> | --ghz N) [--state <spec>] [--designs swap,or,ndd,stat|all]\n\
      \x20                  [--doubles K] [--shots N] [--seed S] [--deadline-ms T]\n\
-     \x20                  [--jobs W] [--memory-budget-mb M]\n\
-     \x20                  [--noise ideal|low|melbourne] [--json]\n\
+     \x20                  [--jobs W] [--memory-budget-mb M] [--threshold R]\n\
+     \x20                  [--noise ideal|low|melbourne] [--shard I/N]\n\
+     \x20                  [--sweep ideal,low,melbourne:2.0] [--margin R] [--json]\n\
+     qra campaign merge <shard.json>… [--json]\n\
      \n\
-     STATE SPECS: ghz | bell | w | plus | zero | basis:IDX | set:I1;I2;… | amps:re,im;…\n"
+     STATE SPECS: ghz | bell | w | plus | zero | basis:IDX | set:I1;I2;… | amps:re,im;…\n\
+     \n\
+     --shard I/N runs shard I of N (a contiguous slice of the cell list) and\n\
+     emits a partial report; 'campaign merge' reassembles shard JSON files into\n\
+     the full report, byte-identical to the unsharded run.\n\
+     --sweep runs the campaign at each noise point (PRESET[:SCALE]); each\n\
+     point's detection threshold is derived as its measured false-positive\n\
+     floor + --margin instead of the fixed --threshold.\n"
         .to_string()
 }
 
@@ -656,7 +805,7 @@ mod tests {
                 file: "foo.qasm".into(),
                 shots: 100,
                 seed: 9,
-                noise: Noise::Ideal,
+                noise: DevicePreset::Ideal,
             }
         );
     }
@@ -687,7 +836,7 @@ mod tests {
                 assert_eq!(qubits, vec![0, 1, 2]);
                 assert_eq!(state, "ghz");
                 assert_eq!(design, Design::Ndd);
-                assert_eq!(noise, Noise::Melbourne);
+                assert_eq!(noise, DevicePreset::MelbourneLike);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -751,7 +900,7 @@ mod tests {
             design: Design::Swap,
             shots: 512,
             seed: 1,
-            noise: Noise::Ideal,
+            noise: DevicePreset::Ideal,
         })
         .unwrap();
         assert!(out.contains("error rate:    0.0000"), "{out}");
@@ -765,7 +914,7 @@ mod tests {
             design: Design::Swap,
             shots: 512,
             seed: 1,
-            noise: Noise::Ideal,
+            noise: DevicePreset::Ideal,
         })
         .unwrap();
         assert!(out.contains("FAIL"), "{out}");
@@ -774,7 +923,7 @@ mod tests {
             file,
             shots: 256,
             seed: 2,
-            noise: Noise::Ideal,
+            noise: DevicePreset::Ideal,
         })
         .unwrap();
         assert!(out.contains("shots: 256"));
@@ -799,7 +948,7 @@ mod tests {
             design: Design::Auto,
             shots: 512,
             seed: 3,
-            noise: Noise::Ideal,
+            noise: DevicePreset::Ideal,
         })
         .unwrap();
         assert!(out.contains("pass"), "{out}");
@@ -892,6 +1041,147 @@ mod tests {
     }
 
     #[test]
+    fn parses_campaign_shard_sweep_and_merge() {
+        let cmd = parse_args(&args(&["campaign", "--ghz", "2", "--shard", "1/3"])).unwrap();
+        match cmd {
+            Command::Campaign { shard, sweep, .. } => {
+                assert_eq!(shard, Some(Shard { index: 1, count: 3 }));
+                assert_eq!(sweep, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Malformed shard coordinates.
+        for bad in ["3/3", "x/2", "1-2", "2/0"] {
+            assert!(
+                parse_args(&args(&["campaign", "f", "--shard", bad])).is_err(),
+                "{bad} should not parse"
+            );
+        }
+
+        let cmd = parse_args(&args(&[
+            "campaign",
+            "--ghz",
+            "2",
+            "--sweep",
+            "ideal,low,melbourne:2.5",
+            "--margin",
+            "0.03",
+            "--threshold",
+            "0.1",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Campaign {
+                sweep,
+                margin,
+                threshold,
+                ..
+            } => {
+                assert_eq!(
+                    sweep,
+                    Some(vec![
+                        (DevicePreset::Ideal, 1.0),
+                        (DevicePreset::LowNoise, 1.0),
+                        (DevicePreset::MelbourneLike, 2.5),
+                    ])
+                );
+                assert_eq!(margin, 0.03);
+                assert_eq!(threshold, 0.1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unknown presets report the accepted names.
+        let e = parse_args(&args(&["campaign", "f", "--sweep", "hot"])).unwrap_err();
+        assert!(e.0.contains("expected one of"), "{e}");
+        assert!(parse_args(&args(&["campaign", "f", "--sweep", "low:-1"])).is_err());
+        assert!(parse_args(&args(&["campaign", "f", "--sweep", "low:x"])).is_err());
+        assert!(parse_args(&args(&["campaign", "f", "--threshold", "-0.1"])).is_err());
+        // Sharding a sweep is rejected: a shard splits one campaign.
+        assert!(parse_args(&args(&[
+            "campaign",
+            "f",
+            "--shard",
+            "0/2",
+            "--sweep",
+            "ideal,low"
+        ]))
+        .is_err());
+
+        let cmd = parse_args(&args(&["campaign", "merge", "a.json", "b.json", "--json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::CampaignMerge {
+                files: vec!["a.json".into(), "b.json".into()],
+                json: true,
+            }
+        );
+        assert!(parse_args(&args(&["campaign", "merge"])).is_err());
+    }
+
+    #[test]
+    fn campaign_shards_merge_to_the_unsharded_report() {
+        let campaign = |shard: Option<Shard>| Command::Campaign {
+            source: CampaignSource::Ghz(2),
+            state: "ghz".into(),
+            designs: vec![CampaignDesign::Ndd, CampaignDesign::Stat],
+            doubles: 0,
+            shots: 64,
+            seed: 11,
+            deadline_ms: None,
+            memory_budget_mb: 64,
+            jobs: Some(1),
+            noise: DevicePreset::Ideal,
+            threshold: 0.05,
+            shard,
+            sweep: None,
+            margin: 0.02,
+            json: true,
+        };
+        let full = execute(&campaign(None)).unwrap();
+
+        let dir = std::env::temp_dir().join("qra_cli_shard_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut files = Vec::new();
+        for index in 0..2 {
+            let out = execute(&campaign(Some(Shard { index, count: 2 }))).unwrap();
+            assert!(out.contains("\"shard\""), "{out}");
+            let path = dir.join(format!("shard{index}.json"));
+            std::fs::write(&path, &out).unwrap();
+            files.push(path.to_str().unwrap().to_string());
+        }
+        let merged = execute(&Command::CampaignMerge { files, json: true }).unwrap();
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    fn campaign_sweep_end_to_end() {
+        let out = execute(&Command::Campaign {
+            source: CampaignSource::Ghz(2),
+            state: "ghz".into(),
+            designs: vec![CampaignDesign::Ndd],
+            doubles: 0,
+            shots: 64,
+            seed: 3,
+            deadline_ms: None,
+            memory_budget_mb: 64,
+            jobs: Some(1),
+            noise: DevicePreset::Ideal,
+            threshold: 0.05,
+            shard: None,
+            sweep: Some(vec![
+                (DevicePreset::Ideal, 1.0),
+                (DevicePreset::LowNoise, 2.0),
+            ]),
+            margin: 0.02,
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("Noise sweep: 2 point(s)"), "{out}");
+        assert!(out.contains("--- noise point: low x2 ---"), "{out}");
+        assert!(out.contains("Detection degradation"), "{out}");
+    }
+
+    #[test]
     fn campaign_rejects_oversized_programs_fast() {
         // Must error out before building the 2^25-amplitude spec.
         let e = execute(&Command::Campaign {
@@ -904,7 +1194,11 @@ mod tests {
             deadline_ms: None,
             memory_budget_mb: 64,
             jobs: None,
-            noise: Noise::Ideal,
+            noise: DevicePreset::Ideal,
+            threshold: 0.05,
+            shard: None,
+            sweep: None,
+            margin: 0.02,
             json: false,
         })
         .unwrap_err();
@@ -937,7 +1231,11 @@ mod tests {
             deadline_ms: None,
             memory_budget_mb: 64,
             jobs,
-            noise: Noise::Ideal,
+            noise: DevicePreset::Ideal,
+            threshold: 0.05,
+            shard: None,
+            sweep: None,
+            margin: 0.02,
             json,
         };
         let base = campaign(Some(1), false);

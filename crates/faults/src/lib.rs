@@ -20,7 +20,13 @@
 //!   results reassemble in index order, so any job count renders a
 //!   byte-identical report;
 //! * [`report`] — the [`CampaignReport`]: detection and false-positive
-//!   matrices, per-design gate-cost overhead, and text/JSON rendering.
+//!   matrices, per-design gate-cost overhead, and text/JSON rendering;
+//! * [`sweep`] — noise-aware sweeps: the same matrix run at a list of
+//!   noise points, each point's detection threshold derived from its
+//!   measured false-positive floor (§IX) instead of a fixed constant;
+//! * [`merge`] — sharded campaigns: [`CampaignConfig::shard`] runs one
+//!   contiguous slice of the cell list, and [`merge_reports`] reassembles
+//!   shard JSON files into a report byte-identical to the unsharded run.
 //!
 //! ```rust
 //! use qra_algorithms::states;
@@ -39,14 +45,21 @@
 #![deny(missing_docs)]
 
 pub mod inject;
+pub mod merge;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 
 pub use inject::{FaultInjector, FaultKind, Mutant, ANGLE_EPSILON};
+pub use merge::{merge_reports, parse_report, MergeError, ParsedReport};
 pub use report::{
     BaselineCell, CampaignCell, CampaignReport, CellError, CellStatus, DetectionStat,
 };
 pub use runner::{
     default_executor, run_campaign, run_campaign_with_executor, BackendKind, CampaignConfig,
-    CampaignDesign, Executor,
+    CampaignDesign, Executor, Shard,
+};
+pub use sweep::{
+    run_sweep, run_sweep_with_executor, PointThreshold, SweepConfig, SweepPoint, SweepPointReport,
+    SweepReport,
 };

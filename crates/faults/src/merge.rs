@@ -1,0 +1,563 @@
+//! Reloading and merging serialized campaign reports.
+//!
+//! A sharded campaign (`CampaignConfig::shard`, CLI `--shard i/n`) emits one
+//! partial JSON report per shard. [`parse_report`] reloads any report JSON
+//! produced by [`CampaignReport::to_json`] and [`merge_reports`] reassembles
+//! a set of shard reports — by global cell index — into a full report that
+//! renders **byte-identically** to the unsharded run: cell seeds derive from
+//! `(seed, cell index)` alone, so each shard computed exactly the cells the
+//! unsharded run would have, and floats round-trip exactly through Rust's
+//! shortest-representation formatting.
+//!
+//! The parser is a minimal recursive-descent JSON reader (the build has no
+//! serialisation dependency); numbers are kept as raw text until a field
+//! demands an integer or float, so 64-bit seeds survive untruncated.
+
+use crate::report::{BaselineCell, CampaignCell, CampaignReport, CellError, CellStatus};
+use crate::runner::{BackendKind, CampaignDesign, Shard};
+use qra_circuit::GateCounts;
+use std::fmt;
+use std::time::Duration;
+
+/// Error reloading or merging serialized reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeError(pub String);
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+fn err(msg: impl Into<String>) -> MergeError {
+    MergeError(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers keep their raw source text so integer
+/// fields re-parse exactly (no round-trip through `f64`).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn require<'a>(&'a self, key: &str) -> Result<&'a Json, MergeError> {
+        self.get(key)
+            .ok_or_else(|| err(format!("missing field '{key}'")))
+    }
+
+    fn as_str(&self) -> Result<&str, MergeError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(err(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    fn as_bool(&self) -> Result<bool, MergeError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(err(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    fn as_usize(&self) -> Result<usize, MergeError> {
+        match self {
+            Json::Num(raw) => raw
+                .parse()
+                .map_err(|_| err(format!("expected integer, got '{raw}'"))),
+            other => Err(err(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, MergeError> {
+        match self {
+            Json::Num(raw) => raw
+                .parse()
+                .map_err(|_| err(format!("expected u64, got '{raw}'"))),
+            other => Err(err(format!("expected u64, got {other:?}"))),
+        }
+    }
+
+    /// Floats serialized with [`json_f64`]: `null` encodes a non-finite
+    /// value and reloads as NaN (which re-serializes as `null`).
+    ///
+    /// [`json_f64`]: crate::report
+    fn as_f64_or_nan(&self) -> Result<f64, MergeError> {
+        match self {
+            Json::Null => Ok(f64::NAN),
+            Json::Num(raw) => raw
+                .parse()
+                .map_err(|_| err(format!("expected number, got '{raw}'"))),
+            other => Err(err(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    fn as_arr(&self) -> Result<&[Json], MergeError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(err(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), MergeError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(err(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, MergeError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(err(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, MergeError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(err(format!("malformed object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, MergeError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(err(format!("malformed array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, MergeError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| err(format!("bad \\u escape '{hex}'")))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| err(format!("invalid codepoint {code}")))?,
+                            );
+                        }
+                        other => {
+                            return Err(err(format!("unknown escape '\\{}'", other as char)));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| err("invalid UTF-8 in string"))?;
+                    let ch = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| err("empty string tail"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, MergeError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(err(format!("malformed number at byte {start}")));
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| err("invalid UTF-8 in number"))?;
+        Ok(Json::Num(raw.to_string()))
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, MergeError> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(err(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Report reconstruction
+// ---------------------------------------------------------------------------
+
+/// A report reloaded from JSON, with the global flattened index of every
+/// baseline/cell entry (needed to verify coverage when merging shards).
+#[derive(Debug, Clone)]
+pub struct ParsedReport {
+    /// The reconstructed report.
+    pub report: CampaignReport,
+    /// Global index of each entry of `report.baselines`, in order.
+    pub baseline_indices: Vec<usize>,
+    /// Global index of each entry of `report.cells`, in order.
+    pub cell_indices: Vec<usize>,
+}
+
+fn parse_status(v: &Json) -> Result<CellStatus, MergeError> {
+    match v.require("kind")?.as_str()? {
+        "completed" => Ok(CellStatus::Completed {
+            error_rate: v.require("error_rate")?.as_f64_or_nan()?,
+            detected: v.require("detected")?.as_bool()?,
+            retries: v.require("retries")?.as_usize()? as u32,
+            backend: {
+                let name = v.require("backend")?.as_str()?;
+                BackendKind::from_name(name)
+                    .ok_or_else(|| err(format!("unknown backend '{name}'")))?
+            },
+        }),
+        "failed" => Ok(CellStatus::Failed {
+            error: CellError::Opaque {
+                panic: v.require("panic")?.as_bool()?,
+                message: v.require("error")?.as_str()?.to_string(),
+            },
+        }),
+        "skipped" => Ok(CellStatus::Skipped {
+            reason: v.require("reason")?.as_str()?.to_string(),
+        }),
+        other => Err(err(format!("unknown status kind '{other}'"))),
+    }
+}
+
+fn parse_cost(v: &Json) -> Result<GateCounts, MergeError> {
+    Ok(GateCounts {
+        cx: v.require("cx")?.as_usize()?,
+        sg: v.require("sg")?.as_usize()?,
+        ancilla: v.require("ancilla")?.as_usize()?,
+        measure: v.require("measure")?.as_usize()?,
+    })
+}
+
+fn parse_design(v: &Json) -> Result<CampaignDesign, MergeError> {
+    let name = v.as_str()?;
+    CampaignDesign::from_name(name).ok_or_else(|| err(format!("unknown design '{name}'")))
+}
+
+/// Reloads a report serialized by [`CampaignReport::to_json`] — either a
+/// full report or one shard of a sharded campaign.
+///
+/// # Errors
+///
+/// Returns [`MergeError`] on malformed JSON or missing/ill-typed fields.
+pub fn parse_report(text: &str) -> Result<ParsedReport, MergeError> {
+    let root = parse_json(text)?;
+    let designs: Vec<CampaignDesign> = root
+        .require("designs")?
+        .as_arr()?
+        .iter()
+        .map(parse_design)
+        .collect::<Result<_, _>>()?;
+    let shard = match root.get("shard") {
+        Some(v) => Some(
+            Shard::new(
+                v.require("index")?.as_usize()?,
+                v.require("count")?.as_usize()?,
+            )
+            .map_err(err)?,
+        ),
+        None => None,
+    };
+
+    let mut baseline_indices = Vec::new();
+    let mut baselines = Vec::new();
+    for b in root.require("baselines")?.as_arr()? {
+        baseline_indices.push(b.require("index")?.as_usize()?);
+        baselines.push(BaselineCell {
+            design: parse_design(b.require("design")?)?,
+            status: parse_status(b.require("status")?)?,
+            assertion_cost: b.get("cost").map(parse_cost).transpose()?,
+            program_cost: parse_cost(b.require("program_cost")?)?,
+        });
+    }
+
+    let mut cell_indices = Vec::new();
+    let mut cells = Vec::new();
+    for c in root.require("cells")?.as_arr()? {
+        cell_indices.push(c.require("index")?.as_usize()?);
+        cells.push(CampaignCell {
+            mutant_id: c.require("mutant")?.as_str()?.to_string(),
+            kind_label: c.require("kind")?.as_str()?.to_string(),
+            design: parse_design(c.require("design")?)?,
+            status: parse_status(c.require("status")?)?,
+        });
+    }
+
+    Ok(ParsedReport {
+        report: CampaignReport {
+            num_qubits: root.require("num_qubits")?.as_usize()?,
+            shots: root.require("shots")?.as_u64()?,
+            seed: root.require("seed")?.as_u64()?,
+            detection_threshold: root.require("detection_threshold")?.as_f64_or_nan()?,
+            mutant_count: root.require("mutant_count")?.as_usize()?,
+            designs,
+            baselines,
+            cells,
+            // Wall-clock time does not survive serialization (and is
+            // deliberately excluded from rendering).
+            elapsed: Duration::ZERO,
+            deadline_hit: root.require("deadline_hit")?.as_bool()?,
+            shard,
+        },
+        baseline_indices,
+        cell_indices,
+    })
+}
+
+/// Merges shard reports back into the full campaign report.
+///
+/// The shards must belong to the same campaign (identical qubit count,
+/// shots, seed, threshold, mutant count and design list) and together cover
+/// every cell index exactly once. The merged report has `shard: None` and —
+/// because cell seeds derive from `(seed, cell index)` alone — renders
+/// byte-identically to the unsharded run of the same campaign.
+///
+/// # Errors
+///
+/// Returns [`MergeError`] on mismatched campaign metadata, duplicate
+/// indices, or incomplete coverage.
+pub fn merge_reports(shards: &[ParsedReport]) -> Result<CampaignReport, MergeError> {
+    let first = shards
+        .first()
+        .ok_or_else(|| err("no shard reports to merge"))?;
+    let reference = &first.report;
+    for (i, shard) in shards.iter().enumerate().skip(1) {
+        let r = &shard.report;
+        if r.num_qubits != reference.num_qubits
+            || r.shots != reference.shots
+            || r.seed != reference.seed
+            || r.detection_threshold.to_bits() != reference.detection_threshold.to_bits()
+            || r.mutant_count != reference.mutant_count
+            || r.designs != reference.designs
+        {
+            return Err(err(format!(
+                "shard {i} belongs to a different campaign than shard 0 \
+                 (check seed/shots/designs/mutant count)"
+            )));
+        }
+    }
+
+    let num_designs = reference.designs.len();
+    let total = reference.total_cells();
+    let mut baseline_slots: Vec<Option<BaselineCell>> = vec![None; num_designs];
+    let mut cell_slots: Vec<Option<CampaignCell>> = vec![None; total - num_designs];
+    for shard in shards {
+        for (&index, baseline) in shard.baseline_indices.iter().zip(&shard.report.baselines) {
+            if index >= num_designs {
+                return Err(err(format!("baseline index {index} out of range")));
+            }
+            let slot = &mut baseline_slots[index];
+            if slot.is_some() {
+                return Err(err(format!("duplicate baseline index {index}")));
+            }
+            *slot = Some(baseline.clone());
+        }
+        for (&index, cell) in shard.cell_indices.iter().zip(&shard.report.cells) {
+            if !(num_designs..total).contains(&index) {
+                return Err(err(format!("cell index {index} out of range")));
+            }
+            let slot = &mut cell_slots[index - num_designs];
+            if slot.is_some() {
+                return Err(err(format!("duplicate cell index {index}")));
+            }
+            *slot = Some(cell.clone());
+        }
+    }
+    let baselines: Vec<BaselineCell> = baseline_slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.ok_or_else(|| err(format!("missing baseline cell {i}"))))
+        .collect::<Result<_, _>>()?;
+    let cells: Vec<CampaignCell> = cell_slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.ok_or_else(|| err(format!("missing cell index {}", i + num_designs))))
+        .collect::<Result<_, _>>()?;
+
+    Ok(CampaignReport {
+        num_qubits: reference.num_qubits,
+        shots: reference.shots,
+        seed: reference.seed,
+        detection_threshold: reference.detection_threshold,
+        mutant_count: reference.mutant_count,
+        designs: reference.designs.clone(),
+        baselines,
+        cells,
+        elapsed: shards.iter().map(|s| s.report.elapsed).sum(),
+        deadline_hit: shards.iter().any(|s| s.report.deadline_hit),
+        shard: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_handles_scalars_arrays_objects() {
+        let v = parse_json(r#"{"a":1,"b":[true,false,null,"x\n\"y\""],"c":-2.5e-3}"#).unwrap();
+        assert_eq!(v.require("a").unwrap().as_usize().unwrap(), 1);
+        let arr = v.require("b").unwrap().as_arr().unwrap();
+        assert!(arr[0].as_bool().unwrap());
+        assert_eq!(arr[3].as_str().unwrap(), "x\n\"y\"");
+        assert!((v.require("c").unwrap().as_f64_or_nan().unwrap() + 0.0025).abs() < 1e-12);
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{}extra").is_err());
+    }
+
+    #[test]
+    fn json_parser_preserves_u64_integers() {
+        let v = parse_json("[18446744073709551615]").unwrap();
+        assert_eq!(v.as_arr().unwrap()[0].as_u64().unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn unicode_escapes_round_trip() {
+        let v = parse_json(r#""Aé\t""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "Aé\t");
+    }
+
+    #[test]
+    fn merge_rejects_empty_mismatched_and_incomplete() {
+        assert!(merge_reports(&[]).is_err());
+    }
+}

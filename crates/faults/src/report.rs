@@ -6,7 +6,7 @@
 //! structured error) or skipped (with the reason) — a partial run is
 //! visible, never silently truncated.
 
-use crate::runner::{BackendKind, CampaignDesign};
+use crate::runner::{BackendKind, CampaignDesign, Shard};
 use qra_circuit::GateCounts;
 use qra_core::AssertionError;
 use qra_sim::SimError;
@@ -23,12 +23,26 @@ pub enum CellError {
     Assertion(AssertionError),
     /// The cell's code panicked; the payload message is preserved.
     Panic(String),
+    /// A failure reloaded from a serialized shard report
+    /// ([`crate::merge::parse_report`]): only the rendered message and the
+    /// panic flag survive serialization, so the reloaded value preserves
+    /// exactly those — re-serializing it is byte-identical.
+    Opaque {
+        /// Whether the original failure was an isolated panic.
+        panic: bool,
+        /// The original failure's rendered message.
+        message: String,
+    },
 }
 
 impl CellError {
     /// `true` when the failure was an isolated panic.
     pub fn is_panic(&self) -> bool {
-        matches!(self, CellError::Panic(_))
+        match self {
+            CellError::Panic(_) => true,
+            CellError::Opaque { panic, .. } => *panic,
+            CellError::Assertion(_) => false,
+        }
     }
 }
 
@@ -37,6 +51,9 @@ impl fmt::Display for CellError {
         match self {
             CellError::Assertion(e) => write!(f, "{e}"),
             CellError::Panic(msg) => write!(f, "panicked: {msg}"),
+            // Opaque messages were rendered by one of the arms above before
+            // serialization, so they already carry any "panicked:" prefix.
+            CellError::Opaque { message, .. } => write!(f, "{message}"),
         }
     }
 }
@@ -166,6 +183,12 @@ pub struct CampaignReport {
     pub elapsed: Duration,
     /// Whether the deadline cut the campaign short (some cells skipped).
     pub deadline_hit: bool,
+    /// When this is a partial (shard) report, the shard coordinates; the
+    /// `baselines`/`cells` lists then hold only the shard's contiguous
+    /// slice of the flattened cell list. `None` for full reports —
+    /// including reports reassembled from shards, which is what makes a
+    /// merged report render byte-identically to the unsharded run.
+    pub shard: Option<Shard>,
 }
 
 impl CampaignReport {
@@ -197,9 +220,73 @@ impl CampaignReport {
             .count()
     }
 
+    /// Number of detections: completed **mutant** cells whose error rate
+    /// exceeded the threshold. Baseline (no-fault) cells crossing the
+    /// threshold are deliberately excluded — under noise the assertion-error
+    /// floor alone can cross a fixed threshold, and counting those as
+    /// detections would misreport noise as caught bugs; they are false
+    /// positives, counted by [`CampaignReport::false_positives`].
+    pub fn detected(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.status, CellStatus::Completed { detected: true, .. }))
+            .count()
+    }
+
+    /// Number of false positives: completed **baseline** cells whose error
+    /// rate exceeded the threshold even though no fault was injected.
+    pub fn false_positives(&self) -> usize {
+        self.baselines
+            .iter()
+            .filter(|b| matches!(b.status, CellStatus::Completed { detected: true, .. }))
+            .count()
+    }
+
+    /// The false-positive floor: the largest completed baseline error rate
+    /// across all designs — the level pure noise drives the assertion error
+    /// to on the unmutated program. A detection threshold below this floor
+    /// misclassifies noise as bugs (§IX); sweeps derive their thresholds
+    /// from it. `None` until at least one baseline cell completed.
+    pub fn false_positive_floor(&self) -> Option<f64> {
+        self.baselines
+            .iter()
+            .filter_map(|b| match b.status {
+                CellStatus::Completed { error_rate, .. } => Some(error_rate),
+                _ => None,
+            })
+            .reduce(f64::max)
+    }
+
+    /// Total number of cells of the full campaign matrix (baseline row plus
+    /// mutant × design grid) — for a shard report this counts the whole
+    /// campaign, not just the slice present in this report.
+    pub fn total_cells(&self) -> usize {
+        self.designs.len() * (1 + self.mutant_count)
+    }
+
     /// The detection matrix: fault-class label → per-design statistics,
-    /// with rows and columns in stable order.
+    /// with rows and columns in stable order, at the thresholds the
+    /// campaign ran with (each cell's stored `detected` flag).
     pub fn detection_matrix(&self) -> BTreeMap<String, Vec<(CampaignDesign, DetectionStat)>> {
+        self.matrix_with(|_, detected, _| detected)
+    }
+
+    /// The detection matrix re-evaluated at per-design thresholds chosen
+    /// after the fact (completed cells keep their error rates, so detection
+    /// at any threshold is recomputable). Sweeps use this to apply
+    /// thresholds derived from each noise point's false-positive floor
+    /// instead of the fixed configured one.
+    pub fn detection_matrix_at(
+        &self,
+        threshold: impl Fn(CampaignDesign) -> f64,
+    ) -> BTreeMap<String, Vec<(CampaignDesign, DetectionStat)>> {
+        self.matrix_with(|design, _, error_rate| error_rate > threshold(design))
+    }
+
+    fn matrix_with(
+        &self,
+        is_detected: impl Fn(CampaignDesign, bool, f64) -> bool,
+    ) -> BTreeMap<String, Vec<(CampaignDesign, DetectionStat)>> {
         let mut rows: BTreeMap<String, Vec<(CampaignDesign, DetectionStat)>> = BTreeMap::new();
         for cell in &self.cells {
             let row = rows.entry(cell.kind_label.clone()).or_insert_with(|| {
@@ -221,7 +308,7 @@ impl CampaignReport {
                     / (stat.completed + 1) as f64;
                 stat.max_error_rate = stat.max_error_rate.max(error_rate);
                 stat.completed += 1;
-                if detected {
+                if is_detected(cell.design, detected, error_rate) {
                     stat.detected += 1;
                 }
             }
@@ -268,11 +355,20 @@ impl CampaignReport {
             self.shots,
             self.seed
         );
+        if let Some(shard) = self.shard {
+            let (lo, hi) = shard.bounds(self.total_cells());
+            let _ = writeln!(
+                out,
+                "shard {shard}: cells {lo}..{hi} of {} (partial report)",
+                self.total_cells()
+            );
+        }
         let panicked = self.panicked();
         let _ = writeln!(
             out,
-            "cells: {} completed, {} failed{}, {} skipped{}",
+            "cells: {} completed ({} detected), {} failed{}, {} skipped{}",
             self.completed(),
+            self.detected(),
             self.failed(),
             if panicked > 0 {
                 format!(" ({panicked} panicked)")
@@ -286,11 +382,26 @@ impl CampaignReport {
                 ""
             }
         );
+        let false_positives = self.false_positives();
+        if false_positives > 0 {
+            let _ = writeln!(
+                out,
+                "baseline false positives: {false_positives} no-fault cell(s) above threshold \
+                 {:.4} — noise floor crosses the threshold; excluded from detection totals",
+                self.detection_threshold
+            );
+        }
 
-        let _ = writeln!(out, "\nbaseline (unmutated program):");
+        if !self.baselines.is_empty() {
+            let _ = writeln!(out, "\nbaseline (unmutated program):");
+        }
         for b in &self.baselines {
             match &b.status {
-                CellStatus::Completed { error_rate, .. } => {
+                CellStatus::Completed {
+                    error_rate,
+                    detected,
+                    ..
+                } => {
                     let cost = b
                         .assertion_cost
                         .map(|c| format!("{c}"))
@@ -301,8 +412,9 @@ impl CampaignReport {
                         .unwrap_or_else(|| "-".into());
                     let _ = writeln!(
                         out,
-                        "  {:<12} false-positive rate {error_rate:.4}  cost {cost} ({overhead})",
-                        b.design.name()
+                        "  {:<12} false-positive rate {error_rate:.4}  cost {cost} ({overhead}){}",
+                        b.design.name(),
+                        if *detected { "  [FALSE POSITIVE]" } else { "" }
                     );
                 }
                 CellStatus::Failed { error } => {
@@ -380,41 +492,76 @@ impl CampaignReport {
 
     /// Renders the report as a JSON object (hand-rolled; the build has no
     /// serialisation dependency).
+    ///
+    /// The output is complete enough to reload with
+    /// [`crate::merge::parse_report`]: it carries the design list, each
+    /// entry's global index in the flattened cell list, per-baseline
+    /// program costs, and (for partial reports) the shard coordinates —
+    /// which is what lets `merge` reassemble shard files into output
+    /// byte-identical to the unsharded run.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         let _ = write!(
             out,
             "\"num_qubits\":{},\"shots\":{},\"seed\":{},\"detection_threshold\":{},\
-             \"mutant_count\":{},\"completed\":{},\"failed\":{},\"panicked\":{},\
-             \"skipped\":{},\"deadline_hit\":{}",
+             \"mutant_count\":{}",
             self.num_qubits,
             self.shots,
             self.seed,
             json_f64(self.detection_threshold),
             self.mutant_count,
+        );
+        out.push_str(",\"designs\":[");
+        for (i, d) in self.designs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(d.name()));
+        }
+        let _ = write!(
+            out,
+            "],\"completed\":{},\"detected\":{},\"failed\":{},\"panicked\":{},\
+             \"skipped\":{},\"false_positives\":{},\"deadline_hit\":{}",
             self.completed(),
+            self.detected(),
             self.failed(),
             self.panicked(),
             self.skipped(),
+            self.false_positives(),
             self.deadline_hit
         );
+        if let Some(shard) = self.shard {
+            let _ = write!(
+                out,
+                ",\"shard\":{{\"index\":{},\"count\":{}}}",
+                shard.index, shard.count
+            );
+        }
+        // Global flattened indices: the baseline row occupies [0, D), the
+        // mutant grid [D, D·(1+M)). A shard's slice is contiguous, so its
+        // first entry sits at the slice start and the rest follow in order.
+        let num_designs = self.designs.len();
+        let start = self.shard.map_or(0, |s| s.bounds(self.total_cells()).0);
         out.push_str(",\"baselines\":[");
         for (i, b) in self.baselines.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "{{\"design\":{}", json_str(b.design.name()));
+            let _ = write!(
+                out,
+                "{{\"index\":{},\"design\":{}",
+                start + i,
+                json_str(b.design.name())
+            );
             if let Some(c) = b.assertion_cost {
-                let _ = write!(
-                    out,
-                    ",\"cost\":{{\"cx\":{},\"sg\":{},\"ancilla\":{},\"measure\":{}}}",
-                    c.cx, c.sg, c.ancilla, c.measure
-                );
+                let _ = write!(out, ",\"cost\":{}", json_cost(&c));
             }
+            let _ = write!(out, ",\"program_cost\":{}", json_cost(&b.program_cost));
             out.push_str(",\"status\":");
             push_status_json(&mut out, &b.status);
             out.push('}');
         }
+        let first_cell = start.max(num_designs);
         out.push_str("],\"cells\":[");
         for (i, c) in self.cells.iter().enumerate() {
             if i > 0 {
@@ -422,7 +569,8 @@ impl CampaignReport {
             }
             let _ = write!(
                 out,
-                "{{\"mutant\":{},\"kind\":{},\"design\":{},\"status\":",
+                "{{\"index\":{},\"mutant\":{},\"kind\":{},\"design\":{},\"status\":",
+                first_cell + i,
                 json_str(&c.mutant_id),
                 json_str(&c.kind_label),
                 json_str(c.design.name())
@@ -433,6 +581,14 @@ impl CampaignReport {
         out.push_str("]}");
         out
     }
+}
+
+/// Renders a [`GateCounts`] as a JSON object.
+fn json_cost(c: &GateCounts) -> String {
+    format!(
+        "{{\"cx\":{},\"sg\":{},\"ancilla\":{},\"measure\":{}}}",
+        c.cx, c.sg, c.ancilla, c.measure
+    )
 }
 
 fn push_status_json(out: &mut String, status: &CellStatus) {
@@ -470,7 +626,7 @@ fn push_status_json(out: &mut String, status: &CellStatus) {
 }
 
 /// Finite floats print plainly; NaN/∞ (not representable in JSON) as null.
-fn json_f64(x: f64) -> String {
+pub(crate) fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {
@@ -479,7 +635,7 @@ fn json_f64(x: f64) -> String {
 }
 
 /// Escapes `s` as a JSON string literal.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {
@@ -563,6 +719,7 @@ mod tests {
             ],
             elapsed: Duration::from_millis(12),
             deadline_hit: true,
+            shard: None,
         }
     }
 
@@ -573,6 +730,9 @@ mod tests {
         assert_eq!(r.skipped(), 1);
         assert_eq!(r.failed(), 1);
         assert_eq!(r.panicked(), 1);
+        assert_eq!(r.detected(), 1);
+        assert_eq!(r.false_positives(), 0);
+        assert_eq!(r.total_cells(), 2 * (1 + 2));
         let matrix = r.detection_matrix();
         let row = &matrix["stray-z"];
         let (design, stat) = row[0];
@@ -663,5 +823,82 @@ mod tests {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(0.25), "0.25");
+    }
+
+    #[test]
+    fn baseline_detections_are_false_positives_not_detections() {
+        // A noisy baseline crossing the threshold must be reported as a
+        // false positive and excluded from the detection totals.
+        let mut r = sample_report();
+        r.baselines[0].status = CellStatus::Completed {
+            error_rate: 0.31,
+            detected: true,
+            retries: 0,
+            backend: BackendKind::DensityMatrix,
+        };
+        assert_eq!(r.detected(), 1, "mutant detections only");
+        assert_eq!(r.false_positives(), 1);
+        assert_eq!(r.false_positive_floor(), Some(0.31));
+        let text = r.render_text();
+        assert!(text.contains("[FALSE POSITIVE]"), "{text}");
+        assert!(text.contains("baseline false positives: 1"), "{text}");
+        assert!(text.contains("excluded from detection totals"), "{text}");
+        let json = r.to_json();
+        assert!(json.contains("\"false_positives\":1"), "{json}");
+        assert!(json.contains("\"detected\":1,"), "{json}");
+    }
+
+    #[test]
+    fn detection_matrix_reevaluates_at_other_thresholds() {
+        let r = sample_report();
+        // Stored flags say the 0.5-rate stray-z cell is detected.
+        assert_eq!(r.detection_matrix()["stray-z"][0].1.detected, 1);
+        // A post-hoc threshold above the rate undoes that detection…
+        let strict = r.detection_matrix_at(|_| 0.9);
+        assert_eq!(strict["stray-z"][0].1.detected, 0);
+        assert_eq!(strict["stray-z"][0].1.completed, 1);
+        // …and one below keeps it.
+        let lax = r.detection_matrix_at(|_| 0.1);
+        assert_eq!(lax["stray-z"][0].1.detected, 1);
+    }
+
+    #[test]
+    fn shard_reports_carry_indices_and_coordinates() {
+        let mut r = sample_report();
+        r.shard = Some(Shard { index: 1, count: 3 });
+        // total = 6; shard 1/3 covers [2, 4): no baselines, cells 2 and 3.
+        r.baselines.clear();
+        r.cells.truncate(2);
+        let json = r.to_json();
+        assert!(
+            json.contains("\"shard\":{\"index\":1,\"count\":3}"),
+            "{json}"
+        );
+        assert!(json.contains("\"index\":2,\"mutant\""), "{json}");
+        assert!(json.contains("\"index\":3,\"mutant\""), "{json}");
+        let text = r.render_text();
+        assert!(text.contains("shard 1/3: cells 2..4 of 6"), "{text}");
+        // Full reports carry 0-based indices and no shard object; cells
+        // start after the baseline row (two designs here).
+        let full = sample_report().to_json();
+        assert!(!full.contains("\"shard\""), "{full}");
+        assert!(full.contains("\"index\":0,\"design\""), "{full}");
+        assert!(full.contains("\"index\":2,\"mutant\""), "{full}");
+    }
+
+    #[test]
+    fn opaque_cell_errors_round_trip_rendering() {
+        let from_panic = CellError::Opaque {
+            panic: true,
+            message: "panicked: boom".into(),
+        };
+        assert!(from_panic.is_panic());
+        assert_eq!(from_panic.to_string(), "panicked: boom");
+        let from_sim = CellError::Opaque {
+            panic: false,
+            message: "probability 2 outside [0, 1]".into(),
+        };
+        assert!(!from_sim.is_panic());
+        assert_eq!(from_sim.to_string(), "probability 2 outside [0, 1]");
     }
 }

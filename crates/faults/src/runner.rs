@@ -26,6 +26,7 @@ use qra_sim::{
 };
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -75,6 +76,14 @@ impl CampaignDesign {
     }
 }
 
+impl CampaignDesign {
+    /// Looks a scheme up by its report name (the inverse of
+    /// [`CampaignDesign::name`]), used when reloading serialized reports.
+    pub fn from_name(name: &str) -> Option<Self> {
+        CampaignDesign::ALL.into_iter().find(|d| d.name() == name)
+    }
+}
+
 impl fmt::Display for CampaignDesign {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.name())
@@ -101,11 +110,92 @@ impl BackendKind {
             BackendKind::Trajectory => "trajectory",
         }
     }
+
+    /// Looks a backend up by its report name (the inverse of
+    /// [`BackendKind::name`]), used when reloading serialized reports.
+    pub fn from_name(name: &str) -> Option<Self> {
+        [
+            BackendKind::Statevector,
+            BackendKind::DensityMatrix,
+            BackendKind::Trajectory,
+        ]
+        .into_iter()
+        .find(|b| b.name() == name)
+    }
 }
 
 impl fmt::Display for BackendKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.name())
+    }
+}
+
+/// A contiguous slice of the flattened indexed cell list: shard `index` of
+/// `count`, for splitting one campaign across processes or hosts.
+///
+/// Because every cell's seed derives from `(config.seed, cell index)` alone,
+/// a shard computes exactly the cells the unsharded run would at the same
+/// indices; shard reports therefore merge back (by index) into a report
+/// byte-identical to the unsharded run
+/// ([`crate::merge::merge_reports`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's position, in `0..count`.
+    pub index: usize,
+    /// Total number of shards the cell list is split into.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Builds a shard after validating `index < count` and `count >= 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message on an empty split or out-of-range index.
+    pub fn new(index: usize, count: usize) -> Result<Self, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if index >= count {
+            return Err(format!("shard index {index} out of range for /{count}"));
+        }
+        Ok(Self { index, count })
+    }
+
+    /// The half-open range `[start, end)` of flattened cell indices this
+    /// shard covers out of `total`. The `count` shard ranges partition
+    /// `0..total` exactly, each within one cell of `total / count`.
+    pub fn bounds(&self, total: usize) -> (usize, usize) {
+        (
+            self.index * total / self.count,
+            (self.index + 1) * total / self.count,
+        )
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl FromStr for Shard {
+    type Err = String;
+
+    /// Parses the CLI spelling `i/n` (e.g. `0/3`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (index, count) = s
+            .split_once('/')
+            .ok_or_else(|| format!("bad shard '{s}': expected i/n, e.g. 0/3"))?;
+        let index = index
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard index in '{s}'"))?;
+        let count = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard count in '{s}'"))?;
+        Shard::new(index, count)
     }
 }
 
@@ -139,6 +229,11 @@ pub struct CampaignConfig {
     /// wall-clock time — because cell seeds depend solely on
     /// `(seed, cell index)` and results are reassembled in index order.
     pub jobs: usize,
+    /// Run only this contiguous slice of the flattened cell list and emit a
+    /// partial report carrying the shard coordinates; `None` runs
+    /// everything. Shard reports merge back into the unsharded report
+    /// byte-for-byte ([`crate::merge::merge_reports`]).
+    pub shard: Option<Shard>,
 }
 
 impl CampaignConfig {
@@ -169,6 +264,7 @@ impl Default for CampaignConfig {
             noise: NoiseModel::ideal(),
             detection_threshold: 0.05,
             jobs: 0,
+            shard: None,
         }
     }
 }
@@ -305,11 +401,21 @@ pub fn run_campaign_with_executor(
         }
     }
 
+    // A shard runs only its contiguous slice [lo, hi) of the flattened
+    // list; the unsharded run covers everything. Cell seeds depend only on
+    // the cell's matrix position, so the shard computes exactly what the
+    // unsharded run would at those indices.
+    let total = tasks.len();
+    let (lo, hi) = match config.shard {
+        Some(shard) => shard.bounds(total),
+        None => (0, total),
+    };
+
     // Execute on a shared-cursor worker pool. Each slot is written exactly
     // once by whichever worker claims its index, then reassembled in index
     // order below — execution order never leaks into the report.
-    let slots: Vec<Mutex<Option<CellOutcome>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CellOutcome>>> = (lo..hi).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(lo);
     let worker = || {
         let deadline = Deadline {
             start,
@@ -318,7 +424,10 @@ pub fn run_campaign_with_executor(
         };
         loop {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
-            let Some(task) = tasks.get(i) else { break };
+            if i >= hi {
+                break;
+            }
+            let task = &tasks[i];
             let outcome = if deadline.expired() {
                 (
                     CellStatus::Skipped {
@@ -338,10 +447,10 @@ pub fn run_campaign_with_executor(
                     &deadline,
                 )
             };
-            *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+            *slots[i - lo].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
         }
     };
-    let jobs = config.effective_jobs().min(tasks.len()).max(1);
+    let jobs = config.effective_jobs().min((hi - lo).max(1));
     if jobs == 1 {
         worker();
     } else {
@@ -352,16 +461,21 @@ pub fn run_campaign_with_executor(
         });
     }
 
-    // Reassemble in index order: baselines first, then the grid.
+    // Reassemble in index order: baselines first, then the grid. A shard
+    // keeps only the rows its slice covers; because the slice is
+    // contiguous, so are the retained baseline and cell sub-lists.
     let mut results = slots.into_iter().map(|slot| {
         slot.into_inner()
             .unwrap_or_else(|e| e.into_inner())
-            .expect("every cell index was claimed by a worker")
+            .expect("every claimed cell index produced an outcome")
     });
+    let num_designs = config.designs.len();
     let baselines = config
         .designs
         .iter()
-        .map(|&design| {
+        .enumerate()
+        .filter(|(di, _)| (lo..hi).contains(di))
+        .map(|(_, &design)| {
             let (status, cost) = results.next().expect("one baseline cell per design");
             BaselineCell {
                 design,
@@ -371,9 +485,13 @@ pub fn run_campaign_with_executor(
             }
         })
         .collect();
-    let mut cells = Vec::with_capacity(mutants.len() * config.designs.len());
-    for mutant in mutants {
-        for &design in &config.designs {
+    let mut cells = Vec::new();
+    for (mi, mutant) in mutants.iter().enumerate() {
+        for (di, &design) in config.designs.iter().enumerate() {
+            let flat = num_designs + mi * num_designs + di;
+            if !(lo..hi).contains(&flat) {
+                continue;
+            }
             let (status, _) = results.next().expect("one cell per mutant × design");
             cells.push(CampaignCell {
                 mutant_id: mutant.id.clone(),
@@ -395,6 +513,7 @@ pub fn run_campaign_with_executor(
         cells,
         elapsed: start.elapsed(),
         deadline_hit: tripped.load(Ordering::Relaxed),
+        shard: config.shard,
     }
 }
 
@@ -554,6 +673,49 @@ mod tests {
         assert_eq!(CampaignDesign::Ndd.as_design(), Some(Design::Ndd));
         assert_eq!(CampaignDesign::Stat.as_design(), None);
         assert_eq!(BackendKind::Trajectory.to_string(), "trajectory");
+        for d in CampaignDesign::ALL {
+            assert_eq!(CampaignDesign::from_name(d.name()), Some(d));
+        }
+        assert_eq!(CampaignDesign::from_name("qft"), None);
+        for b in [
+            BackendKind::Statevector,
+            BackendKind::DensityMatrix,
+            BackendKind::Trajectory,
+        ] {
+            assert_eq!(BackendKind::from_name(b.name()), Some(b));
+        }
+        assert_eq!(BackendKind::from_name("abacus"), None);
+    }
+
+    #[test]
+    fn shard_bounds_partition_the_cell_list() {
+        for total in [0usize, 1, 7, 16, 100] {
+            for count in [1usize, 2, 3, 7, 13] {
+                let mut next = 0;
+                for index in 0..count {
+                    let (lo, hi) = Shard { index, count }.bounds(total);
+                    assert_eq!(lo, next, "gap at shard {index}/{count} of {total}");
+                    assert!(hi >= lo);
+                    next = hi;
+                }
+                assert_eq!(next, total, "shards must cover all {total} cells");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_parsing_and_validation() {
+        assert_eq!(
+            "0/3".parse::<Shard>().unwrap(),
+            Shard { index: 0, count: 3 }
+        );
+        assert_eq!("2/3".parse::<Shard>().unwrap().to_string(), "2/3");
+        assert!("3/3".parse::<Shard>().is_err());
+        assert!("0/0".parse::<Shard>().is_err());
+        assert!("x/2".parse::<Shard>().is_err());
+        assert!("1".parse::<Shard>().is_err());
+        assert!(Shard::new(1, 2).is_ok());
+        assert!(Shard::new(2, 2).is_err());
     }
 
     #[test]

@@ -1,0 +1,441 @@
+//! Noise-aware campaign sweeps: the same fault-injection matrix run at a
+//! list of noise points, with detection thresholds *derived* from each
+//! point's measured false-positive floor.
+//!
+//! §IX of the paper observes that under realistic device noise the
+//! assertion error rate on the *unmutated* program rises to a floor, and a
+//! fixed detection threshold below that floor misclassifies noise as bugs.
+//! A sweep therefore runs the baseline row at every noise point, takes each
+//! design's baseline error rate as its false-positive floor, and sets that
+//! point's detection threshold to `floor + threshold_margin` — falling back
+//! to the campaign's configured threshold where the baseline did not
+//! complete. The report then shows detection degradation per fault class ×
+//! design × noise point.
+
+use crate::inject::Mutant;
+use crate::report::{json_f64, json_str, CampaignReport, CellStatus, DetectionStat};
+use crate::runner::Executor;
+use crate::runner::{run_campaign, run_campaign_with_executor, CampaignConfig, CampaignDesign};
+use qra_circuit::Circuit;
+use qra_core::StateSpec;
+use qra_sim::{DevicePreset, NoiseModel};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One noise point of a sweep: a labelled [`NoiseModel`].
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Display label (device preset name, `melbourne x2`, …).
+    pub label: String,
+    /// The noise model applied at this point.
+    pub noise: NoiseModel,
+}
+
+impl SweepPoint {
+    /// A point at a device preset's nominal noise level.
+    pub fn preset(preset: DevicePreset) -> Self {
+        Self {
+            label: preset.name().to_string(),
+            noise: preset.noise_model(),
+        }
+    }
+
+    /// A point at `factor ×` a preset's nominal noise
+    /// ([`NoiseModel::scaled`] clamping rules apply).
+    pub fn scaled(preset: DevicePreset, factor: f64) -> Self {
+        Self {
+            label: format!("{} x{factor}", preset.name()),
+            noise: preset.noise_model().scaled(factor),
+        }
+    }
+
+    /// A point with an explicit label and noise model.
+    pub fn custom(label: impl Into<String>, noise: NoiseModel) -> Self {
+        Self {
+            label: label.into(),
+            noise,
+        }
+    }
+}
+
+/// Configuration of a noise sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Noise points to run, in order.
+    pub points: Vec<SweepPoint>,
+    /// Campaign configuration shared by every point (its `noise` field is
+    /// replaced per point; its `detection_threshold` is the fallback when a
+    /// baseline cell did not complete).
+    pub base: CampaignConfig,
+    /// Margin added to each design's false-positive floor to obtain that
+    /// point's derived detection threshold.
+    pub threshold_margin: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            points: vec![
+                SweepPoint::preset(DevicePreset::Ideal),
+                SweepPoint::preset(DevicePreset::LowNoise),
+                SweepPoint::preset(DevicePreset::MelbourneLike),
+            ],
+            base: CampaignConfig::default(),
+            threshold_margin: 0.02,
+        }
+    }
+}
+
+/// A design's derived threshold at one noise point.
+#[derive(Debug, Clone, Copy)]
+pub struct PointThreshold {
+    /// The design.
+    pub design: CampaignDesign,
+    /// The design's measured false-positive floor (its baseline error
+    /// rate); `None` when the baseline cell did not complete.
+    pub floor: Option<f64>,
+    /// The detection threshold applied at this point: `floor + margin`, or
+    /// the configured fallback when no floor was measured.
+    pub threshold: f64,
+}
+
+/// One noise point's campaign result plus its derived thresholds.
+#[derive(Debug, Clone)]
+pub struct SweepPointReport {
+    /// The point's label.
+    pub label: String,
+    /// The point's overall false-positive floor (max baseline error rate).
+    pub fp_floor: Option<f64>,
+    /// Per-design derived thresholds.
+    pub thresholds: Vec<PointThreshold>,
+    /// The full campaign report at this point.
+    pub report: CampaignReport,
+}
+
+impl SweepPointReport {
+    /// The detection threshold applied to `design` at this point.
+    pub fn threshold_for(&self, design: CampaignDesign) -> f64 {
+        self.thresholds
+            .iter()
+            .find(|t| t.design == design)
+            .map_or(self.report.detection_threshold, |t| t.threshold)
+    }
+
+    /// The detection matrix re-evaluated at the derived thresholds.
+    pub fn matrix(&self) -> BTreeMap<String, Vec<(CampaignDesign, DetectionStat)>> {
+        self.report
+            .detection_matrix_at(|design| self.threshold_for(design))
+    }
+}
+
+/// The full sweep result: one [`SweepPointReport`] per noise point.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Margin that was added to each floor.
+    pub threshold_margin: f64,
+    /// Per-point results, in sweep order.
+    pub points: Vec<SweepPointReport>,
+}
+
+/// Derives per-design thresholds from a campaign's baseline row.
+fn derive_thresholds(report: &CampaignReport, margin: f64) -> Vec<PointThreshold> {
+    report
+        .designs
+        .iter()
+        .map(|&design| {
+            let floor = report.baselines.iter().find_map(|b| {
+                if b.design != design {
+                    return None;
+                }
+                match b.status {
+                    CellStatus::Completed { error_rate, .. } if error_rate.is_finite() => {
+                        Some(error_rate)
+                    }
+                    _ => None,
+                }
+            });
+            PointThreshold {
+                design,
+                floor,
+                threshold: floor.map_or(report.detection_threshold, |f| f + margin),
+            }
+        })
+        .collect()
+}
+
+/// Runs the campaign matrix at every noise point of `config` and derives
+/// each point's detection thresholds from its false-positive floor.
+pub fn run_sweep(
+    program: &Circuit,
+    qubits: &[usize],
+    spec: &StateSpec,
+    mutants: &[Mutant],
+    config: &SweepConfig,
+) -> SweepReport {
+    run_sweep_inner(config, |point_config| {
+        run_campaign(program, qubits, spec, mutants, point_config)
+    })
+}
+
+/// [`run_sweep`] with an injected executor (tests use this to simulate
+/// failing backends at chosen noise points).
+pub fn run_sweep_with_executor(
+    program: &Circuit,
+    qubits: &[usize],
+    spec: &StateSpec,
+    mutants: &[Mutant],
+    config: &SweepConfig,
+    executor: &Executor<'_>,
+) -> SweepReport {
+    run_sweep_inner(config, |point_config| {
+        run_campaign_with_executor(program, qubits, spec, mutants, point_config, executor)
+    })
+}
+
+fn run_sweep_inner(
+    config: &SweepConfig,
+    mut run: impl FnMut(&CampaignConfig) -> CampaignReport,
+) -> SweepReport {
+    let points = config
+        .points
+        .iter()
+        .map(|point| {
+            let point_config = CampaignConfig {
+                noise: point.noise.clone(),
+                ..config.base.clone()
+            };
+            let report = run(&point_config);
+            SweepPointReport {
+                label: point.label.clone(),
+                fp_floor: report.false_positive_floor(),
+                thresholds: derive_thresholds(&report, config.threshold_margin),
+                report,
+            }
+        })
+        .collect();
+    SweepReport {
+        threshold_margin: config.threshold_margin,
+        points,
+    }
+}
+
+impl SweepReport {
+    /// Renders the sweep as human-readable text: per-point floors, derived
+    /// thresholds and detection matrices, then a degradation table showing
+    /// detection per fault class × design across the noise points.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== Noise sweep: {} point(s), threshold margin {:.4} ===",
+            self.points.len(),
+            self.threshold_margin
+        );
+        for point in &self.points {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "--- noise point: {} ---", point.label);
+            match point.fp_floor {
+                Some(floor) => {
+                    let _ = writeln!(out, "false-positive floor: {floor:.4}");
+                }
+                None => {
+                    let _ = writeln!(out, "false-positive floor: unmeasured (no baseline)");
+                }
+            }
+            for t in &point.thresholds {
+                match t.floor {
+                    Some(floor) => {
+                        let _ = writeln!(
+                            out,
+                            "  {:<12} floor {:.4} -> threshold {:.4}",
+                            t.design.name(),
+                            floor,
+                            t.threshold
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "  {:<12} floor unmeasured -> threshold {:.4} (configured fallback)",
+                            t.design.name(),
+                            t.threshold
+                        );
+                    }
+                }
+            }
+            for (kind, row) in point.matrix() {
+                let _ = write!(out, "  {kind:<16}");
+                for (design, stat) in row {
+                    let _ = write!(
+                        out,
+                        "  {}: {}/{}",
+                        design.name(),
+                        stat.detected,
+                        stat.completed
+                    );
+                }
+                let _ = writeln!(out);
+            }
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "=== Detection degradation (detected/completed per noise point) ==="
+        );
+        // Rows: fault class × design; columns: noise points in sweep order.
+        let mut header = format!("{:<16} {:<12}", "fault class", "design");
+        for point in &self.points {
+            let _ = write!(header, "  {:>14}", point.label);
+        }
+        let _ = writeln!(out, "{header}");
+        let mut rows: BTreeMap<(String, String), Vec<String>> = BTreeMap::new();
+        for point in &self.points {
+            for (kind, row) in point.matrix() {
+                for (design, stat) in row {
+                    rows.entry((kind.clone(), design.name().to_string()))
+                        .or_insert_with(|| vec!["-".to_string(); self.points.len()])
+                        [self.point_index(&point.label)] =
+                        format!("{}/{}", stat.detected, stat.completed);
+                }
+            }
+        }
+        for ((kind, design), cells) in rows {
+            let _ = write!(out, "{kind:<16} {design:<12}");
+            for cell in cells {
+                let _ = write!(out, "  {cell:>14}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    fn point_index(&self, label: &str) -> usize {
+        self.points
+            .iter()
+            .position(|p| p.label == label)
+            .unwrap_or(0)
+    }
+
+    /// Renders the sweep as JSON: sweep metadata, each point's floor and
+    /// derived thresholds, and the point's full campaign report (embedded
+    /// verbatim as produced by [`CampaignReport::to_json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"threshold_margin\":{},\"points\":[",
+            json_f64(self.threshold_margin)
+        );
+        for (i, point) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"label\":{},\"fp_floor\":{},\"thresholds\":[",
+                json_str(&point.label),
+                point.fp_floor.map_or("null".to_string(), json_f64)
+            );
+            for (j, t) in point.thresholds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"design\":{},\"floor\":{},\"threshold\":{}}}",
+                    json_str(t.design.name()),
+                    t.floor.map_or("null".to_string(), json_f64),
+                    json_f64(t.threshold)
+                );
+            }
+            let _ = write!(out, "],\"campaign\":{}}}", point.report.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::FaultInjector;
+    use qra_algorithms::states;
+
+    fn tiny_sweep(points: Vec<SweepPoint>) -> SweepReport {
+        let program = states::ghz(2);
+        let spec = StateSpec::pure(states::ghz_vector(2)).unwrap();
+        let mutants = FaultInjector::new(9)
+            .enumerate_single(&program)
+            .into_iter()
+            .take(2)
+            .collect::<Vec<_>>();
+        let config = SweepConfig {
+            points,
+            base: CampaignConfig {
+                shots: 128,
+                seed: 5,
+                designs: vec![CampaignDesign::Ndd, CampaignDesign::Stat],
+                jobs: 1,
+                ..CampaignConfig::default()
+            },
+            threshold_margin: 0.02,
+        };
+        run_sweep(&program, &[0, 1], &spec, &mutants, &config)
+    }
+
+    #[test]
+    fn sweep_runs_every_point_and_derives_thresholds() {
+        let sweep = tiny_sweep(vec![
+            SweepPoint::preset(DevicePreset::Ideal),
+            SweepPoint::preset(DevicePreset::LowNoise),
+            SweepPoint::scaled(DevicePreset::LowNoise, 2.0),
+        ]);
+        assert_eq!(sweep.points.len(), 3);
+        assert_eq!(sweep.points[0].label, "ideal");
+        assert_eq!(sweep.points[2].label, "low x2");
+        for point in &sweep.points {
+            assert_eq!(point.report.cells.len(), 4);
+            // Every completed baseline yields floor + margin.
+            for t in &point.thresholds {
+                match t.floor {
+                    Some(floor) => assert!((t.threshold - (floor + 0.02)).abs() < 1e-12),
+                    None => assert_eq!(t.threshold, point.report.detection_threshold),
+                }
+            }
+        }
+        // The ideal point's floor is small but not necessarily zero: the
+        // statistical baseline's total-variation distance carries
+        // finite-shot sampling noise even without device noise.
+        let ideal = &sweep.points[0];
+        let floor = ideal.fp_floor.expect("ideal baselines completed");
+        assert!(floor < 0.05, "ideal floor {floor}");
+        for t in &ideal.thresholds {
+            let f = t.floor.expect("baseline completed");
+            assert!((t.threshold - (f + 0.02)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sweep_renders_text_and_json() {
+        let sweep = tiny_sweep(vec![
+            SweepPoint::preset(DevicePreset::Ideal),
+            SweepPoint::preset(DevicePreset::LowNoise),
+        ]);
+        let text = sweep.render_text();
+        assert!(text.contains("Noise sweep: 2 point(s)"), "{text}");
+        assert!(text.contains("--- noise point: ideal ---"), "{text}");
+        assert!(text.contains("Detection degradation"), "{text}");
+        let json = sweep.to_json();
+        assert!(json.contains("\"threshold_margin\":0.02"), "{json}");
+        assert!(json.contains("\"label\":\"low\""), "{json}");
+        assert!(json.contains("\"campaign\":{\"num_qubits\":2"), "{json}");
+    }
+
+    #[test]
+    fn custom_points_carry_their_label_and_noise() {
+        let point =
+            SweepPoint::custom("hot", DevicePreset::MelbourneLike.noise_model().scaled(3.0));
+        assert_eq!(point.label, "hot");
+        assert!(point.noise.validate().is_ok());
+    }
+}

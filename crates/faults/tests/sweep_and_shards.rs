@@ -1,0 +1,173 @@
+//! Integration tests for sharded campaigns and noise sweeps: shard
+//! reports merge back into output byte-identical to the unsharded run,
+//! serialized reports survive a parse round-trip (including failures,
+//! skips and NaN rates), and sweeps derive their detection thresholds
+//! from each point's false-positive floor.
+
+use qra_algorithms::states;
+use qra_core::StateSpec;
+use qra_faults::{
+    merge_reports, parse_report, run_campaign, run_campaign_with_executor, run_sweep,
+    CampaignConfig, CampaignDesign, FaultInjector, Shard, SweepConfig, SweepPoint,
+};
+use qra_sim::{DevicePreset, SimError};
+use std::time::Duration;
+
+fn ghz_campaign_inputs() -> (
+    qra_circuit::Circuit,
+    StateSpec,
+    Vec<qra_faults::Mutant>,
+    CampaignConfig,
+) {
+    let program = states::ghz(2);
+    let spec = StateSpec::pure(states::ghz_vector(2)).unwrap();
+    let mutants = FaultInjector::new(13).enumerate_single(&program);
+    let config = CampaignConfig {
+        shots: 128,
+        seed: 13,
+        designs: vec![
+            CampaignDesign::Swap,
+            CampaignDesign::Ndd,
+            CampaignDesign::Stat,
+        ],
+        jobs: 1,
+        ..CampaignConfig::default()
+    };
+    (program, spec, mutants, config)
+}
+
+#[test]
+fn three_shards_merge_byte_identically_to_the_unsharded_run() {
+    let (program, spec, mutants, config) = ghz_campaign_inputs();
+    let qubits = [0, 1];
+    let full = run_campaign(&program, &qubits, &spec, &mutants, &config);
+
+    let mut parsed = Vec::new();
+    for index in 0..3 {
+        let shard_config = CampaignConfig {
+            shard: Some(Shard { index, count: 3 }),
+            ..config.clone()
+        };
+        let partial = run_campaign(&program, &qubits, &spec, &mutants, &shard_config);
+        // Each shard holds exactly its slice of the flattened cell list.
+        let (lo, hi) = Shard { index, count: 3 }.bounds(full.total_cells());
+        assert_eq!(
+            partial.baselines.len() + partial.cells.len(),
+            hi - lo,
+            "shard {index} cell count"
+        );
+        // Round-trip through JSON, as the CLI merge path does.
+        parsed.push(parse_report(&partial.to_json()).unwrap());
+    }
+
+    // Merging in any order reproduces the unsharded rendering byte for
+    // byte — JSON and text.
+    parsed.rotate_left(1);
+    let merged = merge_reports(&parsed).unwrap();
+    assert_eq!(merged.to_json(), full.to_json());
+    assert_eq!(merged.render_text(), full.render_text());
+
+    // Dropping a shard is an explicit error, never a silent gap.
+    let e = merge_reports(&parsed[..2]).unwrap_err();
+    assert!(e.to_string().contains("missing"), "{e}");
+    // Duplicating one is too.
+    let doubled: Vec<_> = parsed
+        .iter()
+        .cloned()
+        .chain(parsed.first().cloned())
+        .collect();
+    let e = merge_reports(&doubled).unwrap_err();
+    assert!(e.to_string().contains("duplicate"), "{e}");
+}
+
+#[test]
+fn merge_rejects_shards_from_different_campaigns() {
+    let (program, spec, mutants, config) = ghz_campaign_inputs();
+    let qubits = [0, 1];
+    let shard = |index, seed| {
+        let cfg = CampaignConfig {
+            shard: Some(Shard { index, count: 2 }),
+            seed,
+            ..config.clone()
+        };
+        parse_report(&run_campaign(&program, &qubits, &spec, &mutants, &cfg).to_json()).unwrap()
+    };
+    let e = merge_reports(&[shard(0, 13), shard(1, 14)]).unwrap_err();
+    assert!(e.to_string().contains("different campaign"), "{e}");
+}
+
+#[test]
+fn parse_round_trips_failures_skips_and_nan_rates() {
+    let (program, spec, mutants, mut config) = ghz_campaign_inputs();
+    config.designs = vec![CampaignDesign::Ndd];
+    config.max_retries = 0;
+    // An executor that fails the baseline with a panic, errors the first
+    // mutant row and stalls long enough afterwards for a deadline skip.
+    config.deadline = Some(Duration::from_millis(400));
+    let report = run_campaign_with_executor(
+        &program,
+        &[0, 1],
+        &spec,
+        &mutants,
+        &config,
+        &|_, _cfg, seed| match seed % 3 {
+            0 => panic!("injected panic"),
+            1 => Err(SimError::InvalidProbability { value: f64::NAN }),
+            _ => {
+                std::thread::sleep(Duration::from_millis(500));
+                Err(SimError::InvalidProbability { value: f64::NAN })
+            }
+        },
+    );
+    assert!(report.failed() > 0 || report.skipped() > 0);
+
+    let json = report.to_json();
+    let parsed = parse_report(&json).unwrap();
+    // Re-serializing the reloaded report is byte-identical: opaque errors
+    // carry the rendered message, skips carry the reason, and NaN rates
+    // round-trip through null.
+    assert_eq!(parsed.report.to_json(), json);
+    assert_eq!(parsed.report.render_text(), report.render_text());
+    // Entry indices enumerate the whole flattened list.
+    let total = parsed.baseline_indices.len() + parsed.cell_indices.len();
+    assert_eq!(total, report.total_cells());
+}
+
+#[test]
+fn sweep_thresholds_track_the_false_positive_floor() {
+    let (program, spec, mutants, base) = ghz_campaign_inputs();
+    let sweep_config = SweepConfig {
+        points: vec![
+            SweepPoint::preset(DevicePreset::Ideal),
+            SweepPoint::preset(DevicePreset::LowNoise),
+            SweepPoint::scaled(DevicePreset::LowNoise, 2.0),
+        ],
+        base,
+        threshold_margin: 0.02,
+    };
+    let sweep = run_sweep(&program, &[0, 1], &spec, &mutants, &sweep_config);
+    assert_eq!(sweep.points.len(), 3);
+
+    for point in &sweep.points {
+        // Every baseline completed here, so every threshold is derived.
+        for t in &point.thresholds {
+            let floor = t.floor.expect("baseline completed");
+            assert!(
+                (t.threshold - (floor + 0.02)).abs() < 1e-12,
+                "{}: threshold {} vs floor {}",
+                point.label,
+                t.threshold,
+                floor
+            );
+        }
+        // The derived threshold sits above the floor, so baseline cells
+        // are never misclassified as detections at their own point.
+        let matrix = point.matrix();
+        assert!(!matrix.is_empty());
+    }
+
+    // Noise raises the floor: the scaled low-noise point's floor is at
+    // least the nominal one's for the noise-sensitive designs.
+    let floor_at = |i: usize| sweep.points[i].fp_floor.expect("floor measured");
+    assert!(floor_at(2) >= floor_at(0));
+}

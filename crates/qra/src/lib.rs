@@ -14,7 +14,9 @@
 //! * [`algorithms`] — the case-study workloads (GHZ, QFT, QPE,
 //!   Deutsch–Jozsa, QFT adders, teleportation) with bug injections;
 //! * [`faults`] — systematic fault-injection campaigns: a seeded mutation
-//!   engine plus a resilient campaign runner and report.
+//!   engine plus a resilient campaign runner and report, noise-aware
+//!   sweeps with floor-derived detection thresholds, and mergeable
+//!   campaign shards.
 //!
 //! # Quickstart
 //!
@@ -50,8 +52,9 @@ pub mod prelude {
         AssertionError, AssertionHandle, AssertionReport, Design, StateSpec,
     };
     pub use qra_faults::{
-        run_campaign, BackendKind, CampaignConfig, CampaignDesign, CampaignReport, CellError,
-        CellStatus, FaultInjector, FaultKind, Mutant,
+        merge_reports, parse_report, run_campaign, run_sweep, BackendKind, CampaignConfig,
+        CampaignDesign, CampaignReport, CellError, CellStatus, FaultInjector, FaultKind, Mutant,
+        Shard, SweepConfig, SweepPoint, SweepReport,
     };
     pub use qra_math::{CMatrix, CVector, C64};
     pub use qra_sim::{

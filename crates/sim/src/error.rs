@@ -47,6 +47,11 @@ pub enum SimError {
         /// Why it was rejected.
         reason: String,
     },
+    /// A device-preset name did not match any known preset.
+    UnknownPreset {
+        /// The unrecognised name.
+        name: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -71,6 +76,13 @@ impl fmt::Display for SimError {
             }
             SimError::MalformedBitstring { bits, reason } => {
                 write!(f, "malformed bitstring '{bits}': {reason}")
+            }
+            SimError::UnknownPreset { name } => {
+                write!(
+                    f,
+                    "unknown device preset '{name}' (expected one of: {})",
+                    crate::noise::DevicePreset::variants().join(", ")
+                )
             }
         }
     }
@@ -120,6 +132,7 @@ mod tests {
                 bits: "0x1".into(),
                 reason: "invalid bit character 'x'".into(),
             },
+            SimError::UnknownPreset { name: "hot".into() },
         ];
         for e in &errs {
             assert!(!e.to_string().is_empty());

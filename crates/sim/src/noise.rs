@@ -10,6 +10,8 @@
 
 use crate::SimError;
 use qra_math::{CMatrix, C64};
+use std::fmt;
+use std::str::FromStr;
 
 /// A Kraus channel: a set of matrices `{K_i}` with `Σ K_i† K_i = I`.
 #[derive(Debug, Clone)]
@@ -267,6 +269,40 @@ impl NoiseModel {
         Ok(())
     }
 
+    /// Returns this model with every rate multiplied by `factor`, clamped
+    /// so the result always passes [`NoiseModel::validate`]: gate-error
+    /// rates (depolarizing, damping, dephasing) saturate at `1.0`, readout
+    /// flip rates at `0.5`.
+    ///
+    /// Readout saturates lower because a symmetric bit-flip probability past
+    /// `0.5` stops modelling a *degraded* readout and starts inverting it —
+    /// the wrong outcome becomes the likely one, so measured error rates
+    /// would improve again as the scale grows, breaking the monotonicity a
+    /// noise sweep relies on. Gate channels have no such inversion point:
+    /// at `1.0` they are simply maximally noisy.
+    ///
+    /// Non-finite products (a NaN or infinite factor) clamp to the
+    /// zero/ideal end rather than producing a model `validate` rejects.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let scale = |rate: f64, cap: f64| {
+            let v = rate * factor;
+            if v.is_nan() {
+                0.0
+            } else {
+                v.clamp(0.0, cap)
+            }
+        };
+        Self {
+            depol_1q: scale(self.depol_1q, 1.0),
+            depol_2q: scale(self.depol_2q, 1.0),
+            damping_1q: scale(self.damping_1q, 1.0),
+            damping_2q: scale(self.damping_2q, 1.0),
+            dephasing: scale(self.dephasing, 1.0),
+            readout_p01: scale(self.readout_p01, 0.5),
+            readout_p10: scale(self.readout_p10, 0.5),
+        }
+    }
+
     /// Returns `true` when every parameter is zero.
     pub fn is_ideal(&self) -> bool {
         self.depol_1q == 0.0
@@ -298,6 +334,28 @@ pub enum DevicePreset {
 }
 
 impl DevicePreset {
+    /// Every preset, in canonical order.
+    pub const ALL: [DevicePreset; 3] = [
+        DevicePreset::Ideal,
+        DevicePreset::LowNoise,
+        DevicePreset::MelbourneLike,
+    ];
+
+    /// Canonical short name, as accepted by [`DevicePreset::from_str`] and
+    /// used by the CLI and the bench binaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            DevicePreset::Ideal => "ideal",
+            DevicePreset::LowNoise => "low",
+            DevicePreset::MelbourneLike => "melbourne",
+        }
+    }
+
+    /// The canonical preset names, for error messages and usage text.
+    pub fn variants() -> Vec<&'static str> {
+        DevicePreset::ALL.iter().map(|p| p.name()).collect()
+    }
+
     /// The noise model for this preset.
     pub fn noise_model(self) -> NoiseModel {
         match self {
@@ -326,6 +384,30 @@ impl DevicePreset {
     /// Convenience constructor for the paper's §IX-B device substitute.
     pub fn melbourne_like() -> NoiseModel {
         DevicePreset::MelbourneLike.noise_model()
+    }
+}
+
+impl fmt::Display for DevicePreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl FromStr for DevicePreset {
+    type Err = SimError;
+
+    /// Parses a preset name, case-insensitively; the long enum-style names
+    /// (`low-noise`, `melbourne-like`) are accepted as aliases so CLI flags
+    /// and config files can use either spelling.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "ideal" | "none" => Ok(DevicePreset::Ideal),
+            "low" | "low-noise" | "lownoise" => Ok(DevicePreset::LowNoise),
+            "melbourne" | "melbourne-like" | "melbournelike" => Ok(DevicePreset::MelbourneLike),
+            other => Err(SimError::UnknownPreset {
+                name: other.to_string(),
+            }),
+        }
     }
 }
 
@@ -369,6 +451,73 @@ mod tests {
         assert!(!m.is_ideal());
         m.readout_p10 = 1.2;
         assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn noise_model_validation_rejects_nan_and_out_of_range() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.001, 1.001] {
+            let mut m = NoiseModel::ideal();
+            m.depol_2q = bad;
+            assert!(m.validate().is_err(), "depol_2q={bad} must be rejected");
+            let mut m = NoiseModel::ideal();
+            m.readout_p01 = bad;
+            assert!(m.validate().is_err(), "readout_p01={bad} must be rejected");
+        }
+        // The error names the offending field.
+        let mut m = NoiseModel::ideal();
+        m.dephasing = f64::NAN;
+        match m.validate() {
+            Err(SimError::InvalidNoiseParameter { name, .. }) => assert_eq!(name, "dephasing"),
+            other => panic!("expected InvalidNoiseParameter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scaled_clamps_gate_rates_at_one_and_readout_at_half() {
+        let base = DevicePreset::melbourne_like();
+        // Large factors saturate every channel but stay valid.
+        for factor in [1000.0, 1e6, f64::INFINITY] {
+            let m = base.scaled(factor);
+            assert!(m.validate().is_ok(), "factor {factor} must stay valid");
+            assert_eq!(m.depol_1q, 1.0);
+            assert_eq!(m.depol_2q, 1.0);
+            assert_eq!(m.damping_2q, 1.0);
+            assert_eq!(m.readout_p01, 0.5, "readout must saturate at 0.5");
+            assert_eq!(m.readout_p10, 0.5, "readout must saturate at 0.5");
+        }
+        // Identity and zero factors behave as expected.
+        let m = base.scaled(1.0);
+        assert_eq!(m.depol_2q, base.depol_2q);
+        assert_eq!(m.readout_p10, base.readout_p10);
+        assert!(base.scaled(0.0).is_ideal());
+        // Pathological factors clamp to the ideal end, never to an invalid model.
+        assert!(base.scaled(-3.0).is_ideal());
+        assert!(base.scaled(f64::NAN).is_ideal());
+        assert!(base.scaled(f64::NAN).validate().is_ok());
+        // Below saturation the scaling is exact.
+        let m = base.scaled(2.0);
+        assert!((m.depol_2q - 2.0 * base.depol_2q).abs() < 1e-15);
+        assert!((m.readout_p10 - 2.0 * base.readout_p10).abs() < 1e-15);
+    }
+
+    #[test]
+    fn preset_names_round_trip_through_from_str() {
+        for preset in DevicePreset::ALL {
+            assert_eq!(preset.name().parse::<DevicePreset>().unwrap(), preset);
+            assert_eq!(preset.to_string(), preset.name());
+        }
+        assert_eq!(
+            "Melbourne-Like".parse::<DevicePreset>().unwrap(),
+            DevicePreset::MelbourneLike
+        );
+        assert_eq!(
+            " low-noise ".parse::<DevicePreset>().unwrap(),
+            DevicePreset::LowNoise
+        );
+        let e = "hot".parse::<DevicePreset>().unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("hot") && msg.contains("melbourne"), "{msg}");
+        assert_eq!(DevicePreset::variants(), vec!["ideal", "low", "melbourne"]);
     }
 
     #[test]
