@@ -1,0 +1,205 @@
+//! Simulator throughput: compiled execution engine vs the legacy
+//! instruction-walking interpreter, per workload, as machine-readable JSON
+//! (`BENCH_sim.json`) so the repo carries a perf trajectory over time.
+//!
+//! Each workload runs the same seeded circuit through
+//! [`StatevectorSimulator::run_interpreted`] (baseline) and
+//! [`StatevectorSimulator::run`] (compiled), **panics if the counts
+//! differ** (the engines are bit-for-bit seed-compatible by contract), and
+//! reports wall time, shots/s and gates/s for both plus the speedup.
+//!
+//! Usage: `sim_throughput [--short] [--out PATH]`
+//!
+//! `--short` shrinks shots/repeats for CI smoke runs (validates the
+//! pipeline and the identity contract, not the timing); `--out` overrides
+//! the default `BENCH_sim.json` output path.
+
+use qra::algorithms::{qft, states};
+use qra::prelude::*;
+use qra::sim::CompiledProgram;
+use qra_bench::json_string;
+use std::time::Instant;
+
+struct Workload {
+    name: &'static str,
+    circuit: Circuit,
+    shots: u64,
+    seed: u64,
+}
+
+/// The paper's central workload shape: an `n`-qubit GHZ preparation with a
+/// runtime assertion appended (terminal ancilla measurement). The
+/// assertion probes a 3-qubit slice — the reduced GHZ state is the
+/// classical set `{|000⟩, |111⟩}`, whose NDD unitary is diagonal ±1 and
+/// synthesizes to the paper's Fig. 14 parity network — so the workload
+/// cost is dominated by `(n+1)`-qubit state evolution and sampling, the
+/// hot path this bench tracks.
+fn ghz_assertion(n: usize, design: Design) -> Circuit {
+    let mut c = states::ghz(n);
+    let probe = [0, n / 2, n - 1];
+    let spec = StateSpec::set(vec![CVector::basis_state(8, 0), CVector::basis_state(8, 7)])
+        .expect("ghz slice spec");
+    insert_assertion(&mut c, &probe, &spec, design).expect("assertion synthesis");
+    c
+}
+
+fn ghz_measured(n: usize) -> Circuit {
+    let mut c = states::ghz(n);
+    c.measure_all();
+    c
+}
+
+/// GHZ with a mid-circuit syndrome measurement and reset: forces the
+/// per-shot collapse path, where the cached unitary prefix pays off.
+fn ghz_midcircuit(n: usize) -> Circuit {
+    let mut c = Circuit::with_clbits(n, n + 1);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c.measure(n - 1, n).unwrap();
+    c.reset(n - 1).unwrap();
+    c.cx(n - 2, n - 1);
+    for q in 0..n {
+        c.measure(q, q).unwrap();
+    }
+    c
+}
+
+fn qft_measured(n: usize) -> Circuit {
+    let mut c = qft::qft(n);
+    c.measure_all();
+    c
+}
+
+fn workloads(short: bool) -> Vec<Workload> {
+    let s = |full: u64, smoke: u64| if short { smoke } else { full };
+    vec![
+        Workload {
+            name: "ghz16_terminal",
+            circuit: ghz_measured(16),
+            shots: s(8192, 128),
+            seed: 7,
+        },
+        Workload {
+            name: "ghz16_assert_ndd",
+            circuit: ghz_assertion(16, Design::Ndd),
+            shots: s(8192, 128),
+            seed: 7,
+        },
+        Workload {
+            name: "ghz12_midcircuit",
+            circuit: ghz_midcircuit(12),
+            shots: s(512, 16),
+            seed: 11,
+        },
+        Workload {
+            name: "qft8_terminal",
+            circuit: qft_measured(8),
+            shots: s(8192, 128),
+            seed: 13,
+        },
+    ]
+}
+
+/// Times `runs` repetitions of `f`, returning (best seconds, counts).
+fn time_best<F: FnMut() -> Counts>(runs: usize, mut f: F) -> (f64, Counts) {
+    let mut best = f64::INFINITY;
+    let mut counts = None;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let c = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        counts = Some(c);
+    }
+    (best, counts.expect("runs >= 1"))
+}
+
+fn engine_json(secs: f64, shots: u64, gate_evals: u64) -> String {
+    format!(
+        "{{\"secs\":{:.6},\"shots_per_s\":{:.1},\"gates_per_s\":{:.1}}}",
+        secs,
+        shots as f64 / secs,
+        gate_evals as f64 / secs
+    )
+}
+
+fn main() {
+    let mut short = false;
+    let mut out = String::from("BENCH_sim.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--short" => short = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let runs = if short { 1 } else { 3 };
+    let mut entries = Vec::new();
+    for w in workloads(short) {
+        let program = CompiledProgram::compile(&w.circuit).expect("compile");
+        let gates = w.circuit.gate_count() as u64;
+        // Terminal workloads evolve the circuit once regardless of shots;
+        // per-shot workloads re-apply every gate each shot.
+        let gate_evals = if program.is_terminal() {
+            gates
+        } else {
+            gates * w.shots
+        };
+        let (interp_secs, interp_counts) = time_best(runs, || {
+            StatevectorSimulator::with_seed(w.seed)
+                .run_interpreted(&w.circuit, w.shots)
+                .expect("interpreted run")
+        });
+        let (compiled_secs, compiled_counts) = time_best(runs, || {
+            StatevectorSimulator::with_seed(w.seed)
+                .run_compiled(&program, w.shots)
+                .expect("compiled run")
+        });
+        assert_eq!(
+            interp_counts, compiled_counts,
+            "{}: compiled counts diverged from interpreter — seed-compatibility broken",
+            w.name
+        );
+        let speedup = interp_secs / compiled_secs;
+        let classes: Vec<String> = program
+            .class_histogram()
+            .into_iter()
+            .map(|(class, count)| format!("{}:{}", json_string(class.name()), count))
+            .collect();
+        eprintln!(
+            "{:>18}  n={:<2} gates={:<4} shots={:<5} interp {:>9.3} ms  compiled {:>9.3} ms  {:>6.1}x",
+            w.name,
+            w.circuit.num_qubits(),
+            gates,
+            w.shots,
+            interp_secs * 1e3,
+            compiled_secs * 1e3,
+            speedup
+        );
+        entries.push(format!(
+            "{{\"name\":{},\"qubits\":{},\"gates\":{},\"shots\":{},\"terminal\":{},\"kernel_classes\":{{{}}},\"interpreted\":{},\"compiled\":{},\"speedup\":{:.2},\"identical\":true}}",
+            json_string(w.name),
+            w.circuit.num_qubits(),
+            gates,
+            w.shots,
+            program.is_terminal(),
+            classes.join(","),
+            engine_json(interp_secs, w.shots, gate_evals),
+            engine_json(compiled_secs, w.shots, gate_evals),
+            speedup
+        ));
+    }
+    let json = format!(
+        "{{\"bench\":\"sim_throughput\",\"short\":{},\"runs_per_engine\":{},\"workloads\":[{}]}}",
+        short,
+        runs,
+        entries.join(",")
+    );
+    std::fs::write(&out, format!("{json}\n")).expect("write BENCH_sim.json");
+    println!("{json}");
+}

@@ -515,10 +515,12 @@ impl Circuit {
     pub fn statevector(&self) -> Result<CVector, CircuitError> {
         let dim = 1usize << self.num_qubits;
         let mut state = CVector::basis_state(dim, 0);
+        let mut scratch = Vec::new();
         for inst in &self.instructions {
             match &inst.operation {
                 Operation::Gate(g) => {
-                    apply_gate_inplace(&mut state, &g.matrix(), &inst.qubits, self.num_qubits);
+                    crate::kernel::Kernel::for_gate(g, &inst.qubits, self.num_qubits)
+                        .apply(state.as_mut_slice(), &mut scratch);
                 }
                 Operation::Barrier => {}
                 Operation::Measure => {
@@ -871,6 +873,13 @@ mod tests {
             apply_gate_inplace(&mut fast, &g.matrix(), &[q0, q1], n);
             let slow = gate::embed(&g.matrix(), &[q0, q1], n).mul_vec(&state);
             assert!(fast.approx_eq(&slow, 1e-9));
+            // The compiled kernel must agree with both paths bitwise: Cu3
+            // lowers to the generic kernel, which replicates the legacy
+            // gather/accumulate order exactly.
+            let mut compiled = state.clone();
+            crate::kernel::Kernel::for_gate(&g, &[q0, q1], n)
+                .apply(compiled.as_mut_slice(), &mut Vec::new());
+            assert_eq!(compiled.as_slice(), fast.as_slice());
         }
     }
 

@@ -180,6 +180,16 @@ impl Gate {
         }
     }
 
+    /// Borrows the backing matrix of a [`Gate::Unitary`] without cloning;
+    /// `None` for named gates (use [`Gate::matrix`] to materialize those).
+    /// Lowering passes use this to avoid a per-instruction matrix copy.
+    pub fn unitary_matrix(&self) -> Option<&CMatrix> {
+        match self {
+            Gate::Unitary(m, _) => Some(m),
+            _ => None,
+        }
+    }
+
     /// The gate's unitary matrix in the big-endian qubit convention
     /// (qubit 0 of the gate = most significant bit).
     pub fn matrix(&self) -> CMatrix {

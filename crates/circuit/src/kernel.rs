@@ -1,0 +1,554 @@
+//! Specialized state-vector gate kernels.
+//!
+//! [`apply_gate_inplace`](crate::circuit::apply_gate_inplace) treats every
+//! gate as a dense `2ᵏ × 2ᵏ` matrix and pays the full `4ᵏ` complex
+//! multiply-accumulate per sub-block. Most gates in real circuits are far
+//! more structured, and a [`Kernel`] captures that structure once — at
+//! lowering time — so the per-shot hot loop runs the cheapest possible
+//! update:
+//!
+//! * [`KernelClass::Single`] — an in-place single-qubit butterfly
+//!   (4 multiplies, 2 adds per amplitude pair);
+//! * [`KernelClass::Diagonal`] — phase-only gates (`Z`, `S`, `T`, `Rz`,
+//!   `P`, `Cz`, `Cp`, `Crz`, `Ccz`): one multiply per amplitude, and
+//!   exact-unit diagonal entries are skipped entirely;
+//! * [`KernelClass::Permutation`] — classical bit-shuffles (`X`, `CX`,
+//!   `CCX`, `SWAP`, `CSWAP`): pure amplitude moves, no arithmetic;
+//! * [`KernelClass::Generic`] — the dense fallback, with its gather
+//!   offsets precomputed and its scratch buffer caller-provided.
+//!
+//! Classification is structural (from the matrix, not the gate name), so
+//! arbitrary [`Gate::Unitary`] gates and even non-unitary Kraus operators
+//! lower to the cheapest applicable kernel.
+//!
+//! # Numerical contract
+//!
+//! Every kernel performs arithmetic identical to the dense fallback up to
+//! the sign of zero components (the dense path folds exact-zero products
+//! into its accumulator; specialized kernels skip them). Probabilities
+//! (`|amp|²`) and every comparison derived from them are therefore
+//! bit-for-bit identical across kernel classes — the seed-compatibility
+//! contract the compiled execution engine in `qra-sim` relies on.
+
+use crate::Gate;
+use qra_math::{CMatrix, C64};
+
+/// The specialization a matrix lowered to; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelClass {
+    /// In-place single-qubit butterfly.
+    Single,
+    /// Phase-only diagonal update.
+    Diagonal,
+    /// Pure amplitude permutation.
+    Permutation,
+    /// Dense matrix fallback.
+    Generic,
+}
+
+impl KernelClass {
+    /// Short lowercase name used in reports and benches.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelClass::Single => "single",
+            KernelClass::Diagonal => "diagonal",
+            KernelClass::Permutation => "permutation",
+            KernelClass::Generic => "generic",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Body {
+    /// `k = 1` dense butterfly over amplitude pairs split by `mask`.
+    Single {
+        m00: C64,
+        m01: C64,
+        m10: C64,
+        m11: C64,
+        mask: usize,
+    },
+    /// `k = 1` diagonal: low half scaled by `d0`, high half by `d1`.
+    Diag1 { d0: C64, d1: C64, mask: usize },
+    /// `k ≥ 2` diagonal over the gathered sub-index.
+    Diagonal { diag: Vec<C64>, shifts: Vec<usize> },
+    /// Sub-block permutation: new sub-amplitude `r` reads old `src[r]`.
+    Permutation {
+        src: Vec<usize>,
+        offsets: Vec<usize>,
+        gate_mask: usize,
+    },
+    /// Dense fallback with precomputed scatter offsets.
+    Generic {
+        matrix: CMatrix,
+        offsets: Vec<usize>,
+        gate_mask: usize,
+    },
+}
+
+/// A gate lowered onto a fixed qubit tuple of a fixed-width register,
+/// ready for repeated O(2ⁿ) in-place application.
+///
+/// ```rust
+/// use qra_circuit::kernel::{Kernel, KernelClass};
+/// use qra_circuit::Gate;
+/// use qra_math::CVector;
+///
+/// let k = Kernel::for_gate(&Gate::Cx, &[0, 1], 2);
+/// assert_eq!(k.class(), KernelClass::Permutation);
+/// let mut state = CVector::basis_state(4, 0b10).into_inner();
+/// let mut scratch = Vec::new();
+/// k.apply(&mut state, &mut scratch);
+/// assert_eq!(state[0b11], qra_math::C64::one());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    body: Body,
+    dim: usize,
+}
+
+fn exact_zero(z: C64) -> bool {
+    z.re == 0.0 && z.im == 0.0
+}
+
+fn exact_one(z: C64) -> bool {
+    z.re == 1.0 && z.im == 0.0
+}
+
+impl Kernel {
+    /// Lowers `gate` applied on `qubits` (gate order) of an `n`-qubit
+    /// register. Arbitrary-unitary gates lower without cloning their
+    /// backing matrix unless the dense fallback is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or invalid qubit indices, exactly like
+    /// [`crate::circuit::apply_gate_inplace`].
+    pub fn for_gate(gate: &Gate, qubits: &[usize], n: usize) -> Kernel {
+        match gate.unitary_matrix() {
+            Some(m) => Self::from_matrix(m, qubits, n),
+            None => Self::from_matrix(&gate.matrix(), qubits, n),
+        }
+    }
+
+    /// Lowers an explicit `2ᵏ × 2ᵏ` matrix (not necessarily unitary — Kraus
+    /// operators lower too) applied on `qubits` of an `n`-qubit register.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or invalid qubit indices.
+    pub fn from_matrix(matrix: &CMatrix, qubits: &[usize], n: usize) -> Kernel {
+        let k = qubits.len();
+        let sub_dim = 1usize << k;
+        assert_eq!(matrix.rows(), sub_dim, "gate dimension mismatch");
+        for (i, &q) in qubits.iter().enumerate() {
+            assert!(q < n, "qubit {q} out of range for {n} qubits");
+            assert!(!qubits[..i].contains(&q), "duplicate qubit {q}");
+        }
+        let dim = 1usize << n;
+        // Bit positions (from the most significant end) of each gate qubit.
+        let shifts: Vec<usize> = qubits.iter().map(|&q| n - 1 - q).collect();
+        let gate_mask: usize = shifts.iter().map(|&s| 1usize << s).sum();
+        // offsets[s]: the full-index bits contributed by sub-index `s`.
+        let offsets: Vec<usize> = (0..sub_dim)
+            .map(|s| {
+                let mut off = 0usize;
+                for (pos, &sh) in shifts.iter().enumerate() {
+                    if (s >> (k - 1 - pos)) & 1 == 1 {
+                        off |= 1 << sh;
+                    }
+                }
+                off
+            })
+            .collect();
+
+        let body = if is_diagonal(matrix) {
+            let diag: Vec<C64> = (0..sub_dim).map(|r| matrix.get(r, r)).collect();
+            if k == 1 {
+                Body::Diag1 {
+                    d0: diag[0],
+                    d1: diag[1],
+                    mask: gate_mask,
+                }
+            } else {
+                Body::Diagonal { diag, shifts }
+            }
+        } else if let Some(src) = as_permutation(matrix) {
+            Body::Permutation {
+                src,
+                offsets,
+                gate_mask,
+            }
+        } else if k == 1 {
+            Body::Single {
+                m00: matrix.get(0, 0),
+                m01: matrix.get(0, 1),
+                m10: matrix.get(1, 0),
+                m11: matrix.get(1, 1),
+                mask: gate_mask,
+            }
+        } else {
+            Body::Generic {
+                matrix: matrix.clone(),
+                offsets,
+                gate_mask,
+            }
+        };
+        Kernel { body, dim }
+    }
+
+    /// The specialization class this kernel lowered to.
+    pub fn class(&self) -> KernelClass {
+        match &self.body {
+            Body::Single { .. } => KernelClass::Single,
+            Body::Diag1 { .. } | Body::Diagonal { .. } => KernelClass::Diagonal,
+            Body::Permutation { .. } => KernelClass::Permutation,
+            Body::Generic { .. } => KernelClass::Generic,
+        }
+    }
+
+    /// The full register dimension (`2ⁿ`) this kernel was lowered for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Applies the kernel to `state` in place. `scratch` is a reusable
+    /// buffer (grown on demand, never shrunk) so repeated application
+    /// allocates nothing after the first call.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state.len()` disagrees with the lowered dimension.
+    pub fn apply(&self, state: &mut [C64], scratch: &mut Vec<C64>) {
+        assert_eq!(state.len(), self.dim, "state dimension mismatch");
+        match &self.body {
+            Body::Single {
+                m00,
+                m01,
+                m10,
+                m11,
+                mask,
+            } => {
+                let pair = mask << 1;
+                let mut base = 0usize;
+                while base < self.dim {
+                    for i in base..base + mask {
+                        let a0 = state[i];
+                        let a1 = state[i + mask];
+                        state[i] = *m00 * a0 + *m01 * a1;
+                        state[i + mask] = *m10 * a0 + *m11 * a1;
+                    }
+                    base += pair;
+                }
+            }
+            Body::Diag1 { d0, d1, mask } => {
+                let pair = mask << 1;
+                let scale0 = !exact_one(*d0);
+                let scale1 = !exact_one(*d1);
+                let mut base = 0usize;
+                while base < self.dim {
+                    if scale0 {
+                        for amp in &mut state[base..base + mask] {
+                            *amp *= *d0;
+                        }
+                    }
+                    if scale1 {
+                        for amp in &mut state[base + mask..base + pair] {
+                            *amp *= *d1;
+                        }
+                    }
+                    base += pair;
+                }
+            }
+            Body::Diagonal { diag, shifts } => {
+                let k = shifts.len();
+                for (i, amp) in state.iter_mut().enumerate() {
+                    let mut s = 0usize;
+                    for (pos, &sh) in shifts.iter().enumerate() {
+                        s |= ((i >> sh) & 1) << (k - 1 - pos);
+                    }
+                    let d = diag[s];
+                    if !exact_one(d) {
+                        *amp *= d;
+                    }
+                }
+            }
+            Body::Permutation {
+                src,
+                offsets,
+                gate_mask,
+            } => {
+                let sub_dim = offsets.len();
+                if scratch.len() < sub_dim {
+                    scratch.resize(sub_dim, C64::zero());
+                }
+                let mut base = 0usize;
+                loop {
+                    for (slot, &s) in scratch[..sub_dim].iter_mut().zip(src.iter()) {
+                        *slot = state[base | offsets[s]];
+                    }
+                    for (&off, &amp) in offsets.iter().zip(scratch[..sub_dim].iter()) {
+                        state[base | off] = amp;
+                    }
+                    base = (base | gate_mask).wrapping_add(1) & !gate_mask;
+                    if base == 0 || base >= self.dim {
+                        break;
+                    }
+                }
+            }
+            Body::Generic {
+                matrix,
+                offsets,
+                gate_mask,
+            } => {
+                let sub_dim = offsets.len();
+                if scratch.len() < sub_dim {
+                    scratch.resize(sub_dim, C64::zero());
+                }
+                let mut base = 0usize;
+                loop {
+                    for (slot, &off) in scratch[..sub_dim].iter_mut().zip(offsets.iter()) {
+                        *slot = state[base | off];
+                    }
+                    for (r, &off) in offsets.iter().enumerate() {
+                        let mut acc = C64::zero();
+                        for (c, &amp) in scratch[..sub_dim].iter().enumerate() {
+                            acc += matrix.get(r, c) * amp;
+                        }
+                        state[base | off] = acc;
+                    }
+                    base = (base | gate_mask).wrapping_add(1) & !gate_mask;
+                    if base == 0 || base >= self.dim {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `true` when every off-diagonal entry is exactly zero.
+fn is_diagonal(m: &CMatrix) -> bool {
+    let d = m.rows();
+    for r in 0..d {
+        for c in 0..d {
+            if r != c && !exact_zero(m.get(r, c)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// When `m` is an exact 0/1 permutation matrix, returns `src` with
+/// `src[r] = c` for the unique `c` with `m[r][c] = 1`; `None` otherwise.
+fn as_permutation(m: &CMatrix) -> Option<Vec<usize>> {
+    let d = m.rows();
+    let mut src = Vec::with_capacity(d);
+    let mut used = vec![false; d];
+    for r in 0..d {
+        let mut found: Option<usize> = None;
+        for c in 0..d {
+            let z = m.get(r, c);
+            if exact_zero(z) {
+                continue;
+            }
+            if !exact_one(z) || found.is_some() {
+                return None;
+            }
+            found = Some(c);
+        }
+        let c = found?;
+        if used[c] {
+            return None;
+        }
+        used[c] = true;
+        src.push(c);
+    }
+    Some(src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::embed;
+    use qra_math::CVector;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_state(rng: &mut StdRng, dim: usize) -> CVector {
+        let raw: Vec<C64> = (0..dim)
+            .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        CVector::new(raw).normalized().unwrap()
+    }
+
+    fn distinct_qubits(rng: &mut StdRng, k: usize, n: usize) -> Vec<usize> {
+        let mut qs: Vec<usize> = Vec::new();
+        while qs.len() < k {
+            let q = rng.gen_range(0..n);
+            if !qs.contains(&q) {
+                qs.push(q);
+            }
+        }
+        qs
+    }
+
+    #[test]
+    fn classification_per_gate() {
+        let n = 3;
+        let cases = [
+            (Gate::H, vec![0], KernelClass::Single),
+            (Gate::Y, vec![1], KernelClass::Single),
+            (Gate::Rx(0.3), vec![2], KernelClass::Single),
+            (Gate::Z, vec![0], KernelClass::Diagonal),
+            (Gate::S, vec![1], KernelClass::Diagonal),
+            (Gate::T, vec![1], KernelClass::Diagonal),
+            (Gate::Rz(0.7), vec![2], KernelClass::Diagonal),
+            (Gate::Phase(0.4), vec![0], KernelClass::Diagonal),
+            (Gate::Cz, vec![0, 1], KernelClass::Diagonal),
+            (Gate::Cp(0.2), vec![1, 2], KernelClass::Diagonal),
+            (Gate::Crz(0.9), vec![0, 2], KernelClass::Diagonal),
+            (Gate::Ccz, vec![0, 1, 2], KernelClass::Diagonal),
+            (Gate::X, vec![0], KernelClass::Permutation),
+            (Gate::Cx, vec![0, 1], KernelClass::Permutation),
+            (Gate::Swap, vec![1, 2], KernelClass::Permutation),
+            (Gate::Ccx, vec![0, 1, 2], KernelClass::Permutation),
+            (Gate::Cswap, vec![0, 1, 2], KernelClass::Permutation),
+            (Gate::Ch, vec![0, 1], KernelClass::Generic),
+            (Gate::Cu3(0.1, 0.2, 0.3), vec![1, 0], KernelClass::Generic),
+        ];
+        for (gate, qubits, class) in cases {
+            let kernel = Kernel::for_gate(&gate, &qubits, n);
+            assert_eq!(kernel.class(), class, "{gate} misclassified");
+        }
+    }
+
+    #[test]
+    fn identity_is_skipped_diagonal() {
+        let k = Kernel::for_gate(&Gate::I, &[0], 2);
+        assert_eq!(k.class(), KernelClass::Diagonal);
+        let mut state = CVector::basis_state(4, 3).into_inner();
+        let before = state.clone();
+        k.apply(&mut state, &mut Vec::new());
+        assert_eq!(state, before);
+    }
+
+    /// Every kernel class must agree with the dense embedding on random
+    /// states and random qubit placements — the compiled-engine analogue of
+    /// `apply_gate_inplace_matches_embed`.
+    #[test]
+    fn kernels_match_embed_across_classes() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let n = 5;
+        let dim = 1 << n;
+        let gates: Vec<Gate> = vec![
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Tdg,
+            Gate::Sx,
+            Gate::Rz(1.3),
+            Gate::Ry(-0.8),
+            Gate::Phase(2.2),
+            Gate::U3(0.4, 1.0, -0.5),
+            Gate::Cx,
+            Gate::Cz,
+            Gate::Swap,
+            Gate::Ch,
+            Gate::Cp(0.6),
+            Gate::Crz(-1.1),
+            Gate::Cu3(0.3, 0.2, 0.1),
+            Gate::Ccx,
+            Gate::Ccz,
+            Gate::Cswap,
+        ];
+        let mut scratch = Vec::new();
+        for gate in &gates {
+            for _ in 0..4 {
+                let qubits = distinct_qubits(&mut rng, gate.num_qubits(), n);
+                let state = random_state(&mut rng, dim);
+                let mut fast = state.clone().into_inner();
+                Kernel::for_gate(gate, &qubits, n).apply(&mut fast, &mut scratch);
+                let slow = embed(&gate.matrix(), &qubits, n).mul_vec(&state);
+                assert!(
+                    CVector::new(fast).approx_eq(&slow, 1e-9),
+                    "{gate} on {qubits:?} diverged from embedding"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kraus_like_non_unitary_matrices_lower() {
+        // Phase-damping K0 = diag(1, √(1-p)) is non-unitary but diagonal.
+        let k0 = CMatrix::diagonal(&[C64::one(), C64::from(0.8f64.sqrt())]);
+        let kernel = Kernel::from_matrix(&k0, &[1], 2);
+        assert_eq!(kernel.class(), KernelClass::Diagonal);
+        // Amplitude-damping K1 = |0⟩⟨1|·√γ is non-unitary and dense.
+        let k1 = CMatrix::new(
+            2,
+            2,
+            vec![
+                C64::zero(),
+                C64::from(0.3f64.sqrt()),
+                C64::zero(),
+                C64::zero(),
+            ],
+        );
+        let kernel = Kernel::from_matrix(&k1, &[0], 2);
+        assert_eq!(kernel.class(), KernelClass::Single);
+        let mut state = CVector::basis_state(4, 0b10).into_inner();
+        kernel.apply(&mut state, &mut Vec::new());
+        assert!((state[0b00].re - 0.3f64.sqrt()).abs() < 1e-12);
+        assert!(exact_zero(state[0b10]));
+    }
+
+    #[test]
+    fn generic_matches_apply_gate_inplace_bitwise() {
+        // The dense fallback must reproduce the legacy work-horse exactly
+        // (not just approximately): same gather order, same accumulation.
+        let mut rng = StdRng::seed_from_u64(33);
+        let n = 4;
+        let dim = 1 << n;
+        let mut scratch = Vec::new();
+        for _ in 0..8 {
+            let qubits = distinct_qubits(&mut rng, 2, n);
+            let g = Gate::Cu3(
+                rng.gen_range(0.0..3.0),
+                rng.gen_range(0.0..3.0),
+                rng.gen_range(0.0..3.0),
+            );
+            let state = random_state(&mut rng, dim);
+            let mut fast = state.clone().into_inner();
+            Kernel::from_matrix(&g.matrix(), &qubits, n).apply(&mut fast, &mut scratch);
+            let mut slow = state.clone();
+            crate::circuit::apply_gate_inplace(&mut slow, &g.matrix(), &qubits, n);
+            assert_eq!(fast, slow.into_inner(), "generic kernel drifted");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_wrong_state_dimension() {
+        let k = Kernel::for_gate(&Gate::H, &[0], 2);
+        let mut state = vec![C64::zero(); 2];
+        k.apply(&mut state, &mut Vec::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_duplicate_qubits() {
+        let _ = Kernel::for_gate(&Gate::Cx, &[1, 1], 2);
+    }
+
+    #[test]
+    fn class_names() {
+        assert_eq!(KernelClass::Single.name(), "single");
+        assert_eq!(KernelClass::Diagonal.name(), "diagonal");
+        assert_eq!(KernelClass::Permutation.name(), "permutation");
+        assert_eq!(KernelClass::Generic.name(), "generic");
+    }
+}

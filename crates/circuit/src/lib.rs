@@ -36,6 +36,7 @@ pub mod cost;
 pub mod error;
 pub mod gate;
 pub mod instruction;
+pub mod kernel;
 pub mod passes;
 pub mod qasm;
 pub mod qasm_parser;
@@ -47,4 +48,5 @@ pub use cost::GateCounts;
 pub use error::CircuitError;
 pub use gate::Gate;
 pub use instruction::{Instruction, Operation};
+pub use kernel::{Kernel, KernelClass};
 pub use register::{ClassicalRegister, QuantumRegister};

@@ -22,7 +22,8 @@ use qra_circuit::{Circuit, GateCounts};
 use qra_core::baselines::statistical_assertion;
 use qra_core::{insert_assertion, Design, StateSpec};
 use qra_sim::{
-    Counts, DensityMatrixSimulator, NoiseModel, SimError, StatevectorSimulator, TrajectorySimulator,
+    CompiledProgram, Counts, DensityMatrixSimulator, NoiseModel, SimError, StatevectorSimulator,
+    TrajectorySimulator,
 };
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -287,7 +288,11 @@ pub fn default_executor(
 ) -> Result<(Counts, BackendKind), SimError> {
     let n = circuit.num_qubits() as u32;
     if config.noise.is_ideal() {
-        let counts = StatevectorSimulator::with_seed(seed).run(circuit, config.shots)?;
+        // Lower once, then execute: every campaign cell re-runs the same
+        // mutant circuit for thousands of shots, so the kernel lowering is
+        // amortized across the whole cell.
+        let program = CompiledProgram::compile(circuit)?;
+        let counts = StatevectorSimulator::with_seed(seed).run_compiled(&program, config.shots)?;
         return Ok((counts, BackendKind::Statevector));
     }
     let density_bytes = 16u128.checked_shl(2 * n).unwrap_or(u128::MAX);

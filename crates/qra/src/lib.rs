@@ -58,6 +58,7 @@ pub mod prelude {
     };
     pub use qra_math::{CMatrix, CVector, C64};
     pub use qra_sim::{
-        Counts, DensityMatrixSimulator, DevicePreset, NoiseModel, StatevectorSimulator,
+        CompiledProgram, Counts, DensityMatrixSimulator, DevicePreset, NoiseModel,
+        StatevectorSimulator,
     };
 }

@@ -32,6 +32,7 @@
 pub mod counts;
 pub mod density;
 pub mod error;
+pub mod exec;
 pub mod noise;
 pub mod states;
 pub mod statevector;
@@ -40,6 +41,7 @@ pub mod trajectory;
 pub use counts::Counts;
 pub use density::DensityMatrixSimulator;
 pub use error::SimError;
+pub use exec::CompiledProgram;
 pub use noise::{DevicePreset, NoiseModel};
 pub use statevector::StatevectorSimulator;
 pub use trajectory::TrajectorySimulator;

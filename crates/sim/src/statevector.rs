@@ -1,5 +1,14 @@
 //! Noise-free state-vector simulation with shot sampling.
+//!
+//! [`StatevectorSimulator::run`] lowers the circuit through
+//! [`CompiledProgram::compile`] and executes kernel ops; the original
+//! instruction-walking interpreter survives as
+//! [`StatevectorSimulator::run_interpreted`] — the reference implementation
+//! the compiled engine is tested bit-for-bit against
+//! (`tests/compiled_identity.rs`) and benchmarked over
+//! (`qra-bench/src/bin/sim_throughput.rs`).
 
+use crate::exec::{CompiledProgram, ExecOp, MAX_CLBITS, MAX_QUBITS};
 use crate::{Counts, SimError};
 use qra_circuit::circuit::apply_gate_inplace;
 use qra_circuit::{Circuit, Operation};
@@ -7,8 +16,10 @@ use qra_math::{CVector, C64};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Maximum supported width (2²⁴ amplitudes ≈ 256 MiB).
-const MAX_QUBITS: usize = 24;
+/// Largest dimension for which the terminal path precomputes the full
+/// outcome → classical-key table (2¹⁶ entries ≈ 512 KiB); wider registers
+/// fall back to per-shot key assembly from precomputed bit shifts.
+const KEY_TABLE_MAX_DIM: usize = 1 << 16;
 
 /// An exact state-vector simulator supporting mid-circuit measurement and
 /// reset via per-shot collapse, the Rust counterpart of the paper's Qiskit
@@ -67,15 +78,155 @@ impl StatevectorSimulator {
     /// Runs the circuit for `shots` shots and histograms the classical
     /// outcomes.
     ///
-    /// When every measurement is terminal (no gate touches a measured qubit
-    /// afterwards), the final distribution is sampled directly; otherwise
-    /// each shot replays the circuit with per-measurement collapse.
+    /// The circuit is lowered once ([`CompiledProgram::compile`]) and the
+    /// compiled program executed; callers amortizing one circuit over many
+    /// runs should compile themselves and use
+    /// [`StatevectorSimulator::run_compiled`].
     ///
     /// # Errors
     ///
     /// * [`SimError::TooManyQubits`] beyond 24 qubits;
     /// * [`SimError::Circuit`] for invalid circuits.
     pub fn run(&mut self, circuit: &Circuit, shots: u64) -> Result<Counts, SimError> {
+        let program = CompiledProgram::compile(circuit)?;
+        self.run_compiled(&program, shots)
+    }
+
+    /// Executes a pre-lowered program for `shots` shots.
+    ///
+    /// Seed-compatible with [`StatevectorSimulator::run_interpreted`]: the
+    /// same seed yields bit-for-bit identical [`Counts`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidProbability`] if the state degenerates (e.g. a
+    ///   non-unitary custom gate).
+    pub fn run_compiled(
+        &mut self,
+        program: &CompiledProgram,
+        shots: u64,
+    ) -> Result<Counts, SimError> {
+        if program.is_terminal() {
+            self.run_compiled_terminal(program, shots)
+        } else {
+            self.run_compiled_per_shot(program, shots)
+        }
+    }
+
+    /// All measurements terminal: evolve once, sample the distribution.
+    fn run_compiled_terminal(
+        &mut self,
+        program: &CompiledProgram,
+        shots: u64,
+    ) -> Result<Counts, SimError> {
+        let n = program.num_qubits();
+        let dim = program.dim();
+        let mut state = CVector::basis_state(dim, 0);
+        let mut scratch = Vec::new();
+        for op in program.ops() {
+            if let ExecOp::Apply(k) = op {
+                k.apply(state.as_mut_slice(), &mut scratch);
+            }
+        }
+        // In-place cumulative table: cum[i] = p₀ + … + pᵢ with the same
+        // left-to-right association as `iter().sum()`, so `cum[dim-1]` is
+        // bit-identical to the interpreter's total.
+        let mut cum = state.probabilities();
+        for i in 1..dim {
+            cum[i] += cum[i - 1];
+        }
+        let total = cum[dim - 1].max(f64::MIN_POSITIVE);
+        let mut counts = Counts::new(program.num_clbits());
+        if dim <= KEY_TABLE_MAX_DIM {
+            // Precompute outcome → key once, histogram outcome indices,
+            // then bulk-record (BTreeMap contents are insertion-order
+            // independent, so Counts stay byte-identical).
+            let key_table = build_key_table(program.measures(), n, dim);
+            let mut hist = vec![0u64; dim];
+            for _ in 0..shots {
+                hist[sample_cumulative(&cum, total, &mut self.rng)] += 1;
+            }
+            for (i, &h) in hist.iter().enumerate() {
+                if h > 0 {
+                    counts.record(key_table[i], h);
+                }
+            }
+        } else {
+            // Wide registers: avoid the 2ⁿ table, assemble keys per shot
+            // from precomputed (shift, clbit-bit) pairs.
+            let shifts: Vec<(usize, u64)> = program
+                .measures()
+                .iter()
+                .map(|&(q, c)| (n - 1 - q, 1u64 << c))
+                .collect();
+            for _ in 0..shots {
+                let outcome = sample_cumulative(&cum, total, &mut self.rng);
+                let mut key = 0u64;
+                for &(shift, bit) in &shifts {
+                    if (outcome >> shift) & 1 == 1 {
+                        key |= bit;
+                    }
+                }
+                counts.record(key, 1);
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Mid-circuit measurement/reset: per-shot replay with collapse, with
+    /// the unitary prefix evolved once and cloned into each shot.
+    fn run_compiled_per_shot(
+        &mut self,
+        program: &CompiledProgram,
+        shots: u64,
+    ) -> Result<Counts, SimError> {
+        let dim = program.dim();
+        let mut scratch = Vec::new();
+        // Evolve the leading unitary run once; it consumes no randomness,
+        // so caching it preserves the per-shot RNG draw order exactly.
+        let mut prefix = CVector::basis_state(dim, 0);
+        for op in &program.ops()[..program.prefix_len()] {
+            if let ExecOp::Apply(k) = op {
+                k.apply(prefix.as_mut_slice(), &mut scratch);
+            }
+        }
+        let suffix = &program.ops()[program.prefix_len()..];
+        let mut counts = Counts::new(program.num_clbits());
+        let mut state = prefix.clone();
+        for _ in 0..shots {
+            state.as_mut_slice().copy_from_slice(prefix.as_slice());
+            let mut key = 0u64;
+            for op in suffix {
+                match op {
+                    ExecOp::Apply(k) => k.apply(state.as_mut_slice(), &mut scratch),
+                    ExecOp::Measure { mask, clbit_bit } => {
+                        if collapse_mask(&mut state, *mask, &mut self.rng)? == 1 {
+                            key |= clbit_bit;
+                        } else {
+                            key &= !clbit_bit;
+                        }
+                    }
+                    ExecOp::Reset { mask, flip } => {
+                        if collapse_mask(&mut state, *mask, &mut self.rng)? == 1 {
+                            flip.apply(state.as_mut_slice(), &mut scratch);
+                        }
+                    }
+                }
+            }
+            counts.record(key, 1);
+        }
+        Ok(counts)
+    }
+
+    /// Runs the circuit through the original instruction-walking
+    /// interpreter. Kept as the reference implementation for the
+    /// compiled-vs-interpreter identity tests and throughput baselines;
+    /// same seed ⇒ same [`Counts`] as [`StatevectorSimulator::run`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`StatevectorSimulator::run`].
+    pub fn run_interpreted(&mut self, circuit: &Circuit, shots: u64) -> Result<Counts, SimError> {
         check_width(circuit)?;
         if measurements_are_terminal(circuit) {
             self.run_terminal(circuit, shots)
@@ -163,10 +314,10 @@ fn check_width(circuit: &Circuit) -> Result<(), SimError> {
             max: MAX_QUBITS,
         });
     }
-    if circuit.num_clbits() > 64 {
+    if circuit.num_clbits() > MAX_CLBITS {
         return Err(SimError::TooManyClbits {
             num_clbits: circuit.num_clbits(),
-            max: 64,
+            max: MAX_CLBITS,
         });
     }
     Ok(())
@@ -175,18 +326,21 @@ fn check_width(circuit: &Circuit) -> Result<(), SimError> {
 /// Returns `true` when no gate or reset acts on any qubit after it has been
 /// measured (so sampling the final distribution once is exact).
 fn measurements_are_terminal(circuit: &Circuit) -> bool {
-    let mut measured: Vec<usize> = Vec::new();
+    // Measured-qubit set as a bitmask (width ≤ 24 fits u32) instead of the
+    // former O(m²) Vec::contains scans.
+    let mut measured = 0u32;
     for inst in circuit.instructions() {
         match &inst.operation {
             Operation::Measure => {
-                if measured.contains(&inst.qubits[0]) {
+                let bit = 1u32 << inst.qubits[0];
+                if measured & bit != 0 {
                     return false; // double measurement needs collapse order
                 }
-                measured.push(inst.qubits[0]);
+                measured |= bit;
             }
             Operation::Reset => return false,
             Operation::Gate(_) => {
-                if inst.qubits.iter().any(|q| measured.contains(q)) {
+                if inst.qubits.iter().any(|&q| measured & (1 << q) != 0) {
                     return false;
                 }
             }
@@ -194,6 +348,32 @@ fn measurements_are_terminal(circuit: &Circuit) -> bool {
         }
     }
     true
+}
+
+/// Precomputes the classical key for every basis outcome.
+fn build_key_table(measures: &[(usize, usize)], n: usize, dim: usize) -> Vec<u64> {
+    let shifts: Vec<(usize, u64)> = measures
+        .iter()
+        .map(|&(q, c)| (n - 1 - q, 1u64 << c))
+        .collect();
+    (0..dim)
+        .map(|outcome| {
+            let mut key = 0u64;
+            for &(shift, bit) in &shifts {
+                if (outcome >> shift) & 1 == 1 {
+                    key |= bit;
+                }
+            }
+            key
+        })
+        .collect()
+}
+
+/// Samples an index from a cumulative probability table in O(log dim):
+/// the first `i` with `r < cum[i]`, matching the linear scan's semantics.
+fn sample_cumulative(cum: &[f64], total: f64, rng: &mut StdRng) -> usize {
+    let r = rng.gen_range(0.0..total);
+    cum.partition_point(|&c| c <= r).min(cum.len() - 1)
 }
 
 /// Samples an index from an (unnormalised-tolerant) probability table.
@@ -209,9 +389,13 @@ fn sample_index(probs: &[f64], rng: &mut StdRng) -> usize {
     probs.len() - 1
 }
 
-/// Projectively measures `qubit`, collapsing the state; returns the bit.
-fn collapse(state: &mut CVector, qubit: usize, n: usize, rng: &mut StdRng) -> Result<u8, SimError> {
-    let mask = 1usize << (n - 1 - qubit);
+/// Projectively measures the qubit selected by `mask`, collapsing the
+/// state; returns the bit. Shared with the trajectory back-end.
+pub(crate) fn collapse_mask(
+    state: &mut CVector,
+    mask: usize,
+    rng: &mut StdRng,
+) -> Result<u8, SimError> {
     let mut p1 = 0.0;
     for (i, amp) in state.iter().enumerate() {
         if i & mask != 0 {
@@ -238,6 +422,11 @@ fn collapse(state: &mut CVector, qubit: usize, n: usize, rng: &mut StdRng) -> Re
         }
     }
     Ok(outcome)
+}
+
+/// Projectively measures `qubit`, collapsing the state; returns the bit.
+fn collapse(state: &mut CVector, qubit: usize, n: usize, rng: &mut StdRng) -> Result<u8, SimError> {
+    collapse_mask(state, 1usize << (n - 1 - qubit), rng)
 }
 
 #[cfg(test)]
@@ -342,6 +531,10 @@ mod tests {
             StatevectorSimulator::new().evolve(&c),
             Err(SimError::TooManyQubits { .. })
         ));
+        assert!(matches!(
+            StatevectorSimulator::new().run(&c, 1),
+            Err(SimError::TooManyQubits { .. })
+        ));
     }
 
     #[test]
@@ -352,5 +545,47 @@ mod tests {
         c.measure(0, 0).unwrap();
         let counts = StatevectorSimulator::with_seed(8).run(&c, 4000).unwrap();
         assert!((counts.frequency("0").unwrap() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_terminal() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).t(2).s(1);
+        c.measure_all();
+        let fast = StatevectorSimulator::with_seed(77).run(&c, 4096).unwrap();
+        let slow = StatevectorSimulator::with_seed(77)
+            .run_interpreted(&c, 4096)
+            .unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_per_shot() {
+        let mut c = Circuit::with_clbits(2, 3);
+        c.h(0).cx(0, 1);
+        c.measure(0, 0).unwrap();
+        c.h(1);
+        c.measure(1, 1).unwrap();
+        c.reset(0).unwrap();
+        c.h(0);
+        c.measure(0, 2).unwrap();
+        let fast = StatevectorSimulator::with_seed(13).run(&c, 2048).unwrap();
+        let slow = StatevectorSimulator::with_seed(13)
+            .run_interpreted(&c, 2048)
+            .unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn run_compiled_reusable_across_runs() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c.measure_all();
+        let program = CompiledProgram::compile(&c).unwrap();
+        let a = StatevectorSimulator::with_seed(4)
+            .run_compiled(&program, 512)
+            .unwrap();
+        let b = StatevectorSimulator::with_seed(4).run(&c, 512).unwrap();
+        assert_eq!(a, b);
     }
 }

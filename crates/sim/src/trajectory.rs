@@ -5,11 +5,21 @@
 //! a state vector (`2ⁿ`), trading exactness for width. Averaged over
 //! shots, trajectories converge to the density-matrix distribution —
 //! `tests/integration_noise.rs` and the module tests verify the agreement.
+//!
+//! Like the state-vector back-end, the trajectory loop runs compiled: the
+//! circuit is lowered once per [`TrajectorySimulator::run`] call — every
+//! gate and every Kraus operator of every noise site becomes a specialized
+//! [`Kernel`] bound to its qubit tuple — and shots replay the lowered plan.
+//! When no gate-level noise channel is active (each gate op carries zero
+//! noise sites), the leading unitary run is evolved once and cloned into
+//! each shot; noise sites and measurements draw RNG in the exact order of
+//! the original interpreter, so seeded runs stay bit-for-bit compatible.
 
 use crate::noise::{KrausChannel, NoiseModel};
+use crate::statevector::collapse_mask;
 use crate::{Counts, SimError};
-use qra_circuit::circuit::apply_gate_inplace;
-use qra_circuit::{Circuit, Operation};
+use qra_circuit::kernel::Kernel;
+use qra_circuit::{Circuit, Gate, Operation};
 use qra_math::{CVector, C64};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -36,7 +46,35 @@ const MAX_QUBITS: usize = 20;
 pub struct TrajectorySimulator {
     noise: NoiseModel,
     rng: StdRng,
+    /// Full-dimension buffer for trial Kraus applications.
     scratch: Vec<C64>,
+    /// Sub-block buffer shared by all kernel applications.
+    kscratch: Vec<C64>,
+}
+
+/// One lowered instruction of the trajectory plan.
+#[derive(Debug)]
+enum TrajOp {
+    /// A gate kernel followed by its noise sites in interpreter order.
+    Gate {
+        kernel: Kernel,
+        noise: Vec<NoiseSite>,
+    },
+    /// Collapse + readout confusion, updating `clbit_bit` in the key.
+    Measure { mask: usize, clbit_bit: u64 },
+    /// Collapse; apply `flip` (a lowered X) on `|1⟩`.
+    Reset { mask: usize, flip: Kernel },
+}
+
+/// One channel application point: every Kraus operator pre-lowered to the
+/// site's qubit tuple, plus the state-independent weights when the channel
+/// is scaled-unitary.
+#[derive(Debug)]
+struct NoiseSite {
+    kernels: Vec<Kernel>,
+    /// `Some` for scaled-unitary channels (depolarizing): sample a branch
+    /// from fixed weights, one application, no trial states.
+    weights: Option<Vec<f64>>,
 }
 
 impl TrajectorySimulator {
@@ -46,6 +84,7 @@ impl TrajectorySimulator {
             noise,
             rng: StdRng::seed_from_u64(seed),
             scratch: Vec::new(),
+            kscratch: Vec::new(),
         }
     }
 
@@ -83,34 +122,76 @@ impl TrajectorySimulator {
         let damp2 = PreparedChannel::build(self.noise.damping_2q, KrausChannel::amplitude_damping)?;
         let deph = PreparedChannel::build(self.noise.dephasing, KrausChannel::phase_damping)?;
 
-        let dim = 1usize << n;
-        let mut counts = Counts::new(circuit.num_clbits());
-        for _ in 0..shots {
-            let mut state = CVector::basis_state(dim, 0);
-            let mut key = 0u64;
-            for inst in circuit.instructions() {
-                match &inst.operation {
-                    Operation::Barrier => {}
-                    Operation::Gate(g) => {
-                        apply_gate_inplace(&mut state, &g.matrix(), &inst.qubits, n);
-                        if inst.qubits.len() == 1 {
-                            self.apply_channel(&mut state, &depol1, &inst.qubits, n)?;
-                            self.apply_channel(&mut state, &damp1, &inst.qubits, n)?;
-                            self.apply_channel(&mut state, &deph, &inst.qubits, n)?;
-                        } else {
-                            for pair in inst.qubits.windows(2) {
-                                self.apply_channel(&mut state, &depol2, pair, n)?;
-                            }
-                            for &q in &inst.qubits {
-                                self.apply_channel(&mut state, &damp2, &[q], n)?;
-                                self.apply_channel(&mut state, &deph, &[q], n)?;
-                            }
+        // Lower the circuit once: gates and Kraus operators become kernels
+        // bound to their qubit tuples, in the exact application order of
+        // the former per-shot interpreter.
+        let mut plan: Vec<TrajOp> = Vec::new();
+        for inst in circuit.instructions() {
+            match &inst.operation {
+                Operation::Barrier => {}
+                Operation::Gate(g) => {
+                    let kernel = Kernel::for_gate(g, &inst.qubits, n);
+                    let mut noise = Vec::new();
+                    if inst.qubits.len() == 1 {
+                        push_site(&mut noise, &depol1, &inst.qubits, n);
+                        push_site(&mut noise, &damp1, &inst.qubits, n);
+                        push_site(&mut noise, &deph, &inst.qubits, n);
+                    } else {
+                        for pair in inst.qubits.windows(2) {
+                            push_site(&mut noise, &depol2, pair, n);
+                        }
+                        for &q in &inst.qubits {
+                            push_site(&mut noise, &damp2, &[q], n);
+                            push_site(&mut noise, &deph, &[q], n);
                         }
                     }
-                    Operation::Measure => {
-                        let q = inst.qubits[0];
-                        let c = inst.clbits[0];
-                        let mut bit = self.collapse(&mut state, q, n)?;
+                    plan.push(TrajOp::Gate { kernel, noise });
+                }
+                Operation::Measure => plan.push(TrajOp::Measure {
+                    mask: 1usize << (n - 1 - inst.qubits[0]),
+                    clbit_bit: 1u64 << inst.clbits[0],
+                }),
+                Operation::Reset => {
+                    let q = inst.qubits[0];
+                    plan.push(TrajOp::Reset {
+                        mask: 1usize << (n - 1 - q),
+                        flip: Kernel::for_gate(&Gate::X, &[q], n),
+                    });
+                }
+            }
+        }
+        // A gate op with no noise sites is deterministic and draws no RNG,
+        // so the leading run of such ops can be evolved once and cloned
+        // into every shot without disturbing the draw sequence.
+        let prefix_len = plan
+            .iter()
+            .position(|op| !matches!(op, TrajOp::Gate { kernel: _, noise } if noise.is_empty()))
+            .unwrap_or(plan.len());
+
+        let dim = 1usize << n;
+        let mut prefix = CVector::basis_state(dim, 0);
+        let mut kscratch = std::mem::take(&mut self.kscratch);
+        for op in &plan[..prefix_len] {
+            if let TrajOp::Gate { kernel, .. } = op {
+                kernel.apply(prefix.as_mut_slice(), &mut kscratch);
+            }
+        }
+        let suffix = &plan[prefix_len..];
+        let mut counts = Counts::new(circuit.num_clbits());
+        let mut state = prefix.clone();
+        for _ in 0..shots {
+            state.as_mut_slice().copy_from_slice(prefix.as_slice());
+            let mut key = 0u64;
+            for op in suffix {
+                match op {
+                    TrajOp::Gate { kernel, noise } => {
+                        kernel.apply(state.as_mut_slice(), &mut kscratch);
+                        for site in noise {
+                            self.apply_site(&mut state, site, &mut kscratch)?;
+                        }
+                    }
+                    TrajOp::Measure { mask, clbit_bit } => {
+                        let mut bit = collapse_mask(&mut state, *mask, &mut self.rng)?;
                         // Readout confusion.
                         let flip = if bit == 1 {
                             self.noise.readout_p10
@@ -121,42 +202,39 @@ impl TrajectorySimulator {
                             bit ^= 1;
                         }
                         if bit == 1 {
-                            key |= 1 << c;
+                            key |= clbit_bit;
                         } else {
-                            key &= !(1 << c);
+                            key &= !clbit_bit;
                         }
                     }
-                    Operation::Reset => {
-                        let q = inst.qubits[0];
-                        let bit = self.collapse(&mut state, q, n)?;
-                        if bit == 1 {
-                            apply_gate_inplace(&mut state, &qra_circuit::Gate::X.matrix(), &[q], n);
+                    TrajOp::Reset { mask, flip } => {
+                        if collapse_mask(&mut state, *mask, &mut self.rng)? == 1 {
+                            flip.apply(state.as_mut_slice(), &mut kscratch);
                         }
                     }
                 }
             }
             counts.record(key, 1);
         }
+        self.kscratch = kscratch;
         Ok(counts)
     }
 
-    /// Samples one Kraus branch and applies it (renormalised).
+    /// Samples one Kraus branch of a noise site and applies it
+    /// (renormalised).
     ///
     /// Scaled-unitary channels (depolarizing) use state-independent
     /// weights: one draw, one in-place application, no clones. Damping
-    /// channels fall back to trial applications.
-    fn apply_channel(
+    /// channels fall back to trial applications on a reusable buffer.
+    fn apply_site(
         &mut self,
         state: &mut CVector,
-        channel: &Option<PreparedChannel>,
-        qubits: &[usize],
-        n: usize,
+        site: &NoiseSite,
+        kscratch: &mut Vec<C64>,
     ) -> Result<(), SimError> {
-        let Some(prep) = channel else { return Ok(()) };
-        let ops = prep.channel.operators();
-        if let Some(weights) = &prep.unitary_weights {
+        if let Some(weights) = &site.weights {
             let mut r = self.rng.gen_range(0.0..1.0);
-            let mut chosen = ops.len() - 1;
+            let mut chosen = site.kernels.len() - 1;
             for (i, &w) in weights.iter().enumerate() {
                 if r < w {
                     chosen = i;
@@ -164,7 +242,7 @@ impl TrajectorySimulator {
                 }
                 r -= w;
             }
-            apply_gate_inplace(state, &ops[chosen], qubits, n);
+            site.kernels[chosen].apply(state.as_mut_slice(), kscratch);
             // Undo the √w scaling to keep unit norm.
             let w = weights[chosen];
             if (w - 1.0).abs() > 1e-15 {
@@ -182,13 +260,13 @@ impl TrajectorySimulator {
         if self.scratch.len() != dim {
             self.scratch = vec![C64::zero(); dim];
         }
-        for (i, k) in ops.iter().enumerate() {
+        for (i, k) in site.kernels.iter().enumerate() {
             self.scratch.copy_from_slice(state.as_slice());
             let mut candidate = CVector::new(std::mem::take(&mut self.scratch));
-            apply_gate_inplace(&mut candidate, k, qubits, n);
+            k.apply(candidate.as_mut_slice(), kscratch);
             let norm = candidate.norm();
             let p = norm * norm;
-            if r < p || i == ops.len() - 1 {
+            if r < p || i == site.kernels.len() - 1 {
                 if norm < 1e-12 {
                     // Numerically dead branch; keep the state unchanged.
                     self.scratch = candidate.into_inner();
@@ -206,40 +284,25 @@ impl TrajectorySimulator {
         }
         Ok(())
     }
+}
 
-    fn collapse(&mut self, state: &mut CVector, qubit: usize, n: usize) -> Result<u8, SimError> {
-        let mask = 1usize << (n - 1 - qubit);
-        let mut p1 = 0.0;
-        for (i, amp) in state.iter().enumerate() {
-            if i & mask != 0 {
-                p1 += amp.norm_sqr();
-            }
-        }
-        if !(0.0..=1.0 + 1e-9).contains(&p1) {
-            return Err(SimError::InvalidProbability { value: p1 });
-        }
-        let outcome = if self.rng.gen_range(0.0..1.0) < p1 {
-            1u8
-        } else {
-            0
-        };
-        let keep_one = outcome == 1;
-        let norm = if keep_one {
-            p1.sqrt()
-        } else {
-            (1.0 - p1).sqrt()
-        };
-        let scale = C64::from(1.0 / norm.max(f64::MIN_POSITIVE));
-        for i in 0..state.len() {
-            let is_one = i & mask != 0;
-            if is_one == keep_one {
-                state[i] *= scale;
-            } else {
-                state[i] = C64::zero();
-            }
-        }
-        Ok(outcome)
-    }
+/// Lowers a prepared channel onto a qubit tuple, if the channel is active.
+fn push_site(
+    sites: &mut Vec<NoiseSite>,
+    channel: &Option<PreparedChannel>,
+    qubits: &[usize],
+    n: usize,
+) {
+    let Some(prep) = channel else { return };
+    sites.push(NoiseSite {
+        kernels: prep
+            .channel
+            .operators()
+            .iter()
+            .map(|k| Kernel::from_matrix(k, qubits, n))
+            .collect(),
+        weights: prep.unitary_weights.clone(),
+    });
 }
 
 type ChannelCtor = fn(f64) -> Result<KrausChannel, SimError>;
@@ -266,8 +329,8 @@ impl PreparedChannel {
     }
 }
 
-// `apply_gate_inplace` expects a unitary-shaped matrix but only performs the
-// linear application, so Kraus operators (non-unitary) work unchanged.
+// Kernels only perform the linear application, so Kraus operators
+// (non-unitary) lower and apply unchanged.
 
 #[cfg(test)]
 mod tests {
@@ -380,5 +443,22 @@ mod tests {
         let mut sim = TrajectorySimulator::new(DevicePreset::LowNoise.noise_model(), 9);
         let counts = sim.run(&c, 64).unwrap();
         assert_eq!(counts.total(), 64);
+    }
+
+    #[test]
+    fn readout_only_noise_uses_prefix_cache_and_reproduces() {
+        // Gate channels all inactive: the unitary prefix is cached across
+        // shots; readout draws must still happen per shot, in order.
+        let mut noise = NoiseModel::ideal();
+        noise.readout_p01 = 0.05;
+        noise.readout_p10 = 0.1;
+        let a = TrajectorySimulator::new(noise.clone(), 21)
+            .run(&ghz_measured(), 2048)
+            .unwrap();
+        let b = TrajectorySimulator::new(noise, 21)
+            .run(&ghz_measured(), 2048)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.total(), 2048);
     }
 }
