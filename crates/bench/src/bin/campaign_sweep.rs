@@ -9,7 +9,7 @@
 
 use qra::algorithms::states;
 use qra::faults::{
-    run_sweep, CampaignConfig, CampaignDesign, FaultInjector, SweepConfig, SweepPoint,
+    run_sweep, CampaignConfig, CampaignDesign, FaultInjector, MarginMode, SweepConfig, SweepPoint,
 };
 use qra::prelude::StateSpec;
 use qra::sim::DevicePreset;
@@ -46,7 +46,7 @@ fn main() {
             jobs,
             ..CampaignConfig::default()
         },
-        threshold_margin: 0.02,
+        margin: MarginMode::Fixed(0.02),
     };
     let sweep = run_sweep(&program, &targets, &spec, &mutants, &config);
     print!("{}", sweep.render_text());

@@ -1,0 +1,141 @@
+//! Distributed-sweep scaling: the GHZ-3 single-fault matrix swept over
+//! three noise points, executed sequentially (`run_sweep`) and then as
+//! orchestrated `(point × cell)` units through the crash-safe run-dir
+//! work queue at 1, 2 and 4 workers. Every orchestrated run is asserted
+//! byte-identical to the sequential report before its timing is recorded,
+//! and the results land in `BENCH_sweep.json` so the repo carries a
+//! scaling trajectory over time.
+//!
+//! `--short` shrinks shots for CI smoke; `--out PATH` overrides the
+//! default `BENCH_sweep.json` output path.
+
+use qra::algorithms::states;
+use qra::faults::{
+    assemble_sweep, cell_record_json, run_campaign, run_sweep, CampaignConfig, CampaignDesign,
+    FaultInjector, MarginMode, Shard, SweepConfig, SweepPoint,
+};
+use qra::orch::{run_threaded, Manifest, RunDir};
+use qra::prelude::StateSpec;
+use qra::sim::DevicePreset;
+use std::time::Instant;
+
+const QUBITS: usize = 3;
+const SEED: u64 = 7;
+
+fn main() {
+    let mut short = false;
+    let mut out = String::from("BENCH_sweep.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--short" => short = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let shots: u64 = if short { 256 } else { 2048 };
+
+    let program = states::ghz(QUBITS);
+    let spec = StateSpec::pure(states::ghz_vector(QUBITS)).expect("ghz spec");
+    let mutants = FaultInjector::new(SEED).enumerate_single(&program);
+    let targets: Vec<usize> = (0..QUBITS).collect();
+    let margin = MarginMode::Fixed(0.02);
+    let points = vec![
+        SweepPoint::preset(DevicePreset::Ideal),
+        SweepPoint::preset(DevicePreset::LowNoise),
+        SweepPoint::preset(DevicePreset::MelbourneLike),
+    ];
+    let base = CampaignConfig {
+        shots,
+        seed: SEED,
+        designs: CampaignDesign::ALL.to_vec(),
+        jobs: 1,
+        ..CampaignConfig::default()
+    };
+    let config = SweepConfig {
+        points: points.clone(),
+        base: base.clone(),
+        margin,
+    };
+
+    let t0 = Instant::now();
+    let sequential = run_sweep(&program, &targets, &spec, &mutants, &config);
+    let sequential_secs = t0.elapsed().as_secs_f64();
+    let expected = sequential.to_json();
+
+    let cells_per_point = base.designs.len() * (1 + mutants.len());
+    let labels: Vec<String> = points.iter().map(|p| p.label.clone()).collect();
+    let total_units = points.len() * cells_per_point;
+    eprintln!(
+        "sequential: {} point(s) x {} cell(s) = {} units in {:.3} s",
+        points.len(),
+        cells_per_point,
+        total_units,
+        sequential_secs
+    );
+
+    let run_unit = |point: usize, cell: usize| {
+        let sweep_point = &points[point];
+        let cell_config = CampaignConfig {
+            noise: sweep_point.noise.clone(),
+            shard: Some(Shard {
+                index: cell,
+                count: cells_per_point,
+            }),
+            ..base.clone()
+        };
+        let report = run_campaign(&program, &targets, &spec, &mutants, &cell_config);
+        Ok(cell_record_json(point, cell, &report))
+    };
+
+    let mut entries = Vec::new();
+    let mut one_worker_secs = None;
+    for workers in [1usize, 2, 4] {
+        let manifest = Manifest {
+            argv: vec!["bench:sweep_scaling".into()],
+            labels: labels.clone(),
+            cells_per_point,
+            units_per_point: cells_per_point,
+            margin: margin.to_string(),
+            workers,
+        };
+        let root =
+            std::env::temp_dir().join(format!("qra-bench-sweep-{}-w{workers}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let dir = RunDir::init(&root, &manifest).expect("init run dir");
+        let t0 = Instant::now();
+        let outcome = run_threaded(&dir, &manifest, workers, &run_unit).expect("epoch");
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(outcome.complete(&manifest), "epoch left units unfinished");
+        let merged = assemble_sweep(margin, &labels, cells_per_point, &outcome.state.records)
+            .expect("assemble");
+        assert_eq!(
+            merged.to_json(),
+            expected,
+            "{workers} worker(s): orchestrated sweep diverged from sequential"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+        let one = *one_worker_secs.get_or_insert(secs);
+        eprintln!(
+            "workers={workers}: {secs:.3} s  ({:.1} units/s, {:.2}x vs 1 worker)",
+            total_units as f64 / secs,
+            one / secs
+        );
+        entries.push(format!(
+            "{{\"workers\":{workers},\"secs\":{secs:.6},\"units_per_s\":{:.1},\"speedup_vs_1\":{:.2},\"identical\":true}}",
+            total_units as f64 / secs,
+            one / secs
+        ));
+    }
+
+    let json = format!(
+        "{{\"bench\":\"sweep_scaling\",\"short\":{short},\"qubits\":{QUBITS},\"shots\":{shots},\"points\":{},\"cells_per_point\":{cells_per_point},\"total_units\":{total_units},\"sequential_secs\":{sequential_secs:.6},\"orchestrated\":[{}]}}",
+        points.len(),
+        entries.join(",")
+    );
+    std::fs::write(&out, format!("{json}\n")).expect("write BENCH_sweep.json");
+    println!("{json}");
+}

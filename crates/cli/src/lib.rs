@@ -8,12 +8,21 @@
 //! qra assert <file.qasm> --qubits 0,1,2 --state ghz [--design auto] …
 //! qra cost --qubits-count 3 --state ghz
 //! qra info <file.qasm>
+//! qra campaign (<file.qasm> | --ghz N) [--sweep …] [--shard I/N] [--margin R|auto]
+//! qra sweep run --run-dir <dir> [--workers W] (<file.qasm> | --ghz N) --sweep …
+//! qra sweep resume <dir> [--workers W] [--json]
+//! qra sweep status <dir>
+//! qra worker --run-dir <dir>
 //! ```
 
 #![deny(missing_docs)]
 
 use qra::circuit::qasm_parser::from_qasm;
-use qra::faults::ParsedReport;
+use qra::faults::{
+    auto_margins, cell_record_json, is_sweep_partial, margin_record_json, parse_sweep_partial,
+    parse_unit_record, ParsedReport,
+};
+use qra::orch::{monitor_workers, spawn_workers, worker_loop, EpochOutcome, OrchError};
 use qra::prelude::*;
 use std::fmt::Write as _;
 use std::str::FromStr;
@@ -45,6 +54,18 @@ impl From<qra::circuit::CircuitError> for CliError {
 impl From<qra::sim::SimError> for CliError {
     fn from(e: qra::sim::SimError) -> Self {
         CliError(e.to_string())
+    }
+}
+
+impl From<OrchError> for CliError {
+    fn from(e: OrchError) -> Self {
+        CliError(e.0)
+    }
+}
+
+impl From<qra::faults::MergeError> for CliError {
+    fn from(e: qra::faults::MergeError) -> Self {
+        CliError(e.0)
     }
 }
 
@@ -96,52 +117,153 @@ pub enum Command {
         file: String,
     },
     /// Run a fault-injection campaign over a program.
-    Campaign {
-        /// Program source: a QASM file, or a built-in GHZ preparation.
-        source: CampaignSource,
-        /// State specification string (defaults to `ghz`).
-        state: String,
-        /// Schemes to evaluate.
-        designs: Vec<CampaignDesign>,
-        /// Number of double-fault mutants to sample (0 = singles only).
-        doubles: usize,
-        /// Shot count per cell.
-        shots: u64,
-        /// Base seed (campaigns are reproducible per seed).
-        seed: u64,
-        /// Wall-clock deadline in milliseconds (`None` = unbounded).
-        deadline_ms: Option<u64>,
-        /// Memory budget for the exact density-matrix backend, in MiB.
-        memory_budget_mb: u64,
-        /// Worker threads for the cell matrix (`None` = available
-        /// parallelism). Reports are byte-identical for any job count.
-        jobs: Option<usize>,
-        /// Device noise preset (ignored when `sweep` is set).
-        noise: DevicePreset,
-        /// Detection threshold for the single-point campaign (sweeps
-        /// derive per-point thresholds from the false-positive floor).
-        threshold: f64,
-        /// Run only this shard of the cell list and emit a partial report.
-        shard: Option<Shard>,
-        /// When set, run the campaign at each `(preset, scale)` noise
-        /// point instead of a single point.
-        sweep: Option<Vec<(DevicePreset, f64)>>,
-        /// Margin added to each sweep point's false-positive floor to
-        /// derive its detection threshold.
-        margin: f64,
-        /// Emit JSON instead of text.
-        json: bool,
-    },
-    /// Reassemble shard reports (`campaign --shard i/n --json` outputs)
-    /// into the full campaign report.
+    Campaign(CampaignArgs),
+    /// Reassemble partial outputs into the full report: campaign shard
+    /// reports (`campaign --shard i/n --json`) or sweep partials
+    /// (`campaign --sweep … --shard i/n`).
     CampaignMerge {
-        /// Paths of the shard JSON files, in any order.
+        /// Paths of the shard/partial JSON files, in any order.
         files: Vec<String>,
         /// Emit JSON instead of text.
         json: bool,
     },
+    /// Start an orchestrated sweep: initialize a run directory and drive
+    /// worker subprocesses until the unit grid is covered.
+    SweepRun {
+        /// The run directory to create.
+        dir: String,
+        /// Worker subprocess count (`None` = available parallelism).
+        workers: Option<usize>,
+        /// The sweep's campaign description (must have `sweep` set).
+        args: Box<CampaignArgs>,
+    },
+    /// Resume an interrupted orchestrated sweep: clear stale claims, spawn
+    /// fresh workers for the remaining units, and print the merged report.
+    SweepResume {
+        /// The run directory.
+        dir: String,
+        /// Worker count override (`None` = the manifest's count).
+        workers: Option<usize>,
+        /// Emit JSON instead of text.
+        json: bool,
+    },
+    /// Print an orchestrated sweep's progress without running anything.
+    SweepStatus {
+        /// The run directory.
+        dir: String,
+    },
+    /// Run one worker over an orchestrated sweep's run directory
+    /// (normally spawned by `sweep run`, not invoked by hand).
+    Worker {
+        /// The run directory.
+        dir: String,
+    },
     /// Print usage help.
     Help,
+}
+
+/// Everything a fault-injection campaign (or sweep) needs — the parsed
+/// form of the `qra campaign` flag set, reusable by the orchestrator
+/// (whose manifests store the equivalent argv, see
+/// [`CampaignArgs::to_argv`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignArgs {
+    /// Program source: a QASM file, or a built-in GHZ preparation.
+    pub source: CampaignSource,
+    /// State specification string (defaults to `ghz`).
+    pub state: String,
+    /// Schemes to evaluate.
+    pub designs: Vec<CampaignDesign>,
+    /// Number of double-fault mutants to sample (0 = singles only).
+    pub doubles: usize,
+    /// Shot count per cell.
+    pub shots: u64,
+    /// Base seed (campaigns are reproducible per seed).
+    pub seed: u64,
+    /// Wall-clock deadline in milliseconds (`None` = unbounded).
+    pub deadline_ms: Option<u64>,
+    /// Memory budget for the exact density-matrix backend, in MiB.
+    pub memory_budget_mb: u64,
+    /// Worker threads for the cell matrix (`None` = available
+    /// parallelism). Reports are byte-identical for any job count.
+    pub jobs: Option<usize>,
+    /// Device noise preset (ignored when `sweep` is set).
+    pub noise: DevicePreset,
+    /// Detection threshold for the single-point campaign (sweeps
+    /// derive per-point thresholds from the false-positive floor).
+    pub threshold: f64,
+    /// Run only this shard: of the cell list for a single campaign, or of
+    /// the `(point × cell)` unit grid when `sweep` is also set (emitting a
+    /// mergeable sweep partial).
+    pub shard: Option<Shard>,
+    /// When set, run the campaign at each `(preset, scale)` noise
+    /// point instead of a single point.
+    pub sweep: Option<Vec<(DevicePreset, f64)>>,
+    /// How each sweep point's detection margin over its false-positive
+    /// floor is derived: a fixed rate, or auto-calibrated from baseline
+    /// variance across repeated seeds.
+    pub margin: MarginMode,
+    /// Emit JSON instead of text.
+    pub json: bool,
+}
+
+impl CampaignArgs {
+    /// The canonical `qra` argv reproducing these args (modulo `--json`,
+    /// which is an output concern). Orchestrator manifests store this so
+    /// workers and `sweep resume` rebuild the identical campaign; every
+    /// numeric field round-trips exactly (shortest-representation floats).
+    pub fn to_argv(&self) -> Vec<String> {
+        let mut argv = vec!["campaign".to_string()];
+        match &self.source {
+            CampaignSource::File(file) => argv.push(file.clone()),
+            CampaignSource::Ghz(n) => argv.extend(["--ghz".into(), n.to_string()]),
+        }
+        argv.extend(["--state".into(), self.state.clone()]);
+        argv.extend([
+            "--designs".into(),
+            self.designs
+                .iter()
+                .map(|d| d.name())
+                .collect::<Vec<_>>()
+                .join(","),
+        ]);
+        argv.extend(["--doubles".into(), self.doubles.to_string()]);
+        argv.extend(["--shots".into(), self.shots.to_string()]);
+        argv.extend(["--seed".into(), self.seed.to_string()]);
+        if let Some(ms) = self.deadline_ms {
+            argv.extend(["--deadline-ms".into(), ms.to_string()]);
+        }
+        argv.extend([
+            "--memory-budget-mb".into(),
+            self.memory_budget_mb.to_string(),
+        ]);
+        if let Some(jobs) = self.jobs {
+            argv.extend(["--jobs".into(), jobs.to_string()]);
+        }
+        argv.extend(["--noise".into(), self.noise.name().to_string()]);
+        argv.extend(["--threshold".into(), format!("{}", self.threshold)]);
+        if let Some(points) = &self.sweep {
+            argv.extend([
+                "--sweep".into(),
+                points
+                    .iter()
+                    .map(|&(preset, factor)| {
+                        if factor == 1.0 {
+                            preset.name().to_string()
+                        } else {
+                            format!("{}:{factor}", preset.name())
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ]);
+        }
+        argv.extend(["--margin".into(), self.margin.to_string()]);
+        if let Some(shard) = self.shard {
+            argv.extend(["--shard".into(), format!("{}/{}", shard.index, shard.count)]);
+        }
+        argv
+    }
 }
 
 /// Where a campaign's program under test comes from.
@@ -272,105 +394,187 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 let json = rest.iter().any(|a| a.as_str() == "--json");
                 return Ok(Command::CampaignMerge { files, json });
             }
-            let source = match flag("--ghz") {
-                Some(n) => {
-                    let n: usize = n.parse().map_err(|_| err(format!("bad --ghz '{n}'")))?;
-                    if n == 0 {
-                        return Err(err("campaign: --ghz needs at least 1 qubit"));
-                    }
-                    CampaignSource::Ghz(n)
-                }
-                None => CampaignSource::File(
-                    positional
-                        .first()
-                        .ok_or_else(|| err("campaign: missing <file.qasm> or --ghz N"))?
-                        .to_string(),
-                ),
-            };
-            let state = flag("--state").unwrap_or("ghz").to_string();
-            let designs = parse_design_list(flag("--designs").unwrap_or("swap,or,ndd"))?;
-            let doubles = match flag("--doubles") {
-                Some(d) => d.parse().map_err(|_| err(format!("bad --doubles '{d}'")))?,
-                None => 0,
-            };
-            let deadline_ms = match flag("--deadline-ms") {
-                Some(d) => Some(
-                    d.parse()
-                        .map_err(|_| err(format!("bad --deadline-ms '{d}'")))?,
-                ),
-                None => None,
-            };
-            let memory_budget_mb = match flag("--memory-budget-mb") {
-                Some(m) => m
-                    .parse()
-                    .map_err(|_| err(format!("bad --memory-budget-mb '{m}'")))?,
-                None => 256,
-            };
-            let jobs = match flag("--jobs") {
-                Some(j) => {
-                    let j: usize = j.parse().map_err(|_| err(format!("bad --jobs '{j}'")))?;
-                    if j == 0 {
-                        return Err(err("campaign: --jobs needs at least 1 worker"));
-                    }
-                    Some(j)
-                }
-                None => None,
-            };
-            let threshold = match flag("--threshold") {
-                Some(t) => {
-                    let t: f64 = t
-                        .parse()
-                        .map_err(|_| err(format!("bad --threshold '{t}'")))?;
-                    if !t.is_finite() || t < 0.0 {
-                        return Err(err("campaign: --threshold must be a finite rate >= 0"));
-                    }
-                    t
-                }
-                None => 0.05,
-            };
-            let margin = match flag("--margin") {
-                Some(m) => {
-                    let m: f64 = m.parse().map_err(|_| err(format!("bad --margin '{m}'")))?;
-                    if !m.is_finite() || m < 0.0 {
-                        return Err(err("campaign: --margin must be a finite rate >= 0"));
-                    }
-                    m
-                }
-                None => 0.02,
-            };
-            let shard = match flag("--shard") {
-                Some(s) => Some(
-                    Shard::from_str(s).map_err(|e| err(format!("campaign: bad --shard: {e}")))?,
-                ),
-                None => None,
-            };
-            let sweep = flag("--sweep").map(parse_sweep_list).transpose()?;
-            if shard.is_some() && sweep.is_some() {
-                return Err(err(
-                    "campaign: --shard splits one campaign; it cannot be combined with --sweep",
-                ));
-            }
+            let source = campaign_source(flag("--ghz"), positional.first().copied())?;
+            let args = parse_campaign_args(&rest, Some(source), shots, seed, noise)?;
+            Ok(Command::Campaign(args))
+        }
+        "sweep" => {
             let json = rest.iter().any(|a| a.as_str() == "--json");
-            Ok(Command::Campaign {
-                source,
-                state,
-                designs,
-                doubles,
-                shots,
-                seed,
-                deadline_ms,
-                memory_budget_mb,
-                jobs,
-                noise,
-                threshold,
-                shard,
-                sweep,
-                margin,
-                json,
-            })
+            let workers = match flag("--workers") {
+                Some(w) => {
+                    let w: usize = w.parse().map_err(|_| err(format!("bad --workers '{w}'")))?;
+                    if w == 0 {
+                        return Err(err("sweep: --workers needs at least 1 worker"));
+                    }
+                    Some(w)
+                }
+                None => None,
+            };
+            match positional.first().copied() {
+                Some("run") => {
+                    let dir = flag("--run-dir")
+                        .ok_or_else(|| err("sweep run: missing --run-dir <dir>"))?
+                        .to_string();
+                    let source = campaign_source(flag("--ghz"), positional.get(1).copied())?;
+                    let args = parse_campaign_args(&rest, Some(source), shots, seed, noise)?;
+                    if args.sweep.is_none() {
+                        return Err(err(
+                            "sweep run: --sweep is required (the orchestrator distributes \
+                             sweep points)",
+                        ));
+                    }
+                    if args.shard.is_some() {
+                        return Err(err(
+                            "sweep run: --shard conflicts with orchestration (the run \
+                             directory already splits the unit grid)",
+                        ));
+                    }
+                    Ok(Command::SweepRun {
+                        dir,
+                        workers,
+                        args: Box::new(args),
+                    })
+                }
+                Some("resume") => {
+                    let dir = positional
+                        .get(1)
+                        .ok_or_else(|| err("sweep resume: missing <run-dir>"))?
+                        .to_string();
+                    Ok(Command::SweepResume { dir, workers, json })
+                }
+                Some("status") => {
+                    let dir = positional
+                        .get(1)
+                        .ok_or_else(|| err("sweep status: missing <run-dir>"))?
+                        .to_string();
+                    Ok(Command::SweepStatus { dir })
+                }
+                _ => Err(err("sweep: expected run, resume or status; try 'qra help'")),
+            }
+        }
+        "worker" => {
+            let dir = flag("--run-dir")
+                .ok_or_else(|| err("worker: missing --run-dir <dir>"))?
+                .to_string();
+            Ok(Command::Worker { dir })
         }
         other => Err(err(format!("unknown command '{other}'; try 'qra help'"))),
     }
+}
+
+/// Resolves a campaign's program source from `--ghz N` or the positional
+/// QASM path.
+fn campaign_source(
+    ghz: Option<&str>,
+    positional: Option<&str>,
+) -> Result<CampaignSource, CliError> {
+    match ghz {
+        Some(n) => {
+            let n: usize = n.parse().map_err(|_| err(format!("bad --ghz '{n}'")))?;
+            if n == 0 {
+                return Err(err("campaign: --ghz needs at least 1 qubit"));
+            }
+            Ok(CampaignSource::Ghz(n))
+        }
+        None => Ok(CampaignSource::File(
+            positional
+                .ok_or_else(|| err("campaign: missing <file.qasm> or --ghz N"))?
+                .to_string(),
+        )),
+    }
+}
+
+/// Parses the campaign flag set shared by `qra campaign` and
+/// `qra sweep run` into [`CampaignArgs`].
+fn parse_campaign_args(
+    rest: &[&String],
+    source: Option<CampaignSource>,
+    shots: u64,
+    seed: u64,
+    noise: DevicePreset,
+) -> Result<CampaignArgs, CliError> {
+    let flag = |name: &str| -> Option<&str> {
+        rest.iter()
+            .position(|a| a.as_str() == name)
+            .and_then(|i| rest.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let source = source.ok_or_else(|| err("campaign: missing <file.qasm> or --ghz N"))?;
+    let state = flag("--state").unwrap_or("ghz").to_string();
+    let designs = parse_design_list(flag("--designs").unwrap_or("swap,or,ndd"))?;
+    let doubles = match flag("--doubles") {
+        Some(d) => d.parse().map_err(|_| err(format!("bad --doubles '{d}'")))?,
+        None => 0,
+    };
+    let deadline_ms = match flag("--deadline-ms") {
+        Some(d) => Some(
+            d.parse()
+                .map_err(|_| err(format!("bad --deadline-ms '{d}'")))?,
+        ),
+        None => None,
+    };
+    let memory_budget_mb = match flag("--memory-budget-mb") {
+        Some(m) => m
+            .parse()
+            .map_err(|_| err(format!("bad --memory-budget-mb '{m}'")))?,
+        None => 256,
+    };
+    let jobs = match flag("--jobs") {
+        Some(j) => {
+            let j: usize = j.parse().map_err(|_| err(format!("bad --jobs '{j}'")))?;
+            if j == 0 {
+                return Err(err("campaign: --jobs needs at least 1 worker"));
+            }
+            Some(j)
+        }
+        None => None,
+    };
+    let threshold = match flag("--threshold") {
+        Some(t) => {
+            let t: f64 = t
+                .parse()
+                .map_err(|_| err(format!("bad --threshold '{t}'")))?;
+            if !t.is_finite() || t < 0.0 {
+                return Err(err("campaign: --threshold must be a finite rate >= 0"));
+            }
+            t
+        }
+        None => 0.05,
+    };
+    let margin = match flag("--margin") {
+        Some(m) => MarginMode::from_str(m).map_err(|e| err(format!("campaign: {e}")))?,
+        None => MarginMode::default(),
+    };
+    let shard = match flag("--shard") {
+        Some(s) => {
+            Some(Shard::from_str(s).map_err(|e| err(format!("campaign: bad --shard: {e}")))?)
+        }
+        None => None,
+    };
+    let sweep = flag("--sweep").map(parse_sweep_list).transpose()?;
+    if sweep.is_none() && matches!(margin, MarginMode::Auto { .. }) {
+        return Err(err(
+            "campaign: --margin auto calibrates sweep thresholds; it needs --sweep",
+        ));
+    }
+    let json = rest.iter().any(|a| a.as_str() == "--json");
+    Ok(CampaignArgs {
+        source,
+        state,
+        designs,
+        doubles,
+        shots,
+        seed,
+        deadline_ms,
+        memory_budget_mb,
+        jobs,
+        noise,
+        threshold,
+        shard,
+        sweep,
+        margin,
+        json,
+    })
 }
 
 /// Parses `0,1,2` into qubit indices.
@@ -617,109 +821,58 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             Ok(out)
         }
         Command::CampaignMerge { files, json } => {
-            let shards: Result<Vec<ParsedReport>, CliError> = files
+            let texts: Vec<(String, String)> = files
                 .iter()
                 .map(|file| {
-                    let text = std::fs::read_to_string(file)
-                        .map_err(|e| err(format!("cannot read {file}: {e}")))?;
-                    qra::faults::parse_report(&text).map_err(|e| err(format!("{file}: {e}")))
+                    std::fs::read_to_string(file)
+                        .map(|text| (file.clone(), text))
+                        .map_err(|e| err(format!("cannot read {file}: {e}")))
                 })
-                .collect();
-            let report = merge_reports(&shards?).map_err(|e| err(e.to_string()))?;
+                .collect::<Result<_, _>>()?;
+            // One partial makes this a sweep merge: mixing the two report
+            // kinds is a user error named after the odd file out.
+            if texts.iter().any(|(_, text)| is_sweep_partial(text)) {
+                if let Some((file, _)) = texts.iter().find(|(_, text)| !is_sweep_partial(text)) {
+                    return Err(err(format!(
+                        "{file} is a campaign shard, not a sweep partial; the two cannot \
+                         be merged together"
+                    )));
+                }
+                let partials: Vec<(String, SweepPartial)> = texts
+                    .iter()
+                    .map(|(file, text)| {
+                        parse_sweep_partial(text)
+                            .map(|p| (file.clone(), p))
+                            .map_err(|e| err(format!("{file}: {e}")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let report = merge_sweep_partials_named(&partials)?;
+                return Ok(if *json {
+                    report.to_json()
+                } else {
+                    report.render_text()
+                });
+            }
+            let shards: Vec<(String, ParsedReport)> = texts
+                .iter()
+                .map(|(file, text)| {
+                    qra::faults::parse_report(text)
+                        .map(|p| (file.clone(), p))
+                        .map_err(|e| err(format!("{file}: {e}")))
+                })
+                .collect::<Result<_, _>>()?;
+            let report = merge_reports_named(&shards)?;
             Ok(if *json {
                 report.to_json()
             } else {
                 report.render_text()
             })
         }
-        Command::Campaign {
-            source,
-            state,
-            designs,
-            doubles,
-            shots,
-            seed,
-            deadline_ms,
-            memory_budget_mb,
-            jobs,
-            noise,
-            threshold,
-            shard,
-            sweep,
-            margin,
-            json,
-        } => {
-            let program = match source {
-                CampaignSource::File(file) => load(file)?,
-                CampaignSource::Ghz(n) => qra::algorithms::states::ghz(*n),
-            };
-            let qubits: Vec<usize> = (0..program.num_qubits()).collect();
-            // Reject oversized programs before building the 2^n-amplitude
-            // spec: campaigns assert every program qubit, and past the
-            // trajectory backend's cap no backend can run the cells anyway.
-            const MAX_CAMPAIGN_QUBITS: usize = 20;
-            if qubits.len() > MAX_CAMPAIGN_QUBITS {
-                return Err(err(format!(
-                    "campaign: program has {} qubits; the widest backend supports \
-                     {MAX_CAMPAIGN_QUBITS} — shrink the program under test",
-                    qubits.len()
-                )));
-            }
-            let spec = parse_state(state, qubits.len())?;
-            let injector = FaultInjector::new(*seed);
-            let mut mutants = injector.enumerate_single(&program);
-            mutants.extend(injector.sample_double(&program, *doubles));
-            let config = CampaignConfig {
-                shots: *shots,
-                seed: *seed,
-                designs: designs.clone(),
-                deadline: deadline_ms.map(std::time::Duration::from_millis),
-                memory_budget_bytes: memory_budget_mb.saturating_mul(1 << 20),
-                jobs: jobs.unwrap_or(0), // 0 = available parallelism
-                noise: noise.noise_model(),
-                detection_threshold: *threshold,
-                shard: *shard,
-                ..CampaignConfig::default()
-            };
-            if let Some(points) = sweep {
-                let sweep_config = SweepConfig {
-                    points: points
-                        .iter()
-                        .map(|&(preset, factor)| {
-                            if factor == 1.0 {
-                                SweepPoint::preset(preset)
-                            } else {
-                                SweepPoint::scaled(preset, factor)
-                            }
-                        })
-                        .collect(),
-                    base: config,
-                    threshold_margin: *margin,
-                };
-                let sweep_report = run_sweep(&program, &qubits, &spec, &mutants, &sweep_config);
-                return Ok(if *json {
-                    sweep_report.to_json()
-                } else {
-                    sweep_report.render_text()
-                });
-            }
-            let report = run_campaign(&program, &qubits, &spec, &mutants, &config);
-            Ok(if *json {
-                // JSON stays exactly the report's deterministic rendering.
-                report.to_json()
-            } else {
-                // Timing lives outside the report text, which is
-                // byte-identical for a fixed seed across job counts.
-                let mut out = report.render_text();
-                let _ = writeln!(
-                    out,
-                    "\nelapsed: {:.3}s ({} jobs)",
-                    report.elapsed.as_secs_f64(),
-                    config.effective_jobs()
-                );
-                out
-            })
-        }
+        Command::Campaign(args) => run_campaign_command(args),
+        Command::SweepRun { dir, workers, args } => sweep_run(dir, *workers, args),
+        Command::SweepResume { dir, workers, json } => sweep_resume(dir, *workers, *json),
+        Command::SweepStatus { dir } => sweep_status(dir),
+        Command::Worker { dir } => run_worker(dir),
         Command::Cost { num_qubits, state } => {
             let spec = parse_state(state, *num_qubits)?;
             let mut out = String::new();
@@ -738,6 +891,356 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             Ok(out)
         }
     }
+}
+
+/// The program, spec, mutant list and base configuration shared by every
+/// execution path of a campaign (single, sharded, sweep, sweep unit).
+struct CampaignSetup {
+    program: Circuit,
+    qubits: Vec<usize>,
+    spec: StateSpec,
+    mutants: Vec<Mutant>,
+    config: CampaignConfig,
+}
+
+fn campaign_setup(args: &CampaignArgs) -> Result<CampaignSetup, CliError> {
+    let program = match &args.source {
+        CampaignSource::File(file) => load(file)?,
+        CampaignSource::Ghz(n) => qra::algorithms::states::ghz(*n),
+    };
+    let qubits: Vec<usize> = (0..program.num_qubits()).collect();
+    // Reject oversized programs before building the 2^n-amplitude
+    // spec: campaigns assert every program qubit, and past the
+    // trajectory backend's cap no backend can run the cells anyway.
+    const MAX_CAMPAIGN_QUBITS: usize = 20;
+    if qubits.len() > MAX_CAMPAIGN_QUBITS {
+        return Err(err(format!(
+            "campaign: program has {} qubits; the widest backend supports \
+             {MAX_CAMPAIGN_QUBITS} — shrink the program under test",
+            qubits.len()
+        )));
+    }
+    let spec = parse_state(&args.state, qubits.len())?;
+    let injector = FaultInjector::new(args.seed);
+    let mut mutants = injector.enumerate_single(&program);
+    mutants.extend(injector.sample_double(&program, args.doubles));
+    let config = CampaignConfig {
+        shots: args.shots,
+        seed: args.seed,
+        designs: args.designs.clone(),
+        deadline: args.deadline_ms.map(std::time::Duration::from_millis),
+        memory_budget_bytes: args.memory_budget_mb.saturating_mul(1 << 20),
+        jobs: args.jobs.unwrap_or(0), // 0 = available parallelism
+        noise: args.noise.noise_model(),
+        detection_threshold: args.threshold,
+        shard: None, // single-campaign path re-applies args.shard itself
+        ..CampaignConfig::default()
+    };
+    Ok(CampaignSetup {
+        program,
+        qubits,
+        spec,
+        mutants,
+        config,
+    })
+}
+
+/// Materializes `--sweep` points as labelled noise models.
+fn sweep_points(points: &[(DevicePreset, f64)]) -> Vec<SweepPoint> {
+    points
+        .iter()
+        .map(|&(preset, factor)| {
+            if factor == 1.0 {
+                SweepPoint::preset(preset)
+            } else {
+                SweepPoint::scaled(preset, factor)
+            }
+        })
+        .collect()
+}
+
+/// The sweep's `(cells_per_point, units_per_point)` grid: one unit per
+/// campaign cell, plus one calibration unit per point in auto-margin mode.
+fn sweep_grid(args: &CampaignArgs, setup: &CampaignSetup) -> (usize, usize) {
+    let cells = args.designs.len() * (1 + setup.mutants.len());
+    let units = cells + usize::from(matches!(args.margin, MarginMode::Auto { .. }));
+    (cells, units)
+}
+
+/// Executes one sweep unit and serializes its JSONL record. Cell units run
+/// the campaign's single-cell shard at the point's noise (same derived
+/// seeds as the sequential sweep); the calibration unit (auto-margin mode)
+/// runs the repeated no-mutant baselines.
+fn run_sweep_unit(
+    args: &CampaignArgs,
+    setup: &CampaignSetup,
+    points: &[SweepPoint],
+    point: usize,
+    cell: usize,
+) -> Result<String, CliError> {
+    let (cells_per_point, units_per_point) = sweep_grid(args, setup);
+    if point >= points.len() || cell >= units_per_point {
+        return Err(err(format!("unit ({point},{cell}) outside the sweep grid")));
+    }
+    let point_config = CampaignConfig {
+        noise: points[point].noise.clone(),
+        ..setup.config.clone()
+    };
+    if cell < cells_per_point {
+        let config = CampaignConfig {
+            shard: Some(Shard {
+                index: cell,
+                count: cells_per_point,
+            }),
+            ..point_config
+        };
+        let report = run_campaign(
+            &setup.program,
+            &setup.qubits,
+            &setup.spec,
+            &setup.mutants,
+            &config,
+        );
+        Ok(cell_record_json(point, cell, &report))
+    } else {
+        let MarginMode::Auto { repeats, z } = args.margin else {
+            return Err(err(format!(
+                "unit ({point},{cell}): no calibration unit exists in fixed-margin mode"
+            )));
+        };
+        let margins = auto_margins(&point_config, point, repeats, z, |cfg| {
+            run_campaign(&setup.program, &setup.qubits, &setup.spec, &[], cfg)
+        });
+        Ok(margin_record_json(point, cell, &margins))
+    }
+}
+
+fn run_campaign_command(args: &CampaignArgs) -> Result<String, CliError> {
+    let setup = campaign_setup(args)?;
+    if let Some(points) = &args.sweep {
+        if let Some(shard) = args.shard {
+            return sweep_shard_partial(args, &setup, shard);
+        }
+        let sweep_config = SweepConfig {
+            points: sweep_points(points),
+            base: setup.config,
+            margin: args.margin,
+        };
+        let sweep_report = run_sweep(
+            &setup.program,
+            &setup.qubits,
+            &setup.spec,
+            &setup.mutants,
+            &sweep_config,
+        );
+        return Ok(if args.json {
+            sweep_report.to_json()
+        } else {
+            sweep_report.render_text()
+        });
+    }
+    let config = CampaignConfig {
+        shard: args.shard,
+        ..setup.config
+    };
+    let report = run_campaign(
+        &setup.program,
+        &setup.qubits,
+        &setup.spec,
+        &setup.mutants,
+        &config,
+    );
+    Ok(if args.json {
+        // JSON stays exactly the report's deterministic rendering.
+        report.to_json()
+    } else {
+        // Timing lives outside the report text, which is
+        // byte-identical for a fixed seed across job counts.
+        let mut out = report.render_text();
+        let _ = writeln!(
+            out,
+            "\nelapsed: {:.3}s ({} jobs)",
+            report.elapsed.as_secs_f64(),
+            config.effective_jobs()
+        );
+        out
+    })
+}
+
+/// `campaign --sweep … --shard i/n`: runs this shard's slice of the global
+/// `(point × cell)` unit grid and emits a mergeable [`SweepPartial`]
+/// (always JSON — partials exist to be merged).
+fn sweep_shard_partial(
+    args: &CampaignArgs,
+    setup: &CampaignSetup,
+    shard: Shard,
+) -> Result<String, CliError> {
+    let points = sweep_points(args.sweep.as_deref().unwrap_or(&[]));
+    let (cells_per_point, units_per_point) = sweep_grid(args, setup);
+    let total_units = points.len() * units_per_point;
+    let (lo, hi) = shard.bounds(total_units);
+    let mut units = Vec::with_capacity(hi - lo);
+    for unit in lo..hi {
+        let line = run_sweep_unit(
+            args,
+            setup,
+            &points,
+            unit / units_per_point,
+            unit % units_per_point,
+        )?;
+        units.push(parse_unit_record(&line)?);
+    }
+    let partial = SweepPartial {
+        margin: args.margin,
+        labels: points.iter().map(|p| p.label.clone()).collect(),
+        cells_per_point,
+        shard,
+        units,
+    };
+    Ok(partial.to_json())
+}
+
+fn default_worker_count() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// `sweep run`: initializes the run directory, spawns the workers and
+/// monitors them to completion.
+fn sweep_run(dir: &str, workers: Option<usize>, args: &CampaignArgs) -> Result<String, CliError> {
+    let mut args = args.clone();
+    if let CampaignSource::File(file) = &args.source {
+        // Workers and resumes may start in any directory: pin the program
+        // path before it enters the manifest.
+        let abs =
+            std::fs::canonicalize(file).map_err(|e| err(format!("cannot resolve {file}: {e}")))?;
+        args.source = CampaignSource::File(abs.to_string_lossy().into_owned());
+    }
+    let setup = campaign_setup(&args)?;
+    let points = sweep_points(args.sweep.as_deref().unwrap_or(&[]));
+    let (cells_per_point, units_per_point) = sweep_grid(&args, &setup);
+    let workers = workers.unwrap_or_else(default_worker_count);
+    let manifest = Manifest {
+        argv: args.to_argv(),
+        labels: points.iter().map(|p| p.label.clone()).collect(),
+        cells_per_point,
+        units_per_point,
+        margin: args.margin.to_string(),
+        workers,
+    };
+    let rundir = RunDir::init(dir, &manifest)?;
+    let children = spawn_workers(&rundir, workers)?;
+    let outcome = monitor_workers(&rundir, &manifest, children)?;
+    finish_epoch(dir, &manifest, outcome, args.margin, args.json)
+}
+
+/// `sweep resume`: clears stale claims, respawns workers for the remaining
+/// units and prints the merged report.
+fn sweep_resume(dir: &str, workers: Option<usize>, json: bool) -> Result<String, CliError> {
+    let (rundir, manifest) = RunDir::open(dir)?;
+    let margin =
+        MarginMode::from_str(&manifest.margin).map_err(|e| err(format!("manifest: {e}")))?;
+    let state = rundir.scan(&manifest)?;
+    // Safe while no workers run: `sweep resume` is the single entry point
+    // for restarting a run.
+    let cleared = rundir.clear_stale_claims(&state.completed)?;
+    if cleared > 0 {
+        eprintln!("sweep: cleared {cleared} stale claim(s)");
+    }
+    if state.completed.len() == manifest.total_units() {
+        let outcome = EpochOutcome {
+            state,
+            workers_failed: 0,
+        };
+        return finish_epoch(dir, &manifest, outcome, margin, json);
+    }
+    let workers = workers.unwrap_or(manifest.workers).max(1);
+    let children = spawn_workers(&rundir, workers)?;
+    let outcome = monitor_workers(&rundir, &manifest, children)?;
+    finish_epoch(dir, &manifest, outcome, margin, json)
+}
+
+/// Renders an epoch's end state: the assembled sweep report when the unit
+/// grid is covered, an actionable error pointing at `sweep resume` when
+/// it is not.
+fn finish_epoch(
+    dir: &str,
+    manifest: &Manifest,
+    outcome: EpochOutcome,
+    margin: MarginMode,
+    json: bool,
+) -> Result<String, CliError> {
+    if !outcome.complete(manifest) {
+        return Err(err(format!(
+            "sweep incomplete: {}/{} unit(s) recorded, {} worker(s) failed; \
+             run `qra sweep resume {dir}` to finish",
+            outcome.state.completed.len(),
+            manifest.total_units(),
+            outcome.workers_failed
+        )));
+    }
+    let report = assemble_sweep(
+        margin,
+        &manifest.labels,
+        manifest.cells_per_point,
+        &outcome.state.records,
+    )?;
+    Ok(if json {
+        report.to_json()
+    } else {
+        report.render_text()
+    })
+}
+
+/// `sweep status`: reports progress from the run directory alone.
+fn sweep_status(dir: &str) -> Result<String, CliError> {
+    let (rundir, manifest) = RunDir::open(dir)?;
+    let state = rundir.scan(&manifest)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "run {}: {}/{} unit(s) done, {} in-flight, {} failed, {} torn line(s)",
+        rundir.root().display(),
+        state.completed.len(),
+        manifest.total_units(),
+        state.in_flight.len(),
+        state.failed.len(),
+        state.torn_lines
+    );
+    for (p, label) in manifest.labels.iter().enumerate() {
+        let done = state
+            .completed
+            .iter()
+            .filter(|&&u| u / manifest.units_per_point == p)
+            .count();
+        let _ = writeln!(
+            out,
+            "  {label:<16} {done}/{} unit(s)",
+            manifest.units_per_point
+        );
+    }
+    let verdict = if state.completed.len() == manifest.total_units() {
+        "complete — `qra sweep resume` prints the merged report"
+    } else {
+        "incomplete — `qra sweep resume` will finish it"
+    };
+    let _ = writeln!(out, "status: {verdict}");
+    Ok(out)
+}
+
+/// `worker`: rebuilds the campaign from the manifest's argv and runs the
+/// claim-execute-record loop until no claimable unit remains.
+fn run_worker(dir: &str) -> Result<String, CliError> {
+    let (rundir, manifest) = RunDir::open(dir)?;
+    let Command::Campaign(args) = parse_args(&manifest.argv)? else {
+        return Err(err("worker: manifest argv is not a campaign invocation"));
+    };
+    let setup = campaign_setup(&args)?;
+    let points = sweep_points(args.sweep.as_deref().unwrap_or(&[]));
+    let run_unit = |point: usize, cell: usize| {
+        run_sweep_unit(&args, &setup, &points, point, cell).map_err(|e| OrchError(e.0))
+    };
+    let done = worker_loop(&rundir, &manifest, std::process::id() as usize, &run_unit)?;
+    Ok(format!("worker: completed {done} unit(s)\n"))
 }
 
 fn load(file: &str) -> Result<Circuit, CliError> {
@@ -774,17 +1277,27 @@ pub fn usage() -> String {
      \x20                  [--doubles K] [--shots N] [--seed S] [--deadline-ms T]\n\
      \x20                  [--jobs W] [--memory-budget-mb M] [--threshold R]\n\
      \x20                  [--noise ideal|low|melbourne] [--shard I/N]\n\
-     \x20                  [--sweep ideal,low,melbourne:2.0] [--margin R] [--json]\n\
-     qra campaign merge <shard.json>… [--json]\n\
+     \x20                  [--sweep ideal,low,melbourne:2.0] [--margin R|auto[:REPEATS[:Z]]]\n\
+     \x20                  [--json]\n\
+     qra campaign merge <shard.json|partial.json>… [--json]\n\
+     qra sweep run --run-dir <dir> [--workers W] (<file.qasm> | --ghz N) --sweep … [flags]\n\
+     qra sweep resume <dir> [--workers W] [--json]\n\
+     qra sweep status <dir>\n\
+     qra worker --run-dir <dir>\n\
      \n\
      STATE SPECS: ghz | bell | w | plus | zero | basis:IDX | set:I1;I2;… | amps:re,im;…\n\
      \n\
-     --shard I/N runs shard I of N (a contiguous slice of the cell list) and\n\
-     emits a partial report; 'campaign merge' reassembles shard JSON files into\n\
-     the full report, byte-identical to the unsharded run.\n\
+     --shard I/N runs shard I of N and emits a partial: a slice of the cell\n\
+     list for a single campaign, or a slice of the (point x cell) unit grid\n\
+     when combined with --sweep. 'campaign merge' reassembles either kind of\n\
+     partial into the full report, byte-identical to the undistributed run.\n\
      --sweep runs the campaign at each noise point (PRESET[:SCALE]); each\n\
      point's detection threshold is derived as its measured false-positive\n\
-     floor + --margin instead of the fixed --threshold.\n"
+     floor + margin. --margin auto calibrates the margin per design and per\n\
+     point from the baseline variance across repeated seeds.\n\
+     'sweep run' executes the sweep's unit grid across worker subprocesses\n\
+     over a crash-safe run directory: kill anything mid-run, then\n\
+     'sweep resume' finishes the rest and prints the identical report.\n"
         .to_string()
 }
 
@@ -969,9 +1482,167 @@ mod tests {
     #[test]
     fn usage_mentions_all_commands() {
         let u = usage();
-        for word in ["run", "assert", "cost", "info", "campaign", "ghz"] {
-            assert!(u.contains(word));
+        for word in [
+            "run",
+            "assert",
+            "cost",
+            "info",
+            "campaign",
+            "ghz",
+            "sweep run",
+            "sweep resume",
+            "sweep status",
+            "worker",
+            "--margin R|auto",
+        ] {
+            assert!(u.contains(word), "usage misses {word}");
         }
+    }
+
+    #[test]
+    fn parses_sweep_and_worker_commands() {
+        let cmd = parse_args(&args(&[
+            "sweep",
+            "run",
+            "--run-dir",
+            "rd",
+            "--workers",
+            "2",
+            "--ghz",
+            "2",
+            "--sweep",
+            "ideal,low",
+            "--shots",
+            "64",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::SweepRun { dir, workers, args } => {
+                assert_eq!(dir, "rd");
+                assert_eq!(workers, Some(2));
+                assert_eq!(args.source, CampaignSource::Ghz(2));
+                assert_eq!(args.shots, 64);
+                assert_eq!(args.sweep.as_ref().map(Vec::len), Some(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A QASM file rides as the positional after `run`.
+        let cmd = parse_args(&args(&[
+            "sweep",
+            "run",
+            "--run-dir",
+            "rd",
+            "f.qasm",
+            "--sweep",
+            "low",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::SweepRun { args, .. } => {
+                assert_eq!(args.source, CampaignSource::File("f.qasm".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse_args(&args(&["sweep", "resume", "rd", "--json"])).unwrap(),
+            Command::SweepResume {
+                dir: "rd".into(),
+                workers: None,
+                json: true,
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["sweep", "status", "rd"])).unwrap(),
+            Command::SweepStatus { dir: "rd".into() }
+        );
+        assert_eq!(
+            parse_args(&args(&["worker", "--run-dir", "rd"])).unwrap(),
+            Command::Worker { dir: "rd".into() }
+        );
+        // Orchestration needs a sweep; its run dir already shards the grid.
+        assert!(parse_args(&args(&["sweep", "run", "--run-dir", "rd", "--ghz", "2"])).is_err());
+        assert!(parse_args(&args(&[
+            "sweep",
+            "run",
+            "--run-dir",
+            "rd",
+            "--ghz",
+            "2",
+            "--sweep",
+            "low",
+            "--shard",
+            "0/2",
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&["sweep", "run", "--ghz", "2", "--sweep", "low"])).is_err());
+        assert!(parse_args(&args(&["sweep", "resume"])).is_err());
+        assert!(parse_args(&args(&["sweep", "frobnicate", "rd"])).is_err());
+        assert!(parse_args(&args(&["worker"])).is_err());
+        assert!(parse_args(&args(&[
+            "sweep",
+            "run",
+            "--run-dir",
+            "rd",
+            "--ghz",
+            "2",
+            "--sweep",
+            "low",
+            "--workers",
+            "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn sweep_shard_partials_merge_to_the_sequential_sweep() {
+        let campaign = |shard: Option<Shard>, json: bool| {
+            Command::Campaign(CampaignArgs {
+                source: CampaignSource::Ghz(2),
+                state: "ghz".into(),
+                designs: vec![CampaignDesign::Ndd],
+                doubles: 0,
+                shots: 64,
+                seed: 13,
+                deadline_ms: None,
+                memory_budget_mb: 64,
+                jobs: Some(1),
+                noise: DevicePreset::Ideal,
+                threshold: 0.05,
+                shard,
+                sweep: Some(vec![
+                    (DevicePreset::Ideal, 1.0),
+                    (DevicePreset::LowNoise, 1.0),
+                ]),
+                margin: MarginMode::Auto { repeats: 2, z: 2.0 },
+                json,
+            })
+        };
+        let sequential = execute(&campaign(None, true)).unwrap();
+
+        let dir = std::env::temp_dir().join("qra_cli_sweep_shard_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut files = Vec::new();
+        for index in 0..3 {
+            let out = execute(&campaign(Some(Shard { index, count: 3 }), true)).unwrap();
+            assert!(is_sweep_partial(&out), "{out}");
+            let path = dir.join(format!("partial{index}.json"));
+            std::fs::write(&path, &out).unwrap();
+            files.push(path.to_str().unwrap().to_string());
+        }
+        let merged = execute(&Command::CampaignMerge {
+            files: files.clone(),
+            json: true,
+        })
+        .unwrap();
+        assert_eq!(merged, sequential, "merged partials must be byte-identical");
+
+        // Dropping a partial names the gap; mixing kinds names the odd file.
+        let incomplete = execute(&Command::CampaignMerge {
+            files: files[..2].to_vec(),
+            json: true,
+        })
+        .unwrap_err();
+        assert!(incomplete.0.contains("point"), "{incomplete}");
     }
 
     #[test]
@@ -996,40 +1667,31 @@ mod tests {
         ]))
         .unwrap();
         match cmd {
-            Command::Campaign {
-                source,
-                designs,
-                doubles,
-                shots,
-                seed,
-                deadline_ms,
-                jobs,
-                json,
-                ..
-            } => {
-                assert_eq!(source, CampaignSource::Ghz(3));
-                assert_eq!(designs, vec![CampaignDesign::Ndd, CampaignDesign::Stat]);
-                assert_eq!(doubles, 4);
-                assert_eq!(shots, 128);
-                assert_eq!(seed, 7);
-                assert_eq!(deadline_ms, Some(5000));
-                assert_eq!(jobs, Some(4));
-                assert!(json);
+            Command::Campaign(a) => {
+                assert_eq!(a.source, CampaignSource::Ghz(3));
+                assert_eq!(a.designs, vec![CampaignDesign::Ndd, CampaignDesign::Stat]);
+                assert_eq!(a.doubles, 4);
+                assert_eq!(a.shots, 128);
+                assert_eq!(a.seed, 7);
+                assert_eq!(a.deadline_ms, Some(5000));
+                assert_eq!(a.jobs, Some(4));
+                assert!(a.json);
+                // The canonical argv round-trips to the identical command
+                // (modulo --json, an output concern).
+                let reparsed = parse_args(&a.to_argv()).unwrap();
+                let expected = CampaignArgs { json: false, ..a };
+                assert_eq!(reparsed, Command::Campaign(expected));
             }
             other => panic!("unexpected {other:?}"),
         }
         // File source with default designs and auto parallelism.
         let cmd = parse_args(&args(&["campaign", "f.qasm"])).unwrap();
         match cmd {
-            Command::Campaign {
-                source,
-                designs,
-                jobs,
-                ..
-            } => {
-                assert_eq!(source, CampaignSource::File("f.qasm".into()));
-                assert_eq!(designs.len(), 3);
-                assert_eq!(jobs, None);
+            Command::Campaign(a) => {
+                assert_eq!(a.source, CampaignSource::File("f.qasm".into()));
+                assert_eq!(a.designs.len(), 3);
+                assert_eq!(a.jobs, None);
+                assert_eq!(a.margin, MarginMode::Fixed(0.02));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1044,9 +1706,9 @@ mod tests {
     fn parses_campaign_shard_sweep_and_merge() {
         let cmd = parse_args(&args(&["campaign", "--ghz", "2", "--shard", "1/3"])).unwrap();
         match cmd {
-            Command::Campaign { shard, sweep, .. } => {
-                assert_eq!(shard, Some(Shard { index: 1, count: 3 }));
-                assert_eq!(sweep, None);
+            Command::Campaign(a) => {
+                assert_eq!(a.shard, Some(Shard { index: 1, count: 3 }));
+                assert_eq!(a.sweep, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1071,22 +1733,17 @@ mod tests {
         ]))
         .unwrap();
         match cmd {
-            Command::Campaign {
-                sweep,
-                margin,
-                threshold,
-                ..
-            } => {
+            Command::Campaign(a) => {
                 assert_eq!(
-                    sweep,
+                    a.sweep,
                     Some(vec![
                         (DevicePreset::Ideal, 1.0),
                         (DevicePreset::LowNoise, 1.0),
                         (DevicePreset::MelbourneLike, 2.5),
                     ])
                 );
-                assert_eq!(margin, 0.03);
-                assert_eq!(threshold, 0.1);
+                assert_eq!(a.margin, MarginMode::Fixed(0.03));
+                assert_eq!(a.threshold, 0.1);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1096,16 +1753,30 @@ mod tests {
         assert!(parse_args(&args(&["campaign", "f", "--sweep", "low:-1"])).is_err());
         assert!(parse_args(&args(&["campaign", "f", "--sweep", "low:x"])).is_err());
         assert!(parse_args(&args(&["campaign", "f", "--threshold", "-0.1"])).is_err());
-        // Sharding a sweep is rejected: a shard splits one campaign.
-        assert!(parse_args(&args(&[
+        // Sharding a sweep distributes its (point x cell) unit grid.
+        let cmd = parse_args(&args(&[
             "campaign",
             "f",
             "--shard",
             "0/2",
             "--sweep",
-            "ideal,low"
+            "ideal,low",
+            "--margin",
+            "auto:3",
         ]))
-        .is_err());
+        .unwrap();
+        match cmd {
+            Command::Campaign(a) => {
+                assert_eq!(a.shard, Some(Shard { index: 0, count: 2 }));
+                assert_eq!(a.sweep.as_ref().map(Vec::len), Some(2));
+                assert_eq!(a.margin, MarginMode::Auto { repeats: 3, z: 2.0 });
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Auto margins calibrate sweep thresholds; without --sweep there is
+        // nothing to calibrate.
+        assert!(parse_args(&args(&["campaign", "f", "--margin", "auto"])).is_err());
+        assert!(parse_args(&args(&["campaign", "f", "--margin", "auto:1"])).is_err());
 
         let cmd = parse_args(&args(&["campaign", "merge", "a.json", "b.json", "--json"])).unwrap();
         assert_eq!(
@@ -1120,22 +1791,24 @@ mod tests {
 
     #[test]
     fn campaign_shards_merge_to_the_unsharded_report() {
-        let campaign = |shard: Option<Shard>| Command::Campaign {
-            source: CampaignSource::Ghz(2),
-            state: "ghz".into(),
-            designs: vec![CampaignDesign::Ndd, CampaignDesign::Stat],
-            doubles: 0,
-            shots: 64,
-            seed: 11,
-            deadline_ms: None,
-            memory_budget_mb: 64,
-            jobs: Some(1),
-            noise: DevicePreset::Ideal,
-            threshold: 0.05,
-            shard,
-            sweep: None,
-            margin: 0.02,
-            json: true,
+        let campaign = |shard: Option<Shard>| {
+            Command::Campaign(CampaignArgs {
+                source: CampaignSource::Ghz(2),
+                state: "ghz".into(),
+                designs: vec![CampaignDesign::Ndd, CampaignDesign::Stat],
+                doubles: 0,
+                shots: 64,
+                seed: 11,
+                deadline_ms: None,
+                memory_budget_mb: 64,
+                jobs: Some(1),
+                noise: DevicePreset::Ideal,
+                threshold: 0.05,
+                shard,
+                sweep: None,
+                margin: MarginMode::Fixed(0.02),
+                json: true,
+            })
         };
         let full = execute(&campaign(None)).unwrap();
 
@@ -1155,7 +1828,7 @@ mod tests {
 
     #[test]
     fn campaign_sweep_end_to_end() {
-        let out = execute(&Command::Campaign {
+        let out = execute(&Command::Campaign(CampaignArgs {
             source: CampaignSource::Ghz(2),
             state: "ghz".into(),
             designs: vec![CampaignDesign::Ndd],
@@ -1172,9 +1845,9 @@ mod tests {
                 (DevicePreset::Ideal, 1.0),
                 (DevicePreset::LowNoise, 2.0),
             ]),
-            margin: 0.02,
+            margin: MarginMode::Fixed(0.02),
             json: false,
-        })
+        }))
         .unwrap();
         assert!(out.contains("Noise sweep: 2 point(s)"), "{out}");
         assert!(out.contains("--- noise point: low x2 ---"), "{out}");
@@ -1184,7 +1857,7 @@ mod tests {
     #[test]
     fn campaign_rejects_oversized_programs_fast() {
         // Must error out before building the 2^25-amplitude spec.
-        let e = execute(&Command::Campaign {
+        let e = execute(&Command::Campaign(CampaignArgs {
             source: CampaignSource::Ghz(25),
             state: "ghz".into(),
             designs: vec![CampaignDesign::Swap],
@@ -1198,9 +1871,9 @@ mod tests {
             threshold: 0.05,
             shard: None,
             sweep: None,
-            margin: 0.02,
+            margin: MarginMode::Fixed(0.02),
             json: false,
-        })
+        }))
         .unwrap_err();
         assert!(e.0.contains("25 qubits"), "{e}");
     }
@@ -1221,22 +1894,24 @@ mod tests {
 
     #[test]
     fn campaign_end_to_end_on_builtin_ghz() {
-        let campaign = |jobs: Option<usize>, json: bool| Command::Campaign {
-            source: CampaignSource::Ghz(2),
-            state: "ghz".into(),
-            designs: vec![CampaignDesign::Ndd],
-            doubles: 2,
-            shots: 128,
-            seed: 5,
-            deadline_ms: None,
-            memory_budget_mb: 64,
-            jobs,
-            noise: DevicePreset::Ideal,
-            threshold: 0.05,
-            shard: None,
-            sweep: None,
-            margin: 0.02,
-            json,
+        let campaign = |jobs: Option<usize>, json: bool| {
+            Command::Campaign(CampaignArgs {
+                source: CampaignSource::Ghz(2),
+                state: "ghz".into(),
+                designs: vec![CampaignDesign::Ndd],
+                doubles: 2,
+                shots: 128,
+                seed: 5,
+                deadline_ms: None,
+                memory_budget_mb: 64,
+                jobs,
+                noise: DevicePreset::Ideal,
+                threshold: 0.05,
+                shard: None,
+                sweep: None,
+                margin: MarginMode::Fixed(0.02),
+                json,
+            })
         };
         let base = campaign(Some(1), false);
         let text = execute(&base).unwrap();

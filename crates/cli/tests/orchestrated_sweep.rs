@@ -1,0 +1,185 @@
+//! End-to-end tests of the distributed sweep orchestrator, driving the
+//! real `qra` binary: orchestrated sweeps are byte-identical to the
+//! sequential run for any worker count, survive SIGKILLed workers, and
+//! `sweep resume` finishes an interrupted run to the identical report.
+
+use qra::orch::parse_progress;
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn qra() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qra"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = qra().args(args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "qra {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qra-orch-e2e-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn orchestrated_sweep_matches_sequential_for_any_worker_count() {
+    // Auto margin included: calibration units must distribute too.
+    let base = [
+        "--ghz",
+        "2",
+        "--designs",
+        "ndd,stat",
+        "--shots",
+        "128",
+        "--seed",
+        "17",
+        "--sweep",
+        "ideal,low",
+        "--margin",
+        "auto:2",
+        "--jobs",
+        "1",
+    ];
+    let sequential = run_ok(&[&["campaign"][..], &base[..], &["--json"][..]].concat());
+    assert!(sequential.starts_with('{'), "{sequential}");
+
+    for workers in ["1", "2", "4"] {
+        let dir = tmpdir(&format!("workers{workers}"));
+        let dir_str = dir.to_str().unwrap();
+        let args = [
+            &["sweep", "run", "--run-dir", dir_str, "--workers", workers][..],
+            &base[..],
+            &["--json"][..],
+        ]
+        .concat();
+        let orchestrated = run_ok(&args);
+        assert_eq!(
+            orchestrated, sequential,
+            "{workers} worker(s) must render the sequential bytes"
+        );
+
+        // The completed run dir answers status and re-renders on resume.
+        let status = run_ok(&["sweep", "status", dir_str]);
+        assert!(status.contains("status: complete"), "{status}");
+        let resumed = run_ok(&["sweep", "resume", dir_str, "--json"]);
+        assert_eq!(resumed, sequential, "resume of a complete run re-renders");
+
+        // Re-running into the same directory refuses to clobber it.
+        let out = qra().args(&args).output().unwrap();
+        assert!(!out.status.success(), "second sweep run must refuse");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn sigkilled_workers_resume_to_the_identical_report() {
+    // A grid big enough that two workers cannot finish before the kill
+    // lands (the poll below also bails out if they somehow do).
+    let base = [
+        "--ghz",
+        "3",
+        "--designs",
+        "ndd,stat",
+        "--shots",
+        "1024",
+        "--seed",
+        "23",
+        "--sweep",
+        "ideal,low",
+        "--margin",
+        "0.02",
+        "--jobs",
+        "1",
+    ];
+    let sequential = run_ok(&[&["campaign"][..], &base[..], &["--json"][..]].concat());
+
+    let dir = tmpdir("kill");
+    let dir_str = dir.to_str().unwrap();
+    let mut child = qra()
+        .args(
+            [
+                &["sweep", "run", "--run-dir", dir_str, "--workers", "2"][..],
+                &base[..],
+                &["--json"][..],
+            ]
+            .concat(),
+        )
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // Wait until at least one unit is recorded (so the resume genuinely
+    // merges work from the killed epoch), then SIGKILL every worker.
+    let progress_path = dir.join("progress.json");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut raced_to_completion = false;
+    loop {
+        if Instant::now() > deadline {
+            panic!("orchestrated sweep made no progress within the deadline");
+        }
+        if child.try_wait().unwrap().is_some() {
+            raced_to_completion = true;
+            break;
+        }
+        let done = fs::read_to_string(&progress_path)
+            .ok()
+            .and_then(|text| parse_progress(&text).ok())
+            .map_or(0, |(done, _, _, _)| done);
+        if done >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    if !raced_to_completion {
+        // Worker pids are readable from their results stream names.
+        for entry in fs::read_dir(dir.join("results")).unwrap() {
+            let name = entry.unwrap().file_name();
+            let name = name.to_str().unwrap().to_string();
+            if let Some(pid) = name
+                .strip_prefix('w')
+                .and_then(|n| n.strip_suffix(".jsonl"))
+            {
+                let _ = Command::new("sh")
+                    .arg("-c")
+                    .arg(format!("kill -9 {pid}"))
+                    .status();
+            }
+        }
+    }
+
+    let status = child.wait().unwrap();
+    if status.success() || raced_to_completion {
+        // The kill lost the race — the run completed; identity still holds.
+        let mut stdout = String::new();
+        use std::io::Read as _;
+        child
+            .stdout
+            .take()
+            .unwrap()
+            .read_to_string(&mut stdout)
+            .unwrap();
+        assert_eq!(stdout, sequential);
+        let _ = fs::remove_dir_all(&dir);
+        return;
+    }
+
+    // The interrupted run is visibly incomplete…
+    let status_out = run_ok(&["sweep", "status", dir_str]);
+    assert!(status_out.contains("incomplete"), "{status_out}");
+
+    // …and resume finishes exactly the missing units: the merged report is
+    // byte-identical to the sequential sweep.
+    let resumed = run_ok(&["sweep", "resume", dir_str, "--json"]);
+    assert_eq!(resumed, sequential);
+    let _ = fs::remove_dir_all(&dir);
+}

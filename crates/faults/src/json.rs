@@ -1,0 +1,434 @@
+//! Dependency-free JSON reading and writing shared by report
+//! serialization, shard merging and the sweep orchestrator's run-directory
+//! files (manifests, unit records, progress snapshots).
+//!
+//! The reader is a minimal recursive-descent parser; numbers keep their
+//! raw source text until a caller demands an integer or float, so 64-bit
+//! seeds survive untruncated. The writing helpers are the exact formatters
+//! the reports use: floats print in Rust's shortest round-trip
+//! representation (so a value written, reparsed and rewritten is
+//! byte-identical), and non-finite floats — unrepresentable in JSON —
+//! print as `null` and reload as NaN.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error produced by [`parse`] or by typed accessors on [`Json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err(msg: impl Into<String>) -> JsonError {
+    JsonError(msg.into())
+}
+
+/// A parsed JSON value. Numbers keep their raw source text so integer
+/// fields re-parse exactly (no round-trip through `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw source text.
+    Num(String),
+    /// A string (escapes already decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks a field up on an object; `None` for missing fields and
+    /// non-objects.
+    pub fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Like [`Json::get`] but a missing field is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when the field is absent.
+    pub fn require<'a>(&'a self, key: &str) -> Result<&'a Json, JsonError> {
+        self.get(key)
+            .ok_or_else(|| err(format!("missing field '{key}'")))
+    }
+
+    /// The value as a string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] for non-strings.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(err(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// The value as a bool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] for non-bools.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(err(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    /// The value as a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] for non-integers.
+    pub fn as_usize(&self) -> Result<usize, JsonError> {
+        match self {
+            Json::Num(raw) => raw
+                .parse()
+                .map_err(|_| err(format!("expected integer, got '{raw}'"))),
+            other => Err(err(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    /// The value as a `u64` (64-bit seeds re-parse exactly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] for non-integers.
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            Json::Num(raw) => raw
+                .parse()
+                .map_err(|_| err(format!("expected u64, got '{raw}'"))),
+            other => Err(err(format!("expected u64, got {other:?}"))),
+        }
+    }
+
+    /// Floats serialized with [`json_f64`]: `null` encodes a non-finite
+    /// value and reloads as NaN (which re-serializes as `null`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] for non-numbers other than `null`.
+    pub fn as_f64_or_nan(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Null => Ok(f64::NAN),
+            Json::Num(raw) => raw
+                .parse()
+                .map_err(|_| err(format!("expected number, got '{raw}'"))),
+            other => Err(err(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// The value as an array slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] for non-arrays.
+    pub fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(err(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(err(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(err(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(err(format!("malformed object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(err(format!("malformed array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| err(format!("bad \\u escape '{hex}'")))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| err(format!("invalid codepoint {code}")))?,
+                            );
+                        }
+                        other => {
+                            return Err(err(format!("unknown escape '\\{}'", other as char)));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| err("invalid UTF-8 in string"))?;
+                    let ch = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| err("empty string tail"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(err(format!("malformed number at byte {start}")));
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| err("invalid UTF-8 in number"))?;
+        Ok(Json::Num(raw.to_string()))
+    }
+}
+
+/// Parses one complete JSON value; trailing input is an error.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on malformed input.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(err(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+/// Finite floats print plainly (shortest round-trip representation);
+/// NaN/∞ (not representable in JSON) as `null`.
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_scalars_arrays_objects() {
+        let v = parse(r#"{"a":1,"b":[true,false,null,"x\n\"y\""],"c":-2.5e-3}"#).unwrap();
+        assert_eq!(v.require("a").unwrap().as_usize().unwrap(), 1);
+        let arr = v.require("b").unwrap().as_arr().unwrap();
+        assert!(arr[0].as_bool().unwrap());
+        assert_eq!(arr[3].as_str().unwrap(), "x\n\"y\"");
+        assert!((v.require("c").unwrap().as_f64_or_nan().unwrap() + 0.0025).abs() < 1e-12);
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{}extra").is_err());
+    }
+
+    #[test]
+    fn parser_preserves_u64_integers() {
+        let v = parse("[18446744073709551615]").unwrap();
+        assert_eq!(v.as_arr().unwrap()[0].as_u64().unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn unicode_escapes_round_trip() {
+        let v = parse(r#""Aé\t""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "Aé\t");
+    }
+
+    #[test]
+    fn float_formatting_round_trips_exactly() {
+        for x in [0.0, 0.25, 1.0 / 3.0, 2.5e-3, f64::MIN_POSITIVE, 1e300] {
+            let text = json_f64(x);
+            let back: f64 = text.parse().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{text}");
+        }
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(
+            parse(&json_str("a\u{1}b")).unwrap().as_str().unwrap(),
+            "a\u{1}b"
+        );
+    }
+}

@@ -26,7 +26,11 @@
 //!   measured false-positive floor (§IX) instead of a fixed constant;
 //! * [`merge`] — sharded campaigns: [`CampaignConfig::shard`] runs one
 //!   contiguous slice of the cell list, and [`merge_reports`] reassembles
-//!   shard JSON files into a report byte-identical to the unsharded run.
+//!   shard JSON files into a report byte-identical to the unsharded run;
+//!   sweeps additionally distribute as `(point × cell)` units
+//!   ([`SweepUnitRecord`]) that [`assemble_sweep`] reassembles into a
+//!   [`SweepReport`] byte-identical to the sequential sweep;
+//! * [`json`] — the dependency-free JSON reader/writer those formats share.
 //!
 //! ```rust
 //! use qra_algorithms::states;
@@ -45,13 +49,18 @@
 #![deny(missing_docs)]
 
 pub mod inject;
+pub mod json;
 pub mod merge;
 pub mod report;
 pub mod runner;
 pub mod sweep;
 
 pub use inject::{FaultInjector, FaultKind, Mutant, ANGLE_EPSILON};
-pub use merge::{merge_reports, parse_report, MergeError, ParsedReport};
+pub use merge::{
+    assemble_sweep, cell_record_json, is_sweep_partial, margin_record_json, merge_reports,
+    merge_reports_named, merge_sweep_partials_named, parse_report, parse_sweep_partial,
+    parse_unit_record, MergeError, ParsedReport, SweepPartial, SweepUnitPayload, SweepUnitRecord,
+};
 pub use report::{
     BaselineCell, CampaignCell, CampaignReport, CellError, CellStatus, DetectionStat,
 };
@@ -60,6 +69,7 @@ pub use runner::{
     CampaignDesign, Executor, Shard,
 };
 pub use sweep::{
-    run_sweep, run_sweep_with_executor, PointThreshold, SweepConfig, SweepPoint, SweepPointReport,
-    SweepReport,
+    assemble_sweep_report, auto_margins, calibration_seed, run_sweep, run_sweep_with_executor,
+    MarginMode, PointThreshold, SweepConfig, SweepPoint, SweepPointParts, SweepPointReport,
+    SweepReport, AUTO_MARGIN_FALLBACK,
 };

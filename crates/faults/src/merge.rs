@@ -1,4 +1,4 @@
-//! Reloading and merging serialized campaign reports.
+//! Reloading and merging serialized campaign reports and sweep partials.
 //!
 //! A sharded campaign (`CampaignConfig::shard`, CLI `--shard i/n`) emits one
 //! partial JSON report per shard. [`parse_report`] reloads any report JSON
@@ -9,14 +9,24 @@
 //! unsharded run would have, and floats round-trip exactly through Rust's
 //! shortest-representation formatting.
 //!
-//! The parser is a minimal recursive-descent JSON reader (the build has no
-//! serialisation dependency); numbers are kept as raw text until a field
-//! demands an integer or float, so 64-bit seeds survive untruncated.
+//! Sweeps distribute at a finer grain. The unit of work is one
+//! `(noise point × campaign cell)` pair — plus, in auto-margin mode, one
+//! calibration unit per point — and every completed unit serializes as one
+//! [`SweepUnitRecord`] JSON line. Units accumulate either in an
+//! orchestrator run directory (`qra sweep run`, see `qra-orch`) or in a
+//! [`SweepPartial`] file (`qra campaign --sweep --shard i/n`); either way
+//! [`assemble_sweep`] reassembles them into a [`SweepReport`] byte-identical
+//! to the sequential [`run_sweep`](crate::sweep::run_sweep) at the same
+//! seed, regardless of worker count, scheduling order, or a mid-run
+//! kill+resume.
 
+use crate::json::{self, json_f64, json_str, Json, JsonError};
 use crate::report::{BaselineCell, CampaignCell, CampaignReport, CellError, CellStatus};
 use crate::runner::{BackendKind, CampaignDesign, Shard};
+use crate::sweep::{assemble_sweep_report, MarginMode, SweepPointParts, SweepReport};
 use qra_circuit::GateCounts;
 use std::fmt;
+use std::fmt::Write as _;
 use std::time::Duration;
 
 /// Error reloading or merging serialized reports.
@@ -31,290 +41,14 @@ impl fmt::Display for MergeError {
 
 impl std::error::Error for MergeError {}
 
+impl From<JsonError> for MergeError {
+    fn from(e: JsonError) -> Self {
+        MergeError(e.0)
+    }
+}
+
 fn err(msg: impl Into<String>) -> MergeError {
     MergeError(msg.into())
-}
-
-// ---------------------------------------------------------------------------
-// Minimal JSON value + parser
-// ---------------------------------------------------------------------------
-
-/// A parsed JSON value. Numbers keep their raw source text so integer
-/// fields re-parse exactly (no round-trip through `f64`).
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(String),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn require<'a>(&'a self, key: &str) -> Result<&'a Json, MergeError> {
-        self.get(key)
-            .ok_or_else(|| err(format!("missing field '{key}'")))
-    }
-
-    fn as_str(&self) -> Result<&str, MergeError> {
-        match self {
-            Json::Str(s) => Ok(s),
-            other => Err(err(format!("expected string, got {other:?}"))),
-        }
-    }
-
-    fn as_bool(&self) -> Result<bool, MergeError> {
-        match self {
-            Json::Bool(b) => Ok(*b),
-            other => Err(err(format!("expected bool, got {other:?}"))),
-        }
-    }
-
-    fn as_usize(&self) -> Result<usize, MergeError> {
-        match self {
-            Json::Num(raw) => raw
-                .parse()
-                .map_err(|_| err(format!("expected integer, got '{raw}'"))),
-            other => Err(err(format!("expected integer, got {other:?}"))),
-        }
-    }
-
-    fn as_u64(&self) -> Result<u64, MergeError> {
-        match self {
-            Json::Num(raw) => raw
-                .parse()
-                .map_err(|_| err(format!("expected u64, got '{raw}'"))),
-            other => Err(err(format!("expected u64, got {other:?}"))),
-        }
-    }
-
-    /// Floats serialized with [`json_f64`]: `null` encodes a non-finite
-    /// value and reloads as NaN (which re-serializes as `null`).
-    ///
-    /// [`json_f64`]: crate::report
-    fn as_f64_or_nan(&self) -> Result<f64, MergeError> {
-        match self {
-            Json::Null => Ok(f64::NAN),
-            Json::Num(raw) => raw
-                .parse()
-                .map_err(|_| err(format!("expected number, got '{raw}'"))),
-            other => Err(err(format!("expected number, got {other:?}"))),
-        }
-    }
-
-    fn as_arr(&self) -> Result<&[Json], MergeError> {
-        match self {
-            Json::Arr(items) => Ok(items),
-            other => Err(err(format!("expected array, got {other:?}"))),
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Self {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), MergeError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(err(format!(
-                "expected '{}' at byte {}",
-                b as char, self.pos
-            )))
-        }
-    }
-
-    fn eat_literal(&mut self, lit: &str) -> bool {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, MergeError> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
-            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
-            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
-            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
-            _ => Err(err(format!("unexpected input at byte {}", self.pos))),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, MergeError> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(err(format!("malformed object at byte {}", self.pos))),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, MergeError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(err(format!("malformed array at byte {}", self.pos))),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, MergeError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or_else(|| err("unterminated escape"))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| err("truncated \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| err(format!("bad \\u escape '{hex}'")))?;
-                            self.pos += 4;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| err(format!("invalid codepoint {code}")))?,
-                            );
-                        }
-                        other => {
-                            return Err(err(format!("unknown escape '\\{}'", other as char)));
-                        }
-                    }
-                }
-                Some(_) => {
-                    // Consume one UTF-8 character (multi-byte safe).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| err("invalid UTF-8 in string"))?;
-                    let ch = rest
-                        .chars()
-                        .next()
-                        .ok_or_else(|| err("empty string tail"))?;
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, MergeError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while let Some(b) = self.peek() {
-            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        if self.pos == start {
-            return Err(err(format!("malformed number at byte {start}")));
-        }
-        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| err("invalid UTF-8 in number"))?;
-        Ok(Json::Num(raw.to_string()))
-    }
-}
-
-fn parse_json(text: &str) -> Result<Json, MergeError> {
-    let mut p = Parser::new(text);
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(err(format!("trailing input at byte {}", p.pos)));
-    }
-    Ok(v)
 }
 
 // ---------------------------------------------------------------------------
@@ -379,7 +113,12 @@ fn parse_design(v: &Json) -> Result<CampaignDesign, MergeError> {
 ///
 /// Returns [`MergeError`] on malformed JSON or missing/ill-typed fields.
 pub fn parse_report(text: &str) -> Result<ParsedReport, MergeError> {
-    let root = parse_json(text)?;
+    parse_report_value(&json::parse(text)?)
+}
+
+/// [`parse_report`] over an already-parsed [`Json`] value (sweep unit
+/// records embed campaign reports as sub-objects).
+fn parse_report_value(root: &Json) -> Result<ParsedReport, MergeError> {
     let designs: Vec<CampaignDesign> = root
         .require("designs")?
         .as_arr()?
@@ -455,21 +194,52 @@ pub fn parse_report(text: &str) -> Result<ParsedReport, MergeError> {
 /// Returns [`MergeError`] on mismatched campaign metadata, duplicate
 /// indices, or incomplete coverage.
 pub fn merge_reports(shards: &[ParsedReport]) -> Result<CampaignReport, MergeError> {
-    let first = shards
+    let labelled: Vec<(String, &ParsedReport)> = shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (format!("shard {i}"), s))
+        .collect();
+    merge_reports_ref(&labelled)
+}
+
+/// [`merge_reports`] with a source label per shard (typically its file
+/// name), so mismatch/duplicate errors name the offending input instead of
+/// a bare shard position.
+///
+/// # Errors
+///
+/// Returns [`MergeError`] on mismatched campaign metadata, duplicate
+/// indices, or incomplete coverage; the message names the offending shard.
+pub fn merge_reports_named(
+    shards: &[(String, ParsedReport)],
+) -> Result<CampaignReport, MergeError> {
+    let labelled: Vec<(String, &ParsedReport)> =
+        shards.iter().map(|(label, s)| (label.clone(), s)).collect();
+    merge_reports_ref(&labelled)
+}
+
+/// True when two reports cannot come from the same campaign run — the
+/// shared identity check behind every merge path (campaign shards, a
+/// sweep point's cell units, and cross-point consistency of an assembled
+/// sweep).
+fn different_campaign(a: &CampaignReport, b: &CampaignReport) -> bool {
+    a.num_qubits != b.num_qubits
+        || a.shots != b.shots
+        || a.seed != b.seed
+        || a.detection_threshold.to_bits() != b.detection_threshold.to_bits()
+        || a.mutant_count != b.mutant_count
+        || a.designs != b.designs
+}
+
+fn merge_reports_ref(shards: &[(String, &ParsedReport)]) -> Result<CampaignReport, MergeError> {
+    let (first_label, first) = shards
         .first()
         .ok_or_else(|| err("no shard reports to merge"))?;
     let reference = &first.report;
-    for (i, shard) in shards.iter().enumerate().skip(1) {
-        let r = &shard.report;
-        if r.num_qubits != reference.num_qubits
-            || r.shots != reference.shots
-            || r.seed != reference.seed
-            || r.detection_threshold.to_bits() != reference.detection_threshold.to_bits()
-            || r.mutant_count != reference.mutant_count
-            || r.designs != reference.designs
-        {
+    for (label, shard) in shards.iter().skip(1) {
+        if different_campaign(&shard.report, reference) {
             return Err(err(format!(
-                "shard {i} belongs to a different campaign than shard 0 \
+                "{label} belongs to a different campaign than {first_label} \
                  (check seed/shots/designs/mutant count)"
             )));
         }
@@ -477,39 +247,52 @@ pub fn merge_reports(shards: &[ParsedReport]) -> Result<CampaignReport, MergeErr
 
     let num_designs = reference.designs.len();
     let total = reference.total_cells();
-    let mut baseline_slots: Vec<Option<BaselineCell>> = vec![None; num_designs];
-    let mut cell_slots: Vec<Option<CampaignCell>> = vec![None; total - num_designs];
-    for shard in shards {
+    // Remember which shard filled each slot so duplicates name both sources.
+    let mut baseline_slots: Vec<Option<(usize, BaselineCell)>> = vec![None; num_designs];
+    let mut cell_slots: Vec<Option<(usize, CampaignCell)>> = vec![None; total - num_designs];
+    for (si, (label, shard)) in shards.iter().enumerate() {
         for (&index, baseline) in shard.baseline_indices.iter().zip(&shard.report.baselines) {
             if index >= num_designs {
-                return Err(err(format!("baseline index {index} out of range")));
+                return Err(err(format!("{label}: baseline index {index} out of range")));
             }
             let slot = &mut baseline_slots[index];
-            if slot.is_some() {
-                return Err(err(format!("duplicate baseline index {index}")));
+            if let Some((prev, _)) = slot {
+                return Err(err(format!(
+                    "{label}: duplicate baseline index {index} (also in {})",
+                    shards[*prev].0
+                )));
             }
-            *slot = Some(baseline.clone());
+            *slot = Some((si, baseline.clone()));
         }
         for (&index, cell) in shard.cell_indices.iter().zip(&shard.report.cells) {
             if !(num_designs..total).contains(&index) {
-                return Err(err(format!("cell index {index} out of range")));
+                return Err(err(format!("{label}: cell index {index} out of range")));
             }
             let slot = &mut cell_slots[index - num_designs];
-            if slot.is_some() {
-                return Err(err(format!("duplicate cell index {index}")));
+            if let Some((prev, _)) = slot {
+                return Err(err(format!(
+                    "{label}: duplicate cell index {index} (also in {})",
+                    shards[*prev].0
+                )));
             }
-            *slot = Some(cell.clone());
+            *slot = Some((si, cell.clone()));
         }
     }
     let baselines: Vec<BaselineCell> = baseline_slots
         .into_iter()
         .enumerate()
-        .map(|(i, slot)| slot.ok_or_else(|| err(format!("missing baseline cell {i}"))))
+        .map(|(i, slot)| {
+            slot.map(|(_, b)| b)
+                .ok_or_else(|| err(format!("missing baseline cell {i}")))
+        })
         .collect::<Result<_, _>>()?;
     let cells: Vec<CampaignCell> = cell_slots
         .into_iter()
         .enumerate()
-        .map(|(i, slot)| slot.ok_or_else(|| err(format!("missing cell index {}", i + num_designs))))
+        .map(|(i, slot)| {
+            slot.map(|(_, c)| c)
+                .ok_or_else(|| err(format!("missing cell index {}", i + num_designs)))
+        })
         .collect::<Result<_, _>>()?;
 
     Ok(CampaignReport {
@@ -521,10 +304,385 @@ pub fn merge_reports(shards: &[ParsedReport]) -> Result<CampaignReport, MergeErr
         designs: reference.designs.clone(),
         baselines,
         cells,
-        elapsed: shards.iter().map(|s| s.report.elapsed).sum(),
-        deadline_hit: shards.iter().any(|s| s.report.deadline_hit),
+        elapsed: shards.iter().map(|(_, s)| s.report.elapsed).sum(),
+        deadline_hit: shards.iter().any(|(_, s)| s.report.deadline_hit),
         shard: None,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Sweep units
+// ---------------------------------------------------------------------------
+
+/// What one completed sweep unit produced.
+#[derive(Debug, Clone)]
+pub enum SweepUnitPayload {
+    /// A campaign cell: the single-cell shard report for this unit's
+    /// `(point, cell)` coordinate.
+    Cell(ParsedReport),
+    /// The point's calibration unit (auto-margin mode only): the per-design
+    /// margins derived from repeated baseline seeds.
+    Margins(Vec<(CampaignDesign, f64)>),
+}
+
+/// One completed unit of distributed sweep work, as streamed to a JSONL
+/// results file: `{"point":P,"cell":C,"campaign":{…}}` for campaign cells,
+/// `{"point":P,"cell":C,"margins":[…]}` for a point's calibration unit.
+#[derive(Debug, Clone)]
+pub struct SweepUnitRecord {
+    /// The noise point's index in sweep order.
+    pub point: usize,
+    /// The cell index within the point: `0..cells_per_point` for campaign
+    /// cells, exactly `cells_per_point` for the calibration unit.
+    pub cell: usize,
+    /// The unit's result.
+    pub payload: SweepUnitPayload,
+}
+
+impl SweepUnitRecord {
+    /// Serializes the record as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match &self.payload {
+            SweepUnitPayload::Cell(parsed) => {
+                cell_record_json(self.point, self.cell, &parsed.report)
+            }
+            SweepUnitPayload::Margins(margins) => {
+                margin_record_json(self.point, self.cell, margins)
+            }
+        }
+    }
+}
+
+/// Serializes a completed campaign-cell unit as its JSONL record. The
+/// report is the unit's single-cell shard output, embedded verbatim.
+pub fn cell_record_json(point: usize, cell: usize, report: &CampaignReport) -> String {
+    format!(
+        "{{\"point\":{point},\"cell\":{cell},\"campaign\":{}}}",
+        report.to_json()
+    )
+}
+
+/// Serializes a completed margin-calibration unit as its JSONL record.
+pub fn margin_record_json(point: usize, cell: usize, margins: &[(CampaignDesign, f64)]) -> String {
+    let mut out = format!("{{\"point\":{point},\"cell\":{cell},\"margins\":[");
+    for (i, (design, margin)) in margins.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"design\":{},\"margin\":{}}}",
+            json_str(design.name()),
+            json_f64(*margin)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn parse_margins(v: &Json) -> Result<Vec<(CampaignDesign, f64)>, MergeError> {
+    v.as_arr()?
+        .iter()
+        .map(|m| {
+            Ok((
+                parse_design(m.require("design")?)?,
+                m.require("margin")?.as_f64_or_nan()?,
+            ))
+        })
+        .collect()
+}
+
+/// Parses one sweep unit record (one line of a results JSONL file or one
+/// element of a [`SweepPartial`]'s `units` array).
+///
+/// # Errors
+///
+/// Returns [`MergeError`] on malformed JSON or missing/ill-typed fields.
+pub fn parse_unit_record(text: &str) -> Result<SweepUnitRecord, MergeError> {
+    parse_unit_value(&json::parse(text)?)
+}
+
+fn parse_unit_value(root: &Json) -> Result<SweepUnitRecord, MergeError> {
+    let point = root.require("point")?.as_usize()?;
+    let cell = root.require("cell")?.as_usize()?;
+    let payload = if let Some(campaign) = root.get("campaign") {
+        SweepUnitPayload::Cell(parse_report_value(campaign)?)
+    } else if let Some(margins) = root.get("margins") {
+        SweepUnitPayload::Margins(parse_margins(margins)?)
+    } else {
+        return Err(err("unit record has neither 'campaign' nor 'margins'"));
+    };
+    Ok(SweepUnitRecord {
+        point,
+        cell,
+        payload,
+    })
+}
+
+/// Reassembles completed sweep units into the full [`SweepReport`].
+///
+/// `labels` are the sweep's point labels in order and `cells_per_point` the
+/// campaign's total cell count per point
+/// ([`CampaignReport::total_cells`]). The units must cover every
+/// `(point, cell)` coordinate exactly once — plus, in auto-margin mode,
+/// exactly one calibration unit per point — in any order. Because each
+/// cell unit ran with the same derived seed the sequential sweep would
+/// have used, the assembled report renders **byte-identically** to
+/// [`run_sweep`](crate::sweep::run_sweep) at the same seed.
+///
+/// # Errors
+///
+/// Returns [`MergeError`] on missing or duplicate units, units outside the
+/// sweep's coordinates, mismatched campaign metadata between a point's
+/// cells, or calibration units inconsistent with the margin mode.
+pub fn assemble_sweep(
+    margin: MarginMode,
+    labels: &[String],
+    cells_per_point: usize,
+    units: &[SweepUnitRecord],
+) -> Result<SweepReport, MergeError> {
+    let mut cells: Vec<Vec<(String, ParsedReport)>> = vec![Vec::new(); labels.len()];
+    let mut margins: Vec<Option<Vec<(CampaignDesign, f64)>>> = vec![None; labels.len()];
+    for unit in units {
+        if unit.point >= labels.len() {
+            return Err(err(format!(
+                "unit point {} out of range (sweep has {} point(s))",
+                unit.point,
+                labels.len()
+            )));
+        }
+        let label = &labels[unit.point];
+        match &unit.payload {
+            SweepUnitPayload::Cell(parsed) => {
+                if unit.cell >= cells_per_point {
+                    return Err(err(format!(
+                        "point {} ({label}): cell {} out of range (campaign has {} cell(s))",
+                        unit.point, unit.cell, cells_per_point
+                    )));
+                }
+                cells[unit.point].push((
+                    format!("unit ({},{})", unit.point, unit.cell),
+                    parsed.clone(),
+                ));
+            }
+            SweepUnitPayload::Margins(m) => {
+                if matches!(margin, MarginMode::Fixed(_)) {
+                    return Err(err(format!(
+                        "point {} ({label}): calibration unit present but margin mode is fixed",
+                        unit.point
+                    )));
+                }
+                if unit.cell != cells_per_point {
+                    return Err(err(format!(
+                        "point {} ({label}): calibration unit at cell {} (expected {})",
+                        unit.point, unit.cell, cells_per_point
+                    )));
+                }
+                if margins[unit.point].is_some() {
+                    return Err(err(format!(
+                        "point {} ({label}): duplicate calibration unit",
+                        unit.point
+                    )));
+                }
+                margins[unit.point] = Some(m.clone());
+            }
+        }
+    }
+
+    let mut parts: Vec<SweepPointParts> = Vec::with_capacity(labels.len());
+    for (point, (label, point_cells)) in labels.iter().zip(cells).enumerate() {
+        let report = merge_reports_named(&point_cells)
+            .map_err(|e| err(format!("point {point} ({label}): {e}")))?;
+        // Every point runs the *same* campaign at a different noise
+        // model; a seed/shots/design mismatch across points means the
+        // units came from different sweeps.
+        if let Some(reference) = parts.first() {
+            if different_campaign(&report, &reference.report) {
+                return Err(err(format!(
+                    "point {point} ({label}) belongs to a different campaign than \
+                     point 0 ({}) (check seed/shots/designs/mutant count)",
+                    reference.label
+                )));
+            }
+        }
+        if report.total_cells() != cells_per_point {
+            return Err(err(format!(
+                "point {point} ({label}): campaign has {} cell(s), sweep manifest says {}",
+                report.total_cells(),
+                cells_per_point
+            )));
+        }
+        let point_margins = match margin {
+            MarginMode::Fixed(_) => None,
+            MarginMode::Auto { .. } => Some(margins[point].take().ok_or_else(|| {
+                err(format!("point {point} ({label}): missing calibration unit"))
+            })?),
+        };
+        parts.push(SweepPointParts {
+            label: label.clone(),
+            report,
+            margins: point_margins,
+        });
+    }
+    Ok(assemble_sweep_report(margin, parts))
+}
+
+// ---------------------------------------------------------------------------
+// Sweep partials (`--sweep --shard i/n`)
+// ---------------------------------------------------------------------------
+
+/// One shard of a distributed sweep: the units a single
+/// `qra campaign --sweep --shard i/n` invocation computed, plus the sweep
+/// coordinates needed to validate reassembly.
+#[derive(Debug, Clone)]
+pub struct SweepPartial {
+    /// How the sweep derives margins (must match across shards).
+    pub margin: MarginMode,
+    /// The sweep's point labels, in order (must match across shards).
+    pub labels: Vec<String>,
+    /// Campaign cells per point (must match across shards).
+    pub cells_per_point: usize,
+    /// This shard's slice of the unit list, `i/n` over the global unit
+    /// index `point * units_per_point + cell`.
+    pub shard: Shard,
+    /// The completed units.
+    pub units: Vec<SweepUnitRecord>,
+}
+
+impl SweepPartial {
+    /// Serializes the partial; [`parse_sweep_partial`] reloads it.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"sweep_partial\":true,");
+        let _ = write!(
+            out,
+            "\"margin\":{},\"cells_per_point\":{},\"shard\":{{\"index\":{},\"count\":{}}},\"labels\":[",
+            json_str(&self.margin.to_string()),
+            self.cells_per_point,
+            self.shard.index,
+            self.shard.count
+        );
+        for (i, label) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(label));
+        }
+        out.push_str("],\"units\":[");
+        for (i, unit) in self.units.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&unit.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Returns whether `text` looks like a [`SweepPartial`] (as opposed to a
+/// campaign report) without fully parsing it.
+pub fn is_sweep_partial(text: &str) -> bool {
+    text.trim_start()
+        .strip_prefix('{')
+        .is_some_and(|rest| rest.trim_start().starts_with("\"sweep_partial\""))
+}
+
+/// Reloads a sweep partial serialized by [`SweepPartial::to_json`].
+///
+/// # Errors
+///
+/// Returns [`MergeError`] on malformed JSON or missing/ill-typed fields.
+pub fn parse_sweep_partial(text: &str) -> Result<SweepPartial, MergeError> {
+    let root = json::parse(text)?;
+    if root.get("sweep_partial").is_none() {
+        return Err(err("not a sweep partial (missing 'sweep_partial' marker)"));
+    }
+    let margin: MarginMode = root
+        .require("margin")?
+        .as_str()?
+        .parse()
+        .map_err(|e: String| err(e))?;
+    let labels = root
+        .require("labels")?
+        .as_arr()?
+        .iter()
+        .map(|l| Ok(l.as_str()?.to_string()))
+        .collect::<Result<Vec<_>, MergeError>>()?;
+    let shard_v = root.require("shard")?;
+    let shard = Shard::new(
+        shard_v.require("index")?.as_usize()?,
+        shard_v.require("count")?.as_usize()?,
+    )
+    .map_err(err)?;
+    let units = root
+        .require("units")?
+        .as_arr()?
+        .iter()
+        .map(parse_unit_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SweepPartial {
+        margin,
+        labels,
+        cells_per_point: root.require("cells_per_point")?.as_usize()?,
+        shard,
+        units,
+    })
+}
+
+/// Merges sweep partials into the full [`SweepReport`]. Each partial is
+/// labelled with its source (typically the file name) so mismatch errors
+/// name the offending input.
+///
+/// # Errors
+///
+/// Returns [`MergeError`] when the partials disagree on sweep coordinates
+/// (margin mode, point labels, cells per point) or their units do not
+/// cover the sweep exactly once.
+pub fn merge_sweep_partials_named(
+    partials: &[(String, SweepPartial)],
+) -> Result<SweepReport, MergeError> {
+    let (first_label, first) = partials
+        .first()
+        .ok_or_else(|| err("no sweep partials to merge"))?;
+    for (label, partial) in partials.iter().skip(1) {
+        if partial.margin != first.margin
+            || partial.labels != first.labels
+            || partial.cells_per_point != first.cells_per_point
+        {
+            return Err(err(format!(
+                "{label} belongs to a different sweep than {first_label} \
+                 (check margin/points/mutant count)"
+            )));
+        }
+    }
+    // The header check above can't see the campaign identity (it lives in
+    // the cell payloads), so compare every cell unit against the first one
+    // found — this names the offending *file*, which the pooled
+    // per-point/cross-point checks in `assemble_sweep` cannot.
+    let mut reference: Option<(&str, &ParsedReport)> = None;
+    for (label, partial) in partials {
+        for unit in &partial.units {
+            if let SweepUnitPayload::Cell(parsed) = &unit.payload {
+                match reference {
+                    None => reference = Some((label, parsed)),
+                    Some((ref_label, ref_parsed)) => {
+                        if different_campaign(&parsed.report, &ref_parsed.report) {
+                            return Err(err(format!(
+                                "{label}: unit ({},{}) belongs to a different campaign \
+                                 than {ref_label} (check seed/shots/designs/mutant count)",
+                                unit.point, unit.cell
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let units: Vec<SweepUnitRecord> = partials
+        .iter()
+        .flat_map(|(_, p)| p.units.iter().cloned())
+        .collect();
+    assemble_sweep(first.margin, &first.labels, first.cells_per_point, &units)
 }
 
 #[cfg(test)]
@@ -532,32 +690,84 @@ mod tests {
     use super::*;
 
     #[test]
-    fn json_parser_handles_scalars_arrays_objects() {
-        let v = parse_json(r#"{"a":1,"b":[true,false,null,"x\n\"y\""],"c":-2.5e-3}"#).unwrap();
-        assert_eq!(v.require("a").unwrap().as_usize().unwrap(), 1);
-        let arr = v.require("b").unwrap().as_arr().unwrap();
-        assert!(arr[0].as_bool().unwrap());
-        assert_eq!(arr[3].as_str().unwrap(), "x\n\"y\"");
-        assert!((v.require("c").unwrap().as_f64_or_nan().unwrap() + 0.0025).abs() < 1e-12);
-        assert!(parse_json("{").is_err());
-        assert!(parse_json("[1,]").is_err());
-        assert!(parse_json("{}extra").is_err());
-    }
-
-    #[test]
-    fn json_parser_preserves_u64_integers() {
-        let v = parse_json("[18446744073709551615]").unwrap();
-        assert_eq!(v.as_arr().unwrap()[0].as_u64().unwrap(), u64::MAX);
-    }
-
-    #[test]
-    fn unicode_escapes_round_trip() {
-        let v = parse_json(r#""Aé\t""#).unwrap();
-        assert_eq!(v.as_str().unwrap(), "Aé\t");
-    }
-
-    #[test]
     fn merge_rejects_empty_mismatched_and_incomplete() {
         assert!(merge_reports(&[]).is_err());
+        assert!(merge_sweep_partials_named(&[]).is_err());
+    }
+
+    #[test]
+    fn unit_record_round_trips_margins() {
+        let record = SweepUnitRecord {
+            point: 2,
+            cell: 6,
+            payload: SweepUnitPayload::Margins(vec![
+                (CampaignDesign::Ndd, 0.015625),
+                (CampaignDesign::Stat, 1.0 / 3.0),
+            ]),
+        };
+        let json = record.to_json();
+        let back = parse_unit_record(&json).unwrap();
+        assert_eq!(back.point, 2);
+        assert_eq!(back.cell, 6);
+        match &back.payload {
+            SweepUnitPayload::Margins(m) => {
+                assert_eq!(m.len(), 2);
+                assert_eq!(m[0].0, CampaignDesign::Ndd);
+                assert_eq!(m[0].1.to_bits(), 0.015625f64.to_bits());
+                assert_eq!(m[1].1.to_bits(), (1.0f64 / 3.0).to_bits());
+            }
+            other => panic!("expected margins, got {other:?}"),
+        }
+        // Serialization is stable through a round trip.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn unit_record_rejects_unknown_payloads() {
+        assert!(parse_unit_record("{\"point\":0,\"cell\":0}").is_err());
+        assert!(parse_unit_record("not json").is_err());
+    }
+
+    #[test]
+    fn sweep_partial_detection_is_cheap_and_specific() {
+        assert!(is_sweep_partial(
+            "{\"sweep_partial\":true,\"margin\":\"0.02\"}"
+        ));
+        assert!(is_sweep_partial("  {\n  \"sweep_partial\": true}"));
+        assert!(!is_sweep_partial("{\"num_qubits\":2}"));
+        assert!(!is_sweep_partial("[1,2]"));
+    }
+
+    #[test]
+    fn assemble_rejects_out_of_range_and_mode_mismatch() {
+        let labels = vec!["ideal".to_string()];
+        let margin_unit = SweepUnitRecord {
+            point: 0,
+            cell: 4,
+            payload: SweepUnitPayload::Margins(vec![(CampaignDesign::Ndd, 0.01)]),
+        };
+        // Calibration unit under a fixed margin is a contract violation.
+        let e = assemble_sweep(
+            MarginMode::Fixed(0.02),
+            &labels,
+            4,
+            std::slice::from_ref(&margin_unit),
+        )
+        .unwrap_err();
+        assert!(e.0.contains("margin mode is fixed"), "{e}");
+        // Out-of-range point.
+        let stray = SweepUnitRecord {
+            point: 3,
+            ..margin_unit.clone()
+        };
+        let e = assemble_sweep(MarginMode::auto(), &labels, 4, &[stray]).unwrap_err();
+        assert!(e.0.contains("point 3 out of range"), "{e}");
+        // Misplaced calibration cell index.
+        let misplaced = SweepUnitRecord {
+            cell: 2,
+            ..margin_unit
+        };
+        let e = assemble_sweep(MarginMode::auto(), &labels, 4, &[misplaced]).unwrap_err();
+        assert!(e.0.contains("calibration unit at cell 2"), "{e}");
     }
 }

@@ -6,6 +6,7 @@
 //! structured error) or skipped (with the reason) — a partial run is
 //! visible, never silently truncated.
 
+pub(crate) use crate::json::{json_f64, json_str};
 use crate::runner::{BackendKind, CampaignDesign, Shard};
 use qra_circuit::GateCounts;
 use qra_core::AssertionError;
@@ -623,36 +624,6 @@ fn push_status_json(out: &mut String, status: &CellStatus) {
             );
         }
     }
-}
-
-/// Finite floats print plainly; NaN/∞ (not representable in JSON) as null.
-pub(crate) fn json_f64(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".into()
-    }
-}
-
-/// Escapes `s` as a JSON string literal.
-pub(crate) fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]

@@ -635,8 +635,9 @@ fn run_cell_inner(
 }
 
 /// SplitMix64-style seed derivation, so every cell and retry gets an
-/// independent but reproducible stream.
-fn derive_seed(base: u64, a: u64, b: u64) -> u64 {
+/// independent but reproducible stream. Crate-visible: sweeps derive
+/// margin-calibration seeds from the same stream family.
+pub(crate) fn derive_seed(base: u64, a: u64, b: u64) -> u64 {
     let mut z = base
         .wrapping_add(a.wrapping_mul(0x9e37_79b9_7f4a_7c15))
         .wrapping_add(b.wrapping_mul(0xbf58_476d_1ce4_e5b9));

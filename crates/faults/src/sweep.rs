@@ -7,20 +7,26 @@
 //! fixed detection threshold below that floor misclassifies noise as bugs.
 //! A sweep therefore runs the baseline row at every noise point, takes each
 //! design's baseline error rate as its false-positive floor, and sets that
-//! point's detection threshold to `floor + threshold_margin` — falling back
-//! to the campaign's configured threshold where the baseline did not
-//! complete. The report then shows detection degradation per fault class ×
-//! design × noise point.
+//! point's detection threshold to `floor + margin` — falling back to the
+//! campaign's configured threshold where the baseline did not complete.
+//! The margin is either a fixed constant ([`MarginMode::Fixed`]) or
+//! calibrated per design and per point from the variance of the baseline
+//! floor across repeated seeds ([`MarginMode::Auto`]). The report then
+//! shows detection degradation per fault class × design × noise point.
 
 use crate::inject::Mutant;
-use crate::report::{json_f64, json_str, CampaignReport, CellStatus, DetectionStat};
+use crate::json::{json_f64, json_str};
+use crate::report::{CampaignReport, CellStatus, DetectionStat};
+use crate::runner::derive_seed;
 use crate::runner::Executor;
 use crate::runner::{run_campaign, run_campaign_with_executor, CampaignConfig, CampaignDesign};
 use qra_circuit::Circuit;
 use qra_core::StateSpec;
 use qra_sim::{DevicePreset, NoiseModel};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write as _;
+use std::str::FromStr;
 
 /// One noise point of a sweep: a labelled [`NoiseModel`].
 #[derive(Debug, Clone)]
@@ -58,6 +64,106 @@ impl SweepPoint {
     }
 }
 
+/// How a sweep derives the margin it adds to each design's false-positive
+/// floor to obtain that point's detection threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MarginMode {
+    /// A fixed margin added to every floor.
+    Fixed(f64),
+    /// The margin is calibrated per design and per noise point from the
+    /// baseline false-positive variance across `repeats` repeated seeds: a
+    /// normal-approximation prediction bound `z · s · √(1 + 1/k)` over the
+    /// `k` completed repeat floors (clamped below at one shot's weight,
+    /// `1/shots`, the measurement's resolution). Designs with fewer than
+    /// two completed repeats fall back to [`AUTO_MARGIN_FALLBACK`].
+    Auto {
+        /// How many extra baseline campaigns to run per noise point.
+        repeats: u32,
+        /// The normal-approximation confidence multiplier.
+        z: f64,
+    },
+}
+
+/// Fixed margin used when auto calibration cannot measure a design's
+/// baseline variance (fewer than two completed repeats).
+pub const AUTO_MARGIN_FALLBACK: f64 = 0.02;
+
+impl MarginMode {
+    /// The default auto-calibration repeat count.
+    pub const DEFAULT_AUTO_REPEATS: u32 = 5;
+    /// The default auto-calibration confidence multiplier (~97.7% one-sided
+    /// under the normal approximation).
+    pub const DEFAULT_AUTO_Z: f64 = 2.0;
+
+    /// The default auto mode: `auto:5:2`.
+    pub fn auto() -> Self {
+        MarginMode::Auto {
+            repeats: Self::DEFAULT_AUTO_REPEATS,
+            z: Self::DEFAULT_AUTO_Z,
+        }
+    }
+}
+
+impl Default for MarginMode {
+    fn default() -> Self {
+        MarginMode::Fixed(0.02)
+    }
+}
+
+impl fmt::Display for MarginMode {
+    /// The CLI/manifest spelling, reparseable by [`MarginMode::from_str`]:
+    /// fixed margins print as their shortest round-trip float, auto as
+    /// `auto:REPEATS:Z`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarginMode::Fixed(m) => write!(f, "{m}"),
+            MarginMode::Auto { repeats, z } => write!(f, "auto:{repeats}:{z}"),
+        }
+    }
+}
+
+impl FromStr for MarginMode {
+    type Err = String;
+
+    /// Parses `0.02`, `auto`, `auto:REPEATS` or `auto:REPEATS:Z`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(rest) = s.strip_prefix("auto") {
+            let mut parts = rest.split(':').skip(1); // leading "" before first ':'
+            if !rest.is_empty() && !rest.starts_with(':') {
+                return Err(format!("bad margin '{s}': expected auto[:REPEATS[:Z]]"));
+            }
+            let repeats =
+                match parts.next() {
+                    Some(r) => r.parse::<u32>().ok().filter(|&r| r >= 2).ok_or_else(|| {
+                        format!("bad margin repeats in '{s}' (need an integer >= 2)")
+                    })?,
+                    None => Self::DEFAULT_AUTO_REPEATS,
+                };
+            let z = match parts.next() {
+                Some(z) => z
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|z| z.is_finite() && *z > 0.0)
+                    .ok_or_else(|| {
+                        format!("bad margin z in '{s}' (need a finite positive number)")
+                    })?,
+                None => Self::DEFAULT_AUTO_Z,
+            };
+            if parts.next().is_some() {
+                return Err(format!("bad margin '{s}': expected auto[:REPEATS[:Z]]"));
+            }
+            return Ok(MarginMode::Auto { repeats, z });
+        }
+        let m: f64 = s
+            .parse()
+            .map_err(|_| format!("bad margin '{s}': expected a rate or auto[:REPEATS[:Z]]"))?;
+        if !m.is_finite() || m < 0.0 {
+            return Err(format!("margin must be a finite rate >= 0, got '{s}'"));
+        }
+        Ok(MarginMode::Fixed(m))
+    }
+}
+
 /// Configuration of a noise sweep.
 #[derive(Debug, Clone)]
 pub struct SweepConfig {
@@ -67,9 +173,9 @@ pub struct SweepConfig {
     /// replaced per point; its `detection_threshold` is the fallback when a
     /// baseline cell did not complete).
     pub base: CampaignConfig,
-    /// Margin added to each design's false-positive floor to obtain that
-    /// point's derived detection threshold.
-    pub threshold_margin: f64,
+    /// How the detection margin over each design's false-positive floor is
+    /// obtained.
+    pub margin: MarginMode,
 }
 
 impl Default for SweepConfig {
@@ -81,7 +187,7 @@ impl Default for SweepConfig {
                 SweepPoint::preset(DevicePreset::MelbourneLike),
             ],
             base: CampaignConfig::default(),
-            threshold_margin: 0.02,
+            margin: MarginMode::default(),
         }
     }
 }
@@ -94,6 +200,9 @@ pub struct PointThreshold {
     /// The design's measured false-positive floor (its baseline error
     /// rate); `None` when the baseline cell did not complete.
     pub floor: Option<f64>,
+    /// The margin added to the floor (fixed, or this design's calibrated
+    /// value in auto mode).
+    pub margin: f64,
     /// The detection threshold applied at this point: `floor + margin`, or
     /// the configured fallback when no floor was measured.
     pub threshold: f64,
@@ -131,14 +240,61 @@ impl SweepPointReport {
 /// The full sweep result: one [`SweepPointReport`] per noise point.
 #[derive(Debug, Clone)]
 pub struct SweepReport {
-    /// Margin that was added to each floor.
-    pub threshold_margin: f64,
+    /// How the per-design margins over the floors were obtained.
+    pub margin: MarginMode,
     /// Per-point results, in sweep order.
     pub points: Vec<SweepPointReport>,
 }
 
+/// One assembled point of a sweep report: the merged campaign plus the
+/// margins its thresholds derive from. [`assemble_sweep_report`] turns a
+/// list of these into a [`SweepReport`] identical to what a sequential
+/// [`run_sweep`] would have produced for the same campaigns.
+#[derive(Debug, Clone)]
+pub struct SweepPointParts {
+    /// The point's label.
+    pub label: String,
+    /// The point's full campaign report (merged from shards or units).
+    pub report: CampaignReport,
+    /// Per-design calibrated margins (auto mode); `None` in fixed mode.
+    pub margins: Option<Vec<(CampaignDesign, f64)>>,
+}
+
+/// Builds a [`SweepReport`] from per-point campaign reports and margins.
+///
+/// This is the single place sweep thresholds are derived: the sequential
+/// [`run_sweep`] and the shard/orchestrator merge paths both call it, so a
+/// sweep reassembled from distributed units renders **byte-identically**
+/// to the sequential run of the same campaigns.
+pub fn assemble_sweep_report(margin: MarginMode, parts: Vec<SweepPointParts>) -> SweepReport {
+    let points = parts
+        .into_iter()
+        .map(|part| {
+            let margin_of = |design: CampaignDesign| match (margin, &part.margins) {
+                (MarginMode::Fixed(m), _) => m,
+                (MarginMode::Auto { .. }, Some(margins)) => margins
+                    .iter()
+                    .find(|(d, _)| *d == design)
+                    .map_or(AUTO_MARGIN_FALLBACK, |(_, m)| *m),
+                (MarginMode::Auto { .. }, None) => AUTO_MARGIN_FALLBACK,
+            };
+            let thresholds = derive_thresholds(&part.report, margin_of);
+            SweepPointReport {
+                label: part.label,
+                fp_floor: part.report.false_positive_floor(),
+                thresholds,
+                report: part.report,
+            }
+        })
+        .collect();
+    SweepReport { margin, points }
+}
+
 /// Derives per-design thresholds from a campaign's baseline row.
-fn derive_thresholds(report: &CampaignReport, margin: f64) -> Vec<PointThreshold> {
+fn derive_thresholds(
+    report: &CampaignReport,
+    margin_of: impl Fn(CampaignDesign) -> f64,
+) -> Vec<PointThreshold> {
     report
         .designs
         .iter()
@@ -154,11 +310,80 @@ fn derive_thresholds(report: &CampaignReport, margin: f64) -> Vec<PointThreshold
                     _ => None,
                 }
             });
+            let margin = margin_of(design);
             PointThreshold {
                 design,
                 floor,
+                margin,
                 threshold: floor.map_or(report.detection_threshold, |f| f + margin),
             }
+        })
+        .collect()
+}
+
+/// Stream tag separating margin-calibration seeds from campaign cell seeds
+/// (which use small row/column coordinates).
+const CALIBRATION_STREAM: u64 = 0x5EED_CA11;
+
+/// The base seed of calibration repeat `repeat` at noise point
+/// `point_index`: every repeat gets an independent but reproducible
+/// campaign seed derived from the sweep's base seed alone, so sequential
+/// sweeps, sweep shards and orchestrator workers calibrate identically.
+pub fn calibration_seed(base: u64, point_index: usize, repeat: u32) -> u64 {
+    derive_seed(
+        base,
+        CALIBRATION_STREAM + point_index as u64,
+        u64::from(repeat),
+    )
+}
+
+/// Calibrates per-design detection margins at one noise point from the
+/// variance of the baseline false-positive floor across repeated seeds
+/// ([`MarginMode::Auto`]).
+///
+/// `run_baseline` runs a no-mutant campaign for the given configuration
+/// (the production path is [`run_campaign`] with an empty mutant list);
+/// it is invoked `repeats` times with seeds from [`calibration_seed`].
+pub fn auto_margins(
+    point_config: &CampaignConfig,
+    point_index: usize,
+    repeats: u32,
+    z: f64,
+    mut run_baseline: impl FnMut(&CampaignConfig) -> CampaignReport,
+) -> Vec<(CampaignDesign, f64)> {
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); point_config.designs.len()];
+    for repeat in 0..repeats {
+        let config = CampaignConfig {
+            seed: calibration_seed(point_config.seed, point_index, repeat),
+            shard: None,
+            ..point_config.clone()
+        };
+        let report = run_baseline(&config);
+        for (di, &design) in point_config.designs.iter().enumerate() {
+            if let Some(rate) = report.false_positive_rate(design) {
+                if rate.is_finite() {
+                    samples[di].push(rate);
+                }
+            }
+        }
+    }
+    point_config
+        .designs
+        .iter()
+        .zip(&samples)
+        .map(|(&design, floors)| {
+            let margin = if floors.len() >= 2 {
+                let n = floors.len() as f64;
+                let mean = floors.iter().sum::<f64>() / n;
+                let var = floors.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+                // Prediction bound for one future baseline draw, clamped
+                // below at the sampling resolution of one shot.
+                let bound = z * var.sqrt() * (1.0 + 1.0 / n).sqrt();
+                bound.max(1.0 / point_config.shots.max(1) as f64)
+            } else {
+                AUTO_MARGIN_FALLBACK
+            };
+            (design, margin)
         })
         .collect()
 }
@@ -172,8 +397,8 @@ pub fn run_sweep(
     mutants: &[Mutant],
     config: &SweepConfig,
 ) -> SweepReport {
-    run_sweep_inner(config, |point_config| {
-        run_campaign(program, qubits, spec, mutants, point_config)
+    run_sweep_inner(config, mutants, |point_config, mutant_set| {
+        run_campaign(program, qubits, spec, mutant_set, point_config)
     })
 }
 
@@ -187,36 +412,46 @@ pub fn run_sweep_with_executor(
     config: &SweepConfig,
     executor: &Executor<'_>,
 ) -> SweepReport {
-    run_sweep_inner(config, |point_config| {
-        run_campaign_with_executor(program, qubits, spec, mutants, point_config, executor)
+    run_sweep_inner(config, mutants, |point_config, mutant_set| {
+        run_campaign_with_executor(program, qubits, spec, mutant_set, point_config, executor)
     })
 }
 
 fn run_sweep_inner(
     config: &SweepConfig,
-    mut run: impl FnMut(&CampaignConfig) -> CampaignReport,
+    mutants: &[Mutant],
+    mut run: impl FnMut(&CampaignConfig, &[Mutant]) -> CampaignReport,
 ) -> SweepReport {
-    let points = config
+    let parts = config
         .points
         .iter()
-        .map(|point| {
+        .enumerate()
+        .map(|(point_index, point)| {
             let point_config = CampaignConfig {
                 noise: point.noise.clone(),
                 ..config.base.clone()
             };
-            let report = run(&point_config);
-            SweepPointReport {
+            // Auto margins calibrate on no-mutant campaigns with derived
+            // seeds before the point's real matrix runs.
+            let margins = match config.margin {
+                MarginMode::Fixed(_) => None,
+                MarginMode::Auto { repeats, z } => Some(auto_margins(
+                    &point_config,
+                    point_index,
+                    repeats,
+                    z,
+                    |calibration_config| run(calibration_config, &[]),
+                )),
+            };
+            let report = run(&point_config, mutants);
+            SweepPointParts {
                 label: point.label.clone(),
-                fp_floor: report.false_positive_floor(),
-                thresholds: derive_thresholds(&report, config.threshold_margin),
                 report,
+                margins,
             }
         })
         .collect();
-    SweepReport {
-        threshold_margin: config.threshold_margin,
-        points,
-    }
+    assemble_sweep_report(config.margin, parts)
 }
 
 impl SweepReport {
@@ -225,11 +460,16 @@ impl SweepReport {
     /// detection per fault class × design across the noise points.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
+        let margin_label = match self.margin {
+            MarginMode::Fixed(m) => format!("threshold margin {m:.4}"),
+            MarginMode::Auto { repeats, z } => {
+                format!("threshold margin auto (repeats {repeats}, z {z})")
+            }
+        };
         let _ = writeln!(
             out,
-            "=== Noise sweep: {} point(s), threshold margin {:.4} ===",
+            "=== Noise sweep: {} point(s), {margin_label} ===",
             self.points.len(),
-            self.threshold_margin
         );
         for point in &self.points {
             let _ = writeln!(out);
@@ -243,8 +483,8 @@ impl SweepReport {
                 }
             }
             for t in &point.thresholds {
-                match t.floor {
-                    Some(floor) => {
+                match (t.floor, self.margin) {
+                    (Some(floor), MarginMode::Fixed(_)) => {
                         let _ = writeln!(
                             out,
                             "  {:<12} floor {:.4} -> threshold {:.4}",
@@ -253,7 +493,17 @@ impl SweepReport {
                             t.threshold
                         );
                     }
-                    None => {
+                    (Some(floor), MarginMode::Auto { .. }) => {
+                        let _ = writeln!(
+                            out,
+                            "  {:<12} floor {:.4} + margin {:.4} -> threshold {:.4}",
+                            t.design.name(),
+                            floor,
+                            t.margin,
+                            t.threshold
+                        );
+                    }
+                    (None, _) => {
                         let _ = writeln!(
                             out,
                             "  {:<12} floor unmeasured -> threshold {:.4} (configured fallback)",
@@ -318,14 +568,15 @@ impl SweepReport {
 
     /// Renders the sweep as JSON: sweep metadata, each point's floor and
     /// derived thresholds, and the point's full campaign report (embedded
-    /// verbatim as produced by [`CampaignReport::to_json`]).
+    /// verbatim as produced by [`CampaignReport::to_json`]). Fixed margins
+    /// serialize as a number, auto mode as its `auto:REPEATS:Z` spelling.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
-        let _ = write!(
-            out,
-            "\"threshold_margin\":{},\"points\":[",
-            json_f64(self.threshold_margin)
-        );
+        let margin_json = match self.margin {
+            MarginMode::Fixed(m) => json_f64(m),
+            auto => json_str(&auto.to_string()),
+        };
+        let _ = write!(out, "\"threshold_margin\":{margin_json},\"points\":[");
         for (i, point) in self.points.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -361,15 +612,8 @@ mod tests {
     use crate::inject::FaultInjector;
     use qra_algorithms::states;
 
-    fn tiny_sweep(points: Vec<SweepPoint>) -> SweepReport {
-        let program = states::ghz(2);
-        let spec = StateSpec::pure(states::ghz_vector(2)).unwrap();
-        let mutants = FaultInjector::new(9)
-            .enumerate_single(&program)
-            .into_iter()
-            .take(2)
-            .collect::<Vec<_>>();
-        let config = SweepConfig {
+    fn tiny_sweep_config(points: Vec<SweepPoint>, margin: MarginMode) -> SweepConfig {
+        SweepConfig {
             points,
             base: CampaignConfig {
                 shots: 128,
@@ -378,8 +622,19 @@ mod tests {
                 jobs: 1,
                 ..CampaignConfig::default()
             },
-            threshold_margin: 0.02,
-        };
+            margin,
+        }
+    }
+
+    fn tiny_sweep(points: Vec<SweepPoint>) -> SweepReport {
+        let program = states::ghz(2);
+        let spec = StateSpec::pure(states::ghz_vector(2)).unwrap();
+        let mutants = FaultInjector::new(9)
+            .enumerate_single(&program)
+            .into_iter()
+            .take(2)
+            .collect::<Vec<_>>();
+        let config = tiny_sweep_config(points, MarginMode::Fixed(0.02));
         run_sweep(&program, &[0, 1], &spec, &mutants, &config)
     }
 
@@ -423,6 +678,7 @@ mod tests {
         ]);
         let text = sweep.render_text();
         assert!(text.contains("Noise sweep: 2 point(s)"), "{text}");
+        assert!(text.contains("threshold margin 0.0200"), "{text}");
         assert!(text.contains("--- noise point: ideal ---"), "{text}");
         assert!(text.contains("Detection degradation"), "{text}");
         let json = sweep.to_json();
@@ -437,5 +693,104 @@ mod tests {
             SweepPoint::custom("hot", DevicePreset::MelbourneLike.noise_model().scaled(3.0));
         assert_eq!(point.label, "hot");
         assert!(point.noise.validate().is_ok());
+    }
+
+    #[test]
+    fn margin_mode_parses_and_round_trips() {
+        assert_eq!("0.05".parse::<MarginMode>(), Ok(MarginMode::Fixed(0.05)));
+        assert_eq!(
+            "auto".parse::<MarginMode>(),
+            Ok(MarginMode::Auto { repeats: 5, z: 2.0 })
+        );
+        assert_eq!(
+            "auto:7".parse::<MarginMode>(),
+            Ok(MarginMode::Auto { repeats: 7, z: 2.0 })
+        );
+        assert_eq!(
+            "auto:3:1.5".parse::<MarginMode>(),
+            Ok(MarginMode::Auto { repeats: 3, z: 1.5 })
+        );
+        for bad in [
+            "-0.1",
+            "nan",
+            "auto:1",
+            "auto:x",
+            "auto:3:0",
+            "auto:3:1:9",
+            "automatic",
+        ] {
+            assert!(bad.parse::<MarginMode>().is_err(), "{bad} should not parse");
+        }
+        // Display round-trips through FromStr.
+        for mode in [
+            MarginMode::Fixed(0.02),
+            MarginMode::auto(),
+            MarginMode::Auto { repeats: 9, z: 1.5 },
+        ] {
+            assert_eq!(mode.to_string().parse::<MarginMode>(), Ok(mode));
+        }
+    }
+
+    #[test]
+    fn auto_margins_are_deterministic_and_bounded_below() {
+        let program = states::ghz(2);
+        let spec = StateSpec::pure(states::ghz_vector(2)).unwrap();
+        let config = tiny_sweep_config(vec![SweepPoint::preset(DevicePreset::LowNoise)], {
+            MarginMode::Auto { repeats: 3, z: 2.0 }
+        });
+        let point_config = CampaignConfig {
+            noise: DevicePreset::LowNoise.noise_model(),
+            ..config.base.clone()
+        };
+        let run = |cfg: &CampaignConfig| run_campaign(&program, &[0, 1], &spec, &[], cfg);
+        let a = auto_margins(&point_config, 0, 3, 2.0, run);
+        let b = auto_margins(&point_config, 0, 3, 2.0, run);
+        assert_eq!(a.len(), 2);
+        for ((da, ma), (db, mb)) in a.iter().zip(&b) {
+            assert_eq!(da, db);
+            assert_eq!(
+                ma.to_bits(),
+                mb.to_bits(),
+                "calibration must be deterministic"
+            );
+            // Clamped below at one shot's weight.
+            assert!(*ma >= 1.0 / 128.0, "margin {ma}");
+        }
+        // A different point index draws different calibration seeds.
+        assert_ne!(
+            calibration_seed(5, 0, 0),
+            calibration_seed(5, 1, 0),
+            "per-point calibration streams must differ"
+        );
+    }
+
+    #[test]
+    fn auto_margin_sweep_reports_per_design_margins() {
+        let program = states::ghz(2);
+        let spec = StateSpec::pure(states::ghz_vector(2)).unwrap();
+        let mutants = FaultInjector::new(9)
+            .enumerate_single(&program)
+            .into_iter()
+            .take(1)
+            .collect::<Vec<_>>();
+        let config = tiny_sweep_config(
+            vec![SweepPoint::preset(DevicePreset::LowNoise)],
+            MarginMode::Auto { repeats: 3, z: 2.0 },
+        );
+        let sweep = run_sweep(&program, &[0, 1], &spec, &mutants, &config);
+        let point = &sweep.points[0];
+        for t in &point.thresholds {
+            let floor = t.floor.expect("baseline completed");
+            assert!((t.threshold - (floor + t.margin)).abs() < 1e-15);
+            assert!(t.margin > 0.0);
+        }
+        let text = sweep.render_text();
+        assert!(
+            text.contains("threshold margin auto (repeats 3, z 2)"),
+            "{text}"
+        );
+        assert!(text.contains("+ margin"), "{text}");
+        let json = sweep.to_json();
+        assert!(json.contains("\"threshold_margin\":\"auto:3:2\""), "{json}");
     }
 }

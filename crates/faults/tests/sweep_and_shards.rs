@@ -8,7 +8,7 @@ use qra_algorithms::states;
 use qra_core::StateSpec;
 use qra_faults::{
     merge_reports, parse_report, run_campaign, run_campaign_with_executor, run_sweep,
-    CampaignConfig, CampaignDesign, FaultInjector, Shard, SweepConfig, SweepPoint,
+    CampaignConfig, CampaignDesign, FaultInjector, MarginMode, Shard, SweepConfig, SweepPoint,
 };
 use qra_sim::{DevicePreset, SimError};
 use std::time::Duration;
@@ -143,7 +143,7 @@ fn sweep_thresholds_track_the_false_positive_floor() {
             SweepPoint::scaled(DevicePreset::LowNoise, 2.0),
         ],
         base,
-        threshold_margin: 0.02,
+        margin: MarginMode::Fixed(0.02),
     };
     let sweep = run_sweep(&program, &[0, 1], &spec, &mutants, &sweep_config);
     assert_eq!(sweep.points.len(), 3);

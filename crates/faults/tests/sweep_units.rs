@@ -1,0 +1,259 @@
+//! Property test for distributed sweep reassembly: any random partition
+//! of a sweep's `(point × cell)` unit grid into k shards — executed
+//! unit-by-unit exactly as the orchestrator's workers do — merges into a
+//! [`SweepReport`] byte-identical to the sequential `run_sweep`, in both
+//! margin modes, even when cells fail, retries are exhausted and rates
+//! are NaN.
+
+use qra_algorithms::states;
+use qra_core::StateSpec;
+use qra_faults::{
+    auto_margins, cell_record_json, default_executor, margin_record_json,
+    merge_sweep_partials_named, parse_sweep_partial, parse_unit_record, run_campaign_with_executor,
+    run_sweep_with_executor, CampaignConfig, CampaignDesign, Executor, FaultInjector, MarginMode,
+    Mutant, Shard, SweepConfig, SweepPartial, SweepPoint, SweepUnitRecord,
+};
+use qra_sim::{DevicePreset, SimError};
+
+/// Seeded xorshift64* — the test's only randomness source, so every run
+/// explores the same partitions.
+fn next(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+struct SweepInputs {
+    program: qra_circuit::Circuit,
+    qubits: Vec<usize>,
+    spec: StateSpec,
+    mutants: Vec<Mutant>,
+    config: SweepConfig,
+}
+
+fn inputs(margin: MarginMode) -> SweepInputs {
+    let program = states::ghz(2);
+    let spec = StateSpec::pure(states::ghz_vector(2)).unwrap();
+    let mutants: Vec<Mutant> = FaultInjector::new(21)
+        .enumerate_single(&program)
+        .into_iter()
+        .take(3)
+        .collect();
+    let config = SweepConfig {
+        points: vec![
+            SweepPoint::preset(DevicePreset::Ideal),
+            SweepPoint::preset(DevicePreset::LowNoise),
+        ],
+        base: CampaignConfig {
+            shots: 64,
+            seed: 21,
+            designs: vec![CampaignDesign::Ndd, CampaignDesign::Stat],
+            jobs: 1,
+            max_retries: 0,
+            ..CampaignConfig::default()
+        },
+        margin,
+    };
+    SweepInputs {
+        program,
+        qubits: vec![0, 1],
+        spec,
+        mutants,
+        config,
+    }
+}
+
+/// An executor that deterministically fails some cells: panics on one seed
+/// class, NaN-errors another, and degrades to the real backends otherwise.
+/// Failures depend only on the cell's derived seed, so the sequential
+/// sweep and every distributed execution fail identically.
+fn flaky(
+    circuit: &qra_circuit::Circuit,
+    config: &CampaignConfig,
+    seed: u64,
+) -> Result<(qra_sim::Counts, qra_faults::BackendKind), SimError> {
+    match seed % 7 {
+        0 => panic!("injected panic"),
+        1 => Err(SimError::InvalidProbability { value: f64::NAN }),
+        _ => default_executor(circuit, config, seed),
+    }
+}
+
+/// Executes the sweep's whole unit grid one unit at a time — the same
+/// single-cell shard and calibration recipe the CLI's workers run — and
+/// round-trips every record through its JSONL serialization.
+fn unit_records(inp: &SweepInputs, executor: &Executor<'_>) -> (Vec<SweepUnitRecord>, usize) {
+    let cells_per_point = inp.config.base.designs.len() * (1 + inp.mutants.len());
+    let mut units = Vec::new();
+    for (point, sweep_point) in inp.config.points.iter().enumerate() {
+        let point_config = CampaignConfig {
+            noise: sweep_point.noise.clone(),
+            ..inp.config.base.clone()
+        };
+        if let MarginMode::Auto { repeats, z } = inp.config.margin {
+            let margins = auto_margins(&point_config, point, repeats, z, |cfg| {
+                run_campaign_with_executor(&inp.program, &inp.qubits, &inp.spec, &[], cfg, executor)
+            });
+            let line = margin_record_json(point, cells_per_point, &margins);
+            units.push(parse_unit_record(&line).unwrap());
+        }
+        for cell in 0..cells_per_point {
+            let config = CampaignConfig {
+                shard: Some(Shard {
+                    index: cell,
+                    count: cells_per_point,
+                }),
+                ..point_config.clone()
+            };
+            let report = run_campaign_with_executor(
+                &inp.program,
+                &inp.qubits,
+                &inp.spec,
+                &inp.mutants,
+                &config,
+                executor,
+            );
+            let line = cell_record_json(point, cell, &report);
+            units.push(parse_unit_record(&line).unwrap());
+        }
+    }
+    (units, cells_per_point)
+}
+
+fn assert_partitions_merge_identically(margin: MarginMode, executor: &Executor<'_>, rng: &mut u64) {
+    let inp = inputs(margin);
+    let sequential = run_sweep_with_executor(
+        &inp.program,
+        &inp.qubits,
+        &inp.spec,
+        &inp.mutants,
+        &inp.config,
+        executor,
+    );
+    let expected_json = sequential.to_json();
+    let expected_text = sequential.render_text();
+
+    let (units, cells_per_point) = unit_records(&inp, executor);
+    let labels: Vec<String> = inp.config.points.iter().map(|p| p.label.clone()).collect();
+
+    for trial in 0..3 {
+        let k = 2 + trial % 2;
+        // Random assignment of units to shards, in random order.
+        let mut order: Vec<usize> = (0..units.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, (next(rng) % (i as u64 + 1)) as usize);
+        }
+        let mut shards: Vec<Vec<SweepUnitRecord>> = vec![Vec::new(); k];
+        for &u in &order {
+            shards[(next(rng) % k as u64) as usize].push(units[u].clone());
+        }
+        let partials: Vec<(String, SweepPartial)> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(index, shard_units)| {
+                let partial = SweepPartial {
+                    margin,
+                    labels: labels.clone(),
+                    cells_per_point,
+                    shard: Shard { index, count: k },
+                    units: shard_units,
+                };
+                // Round-trip through the on-disk format, as `campaign
+                // merge` would see it.
+                let reloaded = parse_sweep_partial(&partial.to_json()).unwrap();
+                (format!("shard{index}.json"), reloaded)
+            })
+            .collect();
+        let merged = merge_sweep_partials_named(&partials).unwrap();
+        assert_eq!(
+            merged.to_json(),
+            expected_json,
+            "margin {margin:?}, trial {trial}: JSON must be byte-identical"
+        );
+        assert_eq!(
+            merged.render_text(),
+            expected_text,
+            "margin {margin:?}, trial {trial}: text must be byte-identical"
+        );
+
+        // Dropping any single unit is an explicit error, never a gap.
+        let victim = (next(rng) as usize) % units.len();
+        let mut incomplete: Vec<SweepUnitRecord> = units.clone();
+        incomplete.remove(victim);
+        let partial = SweepPartial {
+            margin,
+            labels: labels.clone(),
+            cells_per_point,
+            shard: Shard { index: 0, count: 1 },
+            units: incomplete,
+        };
+        let e = merge_sweep_partials_named(&[("only.json".into(), partial)]).unwrap_err();
+        assert!(e.to_string().contains("point"), "{e}");
+    }
+}
+
+#[test]
+fn random_partitions_merge_byte_identically_fixed_margin() {
+    let mut rng = 0xDEAD_BEEF_CAFE_0001;
+    assert_partitions_merge_identically(MarginMode::Fixed(0.02), &default_executor, &mut rng);
+}
+
+#[test]
+fn random_partitions_merge_byte_identically_auto_margin() {
+    let mut rng = 0xDEAD_BEEF_CAFE_0002;
+    assert_partitions_merge_identically(
+        MarginMode::Auto { repeats: 2, z: 2.0 },
+        &default_executor,
+        &mut rng,
+    );
+}
+
+/// Partials whose shard boundary happens to align with a point boundary
+/// still must not merge units from different campaigns: each point would
+/// be internally consistent, so only the cross-campaign check (which
+/// names the offending file) catches the mix.
+#[test]
+fn merge_rejects_partials_from_different_seeds_naming_the_file() {
+    let margin = MarginMode::Fixed(0.02);
+    let inp_a = inputs(margin);
+    let mut inp_b = inputs(margin);
+    inp_b.config.base.seed = 22;
+    let (units_a, cells_per_point) = unit_records(&inp_a, &default_executor);
+    let (units_b, _) = unit_records(&inp_b, &default_executor);
+    let labels: Vec<String> = inp_a
+        .config
+        .points
+        .iter()
+        .map(|p| p.label.clone())
+        .collect();
+    let partial = |index: usize, units: Vec<SweepUnitRecord>| SweepPartial {
+        margin,
+        labels: labels.clone(),
+        cells_per_point,
+        shard: Shard { index, count: 2 },
+        units,
+    };
+    // File A carries all of point 0 at seed 21; file B all of point 1 at
+    // seed 22 — every per-point merge is self-consistent.
+    let a: Vec<SweepUnitRecord> = units_a.iter().filter(|u| u.point == 0).cloned().collect();
+    let b: Vec<SweepUnitRecord> = units_b.iter().filter(|u| u.point == 1).cloned().collect();
+    let e = merge_sweep_partials_named(&[
+        ("a.json".into(), partial(0, a)),
+        ("b.json".into(), partial(1, b)),
+    ])
+    .unwrap_err();
+    assert!(
+        e.to_string().contains("b.json") && e.to_string().contains("different campaign"),
+        "{e}"
+    );
+}
+
+#[test]
+fn random_partitions_merge_byte_identically_with_failures_and_nan() {
+    let mut rng = 0xDEAD_BEEF_CAFE_0003;
+    assert_partitions_merge_identically(MarginMode::Fixed(0.02), &flaky, &mut rng);
+    assert_partitions_merge_identically(MarginMode::Auto { repeats: 3, z: 1.5 }, &flaky, &mut rng);
+}

@@ -1,0 +1,54 @@
+//! `qra-orch` — a work-queue orchestrator for distributed noise sweeps.
+//!
+//! The paper's evaluation (§IX) is a matrix of
+//! assertion design × fault class × noise point; a sequential
+//! [`run_sweep`](qra_faults::run_sweep) walks it one campaign at a time.
+//! This crate distributes the same matrix at the granularity of one
+//! **unit** — a `(sweep point × campaign cell)` pair, plus one margin
+//! calibration unit per point in auto-margin mode — across N worker
+//! processes, with all coordination through a crash-safe run directory:
+//!
+//! * [`rundir`] — the shared state: a `manifest.json` describing the sweep
+//!   (written once, temp+rename), an `O_EXCL` claim file per unit, one
+//!   append-only JSONL record stream per worker pid, and an atomically
+//!   replaced `progress.json`;
+//! * [`worker`] — the claim-execute-record loop each worker runs
+//!   (`qra worker --run-dir <dir>` in production, in-process threads in
+//!   tests and embedded mode);
+//! * [`orchestrate`] — spawning workers as subprocesses of our own binary,
+//!   monitoring them, and emitting progress events to stderr and
+//!   `progress.json`.
+//!
+//! **Determinism contract.** Campaign cell seeds derive from
+//! `(seed, cell index)` and calibration seeds from
+//! `(seed, point index, repeat)` alone, and every unit record embeds its
+//! `(point, cell)` coordinate, so
+//! [`assemble_sweep`](qra_faults::assemble_sweep) over any complete record
+//! set — any worker count, any scheduling order, any number of
+//! kill+resume cycles — produces a [`SweepReport`](qra_faults::SweepReport)
+//! byte-identical to the sequential run at the same seed. Workers affect
+//! only *when* a unit runs, never *what* it computes.
+
+#![deny(missing_docs)]
+
+pub mod orchestrate;
+pub mod rundir;
+pub mod worker;
+
+pub use orchestrate::{monitor_workers, run_threaded, spawn_workers, EpochOutcome};
+pub use rundir::{parse_progress, progress_json, Manifest, ResultsStream, RunDir, ScanState};
+pub use worker::{worker_loop, UnitRunner};
+
+use std::fmt;
+
+/// Error from run-directory I/O, worker execution, or orchestration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrchError(pub String);
+
+impl fmt::Display for OrchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for OrchError {}

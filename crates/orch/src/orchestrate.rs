@@ -1,0 +1,271 @@
+//! Orchestration: spawn N workers over a run directory, monitor them, and
+//! emit progress until the unit grid is covered.
+//!
+//! Workers are subprocesses re-invoking our own binary
+//! (`qra worker --run-dir <dir>`), so a SIGKILL of any worker — or of the
+//! orchestrator itself — loses at most the units that worker had claimed
+//! but not recorded; `sweep resume` clears those stale claims and finishes
+//! the rest. An embedded threaded mode runs the same worker loop on
+//! in-process threads (used by `--workers` on a machine where spawning is
+//! undesirable, and by tests).
+
+use crate::rundir::{progress_json, Manifest, RunDir, ScanState};
+use crate::worker::{worker_loop, UnitRunner};
+use crate::OrchError;
+use std::io::Write as _;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// How often the monitor rescans and re-emits progress.
+const MONITOR_INTERVAL: Duration = Duration::from_millis(300);
+
+/// Spawns `workers` subprocess workers over `dir`, each running
+/// `<exe> worker --run-dir <dir>`.
+///
+/// # Errors
+///
+/// Returns [`OrchError`] when the current executable cannot be determined
+/// or a spawn fails.
+pub fn spawn_workers(dir: &RunDir, workers: usize) -> Result<Vec<Child>, OrchError> {
+    let exe = std::env::current_exe()
+        .map_err(|e| OrchError(format!("cannot locate own executable: {e}")))?;
+    (0..workers)
+        .map(|_| {
+            Command::new(&exe)
+                .arg("worker")
+                .arg("--run-dir")
+                .arg(dir.root())
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .map_err(|e| OrchError(format!("spawning worker: {e}")))
+        })
+        .collect()
+}
+
+/// The outcome of one orchestration epoch.
+#[derive(Debug)]
+pub struct EpochOutcome {
+    /// The final scan after every worker exited.
+    pub state: ScanState,
+    /// Workers that exited with a failure status or were killed by a
+    /// signal.
+    pub workers_failed: usize,
+}
+
+impl EpochOutcome {
+    /// Whether every unit of the manifest has a completed record.
+    pub fn complete(&self, manifest: &Manifest) -> bool {
+        self.state.completed.len() == manifest.total_units()
+    }
+}
+
+/// Monitors spawned workers until they all exit: rescans the run directory
+/// on an interval, writes `progress.json` (atomically) and emits a
+/// progress line to stderr whenever the counts change.
+///
+/// # Errors
+///
+/// Returns [`OrchError`] on scan or progress-write failure. Worker
+/// failures are *not* errors — they are reported in the outcome so the
+/// caller can decide between "resume will finish this" and "done".
+pub fn monitor_workers(
+    dir: &RunDir,
+    manifest: &Manifest,
+    mut children: Vec<Child>,
+) -> Result<EpochOutcome, OrchError> {
+    let started = Instant::now();
+    let mut point_elapsed: Vec<Option<f64>> = vec![None; manifest.labels.len()];
+    let mut point_done: Vec<usize> = vec![0; manifest.labels.len()];
+    let mut workers_failed = 0;
+    let mut last_line = String::new();
+    loop {
+        // Reap exited workers.
+        children.retain_mut(|child| match child.try_wait() {
+            Ok(Some(status)) => {
+                if !status.success() {
+                    workers_failed += 1;
+                }
+                false
+            }
+            Ok(None) => true,
+            Err(_) => {
+                workers_failed += 1;
+                false
+            }
+        });
+
+        let state = dir.scan(manifest)?;
+        observe_points(
+            manifest,
+            &state,
+            started,
+            &mut point_done,
+            &mut point_elapsed,
+        );
+        dir.write_progress(&progress_json(manifest, &state, &point_elapsed))?;
+        let line = format!(
+            "sweep: {}/{} unit(s) done, {} in-flight, {} failed, {} worker(s) running",
+            state.completed.len(),
+            manifest.total_units(),
+            state.in_flight.len(),
+            state.failed.len(),
+            children.len()
+        );
+        if line != last_line {
+            let _ = writeln!(std::io::stderr(), "{line}");
+            last_line = line;
+        }
+
+        if children.is_empty() {
+            return Ok(EpochOutcome {
+                state,
+                workers_failed,
+            });
+        }
+        std::thread::sleep(MONITOR_INTERVAL);
+    }
+}
+
+/// Stamps each point's elapsed time whenever its done-count advances, so
+/// `progress.json` reports per-point wall-clock from epoch start to the
+/// point's most recent completion.
+fn observe_points(
+    manifest: &Manifest,
+    state: &ScanState,
+    started: Instant,
+    point_done: &mut [usize],
+    point_elapsed: &mut [Option<f64>],
+) {
+    for p in 0..manifest.labels.len() {
+        let done = state
+            .completed
+            .iter()
+            .filter(|&&u| u / manifest.units_per_point == p)
+            .count();
+        if done > point_done[p] {
+            point_done[p] = done;
+            point_elapsed[p] = Some(started.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Runs an orchestration epoch on in-process threads instead of
+/// subprocesses: `workers` threads each run [`worker_loop`] with distinct
+/// scatter offsets. Used by orch's own tests and callers that want
+/// single-process orchestration; the run-directory protocol is identical.
+///
+/// # Errors
+///
+/// Returns [`OrchError`] on scan failure; individual worker errors are
+/// counted in the outcome (their claims stay for resume), not propagated.
+pub fn run_threaded(
+    dir: &RunDir,
+    manifest: &Manifest,
+    workers: usize,
+    run_unit: &UnitRunner<'_>,
+) -> Result<EpochOutcome, OrchError> {
+    let total = manifest.total_units().max(1);
+    let workers_failed = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.max(1))
+            .map(|w| {
+                let dir = dir.clone();
+                let scatter = w * total / workers.max(1);
+                scope.spawn(move || worker_loop(&dir, manifest, scatter, run_unit))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join())
+            .filter(|outcome| !matches!(outcome, Ok(Ok(_))))
+            .count()
+    });
+    let state = dir.scan(manifest)?;
+    let point_elapsed: Vec<Option<f64>> = vec![None; manifest.labels.len()];
+    dir.write_progress(&progress_json(manifest, &state, &point_elapsed))?;
+    Ok(EpochOutcome {
+        state,
+        workers_failed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::fs;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qra-orch-epoch-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn manifest() -> Manifest {
+        Manifest {
+            argv: vec![],
+            labels: vec!["a".into(), "b".into(), "c".into()],
+            cells_per_point: 4,
+            units_per_point: 4,
+            margin: "0.02".into(),
+            workers: 3,
+        }
+    }
+
+    #[test]
+    fn threaded_epoch_covers_units_exactly_once_across_workers() {
+        let root = tmpdir("threads");
+        let m = manifest();
+        let dir = RunDir::init(&root, &m).unwrap();
+        let executions = AtomicUsize::new(0);
+        let runner = |p: usize, c: usize| {
+            executions.fetch_add(1, Ordering::SeqCst);
+            Ok(format!("{{\"point\":{p},\"cell\":{c},\"margins\":[]}}"))
+        };
+        let outcome = run_threaded(&dir, &m, 3, &runner).unwrap();
+        assert_eq!(outcome.workers_failed, 0);
+        assert!(outcome.complete(&m));
+        // Claims made every unit run exactly once despite 3 racing workers.
+        assert_eq!(executions.load(Ordering::SeqCst), m.total_units());
+        assert_eq!(
+            outcome.state.completed,
+            (0..m.total_units()).collect::<BTreeSet<_>>()
+        );
+        assert!(dir.progress_path().exists());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn interrupted_epoch_resumes_to_completion() {
+        let root = tmpdir("resume");
+        let m = manifest();
+        let dir = RunDir::init(&root, &m).unwrap();
+        // First epoch: one worker dies after 5 units (simulating a kill —
+        // its sixth unit stays claimed but unrecorded).
+        let count = AtomicUsize::new(0);
+        let dying = |p: usize, c: usize| {
+            if count.fetch_add(1, Ordering::SeqCst) >= 5 {
+                Err(OrchError("killed".into()))
+            } else {
+                Ok(format!("{{\"point\":{p},\"cell\":{c},\"margins\":[]}}"))
+            }
+        };
+        let outcome = run_threaded(&dir, &m, 1, &dying).unwrap();
+        assert_eq!(outcome.workers_failed, 1);
+        assert!(!outcome.complete(&m));
+        assert_eq!(outcome.state.completed.len(), 5);
+        assert_eq!(outcome.state.in_flight.len(), 1, "the torn unit's claim");
+
+        // Resume: clear stale claims, run a fresh epoch.
+        dir.clear_stale_claims(&outcome.state.completed).unwrap();
+        let healthy =
+            |p: usize, c: usize| Ok(format!("{{\"point\":{p},\"cell\":{c},\"margins\":[]}}"));
+        let outcome = run_threaded(&dir, &m, 2, &healthy).unwrap();
+        assert!(outcome.complete(&m));
+        assert_eq!(outcome.workers_failed, 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,546 @@
+//! The crash-safe run directory: the only shared state of a distributed
+//! sweep.
+//!
+//! Layout (all under one directory, created by [`RunDir::init`]):
+//!
+//! ```text
+//! <dir>/manifest.json      what to run (written once, temp+rename)
+//! <dir>/claims/u<ID>       unit claims (O_EXCL create; wins execution)
+//! <dir>/results/w<PID>.jsonl  one append-only record stream per worker
+//! <dir>/progress.json      latest progress snapshot (temp+rename)
+//! ```
+//!
+//! Crash safety rests on three properties. The manifest and progress
+//! snapshots are written to a temporary name and atomically renamed, so a
+//! reader never observes a torn file. Claims are created with `O_EXCL`
+//! (one winner per unit) and persist for the whole run epoch, so a unit is
+//! never executed twice concurrently. Each worker appends complete JSONL
+//! lines to its **own** results file — named after its pid so a resumed
+//! run never appends to a dead worker's stream — and a kill mid-write can
+//! only tear the final, unterminated line, which [`RunDir::scan`] ignores.
+
+use crate::OrchError;
+use qra_faults::json::{self, json_str};
+use qra_faults::{parse_unit_record, CellStatus, SweepUnitPayload, SweepUnitRecord};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// What a run directory executes: the sweep's canonical CLI argv plus the
+/// unit-grid coordinates every worker and merger must agree on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Canonical `qra campaign …` argv describing the sweep (file paths
+    /// absolute, so workers can start in any directory).
+    pub argv: Vec<String>,
+    /// Point labels in sweep order.
+    pub labels: Vec<String>,
+    /// Campaign cells per point (`CampaignReport::total_cells`).
+    pub cells_per_point: usize,
+    /// Units per point: `cells_per_point`, plus one calibration unit in
+    /// auto-margin mode.
+    pub units_per_point: usize,
+    /// The sweep's margin mode, in its CLI spelling.
+    pub margin: String,
+    /// Worker count the run was started with (the default for resume).
+    pub workers: usize,
+}
+
+impl Manifest {
+    /// Total units in the run.
+    pub fn total_units(&self) -> usize {
+        self.labels.len() * self.units_per_point
+    }
+
+    /// The global id of unit `(point, cell)`.
+    pub fn unit_id(&self, point: usize, cell: usize) -> usize {
+        point * self.units_per_point + cell
+    }
+
+    /// The `(point, cell)` coordinates of a global unit id.
+    pub fn unit_coords(&self, unit: usize) -> (usize, usize) {
+        (unit / self.units_per_point, unit % self.units_per_point)
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\"argv\":[");
+        for (i, a) in self.argv.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(a));
+        }
+        out.push_str("],\"labels\":[");
+        for (i, l) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(l));
+        }
+        let _ = write!(
+            out,
+            "],\"cells_per_point\":{},\"units_per_point\":{},\"margin\":{},\"workers\":{}}}",
+            self.cells_per_point,
+            self.units_per_point,
+            json_str(&self.margin),
+            self.workers
+        );
+        out
+    }
+
+    fn from_json(text: &str) -> Result<Self, OrchError> {
+        let root = json::parse(text).map_err(|e| OrchError(format!("manifest: {e}")))?;
+        let strings = |key: &str| -> Result<Vec<String>, OrchError> {
+            root.require(key)?
+                .as_arr()?
+                .iter()
+                .map(|v| Ok(v.as_str()?.to_string()))
+                .collect()
+        };
+        Ok(Manifest {
+            argv: strings("argv")?,
+            labels: strings("labels")?,
+            cells_per_point: root.require("cells_per_point")?.as_usize()?,
+            units_per_point: root.require("units_per_point")?.as_usize()?,
+            margin: root.require("margin")?.as_str()?.to_string(),
+            workers: root.require("workers")?.as_usize()?,
+        })
+    }
+}
+
+impl From<json::JsonError> for OrchError {
+    fn from(e: json::JsonError) -> Self {
+        OrchError(format!("manifest: {}", e.0))
+    }
+}
+
+/// Everything the results streams currently contain.
+#[derive(Debug, Default)]
+pub struct ScanState {
+    /// Unit ids with a completed record.
+    pub completed: BTreeSet<usize>,
+    /// Completed units whose campaign contains failed cells.
+    pub failed: BTreeSet<usize>,
+    /// Unit ids currently claimed but not completed (in-flight, or stale
+    /// claims of a killed worker).
+    pub in_flight: BTreeSet<usize>,
+    /// All completed records, in scan order.
+    pub records: Vec<SweepUnitRecord>,
+    /// Unterminated trailing lines skipped (torn by a mid-write kill).
+    pub torn_lines: usize,
+}
+
+/// A handle on an initialized run directory.
+#[derive(Debug, Clone)]
+pub struct RunDir {
+    root: PathBuf,
+}
+
+fn io_err(context: &str, path: &Path, e: std::io::Error) -> OrchError {
+    OrchError(format!("{context} {}: {e}", path.display()))
+}
+
+/// Writes `content` to `path` atomically: temp file in the same directory,
+/// flush, rename.
+fn write_atomic(path: &Path, content: &str) -> Result<(), OrchError> {
+    let tmp = path.with_extension("tmp");
+    let mut f = File::create(&tmp).map_err(|e| io_err("creating", &tmp, e))?;
+    f.write_all(content.as_bytes())
+        .map_err(|e| io_err("writing", &tmp, e))?;
+    f.sync_all().map_err(|e| io_err("syncing", &tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| io_err("renaming into", path, e))
+}
+
+impl RunDir {
+    /// Initializes a fresh run directory and writes its manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrchError`] when the directory already holds a manifest
+    /// (refusing to clobber a run) or on I/O failure.
+    pub fn init(root: impl Into<PathBuf>, manifest: &Manifest) -> Result<Self, OrchError> {
+        let root = root.into();
+        let dir = Self { root };
+        if dir.manifest_path().exists() {
+            return Err(OrchError(format!(
+                "{} already contains a run (manifest.json exists); \
+                 use `sweep resume` or a fresh directory",
+                dir.root.display()
+            )));
+        }
+        fs::create_dir_all(dir.claims_dir())
+            .map_err(|e| io_err("creating", &dir.claims_dir(), e))?;
+        fs::create_dir_all(dir.results_dir())
+            .map_err(|e| io_err("creating", &dir.results_dir(), e))?;
+        write_atomic(&dir.manifest_path(), &manifest.to_json())?;
+        Ok(dir)
+    }
+
+    /// Opens an existing run directory and reloads its manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrchError`] when no manifest is present or it is
+    /// malformed.
+    pub fn open(root: impl Into<PathBuf>) -> Result<(Self, Manifest), OrchError> {
+        let dir = Self { root: root.into() };
+        let text = fs::read_to_string(dir.manifest_path())
+            .map_err(|e| io_err("reading", &dir.manifest_path(), e))?;
+        let manifest = Manifest::from_json(&text)?;
+        Ok((dir, manifest))
+    }
+
+    /// The directory root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.root.join("manifest.json")
+    }
+
+    fn claims_dir(&self) -> PathBuf {
+        self.root.join("claims")
+    }
+
+    fn results_dir(&self) -> PathBuf {
+        self.root.join("results")
+    }
+
+    /// The progress snapshot path.
+    pub fn progress_path(&self) -> PathBuf {
+        self.root.join("progress.json")
+    }
+
+    fn claim_path(&self, unit: usize) -> PathBuf {
+        self.claims_dir().join(format!("u{unit}"))
+    }
+
+    /// Tries to claim `unit` for execution. Exactly one caller per run
+    /// epoch wins (`O_EXCL` create); the claim persists until the claims
+    /// are cleared by the next resume.
+    pub fn claim(&self, unit: usize) -> bool {
+        OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(self.claim_path(unit))
+            .is_ok()
+    }
+
+    /// Removes claims for units without a completed record (a killed
+    /// worker's leftovers). Must only be called while no workers are
+    /// running — `sweep resume` does this before respawning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrchError`] on I/O failure while listing or removing.
+    pub fn clear_stale_claims(&self, completed: &BTreeSet<usize>) -> Result<usize, OrchError> {
+        let mut cleared = 0;
+        let dir = self.claims_dir();
+        let entries = fs::read_dir(&dir).map_err(|e| io_err("listing", &dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("listing", &dir, e))?;
+            let Some(unit) = claim_unit_id(&entry.file_name()) else {
+                continue;
+            };
+            if !completed.contains(&unit) {
+                fs::remove_file(entry.path()).map_err(|e| io_err("removing", &entry.path(), e))?;
+                cleared += 1;
+            }
+        }
+        Ok(cleared)
+    }
+
+    /// Opens this process's own append-only results stream
+    /// (`results/w<pid>.jsonl`). Pid-unique naming means a resumed run
+    /// never appends to a dead worker's file, so the only possible tear is
+    /// this process's own final line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrchError`] on I/O failure.
+    pub fn open_results_stream(&self) -> Result<ResultsStream, OrchError> {
+        let path = self
+            .results_dir()
+            .join(format!("w{}.jsonl", std::process::id()));
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err("opening", &path, e))?;
+        Ok(ResultsStream { file, path })
+    }
+
+    /// Reads every results stream and the claims directory.
+    ///
+    /// Unterminated trailing lines (torn by a kill mid-write) are skipped
+    /// and counted; a *terminated* line that fails to parse is corruption
+    /// and an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrchError`] on I/O failure or a corrupt terminated record.
+    pub fn scan(&self, manifest: &Manifest) -> Result<ScanState, OrchError> {
+        let mut state = ScanState::default();
+        let dir = self.results_dir();
+        let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
+            .map_err(|e| io_err("listing", &dir, e))?
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| io_err("listing", &dir, e))?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let text = fs::read_to_string(&path).map_err(|e| io_err("reading", &path, e))?;
+            let mut rest = text.as_str();
+            while let Some(nl) = rest.find('\n') {
+                let line = &rest[..nl];
+                rest = &rest[nl + 1..];
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let record = parse_unit_record(line)
+                    .map_err(|e| OrchError(format!("corrupt record in {}: {e}", path.display())))?;
+                let unit = manifest.unit_id(record.point, record.cell);
+                // A unit recorded twice (two epochs racing) would also fail
+                // assembly; catch it at scan time with the file named.
+                if !state.completed.insert(unit) {
+                    return Err(OrchError(format!(
+                        "{}: duplicate record for unit ({}, {})",
+                        path.display(),
+                        record.point,
+                        record.cell
+                    )));
+                }
+                if unit_failed(&record) {
+                    state.failed.insert(unit);
+                }
+                state.records.push(record);
+            }
+            if !rest.is_empty() {
+                state.torn_lines += 1;
+            }
+        }
+
+        let claims = self.claims_dir();
+        for entry in fs::read_dir(&claims).map_err(|e| io_err("listing", &claims, e))? {
+            let entry = entry.map_err(|e| io_err("listing", &claims, e))?;
+            if let Some(unit) = claim_unit_id(&entry.file_name()) {
+                if !state.completed.contains(&unit) {
+                    state.in_flight.insert(unit);
+                }
+            }
+        }
+        Ok(state)
+    }
+
+    /// Atomically replaces `progress.json` with `content`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrchError`] on I/O failure.
+    pub fn write_progress(&self, content: &str) -> Result<(), OrchError> {
+        write_atomic(&self.progress_path(), content)
+    }
+}
+
+fn claim_unit_id(name: &std::ffi::OsStr) -> Option<usize> {
+    name.to_str()?.strip_prefix('u')?.parse().ok()
+}
+
+fn unit_failed(record: &SweepUnitRecord) -> bool {
+    match &record.payload {
+        SweepUnitPayload::Cell(parsed) => {
+            let r = &parsed.report;
+            r.baselines
+                .iter()
+                .map(|b| &b.status)
+                .chain(r.cells.iter().map(|c| &c.status))
+                .any(|s| matches!(s, CellStatus::Failed { .. }))
+        }
+        SweepUnitPayload::Margins(_) => false,
+    }
+}
+
+/// A worker's own append-only record stream.
+#[derive(Debug)]
+pub struct ResultsStream {
+    file: File,
+    path: PathBuf,
+}
+
+impl ResultsStream {
+    /// Appends one record as a single complete line (one `write_all` of
+    /// `line + "\n"`, so a kill tears at most the final line) and flushes
+    /// it to disk before the unit counts as done.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrchError`] on I/O failure.
+    pub fn append(&mut self, record_json: &str) -> Result<(), OrchError> {
+        let mut line = String::with_capacity(record_json.len() + 1);
+        line.push_str(record_json);
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| io_err("appending to", &self.path, e))?;
+        self.file
+            .sync_all()
+            .map_err(|e| io_err("syncing", &self.path, e))
+    }
+}
+
+/// Renders a progress snapshot as JSON (the `progress.json` format).
+pub fn progress_json(
+    manifest: &Manifest,
+    state: &ScanState,
+    point_elapsed: &[Option<f64>],
+) -> String {
+    let mut out = format!(
+        "{{\"total\":{},\"done\":{},\"failed\":{},\"in_flight\":{},\"points\":[",
+        manifest.total_units(),
+        state.completed.len(),
+        state.failed.len(),
+        state.in_flight.len()
+    );
+    for (p, label) in manifest.labels.iter().enumerate() {
+        if p > 0 {
+            out.push(',');
+        }
+        let done = state
+            .completed
+            .iter()
+            .filter(|&&u| u / manifest.units_per_point == p)
+            .count();
+        let _ = write!(
+            out,
+            "{{\"label\":{},\"done\":{done},\"total\":{},\"elapsed_s\":{}}}",
+            json_str(label),
+            manifest.units_per_point,
+            point_elapsed
+                .get(p)
+                .copied()
+                .flatten()
+                .map_or("null".to_string(), json::json_f64)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Reloads the counters of a `progress.json` snapshot:
+/// `(done, total, failed, in_flight)`.
+///
+/// # Errors
+///
+/// Returns [`OrchError`] on malformed JSON.
+pub fn parse_progress(text: &str) -> Result<(usize, usize, usize, usize), OrchError> {
+    let root = json::parse(text).map_err(|e| OrchError(format!("progress.json: {e}")))?;
+    Ok((
+        root.require("done")?.as_usize()?,
+        root.require("total")?.as_usize()?,
+        root.require("failed")?.as_usize()?,
+        root.require("in_flight")?.as_usize()?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qra-orch-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn manifest() -> Manifest {
+        Manifest {
+            argv: vec!["campaign".into(), "--ghz".into(), "2".into()],
+            labels: vec!["ideal".into(), "low".into()],
+            cells_per_point: 4,
+            units_per_point: 5,
+            margin: "auto:3:2".into(),
+            workers: 2,
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_and_maps_units() {
+        let m = manifest();
+        assert_eq!(Manifest::from_json(&m.to_json()).unwrap(), m);
+        assert_eq!(m.total_units(), 10);
+        assert_eq!(m.unit_id(1, 3), 8);
+        assert_eq!(m.unit_coords(8), (1, 3));
+    }
+
+    #[test]
+    fn init_refuses_to_clobber_and_open_reloads() {
+        let root = tmpdir("init");
+        let m = manifest();
+        let _dir = RunDir::init(&root, &m).unwrap();
+        assert!(RunDir::init(&root, &m).is_err(), "second init must refuse");
+        let (_, reloaded) = RunDir::open(&root).unwrap();
+        assert_eq!(reloaded, m);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn claims_are_exclusive_and_stale_ones_clear() {
+        let root = tmpdir("claims");
+        let dir = RunDir::init(&root, &manifest()).unwrap();
+        assert!(dir.claim(3));
+        assert!(!dir.claim(3), "second claim of the same unit must lose");
+        assert!(dir.claim(7));
+        // Unit 3 completed, 7 did not: only 7's claim is stale.
+        let completed = BTreeSet::from([3]);
+        assert_eq!(dir.clear_stale_claims(&completed).unwrap(), 1);
+        assert!(!dir.claim(3), "completed unit keeps its claim");
+        assert!(dir.claim(7), "stale claim was cleared");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn scan_skips_torn_trailing_lines_and_flags_claims() {
+        let root = tmpdir("scan");
+        let m = manifest();
+        let dir = RunDir::init(&root, &m).unwrap();
+        let margin_record =
+            "{\"point\":1,\"cell\":4,\"margins\":[{\"design\":\"ndd\",\"margin\":0.01}]}";
+        let mut stream = dir.open_results_stream().unwrap();
+        stream.append(margin_record).unwrap();
+        // Simulate a kill mid-write: a torn, unterminated final line.
+        let torn_path = dir.results_dir().join("w99999.jsonl");
+        fs::write(&torn_path, "{\"point\":0,\"cel").unwrap();
+        dir.claim(0);
+        dir.claim(9);
+        let state = dir.scan(&m).unwrap();
+        assert_eq!(state.completed, BTreeSet::from([9]));
+        assert_eq!(state.torn_lines, 1);
+        assert_eq!(state.in_flight, BTreeSet::from([0]));
+        assert!(state.failed.is_empty());
+        // A terminated corrupt line is an error naming the file.
+        fs::write(&torn_path, "not json\n").unwrap();
+        let e = dir.scan(&m).unwrap_err();
+        assert!(e.0.contains("w99999.jsonl"), "{e}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn progress_snapshot_round_trips() {
+        let m = manifest();
+        let mut state = ScanState::default();
+        state.completed.extend([0, 1, 5]);
+        state.failed.insert(1);
+        state.in_flight.insert(2);
+        let json = progress_json(&m, &state, &[Some(1.5), None]);
+        assert!(json.contains("\"label\":\"ideal\",\"done\":2"), "{json}");
+        assert!(json.contains("\"elapsed_s\":1.5"), "{json}");
+        assert!(json.contains("\"elapsed_s\":null"), "{json}");
+        assert_eq!(parse_progress(&json).unwrap(), (3, 10, 1, 1));
+    }
+}

@@ -1,0 +1,155 @@
+//! The worker loop: claim units from the shared manifest, execute them,
+//! stream records.
+//!
+//! A worker is stateless beyond the run directory: it scans the completed
+//! set once at startup, then walks the unit grid claiming incomplete
+//! units. Claims persist for the whole run epoch, so a unit completed by a
+//! peer mid-run still has its claim and is skipped. Workers start their
+//! walk at a pid-scattered offset so concurrent workers mostly claim
+//! disjoint units instead of contending in lockstep.
+
+use crate::rundir::{Manifest, RunDir};
+use crate::OrchError;
+
+/// Executes one unit, returning its serialized
+/// [`SweepUnitRecord`](qra_faults::SweepUnitRecord) JSON line. The
+/// arguments are the unit's `(point, cell)` coordinates.
+pub type UnitRunner<'a> = dyn Fn(usize, usize) -> Result<String, OrchError> + Sync + 'a;
+
+/// Runs the worker loop until no claimable unit remains, returning the
+/// number of units this worker completed.
+///
+/// `scatter` offsets the walk's starting unit (subprocess workers pass
+/// their pid; test threads pass distinct values) purely to reduce claim
+/// contention — coverage never depends on it.
+///
+/// # Errors
+///
+/// Returns [`OrchError`] on I/O failure or when a unit runner fails; the
+/// claim of a failed unit is left in place, so a resume (which clears
+/// stale claims) retries it.
+pub fn worker_loop(
+    dir: &RunDir,
+    manifest: &Manifest,
+    scatter: usize,
+    run_unit: &UnitRunner<'_>,
+) -> Result<usize, OrchError> {
+    let total = manifest.total_units();
+    if total == 0 {
+        return Ok(0);
+    }
+    let completed = dir.scan(manifest)?.completed;
+    let mut stream = dir.open_results_stream()?;
+    let start = scatter % total;
+    let mut done = 0;
+    for i in 0..total {
+        let unit = (start + i) % total;
+        if completed.contains(&unit) || !dir.claim(unit) {
+            continue;
+        }
+        let (point, cell) = manifest.unit_coords(unit);
+        let record = run_unit(point, cell)?;
+        stream.append(&record)?;
+        done += 1;
+    }
+    Ok(done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::fs;
+    use std::path::PathBuf;
+    use std::sync::Mutex;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("qra-orch-worker-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn manifest() -> Manifest {
+        Manifest {
+            argv: vec![],
+            labels: vec!["a".into(), "b".into()],
+            cells_per_point: 3,
+            units_per_point: 3,
+            margin: "0.02".into(),
+            workers: 1,
+        }
+    }
+
+    fn margin_record(point: usize, cell: usize) -> String {
+        // Any parseable record will do for loop mechanics; real campaigns
+        // are exercised by the CLI integration tests.
+        format!("{{\"point\":{point},\"cell\":{cell},\"margins\":[]}}")
+    }
+
+    #[test]
+    fn worker_covers_every_unit_exactly_once() {
+        let root = tmpdir("cover");
+        let m = manifest();
+        let dir = RunDir::init(&root, &m).unwrap();
+        let ran = Mutex::new(Vec::new());
+        let runner = |p: usize, c: usize| {
+            ran.lock().unwrap().push((p, c));
+            Ok(margin_record(p, c))
+        };
+        let done = worker_loop(&dir, &m, 4, &runner).unwrap();
+        assert_eq!(done, 6);
+        assert_eq!(ran.lock().unwrap().len(), 6);
+        // The scatter offset changed execution order, not coverage.
+        assert_eq!(ran.lock().unwrap()[0], m.unit_coords(4));
+        let state = dir.scan(&m).unwrap();
+        assert_eq!(state.completed, (0..6).collect::<BTreeSet<_>>());
+        // A second worker epoch finds nothing to do.
+        let done = worker_loop(&dir, &m, 0, &runner).unwrap();
+        assert_eq!(done, 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn worker_skips_claimed_and_completed_units() {
+        let root = tmpdir("skip");
+        let m = manifest();
+        let dir = RunDir::init(&root, &m).unwrap();
+        // Unit 0 already completed (claim retained), unit 5 claimed by a
+        // live peer.
+        dir.claim(0);
+        dir.open_results_stream()
+            .unwrap()
+            .append(&margin_record(0, 0))
+            .unwrap();
+        dir.claim(5);
+        let runner = |p: usize, c: usize| Ok(margin_record(p, c));
+        let done = worker_loop(&dir, &m, 0, &runner).unwrap();
+        assert_eq!(done, 4, "6 units minus one completed minus one claimed");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn failed_unit_leaves_its_claim_for_resume() {
+        let root = tmpdir("fail");
+        let m = manifest();
+        let dir = RunDir::init(&root, &m).unwrap();
+        let runner = |p: usize, c: usize| {
+            if (p, c) == (0, 1) {
+                Err(OrchError("backend exploded".into()))
+            } else {
+                Ok(margin_record(p, c))
+            }
+        };
+        let e = worker_loop(&dir, &m, 0, &runner).unwrap_err();
+        assert!(e.0.contains("exploded"), "{e}");
+        let state = dir.scan(&m).unwrap();
+        assert!(state.in_flight.contains(&1), "failed unit stays claimed");
+        // Resume clears the stale claim and a fresh worker finishes.
+        dir.clear_stale_claims(&state.completed).unwrap();
+        let ok_runner = |p: usize, c: usize| Ok(margin_record(p, c));
+        worker_loop(&dir, &m, 0, &ok_runner).unwrap();
+        assert_eq!(dir.scan(&m).unwrap().completed.len(), 6);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -16,7 +16,10 @@
 //! * [`faults`] — systematic fault-injection campaigns: a seeded mutation
 //!   engine plus a resilient campaign runner and report, noise-aware
 //!   sweeps with floor-derived detection thresholds, and mergeable
-//!   campaign shards.
+//!   campaign shards;
+//! * [`orch`] — the distributed sweep orchestrator: crash-safe run
+//!   directories, claim-based worker scheduling, and kill+resume with
+//!   byte-identical reassembly.
 //!
 //! # Quickstart
 //!
@@ -42,6 +45,7 @@ pub use qra_circuit as circuit;
 pub use qra_core as core;
 pub use qra_faults as faults;
 pub use qra_math as math;
+pub use qra_orch as orch;
 pub use qra_sim as sim;
 
 /// One-stop imports for applications.
@@ -52,11 +56,14 @@ pub mod prelude {
         AssertionError, AssertionHandle, AssertionReport, Design, StateSpec,
     };
     pub use qra_faults::{
-        merge_reports, parse_report, run_campaign, run_sweep, BackendKind, CampaignConfig,
-        CampaignDesign, CampaignReport, CellError, CellStatus, FaultInjector, FaultKind, Mutant,
-        Shard, SweepConfig, SweepPoint, SweepReport,
+        assemble_sweep, merge_reports, merge_reports_named, merge_sweep_partials_named,
+        parse_report, parse_sweep_partial, run_campaign, run_sweep, BackendKind, CampaignConfig,
+        CampaignDesign, CampaignReport, CellError, CellStatus, FaultInjector, FaultKind,
+        MarginMode, Mutant, Shard, SweepConfig, SweepPartial, SweepPoint, SweepReport,
+        SweepUnitPayload, SweepUnitRecord,
     };
     pub use qra_math::{CMatrix, CVector, C64};
+    pub use qra_orch::{Manifest, RunDir};
     pub use qra_sim::{
         CompiledProgram, Counts, DensityMatrixSimulator, DevicePreset, NoiseModel,
         StatevectorSimulator,
