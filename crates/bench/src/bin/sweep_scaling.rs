@@ -101,13 +101,20 @@ fn main() {
             units_per_point: cells_per_point,
             margin: margin.to_string(),
             workers,
+            unit_timeout_ms: None,
+            max_attempts: qra::orch::DEFAULT_MAX_ATTEMPTS,
         };
         let root =
             std::env::temp_dir().join(format!("qra-bench-sweep-{}-w{workers}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         let dir = RunDir::init(&root, &manifest).expect("init run dir");
         let t0 = Instant::now();
-        let outcome = run_threaded(&dir, &manifest, workers, &run_unit).expect("epoch");
+        let no_quarantine =
+            |_: usize, _: usize, _: &[String]| -> Result<String, qra::orch::OrchError> {
+                unreachable!("bench units never exhaust their attempts")
+            };
+        let outcome =
+            run_threaded(&dir, &manifest, workers, &run_unit, &no_quarantine).expect("epoch");
         let secs = t0.elapsed().as_secs_f64();
         assert!(outcome.complete(&manifest), "epoch left units unfinished");
         let merged = assemble_sweep(margin, &labels, cells_per_point, &outcome.state.records)

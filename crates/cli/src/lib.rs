@@ -20,9 +20,11 @@
 use qra::circuit::qasm_parser::from_qasm;
 use qra::faults::{
     auto_margins, cell_record_json, is_sweep_partial, margin_record_json, parse_sweep_partial,
-    parse_unit_record, ParsedReport,
+    parse_unit_record, BaselineCell, CampaignCell, ParsedReport,
 };
-use qra::orch::{monitor_workers, spawn_workers, worker_loop, EpochOutcome, OrchError};
+use qra::orch::{
+    monitor_workers, spawn_workers, worker_loop, EpochOutcome, OrchError, DEFAULT_MAX_ATTEMPTS,
+};
 use qra::prelude::*;
 use std::fmt::Write as _;
 use std::str::FromStr;
@@ -134,6 +136,12 @@ pub enum Command {
         dir: String,
         /// Worker subprocess count (`None` = available parallelism).
         workers: Option<usize>,
+        /// Per-unit execution deadline in milliseconds (`None` = none).
+        /// A worker whose claimed unit outlives it is killed and the
+        /// unit reclaimed for another attempt.
+        unit_timeout_ms: Option<u64>,
+        /// Failed attempts before a unit is quarantined as a named skip.
+        max_attempts: u32,
         /// The sweep's campaign description (must have `sweep` set).
         args: Box<CampaignArgs>,
     },
@@ -415,6 +423,38 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     let dir = flag("--run-dir")
                         .ok_or_else(|| err("sweep run: missing --run-dir <dir>"))?
                         .to_string();
+                    // Seconds on the command line (fractions allowed — tests
+                    // time out in well under a second), milliseconds in the
+                    // manifest.
+                    let unit_timeout_ms = match flag("--unit-timeout") {
+                        Some(t) => {
+                            let secs: f64 = t
+                                .parse()
+                                .map_err(|_| err(format!("bad --unit-timeout '{t}'")))?;
+                            if !secs.is_finite() || secs <= 0.0 {
+                                return Err(err(
+                                    "sweep run: --unit-timeout must be a positive number \
+                                     of seconds",
+                                ));
+                            }
+                            Some(((secs * 1000.0).round() as u64).max(1))
+                        }
+                        None => None,
+                    };
+                    let max_attempts = match flag("--max-attempts") {
+                        Some(m) => {
+                            let m: u32 = m
+                                .parse()
+                                .map_err(|_| err(format!("bad --max-attempts '{m}'")))?;
+                            if m == 0 {
+                                return Err(err(
+                                    "sweep run: --max-attempts needs at least 1 attempt",
+                                ));
+                            }
+                            m
+                        }
+                        None => DEFAULT_MAX_ATTEMPTS,
+                    };
                     let source = campaign_source(flag("--ghz"), positional.get(1).copied())?;
                     let args = parse_campaign_args(&rest, Some(source), shots, seed, noise)?;
                     if args.sweep.is_none() {
@@ -432,6 +472,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     Ok(Command::SweepRun {
                         dir,
                         workers,
+                        unit_timeout_ms,
+                        max_attempts,
                         args: Box::new(args),
                     })
                 }
@@ -869,9 +911,15 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             })
         }
         Command::Campaign(args) => run_campaign_command(args),
-        Command::SweepRun { dir, workers, args } => sweep_run(dir, *workers, args),
+        Command::SweepRun {
+            dir,
+            workers,
+            unit_timeout_ms,
+            max_attempts,
+            args,
+        } => sweep_run(dir, *workers, *unit_timeout_ms, *max_attempts, args),
         Command::SweepResume { dir, workers, json } => sweep_resume(dir, *workers, *json),
-        Command::SweepStatus { dir } => sweep_status(dir),
+        Command::SweepStatus { dir } => sweep_status(dir).map(|(out, _code)| out),
         Command::Worker { dir } => run_worker(dir),
         Command::Cost { num_qubits, state } => {
             let spec = parse_state(state, *num_qubits)?;
@@ -890,6 +938,22 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             let _ = writeln!(out, "auto picks:  {}", auto.design());
             Ok(out)
         }
+    }
+}
+
+/// Executes a parsed command, returning the text to print and the process
+/// exit code. Most commands exit 0 on success; `sweep status` also reports
+/// through the code so scripts can branch without parsing text: 0 when the
+/// unit grid is complete, 2 while units remain, 3 when quarantined units
+/// are present (complete or not).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on I/O, parsing or simulation failures.
+pub fn execute_with_code(command: &Command) -> Result<(String, i32), CliError> {
+    match command {
+        Command::SweepStatus { dir } => sweep_status(dir),
+        other => execute(other).map(|out| (out, 0)),
     }
 }
 
@@ -1015,6 +1079,86 @@ fn run_sweep_unit(
     }
 }
 
+/// Serializes the record for a unit quarantined after exhausting its
+/// attempts: the unit's real payload shape with its cell marked skipped
+/// (the skip reason names the quarantine), annotated with the attempt
+/// history. Derived from the manifest and the attempt history alone, so
+/// every worker — any count, any kill history — renders identical bytes.
+fn quarantined_unit_record(
+    args: &CampaignArgs,
+    setup: &CampaignSetup,
+    points: &[SweepPoint],
+    point: usize,
+    cell: usize,
+    attempts: &[String],
+) -> Result<String, CliError> {
+    let (cells_per_point, units_per_point) = sweep_grid(args, setup);
+    if point >= points.len() || cell >= units_per_point {
+        return Err(err(format!("unit ({point},{cell}) outside the sweep grid")));
+    }
+    let payload = if cell < cells_per_point {
+        // The single-cell shard report the unit would have produced, with
+        // the cell skipped instead of run — assemble_sweep then counts it
+        // like a deadline skip, but named after the quarantine.
+        let status = CellStatus::Skipped {
+            reason: format!("quarantined after {} failed attempt(s)", attempts.len()),
+        };
+        let program_cost = GateCounts::of(&setup.program).unwrap_or_default();
+        let d = args.designs.len();
+        let (baselines, cells) = if cell < d {
+            let baseline = BaselineCell {
+                design: args.designs[cell],
+                status,
+                assertion_cost: None,
+                program_cost,
+            };
+            (vec![baseline], vec![])
+        } else {
+            let mi = (cell - d) / d;
+            let di = (cell - d) % d;
+            let grid_cell = CampaignCell {
+                mutant_id: setup.mutants[mi].id.clone(),
+                kind_label: setup.mutants[mi].kind_label(),
+                design: args.designs[di],
+                status,
+            };
+            (vec![], vec![grid_cell])
+        };
+        let report = CampaignReport {
+            num_qubits: setup.program.num_qubits(),
+            shots: args.shots,
+            seed: args.seed,
+            detection_threshold: args.threshold,
+            mutant_count: setup.mutants.len(),
+            designs: args.designs.clone(),
+            baselines,
+            cells,
+            elapsed: std::time::Duration::ZERO,
+            deadline_hit: false,
+            shard: Some(Shard {
+                index: cell,
+                count: cells_per_point,
+            }),
+        };
+        SweepUnitPayload::Cell(ParsedReport {
+            report,
+            baseline_indices: if cell < d { vec![cell] } else { vec![] },
+            cell_indices: if cell < d { vec![] } else { vec![cell] },
+        })
+    } else {
+        // A quarantined calibration unit carries no margins; assembly
+        // falls back to the fixed auto-margin default for its point.
+        SweepUnitPayload::Margins(vec![])
+    };
+    let record = SweepUnitRecord {
+        point,
+        cell,
+        payload,
+        quarantined: Some(attempts.to_vec()),
+    };
+    Ok(record.to_json())
+}
+
 fn run_campaign_command(args: &CampaignArgs) -> Result<String, CliError> {
     let setup = campaign_setup(args)?;
     if let Some(points) = &args.sweep {
@@ -1105,8 +1249,14 @@ fn default_worker_count() -> usize {
 }
 
 /// `sweep run`: initializes the run directory, spawns the workers and
-/// monitors them to completion.
-fn sweep_run(dir: &str, workers: Option<usize>, args: &CampaignArgs) -> Result<String, CliError> {
+/// drives retry epochs to completion.
+fn sweep_run(
+    dir: &str,
+    workers: Option<usize>,
+    unit_timeout_ms: Option<u64>,
+    max_attempts: u32,
+    args: &CampaignArgs,
+) -> Result<String, CliError> {
     let mut args = args.clone();
     if let CampaignSource::File(file) = &args.source {
         // Workers and resumes may start in any directory: pin the program
@@ -1126,11 +1276,55 @@ fn sweep_run(dir: &str, workers: Option<usize>, args: &CampaignArgs) -> Result<S
         units_per_point,
         margin: args.margin.to_string(),
         workers,
+        unit_timeout_ms,
+        max_attempts,
     };
     let rundir = RunDir::init(dir, &manifest)?;
-    let children = spawn_workers(&rundir, workers)?;
-    let outcome = monitor_workers(&rundir, &manifest, children)?;
+    let outcome = drive_epochs(&rundir, &manifest, workers)?;
     finish_epoch(dir, &manifest, outcome, args.margin, args.json)
+}
+
+/// Drives worker epochs until the unit grid is covered or an epoch makes
+/// no progress: each epoch spawns fresh workers and monitors them to
+/// exit; when units remain, the stale claims dead workers left behind
+/// are cleared and a new epoch starts after an exponential backoff.
+///
+/// Terminates: every cleared stale claim recorded a failed attempt,
+/// attempts are capped at the manifest's `max_attempts` (after which the
+/// unit quarantines into a completed record), and an epoch that neither
+/// completes a unit nor clears a claim ends the loop — so retry epochs
+/// are bounded by `total_units x max_attempts`.
+fn drive_epochs(
+    rundir: &RunDir,
+    manifest: &Manifest,
+    workers: usize,
+) -> Result<EpochOutcome, CliError> {
+    let mut backoff = std::time::Duration::from_millis(100);
+    let mut last_done = None;
+    loop {
+        let children = spawn_workers(rundir, workers)?;
+        let outcome = monitor_workers(rundir, manifest, children)?;
+        if outcome.complete(manifest) {
+            return Ok(outcome);
+        }
+        let done = outcome.state.completed.len();
+        let cleared = rundir.clear_stale_claims(&outcome.state.completed)?;
+        if last_done == Some(done) && cleared == 0 {
+            // Nothing completed and nothing reclaimable: retrying would
+            // replay the identical epoch. Hand the incomplete outcome to
+            // the caller, whose error points at `sweep resume`.
+            return Ok(outcome);
+        }
+        last_done = Some(done);
+        eprintln!(
+            "sweep: epoch ended at {done}/{} unit(s), cleared {cleared} stale claim(s); \
+             retrying in {:.1}s",
+            manifest.total_units(),
+            backoff.as_secs_f64()
+        );
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(std::time::Duration::from_secs(5));
+    }
 }
 
 /// `sweep resume`: clears stale claims, respawns workers for the remaining
@@ -1154,8 +1348,7 @@ fn sweep_resume(dir: &str, workers: Option<usize>, json: bool) -> Result<String,
         return finish_epoch(dir, &manifest, outcome, margin, json);
     }
     let workers = workers.unwrap_or(manifest.workers).max(1);
-    let children = spawn_workers(&rundir, workers)?;
-    let outcome = monitor_workers(&rundir, &manifest, children)?;
+    let outcome = drive_epochs(&rundir, &manifest, workers)?;
     finish_epoch(dir, &manifest, outcome, margin, json)
 }
 
@@ -1191,21 +1384,27 @@ fn finish_epoch(
     })
 }
 
-/// `sweep status`: reports progress from the run directory alone.
-fn sweep_status(dir: &str) -> Result<String, CliError> {
+/// `sweep status`: reports progress from the run directory alone. The
+/// second element is the process exit code: 0 complete, 2 incomplete,
+/// 3 when quarantined units are present.
+fn sweep_status(dir: &str) -> Result<(String, i32), CliError> {
     let (rundir, manifest) = RunDir::open(dir)?;
     let state = rundir.scan(&manifest)?;
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "run {}: {}/{} unit(s) done, {} in-flight, {} failed, {} torn line(s)",
+        "run {}: {}/{} unit(s) done, {} in-flight, {} failed, {} quarantined, {} torn line(s)",
         rundir.root().display(),
         state.completed.len(),
         manifest.total_units(),
         state.in_flight.len(),
         state.failed.len(),
+        state.quarantined.len(),
         state.torn_lines
     );
+    for report in &state.corrupt {
+        let _ = writeln!(out, "  corrupt: {report}");
+    }
     for (p, label) in manifest.labels.iter().enumerate() {
         let done = state
             .completed
@@ -1218,13 +1417,29 @@ fn sweep_status(dir: &str) -> Result<String, CliError> {
             manifest.units_per_point
         );
     }
-    let verdict = if state.completed.len() == manifest.total_units() {
-        "complete — `qra sweep resume` prints the merged report"
-    } else {
-        "incomplete — `qra sweep resume` will finish it"
+    for &unit in &state.quarantined {
+        let _ = writeln!(
+            out,
+            "  quarantined: unit {unit} ({}, cell {})",
+            manifest.labels[unit / manifest.units_per_point],
+            unit % manifest.units_per_point
+        );
+    }
+    let complete = state.completed.len() == manifest.total_units();
+    let (verdict, code) = match (complete, state.quarantined.is_empty()) {
+        (true, true) => ("complete — `qra sweep resume` prints the merged report", 0),
+        (true, false) => (
+            "complete with quarantined unit(s) — the report names them as skips",
+            3,
+        ),
+        (false, false) => (
+            "incomplete with quarantined unit(s) — `qra sweep resume` will finish it",
+            3,
+        ),
+        (false, true) => ("incomplete — `qra sweep resume` will finish it", 2),
     };
     let _ = writeln!(out, "status: {verdict}");
-    Ok(out)
+    Ok((out, code))
 }
 
 /// `worker`: rebuilds the campaign from the manifest's argv and runs the
@@ -1239,7 +1454,17 @@ fn run_worker(dir: &str) -> Result<String, CliError> {
     let run_unit = |point: usize, cell: usize| {
         run_sweep_unit(&args, &setup, &points, point, cell).map_err(|e| OrchError(e.0))
     };
-    let done = worker_loop(&rundir, &manifest, std::process::id() as usize, &run_unit)?;
+    let quarantine = |point: usize, cell: usize, attempts: &[String]| {
+        quarantined_unit_record(&args, &setup, &points, point, cell, attempts)
+            .map_err(|e| OrchError(e.0))
+    };
+    let done = worker_loop(
+        &rundir,
+        &manifest,
+        std::process::id() as usize,
+        &run_unit,
+        &quarantine,
+    )?;
     Ok(format!("worker: completed {done} unit(s)\n"))
 }
 
@@ -1280,7 +1505,8 @@ pub fn usage() -> String {
      \x20                  [--sweep ideal,low,melbourne:2.0] [--margin R|auto[:REPEATS[:Z]]]\n\
      \x20                  [--json]\n\
      qra campaign merge <shard.json|partial.json>… [--json]\n\
-     qra sweep run --run-dir <dir> [--workers W] (<file.qasm> | --ghz N) --sweep … [flags]\n\
+     qra sweep run --run-dir <dir> [--workers W] [--unit-timeout SECS] [--max-attempts N]\n\
+     \x20                  (<file.qasm> | --ghz N) --sweep … [flags]\n\
      qra sweep resume <dir> [--workers W] [--json]\n\
      qra sweep status <dir>\n\
      qra worker --run-dir <dir>\n\
@@ -1297,7 +1523,12 @@ pub fn usage() -> String {
      point from the baseline variance across repeated seeds.\n\
      'sweep run' executes the sweep's unit grid across worker subprocesses\n\
      over a crash-safe run directory: kill anything mid-run, then\n\
-     'sweep resume' finishes the rest and prints the identical report.\n"
+     'sweep resume' finishes the rest and prints the identical report.\n\
+     --unit-timeout kills a worker whose claimed unit outlives SECS and\n\
+     reclaims the unit; a unit that fails --max-attempts times (default 3)\n\
+     is quarantined — recorded as a named skip carrying its attempt\n\
+     history instead of blocking the sweep forever. 'sweep status' exits\n\
+     0 when complete, 2 while units remain, 3 when units are quarantined.\n"
         .to_string()
 }
 
@@ -1494,6 +1725,8 @@ mod tests {
             "sweep status",
             "worker",
             "--margin R|auto",
+            "--unit-timeout",
+            "--max-attempts",
         ] {
             assert!(u.contains(word), "usage misses {word}");
         }
@@ -1517,14 +1750,74 @@ mod tests {
         ]))
         .unwrap();
         match cmd {
-            Command::SweepRun { dir, workers, args } => {
+            Command::SweepRun {
+                dir,
+                workers,
+                unit_timeout_ms,
+                max_attempts,
+                args,
+            } => {
                 assert_eq!(dir, "rd");
                 assert_eq!(workers, Some(2));
+                assert_eq!(unit_timeout_ms, None, "no timeout unless asked");
+                assert_eq!(max_attempts, DEFAULT_MAX_ATTEMPTS);
                 assert_eq!(args.source, CampaignSource::Ghz(2));
                 assert_eq!(args.shots, 64);
                 assert_eq!(args.sweep.as_ref().map(Vec::len), Some(2));
             }
             other => panic!("unexpected {other:?}"),
+        }
+        // Fractional timeouts land in milliseconds; attempts override.
+        let cmd = parse_args(&args(&[
+            "sweep",
+            "run",
+            "--run-dir",
+            "rd",
+            "--ghz",
+            "2",
+            "--sweep",
+            "low",
+            "--unit-timeout",
+            "1.5",
+            "--max-attempts",
+            "2",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::SweepRun {
+                unit_timeout_ms,
+                max_attempts,
+                ..
+            } => {
+                assert_eq!(unit_timeout_ms, Some(1500));
+                assert_eq!(max_attempts, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        for bad in [
+            ["--unit-timeout", "0"],
+            ["--unit-timeout", "-1"],
+            ["--unit-timeout", "inf"],
+            ["--unit-timeout", "x"],
+            ["--max-attempts", "0"],
+            ["--max-attempts", "x"],
+        ] {
+            let argv = [
+                "sweep",
+                "run",
+                "--run-dir",
+                "rd",
+                "--ghz",
+                "2",
+                "--sweep",
+                "low",
+                bad[0],
+                bad[1],
+            ];
+            assert!(
+                parse_args(&args(&argv)).is_err(),
+                "{bad:?} should not parse"
+            );
         }
         // A QASM file rides as the positional after `run`.
         let cmd = parse_args(&args(&[
@@ -1643,6 +1936,55 @@ mod tests {
         })
         .unwrap_err();
         assert!(incomplete.0.contains("point"), "{incomplete}");
+    }
+
+    #[test]
+    fn quarantined_records_are_deterministic_and_round_trip() {
+        let args = CampaignArgs {
+            source: CampaignSource::Ghz(2),
+            state: "ghz".into(),
+            designs: vec![CampaignDesign::Ndd],
+            doubles: 0,
+            shots: 64,
+            seed: 17,
+            deadline_ms: None,
+            memory_budget_mb: 64,
+            jobs: Some(1),
+            noise: DevicePreset::Ideal,
+            threshold: 0.05,
+            shard: None,
+            sweep: Some(vec![
+                (DevicePreset::Ideal, 1.0),
+                (DevicePreset::LowNoise, 1.0),
+            ]),
+            margin: MarginMode::Auto { repeats: 2, z: 2.0 },
+            json: true,
+        };
+        let setup = campaign_setup(&args).unwrap();
+        let points = sweep_points(args.sweep.as_deref().unwrap());
+        let (cells_per_point, units_per_point) = sweep_grid(&args, &setup);
+        let attempts: Vec<String> = (0..3).map(|_| "backend exploded".to_string()).collect();
+        // A baseline cell, a mutant cell, and the calibration unit all
+        // render stably and parse back to the same bytes.
+        for cell in [0, cells_per_point - 1, units_per_point - 1] {
+            let a = quarantined_unit_record(&args, &setup, &points, 1, cell, &attempts).unwrap();
+            let b = quarantined_unit_record(&args, &setup, &points, 1, cell, &attempts).unwrap();
+            assert_eq!(a, b, "record must not depend on the renderer instance");
+            assert!(
+                a.contains("quarantined after 3 failed attempt(s)") || cell == units_per_point - 1,
+                "{a}"
+            );
+            let record = parse_unit_record(&a).unwrap();
+            assert_eq!(record.point, 1);
+            assert_eq!(record.cell, cell);
+            assert_eq!(record.quarantined.as_deref(), Some(&attempts[..]));
+            assert_eq!(record.to_json(), a, "record round-trips byte-identically");
+        }
+        // Out-of-grid coordinates are an error, not a bogus record.
+        assert!(quarantined_unit_record(&args, &setup, &points, 2, 0, &attempts).is_err());
+        assert!(
+            quarantined_unit_record(&args, &setup, &points, 0, units_per_point, &attempts).is_err()
+        );
     }
 
     #[test]

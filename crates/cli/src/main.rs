@@ -2,8 +2,13 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match qra_cli::parse_args(&args).and_then(|cmd| qra_cli::execute(&cmd)) {
-        Ok(output) => print!("{output}"),
+    match qra_cli::parse_args(&args).and_then(|cmd| qra_cli::execute_with_code(&cmd)) {
+        Ok((output, code)) => {
+            print!("{output}");
+            if code != 0 {
+                std::process::exit(code);
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!();

@@ -1,0 +1,288 @@
+//! Chaos-hardened orchestration, end to end against the real `qra`
+//! binary: every injected fault — worker kills, torn writes, corrupt
+//! records, claim races, hung workers, poison units — either recovers to
+//! the byte-identical sequential report or converges to a deterministic
+//! quarantine annotation, identically for any worker count and across a
+//! SIGKILL of the orchestrator itself.
+//!
+//! Fault injection is driven by the `QRA_CHAOS` environment variable
+//! (debug builds only; see `qra_orch::chaos`), so the binary under test
+//! is the production binary, not a test double.
+
+use qra::orch::parse_progress;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// The small sweep every scenario runs: GHZ-2 x ndd over two noise
+/// points, fixed margin (no calibration unit), single-job cells.
+const BASE: &[&str] = &[
+    "--ghz",
+    "2",
+    "--designs",
+    "ndd",
+    "--shots",
+    "64",
+    "--seed",
+    "17",
+    "--sweep",
+    "ideal,low",
+    "--margin",
+    "0.02",
+    "--jobs",
+    "1",
+];
+
+fn qra() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qra"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = qra().args(args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "qra {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+/// Runs `sweep run` into `dir` under the given chaos spec and returns
+/// its stdout; panics (with stderr) if the run fails.
+fn chaos_run(dir: &Path, chaos: &str, workers: &str, extra: &[&str]) -> String {
+    let dir_str = dir.to_str().unwrap();
+    let args = [
+        &["sweep", "run", "--run-dir", dir_str, "--workers", workers][..],
+        extra,
+        BASE,
+        &["--json"][..],
+    ]
+    .concat();
+    let out = qra()
+        .args(&args)
+        .env("QRA_CHAOS", chaos)
+        .env("QRA_CHAOS_SEED", "7")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "chaos '{chaos}' run failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+/// `sweep status`, returning stdout and the exit code.
+fn status_of(dir: &Path) -> (String, i32) {
+    let out = qra()
+        .args(["sweep", "status", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    (
+        String::from_utf8(out.stdout).unwrap(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qra-chaos-e2e-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn recoverable_faults_render_the_sequential_bytes() {
+    let sequential = run_ok(&[&["campaign"][..], BASE, &["--json"][..]].concat());
+    assert!(sequential.starts_with('{'), "{sequential}");
+
+    // Every recoverable fault, against two racing workers. `kill=3`
+    // aborts each worker after three clean records; `torn` truncates one
+    // record mid-write and aborts; `corrupt` flips a byte of one record;
+    // `race` forces every worker to walk the grid from unit 0; `hang`
+    // stalls one unit forever (recovered by the unit timeout killing and
+    // reclaiming it).
+    let matrix: &[(&str, &str, &[&str])] = &[
+        ("kill", "kill=3", &[]),
+        ("torn", "torn=1:2", &[]),
+        ("corrupt", "corrupt=1:2", &[]),
+        ("race", "race", &[]),
+        ("hang", "hang=1:2", &["--unit-timeout", "1"]),
+    ];
+    for &(tag, chaos, extra) in matrix {
+        let dir = tmpdir(tag);
+        let report = chaos_run(&dir, chaos, "2", extra);
+        assert_eq!(
+            report, sequential,
+            "chaos '{chaos}' must recover to the sequential bytes"
+        );
+        let (status, code) = status_of(&dir);
+        assert_eq!(code, 0, "recovered run must exit 0:\n{status}");
+        assert!(status.contains("0 quarantined"), "{status}");
+        assert!(status.contains("status: complete"), "{status}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn poison_unit_quarantines_identically_for_any_worker_count() {
+    // Unit (1,2) panics its worker on every attempt; after two failed
+    // attempts the next claimer must quarantine it as a named skip.
+    let expected = {
+        let dir = tmpdir("poison-ref");
+        let report = chaos_run(&dir, "panic=1:2", "1", &["--max-attempts", "2"]);
+        let (status, code) = status_of(&dir);
+        assert_eq!(code, 3, "quarantined run must exit 3:\n{status}");
+        assert!(status.contains("1 quarantined"), "{status}");
+        assert!(status.contains("quarantined: unit"), "{status}");
+        let _ = fs::remove_dir_all(&dir);
+        report
+    };
+    assert!(
+        expected.contains("\"quarantined\""),
+        "report must carry the quarantine annotation: {expected}"
+    );
+    assert!(
+        expected.contains("quarantined after 2 failed attempt(s)"),
+        "{expected}"
+    );
+
+    for workers in ["2", "4"] {
+        let dir = tmpdir(&format!("poison-w{workers}"));
+        let report = chaos_run(&dir, "panic=1:2", workers, &["--max-attempts", "2"]);
+        assert_eq!(
+            report, expected,
+            "{workers} worker(s) must render the identical quarantine annotation"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // The acceptance scenario: a permanently hung worker AND an
+    // always-panicking unit in the same run, completed unattended — the
+    // hang recovered by the unit timeout, the poison unit quarantined.
+    let dir = tmpdir("poison-hang");
+    let report = chaos_run(
+        &dir,
+        "hang=0:1,panic=1:2",
+        "2",
+        &["--unit-timeout", "2", "--max-attempts", "2"],
+    );
+    assert_eq!(
+        report, expected,
+        "a recovered hang must leave no trace beside the quarantine"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkilled_orchestrator_resumes_to_the_identical_quarantine() {
+    let expected = {
+        let dir = tmpdir("resume-ref");
+        let report = chaos_run(&dir, "panic=1:2", "2", &["--max-attempts", "2"]);
+        let _ = fs::remove_dir_all(&dir);
+        report
+    };
+
+    let dir = tmpdir("resume-kill");
+    let dir_str = dir.to_str().unwrap();
+    let mut child = qra()
+        .args(
+            [
+                &[
+                    "sweep",
+                    "run",
+                    "--run-dir",
+                    dir_str,
+                    "--workers",
+                    "2",
+                    "--max-attempts",
+                    "2",
+                ][..],
+                BASE,
+                &["--json"][..],
+            ]
+            .concat(),
+        )
+        .env("QRA_CHAOS", "panic=1:2")
+        .env("QRA_CHAOS_SEED", "7")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // Wait for real progress, then SIGKILL the orchestrator itself.
+    let progress_path = dir.join("progress.json");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut raced_to_completion = false;
+    loop {
+        if Instant::now() > deadline {
+            panic!("chaos sweep made no progress within the deadline");
+        }
+        if child.try_wait().unwrap().is_some() {
+            raced_to_completion = true;
+            break;
+        }
+        let done = fs::read_to_string(&progress_path)
+            .ok()
+            .and_then(|text| parse_progress(&text).ok())
+            .map_or(0, |(done, _, _, _)| done);
+        if done >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    if raced_to_completion {
+        // The kill lost the race — identity still holds.
+        let out = child.wait_with_output().unwrap();
+        assert_eq!(String::from_utf8(out.stdout).unwrap(), expected);
+        let _ = fs::remove_dir_all(&dir);
+        return;
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+
+    // Orphaned workers keep running; `sweep resume` clears stale claims,
+    // which is only safe once they exit. Their pids are the results
+    // stream names.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let live = fs::read_dir(dir.join("results"))
+            .map(|entries| {
+                entries
+                    .filter_map(|e| {
+                        let name = e.ok()?.file_name().to_str()?.to_string();
+                        let pid = name.strip_prefix('w')?.strip_suffix(".jsonl")?.to_string();
+                        Path::new(&format!("/proc/{pid}")).exists().then_some(pid)
+                    })
+                    .count()
+            })
+            .unwrap_or(0);
+        if live == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "orphaned workers did not exit ({live} live)"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Resume under the same chaos: the poison unit still panics every
+    // claimer until it quarantines, and the merged report must be
+    // byte-identical to the uninterrupted chaos run.
+    let out = qra()
+        .args(["sweep", "resume", dir_str, "--json"])
+        .env("QRA_CHAOS", "panic=1:2")
+        .env("QRA_CHAOS_SEED", "7")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "resume failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8(out.stdout).unwrap(), expected);
+    let (status, code) = status_of(&dir);
+    assert_eq!(code, 3, "{status}");
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -70,6 +70,6 @@ pub use runner::{
 };
 pub use sweep::{
     assemble_sweep_report, auto_margins, calibration_seed, run_sweep, run_sweep_with_executor,
-    MarginMode, PointThreshold, SweepConfig, SweepPoint, SweepPointParts, SweepPointReport,
-    SweepReport, AUTO_MARGIN_FALLBACK,
+    MarginMode, PointThreshold, QuarantinedUnit, SweepConfig, SweepPoint, SweepPointParts,
+    SweepPointReport, SweepReport, AUTO_MARGIN_FALLBACK,
 };

@@ -23,7 +23,9 @@
 use crate::json::{self, json_f64, json_str, Json, JsonError};
 use crate::report::{BaselineCell, CampaignCell, CampaignReport, CellError, CellStatus};
 use crate::runner::{BackendKind, CampaignDesign, Shard};
-use crate::sweep::{assemble_sweep_report, MarginMode, SweepPointParts, SweepReport};
+use crate::sweep::{
+    assemble_sweep_report, MarginMode, QuarantinedUnit, SweepPointParts, SweepReport,
+};
 use qra_circuit::GateCounts;
 use std::fmt;
 use std::fmt::Write as _;
@@ -327,7 +329,12 @@ pub enum SweepUnitPayload {
 
 /// One completed unit of distributed sweep work, as streamed to a JSONL
 /// results file: `{"point":P,"cell":C,"campaign":{…}}` for campaign cells,
-/// `{"point":P,"cell":C,"margins":[…]}` for a point's calibration unit.
+/// `{"point":P,"cell":C,"margins":[…]}` for a point's calibration unit. A
+/// quarantined unit additionally carries
+/// `"quarantined":{"attempts":[…]}` — its payload is then the
+/// deterministic placeholder the orchestrator synthesized (a skipped
+/// single-cell shard, or an empty margin list) rather than a computed
+/// result.
 #[derive(Debug, Clone)]
 pub struct SweepUnitRecord {
     /// The noise point's index in sweep order.
@@ -337,19 +344,36 @@ pub struct SweepUnitRecord {
     pub cell: usize,
     /// The unit's result.
     pub payload: SweepUnitPayload,
+    /// When the unit was quarantined after exhausting its attempts: the
+    /// recorded attempt reasons, in attempt order.
+    pub quarantined: Option<Vec<String>>,
 }
 
 impl SweepUnitRecord {
     /// Serializes the record as one JSON line (no trailing newline).
     pub fn to_json(&self) -> String {
-        match &self.payload {
+        let base = match &self.payload {
             SweepUnitPayload::Cell(parsed) => {
                 cell_record_json(self.point, self.cell, &parsed.report)
             }
             SweepUnitPayload::Margins(margins) => {
                 margin_record_json(self.point, self.cell, margins)
             }
+        };
+        let Some(attempts) = &self.quarantined else {
+            return base;
+        };
+        let mut out = String::with_capacity(base.len() + 64);
+        out.push_str(&base[..base.len() - 1]);
+        out.push_str(",\"quarantined\":{\"attempts\":[");
+        for (i, reason) in attempts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(reason));
         }
+        out.push_str("]}}");
+        out
     }
 }
 
@@ -412,10 +436,21 @@ fn parse_unit_value(root: &Json) -> Result<SweepUnitRecord, MergeError> {
     } else {
         return Err(err("unit record has neither 'campaign' nor 'margins'"));
     };
+    let quarantined = match root.get("quarantined") {
+        None => None,
+        Some(q) => Some(
+            q.require("attempts")?
+                .as_arr()?
+                .iter()
+                .map(|r| Ok(r.as_str()?.to_string()))
+                .collect::<Result<Vec<_>, MergeError>>()?,
+        ),
+    };
     Ok(SweepUnitRecord {
         point,
         cell,
         payload,
+        quarantined,
     })
 }
 
@@ -524,7 +559,25 @@ pub fn assemble_sweep(
             margins: point_margins,
         });
     }
-    Ok(assemble_sweep_report(margin, parts))
+    let mut report = assemble_sweep_report(margin, parts);
+    // Quarantined units assemble as named skips: their placeholder
+    // payloads merged like any other unit above; here their annotations
+    // are collected in deterministic (point, cell) order so the listing is
+    // identical regardless of scan or worker order.
+    let mut quarantined: Vec<QuarantinedUnit> = units
+        .iter()
+        .filter_map(|unit| {
+            unit.quarantined.as_ref().map(|attempts| QuarantinedUnit {
+                label: labels[unit.point].clone(),
+                point: unit.point,
+                cell: unit.cell,
+                attempts: attempts.clone(),
+            })
+        })
+        .collect();
+    quarantined.sort_by_key(|a| (a.point, a.cell));
+    report.quarantined = quarantined;
+    Ok(report)
 }
 
 // ---------------------------------------------------------------------------
@@ -704,6 +757,7 @@ mod tests {
                 (CampaignDesign::Ndd, 0.015625),
                 (CampaignDesign::Stat, 1.0 / 3.0),
             ]),
+            quarantined: None,
         };
         let json = record.to_json();
         let back = parse_unit_record(&json).unwrap();
@@ -726,6 +780,32 @@ mod tests {
     fn unit_record_rejects_unknown_payloads() {
         assert!(parse_unit_record("{\"point\":0,\"cell\":0}").is_err());
         assert!(parse_unit_record("not json").is_err());
+        // A quarantine annotation must carry its attempt list.
+        assert!(
+            parse_unit_record("{\"point\":0,\"cell\":0,\"margins\":[],\"quarantined\":{}}")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn quarantined_unit_record_round_trips() {
+        let record = SweepUnitRecord {
+            point: 1,
+            cell: 4,
+            payload: SweepUnitPayload::Margins(vec![]),
+            quarantined: Some(vec![
+                "worker died before recording the unit".to_string(),
+                "unit execution exceeded the 2000ms unit timeout".to_string(),
+            ]),
+        };
+        let json = record.to_json();
+        assert!(json.contains("\"quarantined\":{\"attempts\":["), "{json}");
+        let back = parse_unit_record(&json).unwrap();
+        let attempts = back.quarantined.as_ref().unwrap();
+        assert_eq!(attempts.len(), 2);
+        assert!(attempts[0].contains("worker died"));
+        // Serialization is stable through a round trip.
+        assert_eq!(back.to_json(), json);
     }
 
     #[test]
@@ -745,6 +825,7 @@ mod tests {
             point: 0,
             cell: 4,
             payload: SweepUnitPayload::Margins(vec![(CampaignDesign::Ndd, 0.01)]),
+            quarantined: None,
         };
         // Calibration unit under a fixed margin is a contract violation.
         let e = assemble_sweep(

@@ -237,6 +237,22 @@ impl SweepPointReport {
     }
 }
 
+/// A unit the orchestrator quarantined after it exhausted its attempts:
+/// the sweep completed around it, recording it as a named skip with its
+/// attempt history instead of resume-looping forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedUnit {
+    /// The noise point's label.
+    pub label: String,
+    /// The noise point's index in sweep order.
+    pub point: usize,
+    /// The unit's cell index within the point (`cells_per_point` denotes
+    /// the point's margin-calibration unit).
+    pub cell: usize,
+    /// The recorded attempt reasons, in attempt order.
+    pub attempts: Vec<String>,
+}
+
 /// The full sweep result: one [`SweepPointReport`] per noise point.
 #[derive(Debug, Clone)]
 pub struct SweepReport {
@@ -244,6 +260,9 @@ pub struct SweepReport {
     pub margin: MarginMode,
     /// Per-point results, in sweep order.
     pub points: Vec<SweepPointReport>,
+    /// Units quarantined by the orchestrator, in `(point, cell)` order;
+    /// empty for sequential sweeps and fault-free distributed runs.
+    pub quarantined: Vec<QuarantinedUnit>,
 }
 
 /// One assembled point of a sweep report: the merged campaign plus the
@@ -287,7 +306,11 @@ pub fn assemble_sweep_report(margin: MarginMode, parts: Vec<SweepPointParts>) ->
             }
         })
         .collect();
-    SweepReport { margin, points }
+    SweepReport {
+        margin,
+        points,
+        quarantined: Vec::new(),
+    }
 }
 
 /// Derives per-design thresholds from a campaign's baseline row.
@@ -556,6 +579,37 @@ impl SweepReport {
             }
             let _ = writeln!(out);
         }
+        // The quarantine section appears only when a unit was quarantined,
+        // so fault-free runs render byte-identically to sequential sweeps.
+        if !self.quarantined.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "=== Quarantined units ({}) ===",
+                self.quarantined.len()
+            );
+            for q in &self.quarantined {
+                let what = if q.cell
+                    == self
+                        .points
+                        .first()
+                        .map_or(usize::MAX, |p| p.report.total_cells())
+                {
+                    "calibration unit".to_string()
+                } else {
+                    format!("cell {}", q.cell)
+                };
+                let _ = writeln!(
+                    out,
+                    "{} {what}: quarantined after {} failed attempt(s)",
+                    q.label,
+                    q.attempts.len()
+                );
+                for (i, reason) in q.attempts.iter().enumerate() {
+                    let _ = writeln!(out, "  attempt {}: {reason}", i + 1);
+                }
+            }
+        }
         out
     }
 
@@ -601,7 +655,33 @@ impl SweepReport {
             }
             let _ = write!(out, "],\"campaign\":{}}}", point.report.to_json());
         }
-        out.push_str("]}");
+        out.push(']');
+        // As in the text rendering: emitted only when non-empty, keeping
+        // fault-free distributed output byte-identical to sequential.
+        if !self.quarantined.is_empty() {
+            out.push_str(",\"quarantined\":[");
+            for (i, q) in self.quarantined.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"label\":{},\"point\":{},\"cell\":{},\"attempts\":[",
+                    json_str(&q.label),
+                    q.point,
+                    q.cell
+                );
+                for (j, reason) in q.attempts.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_str(reason));
+                }
+                out.push_str("]}");
+            }
+            out.push(']');
+        }
+        out.push('}');
         out
     }
 }
@@ -685,6 +765,45 @@ mod tests {
         assert!(json.contains("\"threshold_margin\":0.02"), "{json}");
         assert!(json.contains("\"label\":\"low\""), "{json}");
         assert!(json.contains("\"campaign\":{\"num_qubits\":2"), "{json}");
+        // No quarantine section on fault-free sweeps — in either format.
+        assert!(!text.contains("Quarantined"), "{text}");
+        assert!(!json.contains("quarantined"), "{json}");
+    }
+
+    #[test]
+    fn quarantined_units_render_as_named_skips() {
+        let mut sweep = tiny_sweep(vec![SweepPoint::preset(DevicePreset::Ideal)]);
+        sweep.quarantined = vec![
+            QuarantinedUnit {
+                label: "ideal".into(),
+                point: 0,
+                cell: 1,
+                attempts: vec!["worker died before recording the unit".into(); 3],
+            },
+            QuarantinedUnit {
+                label: "ideal".into(),
+                point: 0,
+                cell: sweep.points[0].report.total_cells(),
+                attempts: vec!["unit execution exceeded the 2000ms unit timeout".into()],
+            },
+        ];
+        let text = sweep.render_text();
+        assert!(text.contains("=== Quarantined units (2) ==="), "{text}");
+        assert!(
+            text.contains("ideal cell 1: quarantined after 3 failed attempt(s)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ideal calibration unit: quarantined"),
+            "{text}"
+        );
+        assert!(text.contains("attempt 1: worker died"), "{text}");
+        let json = sweep.to_json();
+        assert!(
+            json.contains("\"quarantined\":[{\"label\":\"ideal\""),
+            "{json}"
+        );
+        assert!(json.contains("\"attempts\":[\"worker died"), "{json}");
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Unit leases: claim files that carry the owning worker's pid and use
+//! their mtime as a heartbeat.
+//!
+//! A lease is created `O_EXCL` (exactly one owner per unit per epoch) with
+//! the owner's pid as its first line. The file's mtime — stamped when the
+//! owner claims the unit — is the unit's heartbeat: the monitor treats a
+//! non-failed lease older than the manifest's unit timeout as a stalled
+//! unit, kills its owner, and reclaims the unit. A worker that *observes*
+//! a unit failure (the runner returned an error, rather than the process
+//! dying mid-unit) appends a `failed` marker line, so the monitor and the
+//! stale-claim sweep can tell a recorded failure (attempt already counted
+//! by the worker) from an abandoned lease (attempt counted at reclaim).
+
+use crate::OrchError;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Duration;
+
+/// A parsed lease file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// Pid of the worker that claimed the unit (0 when the lease carries
+    /// no pid — e.g. a crash between create and write).
+    pub pid: u32,
+    /// Whether the owner marked the unit failed after recording an
+    /// attempt for it.
+    pub failed: bool,
+    /// Heartbeat age: time since the lease was last touched.
+    pub age: Duration,
+}
+
+/// Atomically acquires the lease at `path` for the current process.
+/// Returns `false` when another owner already holds it.
+pub fn acquire(path: &Path) -> bool {
+    let Ok(mut f) = OpenOptions::new().write(true).create_new(true).open(path) else {
+        return false;
+    };
+    // The pid content is best-effort: an empty lease still excludes other
+    // claimers, and reads back as pid 0 — an abandoned lease with no live
+    // owner, which the monitor reclaims.
+    let _ = writeln!(f, "{}", std::process::id());
+    let _ = f.sync_all();
+    true
+}
+
+/// Reads the lease at `path`; `None` when it does not exist or cannot be
+/// read (e.g. it was just released by the monitor).
+pub fn read(path: &Path) -> Option<Lease> {
+    let meta = std::fs::metadata(path).ok()?;
+    let text = std::fs::read_to_string(path).ok()?;
+    let pid = text
+        .lines()
+        .next()
+        .and_then(|l| l.trim().parse().ok())
+        .unwrap_or(0);
+    let failed = text.lines().any(|l| l.trim() == "failed");
+    let age = meta
+        .modified()
+        .ok()
+        .and_then(|m| std::time::SystemTime::now().duration_since(m).ok())
+        .unwrap_or_default();
+    Some(Lease { pid, failed, age })
+}
+
+/// Appends the `failed` marker to the lease at `path`, recording that the
+/// owner observed the unit fail (as opposed to dying while running it).
+///
+/// # Errors
+///
+/// Returns [`OrchError`] on I/O failure (including a missing lease).
+pub fn mark_failed(path: &Path) -> Result<(), OrchError> {
+    let mut f = OpenOptions::new()
+        .append(true)
+        .open(path)
+        .map_err(|e| OrchError(format!("opening lease {}: {e}", path.display())))?;
+    writeln!(f, "failed")
+        .map_err(|e| OrchError(format!("marking lease {}: {e}", path.display())))?;
+    f.sync_all()
+        .map_err(|e| OrchError(format!("syncing lease {}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(tag: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("qra-orch-lease-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn lease_acquires_exclusively_and_carries_pid() {
+        let path = tmpfile("acquire");
+        assert!(acquire(&path));
+        assert!(!acquire(&path), "second acquire must lose");
+        let lease = read(&path).unwrap();
+        assert_eq!(lease.pid, std::process::id());
+        assert!(!lease.failed);
+        assert!(lease.age < Duration::from_secs(60));
+        let _ = std::fs::remove_file(&path);
+        assert!(read(&path).is_none(), "released lease reads as None");
+    }
+
+    #[test]
+    fn failed_marker_round_trips_and_needs_a_lease() {
+        let path = tmpfile("failed");
+        assert!(acquire(&path));
+        mark_failed(&path).unwrap();
+        let lease = read(&path).unwrap();
+        assert_eq!(lease.pid, std::process::id());
+        assert!(lease.failed);
+        let _ = std::fs::remove_file(&path);
+        assert!(mark_failed(&path).is_err(), "no lease to mark");
+    }
+
+    #[test]
+    fn empty_lease_reads_as_abandoned_pid_zero() {
+        let path = tmpfile("empty");
+        std::fs::write(&path, "").unwrap();
+        let lease = read(&path).unwrap();
+        assert_eq!(lease.pid, 0);
+        assert!(!lease.failed);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -9,15 +9,21 @@
 //! processes, with all coordination through a crash-safe run directory:
 //!
 //! * [`rundir`] — the shared state: a `manifest.json` describing the sweep
-//!   (written once, temp+rename), an `O_EXCL` claim file per unit, one
-//!   append-only JSONL record stream per worker pid, and an atomically
-//!   replaced `progress.json`;
+//!   (written once, temp+rename), an `O_EXCL` lease file per unit, one
+//!   checksummed append-only JSONL record stream per worker pid, per-unit
+//!   attempt markers, and an atomically replaced `progress.json`;
+//! * [`lease`] — the claim-file format: owner pid plus a heartbeat mtime,
+//!   with a `failed` marker distinguishing recorded failures from
+//!   abandoned leases;
 //! * [`worker`] — the claim-execute-record loop each worker runs
 //!   (`qra worker --run-dir <dir>` in production, in-process threads in
-//!   tests and embedded mode);
+//!   tests and embedded mode), including poison-unit quarantine;
 //! * [`orchestrate`] — spawning workers as subprocesses of our own binary,
-//!   monitoring them, and emitting progress events to stderr and
-//!   `progress.json`.
+//!   monitoring them (killing hung workers past the unit timeout and
+//!   reclaiming units of dead ones), and emitting progress events to
+//!   stderr and `progress.json`;
+//! * [`chaos`] — deterministic, env-driven fault injection (debug builds
+//!   only) proving all of the above against real worker subprocesses.
 //!
 //! **Determinism contract.** Campaign cell seeds derive from
 //! `(seed, cell index)` and calibration seeds from
@@ -27,17 +33,28 @@
 //! set — any worker count, any scheduling order, any number of
 //! kill+resume cycles — produces a [`SweepReport`](qra_faults::SweepReport)
 //! byte-identical to the sequential run at the same seed. Workers affect
-//! only *when* a unit runs, never *what* it computes.
+//! only *when* a unit runs, never *what* it computes. Quarantined units
+//! are the one deliberate exception: a unit that exhausts `max_attempts`
+//! is recorded as a deterministic named skip (reason + attempt history),
+//! so its annotation — not its timing — is what differs from the
+//! sequential run, identically across worker counts and kill histories.
 
 #![deny(missing_docs)]
 
+pub mod chaos;
+pub mod lease;
 pub mod orchestrate;
 pub mod rundir;
 pub mod worker;
 
+pub use chaos::Chaos;
+pub use lease::Lease;
 pub use orchestrate::{monitor_workers, run_threaded, spawn_workers, EpochOutcome};
-pub use rundir::{parse_progress, progress_json, Manifest, ResultsStream, RunDir, ScanState};
-pub use worker::{worker_loop, UnitRunner};
+pub use rundir::{
+    parse_progress, progress_json, Manifest, ResultsStream, RunDir, ScanState, ATTEMPT_REASON_DIED,
+    DEFAULT_MAX_ATTEMPTS,
+};
+pub use worker::{worker_loop, QuarantineRenderer, UnitRunner};
 
 use std::fmt;
 

@@ -5,12 +5,17 @@
 //! (`qra worker --run-dir <dir>`), so a SIGKILL of any worker — or of the
 //! orchestrator itself — loses at most the units that worker had claimed
 //! but not recorded; `sweep resume` clears those stale claims and finishes
-//! the rest. An embedded threaded mode runs the same worker loop on
-//! in-process threads (used by `--workers` on a machine where spawning is
-//! undesirable, and by tests).
+//! the rest. The monitor additionally polices unit leases mid-epoch: a
+//! lease whose heartbeat exceeded the manifest's unit timeout gets its
+//! hung owner killed and the unit reclaimed, and a lease whose owner died
+//! without recording the unit is reclaimed on the spot — either way one
+//! replacement worker is spawned, so an epoch can no longer block forever
+//! on one stuck process. An embedded threaded mode runs the same worker
+//! loop on in-process threads (used by `--workers` on a machine where
+//! spawning is undesirable, and by tests).
 
-use crate::rundir::{progress_json, Manifest, RunDir, ScanState};
-use crate::worker::{worker_loop, UnitRunner};
+use crate::rundir::{progress_json, Manifest, RunDir, ScanState, ATTEMPT_REASON_DIED};
+use crate::worker::{worker_loop, QuarantineRenderer, UnitRunner};
 use crate::OrchError;
 use std::io::Write as _;
 use std::process::{Child, Command, Stdio};
@@ -20,7 +25,9 @@ use std::time::{Duration, Instant};
 const MONITOR_INTERVAL: Duration = Duration::from_millis(300);
 
 /// Spawns `workers` subprocess workers over `dir`, each running
-/// `<exe> worker --run-dir <dir>`.
+/// `<exe> worker --run-dir <dir>`. On a mid-loop spawn failure the
+/// already-spawned children are killed and reaped before the error
+/// returns, so no orphan workers outlive the failed call.
 ///
 /// # Errors
 ///
@@ -29,19 +36,29 @@ const MONITOR_INTERVAL: Duration = Duration::from_millis(300);
 pub fn spawn_workers(dir: &RunDir, workers: usize) -> Result<Vec<Child>, OrchError> {
     let exe = std::env::current_exe()
         .map_err(|e| OrchError(format!("cannot locate own executable: {e}")))?;
-    (0..workers)
-        .map(|_| {
-            Command::new(&exe)
-                .arg("worker")
-                .arg("--run-dir")
-                .arg(dir.root())
-                .stdin(Stdio::null())
-                .stdout(Stdio::null())
-                .stderr(Stdio::inherit())
-                .spawn()
-                .map_err(|e| OrchError(format!("spawning worker: {e}")))
-        })
-        .collect()
+    let mut children = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let spawned = Command::new(&exe)
+            .arg("worker")
+            .arg("--run-dir")
+            .arg(dir.root())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| OrchError(format!("spawning worker: {e}")));
+        match spawned {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                for mut child in children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                return Err(e);
+            }
+        }
+    }
+    Ok(children)
 }
 
 /// The outcome of one orchestration epoch.
@@ -49,21 +66,24 @@ pub fn spawn_workers(dir: &RunDir, workers: usize) -> Result<Vec<Child>, OrchErr
 pub struct EpochOutcome {
     /// The final scan after every worker exited.
     pub state: ScanState,
-    /// Workers that exited with a failure status or were killed by a
-    /// signal.
+    /// Workers that exited with a failure status, were killed by a
+    /// signal, or were killed by the monitor for a stalled lease.
     pub workers_failed: usize,
 }
 
 impl EpochOutcome {
-    /// Whether every unit of the manifest has a completed record.
+    /// Whether every unit of the manifest has a completed record
+    /// (quarantined units count — their record is their named skip).
     pub fn complete(&self, manifest: &Manifest) -> bool {
         self.state.completed.len() == manifest.total_units()
     }
 }
 
 /// Monitors spawned workers until they all exit: rescans the run directory
-/// on an interval, writes `progress.json` (atomically) and emits a
-/// progress line to stderr whenever the counts change.
+/// on an interval, polices unit leases (kills hung owners past the unit
+/// timeout, reclaims units of dead owners, respawns one replacement per
+/// reclaim), writes `progress.json` (atomically) and emits a progress line
+/// to stderr whenever the counts change.
 ///
 /// # Errors
 ///
@@ -96,7 +116,13 @@ pub fn monitor_workers(
             }
         });
 
-        let state = dir.scan(manifest)?;
+        let mut state = dir.scan(manifest)?;
+        let killed = police_leases(dir, manifest, &mut children, &state)?;
+        if killed > 0 {
+            workers_failed += killed;
+            // Reclaims released leases; rescan so progress reflects it.
+            state = dir.scan(manifest)?;
+        }
         observe_points(
             manifest,
             &state,
@@ -106,16 +132,21 @@ pub fn monitor_workers(
         );
         dir.write_progress(&progress_json(manifest, &state, &point_elapsed))?;
         let line = format!(
-            "sweep: {}/{} unit(s) done, {} in-flight, {} failed, {} worker(s) running",
+            "sweep: {}/{} unit(s) done, {} in-flight, {} failed, {} quarantined, \
+             {} worker(s) running",
             state.completed.len(),
             manifest.total_units(),
             state.in_flight.len(),
             state.failed.len(),
+            state.quarantined.len(),
             children.len()
         );
         if line != last_line {
             let _ = writeln!(std::io::stderr(), "{line}");
             last_line = line;
+        }
+        for report in &state.corrupt {
+            let _ = writeln!(std::io::stderr(), "sweep: corrupt record: {report}");
         }
 
         if children.is_empty() {
@@ -126,6 +157,70 @@ pub fn monitor_workers(
         }
         std::thread::sleep(MONITOR_INTERVAL);
     }
+}
+
+/// Polices unit leases mid-epoch. For every in-flight, non-failed lease:
+/// if its owner is one of our live children and its heartbeat exceeded
+/// the manifest's unit timeout, the hung owner is killed and the unit
+/// reclaimed (one attempt recorded); if its owner is *not* among the live
+/// children, the owner died mid-unit and the unit is reclaimed likewise.
+/// Each reclaim spawns one replacement worker, keeping the epoch's worker
+/// count. Returns how many hung workers were killed.
+///
+/// Every reclaim writes exactly one attempt marker, and claimers
+/// quarantine units at `max_attempts`, so respawns are bounded by
+/// `total_units × max_attempts` — a poison unit converges to quarantine
+/// instead of respawning forever.
+fn police_leases(
+    dir: &RunDir,
+    manifest: &Manifest,
+    children: &mut Vec<Child>,
+    state: &ScanState,
+) -> Result<usize, OrchError> {
+    let mut killed = 0;
+    for &unit in &state.in_flight {
+        let Some(lease) = dir.lease(unit) else {
+            continue;
+        };
+        if lease.failed {
+            continue; // the owner recorded the failure; the epoch retry handles it
+        }
+        match children.iter().position(|c| c.id() == lease.pid) {
+            Some(i) => {
+                let Some(timeout_ms) = manifest.unit_timeout_ms else {
+                    continue;
+                };
+                if lease.age < Duration::from_millis(timeout_ms) {
+                    continue;
+                }
+                // Stalled: kill the hung owner first, then double-check the
+                // unit did not complete in the window since our scan — a
+                // reclaim of a completed unit would duplicate its record.
+                let mut child = children.swap_remove(i);
+                let _ = child.kill();
+                let _ = child.wait();
+                killed += 1;
+                if !dir.scan(manifest)?.completed.contains(&unit) {
+                    dir.record_attempt(
+                        unit,
+                        &format!("unit execution exceeded the {timeout_ms}ms unit timeout"),
+                    )?;
+                    dir.release_claim(unit)?;
+                }
+                children.extend(spawn_workers(dir, 1)?);
+            }
+            None => {
+                // The owner is not a live child: it died (or was killed)
+                // holding the lease. Its stream is fsynced per record, so
+                // nothing can complete the unit anymore — reclaim now
+                // instead of stalling until the epoch boundary.
+                dir.record_attempt(unit, ATTEMPT_REASON_DIED)?;
+                dir.release_claim(unit)?;
+                children.extend(spawn_workers(dir, 1)?);
+            }
+        }
+    }
+    Ok(killed)
 }
 
 /// Stamps each point's elapsed time whenever its done-count advances, so
@@ -165,6 +260,7 @@ pub fn run_threaded(
     manifest: &Manifest,
     workers: usize,
     run_unit: &UnitRunner<'_>,
+    quarantine: &QuarantineRenderer<'_>,
 ) -> Result<EpochOutcome, OrchError> {
     let total = manifest.total_units().max(1);
     let workers_failed = std::thread::scope(|scope| {
@@ -172,7 +268,7 @@ pub fn run_threaded(
             .map(|w| {
                 let dir = dir.clone();
                 let scatter = w * total / workers.max(1);
-                scope.spawn(move || worker_loop(&dir, manifest, scatter, run_unit))
+                scope.spawn(move || worker_loop(&dir, manifest, scatter, run_unit, quarantine))
             })
             .collect();
         handles
@@ -212,7 +308,13 @@ mod tests {
             units_per_point: 4,
             margin: "0.02".into(),
             workers: 3,
+            unit_timeout_ms: None,
+            max_attempts: 3,
         }
+    }
+
+    fn no_quarantine(_: usize, _: usize, _: &[String]) -> Result<String, OrchError> {
+        panic!("quarantine renderer must not run in this test");
     }
 
     #[test]
@@ -225,7 +327,7 @@ mod tests {
             executions.fetch_add(1, Ordering::SeqCst);
             Ok(format!("{{\"point\":{p},\"cell\":{c},\"margins\":[]}}"))
         };
-        let outcome = run_threaded(&dir, &m, 3, &runner).unwrap();
+        let outcome = run_threaded(&dir, &m, 3, &runner, &no_quarantine).unwrap();
         assert_eq!(outcome.workers_failed, 0);
         assert!(outcome.complete(&m));
         // Claims made every unit run exactly once despite 3 racing workers.
@@ -243,8 +345,9 @@ mod tests {
         let root = tmpdir("resume");
         let m = manifest();
         let dir = RunDir::init(&root, &m).unwrap();
-        // First epoch: one worker dies after 5 units (simulating a kill —
-        // its sixth unit stays claimed but unrecorded).
+        // First epoch: the runner fails every unit after the fifth — the
+        // worker records an attempt per failure and keeps walking, so the
+        // epoch ends with 5 completed and 7 failed-but-claimed units.
         let count = AtomicUsize::new(0);
         let dying = |p: usize, c: usize| {
             if count.fetch_add(1, Ordering::SeqCst) >= 5 {
@@ -253,17 +356,25 @@ mod tests {
                 Ok(format!("{{\"point\":{p},\"cell\":{c},\"margins\":[]}}"))
             }
         };
-        let outcome = run_threaded(&dir, &m, 1, &dying).unwrap();
-        assert_eq!(outcome.workers_failed, 1);
+        let outcome = run_threaded(&dir, &m, 1, &dying, &no_quarantine).unwrap();
+        assert_eq!(
+            outcome.workers_failed, 0,
+            "failures no longer abort the worker"
+        );
         assert!(!outcome.complete(&m));
         assert_eq!(outcome.state.completed.len(), 5);
-        assert_eq!(outcome.state.in_flight.len(), 1, "the torn unit's claim");
+        assert_eq!(
+            outcome.state.in_flight.len(),
+            7,
+            "failed units stay claimed"
+        );
 
-        // Resume: clear stale claims, run a fresh epoch.
+        // Resume: clear stale claims (no double-counted attempts), run a
+        // fresh epoch.
         dir.clear_stale_claims(&outcome.state.completed).unwrap();
         let healthy =
             |p: usize, c: usize| Ok(format!("{{\"point\":{p},\"cell\":{c},\"margins\":[]}}"));
-        let outcome = run_threaded(&dir, &m, 2, &healthy).unwrap();
+        let outcome = run_threaded(&dir, &m, 2, &healthy, &no_quarantine).unwrap();
         assert!(outcome.complete(&m));
         assert_eq!(outcome.workers_failed, 0);
         let _ = fs::remove_dir_all(&root);

@@ -7,7 +7,16 @@
 //! peer mid-run still has its claim and is skipped. Workers start their
 //! walk at a pid-scattered offset so concurrent workers mostly claim
 //! disjoint units instead of contending in lockstep.
+//!
+//! A unit that fails does not abort the worker: the failure is recorded as
+//! one attempt (`attempts/u<ID>.<N>`), the lease is marked failed, and the
+//! walk continues. A claimer that finds a unit already at the manifest's
+//! `max_attempts` quarantines it instead of running it: it appends the
+//! deterministic quarantined record produced by the caller's
+//! [`QuarantineRenderer`], turning a poison unit into a named skip rather
+//! than an infinite resume loop.
 
+use crate::chaos::Chaos;
 use crate::rundir::{Manifest, RunDir};
 use crate::OrchError;
 
@@ -16,8 +25,18 @@ use crate::OrchError;
 /// arguments are the unit's `(point, cell)` coordinates.
 pub type UnitRunner<'a> = dyn Fn(usize, usize) -> Result<String, OrchError> + Sync + 'a;
 
+/// Renders the quarantined record for a poison unit: given the unit's
+/// `(point, cell)` coordinates and its attempt-reason history, returns the
+/// serialized [`SweepUnitRecord`](qra_faults::SweepUnitRecord) JSON line
+/// annotated as quarantined. The record must be deterministic — derived
+/// from the manifest and the attempt history alone — so every worker
+/// renders the identical bytes.
+pub type QuarantineRenderer<'a> =
+    dyn Fn(usize, usize, &[String]) -> Result<String, OrchError> + Sync + 'a;
+
 /// Runs the worker loop until no claimable unit remains, returning the
-/// number of units this worker completed.
+/// number of units this worker completed (quarantined units count: their
+/// record completes them).
 ///
 /// `scatter` offsets the walk's starting unit (subprocess workers pass
 /// their pid; test threads pass distinct values) purely to reduce claim
@@ -25,19 +44,25 @@ pub type UnitRunner<'a> = dyn Fn(usize, usize) -> Result<String, OrchError> + Sy
 ///
 /// # Errors
 ///
-/// Returns [`OrchError`] on I/O failure or when a unit runner fails; the
-/// claim of a failed unit is left in place, so a resume (which clears
-/// stale claims) retries it.
+/// Returns [`OrchError`] on I/O failure. A unit runner failure is *not* an
+/// error: the worker records the attempt, marks the lease failed, and
+/// continues with the next claimable unit.
 pub fn worker_loop(
     dir: &RunDir,
     manifest: &Manifest,
     scatter: usize,
     run_unit: &UnitRunner<'_>,
+    quarantine: &QuarantineRenderer<'_>,
 ) -> Result<usize, OrchError> {
     let total = manifest.total_units();
     if total == 0 {
         return Ok(0);
     }
+    let chaos = Chaos::from_env(dir)?;
+    let scatter = chaos
+        .as_ref()
+        .and_then(Chaos::scatter_override)
+        .unwrap_or(scatter);
     let completed = dir.scan(manifest)?.completed;
     let mut stream = dir.open_results_stream()?;
     let start = scatter % total;
@@ -48,9 +73,43 @@ pub fn worker_loop(
             continue;
         }
         let (point, cell) = manifest.unit_coords(unit);
-        let record = run_unit(point, cell)?;
-        stream.append(&record)?;
-        done += 1;
+        let max_attempts = manifest.max_attempts as usize;
+        if max_attempts > 0 && dir.attempt_count(unit) >= max_attempts {
+            // Quarantine before executing: the poison unit must not get
+            // another chance to hang or crash this worker. A kill between
+            // a claim and its quarantine record can overshoot the attempt
+            // count by one; truncate so the record is identical either way.
+            let mut history = dir.attempt_reasons(unit)?;
+            history.truncate(max_attempts);
+            let record = quarantine(point, cell, &history)?;
+            stream.append(&record)?;
+            done += 1;
+            continue;
+        }
+        if let Some(chaos) = &chaos {
+            chaos.before_unit(point, cell);
+        }
+        match run_unit(point, cell) {
+            Ok(record) => {
+                let committed = match &chaos {
+                    Some(chaos) => chaos.append(&mut stream, point, cell, &record)?,
+                    None => {
+                        stream.append(&record)?;
+                        true
+                    }
+                };
+                if committed {
+                    done += 1;
+                }
+            }
+            Err(e) => {
+                // One bad unit must not idle the whole worker: count the
+                // attempt, mark the lease failed (so reclaim does not
+                // double-count), and move on.
+                dir.record_attempt(unit, &e.0)?;
+                dir.mark_claim_failed(unit)?;
+            }
+        }
     }
     Ok(done)
 }
@@ -78,6 +137,8 @@ mod tests {
             units_per_point: 3,
             margin: "0.02".into(),
             workers: 1,
+            unit_timeout_ms: None,
+            max_attempts: 3,
         }
     }
 
@@ -85,6 +146,26 @@ mod tests {
         // Any parseable record will do for loop mechanics; real campaigns
         // are exercised by the CLI integration tests.
         format!("{{\"point\":{point},\"cell\":{cell},\"margins\":[]}}")
+    }
+
+    fn quarantined_record(
+        point: usize,
+        cell: usize,
+        attempts: &[String],
+    ) -> Result<String, OrchError> {
+        let reasons: Vec<String> = attempts
+            .iter()
+            .map(|r| qra_faults::json::json_str(r))
+            .collect();
+        Ok(format!(
+            "{{\"point\":{point},\"cell\":{cell},\"margins\":[],\
+             \"quarantined\":{{\"attempts\":[{}]}}}}",
+            reasons.join(",")
+        ))
+    }
+
+    fn no_quarantine(_: usize, _: usize, _: &[String]) -> Result<String, OrchError> {
+        panic!("quarantine renderer must not run in this test");
     }
 
     #[test]
@@ -97,7 +178,7 @@ mod tests {
             ran.lock().unwrap().push((p, c));
             Ok(margin_record(p, c))
         };
-        let done = worker_loop(&dir, &m, 4, &runner).unwrap();
+        let done = worker_loop(&dir, &m, 4, &runner, &no_quarantine).unwrap();
         assert_eq!(done, 6);
         assert_eq!(ran.lock().unwrap().len(), 6);
         // The scatter offset changed execution order, not coverage.
@@ -105,7 +186,7 @@ mod tests {
         let state = dir.scan(&m).unwrap();
         assert_eq!(state.completed, (0..6).collect::<BTreeSet<_>>());
         // A second worker epoch finds nothing to do.
-        let done = worker_loop(&dir, &m, 0, &runner).unwrap();
+        let done = worker_loop(&dir, &m, 0, &runner, &no_quarantine).unwrap();
         assert_eq!(done, 0);
         let _ = fs::remove_dir_all(&root);
     }
@@ -124,13 +205,13 @@ mod tests {
             .unwrap();
         dir.claim(5);
         let runner = |p: usize, c: usize| Ok(margin_record(p, c));
-        let done = worker_loop(&dir, &m, 0, &runner).unwrap();
+        let done = worker_loop(&dir, &m, 0, &runner, &no_quarantine).unwrap();
         assert_eq!(done, 4, "6 units minus one completed minus one claimed");
         let _ = fs::remove_dir_all(&root);
     }
 
     #[test]
-    fn failed_unit_leaves_its_claim_for_resume() {
+    fn failed_unit_records_an_attempt_and_the_worker_continues() {
         let root = tmpdir("fail");
         let m = manifest();
         let dir = RunDir::init(&root, &m).unwrap();
@@ -141,15 +222,60 @@ mod tests {
                 Ok(margin_record(p, c))
             }
         };
-        let e = worker_loop(&dir, &m, 0, &runner).unwrap_err();
-        assert!(e.0.contains("exploded"), "{e}");
+        // The failure no longer aborts the worker: the other 5 complete.
+        let done = worker_loop(&dir, &m, 0, &runner, &no_quarantine).unwrap();
+        assert_eq!(done, 5);
         let state = dir.scan(&m).unwrap();
         assert!(state.in_flight.contains(&1), "failed unit stays claimed");
-        // Resume clears the stale claim and a fresh worker finishes.
+        assert_eq!(dir.attempt_reasons(1).unwrap(), vec!["backend exploded"]);
+        assert!(dir.lease(1).unwrap().failed, "lease carries the failure");
+        // Resume clears the stale claim without double-counting the
+        // attempt, and a fresh worker finishes.
         dir.clear_stale_claims(&state.completed).unwrap();
+        assert_eq!(dir.attempt_count(1), 1);
         let ok_runner = |p: usize, c: usize| Ok(margin_record(p, c));
-        worker_loop(&dir, &m, 0, &ok_runner).unwrap();
+        worker_loop(&dir, &m, 0, &ok_runner, &no_quarantine).unwrap();
         assert_eq!(dir.scan(&m).unwrap().completed.len(), 6);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn poison_unit_is_quarantined_after_max_attempts() {
+        let root = tmpdir("poison");
+        let m = manifest();
+        let dir = RunDir::init(&root, &m).unwrap();
+        let poison = |p: usize, c: usize| {
+            if (p, c) == (1, 0) {
+                Err(OrchError("always fails".into()))
+            } else {
+                Ok(margin_record(p, c))
+            }
+        };
+        // Three epochs of failure exhaust the attempts.
+        for epoch in 1..=3 {
+            worker_loop(&dir, &m, 0, &poison, &no_quarantine).unwrap();
+            let state = dir.scan(&m).unwrap();
+            dir.clear_stale_claims(&state.completed).unwrap();
+            assert_eq!(dir.attempt_count(3), epoch);
+        }
+        // The next claimer quarantines instead of running the unit.
+        let executed = Mutex::new(0usize);
+        let must_not_run = |p: usize, c: usize| {
+            if (p, c) == (1, 0) {
+                *executed.lock().unwrap() += 1;
+            }
+            Ok(margin_record(p, c))
+        };
+        let done = worker_loop(&dir, &m, 0, &must_not_run, &quarantined_record).unwrap();
+        assert_eq!(done, 1, "only the quarantined unit remained");
+        assert_eq!(*executed.lock().unwrap(), 0, "poison unit must not rerun");
+        let state = dir.scan(&m).unwrap();
+        assert!(state.completed.contains(&3));
+        assert_eq!(state.quarantined, BTreeSet::from([3]));
+        let record = state.records.iter().find(|r| r.point == 1 && r.cell == 0);
+        let attempts = record.unwrap().quarantined.as_ref().unwrap();
+        assert_eq!(attempts.len(), 3);
+        assert!(attempts.iter().all(|r| r == "always fails"));
         let _ = fs::remove_dir_all(&root);
     }
 }
