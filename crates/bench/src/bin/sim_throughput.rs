@@ -20,6 +20,46 @@ use qra::sim::CompiledProgram;
 use qra_bench::json_string;
 use std::time::Instant;
 
+struct DensityWorkload {
+    name: &'static str,
+    circuit: Circuit,
+    noise: NoiseModel,
+    shots: u64,
+    seed: u64,
+}
+
+/// Noisy density-matrix workloads: the legacy dense walker
+/// ([`DensityMatrixSimulator::run_interpreted`]) against the compiled
+/// kernel-conjugation engine, with the same bit-for-bit identity contract
+/// as the state-vector pairs. The melbourne GHZ entry is the §IX-B
+/// device-regime workload the compiled engine was built for.
+fn density_workloads(short: bool) -> Vec<DensityWorkload> {
+    let s = |full: u64, smoke: u64| if short { smoke } else { full };
+    vec![
+        DensityWorkload {
+            name: "density_ghz8_melbourne",
+            circuit: ghz_measured(8),
+            noise: DevicePreset::melbourne_like(),
+            shots: s(4096, 64),
+            seed: 7,
+        },
+        DensityWorkload {
+            name: "density_ghz5_midcircuit_melbourne",
+            circuit: ghz_midcircuit(5),
+            noise: DevicePreset::melbourne_like(),
+            shots: s(4096, 64),
+            seed: 11,
+        },
+        DensityWorkload {
+            name: "density_ghz8_ideal",
+            circuit: ghz_measured(8),
+            noise: NoiseModel::ideal(),
+            shots: s(4096, 64),
+            seed: 13,
+        },
+    ]
+}
+
 struct Workload {
     name: &'static str,
     circuit: Circuit,
@@ -194,11 +234,61 @@ fn main() {
             speedup
         ));
     }
+    let mut density_entries = Vec::new();
+    for w in density_workloads(short) {
+        let sim = DensityMatrixSimulator::with_noise(w.noise.clone());
+        let program = sim.compile(&w.circuit).expect("density compile");
+        let gates = w.circuit.gate_count() as u64;
+        // Density evolution applies every lowered op once per run; the
+        // shot loop only samples the resulting distribution.
+        let (interp_secs, interp_counts) = time_best(runs, || {
+            sim.run_interpreted(&w.circuit, w.shots, w.seed)
+                .expect("interpreted density run")
+        });
+        let (compiled_secs, compiled_counts) = time_best(runs, || {
+            sim.run_compiled(&program, w.shots, w.seed)
+                .expect("compiled density run")
+        });
+        assert_eq!(
+            interp_counts, compiled_counts,
+            "{}: compiled density counts diverged from the walker — seed-compatibility broken",
+            w.name
+        );
+        let speedup = interp_secs / compiled_secs;
+        let classes: Vec<String> = program
+            .class_histogram()
+            .into_iter()
+            .map(|(class, count)| format!("{}:{}", json_string(class.name()), count))
+            .collect();
+        eprintln!(
+            "{:>34}  n={:<2} gates={:<4} shots={:<5} interp {:>9.3} ms  compiled {:>9.3} ms  {:>6.1}x",
+            w.name,
+            w.circuit.num_qubits(),
+            gates,
+            w.shots,
+            interp_secs * 1e3,
+            compiled_secs * 1e3,
+            speedup
+        );
+        density_entries.push(format!(
+            "{{\"name\":{},\"qubits\":{},\"gates\":{},\"ops\":{},\"shots\":{},\"kernel_classes\":{{{}}},\"interpreted\":{},\"compiled\":{},\"speedup\":{:.2},\"identical\":true}}",
+            json_string(w.name),
+            w.circuit.num_qubits(),
+            gates,
+            program.op_count(),
+            w.shots,
+            classes.join(","),
+            engine_json(interp_secs, w.shots, gates),
+            engine_json(compiled_secs, w.shots, gates),
+            speedup
+        ));
+    }
     let json = format!(
-        "{{\"bench\":\"sim_throughput\",\"short\":{},\"runs_per_engine\":{},\"workloads\":[{}]}}",
+        "{{\"bench\":\"sim_throughput\",\"short\":{},\"runs_per_engine\":{},\"workloads\":[{}],\"density\":[{}]}}",
         short,
         runs,
-        entries.join(",")
+        entries.join(","),
+        density_entries.join(",")
     );
     std::fs::write(&out, format!("{json}\n")).expect("write BENCH_sim.json");
     println!("{json}");

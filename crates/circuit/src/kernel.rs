@@ -327,6 +327,86 @@ impl Kernel {
     }
 }
 
+/// A lowered conjugation map `ρ ← AρA†` over a vectorized density matrix.
+///
+/// A `d × d` density matrix on `n` qubits, flattened row-major
+/// (`vec(ρ)[r·d + c] = ρ[r][c]`), is index-isomorphic to a `2n`-qubit state
+/// vector whose high `n` bits are the row index and low `n` bits the
+/// column index. Under that isomorphism:
+///
+/// * left multiplication `Aρ` is `A` applied to the **row** qubits —
+///   gate qubit `q` lands on register qubit `q` of the `2n` register;
+/// * right multiplication `MA†` is `Ā` (elementwise conjugate, **not**
+///   the adjoint) applied to the **column** qubits — gate qubit `q` lands
+///   on register qubit `n + q`.
+///
+/// Both factors lower through [`Kernel::from_matrix`] and inherit its
+/// structural classification: an `X`/`CX` conjugation is two pure index
+/// permutations of ρ and a `Z`/`S`/`T`/`Rz` conjugation is two `O(d²)`
+/// phase sweeps, instead of two `O(d³)` dense multiplies. Non-unitary
+/// Kraus operators lower identically (the completeness sum is the
+/// caller's concern).
+///
+/// ```rust
+/// use qra_circuit::kernel::ConjugationPair;
+/// use qra_circuit::Gate;
+/// use qra_math::C64;
+///
+/// // X|0⟩⟨0|X = |1⟩⟨1| on a 1-qubit register: vec(ρ) has 4 entries.
+/// let pair = ConjugationPair::for_gate(&Gate::X, &[0], 1);
+/// let mut rho = vec![C64::one(), C64::zero(), C64::zero(), C64::zero()];
+/// pair.apply(&mut rho, &mut Vec::new());
+/// assert_eq!(rho[0b11], C64::one());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConjugationPair {
+    left: Kernel,
+    right: Kernel,
+}
+
+impl ConjugationPair {
+    /// Lowers `matrix` acting on `qubits` of an `n`-qubit density matrix
+    /// into the left/right kernel pair over the `2n`-qubit vectorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or invalid qubit indices, exactly like
+    /// [`Kernel::from_matrix`].
+    pub fn lower(matrix: &CMatrix, qubits: &[usize], n: usize) -> ConjugationPair {
+        let col_qubits: Vec<usize> = qubits.iter().map(|&q| q + n).collect();
+        ConjugationPair {
+            left: Kernel::from_matrix(matrix, qubits, 2 * n),
+            right: Kernel::from_matrix(&matrix.conj(), &col_qubits, 2 * n),
+        }
+    }
+
+    /// Lowers a gate's matrix; see [`ConjugationPair::lower`].
+    pub fn for_gate(gate: &Gate, qubits: &[usize], n: usize) -> ConjugationPair {
+        match gate.unitary_matrix() {
+            Some(m) => Self::lower(m, qubits, n),
+            None => Self::lower(&gate.matrix(), qubits, n),
+        }
+    }
+
+    /// Applies `ρ ← AρA†` in place on the row-major flattened density
+    /// matrix (`4ⁿ` entries). `scratch` is reused across calls like
+    /// [`Kernel::apply`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vec_rho.len()` disagrees with the lowered dimension.
+    pub fn apply(&self, vec_rho: &mut [C64], scratch: &mut Vec<C64>) {
+        self.left.apply(vec_rho, scratch);
+        self.right.apply(vec_rho, scratch);
+    }
+
+    /// The classification of the left (row-side) factor; the right factor
+    /// always lowers to the same class (conjugation preserves structure).
+    pub fn class(&self) -> KernelClass {
+        self.left.class()
+    }
+}
+
 /// `true` when every off-diagonal entry is exactly zero.
 fn is_diagonal(m: &CMatrix) -> bool {
     let d = m.rows();
@@ -550,5 +630,74 @@ mod tests {
         assert_eq!(KernelClass::Diagonal.name(), "diagonal");
         assert_eq!(KernelClass::Permutation.name(), "permutation");
         assert_eq!(KernelClass::Generic.name(), "generic");
+    }
+
+    /// A random (not necessarily pure) Hermitian-ish test matrix; the
+    /// conjugation identity holds for arbitrary matrices, so plain random
+    /// complex entries suffice.
+    fn random_dense(rng: &mut StdRng, d: usize) -> CMatrix {
+        CMatrix::from_fn(d, d, |_, _| {
+            C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        })
+    }
+
+    /// The conjugation pair over vec(ρ) must match the dense
+    /// `embed(A)·ρ·embed(A)†` for every kernel class and random placement.
+    #[test]
+    fn conjugation_pair_matches_dense_sandwich() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let n = 3;
+        let d = 1usize << n;
+        let gates: Vec<Gate> = vec![
+            Gate::H,
+            Gate::X,
+            Gate::Z,
+            Gate::S,
+            Gate::Rz(0.9),
+            Gate::Ry(-0.4),
+            Gate::Cx,
+            Gate::Cz,
+            Gate::Swap,
+            Gate::Ch,
+            Gate::Cu3(0.3, 0.2, 0.1),
+        ];
+        let mut scratch = Vec::new();
+        for gate in &gates {
+            for _ in 0..3 {
+                let qubits = distinct_qubits(&mut rng, gate.num_qubits(), n);
+                let rho = random_dense(&mut rng, d);
+                let mut fast: Vec<C64> = rho.as_slice().to_vec();
+                ConjugationPair::for_gate(gate, &qubits, n).apply(&mut fast, &mut scratch);
+                let full = embed(&gate.matrix(), &qubits, n);
+                let slow = full.mul(&rho).unwrap().mul(&full.adjoint()).unwrap();
+                let fast = CMatrix::new(d, d, fast);
+                assert!(
+                    fast.max_abs_diff(&slow) < 1e-12,
+                    "{gate} on {qubits:?}: conjugation pair diverged from dense sandwich"
+                );
+            }
+        }
+    }
+
+    /// Structured gates must keep their cheap classification through the
+    /// conjugation lowering — the whole point of the pairing.
+    #[test]
+    fn conjugation_preserves_kernel_class() {
+        assert_eq!(
+            ConjugationPair::for_gate(&Gate::X, &[0], 2).class(),
+            KernelClass::Permutation
+        );
+        assert_eq!(
+            ConjugationPair::for_gate(&Gate::Cx, &[0, 1], 2).class(),
+            KernelClass::Permutation
+        );
+        assert_eq!(
+            ConjugationPair::for_gate(&Gate::Rz(0.3), &[1], 2).class(),
+            KernelClass::Diagonal
+        );
+        assert_eq!(
+            ConjugationPair::for_gate(&Gate::H, &[0], 2).class(),
+            KernelClass::Single
+        );
     }
 }

@@ -297,12 +297,14 @@ pub fn default_executor(
     }
     let density_bytes = 16u128.checked_shl(2 * n).unwrap_or(u128::MAX);
     if density_bytes <= u128::from(config.memory_budget_bytes) {
-        match DensityMatrixSimulator::with_noise(config.noise.clone()).run(
-            circuit,
-            config.shots,
-            seed,
-        ) {
-            Ok(counts) => return Ok((counts, BackendKind::DensityMatrix)),
+        // Lower circuit + noise once per cell, then execute the compiled
+        // density program (kernel conjugation pairs over vec(ρ)).
+        let sim = DensityMatrixSimulator::with_noise(config.noise.clone());
+        match sim.compile(circuit) {
+            Ok(program) => {
+                let counts = sim.run_compiled(&program, config.shots, seed)?;
+                return Ok((counts, BackendKind::DensityMatrix));
+            }
             // Budget fits but the exact backend caps out: degrade.
             Err(SimError::TooManyQubits { .. }) => {}
             Err(e) => return Err(e),

@@ -403,3 +403,49 @@ fn mutants_can_be_filtered_by_class_before_a_campaign() {
     let report = run_campaign(&program, &[0, 1, 2], &spec, &sign_flips, &config);
     assert_eq!(report.mutant_count, sign_flips.len());
 }
+
+/// A noisy campaign driven by the default executor (which lowers each
+/// cell once through the compiled density engine) must render JSON
+/// byte-identical to one driven by the legacy interpreted walker at the
+/// same seed — the faults-level statement of the density
+/// seed-compatibility contract in DESIGN.md.
+#[test]
+fn noisy_campaign_json_is_byte_identical_across_density_engines() {
+    use qra_sim::{DensityMatrixSimulator, DevicePreset};
+
+    let n = 3;
+    let program = states::ghz(n);
+    let spec = StateSpec::pure(states::ghz_vector(n)).unwrap();
+    let qubits: Vec<usize> = (0..n).collect();
+    let config = CampaignConfig {
+        shots: 512,
+        seed: 7,
+        designs: vec![CampaignDesign::Ndd, CampaignDesign::Stat],
+        noise: DevicePreset::melbourne_like(),
+        ..CampaignConfig::default()
+    };
+    let mutants: Vec<_> = FaultInjector::new(config.seed)
+        .enumerate_single(&program)
+        .into_iter()
+        .take(4)
+        .collect();
+
+    let compiled = run_campaign(&program, &qubits, &spec, &mutants, &config);
+    let reference = run_campaign_with_executor(
+        &program,
+        &qubits,
+        &spec,
+        &mutants,
+        &config,
+        &|circuit, config, seed| {
+            let sim = DensityMatrixSimulator::with_noise(config.noise.clone());
+            let counts = sim.run_interpreted(circuit, config.shots, seed)?;
+            Ok((counts, BackendKind::DensityMatrix))
+        },
+    );
+    assert_eq!(
+        compiled.to_json(),
+        reference.to_json(),
+        "compiled and interpreted density executors must agree byte-for-byte"
+    );
+}

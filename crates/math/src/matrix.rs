@@ -273,6 +273,15 @@ impl CMatrix {
         CMatrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r).conj())
     }
 
+    /// Elementwise complex conjugate `Ā` (no transpose).
+    pub fn conj(&self) -> CMatrix {
+        CMatrix::new(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|z| z.conj()).collect(),
+        )
+    }
+
     /// Kronecker (tensor) product `self ⊗ other`.
     pub fn kron(&self, other: &CMatrix) -> CMatrix {
         let rows = self.rows * other.rows;
@@ -605,6 +614,20 @@ mod tests {
         let lhs = h.mul(&x).unwrap().adjoint();
         let rhs = x.adjoint().mul(&h.adjoint()).unwrap();
         assert!(lhs.approx_eq(&rhs, TOL));
+    }
+
+    #[test]
+    fn conj_is_transpose_of_adjoint() {
+        let m = CMatrix::new(
+            2,
+            3,
+            (0..6)
+                .map(|i| C64::new(i as f64, -(i as f64) * 0.5))
+                .collect(),
+        );
+        assert_eq!(m.conj().shape(), (2, 3));
+        assert!(m.conj().approx_eq(&m.adjoint().transpose(), TOL));
+        assert!(m.conj().conj().approx_eq(&m, TOL));
     }
 
     #[test]

@@ -1,0 +1,434 @@
+//! Circuit + noise → density kernel-op lowering: the compiled front end of
+//! the density-matrix engine.
+//!
+//! The interpreter in [`crate::density`] re-embedded every gate — and every
+//! Kraus operator of every noise channel, *inside the per-branch loop* — to
+//! a full `2ⁿ × 2ⁿ` matrix and paid two `O(8ⁿ)` dense multiplies per
+//! application. [`CompiledDensityProgram::compile`] does the analysis once:
+//!
+//! * every gate lowers to a [`ConjugationPair`] — a left/right kernel pair
+//!   over the row-major vectorization `vec(ρ)` (a `2n`-qubit state vector),
+//!   so `X`/`CX` conjugations are pure index permutations and
+//!   `Z`/`S`/`T`/`Rz` conjugations are `O(4ⁿ)` phase sweeps;
+//! * every noise channel lowers once to a **sum** of conjugation pairs
+//!   (`ρ ← Σᵢ KᵢρKᵢ†`), applied per branch with reusable term/accumulator
+//!   buffers instead of per-branch re-embedding;
+//! * measure/reset lower to precomputed row/column bit masks over `vec(ρ)`;
+//! * the leading measurement-free run (gates *and* their noise channels —
+//!   density evolution is deterministic, so the whole run is cacheable) is
+//!   evolved eagerly at compile time and stored, the density analogue of
+//!   [`crate::exec::CompiledProgram`]'s unitary prefix cache.
+//!
+//! Lowering consumes no randomness and kernel arithmetic matches the dense
+//! walker up to the sign of zero, so compiled runs are bit-for-bit
+//! seed-compatible with the legacy interpreter — the contract
+//! `tests/density_identity.rs` enforces (see DESIGN.md).
+
+use crate::density::build_channel;
+use crate::noise::{KrausChannel, NoiseModel};
+use crate::SimError;
+use qra_circuit::kernel::{ConjugationPair, KernelClass};
+use qra_circuit::{Circuit, Gate, Operation};
+use qra_math::C64;
+
+/// Maximum width of the compiled density engine. `vec(ρ)` holds `4ⁿ`
+/// amplitudes (256 MiB at `n = 12`); the former dense-superoperator walker
+/// capped at 10, sized for its `O(8ⁿ)` multiplies.
+pub const MAX_QUBITS: usize = 12;
+
+/// Maximum number of classical bits (outcome keys are `u64`).
+pub const MAX_CLBITS: usize = 64;
+
+/// The `vec(ρ)` index bits (row **and** column side) addressed by an op on
+/// `qubits`: qubit `q` owns row bit `2n−1−q` and column bit `n−1−q`, the
+/// same convention as the lowered `Measure`/`Reset` masks.
+fn touched_bits(qubits: &[usize], n: usize) -> usize {
+    qubits.iter().fold(0usize, |m, &q| {
+        m | (1 << (2 * n - 1 - q)) | (1 << (n - 1 - q))
+    })
+}
+
+/// One lowered instruction of a [`CompiledDensityProgram`].
+#[derive(Debug, Clone)]
+pub(crate) enum DensityOp {
+    /// Apply one conjugation `ρ ← AρA†` in place. `touched` holds the
+    /// row/column vectorization index bits the op addresses, so the branch
+    /// walker can invalidate support-pattern bits it may repopulate.
+    Conjugate {
+        pair: ConjugationPair,
+        touched: usize,
+    },
+    /// Apply a Kraus channel `ρ ← Σᵢ KᵢρKᵢ†` (operators in channel order).
+    Channel {
+        pairs: Vec<ConjugationPair>,
+        touched: usize,
+    },
+    /// Branch on the qubit whose row/column vectorization bits are
+    /// `row_mask`/`col_mask`; record into `clbit_bit` of the outcome key
+    /// (readout confusion applied from the program's baked-in rates).
+    Measure {
+        row_mask: usize,
+        col_mask: usize,
+        clbit_bit: u64,
+    },
+    /// Project the qubit and fold the `|1⟩` branch back through `flip`
+    /// (a lowered X conjugation).
+    Reset {
+        row_mask: usize,
+        col_mask: usize,
+        flip: ConjugationPair,
+    },
+}
+
+/// A [`Circuit`] + [`NoiseModel`] lowered for repeated exact density
+/// evolution.
+///
+/// Compilation is RNG-free; the same program can be executed any number of
+/// times (e.g. once per campaign cell) and by construction produces
+/// outcomes bit-for-bit identical to interpreting the original circuit
+/// with the same seed.
+///
+/// ```rust
+/// use qra_circuit::Circuit;
+/// use qra_sim::{CompiledDensityProgram, DensityMatrixSimulator, DevicePreset};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// bell.measure_all();
+/// let noise = DevicePreset::melbourne_like();
+/// let program = CompiledDensityProgram::compile(&bell, &noise)?;
+/// let sim = DensityMatrixSimulator::with_noise(noise);
+/// let counts = sim.run_compiled(&program, 1024, 7)?;
+/// assert_eq!(counts.total(), 1024);
+/// # Ok::<(), qra_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledDensityProgram {
+    num_qubits: usize,
+    num_clbits: usize,
+    ops: Vec<DensityOp>,
+    /// `vec(ρ)` after the leading measurement-free run, evolved eagerly at
+    /// compile time.
+    prefix: Vec<C64>,
+    prefix_len: usize,
+    readout_p01: f64,
+    readout_p10: f64,
+}
+
+impl CompiledDensityProgram {
+    /// Lowers `circuit` with `noise` into density kernel ops and evolves
+    /// the measurement-free prefix.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::TooManyQubits`] beyond [`MAX_QUBITS`];
+    /// * [`SimError::TooManyClbits`] beyond [`MAX_CLBITS`];
+    /// * [`SimError::InvalidNoiseParameter`] for a bad noise model.
+    pub fn compile(
+        circuit: &Circuit,
+        noise: &NoiseModel,
+    ) -> Result<CompiledDensityProgram, SimError> {
+        noise.validate()?;
+        let n = circuit.num_qubits();
+        if n > MAX_QUBITS {
+            return Err(SimError::TooManyQubits {
+                num_qubits: n,
+                max: MAX_QUBITS,
+            });
+        }
+        if circuit.num_clbits() > MAX_CLBITS {
+            return Err(SimError::TooManyClbits {
+                num_clbits: circuit.num_clbits(),
+                max: MAX_CLBITS,
+            });
+        }
+
+        // Lower each noise channel's Kraus set once; reused for every gate.
+        let depol1 = lower_channel(build_channel(
+            noise.depol_1q,
+            KrausChannel::depolarizing_1q,
+        )?);
+        let depol2 = lower_channel(build_channel(
+            noise.depol_2q,
+            KrausChannel::depolarizing_2q,
+        )?);
+        let damp1 = lower_channel(build_channel(
+            noise.damping_1q,
+            KrausChannel::amplitude_damping,
+        )?);
+        let damp2 = lower_channel(build_channel(
+            noise.damping_2q,
+            KrausChannel::amplitude_damping,
+        )?);
+        let deph = lower_channel(build_channel(noise.dephasing, KrausChannel::phase_damping)?);
+
+        let mut ops = Vec::new();
+        let push_channel =
+            |ops: &mut Vec<DensityOp>, ch: &Option<Vec<qra_math::CMatrix>>, qubits: &[usize]| {
+                if let Some(operators) = ch {
+                    ops.push(DensityOp::Channel {
+                        pairs: operators
+                            .iter()
+                            .map(|k| ConjugationPair::lower(k, qubits, n))
+                            .collect(),
+                        touched: touched_bits(qubits, n),
+                    });
+                }
+            };
+        for inst in circuit.instructions() {
+            match &inst.operation {
+                Operation::Barrier => {}
+                Operation::Gate(g) => {
+                    ops.push(DensityOp::Conjugate {
+                        pair: ConjugationPair::for_gate(g, &inst.qubits, n),
+                        touched: touched_bits(&inst.qubits, n),
+                    });
+                    // Gate-dependent noise, mirroring the interpreter's site
+                    // order exactly: gates wider than two qubits get pairwise
+                    // two-qubit depolarizing on consecutive qubit pairs.
+                    if inst.qubits.len() == 1 {
+                        push_channel(&mut ops, &depol1, &[inst.qubits[0]]);
+                        push_channel(&mut ops, &damp1, &[inst.qubits[0]]);
+                        push_channel(&mut ops, &deph, &[inst.qubits[0]]);
+                    } else {
+                        for pair in inst.qubits.windows(2) {
+                            push_channel(&mut ops, &depol2, pair);
+                        }
+                        for &q in &inst.qubits {
+                            push_channel(&mut ops, &damp2, &[q]);
+                            push_channel(&mut ops, &deph, &[q]);
+                        }
+                    }
+                }
+                Operation::Measure => {
+                    let q = inst.qubits[0];
+                    ops.push(DensityOp::Measure {
+                        row_mask: 1usize << (2 * n - 1 - q),
+                        col_mask: 1usize << (n - 1 - q),
+                        clbit_bit: 1u64 << inst.clbits[0],
+                    });
+                }
+                Operation::Reset => {
+                    let q = inst.qubits[0];
+                    ops.push(DensityOp::Reset {
+                        row_mask: 1usize << (2 * n - 1 - q),
+                        col_mask: 1usize << (n - 1 - q),
+                        flip: ConjugationPair::for_gate(&Gate::X, &[q], n),
+                    });
+                }
+            }
+        }
+        let prefix_len = ops
+            .iter()
+            .position(|op| matches!(op, DensityOp::Measure { .. } | DensityOp::Reset { .. }))
+            .unwrap_or(ops.len());
+
+        // Evolve vec(|0…0⟩⟨0…0|) through the prefix once. Density evolution
+        // is deterministic, so every later execution can start here.
+        let dd = 1usize << (2 * n);
+        let mut prefix = vec![C64::zero(); dd];
+        prefix[0] = C64::one();
+        let mut scratch = Vec::new();
+        let mut term = Vec::new();
+        let mut acc = Vec::new();
+        for op in &ops[..prefix_len] {
+            match op {
+                DensityOp::Conjugate { pair, .. } => pair.apply(&mut prefix, &mut scratch),
+                DensityOp::Channel { pairs, .. } => {
+                    apply_channel_vec(&mut prefix, pairs, &mut term, &mut acc, &mut scratch);
+                }
+                DensityOp::Measure { .. } | DensityOp::Reset { .. } => unreachable!(),
+            }
+        }
+
+        Ok(CompiledDensityProgram {
+            num_qubits: n,
+            num_clbits: circuit.num_clbits(),
+            ops,
+            prefix,
+            prefix_len,
+            readout_p01: noise.readout_p01,
+            readout_p10: noise.readout_p10,
+        })
+    }
+
+    /// Register width in qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Classical register width in bits.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// Density-matrix dimension (`2ⁿ`; `vec(ρ)` holds `dim²` entries).
+    pub fn dim(&self) -> usize {
+        1usize << self.num_qubits
+    }
+
+    /// Number of lowered ops (gates + channels + measures + resets).
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Length of the leading measurement-free run cached at compile time.
+    pub fn prefix_len(&self) -> usize {
+        self.prefix_len
+    }
+
+    /// Histogram of conjugation kernel classes (gates and Kraus operators),
+    /// for perf introspection.
+    pub fn class_histogram(&self) -> Vec<(KernelClass, usize)> {
+        let mut counts = [0usize; 4];
+        let mut bump = |class: KernelClass| {
+            counts[match class {
+                KernelClass::Single => 0,
+                KernelClass::Diagonal => 1,
+                KernelClass::Permutation => 2,
+                KernelClass::Generic => 3,
+            }] += 1;
+        };
+        for op in &self.ops {
+            match op {
+                DensityOp::Conjugate { pair, .. } => bump(pair.class()),
+                DensityOp::Channel { pairs, .. } => pairs.iter().for_each(|p| bump(p.class())),
+                DensityOp::Measure { .. } => {}
+                DensityOp::Reset { flip, .. } => bump(flip.class()),
+            }
+        }
+        [
+            KernelClass::Single,
+            KernelClass::Diagonal,
+            KernelClass::Permutation,
+            KernelClass::Generic,
+        ]
+        .into_iter()
+        .zip(counts)
+        .filter(|&(_, c)| c > 0)
+        .collect()
+    }
+
+    pub(crate) fn ops(&self) -> &[DensityOp] {
+        &self.ops
+    }
+
+    pub(crate) fn prefix(&self) -> &[C64] {
+        &self.prefix
+    }
+
+    pub(crate) fn readout_p01(&self) -> f64 {
+        self.readout_p01
+    }
+
+    pub(crate) fn readout_p10(&self) -> f64 {
+        self.readout_p10
+    }
+}
+
+/// Borrows a built channel's Kraus operators for lowering, preserving
+/// `None` for zero-probability channels (no op emitted, like the
+/// interpreter's `apply_channel_opt` no-op path).
+fn lower_channel(channel: Option<KrausChannel>) -> Option<Vec<qra_math::CMatrix>> {
+    channel.map(|ch| ch.operators().to_vec())
+}
+
+/// Applies a lowered Kraus channel to `vec_rho` in place:
+/// `ρ ← Σᵢ KᵢρKᵢ†` with the terms accumulated in operator order, matching
+/// the interpreter's `acc = 0 + K₀ρK₀† + K₁ρK₁† + …` fold bit-for-bit
+/// (up to the sign of zero). `term`/`acc` are reusable buffers grown on
+/// demand.
+pub(crate) fn apply_channel_vec(
+    vec_rho: &mut Vec<C64>,
+    pairs: &[ConjugationPair],
+    term: &mut Vec<C64>,
+    acc: &mut Vec<C64>,
+    scratch: &mut Vec<C64>,
+) {
+    let dd = vec_rho.len();
+    term.resize(dd, C64::zero());
+    acc.clear();
+    acc.resize(dd, C64::zero());
+    for pair in pairs {
+        term.copy_from_slice(vec_rho);
+        pair.apply(term, scratch);
+        for (a, t) in acc.iter_mut().zip(term.iter()) {
+            *a += *t;
+        }
+    }
+    std::mem::swap(vec_rho, acc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::DevicePreset;
+
+    #[test]
+    fn ideal_circuit_lowers_to_conjugations_only() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c.measure_all();
+        let p = CompiledDensityProgram::compile(&c, &NoiseModel::ideal()).unwrap();
+        assert_eq!(p.op_count(), 4); // 2 gates + 2 measures, no channels
+        assert_eq!(p.prefix_len(), 2);
+        assert_eq!(p.dim(), 4);
+        // Prefix holds the Bell state's vec(ρ): corners at 0.5.
+        let v = p.prefix();
+        assert!((v[0].re - 0.5).abs() < 1e-12);
+        assert!((v[15].re - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_gates_emit_channel_ops_in_site_order() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let noise = DevicePreset::melbourne_like();
+        let p = CompiledDensityProgram::compile(&c, &noise).unwrap();
+        // h: gate + depol1 + damp1 + deph; cx: gate + depol2 + 2×(damp2, deph).
+        assert_eq!(p.op_count(), 4 + 6);
+        let kinds: Vec<bool> = p
+            .ops()
+            .iter()
+            .map(|op| matches!(op, DensityOp::Channel { .. }))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![false, true, true, true, false, true, true, true, true, true]
+        );
+        // Everything is measurement-free: the whole program is prefix.
+        assert_eq!(p.prefix_len(), p.op_count());
+        // Trace preserved through the eager prefix evolution.
+        let d = p.dim();
+        let tr: f64 = (0..d).map(|i| p.prefix()[i * (d + 1)].re).sum();
+        assert!((tr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn width_and_clbit_limits_enforced() {
+        assert!(matches!(
+            CompiledDensityProgram::compile(&Circuit::new(13), &NoiseModel::ideal()),
+            Err(SimError::TooManyQubits {
+                num_qubits: 13,
+                max: 12
+            })
+        ));
+        let mut bad = NoiseModel::ideal();
+        bad.depol_1q = 2.0;
+        let mut c = Circuit::new(1);
+        c.h(0);
+        assert!(CompiledDensityProgram::compile(&c, &bad).is_err());
+    }
+
+    #[test]
+    fn class_histogram_counts_gates_and_kraus_operators() {
+        let mut c = Circuit::new(2);
+        c.x(0).rz(0.3, 1);
+        let mut noise = NoiseModel::ideal();
+        noise.dephasing = 0.01; // 2 Kraus operators per 1q gate, all diagonal
+        let p = CompiledDensityProgram::compile(&c, &noise).unwrap();
+        let hist = p.class_histogram();
+        assert!(hist.contains(&(KernelClass::Permutation, 1))); // X
+        assert!(hist.contains(&(KernelClass::Diagonal, 1 + 4))); // Rz + 2×K
+    }
+}

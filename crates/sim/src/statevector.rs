@@ -371,7 +371,8 @@ fn build_key_table(measures: &[(usize, usize)], n: usize, dim: usize) -> Vec<u64
 
 /// Samples an index from a cumulative probability table in O(log dim):
 /// the first `i` with `r < cum[i]`, matching the linear scan's semantics.
-fn sample_cumulative(cum: &[f64], total: f64, rng: &mut StdRng) -> usize {
+/// Shared with the density back-end's shot sampler.
+pub(crate) fn sample_cumulative(cum: &[f64], total: f64, rng: &mut StdRng) -> usize {
     let r = rng.gen_range(0.0..total);
     cum.partition_point(|&c| c <= r).min(cum.len() - 1)
 }
