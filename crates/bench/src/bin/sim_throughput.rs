@@ -8,15 +8,22 @@
 //! differ** (the engines are bit-for-bit seed-compatible by contract), and
 //! reports wall time, shots/s and gates/s for both plus the speedup.
 //!
-//! Usage: `sim_throughput [--short] [--out PATH]`
+//! Usage: `sim_throughput [--short] [--out PATH] [--threads T]`
 //!
 //! `--short` shrinks shots/repeats for CI smoke runs (validates the
 //! pipeline and the identity contract, not the timing); `--out` overrides
-//! the default `BENCH_sim.json` output path.
+//! the default `BENCH_sim.json` output path; `--threads` overrides the
+//! amplitude/shot worker count used by the parallel sections (default:
+//! one per available core). Beyond the interpreted-vs-compiled pairs,
+//! three parallel sections exercise the threaded paths — amplitude-level
+//! kernel threading on ≥18-qubit workloads, kernel fusion on rotation
+//! chains, and batched trajectory shots — each asserting its counts are
+//! identical to the sequential run before reporting a speedup.
 
 use qra::algorithms::{qft, states};
 use qra::prelude::*;
-use qra::sim::CompiledProgram;
+use qra::sim::threads::resolve_threads;
+use qra::sim::{CompiledProgram, TrajectorySimulator};
 use qra_bench::json_string;
 use std::time::Instant;
 
@@ -112,6 +119,41 @@ fn qft_measured(n: usize) -> Circuit {
     c
 }
 
+/// Dense single-qubit rotation chains: `layers` sweeps of H·T·Rz·H per
+/// qubit. Every adjacent pair on a qubit fuses, so this is the fusion
+/// section's best case — and the identity contract's hardest test, since
+/// fused stages must replay bit-for-bit.
+fn rot_chain(n: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for layer in 0..layers {
+        for q in 0..n {
+            c.h(q).t(q).rz(0.1 * (layer + 1) as f64, q).h(q);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// Past-20-qubit workloads for the amplitude-threading section: wide
+/// terminal circuits whose cost is one big state evolution.
+fn parallel_workloads(short: bool) -> Vec<Workload> {
+    let s = |full: u64, smoke: u64| if short { smoke } else { full };
+    vec![
+        Workload {
+            name: "ghz22_terminal",
+            circuit: ghz_measured(22),
+            shots: s(4096, 64),
+            seed: 7,
+        },
+        Workload {
+            name: "qft18_terminal",
+            circuit: qft_measured(18),
+            shots: s(1024, 32),
+            seed: 13,
+        },
+    ]
+}
+
 fn workloads(short: bool) -> Vec<Workload> {
     let s = |full: u64, smoke: u64| if short { smoke } else { full };
     vec![
@@ -167,17 +209,27 @@ fn engine_json(secs: f64, shots: u64, gate_evals: u64) -> String {
 fn main() {
     let mut short = false;
     let mut out = String::from("BENCH_sim.json");
+    let mut threads = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--short" => short = true,
             "--out" => out = args.next().expect("--out needs a path"),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads needs a count")
+                    .parse()
+                    .expect("--threads needs a number");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
             }
         }
     }
+    let (cores, _) = resolve_threads(0);
+    let threads = if threads == 0 { cores } else { threads };
     let runs = if short { 1 } else { 3 };
     let mut entries = Vec::new();
     for w in workloads(short) {
@@ -283,12 +335,167 @@ fn main() {
             speedup
         ));
     }
+    // Amplitude-threading section: the same compiled program executed
+    // sequentially and with `threads` workers per kernel sweep. Counts
+    // must be bit-identical (the threaded chunking reproduces the exact
+    // sequential arithmetic per amplitude); the speedup column is what
+    // the thread pool buys on past-20-qubit workloads.
+    let mut parallel_entries = Vec::new();
+    for w in parallel_workloads(short) {
+        let program = CompiledProgram::compile(&w.circuit).expect("compile");
+        let (single_secs, single_counts) = time_best(runs, || {
+            StatevectorSimulator::with_seed(w.seed)
+                .run_compiled(&program, w.shots)
+                .expect("sequential run")
+        });
+        let (threaded_secs, threaded_counts) = time_best(runs, || {
+            StatevectorSimulator::with_seed(w.seed)
+                .with_threads(threads)
+                .run_compiled(&program, w.shots)
+                .expect("threaded run")
+        });
+        assert_eq!(
+            single_counts, threaded_counts,
+            "{}: threaded counts diverged from sequential — thread identity broken",
+            w.name
+        );
+        let speedup = single_secs / threaded_secs;
+        eprintln!(
+            "{:>18}  n={:<2} shots={:<5} 1-thread {:>9.3} ms  {}-thread {:>9.3} ms  {:>6.2}x",
+            w.name,
+            w.circuit.num_qubits(),
+            w.shots,
+            single_secs * 1e3,
+            threads,
+            threaded_secs * 1e3,
+            speedup
+        );
+        parallel_entries.push(format!(
+            "{{\"name\":{},\"qubits\":{},\"shots\":{},\"threads\":{},\"single\":{},\"threaded\":{},\"speedup\":{:.2},\"identical\":true}}",
+            json_string(w.name),
+            w.circuit.num_qubits(),
+            w.shots,
+            threads,
+            engine_json(single_secs, w.shots, w.circuit.gate_count() as u64),
+            engine_json(threaded_secs, w.shots, w.circuit.gate_count() as u64),
+            speedup
+        ));
+    }
+
+    // Fusion section: the same circuit compiled with and without adjacent
+    // same-tuple kernel fusion. Fused stage lists replay the identical
+    // per-amplitude arithmetic, so counts must match bit-for-bit; the
+    // fused_away column counts the kernel sweeps eliminated.
+    // Short mode stays at 16 qubits for CI turnaround; full mode uses a
+    // 20-qubit register (16 MiB state, well past last-level cache) where
+    // eliminating whole state sweeps is a memory-bandwidth win rather
+    // than a cache-resident dispatch tradeoff.
+    let mut fusion_entries = Vec::new();
+    {
+        let (n, layers) = if short { (16, 2) } else { (20, 4) };
+        let circuit = rot_chain(n, layers);
+        let name = format!("rot_chain{n}");
+        let shots = if short { 64u64 } else { 1024 };
+        let seed = 17u64;
+        let fused = CompiledProgram::compile(&circuit).expect("fused compile");
+        let unfused = CompiledProgram::compile_unfused(&circuit).expect("unfused compile");
+        let (unfused_secs, unfused_counts) = time_best(runs, || {
+            StatevectorSimulator::with_seed(seed)
+                .run_compiled(&unfused, shots)
+                .expect("unfused run")
+        });
+        let (fused_secs, fused_counts) = time_best(runs, || {
+            StatevectorSimulator::with_seed(seed)
+                .run_compiled(&fused, shots)
+                .expect("fused run")
+        });
+        assert_eq!(
+            unfused_counts, fused_counts,
+            "{name}: fused counts diverged from unfused — fusion identity broken"
+        );
+        let speedup = unfused_secs / fused_secs;
+        eprintln!(
+            "{:>18}  n={} shots={:<5} unfused {:>9.3} ms  fused {:>9.3} ms  {:>6.2}x (fused away {} of {} kernels)",
+            name,
+            n,
+            shots,
+            unfused_secs * 1e3,
+            fused_secs * 1e3,
+            speedup,
+            fused.fused_away(),
+            unfused.op_count()
+        );
+        fusion_entries.push(format!(
+            "{{\"name\":\"{name}\",\"qubits\":{n},\"gates\":{},\"shots\":{},\"ops_unfused\":{},\"ops_fused\":{},\"fused_away\":{},\"unfused\":{},\"fused\":{},\"speedup\":{:.2},\"identical\":true}}",
+            circuit.gate_count(),
+            shots,
+            unfused.op_count(),
+            fused.op_count(),
+            fused.fused_away(),
+            engine_json(unfused_secs, shots, circuit.gate_count() as u64),
+            engine_json(fused_secs, shots, circuit.gate_count() as u64),
+            speedup
+        ));
+    }
+
+    // Trajectory batch section: per-shot-seeded batched execution at one
+    // worker vs `threads` workers. The histogram depends only on
+    // (seed, shot index), so worker counts must not change a single count;
+    // the speedup row tracks shot-level scaling.
+    let mut trajectory_entries = Vec::new();
+    {
+        let circuit = ghz_midcircuit(if short { 10 } else { 14 });
+        let shots = if short { 64u64 } else { 2048 };
+        let noise = DevicePreset::LowNoise.noise_model();
+        let seed = 23u64;
+        let (single_secs, single_counts) = time_best(runs, || {
+            TrajectorySimulator::new(noise.clone(), seed)
+                .run_batched(&circuit, shots)
+                .expect("single-worker batch")
+        });
+        let (batched_secs, batched_counts) = time_best(runs, || {
+            TrajectorySimulator::new(noise.clone(), seed)
+                .with_threads(threads)
+                .run_batched(&circuit, shots)
+                .expect("multi-worker batch")
+        });
+        assert_eq!(
+            single_counts, batched_counts,
+            "trajectory batch: worker count changed the histogram — shot-seed identity broken"
+        );
+        let speedup = single_secs / batched_secs;
+        eprintln!(
+            "{:>18}  n={:<2} shots={:<5} 1-worker {:>9.3} ms  {}-worker {:>9.3} ms  {:>6.2}x",
+            "traj_ghz_mid",
+            circuit.num_qubits(),
+            shots,
+            single_secs * 1e3,
+            threads,
+            batched_secs * 1e3,
+            speedup
+        );
+        trajectory_entries.push(format!(
+            "{{\"name\":\"traj_ghz_midcircuit\",\"qubits\":{},\"shots\":{},\"workers\":{},\"single\":{},\"batched\":{},\"speedup\":{:.2},\"identical\":true}}",
+            circuit.num_qubits(),
+            shots,
+            threads,
+            engine_json(single_secs, shots, circuit.gate_count() as u64),
+            engine_json(batched_secs, shots, circuit.gate_count() as u64),
+            speedup
+        ));
+    }
+
     let json = format!(
-        "{{\"bench\":\"sim_throughput\",\"short\":{},\"runs_per_engine\":{},\"workloads\":[{}],\"density\":[{}]}}",
+        "{{\"bench\":\"sim_throughput\",\"short\":{},\"runs_per_engine\":{},\"cores\":{},\"threads\":{},\"workloads\":[{}],\"density\":[{}],\"parallel\":[{}],\"fusion\":[{}],\"trajectory\":[{}]}}",
         short,
         runs,
+        cores,
+        threads,
         entries.join(","),
-        density_entries.join(",")
+        density_entries.join(","),
+        parallel_entries.join(","),
+        fusion_entries.join(","),
+        trajectory_entries.join(",")
     );
     std::fs::write(&out, format!("{json}\n")).expect("write BENCH_sim.json");
     println!("{json}");

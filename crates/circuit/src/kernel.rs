@@ -15,7 +15,10 @@
 //! * [`KernelClass::Permutation`] — classical bit-shuffles (`X`, `CX`,
 //!   `CCX`, `SWAP`, `CSWAP`): pure amplitude moves, no arithmetic;
 //! * [`KernelClass::Generic`] — the dense fallback, with its gather
-//!   offsets precomputed and its scratch buffer caller-provided.
+//!   offsets precomputed and its scratch buffer caller-provided;
+//! * [`KernelClass::Fused`] — a run of adjacent single-qubit or
+//!   same-tuple diagonal kernels fused by [`Kernel::fuse`] into one
+//!   amplitude sweep.
 //!
 //! Classification is structural (from the matrix, not the gate name), so
 //! arbitrary [`Gate::Unitary`] gates and even non-unitary Kraus operators
@@ -29,9 +32,25 @@
 //! (`|amp|²`) and every comparison derived from them are therefore
 //! bit-for-bit identical across kernel classes — the seed-compatibility
 //! contract the compiled execution engine in `qra-sim` relies on.
+//!
+//! Fusion and threading are held to a *stronger* contract: bit-for-bit
+//! equality with the sequential unfused kernels, not merely
+//! modulo-sign-of-zero. A fused kernel is **loop fusion**, never a matrix
+//! product — each constituent stage's arithmetic runs unchanged, per
+//! amplitude pair, in program order — and [`Kernel::apply_threaded`] only
+//! re-partitions an amplitude loop whose iterations are independent, so
+//! every amplitude sees the identical operation sequence at any thread
+//! count.
 
 use crate::Gate;
 use qra_math::{CMatrix, C64};
+
+/// Width threshold (in qubits) above which [`Kernel::apply_threaded`]
+/// engages worker threads. Below `2^10` amplitudes the `thread::scope`
+/// spawn/join cost dominates the sweep itself, so smaller states always
+/// run the sequential path (which keeps tiny kernels bit-identical *and*
+/// fast at any configured thread count).
+pub const PARALLEL_THRESHOLD_QUBITS: usize = 10;
 
 /// The specialization a matrix lowered to; see the module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +63,8 @@ pub enum KernelClass {
     Permutation,
     /// Dense matrix fallback.
     Generic,
+    /// A fused run of single-qubit or same-tuple diagonal kernels.
+    Fused,
 }
 
 impl KernelClass {
@@ -54,8 +75,25 @@ impl KernelClass {
             KernelClass::Diagonal => "diagonal",
             KernelClass::Permutation => "permutation",
             KernelClass::Generic => "generic",
+            KernelClass::Fused => "fused",
         }
     }
+}
+
+/// One constituent of a fused single-qubit kernel chain, applied to an
+/// amplitude pair held in registers.
+#[derive(Debug, Clone, Copy)]
+enum Stage {
+    /// Dense 2×2 butterfly (a [`Body::Single`] stage).
+    Butterfly {
+        m00: C64,
+        m01: C64,
+        m10: C64,
+        m11: C64,
+    },
+    /// Diagonal scale (a [`Body::Diag1`] stage); exact-unit factors are
+    /// skipped exactly as the standalone kernel skips them.
+    Diag { d0: C64, d1: C64 },
 }
 
 #[derive(Debug, Clone)]
@@ -83,6 +121,16 @@ enum Body {
         matrix: CMatrix,
         offsets: Vec<usize>,
         gate_mask: usize,
+    },
+    /// Fused chain of `k = 1` kernels on one qubit: every stage runs on
+    /// the amplitude pair in registers before it is stored back.
+    Fused { stages: Vec<Stage>, mask: usize },
+    /// Fused chain of `k ≥ 2` diagonals on one qubit tuple: the sub-index
+    /// is computed once per amplitude and every stage's factor applied in
+    /// program order.
+    FusedDiag {
+        diags: Vec<Vec<C64>>,
+        shifts: Vec<usize>,
     },
 }
 
@@ -113,6 +161,96 @@ fn exact_zero(z: C64) -> bool {
 
 fn exact_one(z: C64) -> bool {
     z.re == 1.0 && z.im == 0.0
+}
+
+/// Raw amplitude-array pointer shared across scoped worker threads. Each
+/// worker is handed a disjoint index range, so concurrent access never
+/// aliases; see the per-use SAFETY comments.
+struct SendPtr(*mut C64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// The `ordinal`-th sub-block base index: `ordinal`'s bits deposited in
+/// ascending order into the zero bit positions of `gate_mask` — exactly
+/// the sequence the sequential `(base | gate_mask) + 1 & !gate_mask`
+/// walk enumerates.
+fn nth_base(mut ordinal: usize, gate_mask: usize, dim: usize) -> usize {
+    let mut base = 0usize;
+    let mut bit = 1usize;
+    while bit < dim {
+        if gate_mask & bit == 0 {
+            if ordinal & 1 == 1 {
+                base |= bit;
+            }
+            ordinal >>= 1;
+        }
+        bit <<= 1;
+    }
+    base
+}
+
+/// Runs `f(pair_low, pair_high)` over every butterfly pair `(i, i + mask)`
+/// of `state`, split into contiguous per-thread pair ranges.
+fn par_pair_loop<F>(state: &mut [C64], mask: usize, threads: usize, f: F)
+where
+    F: Fn(&mut C64, &mut C64) + Sync,
+{
+    let pairs = state.len() / 2;
+    let threads = threads.min(pairs);
+    let chunk = pairs.div_ceil(threads);
+    let lo_mask = mask - 1;
+    let ptr = SendPtr(state.as_mut_ptr());
+    std::thread::scope(|s| {
+        let ptr = &ptr;
+        let f = &f;
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = pairs.min(start + chunk);
+            if start >= end {
+                break;
+            }
+            s.spawn(move || {
+                for p in start..end {
+                    // Pair ordinal `p` ↔ amplitude index `i`: the bits of
+                    // `p` below the gate bit stay in place, the rest shift
+                    // up past it — the same enumeration order as the
+                    // sequential block walk.
+                    let i = ((p & !lo_mask) << 1) | (p & lo_mask);
+                    // SAFETY: the ordinal↔index map is a bijection onto
+                    // the low halves, so distinct ordinals yield disjoint
+                    // {i, i + mask} pairs, and each worker owns a disjoint
+                    // ordinal range — no two threads touch one amplitude.
+                    unsafe {
+                        let a0 = &mut *ptr.0.add(i);
+                        let a1 = &mut *ptr.0.add(i + mask);
+                        f(a0, a1);
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Runs `f(global_index, amplitude)` over every amplitude, split into
+/// contiguous per-thread chunks. Safe: `chunks_mut` hands each worker an
+/// exclusive slice.
+fn par_amp_loop<F>(state: &mut [C64], threads: usize, f: F)
+where
+    F: Fn(usize, &mut C64) + Sync,
+{
+    let len = state.len();
+    let chunk = len.div_ceil(threads.min(len));
+    std::thread::scope(|s| {
+        let f = &f;
+        for (t, ch) in state.chunks_mut(chunk).enumerate() {
+            s.spawn(move || {
+                let base = t * chunk;
+                for (j, amp) in ch.iter_mut().enumerate() {
+                    f(base + j, amp);
+                }
+            });
+        }
+    });
 }
 
 impl Kernel {
@@ -204,12 +342,99 @@ impl Kernel {
             Body::Diag1 { .. } | Body::Diagonal { .. } => KernelClass::Diagonal,
             Body::Permutation { .. } => KernelClass::Permutation,
             Body::Generic { .. } => KernelClass::Generic,
+            Body::Fused { .. } | Body::FusedDiag { .. } => KernelClass::Fused,
         }
     }
 
     /// The full register dimension (`2ⁿ`) this kernel was lowered for.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// Number of original kernels folded into this one (1 when unfused).
+    pub fn fused_stages(&self) -> usize {
+        match &self.body {
+            Body::Fused { stages, .. } => stages.len(),
+            Body::FusedDiag { diags, .. } => diags.len(),
+            _ => 1,
+        }
+    }
+
+    /// The stage list of a fusible 1-qubit kernel plus its split mask.
+    fn single_stages(&self) -> Option<(Vec<Stage>, usize)> {
+        match &self.body {
+            Body::Single {
+                m00,
+                m01,
+                m10,
+                m11,
+                mask,
+            } => Some((
+                vec![Stage::Butterfly {
+                    m00: *m00,
+                    m01: *m01,
+                    m10: *m10,
+                    m11: *m11,
+                }],
+                *mask,
+            )),
+            Body::Diag1 { d0, d1, mask } => Some((vec![Stage::Diag { d0: *d0, d1: *d1 }], *mask)),
+            Body::Fused { stages, mask } => Some((stages.clone(), *mask)),
+            _ => None,
+        }
+    }
+
+    /// The diagonal chain of a fusible `k ≥ 2` diagonal kernel plus its
+    /// bit shifts.
+    fn diag_stages(&self) -> Option<(Vec<Vec<C64>>, &[usize])> {
+        match &self.body {
+            Body::Diagonal { diag, shifts } => Some((vec![diag.clone()], shifts)),
+            Body::FusedDiag { diags, shifts } => Some((diags.clone(), shifts)),
+            _ => None,
+        }
+    }
+
+    /// Fuses `self` (applied first) with `next` (applied second) into one
+    /// kernel when both act on the same qubit tuple and both are
+    /// single-qubit or diagonal. Returns `None` when the pair is not
+    /// fusible (different tuples, or a permutation/dense factor).
+    ///
+    /// Fusion is **loop fusion**, not a matrix product: the fused kernel
+    /// replays each constituent's arithmetic per amplitude in program
+    /// order, so applying it is bit-for-bit identical to applying the two
+    /// kernels back-to-back — while sweeping the state once instead of
+    /// twice.
+    pub fn fuse(&self, next: &Kernel) -> Option<Kernel> {
+        if self.dim != next.dim {
+            return None;
+        }
+        if let (Some((mut a, mask_a)), Some((b, mask_b))) =
+            (self.single_stages(), next.single_stages())
+        {
+            if mask_a == mask_b {
+                a.extend(b);
+                return Some(Kernel {
+                    body: Body::Fused {
+                        stages: a,
+                        mask: mask_a,
+                    },
+                    dim: self.dim,
+                });
+            }
+        }
+        if let (Some((mut a, shifts_a)), Some((b, shifts_b))) =
+            (self.diag_stages(), next.diag_stages())
+        {
+            if shifts_a == shifts_b {
+                let shifts = shifts_a.to_vec();
+                a.extend(b);
+                return Some(Kernel {
+                    body: Body::FusedDiag { diags: a, shifts },
+                    dim: self.dim,
+                });
+            }
+        }
+        None
     }
 
     /// Applies the kernel to `state` in place. `scratch` is a reusable
@@ -273,6 +498,26 @@ impl Kernel {
                     }
                 }
             }
+            Body::Fused { stages, mask } => {
+                // SAFETY: the exclusive borrow covers every pair index
+                // and the full ordinal range is swept once.
+                unsafe { fused_stage_sweep(stages, state.as_mut_ptr(), *mask, 0, self.dim >> 1) }
+            }
+            Body::FusedDiag { diags, shifts } => {
+                let k = shifts.len();
+                for (i, amp) in state.iter_mut().enumerate() {
+                    let mut s = 0usize;
+                    for (pos, &sh) in shifts.iter().enumerate() {
+                        s |= ((i >> sh) & 1) << (k - 1 - pos);
+                    }
+                    for diag in diags {
+                        let d = diag[s];
+                        if !exact_one(d) {
+                            *amp *= d;
+                        }
+                    }
+                }
+            }
             Body::Permutation {
                 src,
                 offsets,
@@ -282,12 +527,19 @@ impl Kernel {
                 if scratch.len() < sub_dim {
                     scratch.resize(sub_dim, C64::zero());
                 }
+                // Re-slice so no index past `sub_dim` is reachable even
+                // when the caller hands an oversized buffer.
+                let scratch = &mut scratch[..sub_dim];
+                debug_assert!(
+                    src.iter().all(|&s| s < sub_dim),
+                    "permutation source index outside the sub-block"
+                );
                 let mut base = 0usize;
                 loop {
-                    for (slot, &s) in scratch[..sub_dim].iter_mut().zip(src.iter()) {
+                    for (slot, &s) in scratch.iter_mut().zip(src.iter()) {
                         *slot = state[base | offsets[s]];
                     }
-                    for (&off, &amp) in offsets.iter().zip(scratch[..sub_dim].iter()) {
+                    for (&off, &amp) in offsets.iter().zip(scratch.iter()) {
                         state[base | off] = amp;
                     }
                     base = (base | gate_mask).wrapping_add(1) & !gate_mask;
@@ -305,14 +557,18 @@ impl Kernel {
                 if scratch.len() < sub_dim {
                     scratch.resize(sub_dim, C64::zero());
                 }
+                // Re-slice so the dense gather/accumulate below cannot
+                // read scratch beyond `sub_dim`.
+                let scratch = &mut scratch[..sub_dim];
+                debug_assert!(scratch.len() == sub_dim && matrix.rows() == sub_dim);
                 let mut base = 0usize;
                 loop {
-                    for (slot, &off) in scratch[..sub_dim].iter_mut().zip(offsets.iter()) {
+                    for (slot, &off) in scratch.iter_mut().zip(offsets.iter()) {
                         *slot = state[base | off];
                     }
                     for (r, &off) in offsets.iter().enumerate() {
                         let mut acc = C64::zero();
-                        for (c, &amp) in scratch[..sub_dim].iter().enumerate() {
+                        for (c, &amp) in scratch.iter().enumerate() {
                             acc += matrix.get(r, c) * amp;
                         }
                         state[base | off] = acc;
@@ -325,6 +581,271 @@ impl Kernel {
             }
         }
     }
+
+    /// Applies the kernel like [`Kernel::apply`], splitting the amplitude
+    /// sweep across `threads` scoped worker threads when the state is at
+    /// least `2^`[`PARALLEL_THRESHOLD_QUBITS`] amplitudes.
+    ///
+    /// Bit-for-bit identical to the sequential path at every thread
+    /// count: workers own disjoint contiguous index ranges, every
+    /// amplitude undergoes the identical arithmetic, and the
+    /// gather/scatter classes allocate a private scratch per worker so no
+    /// buffer is ever shared across threads (`scratch` is only used by
+    /// the sequential fallback).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state.len()` disagrees with the lowered dimension.
+    pub fn apply_threaded(&self, state: &mut [C64], scratch: &mut Vec<C64>, threads: usize) {
+        if threads <= 1 || self.dim < (1 << PARALLEL_THRESHOLD_QUBITS) {
+            return self.apply(state, scratch);
+        }
+        assert_eq!(state.len(), self.dim, "state dimension mismatch");
+        match &self.body {
+            Body::Single {
+                m00,
+                m01,
+                m10,
+                m11,
+                mask,
+            } => {
+                par_pair_loop(state, *mask, threads, |a0, a1| {
+                    let b0 = *m00 * *a0 + *m01 * *a1;
+                    let b1 = *m10 * *a0 + *m11 * *a1;
+                    *a0 = b0;
+                    *a1 = b1;
+                });
+            }
+            Body::Fused { stages, mask } => {
+                let pairs = state.len() / 2;
+                let threads = threads.min(pairs);
+                let chunk = pairs.div_ceil(threads);
+                let mask = *mask;
+                let ptr = SendPtr(state.as_mut_ptr());
+                std::thread::scope(|s| {
+                    let ptr = &ptr;
+                    for t in 0..threads {
+                        let start = t * chunk;
+                        let end = pairs.min(start + chunk);
+                        if start >= end {
+                            break;
+                        }
+                        s.spawn(move || {
+                            // SAFETY: disjoint ordinal ranges per worker;
+                            // see `fused_stage_sweep`'s contract.
+                            unsafe { fused_stage_sweep(stages, ptr.0, mask, start, end) }
+                        });
+                    }
+                });
+            }
+            Body::Diag1 { d0, d1, mask } => {
+                let scale0 = !exact_one(*d0);
+                let scale1 = !exact_one(*d1);
+                if !scale0 && !scale1 {
+                    return;
+                }
+                par_amp_loop(state, threads, |i, amp| {
+                    if i & mask == 0 {
+                        if scale0 {
+                            *amp *= *d0;
+                        }
+                    } else if scale1 {
+                        *amp *= *d1;
+                    }
+                });
+            }
+            Body::Diagonal { diag, shifts } => {
+                let k = shifts.len();
+                par_amp_loop(state, threads, |i, amp| {
+                    let mut s = 0usize;
+                    for (pos, &sh) in shifts.iter().enumerate() {
+                        s |= ((i >> sh) & 1) << (k - 1 - pos);
+                    }
+                    let d = diag[s];
+                    if !exact_one(d) {
+                        *amp *= d;
+                    }
+                });
+            }
+            Body::FusedDiag { diags, shifts } => {
+                let k = shifts.len();
+                par_amp_loop(state, threads, |i, amp| {
+                    let mut s = 0usize;
+                    for (pos, &sh) in shifts.iter().enumerate() {
+                        s |= ((i >> sh) & 1) << (k - 1 - pos);
+                    }
+                    for diag in diags {
+                        let d = diag[s];
+                        if !exact_one(d) {
+                            *amp *= d;
+                        }
+                    }
+                });
+            }
+            Body::Permutation {
+                src,
+                offsets,
+                gate_mask,
+            } => {
+                let sub_dim = offsets.len();
+                let n_bases = self.dim / sub_dim;
+                let threads = threads.min(n_bases);
+                let chunk = n_bases.div_ceil(threads);
+                let dim = self.dim;
+                let ptr = SendPtr(state.as_mut_ptr());
+                std::thread::scope(|s| {
+                    let ptr = &ptr;
+                    for t in 0..threads {
+                        let start = t * chunk;
+                        let end = n_bases.min(start + chunk);
+                        if start >= end {
+                            break;
+                        }
+                        s.spawn(move || {
+                            // Per-thread scratch: never shared across
+                            // workers (satisfying the aliasing contract).
+                            let mut local = vec![C64::zero(); sub_dim];
+                            let mut base = nth_base(start, *gate_mask, dim);
+                            for _ in start..end {
+                                // SAFETY: each base owns the index set
+                                // {base | off}, bases are disjoint across
+                                // ordinals, and each worker owns a
+                                // disjoint ordinal range.
+                                unsafe {
+                                    for (slot, &s) in local.iter_mut().zip(src.iter()) {
+                                        *slot = *ptr.0.add(base | offsets[s]);
+                                    }
+                                    for (&off, &amp) in offsets.iter().zip(local.iter()) {
+                                        *ptr.0.add(base | off) = amp;
+                                    }
+                                }
+                                base = (base | gate_mask).wrapping_add(1) & !gate_mask;
+                            }
+                        });
+                    }
+                });
+            }
+            Body::Generic {
+                matrix,
+                offsets,
+                gate_mask,
+            } => {
+                let sub_dim = offsets.len();
+                let n_bases = self.dim / sub_dim;
+                let threads = threads.min(n_bases);
+                let chunk = n_bases.div_ceil(threads);
+                let dim = self.dim;
+                let ptr = SendPtr(state.as_mut_ptr());
+                std::thread::scope(|s| {
+                    let ptr = &ptr;
+                    for t in 0..threads {
+                        let start = t * chunk;
+                        let end = n_bases.min(start + chunk);
+                        if start >= end {
+                            break;
+                        }
+                        s.spawn(move || {
+                            // Per-thread scratch, same accumulation order
+                            // as the sequential dense path.
+                            let mut local = vec![C64::zero(); sub_dim];
+                            let mut base = nth_base(start, *gate_mask, dim);
+                            for _ in start..end {
+                                // SAFETY: disjoint base index sets per
+                                // worker, as in the permutation arm.
+                                unsafe {
+                                    for (slot, &off) in local.iter_mut().zip(offsets.iter()) {
+                                        *slot = *ptr.0.add(base | off);
+                                    }
+                                    for (r, &off) in offsets.iter().enumerate() {
+                                        let mut acc = C64::zero();
+                                        for (c, &amp) in local.iter().enumerate() {
+                                            acc += matrix.get(r, c) * amp;
+                                        }
+                                        *ptr.0.add(base | off) = acc;
+                                    }
+                                }
+                                base = (base | gate_mask).wrapping_add(1) & !gate_mask;
+                            }
+                        });
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// Pair ordinals per fused block: two 32 KiB amplitude streams, sized to
+/// stay cache-resident while a stage chain replays over the block.
+const FUSED_BLOCK_PAIRS: usize = 1 << 11;
+
+/// Applies a fused stage chain over the pair-ordinal range `[start, end)`.
+///
+/// The loop is stage-interchanged: each stage sweeps a cache-resident
+/// block of pairs as a tight monomorphic loop (the stage constants stay
+/// in registers) before the next stage revisits the same block, instead
+/// of re-dispatching the stage list per amplitude pair. Every amplitude
+/// still undergoes exactly its standalone kernel's arithmetic in stage
+/// order — stages touch disjoint pairs independently, so interchanging
+/// the loops cannot change a single result bit.
+///
+/// # Safety
+///
+/// `ptr` must point at a state whose pair decomposition for `mask`
+/// contains `end` pairs, and the caller must hold exclusive access to
+/// every amplitude index reachable from the ordinal range (the
+/// ordinal↔index map is a bijection onto the low halves, so disjoint
+/// ordinal ranges are safe to sweep concurrently).
+unsafe fn fused_stage_sweep(
+    stages: &[Stage],
+    ptr: *mut C64,
+    mask: usize,
+    start: usize,
+    end: usize,
+) {
+    let lo_mask = mask - 1;
+    let mut blk = start;
+    while blk < end {
+        let stop = end.min(blk + FUSED_BLOCK_PAIRS);
+        for st in stages {
+            match *st {
+                Stage::Butterfly { m00, m01, m10, m11 } => {
+                    for p in blk..stop {
+                        let i = ((p & !lo_mask) << 1) | (p & lo_mask);
+                        let a0 = *ptr.add(i);
+                        let a1 = *ptr.add(i + mask);
+                        *ptr.add(i) = m00 * a0 + m01 * a1;
+                        *ptr.add(i + mask) = m10 * a0 + m11 * a1;
+                    }
+                }
+                Stage::Diag { d0, d1 } => {
+                    let scale0 = !exact_one(d0);
+                    let scale1 = !exact_one(d1);
+                    if !scale0 && !scale1 {
+                        continue;
+                    }
+                    for p in blk..stop {
+                        let i = ((p & !lo_mask) << 1) | (p & lo_mask);
+                        if scale0 {
+                            *ptr.add(i) *= d0;
+                        }
+                        if scale1 {
+                            *ptr.add(i + mask) *= d1;
+                        }
+                    }
+                }
+            }
+        }
+        blk = stop;
+    }
+}
+
+/// Scratch for a [`ConjugationPair`] application: one private buffer per
+/// factor, so a buffer is never threaded through two kernel applications
+/// (the aliasing hazard the threaded engine must exclude).
+#[derive(Debug, Default, Clone)]
+pub struct PairScratch {
+    left: Vec<C64>,
+    right: Vec<C64>,
 }
 
 /// A lowered conjugation map `ρ ← AρA†` over a vectorized density matrix.
@@ -348,14 +869,14 @@ impl Kernel {
 /// caller's concern).
 ///
 /// ```rust
-/// use qra_circuit::kernel::ConjugationPair;
+/// use qra_circuit::kernel::{ConjugationPair, PairScratch};
 /// use qra_circuit::Gate;
 /// use qra_math::C64;
 ///
 /// // X|0⟩⟨0|X = |1⟩⟨1| on a 1-qubit register: vec(ρ) has 4 entries.
 /// let pair = ConjugationPair::for_gate(&Gate::X, &[0], 1);
 /// let mut rho = vec![C64::one(), C64::zero(), C64::zero(), C64::zero()];
-/// pair.apply(&mut rho, &mut Vec::new());
+/// pair.apply(&mut rho, &mut PairScratch::default());
 /// assert_eq!(rho[0b11], C64::one());
 /// ```
 #[derive(Debug, Clone)]
@@ -389,15 +910,24 @@ impl ConjugationPair {
     }
 
     /// Applies `ρ ← AρA†` in place on the row-major flattened density
-    /// matrix (`4ⁿ` entries). `scratch` is reused across calls like
-    /// [`Kernel::apply`]'s.
+    /// matrix (`4ⁿ` entries). Each factor uses its own buffer inside
+    /// `scratch`, reused across calls like [`Kernel::apply`]'s.
     ///
     /// # Panics
     ///
     /// Panics when `vec_rho.len()` disagrees with the lowered dimension.
-    pub fn apply(&self, vec_rho: &mut [C64], scratch: &mut Vec<C64>) {
-        self.left.apply(vec_rho, scratch);
-        self.right.apply(vec_rho, scratch);
+    pub fn apply(&self, vec_rho: &mut [C64], scratch: &mut PairScratch) {
+        self.left.apply(vec_rho, &mut scratch.left);
+        self.right.apply(vec_rho, &mut scratch.right);
+    }
+
+    /// Like [`ConjugationPair::apply`], but each factor sweeps `vec_rho`
+    /// with [`Kernel::apply_threaded`].
+    pub fn apply_threaded(&self, vec_rho: &mut [C64], scratch: &mut PairScratch, threads: usize) {
+        self.left
+            .apply_threaded(vec_rho, &mut scratch.left, threads);
+        self.right
+            .apply_threaded(vec_rho, &mut scratch.right, threads);
     }
 
     /// The classification of the left (row-side) factor; the right factor
@@ -630,6 +1160,152 @@ mod tests {
         assert_eq!(KernelClass::Diagonal.name(), "diagonal");
         assert_eq!(KernelClass::Permutation.name(), "permutation");
         assert_eq!(KernelClass::Generic.name(), "generic");
+        assert_eq!(KernelClass::Fused.name(), "fused");
+    }
+
+    /// Fused single-qubit chains must be bit-for-bit equal to applying
+    /// the constituent kernels back-to-back — the loop-fusion contract.
+    #[test]
+    fn fused_single_qubit_chain_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let n = 6;
+        let dim = 1 << n;
+        for q in [0usize, 3, 5] {
+            let chain = [
+                Gate::H,
+                Gate::T,
+                Gate::Ry(rng.gen_range(-2.0..2.0)),
+                Gate::S,
+                Gate::U3(0.3, -0.7, 1.1),
+            ];
+            let kernels: Vec<Kernel> = chain.iter().map(|g| Kernel::for_gate(g, &[q], n)).collect();
+            let mut fused = kernels[0].clone();
+            for k in &kernels[1..] {
+                fused = fused.fuse(k).expect("single-qubit chain must fuse");
+            }
+            assert_eq!(fused.class(), KernelClass::Fused);
+            assert_eq!(fused.fused_stages(), chain.len());
+            let state = random_state(&mut rng, dim);
+            let mut seq = state.clone().into_inner();
+            let mut scratch = Vec::new();
+            for k in &kernels {
+                k.apply(&mut seq, &mut scratch);
+            }
+            let mut one = state.into_inner();
+            fused.apply(&mut one, &mut scratch);
+            assert_eq!(seq, one, "fused chain on qubit {q} drifted");
+        }
+    }
+
+    /// Fused multi-qubit diagonal chains (same tuple) are bit-identical
+    /// to sequential application too.
+    #[test]
+    fn fused_diagonal_chain_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(56);
+        let n = 6;
+        let dim = 1 << n;
+        let qs = [1usize, 4];
+        let a = Kernel::for_gate(&Gate::Cp(0.7), &qs, n);
+        let b = Kernel::for_gate(&Gate::Crz(-1.2), &qs, n);
+        let c = Kernel::for_gate(&Gate::Cz, &qs, n);
+        let fused = a.fuse(&b).unwrap().fuse(&c).unwrap();
+        assert_eq!(fused.class(), KernelClass::Fused);
+        assert_eq!(fused.fused_stages(), 3);
+        let state = random_state(&mut rng, dim);
+        let mut seq = state.clone().into_inner();
+        let mut scratch = Vec::new();
+        for k in [&a, &b, &c] {
+            k.apply(&mut seq, &mut scratch);
+        }
+        let mut one = state.into_inner();
+        fused.apply(&mut one, &mut scratch);
+        assert_eq!(seq, one, "fused diagonal chain drifted");
+    }
+
+    #[test]
+    fn unfusible_pairs_are_rejected() {
+        let n = 4;
+        let h0 = Kernel::for_gate(&Gate::H, &[0], n);
+        let h1 = Kernel::for_gate(&Gate::H, &[1], n);
+        let cx = Kernel::for_gate(&Gate::Cx, &[0, 1], n);
+        let cz01 = Kernel::for_gate(&Gate::Cz, &[0, 1], n);
+        let cz12 = Kernel::for_gate(&Gate::Cz, &[1, 2], n);
+        let ch = Kernel::for_gate(&Gate::Ch, &[0, 1], n);
+        assert!(h0.fuse(&h1).is_none(), "different qubits must not fuse");
+        assert!(h0.fuse(&cx).is_none(), "permutation must not fuse");
+        assert!(cz01.fuse(&cz12).is_none(), "different tuples must not fuse");
+        assert!(cz01.fuse(&ch).is_none(), "dense factor must not fuse");
+        assert!(
+            h0.fuse(&Kernel::for_gate(&Gate::H, &[0], 5)).is_none(),
+            "different register widths must not fuse"
+        );
+    }
+
+    /// The threaded sweep must be bit-for-bit equal to the sequential
+    /// sweep for every kernel class, at several thread counts, above the
+    /// engagement threshold.
+    #[test]
+    fn apply_threaded_matches_sequential_bitwise() {
+        let mut rng = StdRng::seed_from_u64(57);
+        let n = PARALLEL_THRESHOLD_QUBITS + 1;
+        let dim = 1 << n;
+        let h = Kernel::for_gate(&Gate::H, &[2], n);
+        let t = Kernel::for_gate(&Gate::T, &[7], n);
+        let cp = Kernel::for_gate(&Gate::Cp(0.4), &[3, 9], n);
+        let ccx = Kernel::for_gate(&Gate::Ccx, &[1, 5, 8], n);
+        let cu = Kernel::for_gate(&Gate::Cu3(0.2, 0.5, -0.9), &[4, 10], n);
+        let fused = h.fuse(&Kernel::for_gate(&Gate::S, &[2], n)).unwrap();
+        let fused_diag = cp
+            .fuse(&Kernel::for_gate(&Gate::Crz(1.3), &[3, 9], n))
+            .unwrap();
+        for kernel in [&h, &t, &cp, &ccx, &cu, &fused, &fused_diag] {
+            let state = random_state(&mut rng, dim);
+            let mut seq = state.clone().into_inner();
+            let mut scratch = Vec::new();
+            kernel.apply(&mut seq, &mut scratch);
+            for threads in [2usize, 3, 4, 16] {
+                let mut par = state.clone().into_inner();
+                kernel.apply_threaded(&mut par, &mut Vec::new(), threads);
+                assert_eq!(
+                    seq,
+                    par,
+                    "threaded sweep drifted at {threads} threads ({:?})",
+                    kernel.class()
+                );
+            }
+        }
+    }
+
+    /// Below the threshold the threaded entry point must take the exact
+    /// sequential path regardless of the configured thread count.
+    #[test]
+    fn apply_threaded_below_threshold_is_sequential() {
+        let n = PARALLEL_THRESHOLD_QUBITS - 1;
+        let k = Kernel::for_gate(&Gate::H, &[0], n);
+        let mut rng = StdRng::seed_from_u64(58);
+        let state = random_state(&mut rng, 1 << n);
+        let mut seq = state.clone().into_inner();
+        k.apply(&mut seq, &mut Vec::new());
+        let mut par = state.into_inner();
+        k.apply_threaded(&mut par, &mut Vec::new(), 8);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn nth_base_matches_sequential_walk() {
+        let dim = 1 << 6;
+        for gate_mask in [0b000110usize, 0b100001, 0b010000] {
+            let mut base = 0usize;
+            let mut ordinal = 0usize;
+            loop {
+                assert_eq!(nth_base(ordinal, gate_mask, dim), base);
+                ordinal += 1;
+                base = (base | gate_mask).wrapping_add(1) & !gate_mask;
+                if base == 0 || base >= dim {
+                    break;
+                }
+            }
+        }
     }
 
     /// A random (not necessarily pure) Hermitian-ish test matrix; the
@@ -661,7 +1337,7 @@ mod tests {
             Gate::Ch,
             Gate::Cu3(0.3, 0.2, 0.1),
         ];
-        let mut scratch = Vec::new();
+        let mut scratch = PairScratch::default();
         for gate in &gates {
             for _ in 0..3 {
                 let qubits = distinct_qubits(&mut rng, gate.num_qubits(), n);
@@ -675,6 +1351,28 @@ mod tests {
                     fast.max_abs_diff(&slow) < 1e-12,
                     "{gate} on {qubits:?}: conjugation pair diverged from dense sandwich"
                 );
+            }
+        }
+    }
+
+    /// Threaded conjugation must be bit-identical to the sequential pair
+    /// at any thread count (the register is 2n qubits, so n = 6 clears
+    /// the 10-qubit engagement threshold).
+    #[test]
+    fn conjugation_pair_threaded_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let n = 6;
+        let d = 1usize << n;
+        for gate in [Gate::H, Gate::Cx, Gate::Crz(0.8), Gate::Ch] {
+            let qubits = distinct_qubits(&mut rng, gate.num_qubits(), n);
+            let pair = ConjugationPair::for_gate(&gate, &qubits, n);
+            let rho = random_dense(&mut rng, d);
+            let mut seq: Vec<C64> = rho.as_slice().to_vec();
+            pair.apply(&mut seq, &mut PairScratch::default());
+            for threads in [2usize, 4] {
+                let mut par: Vec<C64> = rho.as_slice().to_vec();
+                pair.apply_threaded(&mut par, &mut PairScratch::default(), threads);
+                assert_eq!(seq, par, "{gate}: threaded conjugation drifted");
             }
         }
     }

@@ -88,6 +88,9 @@ pub enum Command {
         seed: u64,
         /// Device noise preset.
         noise: DevicePreset,
+        /// Amplitude-level simulator threads (`0` = one per core).
+        /// Histograms are bit-identical at every thread count.
+        sim_threads: usize,
     },
     /// Insert an assertion at the end of a QASM program and report.
     Assert {
@@ -105,6 +108,8 @@ pub enum Command {
         seed: u64,
         /// Device noise preset.
         noise: DevicePreset,
+        /// Amplitude-level simulator threads (`0` = one per core).
+        sim_threads: usize,
     },
     /// Print the per-design circuit cost of asserting a state.
     Cost {
@@ -195,6 +200,9 @@ pub struct CampaignArgs {
     /// Worker threads for the cell matrix (`None` = available
     /// parallelism). Reports are byte-identical for any job count.
     pub jobs: Option<usize>,
+    /// Amplitude-level simulator threads per cell (`None` = auto:
+    /// `max(1, cores / jobs)`). Like `jobs`, never affects report bytes.
+    pub sim_threads: Option<usize>,
     /// Device noise preset (ignored when `sweep` is set).
     pub noise: DevicePreset,
     /// Detection threshold for the single-point campaign (sweeps
@@ -247,6 +255,9 @@ impl CampaignArgs {
         ]);
         if let Some(jobs) = self.jobs {
             argv.extend(["--jobs".into(), jobs.to_string()]);
+        }
+        if let Some(sim_threads) = self.sim_threads {
+            argv.extend(["--sim-threads".into(), sim_threads.to_string()]);
         }
         argv.extend(["--noise".into(), self.noise.name().to_string()]);
         argv.extend(["--threshold".into(), format!("{}", self.threshold)]);
@@ -342,6 +353,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         Some("ndd") => Design::Ndd,
         Some(other) => return Err(err(format!("unknown design '{other}'"))),
     };
+    let sim_threads = match flag("--sim-threads") {
+        Some(t) => t
+            .parse()
+            .map_err(|_| err(format!("bad --sim-threads '{t}'")))?,
+        None => 1,
+    };
 
     match cmd {
         "run" => {
@@ -354,6 +371,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 shots,
                 seed,
                 noise,
+                sim_threads,
             })
         }
         "assert" => {
@@ -374,6 +392,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 shots,
                 seed,
                 noise,
+                sim_threads,
             })
         }
         "cost" => {
@@ -571,6 +590,18 @@ fn parse_campaign_args(
         }
         None => None,
     };
+    let sim_threads = match flag("--sim-threads") {
+        Some(t) => {
+            let t: usize = t
+                .parse()
+                .map_err(|_| err(format!("bad --sim-threads '{t}'")))?;
+            if t == 0 {
+                return Err(err("campaign: --sim-threads needs at least 1 thread"));
+            }
+            Some(t)
+        }
+        None => None,
+    };
     let threshold = match flag("--threshold") {
         Some(t) => {
             let t: f64 = t
@@ -610,6 +641,7 @@ fn parse_campaign_args(
         deadline_ms,
         memory_budget_mb,
         jobs,
+        sim_threads,
         noise,
         threshold,
         shard,
@@ -825,9 +857,10 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             shots,
             seed,
             noise,
+            sim_threads,
         } => {
             let circuit = load(file)?;
-            let counts = run_counts(&circuit, *shots, *seed, *noise)?;
+            let counts = run_counts(&circuit, *shots, *seed, *noise, *sim_threads)?;
             let mut out = String::new();
             let _ = writeln!(out, "shots: {}", counts.total());
             for (key, n) in counts.iter() {
@@ -848,11 +881,12 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             shots,
             seed,
             noise,
+            sim_threads,
         } => {
             let mut circuit = load(file)?;
             let spec = parse_state(state, qubits.len())?;
             let handle = insert_assertion(&mut circuit, qubits, &spec, *design)?;
-            let counts = run_counts(&circuit, *shots, *seed, *noise)?;
+            let counts = run_counts(&circuit, *shots, *seed, *noise, *sim_threads)?;
             let rate = handle.error_rate(&counts);
             let mut out = String::new();
             let _ = writeln!(out, "design:        {}", handle.design);
@@ -974,9 +1008,10 @@ fn campaign_setup(args: &CampaignArgs) -> Result<CampaignSetup, CliError> {
     };
     let qubits: Vec<usize> = (0..program.num_qubits()).collect();
     // Reject oversized programs before building the 2^n-amplitude
-    // spec: campaigns assert every program qubit, and past the
-    // trajectory backend's cap no backend can run the cells anyway.
-    const MAX_CAMPAIGN_QUBITS: usize = 20;
+    // spec: campaigns assert every program qubit, and past the unified
+    // state-vector/trajectory ceiling no backend can run the cells
+    // anyway. Wired to the backend constant so the two can't drift.
+    const MAX_CAMPAIGN_QUBITS: usize = qra::sim::exec::MAX_QUBITS;
     if qubits.len() > MAX_CAMPAIGN_QUBITS {
         return Err(err(format!(
             "campaign: program has {} qubits; the widest backend supports \
@@ -995,6 +1030,7 @@ fn campaign_setup(args: &CampaignArgs) -> Result<CampaignSetup, CliError> {
         deadline: args.deadline_ms.map(std::time::Duration::from_millis),
         memory_budget_bytes: args.memory_budget_mb.saturating_mul(1 << 20),
         jobs: args.jobs.unwrap_or(0), // 0 = available parallelism
+        sim_threads: args.sim_threads.unwrap_or(0), // 0 = max(1, cores / jobs)
         noise: args.noise.noise_model(),
         detection_threshold: args.threshold,
         shard: None, // single-campaign path re-applies args.shard itself
@@ -1201,11 +1237,13 @@ fn run_campaign_command(args: &CampaignArgs) -> Result<String, CliError> {
         // Timing lives outside the report text, which is
         // byte-identical for a fixed seed across job counts.
         let mut out = report.render_text();
+        let plan = config.thread_plan();
         let _ = writeln!(
             out,
-            "\nelapsed: {:.3}s ({} jobs)",
+            "\nelapsed: {:.3}s ({} jobs x {} sim threads)",
             report.elapsed.as_secs_f64(),
-            config.effective_jobs()
+            plan.jobs,
+            plan.sim_threads
         );
         out
     })
@@ -1479,12 +1517,15 @@ fn run_counts(
     shots: u64,
     seed: u64,
     noise: DevicePreset,
+    sim_threads: usize,
 ) -> Result<Counts, CliError> {
     Ok(match noise {
-        DevicePreset::Ideal => StatevectorSimulator::with_seed(seed).run(circuit, shots)?,
-        preset => {
-            DensityMatrixSimulator::with_noise(preset.noise_model()).run(circuit, shots, seed)?
-        }
+        DevicePreset::Ideal => StatevectorSimulator::with_seed(seed)
+            .with_threads(sim_threads)
+            .run(circuit, shots)?,
+        preset => DensityMatrixSimulator::with_noise(preset.noise_model())
+            .with_threads(sim_threads)
+            .run(circuit, shots, seed)?,
     })
 }
 
@@ -1494,13 +1535,15 @@ pub fn usage() -> String {
      \n\
      USAGE:\n\
      qra run <file.qasm> [--shots N] [--seed S] [--noise ideal|low|melbourne]\n\
+     \x20                  [--sim-threads T]\n\
      qra assert <file.qasm> --qubits 0,1,2 --state <spec> [--design auto|swap|or|ndd]\n\
      \x20                  [--shots N] [--seed S] [--noise ideal|low|melbourne]\n\
+     \x20                  [--sim-threads T]\n\
      qra cost --qubits-count N --state <spec>\n\
      qra info <file.qasm>\n\
      qra campaign (<file.qasm> | --ghz N) [--state <spec>] [--designs swap,or,ndd,stat|all]\n\
      \x20                  [--doubles K] [--shots N] [--seed S] [--deadline-ms T]\n\
-     \x20                  [--jobs W] [--memory-budget-mb M] [--threshold R]\n\
+     \x20                  [--jobs W] [--sim-threads T] [--memory-budget-mb M] [--threshold R]\n\
      \x20                  [--noise ideal|low|melbourne] [--shard I/N]\n\
      \x20                  [--sweep ideal,low,melbourne:2.0] [--margin R|auto[:REPEATS[:Z]]]\n\
      \x20                  [--json]\n\
@@ -1513,6 +1556,10 @@ pub fn usage() -> String {
      \n\
      STATE SPECS: ghz | bell | w | plus | zero | basis:IDX | set:I1;I2;… | amps:re,im;…\n\
      \n\
+     --sim-threads T lets each simulator parallelize its amplitude sweeps\n\
+     over T threads (0 = auto; campaigns default to max(1, cores / jobs) so\n\
+     the two layers multiply to at most the machine's cores). Results are\n\
+     bit-identical at every thread count.\n\
      --shard I/N runs shard I of N and emits a partial: a slice of the cell\n\
      list for a single campaign, or a slice of the (point x cell) unit grid\n\
      when combined with --sweep. 'campaign merge' reassembles either kind of\n\
@@ -1550,8 +1597,12 @@ mod tests {
                 shots: 100,
                 seed: 9,
                 noise: DevicePreset::Ideal,
+                sim_threads: 1,
             }
         );
+        let cmd = parse_args(&args(&["run", "foo.qasm", "--sim-threads", "4"])).unwrap();
+        assert!(matches!(cmd, Command::Run { sim_threads: 4, .. }));
+        assert!(parse_args(&args(&["run", "foo.qasm", "--sim-threads", "x"])).is_err());
     }
 
     #[test]
@@ -1645,6 +1696,7 @@ mod tests {
             shots: 512,
             seed: 1,
             noise: DevicePreset::Ideal,
+            sim_threads: 1,
         })
         .unwrap();
         assert!(out.contains("error rate:    0.0000"), "{out}");
@@ -1659,6 +1711,7 @@ mod tests {
             shots: 512,
             seed: 1,
             noise: DevicePreset::Ideal,
+            sim_threads: 1,
         })
         .unwrap();
         assert!(out.contains("FAIL"), "{out}");
@@ -1668,6 +1721,7 @@ mod tests {
             shots: 256,
             seed: 2,
             noise: DevicePreset::Ideal,
+            sim_threads: 1,
         })
         .unwrap();
         assert!(out.contains("shots: 256"));
@@ -1693,6 +1747,7 @@ mod tests {
             shots: 512,
             seed: 3,
             noise: DevicePreset::Ideal,
+            sim_threads: 1,
         })
         .unwrap();
         assert!(out.contains("pass"), "{out}");
@@ -1899,6 +1954,7 @@ mod tests {
                 deadline_ms: None,
                 memory_budget_mb: 64,
                 jobs: Some(1),
+                sim_threads: None,
                 noise: DevicePreset::Ideal,
                 threshold: 0.05,
                 shard,
@@ -1950,6 +2006,7 @@ mod tests {
             deadline_ms: None,
             memory_budget_mb: 64,
             jobs: Some(1),
+            sim_threads: None,
             noise: DevicePreset::Ideal,
             threshold: 0.05,
             shard: None,
@@ -2144,6 +2201,7 @@ mod tests {
                 deadline_ms: None,
                 memory_budget_mb: 64,
                 jobs: Some(1),
+                sim_threads: None,
                 noise: DevicePreset::Ideal,
                 threshold: 0.05,
                 shard,
@@ -2180,6 +2238,7 @@ mod tests {
             deadline_ms: None,
             memory_budget_mb: 64,
             jobs: Some(1),
+            sim_threads: None,
             noise: DevicePreset::Ideal,
             threshold: 0.05,
             shard: None,
@@ -2209,6 +2268,7 @@ mod tests {
             deadline_ms: None,
             memory_budget_mb: 64,
             jobs: None,
+            sim_threads: None,
             noise: DevicePreset::Ideal,
             threshold: 0.05,
             shard: None,
@@ -2247,6 +2307,7 @@ mod tests {
                 deadline_ms: None,
                 memory_budget_mb: 64,
                 jobs,
+                sim_threads: None,
                 noise: DevicePreset::Ideal,
                 threshold: 0.05,
                 shard: None,

@@ -66,7 +66,7 @@ pub use report::{
 };
 pub use runner::{
     default_executor, run_campaign, run_campaign_with_executor, BackendKind, CampaignConfig,
-    CampaignDesign, Executor, Shard,
+    CampaignDesign, Executor, Shard, ThreadPlan,
 };
 pub use sweep::{
     assemble_sweep_report, auto_margins, calibration_seed, run_sweep, run_sweep_with_executor,

@@ -21,6 +21,7 @@ use crate::report::{BaselineCell, CampaignCell, CampaignReport, CellStatus};
 use qra_circuit::{Circuit, GateCounts};
 use qra_core::baselines::statistical_assertion;
 use qra_core::{insert_assertion, Design, StateSpec};
+use qra_sim::threads::resolve_threads;
 use qra_sim::{
     CompiledProgram, Counts, DensityMatrixSimulator, NoiseModel, SimError, StatevectorSimulator,
     TrajectorySimulator,
@@ -230,6 +231,12 @@ pub struct CampaignConfig {
     /// wall-clock time — because cell seeds depend solely on
     /// `(seed, cell index)` and results are reassembled in index order.
     pub jobs: usize,
+    /// Amplitude-level threads each simulator backend may use inside one
+    /// cell; `0` picks `max(1, cores / jobs)` so the two parallelism
+    /// layers multiply to at most the machine's cores. Like `jobs`, this
+    /// never affects report contents: threaded kernel sweeps are
+    /// bit-for-bit identical to sequential ones at every thread count.
+    pub sim_threads: usize,
     /// Run only this contiguous slice of the flattened cell list and emit a
     /// partial report carrying the shard coordinates; `None` runs
     /// everything. Shard reports merge back into the unsharded report
@@ -237,14 +244,48 @@ pub struct CampaignConfig {
     pub shard: Option<Shard>,
 }
 
+/// The resolved two-layer worker budget for one campaign run: `jobs`
+/// cell-level workers, each allowed `sim_threads` amplitude-level threads
+/// inside its simulator. When both knobs are `0` (auto) the product is
+/// capped at the machine's core count; explicit values are honored as
+/// given. Neither layer ever affects report contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPlan {
+    /// Cell-matrix worker threads.
+    pub jobs: usize,
+    /// Per-cell amplitude-level simulator threads.
+    pub sim_threads: usize,
+    /// `true` when the available-parallelism query failed and an auto
+    /// (`0`) knob degraded to a single worker. Callers must surface this
+    /// to the user instead of silently running serial.
+    pub fallback: bool,
+}
+
 impl CampaignConfig {
     /// The configured job count with `0` resolved to the machine's
     /// available parallelism (and a floor of one worker).
     pub fn effective_jobs(&self) -> usize {
-        if self.jobs == 0 {
-            thread::available_parallelism().map_or(1, |n| n.get())
+        self.thread_plan().jobs
+    }
+
+    /// Resolves both parallelism knobs into a [`ThreadPlan`]. Explicit
+    /// values pass through untouched; `0` knobs resolve against the
+    /// machine's core count, with the auto amplitude budget set to
+    /// `max(1, cores / jobs)` so the layers multiply to at most the
+    /// core count. A failed core-count query degrades auto knobs to one
+    /// worker and sets [`ThreadPlan::fallback`].
+    pub fn thread_plan(&self) -> ThreadPlan {
+        let (cores, query_failed) = resolve_threads(0);
+        let jobs = if self.jobs == 0 { cores } else { self.jobs };
+        let sim_threads = if self.sim_threads == 0 {
+            (cores / jobs).max(1)
         } else {
-            self.jobs
+            self.sim_threads
+        };
+        ThreadPlan {
+            jobs,
+            sim_threads,
+            fallback: query_failed && (self.jobs == 0 || self.sim_threads == 0),
         }
     }
 }
@@ -265,6 +306,7 @@ impl Default for CampaignConfig {
             noise: NoiseModel::ideal(),
             detection_threshold: 0.05,
             jobs: 0,
+            sim_threads: 0,
             shard: None,
         }
     }
@@ -287,19 +329,23 @@ pub fn default_executor(
     seed: u64,
 ) -> Result<(Counts, BackendKind), SimError> {
     let n = circuit.num_qubits() as u32;
+    let sim_threads = config.thread_plan().sim_threads;
     if config.noise.is_ideal() {
         // Lower once, then execute: every campaign cell re-runs the same
         // mutant circuit for thousands of shots, so the kernel lowering is
         // amortized across the whole cell.
         let program = CompiledProgram::compile(circuit)?;
-        let counts = StatevectorSimulator::with_seed(seed).run_compiled(&program, config.shots)?;
+        let counts = StatevectorSimulator::with_seed(seed)
+            .with_threads(sim_threads)
+            .run_compiled(&program, config.shots)?;
         return Ok((counts, BackendKind::Statevector));
     }
     let density_bytes = 16u128.checked_shl(2 * n).unwrap_or(u128::MAX);
     if density_bytes <= u128::from(config.memory_budget_bytes) {
         // Lower circuit + noise once per cell, then execute the compiled
         // density program (kernel conjugation pairs over vec(ρ)).
-        let sim = DensityMatrixSimulator::with_noise(config.noise.clone());
+        let sim =
+            DensityMatrixSimulator::with_noise(config.noise.clone()).with_threads(sim_threads);
         match sim.compile(circuit) {
             Ok(program) => {
                 let counts = sim.run_compiled(&program, config.shots, seed)?;
@@ -310,7 +356,9 @@ pub fn default_executor(
             Err(e) => return Err(e),
         }
     }
-    let counts = TrajectorySimulator::new(config.noise.clone(), seed).run(circuit, config.shots)?;
+    let counts = TrajectorySimulator::new(config.noise.clone(), seed)
+        .with_threads(sim_threads)
+        .run(circuit, config.shots)?;
     Ok((counts, BackendKind::Trajectory))
 }
 
@@ -457,7 +505,18 @@ pub fn run_campaign_with_executor(
             *slots[i - lo].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
         }
     };
-    let jobs = config.effective_jobs().min((hi - lo).max(1));
+    let plan = config.thread_plan();
+    if plan.fallback {
+        // Never degrade to serial silently: the report's bytes must not
+        // depend on worker counts, so the warning goes to stderr.
+        eprintln!(
+            "warning: available-parallelism query failed; campaign degrading to \
+             {} worker(s) × {} simulator thread(s) — pass explicit --jobs/--sim-threads \
+             to override",
+            plan.jobs, plan.sim_threads
+        );
+    }
+    let jobs = plan.jobs.min((hi - lo).max(1));
     if jobs == 1 {
         worker();
     } else {
@@ -756,7 +815,8 @@ mod tests {
 
     #[test]
     fn default_executor_structured_error_past_trajectory_cap() {
-        let c = Circuit::new(21); // past the trajectory simulator's cap
+        // Past the unified state-vector/trajectory ceiling.
+        let c = Circuit::new(qra_sim::exec::MAX_QUBITS + 1);
         let config = CampaignConfig {
             noise: qra_sim::DevicePreset::LowNoise.noise_model(),
             memory_budget_bytes: 1, // force the trajectory backend
@@ -764,10 +824,42 @@ mod tests {
         };
         match default_executor(&c, &config, 1) {
             Err(SimError::TooManyQubits { num_qubits, max }) => {
-                assert_eq!(num_qubits, 21);
-                assert_eq!(max, 20);
+                assert_eq!(num_qubits, qra_sim::exec::MAX_QUBITS + 1);
+                assert_eq!(max, qra_sim::exec::MAX_QUBITS);
             }
             other => panic!("expected TooManyQubits, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn thread_plan_resolves_and_caps_the_product() {
+        // Explicit knobs pass through untouched.
+        let explicit = CampaignConfig {
+            jobs: 3,
+            sim_threads: 2,
+            ..CampaignConfig::default()
+        };
+        let plan = explicit.thread_plan();
+        assert_eq!((plan.jobs, plan.sim_threads), (3, 2));
+        assert!(!plan.fallback);
+
+        // Auto amplitude budget divides the cores among explicit jobs,
+        // flooring at one thread: jobs × sim_threads ≤ max(cores, jobs).
+        let auto = CampaignConfig {
+            jobs: 2,
+            sim_threads: 0,
+            ..CampaignConfig::default()
+        };
+        let plan = auto.thread_plan();
+        let (cores, _) = resolve_threads(0);
+        assert_eq!(plan.jobs, 2);
+        assert_eq!(plan.sim_threads, (cores / 2).max(1));
+
+        // Full auto saturates jobs and keeps simulators sequential.
+        let full_auto = CampaignConfig::default();
+        let plan = full_auto.thread_plan();
+        assert_eq!(plan.jobs, cores);
+        assert_eq!(plan.sim_threads, 1);
+        assert_eq!(full_auto.effective_jobs(), plan.jobs);
     }
 }

@@ -161,11 +161,13 @@ fn panicking_mutant_is_failed_without_aborting_the_rest() {
 
 #[test]
 fn too_many_qubits_surfaces_as_structured_error_through_the_runner() {
-    // 21-qubit program, spec on the first 2 qubits only (so synthesis
-    // stays small), noisy config with a starved memory budget: the runner
-    // degrades to the trajectory backend, which caps at 20 qubits.
+    // A program one qubit past the unified statevector/trajectory width
+    // ceiling, spec on the first 2 qubits only (so synthesis stays
+    // small), noisy config with a starved memory budget: the runner
+    // degrades to the trajectory backend, which rejects at lowering time
+    // citing its actual ceiling.
     let mut program = states::ghz(2);
-    program.expand_qubits(21);
+    program.expand_qubits(qra_sim::exec::MAX_QUBITS + 1);
     let spec = StateSpec::pure(states::ghz_vector(2)).unwrap();
     let mutants = FaultInjector::new(5).enumerate_single(&program);
     let config = CampaignConfig {
@@ -190,8 +192,8 @@ fn too_many_qubits_surfaces_as_structured_error_through_the_runner() {
                         max,
                     })),
             } => {
-                assert!(*num_qubits > 20);
-                assert_eq!(*max, 20);
+                assert!(*num_qubits > qra_sim::exec::MAX_QUBITS);
+                assert_eq!(*max, qra_sim::exec::MAX_QUBITS);
             }
             other => panic!("expected structured TooManyQubits, got {other:?}"),
         }

@@ -31,8 +31,10 @@
 use crate::exec_density::{apply_channel_vec, CompiledDensityProgram, DensityOp};
 use crate::noise::{KrausChannel, NoiseModel};
 use crate::statevector::sample_cumulative;
+use crate::threads::resolve_threads;
 use crate::{Counts, SimError};
 use qra_circuit::gate::embed;
+use qra_circuit::kernel::PairScratch;
 use qra_circuit::{Circuit, Operation};
 use qra_math::{CMatrix, CVector, C64};
 use rand::rngs::StdRng;
@@ -219,6 +221,7 @@ impl Support {
 #[derive(Debug, Clone)]
 pub struct DensityMatrixSimulator {
     noise: NoiseModel,
+    threads: usize,
 }
 
 impl Default for DensityMatrixSimulator {
@@ -232,12 +235,27 @@ impl DensityMatrixSimulator {
     pub fn new() -> Self {
         Self {
             noise: NoiseModel::ideal(),
+            threads: 1,
         }
     }
 
     /// Creates a simulator with the given noise model.
     pub fn with_noise(noise: NoiseModel) -> Self {
-        Self { noise }
+        Self { noise, threads: 1 }
+    }
+
+    /// Sets the amplitude-level worker thread count for the compiled
+    /// branch walk (`0` = one per available core). Threading re-partitions
+    /// kernel sweeps whose per-amplitude arithmetic is unchanged, so every
+    /// result is bit-for-bit identical at any thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = resolve_threads(threads).0;
+        self
+    }
+
+    /// The resolved amplitude-level thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The configured noise model.
@@ -301,7 +319,7 @@ impl DensityMatrixSimulator {
     ///
     /// Infallible today; kept fallible for parity with the interpreted path.
     pub fn evolve_compiled(&self, program: &CompiledDensityProgram) -> Result<CMatrix, SimError> {
-        let branches = run_vec_branches(program);
+        let branches = run_vec_branches(program, self.threads);
         let d = program.dim();
         let n = d.trailing_zeros() as usize;
         let mut acc = vec![C64::zero(); d * d];
@@ -325,7 +343,7 @@ impl DensityMatrixSimulator {
         &self,
         program: &CompiledDensityProgram,
     ) -> Result<Vec<(u64, f64)>, SimError> {
-        let branches = run_vec_branches(program);
+        let branches = run_vec_branches(program, self.threads);
         let n = program.dim().trailing_zeros() as usize;
         let mut table: BTreeMap<u64, f64> = BTreeMap::new();
         for b in &branches {
@@ -557,7 +575,7 @@ impl DensityMatrixSimulator {
 /// support-compact (see [`Support`]): projections are sequential splits,
 /// coalesce merges are ordered interleave walks, and per-branch cost
 /// shrinks geometrically with each measurement instead of staying `O(4ⁿ)`.
-fn run_vec_branches(program: &CompiledDensityProgram) -> Vec<VecBranch> {
+fn run_vec_branches(program: &CompiledDensityProgram, threads: usize) -> Vec<VecBranch> {
     let d = program.dim();
     let dd = d * d;
     let n = d.trailing_zeros() as usize;
@@ -568,7 +586,7 @@ fn run_vec_branches(program: &CompiledDensityProgram) -> Vec<VecBranch> {
         key: 0,
         support: Support::full(),
     }];
-    let mut scratch = Vec::new();
+    let mut scratch = PairScratch::default();
     let mut term = Vec::new();
     let mut acc = Vec::new();
     // Kernels need positional `vec(ρ)` access, so compact post-measurement
@@ -583,11 +601,11 @@ fn run_vec_branches(program: &CompiledDensityProgram) -> Vec<VecBranch> {
             DensityOp::Conjugate { pair, touched } => {
                 for b in &mut branches {
                     if b.support == Support::full() {
-                        pair.apply(&mut b.rho, &mut scratch);
+                        pair.apply_threaded(&mut b.rho, &mut scratch, threads);
                     } else {
                         let stage = stage.get_or_insert_with(|| vec![C64::zero(); dd]);
                         expand(&b.rho, b.support, n, stage);
-                        pair.apply(stage, &mut scratch);
+                        pair.apply_threaded(stage, &mut scratch, threads);
                         let support = b.support.cleared(*touched);
                         b.rho = compress_and_zero(stage, support, n);
                         b.support = support;
@@ -597,11 +615,18 @@ fn run_vec_branches(program: &CompiledDensityProgram) -> Vec<VecBranch> {
             DensityOp::Channel { pairs, touched } => {
                 for b in &mut branches {
                     if b.support == Support::full() {
-                        apply_channel_vec(&mut b.rho, pairs, &mut term, &mut acc, &mut scratch);
+                        apply_channel_vec(
+                            &mut b.rho,
+                            pairs,
+                            &mut term,
+                            &mut acc,
+                            &mut scratch,
+                            threads,
+                        );
                     } else {
                         let stage = stage.get_or_insert_with(|| vec![C64::zero(); dd]);
                         expand(&b.rho, b.support, n, stage);
-                        apply_channel_vec(stage, pairs, &mut term, &mut acc, &mut scratch);
+                        apply_channel_vec(stage, pairs, &mut term, &mut acc, &mut scratch, threads);
                         let support = b.support.cleared(*touched);
                         b.rho = compress_and_zero(stage, support, n);
                         b.support = support;
@@ -657,7 +682,7 @@ fn run_vec_branches(program: &CompiledDensityProgram) -> Vec<VecBranch> {
                     let s1 = b.support.pinned(both, true);
                     let stage = stage.get_or_insert_with(|| vec![C64::zero(); dd]);
                     expand(&rho1, s1, n, stage);
-                    flip.apply(stage, &mut scratch);
+                    flip.apply_threaded(stage, &mut scratch, threads);
                     let mut folded = Vec::with_capacity(s0.len(n));
                     if b.support.admits(both, false) {
                         let mut pos = 0;

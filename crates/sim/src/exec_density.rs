@@ -27,13 +27,17 @@
 use crate::density::build_channel;
 use crate::noise::{KrausChannel, NoiseModel};
 use crate::SimError;
-use qra_circuit::kernel::{ConjugationPair, KernelClass};
+use qra_circuit::kernel::{ConjugationPair, KernelClass, PairScratch};
 use qra_circuit::{Circuit, Gate, Operation};
 use qra_math::C64;
 
 /// Maximum width of the compiled density engine. `vec(ρ)` holds `4ⁿ`
 /// amplitudes (256 MiB at `n = 12`); the former dense-superoperator walker
 /// capped at 10, sized for its `O(8ⁿ)` multiplies.
+///
+/// Deliberately separate from (and lower than) the state-vector ceiling
+/// [`crate::exec::MAX_QUBITS`]: a density matrix squares the register, so
+/// `n` density qubits cost as much memory as `2n` state-vector qubits.
 pub const MAX_QUBITS: usize = 12;
 
 /// Maximum number of classical bits (outcome keys are `u64`).
@@ -228,14 +232,17 @@ impl CompiledDensityProgram {
         let dd = 1usize << (2 * n);
         let mut prefix = vec![C64::zero(); dd];
         prefix[0] = C64::one();
-        let mut scratch = Vec::new();
+        let mut scratch = PairScratch::default();
         let mut term = Vec::new();
         let mut acc = Vec::new();
         for op in &ops[..prefix_len] {
             match op {
                 DensityOp::Conjugate { pair, .. } => pair.apply(&mut prefix, &mut scratch),
                 DensityOp::Channel { pairs, .. } => {
-                    apply_channel_vec(&mut prefix, pairs, &mut term, &mut acc, &mut scratch);
+                    // Compile-time prefix evolution stays single-threaded:
+                    // it runs once per program, and lowering has no thread
+                    // configuration (results are identical either way).
+                    apply_channel_vec(&mut prefix, pairs, &mut term, &mut acc, &mut scratch, 1);
                 }
                 DensityOp::Measure { .. } | DensityOp::Reset { .. } => unreachable!(),
             }
@@ -280,13 +287,14 @@ impl CompiledDensityProgram {
     /// Histogram of conjugation kernel classes (gates and Kraus operators),
     /// for perf introspection.
     pub fn class_histogram(&self) -> Vec<(KernelClass, usize)> {
-        let mut counts = [0usize; 4];
+        let mut counts = [0usize; 5];
         let mut bump = |class: KernelClass| {
             counts[match class {
                 KernelClass::Single => 0,
                 KernelClass::Diagonal => 1,
                 KernelClass::Permutation => 2,
                 KernelClass::Generic => 3,
+                KernelClass::Fused => 4,
             }] += 1;
         };
         for op in &self.ops {
@@ -302,6 +310,7 @@ impl CompiledDensityProgram {
             KernelClass::Diagonal,
             KernelClass::Permutation,
             KernelClass::Generic,
+            KernelClass::Fused,
         ]
         .into_iter()
         .zip(counts)
@@ -343,7 +352,8 @@ pub(crate) fn apply_channel_vec(
     pairs: &[ConjugationPair],
     term: &mut Vec<C64>,
     acc: &mut Vec<C64>,
-    scratch: &mut Vec<C64>,
+    scratch: &mut PairScratch,
+    threads: usize,
 ) {
     let dd = vec_rho.len();
     term.resize(dd, C64::zero());
@@ -351,7 +361,7 @@ pub(crate) fn apply_channel_vec(
     acc.resize(dd, C64::zero());
     for pair in pairs {
         term.copy_from_slice(vec_rho);
-        pair.apply(term, scratch);
+        pair.apply_threaded(term, scratch, threads);
         for (a, t) in acc.iter_mut().zip(term.iter()) {
             *a += *t;
         }

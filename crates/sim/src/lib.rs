@@ -40,6 +40,7 @@ pub mod exec_density;
 pub mod noise;
 pub mod states;
 pub mod statevector;
+pub mod threads;
 pub mod trajectory;
 
 pub use counts::Counts;

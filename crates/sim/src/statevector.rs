@@ -9,6 +9,7 @@
 //! (`qra-bench/src/bin/sim_throughput.rs`).
 
 use crate::exec::{CompiledProgram, ExecOp, MAX_CLBITS, MAX_QUBITS};
+use crate::threads::resolve_threads;
 use crate::{Counts, SimError};
 use qra_circuit::circuit::apply_gate_inplace;
 use qra_circuit::{Circuit, Operation};
@@ -39,6 +40,7 @@ const KEY_TABLE_MAX_DIM: usize = 1 << 16;
 #[derive(Debug)]
 pub struct StatevectorSimulator {
     rng: StdRng,
+    threads: usize,
 }
 
 impl Default for StatevectorSimulator {
@@ -52,6 +54,7 @@ impl StatevectorSimulator {
     pub fn new() -> Self {
         Self {
             rng: StdRng::from_entropy(),
+            threads: 1,
         }
     }
 
@@ -59,7 +62,23 @@ impl StatevectorSimulator {
     pub fn with_seed(seed: u64) -> Self {
         Self {
             rng: StdRng::seed_from_u64(seed),
+            threads: 1,
         }
+    }
+
+    /// Sets the amplitude-level worker thread count for kernel sweeps
+    /// (`0` = one per available core). Threading only re-partitions the
+    /// amplitude loops — it touches no RNG and changes no arithmetic — so
+    /// runs are bit-for-bit identical at any thread count (the contract
+    /// `tests/compiled_identity.rs` enforces).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = resolve_threads(threads).0;
+        self
+    }
+
+    /// The resolved amplitude-level thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Evolves `|0…0⟩` through the circuit's unitary part and returns the
@@ -73,6 +92,21 @@ impl StatevectorSimulator {
     pub fn evolve(&self, circuit: &Circuit) -> Result<CVector, SimError> {
         check_width(circuit)?;
         Ok(circuit.statevector()?)
+    }
+
+    /// Evolves `|0…0⟩` through a compiled program's cached unitary prefix
+    /// (the leading gate run; for a measurement-free circuit that is the
+    /// whole program) using this simulator's thread count. Consumes no
+    /// randomness and is bit-for-bit identical at any thread count.
+    pub fn evolve_compiled(&self, program: &CompiledProgram) -> CVector {
+        let mut state = CVector::basis_state(program.dim(), 0);
+        let mut scratch = Vec::new();
+        for op in &program.ops()[..program.prefix_len()] {
+            if let ExecOp::Apply(k) = op {
+                k.apply_threaded(state.as_mut_slice(), &mut scratch, self.threads);
+            }
+        }
+        state
     }
 
     /// Runs the circuit for `shots` shots and histograms the classical
@@ -125,7 +159,7 @@ impl StatevectorSimulator {
         let mut scratch = Vec::new();
         for op in program.ops() {
             if let ExecOp::Apply(k) = op {
-                k.apply(state.as_mut_slice(), &mut scratch);
+                k.apply_threaded(state.as_mut_slice(), &mut scratch, self.threads);
             }
         }
         // In-place cumulative table: cum[i] = p₀ + … + pᵢ with the same
@@ -187,7 +221,7 @@ impl StatevectorSimulator {
         let mut prefix = CVector::basis_state(dim, 0);
         for op in &program.ops()[..program.prefix_len()] {
             if let ExecOp::Apply(k) = op {
-                k.apply(prefix.as_mut_slice(), &mut scratch);
+                k.apply_threaded(prefix.as_mut_slice(), &mut scratch, self.threads);
             }
         }
         let suffix = &program.ops()[program.prefix_len()..];
@@ -198,7 +232,9 @@ impl StatevectorSimulator {
             let mut key = 0u64;
             for op in suffix {
                 match op {
-                    ExecOp::Apply(k) => k.apply(state.as_mut_slice(), &mut scratch),
+                    ExecOp::Apply(k) => {
+                        k.apply_threaded(state.as_mut_slice(), &mut scratch, self.threads)
+                    }
                     ExecOp::Measure { mask, clbit_bit } => {
                         if collapse_mask(&mut state, *mask, &mut self.rng)? == 1 {
                             key |= clbit_bit;
@@ -208,7 +244,7 @@ impl StatevectorSimulator {
                     }
                     ExecOp::Reset { mask, flip } => {
                         if collapse_mask(&mut state, *mask, &mut self.rng)? == 1 {
-                            flip.apply(state.as_mut_slice(), &mut scratch);
+                            flip.apply_threaded(state.as_mut_slice(), &mut scratch, self.threads);
                         }
                     }
                 }

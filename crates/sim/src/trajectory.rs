@@ -7,16 +7,32 @@
 //! `tests/integration_noise.rs` and the module tests verify the agreement.
 //!
 //! Like the state-vector back-end, the trajectory loop runs compiled: the
-//! circuit is lowered once per [`TrajectorySimulator::run`] call — every
-//! gate and every Kraus operator of every noise site becomes a specialized
-//! [`Kernel`] bound to its qubit tuple — and shots replay the lowered plan.
-//! When no gate-level noise channel is active (each gate op carries zero
-//! noise sites), the leading unitary run is evolved once and cloned into
-//! each shot; noise sites and measurements draw RNG in the exact order of
-//! the original interpreter, so seeded runs stay bit-for-bit compatible.
+//! circuit is lowered once per run call — every gate and every Kraus
+//! operator of every noise site becomes a specialized [`Kernel`] bound to
+//! its qubit tuple — and shots replay the lowered plan. When no gate-level
+//! noise channel is active (each gate op carries zero noise sites), the
+//! leading unitary run is evolved once and cloned into each shot; noise
+//! sites and measurements draw RNG in the exact order of the original
+//! interpreter, so seeded runs stay bit-for-bit compatible.
+//!
+//! Two shot-execution modes exist:
+//!
+//! * [`TrajectorySimulator::run`] — the historical sequential mode: one
+//!   RNG stream threads through all shots in order. Its draw sequence (and
+//!   therefore its histogram for a given seed) is frozen; amplitude-level
+//!   threading ([`TrajectorySimulator::with_threads`]) only parallelizes
+//!   each kernel sweep, which is bit-for-bit identical at every thread
+//!   count.
+//! * [`TrajectorySimulator::run_batched`] — shots are partitioned into
+//!   contiguous per-worker ranges and each shot runs on its own RNG seeded
+//!   from [`derive_shot_seed`]`(seed, shot)`. Because each shot's draws
+//!   depend only on `(seed, shot index)`, the histogram is identical at
+//!   every worker count — but it is a *different* (equally valid) sample
+//!   than `run` produces for the same seed.
 
 use crate::noise::{KrausChannel, NoiseModel};
 use crate::statevector::collapse_mask;
+use crate::threads::{derive_shot_seed, resolve_threads};
 use crate::{Counts, SimError};
 use qra_circuit::kernel::Kernel;
 use qra_circuit::{Circuit, Gate, Operation};
@@ -24,8 +40,12 @@ use qra_math::{CVector, C64};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Maximum supported width.
-const MAX_QUBITS: usize = 20;
+/// Maximum supported width — unified with the compiled state-vector
+/// engine's ceiling ([`crate::exec::MAX_QUBITS`]): both back-ends walk a
+/// `2ⁿ` state vector, so they share one limit. (The density back-end
+/// keeps its own, lower ceiling because it squares the register; see
+/// [`crate::exec_density::MAX_QUBITS`].)
+pub use crate::exec::MAX_QUBITS;
 
 /// A shot-by-shot noisy simulator using quantum trajectories.
 ///
@@ -45,10 +65,25 @@ const MAX_QUBITS: usize = 20;
 #[derive(Debug)]
 pub struct TrajectorySimulator {
     noise: NoiseModel,
+    /// Base seed, retained for per-shot derivation in [`Self::run_batched`].
+    seed: u64,
+    /// Sequential-mode RNG stream (advanced only by [`Self::run`]).
     rng: StdRng,
+    /// Amplitude-level worker budget for kernel sweeps (sequential mode)
+    /// and the shot-worker budget for batched mode. `1` = sequential.
+    threads: usize,
+    /// Buffers owned by the (single) sequential shot worker.
+    buffers: ShotBuffers,
+}
+
+/// Scratch buffers owned by exactly one shot worker. Each concurrent shot
+/// range in [`TrajectorySimulator::run_batched`] gets its own instance, so
+/// no buffer is ever shared across concurrently running applications.
+#[derive(Debug, Default)]
+struct ShotBuffers {
     /// Full-dimension buffer for trial Kraus applications.
     scratch: Vec<C64>,
-    /// Sub-block buffer shared by all kernel applications.
+    /// Sub-block buffer for kernel applications.
     kscratch: Vec<C64>,
 }
 
@@ -77,15 +112,39 @@ struct NoiseSite {
     weights: Option<Vec<f64>>,
 }
 
+/// A circuit lowered once for trajectory replay: the noise-free leading
+/// run already evolved into `prefix`, the remaining ops in `suffix`.
+#[derive(Debug)]
+struct TrajPlan {
+    prefix: CVector,
+    suffix: Vec<TrajOp>,
+    num_clbits: usize,
+}
+
 impl TrajectorySimulator {
     /// Creates a trajectory simulator with the given noise model and seed.
     pub fn new(noise: NoiseModel, seed: u64) -> Self {
         Self {
             noise,
+            seed,
             rng: StdRng::seed_from_u64(seed),
-            scratch: Vec::new(),
-            kscratch: Vec::new(),
+            threads: 1,
+            buffers: ShotBuffers::default(),
         }
+    }
+
+    /// Sets the worker-thread budget: amplitude-level kernel threading in
+    /// [`Self::run`] and shot-range workers in [`Self::run_batched`].
+    /// `0` resolves to one worker per available core. Results are
+    /// bit-for-bit identical at every thread count in both modes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = resolve_threads(threads).0;
+        self
+    }
+
+    /// The resolved worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The configured noise model.
@@ -96,12 +155,123 @@ impl TrajectorySimulator {
     /// Runs `shots` independent noisy trajectories and histograms the
     /// classical outcomes.
     ///
+    /// All shots draw from one sequential RNG stream, so for a given seed
+    /// the histogram is frozen regardless of the thread budget (threads
+    /// only parallelize amplitude sweeps inside each kernel).
+    ///
     /// # Errors
     ///
-    /// * [`SimError::TooManyQubits`] beyond 20 qubits;
+    /// * [`SimError::TooManyQubits`] beyond [`MAX_QUBITS`];
     /// * [`SimError::InvalidNoiseParameter`] for a bad model;
     /// * [`SimError::Circuit`] for invalid circuits.
     pub fn run(&mut self, circuit: &Circuit, shots: u64) -> Result<Counts, SimError> {
+        let plan = self.lower(circuit)?;
+        let mut counts = Counts::new(plan.num_clbits);
+        let mut state = plan.prefix.clone();
+        for _ in 0..shots {
+            state.as_mut_slice().copy_from_slice(plan.prefix.as_slice());
+            let key = run_shot(
+                &plan.suffix,
+                &mut state,
+                &self.noise,
+                &mut self.rng,
+                &mut self.buffers,
+                self.threads,
+            )?;
+            counts.record(key, 1);
+        }
+        Ok(counts)
+    }
+
+    /// Runs `shots` independent trajectories with per-shot RNGs derived
+    /// from `(seed, shot index)` via [`derive_shot_seed`], partitioning
+    /// the shot range across up to [`Self::threads`] scoped workers.
+    ///
+    /// Because each shot's randomness depends only on its own derived
+    /// seed, the resulting histogram is identical at every worker count
+    /// and independent of how the range is partitioned — but it is a
+    /// different (equally valid) sample than [`Self::run`] draws from its
+    /// sequential stream. This method does not consume the sequential
+    /// stream: interleaving `run` and `run_batched` calls leaves each
+    /// mode's results unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::run`].
+    pub fn run_batched(&mut self, circuit: &Circuit, shots: u64) -> Result<Counts, SimError> {
+        let plan = self.lower(circuit)?;
+        let workers = self.threads.clamp(1, shots.max(1) as usize);
+        if workers == 1 {
+            let mut counts = Counts::new(plan.num_clbits);
+            let mut state = plan.prefix.clone();
+            for shot in 0..shots {
+                state.as_mut_slice().copy_from_slice(plan.prefix.as_slice());
+                let mut rng = StdRng::seed_from_u64(derive_shot_seed(self.seed, shot));
+                let key = run_shot(
+                    &plan.suffix,
+                    &mut state,
+                    &self.noise,
+                    &mut rng,
+                    &mut self.buffers,
+                    1,
+                )?;
+                counts.record(key, 1);
+            }
+            return Ok(counts);
+        }
+        // Contiguous per-worker shot ranges; each worker owns its state
+        // and scratch buffers, each shot its own derived RNG. Workers use
+        // sequential kernel sweeps — parallelism comes from the shot
+        // dimension, not nested amplitude threading.
+        let chunk = shots.div_ceil(workers as u64);
+        let seed = self.seed;
+        let noise = &self.noise;
+        let plan_ref = &plan;
+        let results: Vec<Result<Counts, SimError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers as u64)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(shots);
+                    scope.spawn(move || {
+                        let mut counts = Counts::new(plan_ref.num_clbits);
+                        let mut buffers = ShotBuffers::default();
+                        let mut state = plan_ref.prefix.clone();
+                        for shot in lo..hi {
+                            state
+                                .as_mut_slice()
+                                .copy_from_slice(plan_ref.prefix.as_slice());
+                            let mut rng = StdRng::seed_from_u64(derive_shot_seed(seed, shot));
+                            let key = run_shot(
+                                &plan_ref.suffix,
+                                &mut state,
+                                noise,
+                                &mut rng,
+                                &mut buffers,
+                                1,
+                            )?;
+                            counts.record(key, 1);
+                        }
+                        Ok(counts)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("trajectory shot worker panicked"))
+                .collect()
+        });
+        let mut counts = Counts::new(plan.num_clbits);
+        for worker_counts in results {
+            for (key, n) in worker_counts?.iter() {
+                counts.record(key, n);
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Validates the model and width, then lowers the circuit into a
+    /// replayable plan with its noise-free prefix already evolved.
+    fn lower(&mut self, circuit: &Circuit) -> Result<TrajPlan, SimError> {
         self.noise.validate()?;
         let n = circuit.num_qubits();
         if n > MAX_QUBITS {
@@ -170,120 +340,138 @@ impl TrajectorySimulator {
 
         let dim = 1usize << n;
         let mut prefix = CVector::basis_state(dim, 0);
-        let mut kscratch = std::mem::take(&mut self.kscratch);
         for op in &plan[..prefix_len] {
             if let TrajOp::Gate { kernel, .. } = op {
-                kernel.apply(prefix.as_mut_slice(), &mut kscratch);
+                kernel.apply_threaded(
+                    prefix.as_mut_slice(),
+                    &mut self.buffers.kscratch,
+                    self.threads,
+                );
             }
         }
-        let suffix = &plan[prefix_len..];
-        let mut counts = Counts::new(circuit.num_clbits());
-        let mut state = prefix.clone();
-        for _ in 0..shots {
-            state.as_mut_slice().copy_from_slice(prefix.as_slice());
-            let mut key = 0u64;
-            for op in suffix {
-                match op {
-                    TrajOp::Gate { kernel, noise } => {
-                        kernel.apply(state.as_mut_slice(), &mut kscratch);
-                        for site in noise {
-                            self.apply_site(&mut state, site, &mut kscratch)?;
-                        }
-                    }
-                    TrajOp::Measure { mask, clbit_bit } => {
-                        let mut bit = collapse_mask(&mut state, *mask, &mut self.rng)?;
-                        // Readout confusion.
-                        let flip = if bit == 1 {
-                            self.noise.readout_p10
-                        } else {
-                            self.noise.readout_p01
-                        };
-                        if flip > 0.0 && self.rng.gen_range(0.0..1.0) < flip {
-                            bit ^= 1;
-                        }
-                        if bit == 1 {
-                            key |= clbit_bit;
-                        } else {
-                            key &= !clbit_bit;
-                        }
-                    }
-                    TrajOp::Reset { mask, flip } => {
-                        if collapse_mask(&mut state, *mask, &mut self.rng)? == 1 {
-                            flip.apply(state.as_mut_slice(), &mut kscratch);
-                        }
-                    }
-                }
-            }
-            counts.record(key, 1);
-        }
-        self.kscratch = kscratch;
-        Ok(counts)
+        let suffix = plan.split_off(prefix_len);
+        Ok(TrajPlan {
+            prefix,
+            suffix,
+            num_clbits: circuit.num_clbits(),
+        })
     }
+}
 
-    /// Samples one Kraus branch of a noise site and applies it
-    /// (renormalised).
-    ///
-    /// Scaled-unitary channels (depolarizing) use state-independent
-    /// weights: one draw, one in-place application, no clones. Damping
-    /// channels fall back to trial applications on a reusable buffer.
-    fn apply_site(
-        &mut self,
-        state: &mut CVector,
-        site: &NoiseSite,
-        kscratch: &mut Vec<C64>,
-    ) -> Result<(), SimError> {
-        if let Some(weights) = &site.weights {
-            let mut r = self.rng.gen_range(0.0..1.0);
-            let mut chosen = site.kernels.len() - 1;
-            for (i, &w) in weights.iter().enumerate() {
-                if r < w {
-                    chosen = i;
-                    break;
-                }
-                r -= w;
-            }
-            site.kernels[chosen].apply(state.as_mut_slice(), kscratch);
-            // Undo the √w scaling to keep unit norm.
-            let w = weights[chosen];
-            if (w - 1.0).abs() > 1e-15 {
-                let inv = C64::from(1.0 / w.sqrt());
-                for amp in state.as_mut_slice() {
-                    *amp *= inv;
+/// Replays the plan suffix for one shot on `state` (already reset to the
+/// prefix), drawing from `rng` and using only `buf`'s scratch space.
+/// Returns the classical outcome key.
+fn run_shot(
+    suffix: &[TrajOp],
+    state: &mut CVector,
+    noise: &NoiseModel,
+    rng: &mut StdRng,
+    buf: &mut ShotBuffers,
+    threads: usize,
+) -> Result<u64, SimError> {
+    let mut key = 0u64;
+    for op in suffix {
+        match op {
+            TrajOp::Gate {
+                kernel,
+                noise: sites,
+            } => {
+                kernel.apply_threaded(state.as_mut_slice(), &mut buf.kscratch, threads);
+                for site in sites {
+                    apply_site(state, site, rng, buf, threads)?;
                 }
             }
-            return Ok(());
-        }
-        // State-dependent branch probabilities p_i = ‖K_i ψ‖²; a reusable
-        // scratch buffer holds the trial application (no per-trial allocs).
-        let mut r = self.rng.gen_range(0.0..1.0);
-        let dim = state.len();
-        if self.scratch.len() != dim {
-            self.scratch = vec![C64::zero(); dim];
-        }
-        for (i, k) in site.kernels.iter().enumerate() {
-            self.scratch.copy_from_slice(state.as_slice());
-            let mut candidate = CVector::new(std::mem::take(&mut self.scratch));
-            k.apply(candidate.as_mut_slice(), kscratch);
-            let norm = candidate.norm();
-            let p = norm * norm;
-            if r < p || i == site.kernels.len() - 1 {
-                if norm < 1e-12 {
-                    // Numerically dead branch; keep the state unchanged.
-                    self.scratch = candidate.into_inner();
-                    return Ok(());
+            TrajOp::Measure { mask, clbit_bit } => {
+                let mut bit = collapse_mask(state, *mask, rng)?;
+                // Readout confusion.
+                let flip = if bit == 1 {
+                    noise.readout_p10
+                } else {
+                    noise.readout_p01
+                };
+                if flip > 0.0 && rng.gen_range(0.0..1.0) < flip {
+                    bit ^= 1;
                 }
-                let inv = C64::from(1.0 / norm);
-                for amp in candidate.as_mut_slice() {
-                    *amp *= inv;
+                if bit == 1 {
+                    key |= clbit_bit;
+                } else {
+                    key &= !clbit_bit;
                 }
-                self.scratch = std::mem::replace(state, candidate).into_inner();
+            }
+            TrajOp::Reset { mask, flip } => {
+                if collapse_mask(state, *mask, rng)? == 1 {
+                    flip.apply_threaded(state.as_mut_slice(), &mut buf.kscratch, threads);
+                }
+            }
+        }
+    }
+    Ok(key)
+}
+
+/// Samples one Kraus branch of a noise site and applies it
+/// (renormalised).
+///
+/// Scaled-unitary channels (depolarizing) use state-independent
+/// weights: one draw, one in-place application, no clones. Damping
+/// channels fall back to trial applications on a reusable buffer.
+fn apply_site(
+    state: &mut CVector,
+    site: &NoiseSite,
+    rng: &mut StdRng,
+    buf: &mut ShotBuffers,
+    threads: usize,
+) -> Result<(), SimError> {
+    if let Some(weights) = &site.weights {
+        let mut r = rng.gen_range(0.0..1.0);
+        let mut chosen = site.kernels.len() - 1;
+        for (i, &w) in weights.iter().enumerate() {
+            if r < w {
+                chosen = i;
+                break;
+            }
+            r -= w;
+        }
+        site.kernels[chosen].apply_threaded(state.as_mut_slice(), &mut buf.kscratch, threads);
+        // Undo the √w scaling to keep unit norm.
+        let w = weights[chosen];
+        if (w - 1.0).abs() > 1e-15 {
+            let inv = C64::from(1.0 / w.sqrt());
+            for amp in state.as_mut_slice() {
+                *amp *= inv;
+            }
+        }
+        return Ok(());
+    }
+    // State-dependent branch probabilities p_i = ‖K_i ψ‖²; a reusable
+    // scratch buffer holds the trial application (no per-trial allocs).
+    let mut r = rng.gen_range(0.0..1.0);
+    let dim = state.len();
+    if buf.scratch.len() != dim {
+        buf.scratch = vec![C64::zero(); dim];
+    }
+    for (i, k) in site.kernels.iter().enumerate() {
+        buf.scratch.copy_from_slice(state.as_slice());
+        let mut candidate = CVector::new(std::mem::take(&mut buf.scratch));
+        k.apply_threaded(candidate.as_mut_slice(), &mut buf.kscratch, threads);
+        let norm = candidate.norm();
+        let p = norm * norm;
+        if r < p || i == site.kernels.len() - 1 {
+            if norm < 1e-12 {
+                // Numerically dead branch; keep the state unchanged.
+                buf.scratch = candidate.into_inner();
                 return Ok(());
             }
-            r -= p;
-            self.scratch = candidate.into_inner();
+            let inv = C64::from(1.0 / norm);
+            for amp in candidate.as_mut_slice() {
+                *amp *= inv;
+            }
+            buf.scratch = std::mem::replace(state, candidate).into_inner();
+            return Ok(());
         }
-        Ok(())
+        r -= p;
+        buf.scratch = candidate.into_inner();
     }
+    Ok(())
 }
 
 /// Lowers a prepared channel onto a qubit tuple, if the channel is active.
@@ -375,6 +563,27 @@ mod tests {
     }
 
     #[test]
+    fn batched_matches_density_distribution() {
+        // The batched sampler draws a different (per-shot-seeded) sample,
+        // but it must converge to the same exact distribution.
+        let circuit = ghz_measured();
+        let noise = DevicePreset::melbourne_like();
+        let exact = DensityMatrixSimulator::with_noise(noise.clone())
+            .outcome_distribution(&circuit)
+            .unwrap();
+        let shots = 20_000u64;
+        let mut sim = TrajectorySimulator::new(noise, 7);
+        let counts = sim.run_batched(&circuit, shots).unwrap();
+        let mut tv = 0.0;
+        for (key, p_exact) in &exact {
+            let p_meas = counts.count(*key) as f64 / shots as f64;
+            tv += (p_exact - p_meas).abs();
+        }
+        tv /= 2.0;
+        assert!(tv < 0.02, "batched/density TV distance too large: {tv}");
+    }
+
+    #[test]
     fn readout_error_applies() {
         let mut noise = NoiseModel::ideal();
         noise.readout_p10 = 0.3;
@@ -419,21 +628,87 @@ mod tests {
     }
 
     #[test]
+    fn sequential_run_is_thread_invariant() {
+        // Amplitude-level threading must not change the draw sequence:
+        // the histogram is frozen per seed at every thread count.
+        let noise = DevicePreset::melbourne_like();
+        let base = TrajectorySimulator::new(noise.clone(), 5)
+            .run(&ghz_measured(), 512)
+            .unwrap();
+        for threads in [2usize, 4] {
+            let counts = TrajectorySimulator::new(noise.clone(), 5)
+                .with_threads(threads)
+                .run(&ghz_measured(), 512)
+                .unwrap();
+            assert_eq!(base, counts, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn batched_runs_are_worker_invariant() {
+        // Per-shot seed derivation makes the batched histogram identical
+        // at every worker count and partitioning.
+        let noise = DevicePreset::melbourne_like();
+        let base = TrajectorySimulator::new(noise.clone(), 5)
+            .run_batched(&ghz_measured(), 513)
+            .unwrap();
+        for threads in [2usize, 3, 4, 16] {
+            let counts = TrajectorySimulator::new(noise.clone(), 5)
+                .with_threads(threads)
+                .run_batched(&ghz_measured(), 513)
+                .unwrap();
+            assert_eq!(base, counts, "workers = {threads}");
+        }
+        assert_eq!(base.total(), 513);
+    }
+
+    #[test]
+    fn batched_does_not_consume_sequential_stream() {
+        // Interleaving run_batched must leave the sequential stream
+        // untouched: run → run_batched → run must equal run → run.
+        let noise = DevicePreset::melbourne_like();
+        let mut interleaved = TrajectorySimulator::new(noise.clone(), 5);
+        let a1 = interleaved.run(&ghz_measured(), 128).unwrap();
+        let _ = interleaved.run_batched(&ghz_measured(), 128).unwrap();
+        let a2 = interleaved.run(&ghz_measured(), 128).unwrap();
+        let mut plain = TrajectorySimulator::new(noise, 5);
+        let b1 = plain.run(&ghz_measured(), 128).unwrap();
+        let b2 = plain.run(&ghz_measured(), 128).unwrap();
+        assert_eq!(a1, b1);
+        assert_eq!(a2, b2);
+    }
+
+    #[test]
     fn rejects_invalid_noise_and_width() {
         let mut bad = NoiseModel::ideal();
         bad.depol_1q = 2.0;
         let mut c = Circuit::new(1);
         c.h(0);
         assert!(TrajectorySimulator::new(bad, 1).run(&c, 1).is_err());
-        let wide = Circuit::new(21);
-        assert!(TrajectorySimulator::new(NoiseModel::ideal(), 1)
-            .run(&wide, 1)
-            .is_err());
+        // The width ceiling is shared with the state-vector engine (24).
+        let wide = Circuit::new(MAX_QUBITS + 1);
+        match TrajectorySimulator::new(NoiseModel::ideal(), 1).run(&wide, 1) {
+            Err(SimError::TooManyQubits { num_qubits, max }) => {
+                assert_eq!(num_qubits, MAX_QUBITS + 1);
+                assert_eq!(max, MAX_QUBITS);
+            }
+            other => panic!("expected TooManyQubits, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accepts_widths_up_to_the_unified_ceiling() {
+        // 21 qubits was rejected before the ceilings were unified; it must
+        // lower cleanly now (validated at lowering time, before any state
+        // allocation happens per-shot).
+        let mut sim = TrajectorySimulator::new(NoiseModel::ideal(), 1);
+        let c = Circuit::new(21);
+        assert!(sim.lower(&c).is_ok());
     }
 
     #[test]
     fn scales_past_density_limit() {
-        // 12 qubits is far beyond the density simulator's 10-qubit cap.
+        // 12 qubits saturates the density simulator's width cap.
         let mut c = Circuit::new(12);
         c.h(0);
         for q in 0..11 {

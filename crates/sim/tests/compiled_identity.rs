@@ -156,3 +156,145 @@ fn compiled_program_is_reusable() {
     let c2 = sim.run_compiled(&program, 256).unwrap();
     assert_eq!(c2.total(), 256);
 }
+
+/// Amplitude-level threading must be invisible in results: for a fixed
+/// seed, `run` counts and `evolve_compiled` states are **byte-identical**
+/// at every thread count. The 12-qubit register (dim 4096) clears the
+/// kernel parallel threshold, so the threaded sweeps genuinely engage.
+#[test]
+fn thread_matrix_run_and_evolve_are_bit_identical() {
+    let n = 12;
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    for q in 0..n {
+        c.ry(0.1 * (q + 1) as f64, q).t(q);
+    }
+    c.measure_all();
+    let program = CompiledProgram::compile(&c).unwrap();
+    let base_counts = StatevectorSimulator::with_seed(33).run(&c, 1024).unwrap();
+    let base_state = StatevectorSimulator::new().evolve_compiled(&program);
+    for threads in [1usize, 2, 4] {
+        let counts = StatevectorSimulator::with_seed(33)
+            .with_threads(threads)
+            .run(&c, 1024)
+            .unwrap();
+        assert_eq!(base_counts, counts, "threads = {threads}: counts diverged");
+        let state = StatevectorSimulator::new()
+            .with_threads(threads)
+            .evolve_compiled(&program);
+        assert_eq!(
+            base_state.as_slice(),
+            state.as_slice(),
+            "threads = {threads}: state diverged"
+        );
+    }
+}
+
+/// The per-shot (mid-circuit) path under threading: collapse draws happen
+/// on the main thread in program order, so the RNG stream — and the
+/// histogram — must not depend on the thread count.
+#[test]
+fn thread_matrix_mid_circuit_is_bit_identical() {
+    let n = 11;
+    let mut c = Circuit::with_clbits(n, n + 1);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c.measure(n - 1, n).unwrap();
+    c.reset(n - 1).unwrap();
+    c.cx(n - 2, n - 1);
+    for q in 0..n {
+        c.measure(q, q).unwrap();
+    }
+    let base = StatevectorSimulator::with_seed(44).run(&c, 128).unwrap();
+    for threads in [2usize, 4] {
+        let counts = StatevectorSimulator::with_seed(44)
+            .with_threads(threads)
+            .run(&c, 128)
+            .unwrap();
+        assert_eq!(base, counts, "threads = {threads}");
+    }
+}
+
+/// Kernel fusion is loop fusion over stage lists — the identical
+/// per-amplitude arithmetic in program order — so a fused program must
+/// sample and evolve **bit-identically** to its unfused twin.
+#[test]
+fn fused_programs_are_bit_identical_to_unfused() {
+    let mut rng = StdRng::seed_from_u64(303);
+    for trial in 0..8 {
+        let n = rng.gen_range(2..6);
+        let mut c = Circuit::new(n);
+        // Dense single-qubit chains and repeated diagonals: maximal
+        // fusion opportunity.
+        for _ in 0..rng.gen_range(8..32) {
+            let q = rng.gen_range(0..n);
+            match rng.gen_range(0..6u32) {
+                0 => {
+                    c.h(q);
+                }
+                1 => {
+                    c.t(q);
+                }
+                2 => {
+                    c.ry(rng.gen_range(0.0..3.0), q);
+                }
+                3 => {
+                    c.rz(rng.gen_range(0.0..3.0), q);
+                }
+                4 => {
+                    c.s(q);
+                }
+                _ => push_random_gate(&mut c, &mut rng, n),
+            }
+        }
+        c.measure_all();
+        let fused = CompiledProgram::compile(&c).unwrap();
+        let unfused = CompiledProgram::compile_unfused(&c).unwrap();
+        assert!(
+            fused.op_count() <= unfused.op_count(),
+            "trial {trial}: fusion must never add ops"
+        );
+        let seed = rng.gen_range(0..1_000_000);
+        let a = StatevectorSimulator::with_seed(seed)
+            .run_compiled(&fused, 1024)
+            .unwrap();
+        let b = StatevectorSimulator::with_seed(seed)
+            .run_compiled(&unfused, 1024)
+            .unwrap();
+        assert_eq!(a, b, "trial {trial}: fused counts diverged from unfused");
+        let sa = StatevectorSimulator::new().evolve_compiled(&fused);
+        let sb = StatevectorSimulator::new().evolve_compiled(&unfused);
+        assert_eq!(
+            sa.as_slice(),
+            sb.as_slice(),
+            "trial {trial}: fused state diverged from unfused"
+        );
+    }
+}
+
+/// Fused programs must also stay bit-identical to the *interpreter* —
+/// fusion rides inside the existing seed-compatibility contract rather
+/// than weakening it.
+#[test]
+fn fused_programs_keep_the_interpreter_contract() {
+    let mut c = Circuit::new(4);
+    c.h(0).t(0).h(0).s(1).t(1).rz(0.4, 1).cx(0, 1);
+    c.cp(0.7, 2, 3);
+    c.cp(0.9, 2, 3);
+    c.h(2);
+    c.measure_all();
+    let program = CompiledProgram::compile(&c).unwrap();
+    assert!(program.fused_away() > 0, "workload must actually fuse");
+    let fast = StatevectorSimulator::with_seed(55)
+        .run_compiled(&program, 2048)
+        .unwrap();
+    let slow = StatevectorSimulator::with_seed(55)
+        .run_interpreted(&c, 2048)
+        .unwrap();
+    assert_eq!(fast, slow);
+}
