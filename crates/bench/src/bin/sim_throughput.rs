@@ -27,6 +27,40 @@ use qra::sim::{CompiledProgram, TrajectorySimulator};
 use qra_bench::json_string;
 use std::time::Instant;
 
+/// A wide SWAP-style assertion campaign cell, all-Clifford by
+/// construction: GHZ-`n` prepared with exact H/CX, uncomputed through the
+/// linear coset map, three probe qubits parity-checked against fresh
+/// ancillas, recomputed, ancillas measured. The probes skip qubit 0 (in
+/// `|+⟩` after the uncompute, so its check would flag the correct state).
+/// With `fault` set, a stray X lands on a probe qubit before the check —
+/// the detection case. Only the tableau backend can run this at
+/// n = 128/256.
+fn wide_swap_assertion(n: usize, fault: bool) -> Circuit {
+    let probes = [1, n / 2, n - 1];
+    let mut c = Circuit::with_clbits(n + probes.len(), probes.len());
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    if fault {
+        c.x(probes[0]);
+    }
+    for q in (0..n - 1).rev() {
+        c.cx(q, q + 1);
+    }
+    for (i, &q) in probes.iter().enumerate() {
+        c.cx(q, n + i);
+        c.cx(n + i, q);
+    }
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    for i in 0..probes.len() {
+        c.measure(n + i, i).unwrap();
+    }
+    c
+}
+
 struct DensityWorkload {
     name: &'static str,
     circuit: Circuit,
@@ -92,6 +126,19 @@ fn ghz_assertion(n: usize, design: Design) -> Circuit {
 
 fn ghz_measured(n: usize) -> Circuit {
     let mut c = states::ghz(n);
+    c.measure_all();
+    c
+}
+
+/// GHZ built from the exact H/CX generators — `states::ghz` spells its
+/// Hadamard as `u2(0, π)`, which the exact Clifford recognizer rejects,
+/// so the stabilizer rows use this variant.
+fn ghz_clifford_measured(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
     c.measure_all();
     c
 }
@@ -231,6 +278,11 @@ fn main() {
     let (cores, _) = resolve_threads(0);
     let threads = if threads == 0 { cores } else { threads };
     let runs = if short { 1 } else { 3 };
+    // On a single-core machine (or a forced single-thread run) the
+    // parallel/trajectory speedup columns measure scheduling overhead,
+    // not scaling: their rows are flagged degenerate and exempt from any
+    // speedup expectation instead of reporting a meaningless 1.00×.
+    let degenerate = cores < 2 || threads < 2;
     let mut entries = Vec::new();
     for w in workloads(short) {
         let program = CompiledProgram::compile(&w.circuit).expect("compile");
@@ -371,11 +423,12 @@ fn main() {
             speedup
         );
         parallel_entries.push(format!(
-            "{{\"name\":{},\"qubits\":{},\"shots\":{},\"threads\":{},\"single\":{},\"threaded\":{},\"speedup\":{:.2},\"identical\":true}}",
+            "{{\"name\":{},\"qubits\":{},\"shots\":{},\"threads\":{},\"degenerate\":{},\"single\":{},\"threaded\":{},\"speedup\":{:.2},\"identical\":true}}",
             json_string(w.name),
             w.circuit.num_qubits(),
             w.shots,
             threads,
+            degenerate,
             engine_json(single_secs, w.shots, w.circuit.gate_count() as u64),
             engine_json(threaded_secs, w.shots, w.circuit.gate_count() as u64),
             speedup
@@ -475,18 +528,105 @@ fn main() {
             speedup
         );
         trajectory_entries.push(format!(
-            "{{\"name\":\"traj_ghz_midcircuit\",\"qubits\":{},\"shots\":{},\"workers\":{},\"single\":{},\"batched\":{},\"speedup\":{:.2},\"identical\":true}}",
+            "{{\"name\":\"traj_ghz_midcircuit\",\"qubits\":{},\"shots\":{},\"workers\":{},\"degenerate\":{},\"single\":{},\"batched\":{},\"speedup\":{:.2},\"identical\":true}}",
             circuit.num_qubits(),
             shots,
             threads,
+            degenerate,
             engine_json(single_secs, shots, circuit.gate_count() as u64),
             engine_json(batched_secs, shots, circuit.gate_count() as u64),
             speedup
         ));
     }
 
+    // Stabilizer section: the tableau backend's identity contract at an
+    // overlapping width, then the wide Clifford campaign cells no dense
+    // engine can touch. The GHZ-16 row asserts bit-identical counts
+    // against the compiled statevector engine; the GHZ-128/GHZ-256 rows
+    // are SWAP-assertion cells at a million shots, with the stray-X
+    // variant proving the ancilla parity actually detects.
+    let mut stabilizer_entries = Vec::new();
+    {
+        let circuit = ghz_clifford_measured(16);
+        let shots = if short { 128u64 } else { 8192 };
+        let seed = 7u64;
+        let program = CompiledProgram::compile(&circuit).expect("compile");
+        assert!(program.is_clifford(), "GHZ-16 must be tagged Clifford");
+        let (sv_secs, sv_counts) = time_best(runs, || {
+            StatevectorSimulator::with_seed(seed)
+                .run_compiled(&program, shots)
+                .expect("statevector run")
+        });
+        let (stab_secs, stab_counts) = time_best(runs, || {
+            StabilizerSimulator::with_seed(seed)
+                .run(&circuit, shots)
+                .expect("stabilizer run")
+        });
+        assert_eq!(
+            sv_counts, stab_counts,
+            "ghz16: stabilizer counts diverged from statevector — backend identity broken"
+        );
+        let speedup = sv_secs / stab_secs;
+        eprintln!(
+            "{:>18}  n=16 shots={:<7} statevector {:>9.3} ms  stabilizer {:>9.3} ms  {:>6.2}x",
+            "ghz16_stab_ident",
+            shots,
+            sv_secs * 1e3,
+            stab_secs * 1e3,
+            speedup
+        );
+        stabilizer_entries.push(format!(
+            "{{\"name\":\"ghz16_stabilizer_identity\",\"qubits\":16,\"shots\":{},\"statevector\":{},\"stabilizer\":{},\"speedup\":{:.2},\"identical\":true}}",
+            shots,
+            engine_json(sv_secs, shots, circuit.gate_count() as u64),
+            engine_json(stab_secs, shots, circuit.gate_count() as u64),
+            speedup
+        ));
+    }
+    for n in [128usize, 256] {
+        let shots = if short { 4096u64 } else { 1_000_000 };
+        let seed = 31u64;
+        let clean = wide_swap_assertion(n, false);
+        let faulted = wide_swap_assertion(n, true);
+        let gates = clean.gate_count() as u64;
+        let (secs, counts) = time_best(runs, || {
+            StabilizerSimulator::with_seed(seed)
+                .run(&clean, shots)
+                .expect("wide clean run")
+        });
+        let flag_clean = counts.any_set_frequency(&[0, 1, 2]);
+        let flag_faulted = StabilizerSimulator::with_seed(seed)
+            .run(&faulted, shots)
+            .expect("wide faulted run")
+            .any_set_frequency(&[0, 1, 2]);
+        assert_eq!(flag_clean, 0.0, "correct GHZ-{n} must never flag");
+        assert!(flag_faulted > 0.99, "stray X on GHZ-{n} must flag");
+        if !short {
+            assert!(
+                secs < 10.0,
+                "GHZ-{n} swap assertion at {shots} shots took {secs:.1}s — \
+                 the single-digit-seconds budget is broken"
+            );
+        }
+        eprintln!(
+            "{:>18}  n={:<3} shots={:<7} stabilizer {:>9.3} ms  ({:.2e} shots/s)  flag clean {:.3} faulted {:.3}",
+            format!("ghz{n}_swap_assert"),
+            n,
+            shots,
+            secs * 1e3,
+            shots as f64 / secs,
+            flag_clean,
+            flag_faulted
+        );
+        stabilizer_entries.push(format!(
+            "{{\"name\":\"ghz{n}_swap_assert\",\"qubits\":{},\"gates\":{gates},\"shots\":{shots},\"stabilizer\":{},\"flag_rate_clean\":{flag_clean:.4},\"flag_rate_faulted\":{flag_faulted:.4},\"detects\":true}}",
+            clean.num_qubits(),
+            engine_json(secs, shots, gates),
+        ));
+    }
+
     let json = format!(
-        "{{\"bench\":\"sim_throughput\",\"short\":{},\"runs_per_engine\":{},\"cores\":{},\"threads\":{},\"workloads\":[{}],\"density\":[{}],\"parallel\":[{}],\"fusion\":[{}],\"trajectory\":[{}]}}",
+        "{{\"bench\":\"sim_throughput\",\"short\":{},\"runs_per_engine\":{},\"cores\":{},\"threads\":{},\"workloads\":[{}],\"density\":[{}],\"parallel\":[{}],\"fusion\":[{}],\"trajectory\":[{}],\"stabilizer\":[{}]}}",
         short,
         runs,
         cores,
@@ -495,7 +635,8 @@ fn main() {
         density_entries.join(","),
         parallel_entries.join(","),
         fusion_entries.join(","),
-        trajectory_entries.join(",")
+        trajectory_entries.join(","),
+        stabilizer_entries.join(",")
     );
     std::fs::write(&out, format!("{json}\n")).expect("write BENCH_sim.json");
     println!("{json}");

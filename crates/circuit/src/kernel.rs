@@ -80,6 +80,108 @@ impl KernelClass {
     }
 }
 
+/// A recognized Clifford-group generator with its register qubit indices.
+///
+/// The variant set is exactly the tableau backend's instruction set:
+/// `H`, `S`, `S†`, the Paulis, `CX`, `CZ` and `SWAP` (plus the identity,
+/// so `id` gates and `Rz(0)`-style no-ops never break a Clifford run).
+/// Recognition is an *exact-unitary* match against the generator
+/// matrices — `T`, `Rz(π)`, `√X` and friends are rejected even when they
+/// are Clifford up to floating-point or global phase, which keeps the
+/// stabilizer fast path's "bit-identical to the statevector engine"
+/// contract trivially honest: only gates whose matrices equal the
+/// generators bit-for-bit are rerouted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CliffordOp {
+    /// Identity.
+    I(usize),
+    /// Hadamard.
+    H(usize),
+    /// Phase gate `S = diag(1, i)`.
+    S(usize),
+    /// `S†`.
+    Sdg(usize),
+    /// Pauli-X.
+    X(usize),
+    /// Pauli-Y.
+    Y(usize),
+    /// Pauli-Z.
+    Z(usize),
+    /// Controlled-X as `(control, target)`.
+    Cx(usize, usize),
+    /// Controlled-Z (symmetric in its qubits).
+    Cz(usize, usize),
+    /// SWAP.
+    Swap(usize, usize),
+}
+
+impl CliffordOp {
+    /// Recognizes `gate` on `qubits` as a Clifford generator, without ever
+    /// touching the register width — usable at widths where
+    /// [`Kernel::for_gate`]'s `2ⁿ` dimension would overflow.
+    ///
+    /// Arbitrary [`Gate::Unitary`] gates are recognized too when their
+    /// matrix equals a generator's exactly.
+    pub fn from_gate(gate: &Gate, qubits: &[usize]) -> Option<CliffordOp> {
+        match gate.unitary_matrix() {
+            Some(m) => Self::from_unitary(m, qubits),
+            None => Self::from_unitary(&gate.matrix(), qubits),
+        }
+    }
+
+    /// Recognizes an explicit big-endian unitary on `qubits` by exact
+    /// entry-wise comparison against the generator matrices (`-0.0` and
+    /// `0.0` compare equal, matching the kernel numerical contract).
+    pub fn from_unitary(matrix: &CMatrix, qubits: &[usize]) -> Option<CliffordOp> {
+        match qubits.len() {
+            1 => {
+                let q = qubits[0];
+                type Make1 = fn(usize) -> CliffordOp;
+                let gens: [(Gate, Make1); 7] = [
+                    (Gate::I, CliffordOp::I),
+                    (Gate::H, CliffordOp::H),
+                    (Gate::S, CliffordOp::S),
+                    (Gate::Sdg, CliffordOp::Sdg),
+                    (Gate::X, CliffordOp::X),
+                    (Gate::Y, CliffordOp::Y),
+                    (Gate::Z, CliffordOp::Z),
+                ];
+                gens.iter()
+                    .find(|(g, _)| matrices_exactly_equal(matrix, &g.matrix()))
+                    .map(|(_, make)| make(q))
+            }
+            2 => {
+                let (a, b) = (qubits[0], qubits[1]);
+                type Make2 = fn(usize, usize) -> CliffordOp;
+                let gens: [(Gate, Make2); 3] = [
+                    (Gate::Cx, CliffordOp::Cx),
+                    (Gate::Cz, CliffordOp::Cz),
+                    (Gate::Swap, CliffordOp::Swap),
+                ];
+                gens.iter()
+                    .find(|(g, _)| matrices_exactly_equal(matrix, &g.matrix()))
+                    .map(|(_, make)| make(a, b))
+            }
+            _ => None,
+        }
+    }
+}
+
+fn matrices_exactly_equal(a: &CMatrix, b: &CMatrix) -> bool {
+    if a.rows() != b.rows() {
+        return false;
+    }
+    for r in 0..a.rows() {
+        for c in 0..a.rows() {
+            let (x, y) = (a.get(r, c), b.get(r, c));
+            if x.re != y.re || x.im != y.im {
+                return false;
+            }
+        }
+    }
+    true
+}
+
 /// One constituent of a fused single-qubit kernel chain, applied to an
 /// amplitude pair held in registers.
 #[derive(Debug, Clone, Copy)]
@@ -349,6 +451,77 @@ impl Kernel {
     /// The full register dimension (`2ⁿ`) this kernel was lowered for.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// Recognizes this kernel as a Clifford generator, reusing the
+    /// structural classification: a [`Body::Single`] can only be `H` or
+    /// `Y`, a [`Body::Diag1`] one of `I`/`S`/`S†`/`Z`, a two-qubit
+    /// diagonal `CZ`, and a permutation `X`/`CX`/`SWAP`. Entries are
+    /// compared exactly against the generator matrices (see
+    /// [`CliffordOp::from_unitary`]); fused and generic kernels are never
+    /// Clifford-tagged.
+    pub fn as_clifford(&self) -> Option<CliffordOp> {
+        let n = self.dim.trailing_zeros() as usize;
+        let qubit_of = |bit: usize| n - 1 - bit.trailing_zeros() as usize;
+        let eq = |a: C64, b: C64| a.re == b.re && a.im == b.im;
+        match &self.body {
+            Body::Single {
+                m00,
+                m01,
+                m10,
+                m11,
+                mask,
+            } => {
+                let q = qubit_of(*mask);
+                for (gate, make) in [
+                    (Gate::H, CliffordOp::H as fn(usize) -> CliffordOp),
+                    (Gate::Y, CliffordOp::Y),
+                ] {
+                    let m = gate.matrix();
+                    if eq(*m00, m.get(0, 0))
+                        && eq(*m01, m.get(0, 1))
+                        && eq(*m10, m.get(1, 0))
+                        && eq(*m11, m.get(1, 1))
+                    {
+                        return Some(make(q));
+                    }
+                }
+                None
+            }
+            Body::Diag1 { d0, d1, mask } => {
+                if !exact_one(*d0) {
+                    return None;
+                }
+                let q = qubit_of(*mask);
+                if exact_one(*d1) {
+                    Some(CliffordOp::I(q))
+                } else if d1.re == 0.0 && d1.im == 1.0 {
+                    Some(CliffordOp::S(q))
+                } else if d1.re == 0.0 && d1.im == -1.0 {
+                    Some(CliffordOp::Sdg(q))
+                } else if d1.re == -1.0 && d1.im == 0.0 {
+                    Some(CliffordOp::Z(q))
+                } else {
+                    None
+                }
+            }
+            Body::Diagonal { diag, shifts } if shifts.len() == 2 => {
+                let cz = exact_one(diag[0])
+                    && exact_one(diag[1])
+                    && exact_one(diag[2])
+                    && diag[3].re == -1.0
+                    && diag[3].im == 0.0;
+                cz.then(|| CliffordOp::Cz(n - 1 - shifts[0], n - 1 - shifts[1]))
+            }
+            Body::Permutation { src, offsets, .. } => match src.as_slice() {
+                [1, 0] => Some(CliffordOp::X(qubit_of(offsets[1]))),
+                // offsets[2] is gate qubit 0's bit, offsets[1] gate qubit 1's.
+                [0, 1, 3, 2] => Some(CliffordOp::Cx(qubit_of(offsets[2]), qubit_of(offsets[1]))),
+                [0, 2, 1, 3] => Some(CliffordOp::Swap(qubit_of(offsets[2]), qubit_of(offsets[1]))),
+                _ => None,
+            },
+            _ => None,
+        }
     }
 
     /// Number of original kernels folded into this one (1 when unfused).
@@ -1032,6 +1205,87 @@ mod tests {
             let kernel = Kernel::for_gate(&gate, &qubits, n);
             assert_eq!(kernel.class(), class, "{gate} misclassified");
         }
+    }
+
+    #[test]
+    fn clifford_generators_recognized_with_qubits() {
+        let n = 5;
+        let cases: [(Gate, Vec<usize>, CliffordOp); 10] = [
+            (Gate::I, vec![3], CliffordOp::I(3)),
+            (Gate::H, vec![0], CliffordOp::H(0)),
+            (Gate::S, vec![1], CliffordOp::S(1)),
+            (Gate::Sdg, vec![4], CliffordOp::Sdg(4)),
+            (Gate::X, vec![2], CliffordOp::X(2)),
+            (Gate::Y, vec![1], CliffordOp::Y(1)),
+            (Gate::Z, vec![0], CliffordOp::Z(0)),
+            (Gate::Cx, vec![3, 1], CliffordOp::Cx(3, 1)),
+            (Gate::Cz, vec![0, 4], CliffordOp::Cz(0, 4)),
+            (Gate::Swap, vec![2, 0], CliffordOp::Swap(2, 0)),
+        ];
+        for (gate, qubits, expect) in cases {
+            assert_eq!(
+                Kernel::for_gate(&gate, &qubits, n).as_clifford(),
+                Some(expect),
+                "{gate} kernel not Clifford-classified"
+            );
+            assert_eq!(
+                CliffordOp::from_gate(&gate, &qubits),
+                Some(expect),
+                "{gate} gate not Clifford-classified"
+            );
+        }
+    }
+
+    #[test]
+    fn non_clifford_gates_rejected() {
+        use std::f64::consts::{FRAC_PI_2, PI};
+        let n = 3;
+        let cases: [(Gate, Vec<usize>); 10] = [
+            (Gate::T, vec![0]),
+            (Gate::Tdg, vec![1]),
+            (Gate::Sx, vec![0]),
+            (Gate::Rz(0.7), vec![2]),
+            // Clifford up to floating point / global phase, but not an
+            // exact generator match — must stay on the dense path.
+            (Gate::Rz(PI), vec![0]),
+            (Gate::Phase(FRAC_PI_2), vec![1]),
+            (Gate::Ry(FRAC_PI_2), vec![2]),
+            (Gate::Ch, vec![0, 1]),
+            (Gate::Cu3(0.1, 0.2, 0.3), vec![1, 2]),
+            (Gate::Ccx, vec![0, 1, 2]),
+        ];
+        for (gate, qubits) in cases {
+            assert_eq!(
+                Kernel::for_gate(&gate, &qubits, n).as_clifford(),
+                None,
+                "{gate} kernel wrongly Clifford-classified"
+            );
+            assert_eq!(
+                CliffordOp::from_gate(&gate, &qubits),
+                None,
+                "{gate} gate wrongly Clifford-classified"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_unitary_matrices_recognized_without_gate_names() {
+        let h = Gate::unitary(Gate::H.matrix(), "custom-h").unwrap();
+        assert_eq!(CliffordOp::from_gate(&h, &[2]), Some(CliffordOp::H(2)));
+        assert_eq!(
+            Kernel::for_gate(&h, &[2], 4).as_clifford(),
+            Some(CliffordOp::H(2))
+        );
+        let almost = Gate::unitary(Gate::Rz(1e-12).matrix(), "almost-id").unwrap();
+        assert_eq!(CliffordOp::from_gate(&almost, &[0]), None);
+    }
+
+    #[test]
+    fn fused_kernels_are_never_clifford() {
+        let a = Kernel::for_gate(&Gate::H, &[0], 2);
+        let b = Kernel::for_gate(&Gate::H, &[0], 2);
+        let fused = a.fuse(&b).unwrap();
+        assert_eq!(fused.as_clifford(), None);
     }
 
     #[test]

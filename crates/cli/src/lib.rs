@@ -20,7 +20,7 @@
 use qra::circuit::qasm_parser::from_qasm;
 use qra::faults::{
     auto_margins, cell_record_json, is_sweep_partial, margin_record_json, parse_sweep_partial,
-    parse_unit_record, BaselineCell, CampaignCell, ParsedReport,
+    parse_unit_record, BackendChoice, BaselineCell, CampaignCell, ParsedReport,
 };
 use qra::orch::{
     monitor_workers, spawn_workers, worker_loop, EpochOutcome, OrchError, DEFAULT_MAX_ATTEMPTS,
@@ -208,6 +208,9 @@ pub struct CampaignArgs {
     /// Detection threshold for the single-point campaign (sweeps
     /// derive per-point thresholds from the false-positive floor).
     pub threshold: f64,
+    /// Backend routing: the noise-aware default, per-cell stabilizer
+    /// auto-engage, or the strict tableau backend.
+    pub backend: BackendChoice,
     /// Run only this shard: of the cell list for a single campaign, or of
     /// the `(point × cell)` unit grid when `sweep` is also set (emitting a
     /// mergeable sweep partial).
@@ -261,6 +264,7 @@ impl CampaignArgs {
         }
         argv.extend(["--noise".into(), self.noise.name().to_string()]);
         argv.extend(["--threshold".into(), format!("{}", self.threshold)]);
+        argv.extend(["--backend".into(), self.backend.name().to_string()]);
         if let Some(points) = &self.sweep {
             argv.extend([
                 "--sweep".into(),
@@ -614,6 +618,14 @@ fn parse_campaign_args(
         }
         None => 0.05,
     };
+    let backend = match flag("--backend") {
+        Some(b) => BackendChoice::from_name(b).ok_or_else(|| {
+            err(format!(
+                "campaign: unknown backend '{b}' (expected default, auto or stabilizer)"
+            ))
+        })?,
+        None => BackendChoice::default(),
+    };
     let margin = match flag("--margin") {
         Some(m) => MarginMode::from_str(m).map_err(|e| err(format!("campaign: {e}")))?,
         None => MarginMode::default(),
@@ -644,6 +656,7 @@ fn parse_campaign_args(
         sim_threads,
         noise,
         threshold,
+        backend,
         shard,
         sweep,
         margin,
@@ -1008,14 +1021,18 @@ fn campaign_setup(args: &CampaignArgs) -> Result<CampaignSetup, CliError> {
     };
     let qubits: Vec<usize> = (0..program.num_qubits()).collect();
     // Reject oversized programs before building the 2^n-amplitude
-    // spec: campaigns assert every program qubit, and past the unified
-    // state-vector/trajectory ceiling no backend can run the cells
-    // anyway. Wired to the backend constant so the two can't drift.
+    // spec: campaigns assert every program qubit, and the CLI's state
+    // specs materialize 2^n amplitudes regardless of backend, so even
+    // the 4096-qubit stabilizer engine can't rescue a wider run here.
+    // Wide tableau campaigns go through the library API, which accepts
+    // circuits directly (see README "Stabilizer fast path"). Wired to
+    // the dense-backend constant so the two can't drift.
     const MAX_CAMPAIGN_QUBITS: usize = qra::sim::exec::MAX_QUBITS;
     if qubits.len() > MAX_CAMPAIGN_QUBITS {
         return Err(err(format!(
-            "campaign: program has {} qubits; the widest backend supports \
-             {MAX_CAMPAIGN_QUBITS} — shrink the program under test",
+            "campaign: program has {} qubits; the widest CLI backend supports \
+             {MAX_CAMPAIGN_QUBITS} — shrink the program under test, or drive \
+             wider Clifford campaigns through the library API",
             qubits.len()
         )));
     }
@@ -1033,6 +1050,7 @@ fn campaign_setup(args: &CampaignArgs) -> Result<CampaignSetup, CliError> {
         sim_threads: args.sim_threads.unwrap_or(0), // 0 = max(1, cores / jobs)
         noise: args.noise.noise_model(),
         detection_threshold: args.threshold,
+        backend: args.backend,
         shard: None, // single-campaign path re-applies args.shard itself
         ..CampaignConfig::default()
     };
@@ -1545,6 +1563,7 @@ pub fn usage() -> String {
      \x20                  [--doubles K] [--shots N] [--seed S] [--deadline-ms T]\n\
      \x20                  [--jobs W] [--sim-threads T] [--memory-budget-mb M] [--threshold R]\n\
      \x20                  [--noise ideal|low|melbourne] [--shard I/N]\n\
+     \x20                  [--backend default|auto|stabilizer]\n\
      \x20                  [--sweep ideal,low,melbourne:2.0] [--margin R|auto[:REPEATS[:Z]]]\n\
      \x20                  [--json]\n\
      qra campaign merge <shard.json|partial.json>… [--json]\n\
@@ -1564,6 +1583,12 @@ pub fn usage() -> String {
      list for a single campaign, or a slice of the (point x cell) unit grid\n\
      when combined with --sweep. 'campaign merge' reassembles either kind of\n\
      partial into the full report, byte-identical to the undistributed run.\n\
+     --backend picks the cell executor: 'default' routes by noise model,\n\
+     'auto' additionally engages the O(n^2) stabilizer tableau per cell\n\
+     when the cell is noiseless and all-Clifford (counts bit-identical to\n\
+     the statevector engine; non-Clifford mutants fall back per cell),\n\
+     'stabilizer' forces the tableau and errors on noise or non-Clifford\n\
+     gates. Reports name the backend that executed each cell.\n\
      --sweep runs the campaign at each noise point (PRESET[:SCALE]); each\n\
      point's detection threshold is derived as its measured false-positive\n\
      floor + margin. --margin auto calibrates the margin per design and per\n\
@@ -1957,6 +1982,7 @@ mod tests {
                 sim_threads: None,
                 noise: DevicePreset::Ideal,
                 threshold: 0.05,
+                backend: BackendChoice::default(),
                 shard,
                 sweep: Some(vec![
                     (DevicePreset::Ideal, 1.0),
@@ -2009,6 +2035,7 @@ mod tests {
             sim_threads: None,
             noise: DevicePreset::Ideal,
             threshold: 0.05,
+            backend: BackendChoice::default(),
             shard: None,
             sweep: Some(vec![
                 (DevicePreset::Ideal, 1.0),
@@ -2094,6 +2121,22 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+        // Backend routing parses, round-trips, and rejects unknown names.
+        for (name, choice) in [
+            ("default", BackendChoice::Default),
+            ("auto", BackendChoice::Auto),
+            ("stabilizer", BackendChoice::Stabilizer),
+        ] {
+            let cmd = parse_args(&args(&["campaign", "f.qasm", "--backend", name])).unwrap();
+            match cmd {
+                Command::Campaign(a) => {
+                    assert_eq!(a.backend, choice);
+                    assert_eq!(parse_args(&a.to_argv()).unwrap(), Command::Campaign(a));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(parse_args(&args(&["campaign", "f", "--backend", "statevector"])).is_err());
         assert!(parse_args(&args(&["campaign"])).is_err());
         assert!(parse_args(&args(&["campaign", "--ghz", "0"])).is_err());
         assert!(parse_args(&args(&["campaign", "f", "--designs", "bogus"])).is_err());
@@ -2204,6 +2247,7 @@ mod tests {
                 sim_threads: None,
                 noise: DevicePreset::Ideal,
                 threshold: 0.05,
+                backend: BackendChoice::default(),
                 shard,
                 sweep: None,
                 margin: MarginMode::Fixed(0.02),
@@ -2241,6 +2285,7 @@ mod tests {
             sim_threads: None,
             noise: DevicePreset::Ideal,
             threshold: 0.05,
+            backend: BackendChoice::default(),
             shard: None,
             sweep: Some(vec![
                 (DevicePreset::Ideal, 1.0),
@@ -2253,6 +2298,54 @@ mod tests {
         assert!(out.contains("Noise sweep: 2 point(s)"), "{out}");
         assert!(out.contains("--- noise point: low x2 ---"), "{out}");
         assert!(out.contains("Detection degradation"), "{out}");
+    }
+
+    #[test]
+    fn campaign_auto_backend_end_to_end_reports_stabilizer() {
+        // A Clifford GHZ program (exact h/cx, unlike the built-in --ghz
+        // source whose Hadamard is u2(0,pi)) with a classical set spec:
+        // every auto cell should run on the tableau and say so.
+        let dir = std::env::temp_dir().join("qra_cli_auto_backend_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ghz3_clifford.qasm");
+        std::fs::write(
+            &path,
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\n\
+             h q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n",
+        )
+        .unwrap();
+        let campaign = |backend: BackendChoice| {
+            execute(&Command::Campaign(CampaignArgs {
+                source: CampaignSource::File(path.to_str().unwrap().to_string()),
+                state: "set:0;7".into(),
+                designs: vec![CampaignDesign::Swap],
+                doubles: 0,
+                shots: 128,
+                seed: 5,
+                deadline_ms: None,
+                memory_budget_mb: 64,
+                jobs: Some(1),
+                sim_threads: None,
+                noise: DevicePreset::Ideal,
+                threshold: 0.05,
+                backend,
+                shard: None,
+                sweep: None,
+                margin: MarginMode::Fixed(0.02),
+                json: true,
+            }))
+            .unwrap()
+        };
+        let auto = campaign(BackendChoice::Auto);
+        assert!(auto.contains("\"backend\":\"stabilizer\""), "{auto}");
+        assert!(!auto.contains("\"backend\":\"statevector\""), "{auto}");
+        // Auto never changes the physics: identical bytes modulo the
+        // backend labels.
+        let default = campaign(BackendChoice::Default);
+        assert_eq!(
+            auto.replace("\"backend\":\"stabilizer\"", "\"backend\":\"statevector\""),
+            default
+        );
     }
 
     #[test]
@@ -2271,6 +2364,7 @@ mod tests {
             sim_threads: None,
             noise: DevicePreset::Ideal,
             threshold: 0.05,
+            backend: BackendChoice::default(),
             shard: None,
             sweep: None,
             margin: MarginMode::Fixed(0.02),
@@ -2310,6 +2404,7 @@ mod tests {
                 sim_threads: None,
                 noise: DevicePreset::Ideal,
                 threshold: 0.05,
+                backend: BackendChoice::default(),
                 shard: None,
                 sweep: None,
                 margin: MarginMode::Fixed(0.02),

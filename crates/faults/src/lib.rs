@@ -65,8 +65,8 @@ pub use report::{
     BaselineCell, CampaignCell, CampaignReport, CellError, CellStatus, DetectionStat,
 };
 pub use runner::{
-    default_executor, run_campaign, run_campaign_with_executor, BackendKind, CampaignConfig,
-    CampaignDesign, Executor, Shard, ThreadPlan,
+    default_executor, run_campaign, run_campaign_with_executor, BackendChoice, BackendKind,
+    CampaignConfig, CampaignDesign, Executor, Shard, ThreadPlan,
 };
 pub use sweep::{
     assemble_sweep_report, auto_margins, calibration_seed, run_sweep, run_sweep_with_executor,

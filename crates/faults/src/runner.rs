@@ -23,8 +23,8 @@ use qra_core::baselines::statistical_assertion;
 use qra_core::{insert_assertion, Design, StateSpec};
 use qra_sim::threads::resolve_threads;
 use qra_sim::{
-    CompiledProgram, Counts, DensityMatrixSimulator, NoiseModel, SimError, StatevectorSimulator,
-    TrajectorySimulator,
+    CompiledProgram, Counts, DensityMatrixSimulator, NoiseModel, SimError, StabilizerSimulator,
+    StatevectorSimulator, TrajectorySimulator,
 };
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -101,6 +101,9 @@ pub enum BackendKind {
     DensityMatrix,
     /// Monte-Carlo trajectory simulation (noisy fallback).
     Trajectory,
+    /// Gottesman–Knill stabilizer-tableau simulation (noiseless, exact
+    /// Clifford circuits only).
+    Stabilizer,
 }
 
 impl BackendKind {
@@ -110,6 +113,7 @@ impl BackendKind {
             BackendKind::Statevector => "statevector",
             BackendKind::DensityMatrix => "density-matrix",
             BackendKind::Trajectory => "trajectory",
+            BackendKind::Stabilizer => "stabilizer",
         }
     }
 
@@ -120,6 +124,7 @@ impl BackendKind {
             BackendKind::Statevector,
             BackendKind::DensityMatrix,
             BackendKind::Trajectory,
+            BackendKind::Stabilizer,
         ]
         .into_iter()
         .find(|b| b.name() == name)
@@ -127,6 +132,52 @@ impl BackendKind {
 }
 
 impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The user-facing backend selection policy for a campaign
+/// (`--backend default|auto|stabilizer`). [`BackendKind`] records what a
+/// cell actually ran on; `BackendChoice` is what the user asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// The historical routing: statevector when noiseless, else
+    /// density-matrix within budget, else trajectory.
+    #[default]
+    Default,
+    /// Per-cell auto-engage: noiseless all-Clifford cells run on the
+    /// stabilizer tableau, everything else (including cells whose mutant
+    /// injected a non-Clifford fault) falls back to the default routing.
+    Auto,
+    /// Force the stabilizer backend; non-Clifford circuits or noisy
+    /// configurations are hard errors instead of silent fallbacks.
+    Stabilizer,
+}
+
+impl BackendChoice {
+    /// Short name used by the CLI flag.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendChoice::Default => "default",
+            BackendChoice::Auto => "auto",
+            BackendChoice::Stabilizer => "stabilizer",
+        }
+    }
+
+    /// Parses a CLI spelling (the inverse of [`BackendChoice::name`]).
+    pub fn from_name(name: &str) -> Option<Self> {
+        [
+            BackendChoice::Default,
+            BackendChoice::Auto,
+            BackendChoice::Stabilizer,
+        ]
+        .into_iter()
+        .find(|b| b.name() == name)
+    }
+}
+
+impl fmt::Display for BackendChoice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.name())
     }
@@ -242,6 +293,10 @@ pub struct CampaignConfig {
     /// everything. Shard reports merge back into the unsharded report
     /// byte-for-byte ([`crate::merge::merge_reports`]).
     pub shard: Option<Shard>,
+    /// Backend selection policy; see [`BackendChoice`]. The statistical
+    /// design bypasses the executor entirely and always samples on the
+    /// statevector backend regardless of this choice.
+    pub backend: BackendChoice,
 }
 
 /// The resolved two-layer worker budget for one campaign run: `jobs`
@@ -308,6 +363,7 @@ impl Default for CampaignConfig {
             jobs: 0,
             sim_threads: 0,
             shard: None,
+            backend: BackendChoice::Default,
         }
     }
 }
@@ -330,6 +386,30 @@ pub fn default_executor(
 ) -> Result<(Counts, BackendKind), SimError> {
     let n = circuit.num_qubits() as u32;
     let sim_threads = config.thread_plan().sim_threads;
+    match config.backend {
+        BackendChoice::Stabilizer => {
+            // Forced: noise and non-Clifford gates are hard errors. The
+            // tableau ignores `exec::MAX_QUBITS` — its own ceiling is
+            // `StabilizerSimulator::MAX_QUBITS`.
+            if !config.noise.is_ideal() {
+                return Err(SimError::NonCliffordGate {
+                    gate: "noise model (stabilizer backend is noiseless)".to_string(),
+                });
+            }
+            let counts = StabilizerSimulator::with_seed(seed).run(circuit, config.shots)?;
+            return Ok((counts, BackendKind::Stabilizer));
+        }
+        BackendChoice::Auto => {
+            // Per-cell engage-or-fallback: a mutant that injects a
+            // non-Clifford fault (e.g. an angle fault on a rotation) fails
+            // `supports` and takes the default routing below.
+            if config.noise.is_ideal() && StabilizerSimulator::supports(circuit) {
+                let counts = StabilizerSimulator::with_seed(seed).run(circuit, config.shots)?;
+                return Ok((counts, BackendKind::Stabilizer));
+            }
+        }
+        BackendChoice::Default => {}
+    }
     if config.noise.is_ideal() {
         // Lower once, then execute: every campaign cell re-runs the same
         // mutant circuit for thousands of shots, so the kernel lowering is
@@ -744,14 +824,25 @@ mod tests {
             assert_eq!(CampaignDesign::from_name(d.name()), Some(d));
         }
         assert_eq!(CampaignDesign::from_name("qft"), None);
+        assert_eq!(BackendKind::Stabilizer.to_string(), "stabilizer");
         for b in [
             BackendKind::Statevector,
             BackendKind::DensityMatrix,
             BackendKind::Trajectory,
+            BackendKind::Stabilizer,
         ] {
             assert_eq!(BackendKind::from_name(b.name()), Some(b));
         }
         assert_eq!(BackendKind::from_name("abacus"), None);
+        for b in [
+            BackendChoice::Default,
+            BackendChoice::Auto,
+            BackendChoice::Stabilizer,
+        ] {
+            assert_eq!(BackendChoice::from_name(b.name()), Some(b));
+        }
+        assert_eq!(BackendChoice::from_name("statevector"), None);
+        assert_eq!(BackendChoice::default(), BackendChoice::Default);
     }
 
     #[test]
@@ -811,6 +902,102 @@ mod tests {
         };
         let (_, backend) = default_executor(&c, &starved, 3).unwrap();
         assert_eq!(backend, BackendKind::Trajectory);
+    }
+
+    #[test]
+    fn auto_backend_engages_stabilizer_per_cell() {
+        let mut clifford = Circuit::new(2);
+        clifford.h(0).cx(0, 1);
+        clifford.expand_clbits(2);
+        clifford.measure(0, 0).unwrap();
+        clifford.measure(1, 1).unwrap();
+
+        let auto = CampaignConfig {
+            backend: BackendChoice::Auto,
+            ..CampaignConfig::default()
+        };
+        let (counts, backend) = default_executor(&clifford, &auto, 3).unwrap();
+        assert_eq!(backend, BackendKind::Stabilizer);
+        // Same cell on the default routing: bit-identical counts.
+        let (sv_counts, sv_backend) =
+            default_executor(&clifford, &CampaignConfig::default(), 3).unwrap();
+        assert_eq!(sv_backend, BackendKind::Statevector);
+        assert_eq!(counts, sv_counts);
+
+        // A non-Clifford "mutant" of the same cell falls back per cell.
+        let mut faulted = Circuit::new(2);
+        faulted.h(0).t(0).cx(0, 1);
+        faulted.expand_clbits(2);
+        faulted.measure(0, 0).unwrap();
+        faulted.measure(1, 1).unwrap();
+        let (_, backend) = default_executor(&faulted, &auto, 3).unwrap();
+        assert_eq!(backend, BackendKind::Statevector);
+
+        // Noise disables auto-engage entirely.
+        let noisy_auto = CampaignConfig {
+            backend: BackendChoice::Auto,
+            noise: qra_sim::DevicePreset::LowNoise.noise_model(),
+            ..CampaignConfig::default()
+        };
+        let (_, backend) = default_executor(&clifford, &noisy_auto, 3).unwrap();
+        assert_eq!(backend, BackendKind::DensityMatrix);
+    }
+
+    #[test]
+    fn forced_stabilizer_backend_is_strict() {
+        let mut t = Circuit::new(1);
+        t.h(0).t(0);
+        t.measure_all();
+        let forced = CampaignConfig {
+            backend: BackendChoice::Stabilizer,
+            ..CampaignConfig::default()
+        };
+        assert!(matches!(
+            default_executor(&t, &forced, 1),
+            Err(SimError::NonCliffordGate { .. })
+        ));
+
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.measure_all();
+        let noisy = CampaignConfig {
+            backend: BackendChoice::Stabilizer,
+            noise: qra_sim::DevicePreset::LowNoise.noise_model(),
+            ..forced
+        };
+        assert!(matches!(
+            default_executor(&c, &noisy, 1),
+            Err(SimError::NonCliffordGate { .. })
+        ));
+    }
+
+    #[test]
+    fn stabilizer_cells_bypass_statevector_width_ceiling() {
+        // A Clifford cell wider than exec::MAX_QUBITS runs fine on both
+        // the forced and the auto backend.
+        let n = qra_sim::exec::MAX_QUBITS + 8;
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 1..n {
+            c.cx(q - 1, q);
+        }
+        c.expand_clbits(2);
+        c.measure(0, 0).unwrap();
+        c.measure(n - 1, 1).unwrap();
+        for choice in [BackendChoice::Stabilizer, BackendChoice::Auto] {
+            let config = CampaignConfig {
+                backend: choice,
+                ..CampaignConfig::default()
+            };
+            let (counts, backend) = default_executor(&c, &config, 5).unwrap();
+            assert_eq!(backend, BackendKind::Stabilizer);
+            assert_eq!(counts.total(), config.shots);
+        }
+        // The default routing still refuses it.
+        assert!(matches!(
+            default_executor(&c, &CampaignConfig::default(), 5),
+            Err(SimError::TooManyQubits { .. })
+        ));
     }
 
     #[test]

@@ -451,3 +451,81 @@ fn noisy_campaign_json_is_byte_identical_across_density_engines() {
         "compiled and interpreted density executors must agree byte-for-byte"
     );
 }
+
+#[test]
+fn auto_campaign_on_clifford_workload_reports_stabilizer_cells() {
+    use qra_circuit::Circuit;
+    use qra_faults::BackendChoice;
+    use qra_math::CVector;
+
+    // A classical set spec {|000>, |111>} takes the linear-coset fast path,
+    // so the inserted SWAP assertion is CX-only and the whole asserted
+    // circuit stays Clifford for every Clifford mutant of the GHZ program.
+    // The program uses the exact H/CX generators (`states::ghz` spells its
+    // Hadamard as `u2(0, π)`, which exact Clifford matching rejects).
+    let n = 3;
+    let mut program = Circuit::new(n);
+    program.h(0);
+    for q in 0..n - 1 {
+        program.cx(q, q + 1);
+    }
+    let spec = StateSpec::set(vec![
+        CVector::basis_state(1 << n, 0),
+        CVector::basis_state(1 << n, (1 << n) - 1),
+    ])
+    .unwrap();
+    let qubits: Vec<usize> = (0..n).collect();
+    let base = CampaignConfig {
+        shots: 512,
+        seed: 11,
+        designs: vec![CampaignDesign::Swap],
+        ..CampaignConfig::default()
+    };
+    let mutants = FaultInjector::new(base.seed).enumerate_single(&program);
+    assert!(!mutants.is_empty());
+
+    let auto = run_campaign(
+        &program,
+        &qubits,
+        &spec,
+        &mutants,
+        &CampaignConfig {
+            backend: BackendChoice::Auto,
+            ..base.clone()
+        },
+    );
+    let default = run_campaign(&program, &qubits, &spec, &mutants, &base);
+
+    let mut stabilizer_cells = 0;
+    for (a, d) in auto.cells.iter().zip(&default.cells) {
+        match (&a.status, &d.status) {
+            (
+                CellStatus::Completed {
+                    error_rate: ea,
+                    backend: ba,
+                    ..
+                },
+                CellStatus::Completed {
+                    error_rate: ed,
+                    backend: bd,
+                    ..
+                },
+            ) => {
+                // Auto must not change the physics: same seeds, same rates.
+                assert_eq!(ea, ed, "mutant {} diverged under auto", a.mutant_id);
+                assert_eq!(*bd, BackendKind::Statevector);
+                if *ba == BackendKind::Stabilizer {
+                    stabilizer_cells += 1;
+                }
+            }
+            (sa, sd) => panic!("non-completed cells {sa:?} / {sd:?}"),
+        }
+    }
+    // The GHZ gate set (H/CX) only admits Clifford mutants, so every cell
+    // should have taken the tableau path.
+    assert_eq!(stabilizer_cells, auto.cells.len());
+
+    // The report makes the routing decision auditable.
+    assert!(auto.to_json().contains("\"backend\":\"stabilizer\""));
+    assert!(default.to_json().contains("\"backend\":\"statevector\""));
+}

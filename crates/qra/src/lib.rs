@@ -57,15 +57,15 @@ pub mod prelude {
     };
     pub use qra_faults::{
         assemble_sweep, merge_reports, merge_reports_named, merge_sweep_partials_named,
-        parse_report, parse_sweep_partial, run_campaign, run_sweep, BackendKind, CampaignConfig,
-        CampaignDesign, CampaignReport, CellError, CellStatus, FaultInjector, FaultKind,
-        MarginMode, Mutant, Shard, SweepConfig, SweepPartial, SweepPoint, SweepReport,
+        parse_report, parse_sweep_partial, run_campaign, run_sweep, BackendChoice, BackendKind,
+        CampaignConfig, CampaignDesign, CampaignReport, CellError, CellStatus, FaultInjector,
+        FaultKind, MarginMode, Mutant, Shard, SweepConfig, SweepPartial, SweepPoint, SweepReport,
         SweepUnitPayload, SweepUnitRecord,
     };
     pub use qra_math::{CMatrix, CVector, C64};
     pub use qra_orch::{Manifest, RunDir};
     pub use qra_sim::{
         CompiledProgram, Counts, DensityMatrixSimulator, DevicePreset, NoiseModel,
-        StatevectorSimulator,
+        StabilizerSimulator, StatevectorSimulator,
     };
 }

@@ -52,6 +52,12 @@ pub enum SimError {
         /// The unrecognised name.
         name: String,
     },
+    /// A gate outside the Clifford generator set reached the stabilizer
+    /// backend (recoverable: callers fall back to a dense engine).
+    NonCliffordGate {
+        /// The offending gate's name.
+        gate: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -76,6 +82,9 @@ impl fmt::Display for SimError {
             }
             SimError::MalformedBitstring { bits, reason } => {
                 write!(f, "malformed bitstring '{bits}': {reason}")
+            }
+            SimError::NonCliffordGate { gate } => {
+                write!(f, "gate '{gate}' is not an exact Clifford generator")
             }
             SimError::UnknownPreset { name } => {
                 write!(

@@ -32,7 +32,7 @@
 //! the contract `tests/compiled_identity.rs` enforces.
 
 use crate::SimError;
-use qra_circuit::kernel::{Kernel, KernelClass};
+use qra_circuit::kernel::{CliffordOp, Kernel, KernelClass};
 use qra_circuit::{Circuit, Gate, Operation};
 
 /// Maximum width the compiled state-vector engine supports
@@ -82,6 +82,7 @@ pub struct CompiledProgram {
     ops: Vec<ExecOp>,
     prefix_len: usize,
     terminal: bool,
+    clifford: bool,
     /// `(qubit, clbit)` pairs in program order, for terminal key building.
     measures: Vec<(usize, usize)>,
 }
@@ -129,6 +130,7 @@ impl CompiledProgram {
         // interpreter's O(m²) Vec::contains scans.
         let mut measured = 0u32;
         let mut terminal = true;
+        let mut clifford = true;
         for inst in circuit.instructions() {
             match &inst.operation {
                 Operation::Barrier => {}
@@ -136,6 +138,9 @@ impl CompiledProgram {
                     if inst.qubits.iter().any(|&q| measured & (1 << q) != 0) {
                         terminal = false;
                     }
+                    // Clifford recognition happens per gate, before fusion
+                    // can merge generators into an unrecognizable chain.
+                    clifford &= CliffordOp::from_gate(g, &inst.qubits).is_some();
                     let kernel = Kernel::for_gate(g, &inst.qubits, n);
                     if fuse {
                         if let Some(ExecOp::Apply(prev)) = ops.last_mut() {
@@ -179,6 +184,7 @@ impl CompiledProgram {
             ops,
             prefix_len,
             terminal,
+            clifford,
             measures,
         })
     }
@@ -202,6 +208,14 @@ impl CompiledProgram {
     /// can be sampled directly instead of collapsing shot by shot.
     pub fn is_terminal(&self) -> bool {
         self.terminal
+    }
+
+    /// `true` when every gate is an exact Clifford generator
+    /// ([`CliffordOp`]), so the program is eligible for the stabilizer
+    /// fast path ([`crate::StabilizerSimulator`]). Measurements, resets
+    /// and barriers never affect the tag.
+    pub fn is_clifford(&self) -> bool {
+        self.clifford
     }
 
     /// Number of lowered ops (gates + measures + resets; barriers vanish).
@@ -311,6 +325,44 @@ mod tests {
         c.measure(0, 0).unwrap();
         let p = CompiledProgram::compile(&c).unwrap();
         assert!(!p.is_terminal());
+    }
+
+    #[test]
+    fn clifford_tagging_follows_gate_set() {
+        // Pure Clifford program: tagged, and stays tagged with measures,
+        // resets and barriers mixed in.
+        let mut c = Circuit::with_clbits(3, 3);
+        c.h(0)
+            .cx(0, 1)
+            .s(1)
+            .sdg(2)
+            .x(2)
+            .z(0)
+            .y(1)
+            .cz(0, 2)
+            .swap(1, 2);
+        c.barrier();
+        c.reset(2).unwrap();
+        c.measure(0, 0).unwrap();
+        assert!(CompiledProgram::compile(&c).unwrap().is_clifford());
+
+        // One non-Clifford gate poisons the program.
+        let mut t = Circuit::new(2);
+        t.h(0).t(0).cx(0, 1);
+        t.measure_all();
+        assert!(!CompiledProgram::compile(&t).unwrap().is_clifford());
+
+        let mut rz = Circuit::new(1);
+        rz.rz(0.5, 0);
+        assert!(!CompiledProgram::compile(&rz).unwrap().is_clifford());
+
+        // Fusion must not hide the per-gate classification: h·t·h fuses
+        // into one kernel but the program is still non-Clifford.
+        let mut fused = Circuit::new(1);
+        fused.h(0).t(0).h(0);
+        let p = CompiledProgram::compile(&fused).unwrap();
+        assert_eq!(p.fused_away(), 2);
+        assert!(!p.is_clifford());
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod error;
 pub mod exec;
 pub mod exec_density;
 pub mod noise;
+pub mod stabilizer;
 pub mod states;
 pub mod statevector;
 pub mod threads;
@@ -49,5 +50,6 @@ pub use error::SimError;
 pub use exec::CompiledProgram;
 pub use exec_density::CompiledDensityProgram;
 pub use noise::{DevicePreset, NoiseModel};
+pub use stabilizer::StabilizerSimulator;
 pub use statevector::StatevectorSimulator;
 pub use trajectory::TrajectorySimulator;
