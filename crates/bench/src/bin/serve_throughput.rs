@@ -1,0 +1,175 @@
+//! Assertion-service throughput: the same stream of `run`/`assert` jobs
+//! executed (a) the one-shot way — one `qra` process spawned per request —
+//! and (b) through an in-process `qra serve` daemon using the production
+//! `daemon_executor` with its compiled-program cache. Every daemon
+//! response is asserted byte-identical to the corresponding one-shot
+//! stdout before any timing is recorded, and the results land in
+//! `BENCH_serve.json` so the repo carries the service speedup over time.
+//!
+//! `--short` shrinks the job count for CI smoke; `--out PATH` overrides
+//! the default `BENCH_serve.json`; `--qra PATH` points at the one-shot
+//! binary (default: the `qra` sibling of this bench executable).
+
+use qra::serve::{request_shutdown, submit_jobs, Server, ServerConfig};
+use qra::sim::ProgramCache;
+use qra_cli::daemon_executor;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let mut short = false;
+    let mut out = String::from("BENCH_serve.json");
+    let mut qra_bin: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--short" => short = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--qra" => qra_bin = Some(PathBuf::from(args.next().expect("--qra needs a path"))),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let qra_bin = qra_bin.unwrap_or_else(|| {
+        let mut exe = std::env::current_exe().expect("current_exe");
+        exe.set_file_name("qra");
+        exe
+    });
+    if !qra_bin.exists() {
+        eprintln!(
+            "one-shot binary not found at {} — build it first or pass --qra PATH",
+            qra_bin.display()
+        );
+        std::process::exit(2);
+    }
+
+    let dir = std::env::temp_dir().join(format!("qra-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench tmpdir");
+    let bell = dir.join("bell.qasm");
+    std::fs::write(
+        &bell,
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\n\
+         h q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\nmeasure q[1] -> c[1];\n",
+    )
+    .expect("write bell.qasm");
+    let bell = bell.to_str().expect("utf-8 path").to_string();
+
+    // The job stream cycles a handful of seeds over one circuit, the
+    // shape a debugging session produces: every compile after the first
+    // few is a cache hit on the daemon side, and every spawn on the
+    // baseline side pays full process startup.
+    let baseline_jobs: usize = if short { 8 } else { 32 };
+    let serve_jobs: usize = if short { 64 } else { 512 };
+    let job = |i: usize| -> Vec<String> {
+        [
+            "run",
+            &bell,
+            "--shots",
+            "128",
+            "--seed",
+            &format!("{}", i % 8),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    };
+
+    // Baseline: one process per request, sequential (a shell loop's view
+    // of the service). Record each job's stdout as the reference bytes.
+    let t0 = Instant::now();
+    let mut reference = Vec::new();
+    for i in 0..baseline_jobs {
+        let output = Command::new(&qra_bin)
+            .args(job(i))
+            .output()
+            .expect("spawn one-shot qra");
+        assert!(output.status.success(), "one-shot job {i} failed");
+        reference.push(String::from_utf8(output.stdout).expect("utf-8 output"));
+    }
+    let baseline_secs = t0.elapsed().as_secs_f64();
+    let baseline_rps = baseline_jobs as f64 / baseline_secs;
+    eprintln!("baseline: {baseline_jobs} process spawns in {baseline_secs:.3} s ({baseline_rps:.1} jobs/s)");
+
+    // Service: in-process daemon over a Unix socket, production executor
+    // and compiled-program cache, default worker count (one per core).
+    let socket = dir.join("bench.sock");
+    let cache = Arc::new(ProgramCache::new());
+    let server = Arc::new(Server::new(
+        ServerConfig {
+            socket: socket.clone(),
+            queue_depth: serve_jobs,
+            cache: Some(cache.clone()),
+            ..ServerConfig::default()
+        },
+        daemon_executor(cache.clone(), Vec::new()),
+    ));
+    let daemon = {
+        let server = server.clone();
+        std::thread::spawn(move || server.run().expect("daemon run"))
+    };
+    while std::os::unix::net::UnixStream::connect(&socket).is_err() {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    let jobs: Vec<Vec<String>> = (0..serve_jobs).map(job).collect();
+    let t0 = Instant::now();
+    let responses = submit_jobs(&socket, &jobs).expect("submit jobs");
+    let serve_secs = t0.elapsed().as_secs_f64();
+    let serve_rps = serve_jobs as f64 / serve_secs;
+
+    // Byte-identity gate: every daemon response must match the one-shot
+    // stdout for the same argv, cache hits and misses alike.
+    assert_eq!(responses.len(), serve_jobs);
+    for (i, resp) in responses.iter().enumerate() {
+        assert!(resp.ok, "daemon job {i} failed: {:?}", resp.error);
+        assert_eq!(
+            resp.output,
+            reference[i % 8],
+            "daemon job {i} diverged from one-shot bytes"
+        );
+    }
+    request_shutdown(&socket).expect("shutdown");
+    let summary = daemon.join().expect("daemon thread");
+    let (hits, misses) = (cache.hits(), cache.misses());
+    assert!(hits > 0, "repeat circuits must hit the cache");
+    eprintln!(
+        "serve: {serve_jobs} jobs in {serve_secs:.3} s ({serve_rps:.1} jobs/s), \
+         cache {}/{} hit(s), p99 {} us",
+        hits,
+        hits + misses,
+        summary.metrics.p99_us
+    );
+
+    let speedup = serve_rps / baseline_rps;
+    eprintln!("speedup: {speedup:.1}x over per-request process startup");
+
+    let json = format!(
+        "{{\"bench\":\"serve_throughput\",\"mode\":\"{}\",\"circuit\":\"bell\",\"shots\":128,\
+         \"baseline\":{{\"jobs\":{},\"secs\":{:.6},\"rps\":{:.2}}},\
+         \"serve\":{{\"jobs\":{},\"secs\":{:.6},\"rps\":{:.2},\
+         \"cache_hits\":{},\"cache_misses\":{},\
+         \"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}},\
+         \"speedup\":{:.2},\"identical\":true}}\n",
+        if short { "short" } else { "full" },
+        baseline_jobs,
+        baseline_secs,
+        baseline_rps,
+        serve_jobs,
+        serve_secs,
+        serve_rps,
+        hits,
+        misses,
+        summary.metrics.p50_us,
+        summary.metrics.p95_us,
+        summary.metrics.p99_us,
+        speedup,
+    );
+    std::fs::write(&out, &json).expect("write bench json");
+    println!("{json}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -103,6 +103,7 @@ fn main() {
             workers,
             unit_timeout_ms: None,
             max_attempts: qra::orch::DEFAULT_MAX_ATTEMPTS,
+            hosts: vec![],
         };
         let root =
             std::env::temp_dir().join(format!("qra-bench-sweep-{}-w{workers}", std::process::id()));

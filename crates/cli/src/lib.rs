@@ -11,23 +11,39 @@
 //! qra campaign (<file.qasm> | --ghz N) [--sweep …] [--shard I/N] [--margin R|auto]
 //! qra sweep run --run-dir <dir> [--workers W] (<file.qasm> | --ghz N) --sweep …
 //! qra sweep resume <dir> [--workers W] [--json]
-//! qra sweep status <dir>
-//! qra worker --run-dir <dir>
+//! qra sweep status <dir> [--json]
+//! qra worker --run-dir <dir> [--host LABEL]
+//! qra serve [--socket PATH] [--workers W] [--queue-depth N] [--hosts a,b]
+//! qra serve --status | --stop [--socket PATH]
+//! qra submit [--socket PATH] <job argv…>
+//! qra batch <jobs.txt> [--socket PATH]
 //! ```
 
 #![deny(missing_docs)]
 
 use qra::circuit::qasm_parser::from_qasm;
+use qra::faults::json::json_str;
 use qra::faults::{
     auto_margins, cell_record_json, is_sweep_partial, margin_record_json, parse_sweep_partial,
     parse_unit_record, BackendChoice, BaselineCell, CampaignCell, ParsedReport,
 };
 use qra::orch::{
-    monitor_workers, spawn_workers, worker_loop, EpochOutcome, OrchError, DEFAULT_MAX_ATTEMPTS,
+    monitor_workers, spawn_workers_on, worker_loop_on, EpochOutcome, OrchError,
+    DEFAULT_MAX_ATTEMPTS, LOCAL_HOST,
 };
 use qra::prelude::*;
+use qra::serve::{
+    request_shutdown, request_status, submit_jobs, JobExecutor, Server, ServerConfig,
+};
+use qra::sim::ProgramCache;
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use std::str::FromStr;
+use std::sync::Arc;
+
+/// Default Unix socket path shared by `qra serve`, `qra submit` and
+/// `qra batch`.
+pub const DEFAULT_SOCKET: &str = "qra-serve.sock";
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -91,6 +107,9 @@ pub enum Command {
         /// Amplitude-level simulator threads (`0` = one per core).
         /// Histograms are bit-identical at every thread count.
         sim_threads: usize,
+        /// Backend routing: the noise-aware default, per-circuit
+        /// stabilizer auto-engage, or the strict tableau backend.
+        backend: BackendChoice,
     },
     /// Insert an assertion at the end of a QASM program and report.
     Assert {
@@ -110,6 +129,9 @@ pub enum Command {
         noise: DevicePreset,
         /// Amplitude-level simulator threads (`0` = one per core).
         sim_threads: usize,
+        /// Backend routing: the noise-aware default, per-circuit
+        /// stabilizer auto-engage, or the strict tableau backend.
+        backend: BackendChoice,
     },
     /// Print the per-design circuit cost of asserting a state.
     Cost {
@@ -147,6 +169,8 @@ pub enum Command {
         unit_timeout_ms: Option<u64>,
         /// Failed attempts before a unit is quarantined as a named skip.
         max_attempts: u32,
+        /// Worker host labels (`--hosts`); empty means local-only.
+        hosts: Vec<String>,
         /// The sweep's campaign description (must have `sweep` set).
         args: Box<CampaignArgs>,
     },
@@ -164,12 +188,47 @@ pub enum Command {
     SweepStatus {
         /// The run directory.
         dir: String,
+        /// Emit machine-readable JSON instead of text.
+        json: bool,
     },
     /// Run one worker over an orchestrated sweep's run directory
     /// (normally spawned by `sweep run`, not invoked by hand).
     Worker {
         /// The run directory.
         dir: String,
+        /// Host label for the worker's results stream (`None` = local).
+        host: Option<String>,
+    },
+    /// Run the streaming assertion daemon over a Unix socket — or, with
+    /// `--status`/`--stop`, query or drain a live one.
+    Serve {
+        /// Unix socket path.
+        socket: String,
+        /// Worker threads (`0` = available parallelism).
+        workers: usize,
+        /// Work-queue depth; jobs beyond it are refused (backpressure).
+        queue_depth: usize,
+        /// Host labels appended to sweep-run jobs (`--hosts`).
+        hosts: Vec<String>,
+        /// Print a live daemon's status JSON instead of serving.
+        status: bool,
+        /// Ask a live daemon to drain and exit instead of serving.
+        stop: bool,
+    },
+    /// Submit one job to a live daemon and print its output.
+    Submit {
+        /// Unix socket path.
+        socket: String,
+        /// The job's `qra` argv (e.g. `run prog.qasm --shots 100`).
+        argv: Vec<String>,
+    },
+    /// Submit a file of jobs (one whitespace-split argv per line) to a
+    /// live daemon and summarize the responses.
+    Batch {
+        /// Unix socket path.
+        socket: String,
+        /// Path of the jobs file.
+        file: String,
     },
     /// Print usage help.
     Help,
@@ -363,6 +422,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             .map_err(|_| err(format!("bad --sim-threads '{t}'")))?,
         None => 1,
     };
+    // `run`/`assert` share `--backend` spelling and routing with
+    // campaigns (and therefore with jobs executed by the daemon).
+    let backend = match flag("--backend") {
+        Some(b) => BackendChoice::from_name(b).ok_or_else(|| {
+            err(format!(
+                "unknown backend '{b}' (expected default, auto or stabilizer)"
+            ))
+        })?,
+        None => BackendChoice::default(),
+    };
+    let hosts: Vec<String> = flag("--hosts")
+        .map(|list| {
+            list.split(',')
+                .map(str::trim)
+                .filter(|h| !h.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    let socket = flag("--socket").unwrap_or(DEFAULT_SOCKET).to_string();
 
     match cmd {
         "run" => {
@@ -376,6 +455,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 seed,
                 noise,
                 sim_threads,
+                backend,
             })
         }
         "assert" => {
@@ -397,6 +477,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 seed,
                 noise,
                 sim_threads,
+                backend,
             })
         }
         "cost" => {
@@ -497,6 +578,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         workers,
                         unit_timeout_ms,
                         max_attempts,
+                        hosts,
                         args: Box::new(args),
                     })
                 }
@@ -512,7 +594,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .get(1)
                         .ok_or_else(|| err("sweep status: missing <run-dir>"))?
                         .to_string();
-                    Ok(Command::SweepStatus { dir })
+                    Ok(Command::SweepStatus { dir, json })
                 }
                 _ => Err(err("sweep: expected run, resume or status; try 'qra help'")),
             }
@@ -521,7 +603,71 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let dir = flag("--run-dir")
                 .ok_or_else(|| err("worker: missing --run-dir <dir>"))?
                 .to_string();
-            Ok(Command::Worker { dir })
+            let host = flag("--host").map(str::to_string);
+            Ok(Command::Worker { dir, host })
+        }
+        "serve" => {
+            let workers = match flag("--workers") {
+                Some(w) => w.parse().map_err(|_| err(format!("bad --workers '{w}'")))?,
+                None => 0, // available parallelism
+            };
+            let queue_depth = match flag("--queue-depth") {
+                Some(q) => {
+                    let q: usize = q
+                        .parse()
+                        .map_err(|_| err(format!("bad --queue-depth '{q}'")))?;
+                    if q == 0 {
+                        return Err(err("serve: --queue-depth needs at least 1 slot"));
+                    }
+                    q
+                }
+                None => 256,
+            };
+            let status = rest.iter().any(|a| a.as_str() == "--status");
+            let stop = rest.iter().any(|a| a.as_str() == "--stop");
+            if status && stop {
+                return Err(err("serve: --status and --stop are mutually exclusive"));
+            }
+            Ok(Command::Serve {
+                socket,
+                workers,
+                queue_depth,
+                hosts,
+                status,
+                stop,
+            })
+        }
+        "submit" => {
+            // Everything from the first non-flag token on (or after a
+            // literal `--`) is the job's own argv, flags included.
+            let mut argv = Vec::new();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--" => {
+                        argv.extend(rest[i + 1..].iter().map(|s| s.to_string()));
+                        break;
+                    }
+                    "--socket" => i += 2,
+                    _ => {
+                        argv.extend(rest[i..].iter().map(|s| s.to_string()));
+                        break;
+                    }
+                }
+            }
+            if argv.is_empty() {
+                return Err(err(
+                    "submit: missing the job argv (e.g. `qra submit run prog.qasm`)",
+                ));
+            }
+            Ok(Command::Submit { socket, argv })
+        }
+        "batch" => {
+            let file = positional
+                .first()
+                .ok_or_else(|| err("batch: missing <jobs.txt>"))?
+                .to_string();
+            Ok(Command::Batch { socket, file })
         }
         other => Err(err(format!("unknown command '{other}'; try 'qra help'"))),
     }
@@ -847,6 +993,22 @@ pub fn parse_state(text: &str, num_qubits: usize) -> Result<StateSpec, CliError>
 ///
 /// Returns [`CliError`] on I/O, parsing or simulation failures.
 pub fn execute(command: &Command) -> Result<String, CliError> {
+    execute_with_cache(command, None)
+}
+
+/// [`execute`] with an optional shared [`ProgramCache`]: `run`, `assert`
+/// and `campaign` route their circuit lowering through it, so a long-lived
+/// caller (the `qra serve` daemon) amortizes compilation across repeat
+/// circuits. Cached and fresh compiles are bit-identical, so the cache
+/// never changes any output.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on I/O, parsing or simulation failures.
+pub fn execute_with_cache(
+    command: &Command,
+    cache: Option<&Arc<ProgramCache>>,
+) -> Result<String, CliError> {
     match command {
         Command::Help => Ok(usage()),
         Command::Info { file } => {
@@ -871,9 +1033,18 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             seed,
             noise,
             sim_threads,
+            backend,
         } => {
             let circuit = load(file)?;
-            let counts = run_counts(&circuit, *shots, *seed, *noise, *sim_threads)?;
+            let counts = run_counts(
+                &circuit,
+                *shots,
+                *seed,
+                *noise,
+                *sim_threads,
+                *backend,
+                cache,
+            )?;
             let mut out = String::new();
             let _ = writeln!(out, "shots: {}", counts.total());
             for (key, n) in counts.iter() {
@@ -895,11 +1066,20 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             seed,
             noise,
             sim_threads,
+            backend,
         } => {
             let mut circuit = load(file)?;
             let spec = parse_state(state, qubits.len())?;
             let handle = insert_assertion(&mut circuit, qubits, &spec, *design)?;
-            let counts = run_counts(&circuit, *shots, *seed, *noise, *sim_threads)?;
+            let counts = run_counts(
+                &circuit,
+                *shots,
+                *seed,
+                *noise,
+                *sim_threads,
+                *backend,
+                cache,
+            )?;
             let rate = handle.error_rate(&counts);
             let mut out = String::new();
             let _ = writeln!(out, "design:        {}", handle.design);
@@ -957,17 +1137,28 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 report.render_text()
             })
         }
-        Command::Campaign(args) => run_campaign_command(args),
+        Command::Campaign(args) => run_campaign_command(args, cache),
         Command::SweepRun {
             dir,
             workers,
             unit_timeout_ms,
             max_attempts,
+            hosts,
             args,
-        } => sweep_run(dir, *workers, *unit_timeout_ms, *max_attempts, args),
+        } => sweep_run(dir, *workers, *unit_timeout_ms, *max_attempts, hosts, args),
         Command::SweepResume { dir, workers, json } => sweep_resume(dir, *workers, *json),
-        Command::SweepStatus { dir } => sweep_status(dir).map(|(out, _code)| out),
-        Command::Worker { dir } => run_worker(dir),
+        Command::SweepStatus { dir, json } => sweep_status(dir, *json).map(|(out, _code)| out),
+        Command::Worker { dir, host } => run_worker(dir, host.as_deref()),
+        Command::Serve {
+            socket,
+            workers,
+            queue_depth,
+            hosts,
+            status,
+            stop,
+        } => serve_command(socket, *workers, *queue_depth, hosts, *status, *stop),
+        Command::Submit { socket, argv } => submit_command(socket, argv).map(|(out, _code)| out),
+        Command::Batch { socket, file } => batch_command(socket, file).map(|(out, _code)| out),
         Command::Cost { num_qubits, state } => {
             let spec = parse_state(state, *num_qubits)?;
             let mut out = String::new();
@@ -992,15 +1183,32 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
 /// exit code. Most commands exit 0 on success; `sweep status` also reports
 /// through the code so scripts can branch without parsing text: 0 when the
 /// unit grid is complete, 2 while units remain, 3 when quarantined units
-/// are present (complete or not).
+/// are present (complete or not). `submit` exits with the remote job's own
+/// code; `batch` exits 1 when any job failed.
 ///
 /// # Errors
 ///
 /// Returns [`CliError`] on I/O, parsing or simulation failures.
 pub fn execute_with_code(command: &Command) -> Result<(String, i32), CliError> {
+    execute_with_code_cached(command, None)
+}
+
+/// [`execute_with_code`] with an optional shared [`ProgramCache`] — the
+/// entry point the `qra serve` daemon's job executor uses, so daemon jobs
+/// report the same exit codes as one-shot invocations.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on I/O, parsing or simulation failures.
+pub fn execute_with_code_cached(
+    command: &Command,
+    cache: Option<&Arc<ProgramCache>>,
+) -> Result<(String, i32), CliError> {
     match command {
-        Command::SweepStatus { dir } => sweep_status(dir),
-        other => execute(other).map(|out| (out, 0)),
+        Command::SweepStatus { dir, json } => sweep_status(dir, *json),
+        Command::Submit { socket, argv } => submit_command(socket, argv),
+        Command::Batch { socket, file } => batch_command(socket, file),
+        other => execute_with_cache(other, cache).map(|out| (out, 0)),
     }
 }
 
@@ -1213,8 +1421,14 @@ fn quarantined_unit_record(
     Ok(record.to_json())
 }
 
-fn run_campaign_command(args: &CampaignArgs) -> Result<String, CliError> {
-    let setup = campaign_setup(args)?;
+fn run_campaign_command(
+    args: &CampaignArgs,
+    cache: Option<&Arc<ProgramCache>>,
+) -> Result<String, CliError> {
+    let mut setup = campaign_setup(args)?;
+    // A daemon-shared cache spans campaigns; without one, run_campaign /
+    // run_sweep install their own per-invocation cache.
+    setup.config.cache = cache.cloned();
     if let Some(points) = &args.sweep {
         if let Some(shard) = args.shard {
             return sweep_shard_partial(args, &setup, shard);
@@ -1311,6 +1525,7 @@ fn sweep_run(
     workers: Option<usize>,
     unit_timeout_ms: Option<u64>,
     max_attempts: u32,
+    hosts: &[String],
     args: &CampaignArgs,
 ) -> Result<String, CliError> {
     let mut args = args.clone();
@@ -1334,6 +1549,7 @@ fn sweep_run(
         workers,
         unit_timeout_ms,
         max_attempts,
+        hosts: hosts.to_vec(),
     };
     let rundir = RunDir::init(dir, &manifest)?;
     let outcome = drive_epochs(&rundir, &manifest, workers)?;
@@ -1358,7 +1574,7 @@ fn drive_epochs(
     let mut backoff = std::time::Duration::from_millis(100);
     let mut last_done = None;
     loop {
-        let children = spawn_workers(rundir, workers)?;
+        let children = spawn_workers_on(rundir, workers, &manifest.hosts)?;
         let outcome = monitor_workers(rundir, manifest, children)?;
         if outcome.complete(manifest) {
             return Ok(outcome);
@@ -1442,10 +1658,73 @@ fn finish_epoch(
 
 /// `sweep status`: reports progress from the run directory alone. The
 /// second element is the process exit code: 0 complete, 2 incomplete,
-/// 3 when quarantined units are present.
-fn sweep_status(dir: &str) -> Result<(String, i32), CliError> {
+/// 3 when quarantined units are present. With `json`, the same facts are
+/// rendered machine-readably (the exit code rides along as `"code"`).
+fn sweep_status(dir: &str, json: bool) -> Result<(String, i32), CliError> {
     let (rundir, manifest) = RunDir::open(dir)?;
     let state = rundir.scan(&manifest)?;
+    let complete = state.completed.len() == manifest.total_units();
+    let code = match (complete, state.quarantined.is_empty()) {
+        (true, true) => 0,
+        (_, false) => 3,
+        (false, true) => 2,
+    };
+    if json {
+        let mut out = format!(
+            "{{\"root\":{},\"total\":{},\"done\":{},\"in_flight\":{},\"failed\":{},\
+             \"torn_lines\":{},\"complete\":{complete},\"code\":{code},\"quarantined\":[",
+            json_str(&rundir.root().display().to_string()),
+            manifest.total_units(),
+            state.completed.len(),
+            state.in_flight.len(),
+            state.failed.len(),
+            state.torn_lines
+        );
+        for (i, &unit) in state.quarantined.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"unit\":{unit},\"label\":{},\"cell\":{}}}",
+                json_str(&manifest.labels[unit / manifest.units_per_point]),
+                unit % manifest.units_per_point
+            );
+        }
+        out.push_str("],\"corrupt\":[");
+        for (i, report) in state.corrupt.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(report));
+        }
+        out.push_str("],\"points\":[");
+        for (p, label) in manifest.labels.iter().enumerate() {
+            if p > 0 {
+                out.push(',');
+            }
+            let done = state
+                .completed
+                .iter()
+                .filter(|&&u| u / manifest.units_per_point == p)
+                .count();
+            let _ = write!(
+                out,
+                "{{\"label\":{},\"done\":{done},\"total\":{}}}",
+                json_str(label),
+                manifest.units_per_point
+            );
+        }
+        out.push_str("],\"hosts\":[");
+        for (i, (host, done)) in state.host_done.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"host\":{},\"done\":{done}}}", json_str(host));
+        }
+        out.push_str("]}\n");
+        return Ok((out, code));
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -1481,26 +1760,21 @@ fn sweep_status(dir: &str) -> Result<(String, i32), CliError> {
             unit % manifest.units_per_point
         );
     }
-    let complete = state.completed.len() == manifest.total_units();
-    let (verdict, code) = match (complete, state.quarantined.is_empty()) {
-        (true, true) => ("complete — `qra sweep resume` prints the merged report", 0),
-        (true, false) => (
-            "complete with quarantined unit(s) — the report names them as skips",
-            3,
-        ),
-        (false, false) => (
-            "incomplete with quarantined unit(s) — `qra sweep resume` will finish it",
-            3,
-        ),
-        (false, true) => ("incomplete — `qra sweep resume` will finish it", 2),
+    let verdict = match (complete, state.quarantined.is_empty()) {
+        (true, true) => "complete — `qra sweep resume` prints the merged report",
+        (true, false) => "complete with quarantined unit(s) — the report names them as skips",
+        (false, false) => "incomplete with quarantined unit(s) — `qra sweep resume` will finish it",
+        (false, true) => "incomplete — `qra sweep resume` will finish it",
     };
     let _ = writeln!(out, "status: {verdict}");
     Ok((out, code))
 }
 
 /// `worker`: rebuilds the campaign from the manifest's argv and runs the
-/// claim-execute-record loop until no claimable unit remains.
-fn run_worker(dir: &str) -> Result<String, CliError> {
+/// claim-execute-record loop until no claimable unit remains. `host`
+/// labels the worker's results stream for per-host progress attribution
+/// (`None` = the legacy local stream name).
+fn run_worker(dir: &str, host: Option<&str>) -> Result<String, CliError> {
     let (rundir, manifest) = RunDir::open(dir)?;
     let Command::Campaign(args) = parse_args(&manifest.argv)? else {
         return Err(err("worker: manifest argv is not a campaign invocation"));
@@ -1514,10 +1788,11 @@ fn run_worker(dir: &str) -> Result<String, CliError> {
         quarantined_unit_record(&args, &setup, &points, point, cell, attempts)
             .map_err(|e| OrchError(e.0))
     };
-    let done = worker_loop(
+    let done = worker_loop_on(
         &rundir,
         &manifest,
         std::process::id() as usize,
+        host.unwrap_or(LOCAL_HOST),
         &run_unit,
         &quarantine,
     )?;
@@ -1530,21 +1805,185 @@ fn load(file: &str) -> Result<Circuit, CliError> {
     Ok(from_qasm(&text)?)
 }
 
+/// Runs one circuit through the campaign layer's backend routing
+/// ([`qra::faults::default_executor`]): ideal → state vector, noisy →
+/// density matrix (trajectory beyond the exact backend's width),
+/// `--backend auto|stabilizer` → the tableau engine. One routing for
+/// `run`, `assert`, campaign cells and daemon jobs — and one cache
+/// contract: with `cache` set, repeat circuits skip lowering,
+/// bit-identically.
 fn run_counts(
     circuit: &Circuit,
     shots: u64,
     seed: u64,
     noise: DevicePreset,
     sim_threads: usize,
+    backend: BackendChoice,
+    cache: Option<&Arc<ProgramCache>>,
 ) -> Result<Counts, CliError> {
-    Ok(match noise {
-        DevicePreset::Ideal => StatevectorSimulator::with_seed(seed)
-            .with_threads(sim_threads)
-            .run(circuit, shots)?,
-        preset => DensityMatrixSimulator::with_noise(preset.noise_model())
-            .with_threads(sim_threads)
-            .run(circuit, shots, seed)?,
+    let config = CampaignConfig {
+        shots,
+        seed,
+        noise: noise.noise_model(),
+        // One-shot runs have no cell matrix: a single job keeps
+        // `sim_threads` meaning what the flag says (0 = one per core).
+        jobs: 1,
+        sim_threads,
+        // No budget gate: `run --noise` always prefers the exact density
+        // backend, degrading to trajectories only past its width ceiling.
+        memory_budget_bytes: u64::MAX,
+        backend,
+        cache: cache.cloned(),
+        ..CampaignConfig::default()
+    };
+    let (counts, _backend) = qra::faults::default_executor(circuit, &config, seed)?;
+    Ok(counts)
+}
+
+/// Builds the `qra serve` daemon's job executor: parses one job argv with
+/// [`parse_args`] and runs it through [`execute_with_code_cached`] over
+/// the daemon's shared compile cache — so a daemon job's output and exit
+/// code are byte-identical to the same argv run one-shot. Nested service
+/// commands (`serve`, `submit`, `batch`) are refused; `sweep run` jobs
+/// with no host list inherit the daemon's `--hosts`.
+///
+/// Exposed so benches and tests can stand up an in-process daemon with
+/// the production executor.
+pub fn daemon_executor(cache: Arc<ProgramCache>, hosts: Vec<String>) -> Arc<JobExecutor> {
+    Arc::new(move |argv: &[String]| {
+        let command = parse_args(argv).map_err(|e| e.0)?;
+        let command = match command {
+            Command::Serve { .. } | Command::Submit { .. } | Command::Batch { .. } => {
+                return Err(
+                    "the daemon does not accept nested serve/submit/batch commands".to_string(),
+                )
+            }
+            Command::SweepRun {
+                dir,
+                workers,
+                unit_timeout_ms,
+                max_attempts,
+                hosts: job_hosts,
+                args,
+            } => Command::SweepRun {
+                dir,
+                workers,
+                unit_timeout_ms,
+                max_attempts,
+                hosts: if job_hosts.is_empty() {
+                    hosts.clone()
+                } else {
+                    job_hosts
+                },
+                args,
+            },
+            other => other,
+        };
+        execute_with_code_cached(&command, Some(&cache)).map_err(|e| e.0)
     })
+}
+
+/// `serve`: runs the streaming daemon (or, with `status`/`stop`, talks to
+/// a live one). Blocks until SIGTERM or a shutdown control drains it.
+fn serve_command(
+    socket: &str,
+    workers: usize,
+    queue_depth: usize,
+    hosts: &[String],
+    status: bool,
+    stop: bool,
+) -> Result<String, CliError> {
+    let socket = PathBuf::from(socket);
+    if status {
+        let line = request_status(&socket).map_err(|e| err(e.0))?;
+        return Ok(format!("{line}\n"));
+    }
+    if stop {
+        let ack = request_shutdown(&socket).map_err(|e| err(e.0))?;
+        return Ok(format!("{ack}\n"));
+    }
+    let cache = Arc::new(ProgramCache::new());
+    let executor = daemon_executor(Arc::clone(&cache), hosts.to_vec());
+    let server = Server::new(
+        ServerConfig {
+            socket,
+            workers,
+            queue_depth,
+            cache: Some(cache),
+            hosts: hosts.to_vec(),
+            handle_sigterm: true,
+        },
+        executor,
+    );
+    let summary = server.run().map_err(|e| err(e.0))?;
+    Ok(format!(
+        "serve: drained after {} job(s) ({} dropped), p99 {} us, uptime {:.1}s\n",
+        summary.metrics.processed,
+        summary.metrics.dropped,
+        summary.metrics.p99_us,
+        summary.uptime.as_secs_f64()
+    ))
+}
+
+/// `submit`: one job to a live daemon; prints the job's output verbatim
+/// and exits with its code, so scripting against the daemon behaves like
+/// scripting against one-shot `qra`.
+fn submit_command(socket: &str, argv: &[String]) -> Result<(String, i32), CliError> {
+    let mut responses = submit_jobs(Path::new(socket), &[argv.to_vec()]).map_err(|e| err(e.0))?;
+    let response = responses
+        .pop()
+        .ok_or_else(|| err("submit: the daemon sent no response"))?;
+    if response.ok {
+        Ok((response.output, response.code))
+    } else {
+        Err(err(format!(
+            "submit: {}",
+            response.error.as_deref().unwrap_or("job failed")
+        )))
+    }
+}
+
+/// `batch`: submits every job in the file (one whitespace-split argv per
+/// line; blank lines and `#` comments skipped) over one connection and
+/// summarizes the verdicts. Exit code 0 only when every job executed
+/// with code 0.
+fn batch_command(socket: &str, file: &str) -> Result<(String, i32), CliError> {
+    let text =
+        std::fs::read_to_string(file).map_err(|e| err(format!("cannot read {file}: {e}")))?;
+    let jobs: Vec<Vec<String>> = text
+        .lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .map(|line| line.split_whitespace().map(str::to_string).collect())
+        .collect();
+    if jobs.is_empty() {
+        return Err(err(format!("batch: {file} holds no jobs")));
+    }
+    let responses = submit_jobs(Path::new(socket), &jobs).map_err(|e| err(e.0))?;
+    let mut out = String::new();
+    let mut failed = 0;
+    for (i, r) in responses.iter().enumerate() {
+        if r.ok && r.code == 0 {
+            let _ = writeln!(out, "job {i}: ok ({} us)", r.latency_us);
+        } else if r.ok {
+            failed += 1;
+            let _ = writeln!(out, "job {i}: exit {} ({} us)", r.code, r.latency_us);
+        } else {
+            failed += 1;
+            let _ = writeln!(
+                out,
+                "job {i}: {}",
+                r.error.as_deref().unwrap_or("job failed")
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "batch: {}/{} job(s) ok",
+        responses.len() - failed,
+        responses.len()
+    );
+    Ok((out, i32::from(failed > 0)))
 }
 
 /// The usage text.
@@ -1553,10 +1992,10 @@ pub fn usage() -> String {
      \n\
      USAGE:\n\
      qra run <file.qasm> [--shots N] [--seed S] [--noise ideal|low|melbourne]\n\
-     \x20                  [--sim-threads T]\n\
+     \x20                  [--sim-threads T] [--backend default|auto|stabilizer]\n\
      qra assert <file.qasm> --qubits 0,1,2 --state <spec> [--design auto|swap|or|ndd]\n\
      \x20                  [--shots N] [--seed S] [--noise ideal|low|melbourne]\n\
-     \x20                  [--sim-threads T]\n\
+     \x20                  [--sim-threads T] [--backend default|auto|stabilizer]\n\
      qra cost --qubits-count N --state <spec>\n\
      qra info <file.qasm>\n\
      qra campaign (<file.qasm> | --ghz N) [--state <spec>] [--designs swap,or,ndd,stat|all]\n\
@@ -1568,10 +2007,14 @@ pub fn usage() -> String {
      \x20                  [--json]\n\
      qra campaign merge <shard.json|partial.json>… [--json]\n\
      qra sweep run --run-dir <dir> [--workers W] [--unit-timeout SECS] [--max-attempts N]\n\
-     \x20                  (<file.qasm> | --ghz N) --sweep … [flags]\n\
+     \x20                  [--hosts a,b,…] (<file.qasm> | --ghz N) --sweep … [flags]\n\
      qra sweep resume <dir> [--workers W] [--json]\n\
-     qra sweep status <dir>\n\
-     qra worker --run-dir <dir>\n\
+     qra sweep status <dir> [--json]\n\
+     qra worker --run-dir <dir> [--host LABEL]\n\
+     qra serve [--socket PATH] [--workers W] [--queue-depth N] [--hosts a,b,…]\n\
+     qra serve --status | --stop [--socket PATH]\n\
+     qra submit [--socket PATH] <job argv…>\n\
+     qra batch <jobs.txt> [--socket PATH]\n\
      \n\
      STATE SPECS: ghz | bell | w | plus | zero | basis:IDX | set:I1;I2;… | amps:re,im;…\n\
      \n\
@@ -1600,7 +2043,19 @@ pub fn usage() -> String {
      reclaims the unit; a unit that fails --max-attempts times (default 3)\n\
      is quarantined — recorded as a named skip carrying its attempt\n\
      history instead of blocking the sweep forever. 'sweep status' exits\n\
-     0 when complete, 2 while units remain, 3 when units are quarantined.\n"
+     0 when complete, 2 while units remain, 3 when units are quarantined\n\
+     (--json emits the same facts machine-readably, per-host included).\n\
+     --hosts distributes workers round-robin over the listed hosts: labels\n\
+     prefixed 'local' spawn locally (with labelled result streams), the\n\
+     rest are reached over ssh assuming a shared run directory mount.\n\
+     'serve' runs the streaming assertion daemon: line-delimited JSON jobs\n\
+     over a Unix socket, a bounded work queue with backpressure, and a\n\
+     compiled-program cache so repeat circuits skip lowering. Responses\n\
+     are byte-identical to one-shot runs at the same argv. 'submit' sends\n\
+     one job (exits with the job's code); 'batch' streams a file of jobs.\n\
+     'serve --status' prints processed/dropped counters, queue depth,\n\
+     cache hits and p50/p95/p99 latency; SIGTERM (or 'serve --stop')\n\
+     drains accepted jobs before exit.\n"
         .to_string()
 }
 
@@ -1623,6 +2078,7 @@ mod tests {
                 seed: 9,
                 noise: DevicePreset::Ideal,
                 sim_threads: 1,
+                backend: BackendChoice::Default,
             }
         );
         let cmd = parse_args(&args(&["run", "foo.qasm", "--sim-threads", "4"])).unwrap();
@@ -1722,6 +2178,7 @@ mod tests {
             seed: 1,
             noise: DevicePreset::Ideal,
             sim_threads: 1,
+            backend: BackendChoice::Default,
         })
         .unwrap();
         assert!(out.contains("error rate:    0.0000"), "{out}");
@@ -1737,6 +2194,7 @@ mod tests {
             seed: 1,
             noise: DevicePreset::Ideal,
             sim_threads: 1,
+            backend: BackendChoice::Default,
         })
         .unwrap();
         assert!(out.contains("FAIL"), "{out}");
@@ -1747,6 +2205,7 @@ mod tests {
             seed: 2,
             noise: DevicePreset::Ideal,
             sim_threads: 1,
+            backend: BackendChoice::Default,
         })
         .unwrap();
         assert!(out.contains("shots: 256"));
@@ -1773,6 +2232,7 @@ mod tests {
             seed: 3,
             noise: DevicePreset::Ideal,
             sim_threads: 1,
+            backend: BackendChoice::Default,
         })
         .unwrap();
         assert!(out.contains("pass"), "{out}");
@@ -1835,12 +2295,14 @@ mod tests {
                 workers,
                 unit_timeout_ms,
                 max_attempts,
+                hosts,
                 args,
             } => {
                 assert_eq!(dir, "rd");
                 assert_eq!(workers, Some(2));
                 assert_eq!(unit_timeout_ms, None, "no timeout unless asked");
                 assert_eq!(max_attempts, DEFAULT_MAX_ATTEMPTS);
+                assert!(hosts.is_empty());
                 assert_eq!(args.source, CampaignSource::Ghz(2));
                 assert_eq!(args.shots, 64);
                 assert_eq!(args.sweep.as_ref().map(Vec::len), Some(2));
@@ -1926,11 +2388,32 @@ mod tests {
         );
         assert_eq!(
             parse_args(&args(&["sweep", "status", "rd"])).unwrap(),
-            Command::SweepStatus { dir: "rd".into() }
+            Command::SweepStatus {
+                dir: "rd".into(),
+                json: false,
+            }
         );
         assert_eq!(
             parse_args(&args(&["worker", "--run-dir", "rd"])).unwrap(),
-            Command::Worker { dir: "rd".into() }
+            Command::Worker {
+                dir: "rd".into(),
+                host: None,
+            }
+        );
+        // A worker can carry a host label for its results stream.
+        assert_eq!(
+            parse_args(&args(&["worker", "--run-dir", "rd", "--host", "hostA"])).unwrap(),
+            Command::Worker {
+                dir: "rd".into(),
+                host: Some("hostA".into()),
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["sweep", "status", "rd", "--json"])).unwrap(),
+            Command::SweepStatus {
+                dir: "rd".into(),
+                json: true,
+            }
         );
         // Orchestration needs a sweep; its run dir already shards the grid.
         assert!(parse_args(&args(&["sweep", "run", "--run-dir", "rd", "--ghz", "2"])).is_err());
@@ -1964,6 +2447,157 @@ mod tests {
             "0"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parses_service_commands() {
+        let cmd = parse_args(&args(&[
+            "serve",
+            "--socket",
+            "/tmp/q.sock",
+            "--workers",
+            "2",
+            "--queue-depth",
+            "8",
+            "--hosts",
+            "localA,localB",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                socket: "/tmp/q.sock".into(),
+                workers: 2,
+                queue_depth: 8,
+                hosts: vec!["localA".into(), "localB".into()],
+                status: false,
+                stop: false,
+            }
+        );
+        assert!(matches!(
+            parse_args(&args(&["serve"])).unwrap(),
+            Command::Serve {
+                workers: 0,
+                queue_depth: 256,
+                status: false,
+                stop: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_args(&args(&["serve", "--status"])).unwrap(),
+            Command::Serve { status: true, .. }
+        ));
+        assert!(matches!(
+            parse_args(&args(&["serve", "--stop"])).unwrap(),
+            Command::Serve { stop: true, .. }
+        ));
+        assert!(parse_args(&args(&["serve", "--status", "--stop"])).is_err());
+        assert!(parse_args(&args(&["serve", "--queue-depth", "0"])).is_err());
+
+        // The job argv starts at the first non-flag token, flags included…
+        let cmd = parse_args(&args(&[
+            "submit", "--socket", "s.sock", "run", "f.qasm", "--shots", "64",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Submit {
+                socket: "s.sock".into(),
+                argv: args(&["run", "f.qasm", "--shots", "64"]),
+            }
+        );
+        // …or after a literal `--`.
+        let cmd = parse_args(&args(&["submit", "--", "sweep", "status", "rd", "--json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Submit {
+                socket: DEFAULT_SOCKET.into(),
+                argv: args(&["sweep", "status", "rd", "--json"]),
+            }
+        );
+        assert!(parse_args(&args(&["submit"])).is_err());
+        assert!(parse_args(&args(&["submit", "--socket", "s.sock"])).is_err());
+
+        assert_eq!(
+            parse_args(&args(&["batch", "jobs.txt", "--socket", "s.sock"])).unwrap(),
+            Command::Batch {
+                socket: "s.sock".into(),
+                file: "jobs.txt".into(),
+            }
+        );
+        assert!(parse_args(&args(&["batch"])).is_err());
+    }
+
+    #[test]
+    fn parses_backend_for_run_and_assert() {
+        assert!(matches!(
+            parse_args(&args(&["run", "f.qasm", "--backend", "stabilizer"])).unwrap(),
+            Command::Run {
+                backend: BackendChoice::Stabilizer,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_args(&args(&[
+                "assert",
+                "f.qasm",
+                "--qubits",
+                "0",
+                "--state",
+                "zero",
+                "--backend",
+                "auto",
+            ]))
+            .unwrap(),
+            Command::Assert {
+                backend: BackendChoice::Auto,
+                ..
+            }
+        ));
+        assert!(parse_args(&args(&["run", "f.qasm", "--backend", "quantum"])).is_err());
+    }
+
+    #[test]
+    fn run_backends_agree_on_clifford_circuits() {
+        // `--backend stabilizer` and the default statevector routing are
+        // documented to produce bit-identical histograms on Clifford
+        // circuits — the CLI layer must preserve that.
+        let dir = std::env::temp_dir().join("qra_cli_backend_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bell.qasm");
+        std::fs::write(
+            &path,
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\n\
+             h q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\nmeasure q[1] -> c[1];\n",
+        )
+        .unwrap();
+        let run = |backend| {
+            execute(&Command::Run {
+                file: path.to_str().unwrap().to_string(),
+                shots: 512,
+                seed: 7,
+                noise: DevicePreset::Ideal,
+                sim_threads: 1,
+                backend,
+            })
+            .unwrap()
+        };
+        let default = run(BackendChoice::Default);
+        assert_eq!(default, run(BackendChoice::Stabilizer));
+        assert_eq!(default, run(BackendChoice::Auto));
+        // Forcing the tableau under noise is a hard error, same as in
+        // campaigns.
+        let e = execute(&Command::Run {
+            file: path.to_str().unwrap().to_string(),
+            shots: 512,
+            seed: 7,
+            noise: DevicePreset::LowNoise,
+            sim_threads: 1,
+            backend: BackendChoice::Stabilizer,
+        })
+        .unwrap_err();
+        assert!(e.0.contains("stabilizer"), "{e}");
     }
 
     #[test]

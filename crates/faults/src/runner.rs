@@ -23,14 +23,14 @@ use qra_core::baselines::statistical_assertion;
 use qra_core::{insert_assertion, Design, StateSpec};
 use qra_sim::threads::resolve_threads;
 use qra_sim::{
-    CompiledProgram, Counts, DensityMatrixSimulator, NoiseModel, SimError, StabilizerSimulator,
-    StatevectorSimulator, TrajectorySimulator,
+    CompiledProgram, Counts, DensityMatrixSimulator, NoiseModel, ProgramCache, SimError,
+    StabilizerSimulator, StatevectorSimulator, TrajectorySimulator,
 };
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -297,6 +297,12 @@ pub struct CampaignConfig {
     /// design bypasses the executor entirely and always samples on the
     /// statevector backend regardless of this choice.
     pub backend: BackendChoice,
+    /// Shared compiled-program cache consulted by [`default_executor`];
+    /// `None` compiles per cell as before. Cached and fresh compiles are
+    /// bit-identical (lowering is a pure pass), so installing a cache
+    /// never changes report contents — [`run_campaign`] installs a
+    /// per-campaign cache automatically when this is `None`.
+    pub cache: Option<Arc<ProgramCache>>,
 }
 
 /// The resolved two-layer worker budget for one campaign run: `jobs`
@@ -364,6 +370,7 @@ impl Default for CampaignConfig {
             sim_threads: 0,
             shard: None,
             backend: BackendChoice::Default,
+            cache: None,
         }
     }
 }
@@ -413,27 +420,51 @@ pub fn default_executor(
     if config.noise.is_ideal() {
         // Lower once, then execute: every campaign cell re-runs the same
         // mutant circuit for thousands of shots, so the kernel lowering is
-        // amortized across the whole cell.
-        let program = CompiledProgram::compile(circuit)?;
-        let counts = StatevectorSimulator::with_seed(seed)
-            .with_threads(sim_threads)
-            .run_compiled(&program, config.shots)?;
+        // amortized across the whole cell. With a cache installed, repeat
+        // circuits (calibration repeats, retries, streamed requests) skip
+        // lowering entirely — bit-identically, since compilation is pure.
+        let counts = match &config.cache {
+            Some(cache) => {
+                let program = cache.compile_statevector(circuit)?;
+                StatevectorSimulator::with_seed(seed)
+                    .with_threads(sim_threads)
+                    .run_compiled(&program, config.shots)?
+            }
+            None => {
+                let program = CompiledProgram::compile(circuit)?;
+                StatevectorSimulator::with_seed(seed)
+                    .with_threads(sim_threads)
+                    .run_compiled(&program, config.shots)?
+            }
+        };
         return Ok((counts, BackendKind::Statevector));
     }
     let density_bytes = 16u128.checked_shl(2 * n).unwrap_or(u128::MAX);
     if density_bytes <= u128::from(config.memory_budget_bytes) {
         // Lower circuit + noise once per cell, then execute the compiled
-        // density program (kernel conjugation pairs over vec(ρ)).
+        // density program (kernel conjugation pairs over vec(ρ)). Density
+        // cache entries key on (circuit, noise) because the noise model is
+        // baked in at lowering.
         let sim =
             DensityMatrixSimulator::with_noise(config.noise.clone()).with_threads(sim_threads);
-        match sim.compile(circuit) {
-            Ok(program) => {
-                let counts = sim.run_compiled(&program, config.shots, seed)?;
-                return Ok((counts, BackendKind::DensityMatrix));
-            }
-            // Budget fits but the exact backend caps out: degrade.
-            Err(SimError::TooManyQubits { .. }) => {}
-            Err(e) => return Err(e),
+        let compiled = match &config.cache {
+            Some(cache) => cache
+                .compile_density(circuit, &config.noise)
+                .map(Some)
+                .or_else(|e| match e {
+                    SimError::TooManyQubits { .. } => Ok(None),
+                    other => Err(other),
+                })?,
+            None => match sim.compile(circuit) {
+                Ok(program) => Some(Arc::new(program)),
+                // Budget fits but the exact backend caps out: degrade.
+                Err(SimError::TooManyQubits { .. }) => None,
+                Err(e) => return Err(e),
+            },
+        };
+        if let Some(program) = compiled {
+            let counts = sim.run_compiled(&program, config.shots, seed)?;
+            return Ok((counts, BackendKind::DensityMatrix));
         }
     }
     let counts = TrajectorySimulator::new(config.noise.clone(), seed)
@@ -455,7 +486,19 @@ pub fn run_campaign(
     mutants: &[Mutant],
     config: &CampaignConfig,
 ) -> CampaignReport {
-    run_campaign_with_executor(program, qubits, spec, mutants, config, &default_executor)
+    // Install a per-campaign compiled-program cache when the caller did
+    // not supply a shared one, so cells sharing a circuit (retries,
+    // no-op mutants, repeated designs) lower it once. Cached execution
+    // is bit-identical to fresh compilation, so this never changes
+    // report contents.
+    let config = match config.cache {
+        Some(_) => config.clone(),
+        None => CampaignConfig {
+            cache: Some(Arc::new(ProgramCache::new())),
+            ..config.clone()
+        },
+    };
+    run_campaign_with_executor(program, qubits, spec, mutants, &config, &default_executor)
 }
 
 /// The shared wall-clock budget: one `Instant` for every worker plus a

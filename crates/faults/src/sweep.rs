@@ -445,6 +445,16 @@ fn run_sweep_inner(
     mutants: &[Mutant],
     mut run: impl FnMut(&CampaignConfig, &[Mutant]) -> CampaignReport,
 ) -> SweepReport {
+    // One compiled-program cache spans the whole sweep: points share the
+    // same circuits (only the noise differs), so the ideal-path programs
+    // and the calibration repeats' lowering are reused across points.
+    // Cached execution is bit-identical to fresh compilation, so this
+    // never changes the report.
+    let shared_cache = config
+        .base
+        .cache
+        .clone()
+        .unwrap_or_else(|| std::sync::Arc::new(qra_sim::ProgramCache::new()));
     let parts = config
         .points
         .iter()
@@ -452,6 +462,7 @@ fn run_sweep_inner(
         .map(|(point_index, point)| {
             let point_config = CampaignConfig {
                 noise: point.noise.clone(),
+                cache: Some(std::sync::Arc::clone(&shared_cache)),
                 ..config.base.clone()
             };
             // Auto margins calibrate on no-mutant campaigns with derived

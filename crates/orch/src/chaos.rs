@@ -222,6 +222,7 @@ mod tests {
             workers: 1,
             unit_timeout_ms: None,
             max_attempts: 3,
+            hosts: vec![],
         };
         let dir = RunDir::init(&root, &m).unwrap();
         (root, dir)

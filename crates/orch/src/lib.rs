@@ -49,12 +49,14 @@ pub mod worker;
 
 pub use chaos::Chaos;
 pub use lease::Lease;
-pub use orchestrate::{monitor_workers, run_threaded, spawn_workers, EpochOutcome};
-pub use rundir::{
-    parse_progress, progress_json, Manifest, ResultsStream, RunDir, ScanState, ATTEMPT_REASON_DIED,
-    DEFAULT_MAX_ATTEMPTS,
+pub use orchestrate::{
+    monitor_workers, run_threaded, spawn_workers, spawn_workers_on, EpochOutcome,
 };
-pub use worker::{worker_loop, QuarantineRenderer, UnitRunner};
+pub use rundir::{
+    parse_progress, progress_json, stream_host, Manifest, ResultsStream, RunDir, ScanState,
+    ATTEMPT_REASON_DIED, DEFAULT_MAX_ATTEMPTS, LOCAL_HOST,
+};
+pub use worker::{worker_loop, worker_loop_on, QuarantineRenderer, UnitRunner};
 
 use std::fmt;
 

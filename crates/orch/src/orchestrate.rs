@@ -34,19 +34,72 @@ const MONITOR_INTERVAL: Duration = Duration::from_millis(300);
 /// Returns [`OrchError`] when the current executable cannot be determined
 /// or a spawn fails.
 pub fn spawn_workers(dir: &RunDir, workers: usize) -> Result<Vec<Child>, OrchError> {
+    spawn_workers_on(dir, workers, &[])
+}
+
+/// [`spawn_workers`] distributed round-robin over a host list. An empty
+/// list (and the literal host [`crate::rundir::LOCAL_HOST`]) spawns the
+/// legacy local worker. Other `local`-prefixed labels (e.g. `localA`)
+/// spawn locally but write host-labelled result streams — the testable
+/// multi-host shape. Anything else is reached as
+/// `ssh <host> <exe> worker --run-dir <dir> --host <host>`, which
+/// assumes the run directory is on a shared mount and the `qra` binary
+/// sits at the same path on the remote host.
+///
+/// # Errors
+///
+/// Returns [`OrchError`] when the current executable cannot be determined
+/// or a spawn fails (a dead ssh target surfaces as a worker that exits
+/// nonzero, not a spawn failure).
+pub fn spawn_workers_on(
+    dir: &RunDir,
+    workers: usize,
+    hosts: &[String],
+) -> Result<Vec<Child>, OrchError> {
     let exe = std::env::current_exe()
         .map_err(|e| OrchError(format!("cannot locate own executable: {e}")))?;
+    // Remote shells start in $HOME: ship an absolute run-dir path.
+    let abs_root = dir
+        .root()
+        .canonicalize()
+        .unwrap_or_else(|_| dir.root().to_path_buf());
     let mut children = Vec::with_capacity(workers);
-    for _ in 0..workers {
-        let spawned = Command::new(&exe)
-            .arg("worker")
-            .arg("--run-dir")
-            .arg(dir.root())
+    for w in 0..workers {
+        let host = if hosts.is_empty() {
+            crate::rundir::LOCAL_HOST
+        } else {
+            hosts[w % hosts.len()].as_str()
+        };
+        let mut command = if host == crate::rundir::LOCAL_HOST {
+            let mut c = Command::new(&exe);
+            c.arg("worker").arg("--run-dir").arg(dir.root());
+            c
+        } else if host.starts_with("local") {
+            let mut c = Command::new(&exe);
+            c.arg("worker")
+                .arg("--run-dir")
+                .arg(dir.root())
+                .arg("--host")
+                .arg(host);
+            c
+        } else {
+            let mut c = Command::new("ssh");
+            c.arg("-oBatchMode=yes")
+                .arg(host)
+                .arg(exe.as_os_str())
+                .arg("worker")
+                .arg("--run-dir")
+                .arg(&abs_root)
+                .arg("--host")
+                .arg(host);
+            c
+        };
+        let spawned = command
             .stdin(Stdio::null())
             .stdout(Stdio::null())
             .stderr(Stdio::inherit())
             .spawn()
-            .map_err(|e| OrchError(format!("spawning worker: {e}")));
+            .map_err(|e| OrchError(format!("spawning worker for host {host}: {e}")));
         match spawned {
             Ok(child) => children.push(child),
             Err(e) => {
@@ -207,7 +260,7 @@ fn police_leases(
                     )?;
                     dir.release_claim(unit)?;
                 }
-                children.extend(spawn_workers(dir, 1)?);
+                children.extend(spawn_workers_on(dir, 1, &manifest.hosts)?);
             }
             None => {
                 // The owner is not a live child: it died (or was killed)
@@ -216,7 +269,7 @@ fn police_leases(
                 // instead of stalling until the epoch boundary.
                 dir.record_attempt(unit, ATTEMPT_REASON_DIED)?;
                 dir.release_claim(unit)?;
-                children.extend(spawn_workers(dir, 1)?);
+                children.extend(spawn_workers_on(dir, 1, &manifest.hosts)?);
             }
         }
     }
@@ -310,6 +363,7 @@ mod tests {
             workers: 3,
             unit_timeout_ms: None,
             max_attempts: 3,
+            hosts: vec![],
         }
     }
 

@@ -29,7 +29,7 @@ use crate::lease::{self, Lease};
 use crate::OrchError;
 use qra_faults::json::{self, json_str, Json};
 use qra_faults::{parse_unit_record, CellStatus, SweepUnitPayload, SweepUnitRecord};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write as _;
@@ -45,6 +45,27 @@ pub const DEFAULT_MAX_ATTEMPTS: u32 = 3;
 /// quarantined attempt history is byte-identical regardless of worker
 /// count, kill timing, or which mechanism observed each death.
 pub const ATTEMPT_REASON_DIED: &str = "worker died before recording the unit";
+
+/// The host label for workers running on the orchestrator's own machine.
+/// Local streams keep the legacy unlabelled `w<pid>.jsonl` name.
+pub const LOCAL_HOST: &str = "local";
+
+/// Extracts the worker host label from a results-stream file name:
+/// `w<pid>.jsonl` is [`LOCAL_HOST`], `w<pid>.<host>.jsonl` is `<host>`.
+/// `None` for names no stream writer produces.
+pub fn stream_host(file_name: &str) -> Option<&str> {
+    let stem = file_name.strip_prefix('w')?.strip_suffix(".jsonl")?;
+    match stem.split_once('.') {
+        None => {
+            stem.parse::<u64>().ok()?;
+            Some(LOCAL_HOST)
+        }
+        Some((pid, host)) => {
+            pid.parse::<u64>().ok()?;
+            (!host.is_empty()).then_some(host)
+        }
+    }
+}
 
 /// What a run directory executes: the sweep's canonical CLI argv plus the
 /// unit-grid coordinates every worker and merger must agree on.
@@ -70,6 +91,11 @@ pub struct Manifest {
     /// Attempts before a unit is quarantined (`--max-attempts`); 0
     /// disables quarantine.
     pub max_attempts: u32,
+    /// Worker host labels (`--hosts`); empty means local-only. Hosts
+    /// named `local` (or prefixed `local`) spawn workers directly — the
+    /// rest are reached over ssh, assuming the run directory sits on a
+    /// shared mount and the `qra` binary path is valid on every host.
+    pub hosts: Vec<String>,
 }
 
 impl Manifest {
@@ -106,7 +132,7 @@ impl Manifest {
         let _ = write!(
             out,
             "],\"cells_per_point\":{},\"units_per_point\":{},\"margin\":{},\"workers\":{},\
-             \"unit_timeout_ms\":{},\"max_attempts\":{}}}",
+             \"unit_timeout_ms\":{},\"max_attempts\":{},\"hosts\":[",
             self.cells_per_point,
             self.units_per_point,
             json_str(&self.margin),
@@ -115,6 +141,13 @@ impl Manifest {
                 .map_or("null".to_string(), |ms| ms.to_string()),
             self.max_attempts
         );
+        for (i, h) in self.hosts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(h));
+        }
+        out.push_str("]}");
         out
     }
 
@@ -143,6 +176,15 @@ impl Manifest {
                 None => DEFAULT_MAX_ATTEMPTS,
                 Some(v) => u32::try_from(v.as_u64()?)
                     .map_err(|_| OrchError("manifest: max_attempts out of range".into()))?,
+            },
+            // Absent in pre-multi-host manifests: those runs are local.
+            hosts: match root.get("hosts") {
+                None => Vec::new(),
+                Some(v) => v
+                    .as_arr()?
+                    .iter()
+                    .map(|h| Ok(h.as_str()?.to_string()))
+                    .collect::<Result<_, OrchError>>()?,
             },
         })
     }
@@ -175,6 +217,9 @@ pub struct ScanState {
     /// and checksum details. A corrupt record is treated as absent — its
     /// unit stays re-runnable — never silently parsed and never fatal.
     pub corrupt: Vec<String>,
+    /// Completed-unit count per worker host (stream-name attribution);
+    /// local-only runs report everything under [`LOCAL_HOST`].
+    pub host_done: BTreeMap<String, usize>,
 }
 
 /// A handle on an initialized run directory.
@@ -397,9 +442,26 @@ impl RunDir {
     ///
     /// Returns [`OrchError`] on I/O failure.
     pub fn open_results_stream(&self) -> Result<ResultsStream, OrchError> {
-        let path = self
-            .results_dir()
-            .join(format!("w{}.jsonl", std::process::id()));
+        self.open_results_stream_for(LOCAL_HOST)
+    }
+
+    /// Opens this process's results stream labelled with a worker host
+    /// (`results/w<pid>.<host>.jsonl`); the label feeds per-host progress
+    /// attribution. [`LOCAL_HOST`] keeps the legacy `w<pid>.jsonl` name,
+    /// so local-only runs are byte-compatible with older run dirs. Pids
+    /// from different hosts may collide, but the host label keeps the
+    /// file names distinct.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrchError`] on I/O failure.
+    pub fn open_results_stream_for(&self, host: &str) -> Result<ResultsStream, OrchError> {
+        let name = if host == LOCAL_HOST {
+            format!("w{}.jsonl", std::process::id())
+        } else {
+            format!("w{}.{host}.jsonl", std::process::id())
+        };
+        let path = self.results_dir().join(name);
         let file = OpenOptions::new()
             .create(true)
             .append(true)
@@ -433,6 +495,12 @@ impl RunDir {
             .collect();
         paths.sort();
         for path in paths {
+            let host = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(stream_host)
+                .unwrap_or(LOCAL_HOST)
+                .to_string();
             let text = fs::read_to_string(&path).map_err(|e| io_err("reading", &path, e))?;
             let mut rest = text.as_str();
             let mut line_no = 0usize;
@@ -479,6 +547,7 @@ impl RunDir {
                 if unit_failed(&record) {
                     state.failed.insert(unit);
                 }
+                *state.host_done.entry(host.clone()).or_insert(0) += 1;
                 state.records.push(record);
             }
             if !rest.is_empty() {
@@ -654,6 +723,15 @@ pub fn progress_json(
                 .map_or("null".to_string(), json::json_f64)
         );
     }
+    // Per-host attribution: which worker host completed how many units
+    // (BTreeMap order keeps the rendering deterministic).
+    out.push_str("],\"hosts\":[");
+    for (i, (host, done)) in state.host_done.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"host\":{},\"done\":{done}}}", json_str(host));
+    }
     out.push_str("]}");
     out
 }
@@ -694,6 +772,7 @@ mod tests {
             workers: 2,
             unit_timeout_ms: Some(1500),
             max_attempts: 3,
+            hosts: vec![],
         }
     }
 
@@ -711,12 +790,33 @@ mod tests {
         };
         assert!(m.to_json().contains("\"unit_timeout_ms\":null"));
         assert_eq!(Manifest::from_json(&m.to_json()).unwrap(), m);
-        // Pre-lease manifests (no timeout/attempt fields) still load.
+        // Pre-lease manifests (no timeout/attempt/host fields) still load.
         let legacy = "{\"argv\":[],\"labels\":[\"a\"],\"cells_per_point\":1,\
                       \"units_per_point\":1,\"margin\":\"0.02\",\"workers\":1}";
         let m = Manifest::from_json(legacy).unwrap();
         assert_eq!(m.unit_timeout_ms, None);
         assert_eq!(m.max_attempts, DEFAULT_MAX_ATTEMPTS);
+        assert!(m.hosts.is_empty(), "pre-multi-host manifests are local");
+        // A host list round-trips.
+        let m = Manifest {
+            hosts: vec!["localA".into(), "node7".into()],
+            ..manifest()
+        };
+        assert!(m.to_json().contains("\"hosts\":[\"localA\",\"node7\"]"));
+        assert_eq!(Manifest::from_json(&m.to_json()).unwrap(), m);
+    }
+
+    #[test]
+    fn stream_host_parses_worker_stream_names() {
+        assert_eq!(stream_host("w123.jsonl"), Some(LOCAL_HOST));
+        assert_eq!(stream_host("w123.hostA.jsonl"), Some("hostA"));
+        assert_eq!(stream_host("w9.local.jsonl"), Some("local"));
+        assert_eq!(stream_host("w123.jsonl.tmp"), None);
+        assert_eq!(stream_host("wabc.jsonl"), None, "pid must be numeric");
+        assert_eq!(stream_host("wabc.hostA.jsonl"), None);
+        assert_eq!(stream_host("w123..jsonl"), None, "empty host label");
+        assert_eq!(stream_host("progress.json"), None);
+        assert_eq!(stream_host("u12"), None);
     }
 
     #[test]
@@ -896,6 +996,48 @@ mod tests {
         assert_eq!(state.completed, BTreeSet::from([1]));
         assert_eq!(state.corrupt.len(), 1, "{:?}", state.corrupt);
         assert!(state.corrupt[0].contains("line 1"), "{:?}", state.corrupt);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn scan_attributes_completed_units_to_stream_hosts() {
+        let root = tmpdir("hosts");
+        let m = manifest();
+        let dir = RunDir::init(&root, &m).unwrap();
+        let record = |unit: usize| {
+            let (p, c) = m.unit_coords(unit);
+            format!("{{\"point\":{p},\"cell\":{c},\"margins\":[]}}")
+        };
+        // Two labelled host streams plus one legacy local stream.
+        let mut a = dir.open_results_stream_for("hostA").unwrap();
+        a.append(&record(0)).unwrap();
+        a.append(&record(1)).unwrap();
+        dir.open_results_stream_for("hostB")
+            .unwrap()
+            .append(&record(2))
+            .unwrap();
+        dir.open_results_stream()
+            .unwrap()
+            .append(&record(3))
+            .unwrap();
+        let state = dir.scan(&m).unwrap();
+        assert_eq!(state.completed, BTreeSet::from([0, 1, 2, 3]));
+        assert_eq!(
+            state.host_done,
+            BTreeMap::from([
+                ("hostA".to_string(), 2),
+                ("hostB".to_string(), 1),
+                (LOCAL_HOST.to_string(), 1),
+            ])
+        );
+        let json = progress_json(&m, &state, &[None, None]);
+        assert!(
+            json.contains(
+                "\"hosts\":[{\"host\":\"hostA\",\"done\":2},\
+                 {\"host\":\"hostB\",\"done\":1},{\"host\":\"local\",\"done\":1}]"
+            ),
+            "{json}"
+        );
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -17,7 +17,7 @@
 //! than an infinite resume loop.
 
 use crate::chaos::Chaos;
-use crate::rundir::{Manifest, RunDir};
+use crate::rundir::{Manifest, RunDir, LOCAL_HOST};
 use crate::OrchError;
 
 /// Executes one unit, returning its serialized
@@ -54,6 +54,25 @@ pub fn worker_loop(
     run_unit: &UnitRunner<'_>,
     quarantine: &QuarantineRenderer<'_>,
 ) -> Result<usize, OrchError> {
+    worker_loop_on(dir, manifest, scatter, LOCAL_HOST, run_unit, quarantine)
+}
+
+/// [`worker_loop`] writing a host-labelled results stream, so progress
+/// snapshots attribute completed units to the worker's host. Remote
+/// workers spawned over ssh pass their `--host` label; [`LOCAL_HOST`]
+/// keeps the legacy stream name (and is what [`worker_loop`] passes).
+///
+/// # Errors
+///
+/// Returns [`OrchError`] on I/O failure, like [`worker_loop`].
+pub fn worker_loop_on(
+    dir: &RunDir,
+    manifest: &Manifest,
+    scatter: usize,
+    host: &str,
+    run_unit: &UnitRunner<'_>,
+    quarantine: &QuarantineRenderer<'_>,
+) -> Result<usize, OrchError> {
     let total = manifest.total_units();
     if total == 0 {
         return Ok(0);
@@ -64,7 +83,7 @@ pub fn worker_loop(
         .and_then(Chaos::scatter_override)
         .unwrap_or(scatter);
     let completed = dir.scan(manifest)?.completed;
-    let mut stream = dir.open_results_stream()?;
+    let mut stream = dir.open_results_stream_for(host)?;
     let start = scatter % total;
     let mut done = 0;
     for i in 0..total {
@@ -139,6 +158,7 @@ mod tests {
             workers: 1,
             unit_timeout_ms: None,
             max_attempts: 3,
+            hosts: vec![],
         }
     }
 

@@ -19,7 +19,10 @@
 //!   campaign shards;
 //! * [`orch`] — the distributed sweep orchestrator: crash-safe run
 //!   directories, claim-based worker scheduling, and kill+resume with
-//!   byte-identical reassembly.
+//!   byte-identical reassembly;
+//! * [`serve`] — the streaming assertion service: a Unix-socket daemon
+//!   with a lock-free work queue, a compiled-program cache, online
+//!   latency percentiles, and graceful SIGTERM drain.
 //!
 //! # Quickstart
 //!
@@ -46,6 +49,7 @@ pub use qra_core as core;
 pub use qra_faults as faults;
 pub use qra_math as math;
 pub use qra_orch as orch;
+pub use qra_serve as serve;
 pub use qra_sim as sim;
 
 /// One-stop imports for applications.

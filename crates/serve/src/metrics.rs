@@ -1,0 +1,178 @@
+//! Streaming-harness metrics: processed/dropped counters and online
+//! latency percentiles over a bounded reservoir of recent samples.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Most recent latency samples retained for percentile estimation; old
+/// samples are overwritten ring-style so a long-lived daemon reports
+/// current behavior, not its all-time history.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Counters and latency reservoir shared by every worker thread.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    processed: AtomicU64,
+    dropped: AtomicU64,
+    in_flight: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+#[derive(Debug, Default)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+    total: u64,
+}
+
+/// Point-in-time metrics snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Jobs completed (successfully or with a job-level error response).
+    pub processed: u64,
+    /// Jobs rejected because the queue was full.
+    pub dropped: u64,
+    /// Jobs popped by a worker but not yet finished.
+    pub in_flight: u64,
+    /// Total latency samples ever recorded (may exceed the window).
+    pub latency_count: u64,
+    /// 50th-percentile job latency in microseconds (0 when no samples).
+    pub p50_us: u64,
+    /// 95th-percentile job latency in microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile job latency in microseconds.
+    pub p99_us: u64,
+}
+
+impl ServeMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> ServeMetrics {
+        ServeMetrics::default()
+    }
+
+    /// Marks one job popped from the queue.
+    pub fn job_started(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one job finished, recording its end-to-end latency
+    /// (enqueue to response) in microseconds.
+    pub fn job_finished(&self, latency_us: u64) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.processed.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.latencies.lock().expect("metrics poisoned");
+        ring.total += 1;
+        if ring.samples.len() < LATENCY_WINDOW {
+            ring.samples.push(latency_us);
+        } else {
+            let at = ring.next;
+            ring.samples[at] = latency_us;
+        }
+        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// Marks one job rejected at the queue (backpressure drop).
+    pub fn job_dropped(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of jobs completed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed.load(Ordering::Relaxed)
+    }
+
+    /// Number of jobs rejected at the queue so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of jobs currently executing.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Computes a point-in-time snapshot; percentiles use nearest-rank
+    /// over the retained window.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let (latency_count, sorted) = {
+            let ring = self.latencies.lock().expect("metrics poisoned");
+            let mut sorted = ring.samples.clone();
+            sorted.sort_unstable();
+            (ring.total, sorted)
+        };
+        MetricsSnapshot {
+            processed: self.processed(),
+            dropped: self.dropped(),
+            in_flight: self.in_flight(),
+            latency_count,
+            p50_us: percentile(&sorted, 0.50),
+            p95_us: percentile(&sorted, 0.95),
+            p99_us: percentile(&sorted, 0.99),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_lifecycle() {
+        let m = ServeMetrics::new();
+        m.job_started();
+        assert_eq!(m.in_flight(), 1);
+        m.job_finished(100);
+        m.job_dropped();
+        let snap = m.snapshot();
+        assert_eq!(snap.processed, 1);
+        assert_eq!(snap.dropped, 1);
+        assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.latency_count, 1);
+        assert_eq!(snap.p50_us, 100);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let m = ServeMetrics::new();
+        for us in 1..=100 {
+            m.job_started();
+            m.job_finished(us);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.p50_us, 50);
+        assert_eq!(snap.p95_us, 95);
+        assert_eq!(snap.p99_us, 99);
+    }
+
+    #[test]
+    fn window_overwrites_oldest() {
+        let m = ServeMetrics::new();
+        for _ in 0..LATENCY_WINDOW {
+            m.job_started();
+            m.job_finished(1);
+        }
+        for _ in 0..LATENCY_WINDOW {
+            m.job_started();
+            m.job_finished(1000);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.latency_count, 2 * LATENCY_WINDOW as u64);
+        assert_eq!(snap.p50_us, 1000);
+    }
+
+    #[test]
+    fn empty_percentiles_are_zero() {
+        let snap = ServeMetrics::new().snapshot();
+        assert_eq!((snap.p50_us, snap.p95_us, snap.p99_us), (0, 0, 0));
+        assert_eq!(snap.latency_count, 0);
+    }
+}

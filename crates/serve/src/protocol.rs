@@ -1,0 +1,226 @@
+//! Line-delimited JSON wire protocol for the assertion service.
+//!
+//! Each request is one line. Job requests carry a client-chosen `id`
+//! echoed in the response, and an `argv` array that is parsed by the
+//! daemon exactly like a `qra` command line (so `qra submit run x.qasm
+//! --shots 64` is byte-identical to running that command directly):
+//!
+//! ```text
+//! {"id":1,"argv":["run","bell.qasm","--shots","1024","--seed","7"]}
+//! {"control":"status"}
+//! {"control":"shutdown"}
+//! ```
+//!
+//! Responses (one line each; job responses may arrive out of submission
+//! order — clients reorder by `id`):
+//!
+//! ```text
+//! {"id":1,"ok":true,"code":0,"latency_us":412,"output":"..."}
+//! {"id":2,"ok":false,"dropped":true,"error":"queue full"}
+//! {"ok":true,"status":{...}}
+//! {"ok":true,"draining":true}
+//! ```
+
+use qra_faults::json::{self, json_str, Json};
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Execute `argv` as a `qra` command line and respond with its
+    /// output and exit code.
+    Job {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// The command line, excluding the program name.
+        argv: Vec<String>,
+    },
+    /// Respond with a metrics/cache snapshot.
+    Status,
+    /// Begin graceful drain: finish queued and in-flight jobs, then exit.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, an unknown
+/// control verb, or a job without `id`/`argv`.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = json::parse(line).map_err(|e| format!("bad request JSON: {}", e.0))?;
+    if let Some(control) = value.get("control") {
+        let verb = control
+            .as_str()
+            .map_err(|e| format!("bad control field: {}", e.0))?;
+        return match verb {
+            "status" => Ok(Request::Status),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown control verb '{other}'")),
+        };
+    }
+    let id = value
+        .require("id")
+        .and_then(Json::as_u64)
+        .map_err(|e| format!("bad job id: {}", e.0))?;
+    let argv = value
+        .require("argv")
+        .and_then(Json::as_arr)
+        .map_err(|e| format!("bad job argv: {}", e.0))?
+        .iter()
+        .map(|v| v.as_str().map(str::to_string))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("bad argv element: {}", e.0))?;
+    Ok(Request::Job { id, argv })
+}
+
+/// Renders a successful job response line.
+pub fn job_ok(id: u64, code: i32, output: &str, latency_us: u64) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"code\":{code},\"latency_us\":{latency_us},\"output\":{}}}",
+        json_str(output)
+    )
+}
+
+/// Renders a failed job response line; `dropped` marks queue-full
+/// rejections so clients can distinguish backpressure from job errors.
+pub fn job_err(id: u64, error: &str, dropped: bool) -> String {
+    if dropped {
+        format!(
+            "{{\"id\":{id},\"ok\":false,\"dropped\":true,\"error\":{}}}",
+            json_str(error)
+        )
+    } else {
+        format!("{{\"id\":{id},\"ok\":false,\"error\":{}}}", json_str(error))
+    }
+}
+
+/// A parsed job response line (client side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// `true` when the job executed (its own exit code may still be
+    /// nonzero); `false` for parse failures and drops.
+    pub ok: bool,
+    /// The job's exit code (0 unless `ok`, then as executed).
+    pub code: i32,
+    /// The job's rendered output (empty unless `ok`).
+    pub output: String,
+    /// Error message when `!ok`.
+    pub error: Option<String>,
+    /// `true` when the job was rejected by queue backpressure.
+    pub dropped: bool,
+    /// Enqueue-to-response latency reported by the daemon.
+    pub latency_us: u64,
+}
+
+/// Parses one job response line.
+///
+/// # Errors
+///
+/// Returns a message for malformed JSON or a line without an `id`
+/// (status/drain acknowledgements have no `id`; route those separately).
+pub fn parse_job_response(line: &str) -> Result<JobResponse, String> {
+    let value = json::parse(line).map_err(|e| format!("bad response JSON: {}", e.0))?;
+    let id = value
+        .require("id")
+        .and_then(Json::as_u64)
+        .map_err(|e| format!("bad response id: {}", e.0))?;
+    let ok = value
+        .require("ok")
+        .and_then(Json::as_bool)
+        .map_err(|e| format!("bad ok field: {}", e.0))?;
+    let code = value
+        .get("code")
+        .map(|v| v.as_u64().map(|c| c as i32))
+        .transpose()
+        .map_err(|e| format!("bad code field: {}", e.0))?
+        .unwrap_or(0);
+    let output = value
+        .get("output")
+        .map(|v| v.as_str().map(str::to_string))
+        .transpose()
+        .map_err(|e| format!("bad output field: {}", e.0))?
+        .unwrap_or_default();
+    let error = value
+        .get("error")
+        .map(|v| v.as_str().map(str::to_string))
+        .transpose()
+        .map_err(|e| format!("bad error field: {}", e.0))?;
+    let dropped = value
+        .get("dropped")
+        .map(Json::as_bool)
+        .transpose()
+        .map_err(|e| format!("bad dropped field: {}", e.0))?
+        .unwrap_or(false);
+    let latency_us = value
+        .get("latency_us")
+        .map(Json::as_u64)
+        .transpose()
+        .map_err(|e| format!("bad latency field: {}", e.0))?
+        .unwrap_or(0);
+    Ok(JobResponse {
+        id,
+        ok,
+        code,
+        output,
+        error,
+        dropped,
+        latency_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_job_request() {
+        let req = parse_request(r#"{"id":3,"argv":["run","x.qasm","--shots","64"]}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Job {
+                id: 3,
+                argv: vec![
+                    "run".to_string(),
+                    "x.qasm".to_string(),
+                    "--shots".to_string(),
+                    "64".to_string()
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_controls() {
+        assert_eq!(
+            parse_request(r#"{"control":"status"}"#).unwrap(),
+            Request::Status
+        );
+        assert_eq!(
+            parse_request(r#"{"control":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+        assert!(parse_request(r#"{"control":"reboot"}"#).is_err());
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"id":1}"#).is_err());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let ok = job_ok(7, 0, "shots: 64\n11: 64\n", 123);
+        let parsed = parse_job_response(&ok).unwrap();
+        assert_eq!(parsed.id, 7);
+        assert!(parsed.ok);
+        assert_eq!(parsed.code, 0);
+        assert_eq!(parsed.output, "shots: 64\n11: 64\n");
+        assert_eq!(parsed.latency_us, 123);
+        assert!(!parsed.dropped);
+
+        let err = job_err(8, "queue full", true);
+        let parsed = parse_job_response(&err).unwrap();
+        assert!(!parsed.ok);
+        assert!(parsed.dropped);
+        assert_eq!(parsed.error.as_deref(), Some("queue full"));
+    }
+}

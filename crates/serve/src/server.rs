@@ -1,0 +1,505 @@
+//! The `qra serve` daemon: a Unix-socket accept loop feeding a bounded
+//! lock-free work queue drained by a pool of worker threads.
+//!
+//! # Shutdown / drain state machine
+//!
+//! ```text
+//! ACCEPTING --(SIGTERM | {"control":"shutdown"} | drain_handle)--> DRAINING
+//! DRAINING: stop accepting; connection readers exit (new jobs are
+//!           refused with an error response); queued + in-flight jobs
+//!           finish and their responses are written.
+//! DRAINED:  workers join, the socket file is removed, `run` returns.
+//! ```
+//!
+//! Jobs are never abandoned once enqueued: every accepted job gets a
+//! response line before `run` returns. Jobs refused during drain or by
+//! queue backpressure get an immediate error response and count in the
+//! `dropped` metric (backpressure only).
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use qra_sim::ProgramCache;
+
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::protocol::{self, JobResponse, Request};
+use crate::spmc::SpmcQueue;
+
+/// Errors from the daemon and its clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError(pub String);
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The function that executes one job's argv; the CLI injects its own
+/// argument parser + command dispatcher so daemon jobs run byte-for-byte
+/// the same code as direct invocations.
+pub type JobExecutor = dyn Fn(&[String]) -> Result<(String, i32), String> + Send + Sync;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Unix socket path to listen on (created at startup, removed at
+    /// drain). A stale socket file from a dead daemon is replaced; a
+    /// live one is an error.
+    pub socket: PathBuf,
+    /// Worker threads; `0` resolves to available parallelism.
+    pub workers: usize,
+    /// Work-queue depth; jobs beyond it are refused (backpressure).
+    pub queue_depth: usize,
+    /// Compiled-program cache surfaced in status snapshots (the executor
+    /// closure holds its own reference for actual lookups).
+    pub cache: Option<Arc<ProgramCache>>,
+    /// Worker host list advertised in status (the CLI layer appends
+    /// `--hosts` to sweep-run jobs itself).
+    pub hosts: Vec<String>,
+    /// Install a SIGTERM handler that triggers graceful drain. Leave off
+    /// for in-process servers (tests, benches) — handlers are
+    /// process-global.
+    pub handle_sigterm: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            socket: PathBuf::from("qra-serve.sock"),
+            workers: 0,
+            queue_depth: 256,
+            cache: None,
+            hosts: Vec::new(),
+            handle_sigterm: false,
+        }
+    }
+}
+
+/// Final metrics returned by [`Server::run`] after drain.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Snapshot taken after the last job finished.
+    pub metrics: MetricsSnapshot,
+    /// Total daemon lifetime.
+    pub uptime: Duration,
+}
+
+/// One queued job: the argv to execute plus the connection to answer on.
+struct Job {
+    id: u64,
+    argv: Vec<String>,
+    reply: Arc<Mutex<UnixStream>>,
+    enqueued: Instant,
+}
+
+/// Process-global SIGTERM latch (handlers are process-global, so this
+/// cannot live in the server struct).
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    SIGTERM.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    // libc's signal(2), linked via std; avoids a libc crate dependency.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+const SIGTERM_NO: i32 = 15;
+
+/// Shared daemon state: queue, metrics, drain latch.
+struct Inner {
+    queue: SpmcQueue<Job>,
+    metrics: ServeMetrics,
+    draining: AtomicBool,
+    /// Set by `cleanup` only after every reader has been joined and the
+    /// queue is dry — workers must not exit on `draining` alone, or a
+    /// reader that has not yet observed the flag could enqueue a job
+    /// with nobody left to run it.
+    stop_workers: AtomicBool,
+    executor: Arc<JobExecutor>,
+    cache: Option<Arc<ProgramCache>>,
+    hosts: Vec<String>,
+    workers: usize,
+    started: Instant,
+}
+
+impl Inner {
+    fn status_line(&self) -> String {
+        let snap = self.metrics.snapshot();
+        let cache = match &self.cache {
+            Some(c) => format!(
+                "{{\"hits\":{},\"misses\":{},\"entries\":{}}}",
+                c.hits(),
+                c.misses(),
+                c.entries()
+            ),
+            None => "null".to_string(),
+        };
+        let hosts = self
+            .hosts
+            .iter()
+            .map(|h| qra_faults::json::json_str(h))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"ok\":true,\"status\":{{\"workers\":{},\"queue_capacity\":{},\"queued\":{},\
+             \"in_flight\":{},\"processed\":{},\"dropped\":{},\"draining\":{},\
+             \"uptime_ms\":{},\"hosts\":[{hosts}],\"cache\":{cache},\
+             \"latency_us\":{{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}}}}}",
+            self.workers,
+            self.queue.capacity(),
+            self.queue.len(),
+            snap.in_flight,
+            snap.processed,
+            snap.dropped,
+            self.draining.load(Ordering::SeqCst),
+            self.started.elapsed().as_millis(),
+            snap.latency_count,
+            snap.p50_us,
+            snap.p95_us,
+            snap.p99_us,
+        )
+    }
+}
+
+/// Writes one response line to a shared connection; a client that hung
+/// up only fails its own responses.
+fn respond(reply: &Mutex<UnixStream>, line: &str) {
+    let mut stream = reply.lock().expect("reply stream poisoned");
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
+}
+
+/// The streaming assertion daemon. Construct with an executor closure,
+/// then [`Server::run`] blocks until drained.
+pub struct Server {
+    config: ServerConfig,
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Creates a daemon executing jobs through `executor`.
+    pub fn new(config: ServerConfig, executor: Arc<JobExecutor>) -> Server {
+        let workers = if config.workers == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.workers
+        };
+        let inner = Arc::new(Inner {
+            queue: SpmcQueue::with_capacity(config.queue_depth),
+            metrics: ServeMetrics::new(),
+            draining: AtomicBool::new(false),
+            stop_workers: AtomicBool::new(false),
+            executor: Arc::clone(&executor),
+            cache: config.cache.clone(),
+            hosts: config.hosts.clone(),
+            workers,
+            started: Instant::now(),
+        });
+        Server { config, inner }
+    }
+
+    /// A latch that triggers graceful drain when set — the in-process
+    /// equivalent of SIGTERM for tests and benches.
+    pub fn drain_when(&self) -> impl Fn() + Send + Sync + 'static {
+        let inner = Arc::clone(&self.inner);
+        move || inner.draining.store(true, Ordering::SeqCst)
+    }
+
+    /// Binds the socket, serves until drain is requested (SIGTERM,
+    /// `{"control":"shutdown"}`, or [`Server::drain_when`]), finishes
+    /// every accepted job, and returns the final metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] when the socket cannot be bound (including another
+    /// live daemon on the same path) or the accept loop fails.
+    pub fn run(&self) -> Result<ServeSummary, ServeError> {
+        if self.config.handle_sigterm {
+            SIGTERM.store(false, Ordering::SeqCst);
+            unsafe { signal(SIGTERM_NO, on_sigterm) };
+        }
+        let listener = bind_socket(&self.config.socket)?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError(format!("nonblocking accept: {e}")))?;
+
+        let mut workers = Vec::with_capacity(self.inner.workers);
+        for _ in 0..self.inner.workers {
+            let inner = Arc::clone(&self.inner);
+            workers.push(thread::spawn(move || worker_loop(&inner)));
+        }
+
+        let mut readers: Vec<thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if SIGTERM.load(Ordering::SeqCst) {
+                self.inner.draining.store(true, Ordering::SeqCst);
+            }
+            if self.inner.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let inner = Arc::clone(&self.inner);
+                    readers.push(thread::spawn(move || read_connection(stream, &inner)));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(2));
+                    readers.retain(|r| !r.is_finished());
+                }
+                Err(e) => {
+                    self.inner.draining.store(true, Ordering::SeqCst);
+                    cleanup(&self.config.socket, readers, workers, &self.inner);
+                    return Err(ServeError(format!("accept failed: {e}")));
+                }
+            }
+        }
+        cleanup(&self.config.socket, readers, workers, &self.inner);
+        Ok(ServeSummary {
+            metrics: self.inner.metrics.snapshot(),
+            uptime: self.inner.started.elapsed(),
+        })
+    }
+}
+
+/// Joins readers (no new jobs after this), waits for the queue and
+/// in-flight set to empty, stops workers, removes the socket.
+fn cleanup(
+    socket: &Path,
+    readers: Vec<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    inner: &Arc<Inner>,
+) {
+    for r in readers {
+        let _ = r.join();
+    }
+    // All producers are gone; the queue can only shrink now.
+    while !inner.queue.is_empty() || inner.metrics.in_flight() > 0 {
+        thread::sleep(Duration::from_millis(1));
+    }
+    inner.stop_workers.store(true, Ordering::SeqCst);
+    for w in workers {
+        let _ = w.join();
+    }
+    let _ = std::fs::remove_file(socket);
+}
+
+/// Binds `path`, replacing a stale socket file but refusing to displace
+/// a live daemon.
+fn bind_socket(path: &Path) -> Result<UnixListener, ServeError> {
+    if path.exists() {
+        if UnixStream::connect(path).is_ok() {
+            return Err(ServeError(format!(
+                "socket {} already has a live daemon",
+                path.display()
+            )));
+        }
+        std::fs::remove_file(path)
+            .map_err(|e| ServeError(format!("removing stale socket {}: {e}", path.display())))?;
+    }
+    UnixListener::bind(path).map_err(|e| ServeError(format!("binding {}: {e}", path.display())))
+}
+
+/// One worker: pop, execute (panic-isolated), respond, repeat until
+/// drain is requested and the queue is dry.
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        match inner.queue.try_pop() {
+            Some(job) => {
+                inner.metrics.job_started();
+                let result = catch_unwind(AssertUnwindSafe(|| (inner.executor)(&job.argv)));
+                let latency_us = job.enqueued.elapsed().as_micros() as u64;
+                let line = match result {
+                    Ok(Ok((output, code))) => protocol::job_ok(job.id, code, &output, latency_us),
+                    Ok(Err(message)) => protocol::job_err(job.id, &message, false),
+                    Err(_) => protocol::job_err(job.id, "job panicked", false),
+                };
+                respond(&job.reply, &line);
+                inner.metrics.job_finished(latency_us);
+            }
+            None => {
+                if inner.stop_workers.load(Ordering::SeqCst) {
+                    return;
+                }
+                thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+}
+
+/// One connection: parse request lines, enqueue jobs, answer controls.
+fn read_connection(stream: UnixStream, inner: &Arc<Inner>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let reply = Arc::new(Mutex::new(match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    }));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    handle_request(trimmed, &reply, inner);
+                }
+                line.clear();
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Partial data stays in `line` across the timeout.
+                if inner.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_request(line: &str, reply: &Arc<Mutex<UnixStream>>, inner: &Arc<Inner>) {
+    match protocol::parse_request(line) {
+        Ok(Request::Status) => respond(reply, &inner.status_line()),
+        Ok(Request::Shutdown) => {
+            respond(reply, "{\"ok\":true,\"draining\":true}");
+            inner.draining.store(true, Ordering::SeqCst);
+        }
+        Ok(Request::Job { id, argv }) => {
+            if inner.draining.load(Ordering::SeqCst) {
+                respond(reply, &protocol::job_err(id, "daemon is draining", false));
+                return;
+            }
+            let job = Job {
+                id,
+                argv,
+                reply: Arc::clone(reply),
+                enqueued: Instant::now(),
+            };
+            if let Err(refused) = inner.queue.try_push(job) {
+                inner.metrics.job_dropped();
+                respond(reply, &protocol::job_err(refused.id, "queue full", true));
+            }
+        }
+        Err(message) => {
+            respond(
+                reply,
+                &format!(
+                    "{{\"ok\":false,\"error\":{}}}",
+                    qra_faults::json::json_str(&message)
+                ),
+            );
+        }
+    }
+}
+
+/// Connects to a daemon, submits every argv as one job, and returns the
+/// responses in submission order (ids are assigned 0..n and responses
+/// reordered, so multi-worker daemons still yield deterministic output).
+///
+/// # Errors
+///
+/// [`ServeError`] on connect/write failures, malformed responses, or a
+/// connection closed before every job was answered.
+pub fn submit_jobs(socket: &Path, jobs: &[Vec<String>]) -> Result<Vec<JobResponse>, ServeError> {
+    let mut stream = UnixStream::connect(socket)
+        .map_err(|e| ServeError(format!("connecting to {}: {e}", socket.display())))?;
+    for (id, argv) in jobs.iter().enumerate() {
+        let rendered = argv
+            .iter()
+            .map(|a| qra_faults::json::json_str(a))
+            .collect::<Vec<_>>()
+            .join(",");
+        let line = format!("{{\"id\":{id},\"argv\":[{rendered}]}}\n");
+        stream
+            .write_all(line.as_bytes())
+            .map_err(|e| ServeError(format!("submitting job {id}: {e}")))?;
+    }
+    stream
+        .flush()
+        .map_err(|e| ServeError(format!("flushing jobs: {e}")))?;
+    let mut responses: Vec<Option<JobResponse>> = vec![None; jobs.len()];
+    let mut pending = jobs.len();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while pending > 0 {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| ServeError(format!("reading response: {e}")))?;
+        if n == 0 {
+            return Err(ServeError(format!(
+                "daemon closed the connection with {pending} job(s) unanswered"
+            )));
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = protocol::parse_job_response(trimmed).map_err(ServeError)?;
+        let slot = responses
+            .get_mut(response.id as usize)
+            .ok_or_else(|| ServeError(format!("response for unknown job id {}", response.id)))?;
+        if slot.replace(response).is_none() {
+            pending -= 1;
+        }
+    }
+    Ok(responses
+        .into_iter()
+        .map(|r| r.expect("all answered"))
+        .collect())
+}
+
+/// Sends one control request and returns the daemon's response line.
+fn control(socket: &Path, verb: &str) -> Result<String, ServeError> {
+    let mut stream = UnixStream::connect(socket)
+        .map_err(|e| ServeError(format!("connecting to {}: {e}", socket.display())))?;
+    stream
+        .write_all(format!("{{\"control\":{}}}\n", qra_faults::json::json_str(verb)).as_bytes())
+        .map_err(|e| ServeError(format!("sending {verb}: {e}")))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| ServeError(format!("reading {verb} response: {e}")))?;
+    if line.trim().is_empty() {
+        return Err(ServeError(format!("empty {verb} response")));
+    }
+    Ok(line.trim().to_string())
+}
+
+/// Requests a status snapshot from a live daemon.
+///
+/// # Errors
+///
+/// [`ServeError`] when no daemon answers on `socket`.
+pub fn request_status(socket: &Path) -> Result<String, ServeError> {
+    control(socket, "status")
+}
+
+/// Asks a live daemon to drain and exit; returns its acknowledgement.
+///
+/// # Errors
+///
+/// [`ServeError`] when no daemon answers on `socket`.
+pub fn request_shutdown(socket: &Path) -> Result<String, ServeError> {
+    control(socket, "shutdown")
+}

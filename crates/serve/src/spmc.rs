@@ -1,0 +1,277 @@
+//! Bounded lock-free work queue (Vyukov bounded-MPMC algorithm).
+//!
+//! The daemon's accept loop pushes jobs, a pool of worker threads pops
+//! them — a single-producer/multi-consumer shape, though the algorithm
+//! is safe for multiple producers too (connection reader threads push
+//! concurrently). Each slot carries a sequence counter that encodes
+//! whether it is ready for a push or a pop of a given lap, so producers
+//! and consumers only contend on their own cursor CAS; no locks, no
+//! allocation after construction.
+//!
+//! A full queue fails the push immediately ([`SpmcQueue::try_push`]
+//! returns the job back) — backpressure is the caller's policy, the
+//! queue never blocks.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Slot<T> {
+    /// Lap marker: equals the slot index when empty for lap 0; a push at
+    /// global position `pos` stores `pos + 1`, the matching pop restores
+    /// `pos + capacity` for the next lap.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Bounded lock-free queue; capacity is rounded up to a power of two.
+pub struct SpmcQueue<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    /// Producer cursor: next global push position.
+    tail: AtomicUsize,
+    /// Consumer cursor: next global pop position.
+    head: AtomicUsize,
+}
+
+// SAFETY: slots are handed off between threads through the `seq`
+// acquire/release protocol — a value is written before the release store
+// that publishes it and read after the acquire load that observes it, so
+// no two threads access a slot's value concurrently.
+unsafe impl<T: Send> Sync for SpmcQueue<T> {}
+unsafe impl<T: Send> Send for SpmcQueue<T> {}
+
+impl<T> std::fmt::Debug for SpmcQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpmcQueue")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T> SpmcQueue<T> {
+    /// Creates a queue holding at least `capacity` items (rounded up to a
+    /// power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> SpmcQueue<T> {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SpmcQueue {
+            slots,
+            mask: cap - 1,
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Approximate number of queued items (exact when quiescent).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Relaxed);
+        tail.saturating_sub(head)
+    }
+
+    /// `true` when no items are queued (approximate under contention).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `value`, or returns it back when the queue is full.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                // Slot is empty for this lap: claim the position.
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS made this thread the unique
+                        // writer of the slot for lap `pos`; the release
+                        // store below publishes the value to the popper.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if dif < 0 {
+                // The slot still holds the previous lap's value: full.
+                return Err(value);
+            } else {
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest item, or `None` when the queue is empty.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - (pos + 1) as isize;
+            if dif == 0 {
+                // Slot holds this lap's value: claim the position.
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS made this thread the unique
+                        // reader of the slot for lap `pos`, and the
+                        // acquire load of `seq` observed the producer's
+                        // release store, so the value is initialized.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Drop for SpmcQueue<T> {
+    fn drop(&mut self) {
+        while self.try_pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = SpmcQueue::with_capacity(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert!(q.try_push(99).is_err());
+        for i in 0..4 {
+            assert_eq!(q.try_pop(), Some(i));
+        }
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let q: SpmcQueue<u8> = SpmcQueue::with_capacity(5);
+        assert_eq!(q.capacity(), 8);
+        let q: SpmcQueue<u8> = SpmcQueue::with_capacity(0);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn wraps_around_many_laps() {
+        let q = SpmcQueue::with_capacity(2);
+        for i in 0..1000 {
+            q.try_push(i).unwrap();
+            assert_eq!(q.try_pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_queued_values() {
+        let q = SpmcQueue::with_capacity(8);
+        let marker = Arc::new(());
+        for _ in 0..5 {
+            q.try_push(Arc::clone(&marker)).unwrap();
+        }
+        drop(q);
+        assert_eq!(Arc::strong_count(&marker), 1);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        const PRODUCERS: usize = 3;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 2000;
+        let q = Arc::new(SpmcQueue::with_capacity(64));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            handles.push(thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    let mut item = p * PER_PRODUCER + i;
+                    loop {
+                        match q.try_push(item) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                item = back;
+                                thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..CONSUMERS {
+            let q = Arc::clone(&q);
+            consumers.push(thread::spawn(move || {
+                let mut seen = Vec::new();
+                loop {
+                    match q.try_pop() {
+                        Some(v) => {
+                            if v == usize::MAX {
+                                break;
+                            }
+                            seen.push(v);
+                        }
+                        None => thread::yield_now(),
+                    }
+                }
+                seen
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // One poison pill per consumer.
+        for _ in 0..CONSUMERS {
+            loop {
+                if q.try_push(usize::MAX).is_ok() {
+                    break;
+                }
+                thread::yield_now();
+            }
+        }
+        let mut all = HashSet::new();
+        for c in consumers {
+            for v in c.join().unwrap() {
+                assert!(all.insert(v), "duplicate item {v}");
+            }
+        }
+        assert_eq!(all.len(), PRODUCERS * PER_PRODUCER);
+    }
+}

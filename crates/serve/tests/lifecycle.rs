@@ -1,0 +1,177 @@
+//! Service-lifecycle integration tests against an in-process daemon
+//! with a synthetic executor: concurrent clients, queue-full
+//! backpressure accounting, and graceful drain finishing accepted jobs.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use qra_serve::{request_shutdown, request_status, submit_jobs, Server, ServerConfig};
+
+static SOCKET_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn socket_path(tag: &str) -> PathBuf {
+    let n = SOCKET_COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "qra-serve-test-{}-{tag}-{n}.sock",
+        std::process::id()
+    ))
+}
+
+fn wait_for_socket(path: &std::path::Path) {
+    for _ in 0..500 {
+        if std::os::unix::net::UnixStream::connect(path).is_ok() {
+            return;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    panic!("daemon never bound {}", path.display());
+}
+
+/// Echo executor: deterministic output derived from the argv alone.
+fn echo_executor() -> Arc<qra_serve::JobExecutor> {
+    Arc::new(|argv: &[String]| Ok((format!("echo:{}", argv.join(" ")), 0)))
+}
+
+#[test]
+fn concurrent_clients_get_correct_ordered_responses() {
+    let socket = socket_path("concurrent");
+    let server = Arc::new(Server::new(
+        ServerConfig {
+            socket: socket.clone(),
+            workers: 4,
+            // Holds the full 4 x 25 burst: this test is about ordering
+            // under concurrency, not backpressure (covered below), so
+            // drops must be impossible whatever the scheduler does.
+            queue_depth: 128,
+            ..ServerConfig::default()
+        },
+        echo_executor(),
+    ));
+    let run = {
+        let server = Arc::clone(&server);
+        thread::spawn(move || server.run().unwrap())
+    };
+    wait_for_socket(&socket);
+
+    let mut clients = Vec::new();
+    for c in 0..4 {
+        let socket = socket.clone();
+        clients.push(thread::spawn(move || {
+            let jobs: Vec<Vec<String>> = (0..25)
+                .map(|j| vec![format!("client{c}"), format!("job{j}")])
+                .collect();
+            let responses = submit_jobs(&socket, &jobs).unwrap();
+            assert_eq!(responses.len(), 25);
+            for (j, r) in responses.iter().enumerate() {
+                assert!(r.ok, "client {c} job {j}: {:?}", r.error);
+                assert_eq!(r.id, j as u64);
+                assert_eq!(r.output, format!("echo:client{c} job{j}"));
+            }
+        }));
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    let status = request_status(&socket).unwrap();
+    assert!(status.contains("\"processed\":100"), "status: {status}");
+    assert!(status.contains("\"dropped\":0"), "status: {status}");
+
+    request_shutdown(&socket).unwrap();
+    let summary = run.join().unwrap();
+    assert_eq!(summary.metrics.processed, 100);
+    assert_eq!(summary.metrics.dropped, 0);
+    assert!(summary.metrics.latency_count >= 100);
+    assert!(!socket.exists(), "socket not removed after drain");
+}
+
+#[test]
+fn queue_full_backpressure_drops_and_accounts() {
+    let socket = socket_path("backpressure");
+    let slow: Arc<qra_serve::JobExecutor> = Arc::new(|argv: &[String]| {
+        thread::sleep(Duration::from_millis(40));
+        Ok((argv.join(" "), 0))
+    });
+    let server = Arc::new(Server::new(
+        ServerConfig {
+            socket: socket.clone(),
+            workers: 1,
+            queue_depth: 2,
+            ..ServerConfig::default()
+        },
+        slow,
+    ));
+    let run = {
+        let server = Arc::clone(&server);
+        thread::spawn(move || server.run().unwrap())
+    };
+    wait_for_socket(&socket);
+
+    let jobs: Vec<Vec<String>> = (0..20).map(|j| vec![format!("burst{j}")]).collect();
+    let responses = submit_jobs(&socket, &jobs).unwrap();
+    assert_eq!(responses.len(), 20);
+    let dropped = responses.iter().filter(|r| r.dropped).count();
+    let executed = responses.iter().filter(|r| r.ok).count();
+    assert!(dropped > 0, "a 20-job burst into a depth-2 queue must drop");
+    assert_eq!(dropped + executed, 20, "every job gets exactly one verdict");
+    for r in &responses {
+        if r.dropped {
+            assert_eq!(r.error.as_deref(), Some("queue full"));
+        }
+    }
+
+    request_shutdown(&socket).unwrap();
+    let summary = run.join().unwrap();
+    assert_eq!(summary.metrics.dropped, dropped as u64);
+    assert_eq!(summary.metrics.processed, executed as u64);
+}
+
+#[test]
+fn drain_finishes_accepted_jobs() {
+    let socket = socket_path("drain");
+    let slow: Arc<qra_serve::JobExecutor> = Arc::new(|argv: &[String]| {
+        thread::sleep(Duration::from_millis(100));
+        Ok((format!("done:{}", argv.join(" ")), 0))
+    });
+    let server = Arc::new(Server::new(
+        ServerConfig {
+            socket: socket.clone(),
+            workers: 2,
+            queue_depth: 16,
+            ..ServerConfig::default()
+        },
+        slow,
+    ));
+    let drain = server.drain_when();
+    let run = {
+        let server = Arc::clone(&server);
+        thread::spawn(move || server.run().unwrap())
+    };
+    wait_for_socket(&socket);
+
+    let client = {
+        let socket = socket.clone();
+        thread::spawn(move || {
+            let jobs: Vec<Vec<String>> = (0..4).map(|j| vec![format!("slow{j}")]).collect();
+            submit_jobs(&socket, &jobs).unwrap()
+        })
+    };
+    // Let the jobs reach the queue, then drain mid-execution.
+    thread::sleep(Duration::from_millis(120));
+    drain();
+
+    let responses = client.join().unwrap();
+    let summary = run.join().unwrap();
+    // Every accepted job completed and was answered before exit; none
+    // were abandoned (drain refusals would carry an error, not output).
+    assert_eq!(responses.len(), 4);
+    for r in &responses {
+        assert!(r.ok, "drain abandoned a job: {:?}", r.error);
+        assert!(r.output.starts_with("done:"));
+    }
+    assert_eq!(summary.metrics.processed, 4);
+    assert_eq!(summary.metrics.in_flight, 0);
+}

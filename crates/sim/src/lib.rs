@@ -32,6 +32,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod cache;
 pub mod counts;
 pub mod density;
 pub mod error;
@@ -44,6 +45,7 @@ pub mod statevector;
 pub mod threads;
 pub mod trajectory;
 
+pub use cache::ProgramCache;
 pub use counts::Counts;
 pub use density::DensityMatrixSimulator;
 pub use error::SimError;
